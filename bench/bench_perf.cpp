@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: simulator gate
+ * throughput, trajectory execution, transpilation, feature extraction,
+ * Clifford synthesis, and coverage-hull computation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/mermin_bell.hpp"
+#include "core/coverage.hpp"
+#include "core/features.hpp"
+#include "core/benchmarks/qaoa.hpp"
+#include "core/suites.hpp"
+#include "device/device.hpp"
+#include "qc/clifford.hpp"
+#include "qc/library.hpp"
+#include "qc/qasm.hpp"
+#include "sim/runner.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/transpiler.hpp"
+
+using namespace smq;
+
+namespace {
+
+void
+BM_StateVectorHadamardLayer(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::StateVector sv(n);
+    for (auto _ : state) {
+        for (std::size_t q = 0; q < n; ++q)
+            sv.applyGate(qc::Gate(qc::GateType::H,
+                                  {static_cast<qc::Qubit>(q)}));
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StateVectorHadamardLayer)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_StateVectorCxLadder(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::StateVector sv(n);
+    for (auto _ : state) {
+        for (std::size_t q = 0; q + 1 < n; ++q)
+            sv.applyGate(qc::Gate(qc::GateType::CX,
+                                  {static_cast<qc::Qubit>(q),
+                                   static_cast<qc::Qubit>(q + 1)}));
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_StateVectorCxLadder)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_NoisyTrajectoryGhz(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    core::GhzBenchmark bench(n);
+    qc::Circuit circuit = bench.circuits()[0];
+    sim::RunOptions options;
+    options.shots = 100;
+    options.noise = device::ibmMontreal().noise;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        stats::Rng rng(seed++);
+        benchmark::DoNotOptimize(sim::run(circuit, options, rng));
+    }
+}
+BENCHMARK(BM_NoisyTrajectoryGhz)->Arg(5)->Arg(10)->Arg(14);
+
+void
+BM_TranspileQaoaOntoFalcon27(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    core::QaoaVanillaBenchmark bench(n, 3, /*optimize=*/false);
+    qc::Circuit circuit = bench.circuits()[0];
+    device::Device dev = device::ibmMontreal();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(transpile::transpile(circuit, dev));
+    }
+}
+BENCHMARK(BM_TranspileQaoaOntoFalcon27)->Arg(6)->Arg(10)->Arg(16);
+
+void
+BM_FeatureExtraction(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    qc::Circuit circuit = core::GhzBenchmark(n).circuits()[0];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::computeFeatures(circuit));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(100)->Arg(1000);
+
+void
+BM_MerminCliffordSynthesis(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto terms = core::MerminBellBenchmark::merminTerms(n);
+    std::vector<qc::PauliString> paulis;
+    for (const auto &[coeff, p] : terms)
+        paulis.push_back(p);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(qc::diagonalizationCircuit(paulis, n));
+}
+BENCHMARK(BM_MerminCliffordSynthesis)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void
+BM_CoverageHull(benchmark::State &state)
+{
+    auto points = core::supermarqFeaturePoints();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::computeCoverage("s", points));
+}
+BENCHMARK(BM_CoverageHull);
+
+void
+BM_QasmRoundTrip(benchmark::State &state)
+{
+    qc::Circuit circuit = qc::library::qft(16);
+    for (auto _ : state) {
+        std::string text = qc::toQasm(circuit);
+        benchmark::DoNotOptimize(qc::fromQasm(text));
+    }
+}
+BENCHMARK(BM_QasmRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

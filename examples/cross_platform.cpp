@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cross-platform comparison (the paper's headline use case): run a
+ * communication-heavy benchmark (Mermin-Bell) and a hardware-matched
+ * one (ZZ-SWAP QAOA) across all nine device models and watch the
+ * topology-vs-fidelity trade-off emerge.
+ */
+
+#include <iostream>
+
+#include "core/benchmarks/mermin_bell.hpp"
+#include "core/benchmarks/qaoa.hpp"
+#include "core/harness.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+int
+main()
+{
+    core::MerminBellBenchmark mermin(4);
+    core::QaoaSwapBenchmark qaoa(4, 11);
+
+    core::HarnessOptions options;
+    options.shots = 1000;
+    options.repetitions = 3;
+
+    stats::TextTable table({"device", "architecture", "mermin_bell_4",
+                            "qaoa_zzswap_4", "swaps (mermin)"});
+    for (const device::Device &dev : device::allDevices()) {
+        core::BenchmarkRun m = core::runBenchmark(mermin, dev, options);
+        core::BenchmarkRun q = core::runBenchmark(qaoa, dev, options);
+        auto cell = [](const core::BenchmarkRun &run) {
+            if (run.tooLarge)
+                return std::string("X");
+            return stats::formatFixed(run.summary.mean, 3);
+        };
+        table.addRow({dev.name,
+                      dev.kind == device::ArchitectureKind::TrappedIon
+                          ? "trapped ion"
+                          : "superconducting",
+                      cell(m), cell(q),
+                      m.tooLarge ? "-" : std::to_string(m.swapsInserted)});
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "The all-to-all trapped-ion model routes the Mermin\n"
+                 "measurement basis for free, while sparse\n"
+                 "superconducting devices pay in SWAPs; the nearest-\n"
+                 "neighbour ZZ-SWAP ansatz levels the field (paper\n"
+                 "Sec. VI-VII).\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Extending the suite (the paper's "adaptivity" principle): define a
+ * brand-new application benchmark against the public Benchmark
+ * interface — W-state preparation, scored by Hellinger fidelity — run
+ * it through the standard harness, and measure how much feature-space
+ * coverage it adds to the suite.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "core/coverage.hpp"
+#include "core/harness.hpp"
+#include "core/suites.hpp"
+#include "qc/library.hpp"
+#include "stats/hellinger.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+namespace {
+
+/** W-state preparation benchmark: |W_n> has one uniform excitation. */
+class WStateBenchmark : public core::Benchmark
+{
+  public:
+    explicit WStateBenchmark(std::size_t num_qubits)
+        : numQubits_(num_qubits)
+    {
+    }
+
+    std::string name() const override
+    {
+        return "w_state_" + std::to_string(numQubits_);
+    }
+
+    std::size_t numQubits() const override { return numQubits_; }
+
+    std::vector<qc::Circuit> circuits() const override
+    {
+        qc::Circuit circuit = qc::library::wState(numQubits_);
+        circuit.setName(name());
+        circuit.measureAll();
+        return {circuit};
+    }
+
+    double score(const std::vector<stats::Counts> &counts) const override
+    {
+        // ideal: exactly one excitation, uniformly placed
+        stats::Distribution ideal;
+        for (std::size_t q = 0; q < numQubits_; ++q) {
+            std::string key(numQubits_, '0');
+            key[q] = '1';
+            ideal.add(key, 1.0 / static_cast<double>(numQubits_));
+        }
+        return stats::hellingerFidelity(counts.at(0), ideal);
+    }
+
+  private:
+    std::size_t numQubits_;
+};
+
+} // namespace
+
+int
+main()
+{
+    WStateBenchmark bench(5);
+
+    // run through the standard harness, like any built-in benchmark
+    core::HarnessOptions options;
+    options.shots = 2000;
+    options.repetitions = 3;
+    stats::TextTable table({"device", "w_state_5 score"});
+    for (const device::Device &dev :
+         {device::perfectDevice(5), device::ibmLagos(),
+          device::ionqDevice()}) {
+        core::BenchmarkRun run = core::runBenchmark(bench, dev, options);
+        table.addRow({dev.name,
+                      stats::formatFixed(run.summary.mean, 3) + " +- " +
+                          stats::formatFixed(run.summary.stddev, 3)});
+    }
+    std::cout << table.render() << "\n";
+
+    // how much coverage does the new application add? (Sec. IV-G)
+    auto points = core::supermarqFeaturePoints();
+    double before = core::computeCoverage("suite", points).volume;
+    for (std::size_t n : {3, 5, 10, 50})
+        points.push_back(
+            core::computeFeatures(WStateBenchmark(n).circuits()[0]));
+    double after = core::computeCoverage("suite+w", points).volume;
+
+    std::cout << "coverage volume without W-state: " << before << "\n";
+    std::cout << "coverage volume with    W-state: " << after << "\n";
+    std::cout << "(a useful new benchmark should expand — or at least "
+                 "not shrink — the hull)\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Feature explorer: compute the SupermarQ feature vector of ANY
+ * OpenQASM 2.0 program — your own circuits included — and see where it
+ * lands relative to the suite's applications.
+ *
+ * Usage: feature_explorer [file.qasm]
+ * Without an argument, a built-in sample program is analysed.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/coverage.hpp"
+#include "core/features.hpp"
+#include "core/suites.hpp"
+#include "geom/hull.hpp"
+#include "qc/qasm.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+namespace {
+
+const char *kSampleProgram = R"(OPENQASM 2.0;
+include "qelib1.inc";
+// iterative phase estimation flavoured sample with qubit reuse
+qreg q[3];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cp(pi/4) q[0],q[2];
+h q[0];
+measure q[0] -> c[0];
+reset q[0];
+h q[0];
+cp(pi/2) q[0],q[2];
+h q[0];
+measure q[0] -> c[1];
+measure q[1] -> c[2];
+measure q[2] -> c[3];
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string text;
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    } else {
+        std::cout << "(no file given; analysing the built-in sample)\n\n";
+        text = kSampleProgram;
+    }
+
+    qc::Circuit circuit;
+    try {
+        circuit = qc::fromQasm(text);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+
+    core::FeatureVector f = core::computeFeatures(circuit);
+    core::ProgramStats s = core::computeStats(circuit);
+
+    std::cout << "program: " << s.numQubits << " qubits, " << s.gateCount
+              << " operations, depth " << s.depth << ", "
+              << s.twoQubitGates << " two-qubit gates, "
+              << s.measurements << " measurements, " << s.resets
+              << " resets\n\n";
+
+    stats::TextTable table({"feature", "value"});
+    const auto &names = core::FeatureVector::axisNames();
+    auto values = f.asArray();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        table.addRow({names[i], stats::formatFixed(values[i], 4)});
+    std::cout << table.render() << "\n";
+
+    // situate the program inside the suite's coverage hull
+    auto suite_points = core::supermarqFeaturePoints();
+    core::CoverageResult cov =
+        core::computeCoverage("SupermarQ", suite_points);
+    geom::Point p(values.begin(), values.end());
+    bool inside = false;
+    {
+        std::vector<geom::Point> pts;
+        for (const core::FeatureVector &v : suite_points) {
+            auto a = v.asArray();
+            pts.emplace_back(a.begin(), a.end());
+        }
+        geom::HullResult hull = geom::convexHull(pts, 6);
+        inside = hull.contains(p, 1e-6);
+    }
+    std::cout << "SupermarQ suite coverage volume: " << cov.volume
+              << "\n";
+    std::cout << "your program is " << (inside ? "INSIDE" : "OUTSIDE")
+              << " the suite's feature hull"
+              << (inside ? "" : " — it stresses hardware in a way the "
+                                "suite does not yet cover")
+              << "\n";
+    return 0;
+}

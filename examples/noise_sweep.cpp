@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The HPCA artifact's demonstration, reproduced: evaluate benchmarks
+ * under a noise model of increasing strength and watch every score
+ * decay from ~1 toward its random-guessing floor.
+ */
+
+#include <iostream>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/hamiltonian_simulation.hpp"
+#include "core/benchmarks/mermin_bell.hpp"
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+using namespace smq;
+
+int
+main()
+{
+    // a generic NISQ-flavoured base model
+    sim::NoiseModel base;
+    base.enabled = true;
+    base.p1 = 0.002;
+    base.p2 = 0.01;
+    base.pMeas = 0.015;
+    base.pReset = 0.015;
+    base.t1 = 100.0;
+    base.t2 = 80.0;
+    base.time1q = 0.035;
+    base.time2q = 0.4;
+    base.timeMeas = 5.0;
+
+    std::vector<core::BenchmarkPtr> suite;
+    suite.push_back(std::make_unique<core::GhzBenchmark>(4));
+    suite.push_back(std::make_unique<core::MerminBellBenchmark>(3));
+    suite.push_back(std::make_unique<core::BitCodeBenchmark>(
+        core::BitCodeBenchmark::alternating(3, 2)));
+    suite.push_back(
+        std::make_unique<core::HamiltonianSimulationBenchmark>(4, 3));
+
+    std::vector<double> scales = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+    std::vector<std::string> headers = {"benchmark"};
+    for (double s : scales)
+        headers.push_back("x" + stats::formatFixed(s, 1));
+    stats::TextTable table(headers);
+
+    for (const core::BenchmarkPtr &bench : suite) {
+        std::vector<std::string> cells = {bench->name()};
+        for (double scale : scales) {
+            sim::RunOptions options;
+            options.shots = 3000;
+            options.noise = base.scaled(scale);
+            stats::Rng rng(29);
+            std::vector<stats::Counts> counts;
+            for (const qc::Circuit &circuit : bench->circuits())
+                counts.push_back(sim::run(circuit, options, rng));
+            cells.push_back(
+                stats::formatFixed(bench->score(counts), 3));
+        }
+        table.addRow(std::move(cells));
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Scores decrease monotonically (up to shot noise) with\n"
+                 "the noise scale — the expected behaviour the artifact\n"
+                 "notebook demonstrates before trusting any cross-\n"
+                 "platform comparison.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The benchmark interface: every SupermarQ application is a scalable
+ * circuit generator plus a scalable score function (paper Sec. IV).
+ *
+ * A benchmark exposes one or more OpenQASM-level circuits; the harness
+ * executes them (on a device model or real counts) and hands the
+ * resulting histograms back to score(), which maps them to [0, 1]
+ * (1 = ideal execution). No step requires classical simulation that
+ * grows with the benchmark size beyond what the paper itself uses.
+ */
+
+#ifndef SMQ_CORE_BENCHMARK_HPP
+#define SMQ_CORE_BENCHMARK_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "stats/counts.hpp"
+
+namespace smq::core {
+
+/** Abstract benchmark: circuits + score function. */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Display name, e.g. "ghz_5". */
+    virtual std::string name() const = 0;
+
+    /** Number of logical qubits the benchmark needs. */
+    virtual std::size_t numQubits() const = 0;
+
+    /**
+     * The circuits to execute (most benchmarks need one; VQE needs two
+     * to cover both measurement bases of its Hamiltonian).
+     */
+    virtual std::vector<qc::Circuit> circuits() const = 0;
+
+    /**
+     * Map one histogram per circuit (same order as circuits()) to a
+     * score in [0, 1]; 1 means indistinguishable from ideal execution.
+     */
+    virtual double score(const std::vector<stats::Counts> &counts)
+        const = 0;
+};
+
+using BenchmarkPtr = std::unique_ptr<Benchmark>;
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_BENCHMARK_HPP

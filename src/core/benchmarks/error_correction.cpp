@@ -1,0 +1,216 @@
+#include "core/benchmarks/error_correction.hpp"
+
+#include <stdexcept>
+
+#include "stats/hellinger.hpp"
+
+namespace smq::core {
+
+namespace {
+
+std::vector<std::uint8_t>
+alternatingPattern(std::size_t n)
+{
+    std::vector<std::uint8_t> bits(n);
+    for (std::size_t i = 0; i < n; ++i)
+        bits[i] = static_cast<std::uint8_t>(i % 2);
+    return bits;
+}
+
+void
+checkParams(std::size_t num_data, std::size_t rounds)
+{
+    if (num_data < 2)
+        throw std::invalid_argument("EC benchmark: need >= 2 data qubits");
+    if (rounds < 1)
+        throw std::invalid_argument("EC benchmark: need >= 1 round");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- bit code
+
+BitCodeBenchmark::BitCodeBenchmark(std::vector<std::uint8_t> initial_bits,
+                                   std::size_t rounds)
+    : bits_(std::move(initial_bits)), numData_(bits_.size()),
+      rounds_(rounds)
+{
+    checkParams(numData_, rounds_);
+}
+
+BitCodeBenchmark
+BitCodeBenchmark::alternating(std::size_t num_data, std::size_t rounds)
+{
+    return BitCodeBenchmark(alternatingPattern(num_data), rounds);
+}
+
+std::string
+BitCodeBenchmark::name() const
+{
+    return "bit_code_" + std::to_string(numData_) + "d" +
+           std::to_string(rounds_) + "r";
+}
+
+std::vector<qc::Circuit>
+BitCodeBenchmark::circuits() const
+{
+    std::size_t n_qubits = 2 * numData_ - 1;
+    std::size_t n_anc = numData_ - 1;
+    std::size_t n_clbits = rounds_ * n_anc + numData_;
+    qc::Circuit circuit(n_qubits, n_clbits, name());
+    auto data = [](std::size_t i) { return static_cast<qc::Qubit>(2 * i); };
+    auto anc = [](std::size_t i) {
+        return static_cast<qc::Qubit>(2 * i + 1);
+    };
+
+    for (std::size_t i = 0; i < numData_; ++i) {
+        if (bits_[i])
+            circuit.x(data(i));
+    }
+    for (std::size_t r = 0; r < rounds_; ++r) {
+        circuit.barrier();
+        for (std::size_t i = 0; i < n_anc; ++i) {
+            circuit.cx(data(i), anc(i));
+            circuit.cx(data(i + 1), anc(i));
+        }
+        for (std::size_t i = 0; i < n_anc; ++i) {
+            circuit.measure(anc(i), r * n_anc + i);
+            circuit.reset(anc(i));
+        }
+    }
+    circuit.barrier();
+    for (std::size_t i = 0; i < numData_; ++i)
+        circuit.measure(data(i), rounds_ * n_anc + i);
+    return {circuit};
+}
+
+stats::Distribution
+BitCodeBenchmark::idealOutput() const
+{
+    std::size_t n_anc = numData_ - 1;
+    std::string key(rounds_ * n_anc + numData_, '0');
+    for (std::size_t r = 0; r < rounds_; ++r) {
+        for (std::size_t i = 0; i < n_anc; ++i) {
+            if ((bits_[i] ^ bits_[i + 1]) != 0)
+                key[r * n_anc + i] = '1';
+        }
+    }
+    for (std::size_t i = 0; i < numData_; ++i) {
+        if (bits_[i])
+            key[rounds_ * n_anc + i] = '1';
+    }
+    stats::Distribution ideal;
+    ideal.add(key, 1.0);
+    return ideal;
+}
+
+double
+BitCodeBenchmark::score(const std::vector<stats::Counts> &counts) const
+{
+    if (counts.size() != 1)
+        throw std::invalid_argument("BitCodeBenchmark::score: one histogram");
+    return stats::hellingerFidelity(counts[0], idealOutput());
+}
+
+// -------------------------------------------------------------- phase code
+
+PhaseCodeBenchmark::PhaseCodeBenchmark(
+    std::vector<std::uint8_t> initial_signs, std::size_t rounds)
+    : signs_(std::move(initial_signs)), numData_(signs_.size()),
+      rounds_(rounds)
+{
+    checkParams(numData_, rounds_);
+}
+
+PhaseCodeBenchmark
+PhaseCodeBenchmark::alternating(std::size_t num_data, std::size_t rounds)
+{
+    return PhaseCodeBenchmark(alternatingPattern(num_data), rounds);
+}
+
+std::string
+PhaseCodeBenchmark::name() const
+{
+    return "phase_code_" + std::to_string(numData_) + "d" +
+           std::to_string(rounds_) + "r";
+}
+
+std::vector<qc::Circuit>
+PhaseCodeBenchmark::circuits() const
+{
+    std::size_t n_qubits = 2 * numData_ - 1;
+    std::size_t n_anc = numData_ - 1;
+    std::size_t n_clbits = rounds_ * n_anc + numData_;
+    qc::Circuit circuit(n_qubits, n_clbits, name());
+    auto data = [](std::size_t i) { return static_cast<qc::Qubit>(2 * i); };
+    auto anc = [](std::size_t i) {
+        return static_cast<qc::Qubit>(2 * i + 1);
+    };
+
+    for (std::size_t i = 0; i < numData_; ++i) {
+        circuit.h(data(i));
+        if (signs_[i])
+            circuit.z(data(i));
+    }
+    for (std::size_t r = 0; r < rounds_; ++r) {
+        circuit.barrier();
+        // X_i X_{i+1} stabiliser: Hadamard sandwich around the CX pairs
+        for (std::size_t i = 0; i < numData_; ++i)
+            circuit.h(data(i));
+        for (std::size_t i = 0; i < n_anc; ++i) {
+            circuit.cx(data(i), anc(i));
+            circuit.cx(data(i + 1), anc(i));
+        }
+        for (std::size_t i = 0; i < numData_; ++i)
+            circuit.h(data(i));
+        for (std::size_t i = 0; i < n_anc; ++i) {
+            circuit.measure(anc(i), r * n_anc + i);
+            circuit.reset(anc(i));
+        }
+    }
+    circuit.barrier();
+    for (std::size_t i = 0; i < numData_; ++i)
+        circuit.measure(data(i), rounds_ * n_anc + i);
+    return {circuit};
+}
+
+stats::Distribution
+PhaseCodeBenchmark::idealOutput() const
+{
+    if (numData_ > 16)
+        throw std::invalid_argument(
+            "PhaseCodeBenchmark::idealOutput: 2^n keys; n > 16 data "
+            "qubits unsupported for scoring (circuits still generate)");
+    std::size_t n_anc = numData_ - 1;
+    std::string syndrome(rounds_ * n_anc, '0');
+    for (std::size_t r = 0; r < rounds_; ++r) {
+        for (std::size_t i = 0; i < n_anc; ++i) {
+            if ((signs_[i] ^ signs_[i + 1]) != 0)
+                syndrome[r * n_anc + i] = '1';
+        }
+    }
+    stats::Distribution ideal;
+    std::size_t patterns = std::size_t{1} << numData_;
+    double p = 1.0 / static_cast<double>(patterns);
+    for (std::size_t pattern = 0; pattern < patterns; ++pattern) {
+        std::string key = syndrome;
+        key.resize(rounds_ * n_anc + numData_, '0');
+        for (std::size_t i = 0; i < numData_; ++i) {
+            if ((pattern >> i) & 1)
+                key[rounds_ * n_anc + i] = '1';
+        }
+        ideal.add(key, p);
+    }
+    return ideal;
+}
+
+double
+PhaseCodeBenchmark::score(const std::vector<stats::Counts> &counts) const
+{
+    if (counts.size() != 1)
+        throw std::invalid_argument(
+            "PhaseCodeBenchmark::score: one histogram");
+    return stats::hellingerFidelity(counts[0], idealOutput());
+}
+
+} // namespace smq::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error-correction proxy benchmarks (paper Sec. IV-C).
+ *
+ * Repetition-code subroutines parameterised by the number of data
+ * qubits and rounds. They exercise the circuit structure of real ECCs
+ * — syndrome extraction onto interleaved ancillas, mid-circuit
+ * measurement, and RESET — without correcting anything. Scores are
+ * Hellinger fidelities against analytically known ideal output
+ * distributions, so scoring stays scalable.
+ *
+ * Layout: data qubit i sits at index 2i, the ancilla between data i
+ * and i+1 at index 2i+1. Classical bits: round-major syndrome bits
+ * first (rounds x (n-1)), then the final data measurement (n bits).
+ */
+
+#ifndef SMQ_CORE_BENCHMARKS_ERROR_CORRECTION_HPP
+#define SMQ_CORE_BENCHMARKS_ERROR_CORRECTION_HPP
+
+#include <vector>
+
+#include "core/benchmark.hpp"
+
+namespace smq::core {
+
+/**
+ * Bit-flip repetition code proxy: data prepared in a computational
+ * pattern, Z_i Z_{i+1} stabilisers measured each round. The ideal
+ * output is a single deterministic bitstring (syndromes = parities of
+ * adjacent pattern bits).
+ */
+class BitCodeBenchmark : public Benchmark
+{
+  public:
+    /**
+     * @param initial_bits data-qubit preparation pattern (n >= 2).
+     * @param rounds number of syndrome-extraction rounds (>= 1).
+     */
+    BitCodeBenchmark(std::vector<std::uint8_t> initial_bits,
+                     std::size_t rounds);
+
+    /** Alternating 0101... pattern of the given length. */
+    static BitCodeBenchmark alternating(std::size_t num_data,
+                                        std::size_t rounds);
+
+    std::string name() const override;
+    std::size_t numQubits() const override { return 2 * numData_ - 1; }
+    std::vector<qc::Circuit> circuits() const override;
+    double score(const std::vector<stats::Counts> &counts) const override;
+
+    /** The ideal (deterministic) output distribution. */
+    stats::Distribution idealOutput() const;
+
+  private:
+    std::vector<std::uint8_t> bits_;
+    std::size_t numData_;
+    std::size_t rounds_;
+};
+
+/**
+ * Phase-flip repetition code proxy: data prepared in |+>/|-> signs,
+ * X_i X_{i+1} stabilisers measured each round (via Hadamard basis
+ * sandwiches). The ideal output is uniform over the data bits with
+ * deterministic syndromes (parities of adjacent sign bits).
+ */
+class PhaseCodeBenchmark : public Benchmark
+{
+  public:
+    /**
+     * @param initial_signs 0 = |+>, 1 = |-> per data qubit (n >= 2).
+     * @param rounds number of syndrome-extraction rounds (>= 1).
+     */
+    PhaseCodeBenchmark(std::vector<std::uint8_t> initial_signs,
+                       std::size_t rounds);
+
+    /** Alternating +-+-... pattern of the given length. */
+    static PhaseCodeBenchmark alternating(std::size_t num_data,
+                                          std::size_t rounds);
+
+    std::string name() const override;
+    std::size_t numQubits() const override { return 2 * numData_ - 1; }
+    std::vector<qc::Circuit> circuits() const override;
+    double score(const std::vector<stats::Counts> &counts) const override;
+
+    /** The ideal output distribution (2^n equally likely keys). */
+    stats::Distribution idealOutput() const;
+
+  private:
+    std::vector<std::uint8_t> signs_;
+    std::size_t numData_;
+    std::size_t rounds_;
+};
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_BENCHMARKS_ERROR_CORRECTION_HPP

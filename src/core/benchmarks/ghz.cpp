@@ -1,0 +1,44 @@
+#include "core/benchmarks/ghz.hpp"
+
+#include <stdexcept>
+
+#include "stats/hellinger.hpp"
+
+namespace smq::core {
+
+GhzBenchmark::GhzBenchmark(std::size_t num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument("GhzBenchmark: need >= 2 qubits");
+}
+
+std::string
+GhzBenchmark::name() const
+{
+    return "ghz_" + std::to_string(numQubits_);
+}
+
+std::vector<qc::Circuit>
+GhzBenchmark::circuits() const
+{
+    qc::Circuit circuit(numQubits_, numQubits_, name());
+    circuit.h(0);
+    for (std::size_t i = 0; i + 1 < numQubits_; ++i)
+        circuit.cx(static_cast<qc::Qubit>(i),
+                   static_cast<qc::Qubit>(i + 1));
+    circuit.measureAll();
+    return {circuit};
+}
+
+double
+GhzBenchmark::score(const std::vector<stats::Counts> &counts) const
+{
+    if (counts.size() != 1)
+        throw std::invalid_argument("GhzBenchmark::score: one histogram");
+    stats::Distribution ideal;
+    ideal.add(std::string(numQubits_, '0'), 0.5);
+    ideal.add(std::string(numQubits_, '1'), 0.5);
+    return stats::hellingerFidelity(counts[0], ideal);
+}
+
+} // namespace smq::core

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * GHZ state-preparation benchmark (paper Sec. IV-A).
+ *
+ * A Hadamard followed by a CNOT ladder prepares
+ * (|0...0> + |1...1>)/sqrt(2); the score is the Hellinger fidelity
+ * between the observed distribution and the ideal 50/50 split over
+ * the two all-equal bitstrings.
+ */
+
+#ifndef SMQ_CORE_BENCHMARKS_GHZ_HPP
+#define SMQ_CORE_BENCHMARKS_GHZ_HPP
+
+#include "core/benchmark.hpp"
+
+namespace smq::core {
+
+/** The GHZ benchmark on n qubits. */
+class GhzBenchmark : public Benchmark
+{
+  public:
+    /** @param num_qubits chain length (>= 2). */
+    explicit GhzBenchmark(std::size_t num_qubits);
+
+    std::string name() const override;
+    std::size_t numQubits() const override { return numQubits_; }
+    std::vector<qc::Circuit> circuits() const override;
+    double score(const std::vector<stats::Counts> &counts) const override;
+
+  private:
+    std::size_t numQubits_;
+};
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_BENCHMARKS_GHZ_HPP

@@ -1,0 +1,98 @@
+#include "core/benchmarks/hamiltonian_simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/statevector.hpp"
+
+namespace smq::core {
+
+HamiltonianSimulationBenchmark::HamiltonianSimulationBenchmark(
+    std::size_t num_qubits, std::size_t steps, TfimDriveParams params)
+    : numQubits_(num_qubits), steps_(steps), params_(params)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument(
+            "HamiltonianSimulationBenchmark: need >= 2 qubits");
+    if (steps < 1)
+        throw std::invalid_argument(
+            "HamiltonianSimulationBenchmark: need >= 1 step");
+}
+
+std::string
+HamiltonianSimulationBenchmark::name() const
+{
+    return "hamiltonian_sim_" + std::to_string(numQubits_) + "q" +
+           std::to_string(steps_) + "s";
+}
+
+qc::Circuit
+HamiltonianSimulationBenchmark::evolutionCircuit() const
+{
+    qc::Circuit circuit(numQubits_, 0, name() + "_evolution");
+    for (std::size_t k = 0; k < steps_; ++k) {
+        double t = (static_cast<double>(k) + 0.5) * params_.dt;
+        double field = params_.epsPh * std::cos(params_.omegaPh * t);
+        // exp(-i H dt) ~ prod exp(+i Jz dt ZZ) prod exp(+i field dt X)
+        for (std::size_t q = 0; q + 1 < numQubits_; q += 2)
+            circuit.rzz(-2.0 * params_.jz * params_.dt,
+                        static_cast<qc::Qubit>(q),
+                        static_cast<qc::Qubit>(q + 1));
+        for (std::size_t q = 1; q + 1 < numQubits_; q += 2)
+            circuit.rzz(-2.0 * params_.jz * params_.dt,
+                        static_cast<qc::Qubit>(q),
+                        static_cast<qc::Qubit>(q + 1));
+        for (std::size_t q = 0; q < numQubits_; ++q)
+            circuit.rx(-2.0 * field * params_.dt,
+                       static_cast<qc::Qubit>(q));
+    }
+    return circuit;
+}
+
+std::vector<qc::Circuit>
+HamiltonianSimulationBenchmark::circuits() const
+{
+    qc::Circuit circuit = evolutionCircuit();
+    circuit.setName(name());
+    circuit.measureAll();
+    return {circuit};
+}
+
+double
+HamiltonianSimulationBenchmark::magnetizationFromCounts(
+    const stats::Counts &counts) const
+{
+    double total = 0.0;
+    for (std::size_t q = 0; q < numQubits_; ++q)
+        total += counts.parityExpectation({q});
+    return total / static_cast<double>(numQubits_);
+}
+
+double
+HamiltonianSimulationBenchmark::idealMagnetization() const
+{
+    if (idealMagnetization_ > 1.5) {
+        sim::StateVector state = sim::finalState(evolutionCircuit());
+        double total = 0.0;
+        for (std::size_t q = 0; q < numQubits_; ++q)
+            total += state.expectationZ({q});
+        idealMagnetization_ = total / static_cast<double>(numQubits_);
+    }
+    return idealMagnetization_;
+}
+
+double
+HamiltonianSimulationBenchmark::score(
+    const std::vector<stats::Counts> &counts) const
+{
+    if (counts.size() != 1)
+        throw std::invalid_argument(
+            "HamiltonianSimulationBenchmark::score: one histogram");
+    double experimental = magnetizationFromCounts(counts[0]);
+    double score =
+        1.0 - std::abs(idealMagnetization() - experimental) / 2.0;
+    return std::clamp(score, 0.0, 1.0);
+}
+
+} // namespace smq::core

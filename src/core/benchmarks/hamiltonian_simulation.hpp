@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hamiltonian-simulation benchmark (paper Sec. IV-F).
+ *
+ * Trotterised time evolution of the 1-D transverse-field Ising model
+ * with a time-varying drive,
+ *
+ *   H(t) = -sum_i ( J_z Z_i Z_{i+1} + eps_ph cos(w_ph t) X_i ),
+ *
+ * followed by a measurement of the average magnetisation
+ * m_z = (1/N) sum_i <Z_i>. Score: 1 - |m_ideal - m_exp| / 2.
+ *
+ * Default drive parameters are chosen so the magnetisation leaves the
+ * trivial fixed points (documented in EXPERIMENTS.md); the reference
+ * values themselves come from noiseless simulation, mirroring the
+ * paper's classical comparison.
+ */
+
+#ifndef SMQ_CORE_BENCHMARKS_HAMILTONIAN_SIMULATION_HPP
+#define SMQ_CORE_BENCHMARKS_HAMILTONIAN_SIMULATION_HPP
+
+#include "core/benchmark.hpp"
+
+namespace smq::core {
+
+/** Drive/coupling parameters of the simulated TFIM. */
+struct TfimDriveParams
+{
+    double jz = 1.0;     ///< ZZ coupling
+    double epsPh = 2.0;  ///< drive amplitude
+    double omegaPh = 3.14159265358979323846; ///< drive frequency
+    double dt = 0.25;    ///< Trotter step
+};
+
+/** The Hamiltonian-simulation benchmark on an n-spin chain. */
+class HamiltonianSimulationBenchmark : public Benchmark
+{
+  public:
+    /**
+     * @param num_qubits chain length (>= 2).
+     * @param steps Trotter steps (>= 1).
+     */
+    HamiltonianSimulationBenchmark(std::size_t num_qubits,
+                                   std::size_t steps,
+                                   TfimDriveParams params = {});
+
+    std::string name() const override;
+    std::size_t numQubits() const override { return numQubits_; }
+    std::vector<qc::Circuit> circuits() const override;
+    double score(const std::vector<stats::Counts> &counts) const override;
+
+    /** Average magnetisation estimated from Z-basis counts. */
+    double magnetizationFromCounts(const stats::Counts &counts) const;
+
+    /** The noiseless reference magnetisation (lazy, cached). */
+    double idealMagnetization() const;
+
+  private:
+    qc::Circuit evolutionCircuit() const;
+
+    std::size_t numQubits_;
+    std::size_t steps_;
+    TfimDriveParams params_;
+    mutable double idealMagnetization_ = 2.0; ///< >1 means "not yet"
+};
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_BENCHMARKS_HAMILTONIAN_SIMULATION_HPP

@@ -1,0 +1,111 @@
+#include "core/benchmarks/mermin_bell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qc/clifford.hpp"
+
+namespace smq::core {
+
+MerminBellBenchmark::MerminBellBenchmark(std::size_t num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits < 2 || num_qubits > 12)
+        throw std::invalid_argument(
+            "MerminBellBenchmark: supported range is 2..12 qubits "
+            "(the Mermin expansion has 2^{n-1} terms)");
+
+    auto terms = merminTerms(num_qubits);
+    std::vector<qc::PauliString> paulis;
+    paulis.reserve(terms.size());
+    for (const auto &[coeff, p] : terms)
+        paulis.push_back(p);
+    measurementCircuit_ = qc::diagonalizationCircuit(paulis, num_qubits);
+
+    // Pre-compute each term's rotated Z-string: sign and bit support.
+    zTerms_.reserve(terms.size());
+    for (const auto &[coeff, p] : terms) {
+        qc::PauliString rotated = p;
+        rotated.conjugateByCircuit(measurementCircuit_);
+        if (!rotated.isZType())
+            throw std::logic_error(
+                "MerminBellBenchmark: diagonalisation failed");
+        zTerms_.emplace_back(coeff * rotated.sign(), rotated.support());
+    }
+}
+
+std::string
+MerminBellBenchmark::name() const
+{
+    return "mermin_bell_" + std::to_string(numQubits_);
+}
+
+std::vector<std::pair<double, qc::PauliString>>
+MerminBellBenchmark::merminTerms(std::size_t num_qubits)
+{
+    std::vector<std::pair<double, qc::PauliString>> terms;
+    std::size_t count = std::size_t{1} << num_qubits;
+    for (std::size_t mask = 0; mask < count; ++mask) {
+        std::size_t y_count =
+            static_cast<std::size_t>(__builtin_popcountll(mask));
+        if (y_count % 2 == 0)
+            continue;
+        std::string label;
+        label.reserve(num_qubits);
+        for (std::size_t q = 0; q < num_qubits; ++q)
+            label.push_back((mask >> q) & 1 ? 'Y' : 'X');
+        double coeff = ((y_count - 1) / 2) % 2 == 0 ? 1.0 : -1.0;
+        terms.emplace_back(coeff, qc::PauliString::fromLabel(label));
+    }
+    return terms;
+}
+
+double
+MerminBellBenchmark::classicalBound(std::size_t num_qubits)
+{
+    return std::pow(2.0, static_cast<double>(num_qubits / 2));
+}
+
+double
+MerminBellBenchmark::quantumValue(std::size_t num_qubits)
+{
+    return std::pow(2.0, static_cast<double>(num_qubits - 1));
+}
+
+std::vector<qc::Circuit>
+MerminBellBenchmark::circuits() const
+{
+    qc::Circuit circuit(numQubits_, numQubits_, name());
+    // GHZ-with-phase preparation: (|0..0> + i|1..1>)/sqrt(2)
+    circuit.h(0);
+    circuit.s(0);
+    for (std::size_t i = 0; i + 1 < numQubits_; ++i)
+        circuit.cx(static_cast<qc::Qubit>(i),
+                   static_cast<qc::Qubit>(i + 1));
+    // shared-basis rotation, then measure everything
+    circuit.compose(measurementCircuit_);
+    circuit.measureAll();
+    return {circuit};
+}
+
+double
+MerminBellBenchmark::merminExpectation(const stats::Counts &counts) const
+{
+    double expectation = 0.0;
+    for (const auto &[weight, support] : zTerms_)
+        expectation += weight * counts.parityExpectation(support);
+    return expectation;
+}
+
+double
+MerminBellBenchmark::score(const std::vector<stats::Counts> &counts) const
+{
+    if (counts.size() != 1)
+        throw std::invalid_argument(
+            "MerminBellBenchmark::score: one histogram");
+    double m = merminExpectation(counts[0]);
+    double q = quantumValue(numQubits_);
+    return (m + q) / (2.0 * q);
+}
+
+} // namespace smq::core

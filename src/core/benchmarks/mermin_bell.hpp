@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Mermin-Bell inequality benchmark (paper Sec. IV-B).
+ *
+ * Prepares |phi> = (|0...0> + i|1...1>)/sqrt(2), rotates into the
+ * shared eigenbasis of the Mermin operator M (Eq. 7) via a synthesised
+ * Clifford, and estimates <M> from one set of Z-basis counts. Quantum
+ * mechanics achieves <M> = 2^{n-1}; local hidden-variable theories are
+ * bounded by 2^{floor(n/2)} (Eqs. 8-9). The benchmark score is
+ * (<M> + 2^{n-1}) / 2^n.
+ */
+
+#ifndef SMQ_CORE_BENCHMARKS_MERMIN_BELL_HPP
+#define SMQ_CORE_BENCHMARKS_MERMIN_BELL_HPP
+
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "qc/pauli.hpp"
+
+namespace smq::core {
+
+/** The Mermin-Bell benchmark on n qubits (2 <= n <= 12). */
+class MerminBellBenchmark : public Benchmark
+{
+  public:
+    explicit MerminBellBenchmark(std::size_t num_qubits);
+
+    std::string name() const override;
+    std::size_t numQubits() const override { return numQubits_; }
+    std::vector<qc::Circuit> circuits() const override;
+    double score(const std::vector<stats::Counts> &counts) const override;
+
+    /**
+     * The Mermin operator's Pauli expansion: all X/Y strings with an
+     * odd number of Y's, with coefficient (-1)^{(|Y|-1)/2}.
+     */
+    static std::vector<std::pair<double, qc::PauliString>>
+    merminTerms(std::size_t num_qubits);
+
+    /** The local-hidden-variable bound 2^{floor(n/2)} (Eq. 9). */
+    static double classicalBound(std::size_t num_qubits);
+
+    /** The quantum value 2^{n-1} (Eq. 8). */
+    static double quantumValue(std::size_t num_qubits);
+
+    /** Estimate <M> from Z-basis counts in the rotated basis. */
+    double merminExpectation(const stats::Counts &counts) const;
+
+  private:
+    std::size_t numQubits_;
+    qc::Circuit measurementCircuit_; ///< shared-basis rotation
+    /** Per term: coefficient * sign of the rotated Z-string, and the
+     *  classical bits in its parity support. */
+    std::vector<std::pair<double, std::vector<std::size_t>>> zTerms_;
+};
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_BENCHMARKS_MERMIN_BELL_HPP

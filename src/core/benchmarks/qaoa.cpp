@@ -1,0 +1,284 @@
+#include "core/benchmarks/qaoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/nelder_mead.hpp"
+#include "sim/statevector.hpp"
+
+namespace smq::core {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+} // namespace
+
+// ------------------------------------------------------------------ model
+
+SkModel
+SkModel::random(std::size_t num_qubits, std::uint64_t seed)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument("SkModel: need >= 2 qubits");
+    SkModel model;
+    model.numQubits = num_qubits;
+    stats::Rng rng(seed);
+    model.weights.resize(num_qubits * (num_qubits - 1) / 2);
+    for (double &w : model.weights)
+        w = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    return model;
+}
+
+double
+SkModel::weight(std::size_t i, std::size_t j) const
+{
+    if (i == j || i >= numQubits || j >= numQubits)
+        throw std::out_of_range("SkModel::weight");
+    if (i > j)
+        std::swap(i, j);
+    // packed upper triangle: offset(i) = i*n - i(i+1)/2
+    std::size_t offset = i * numQubits - i * (i + 1) / 2;
+    return weights[offset + (j - i - 1)];
+}
+
+double
+SkModel::energyOfBitstring(const std::string &bits) const
+{
+    double energy = 0.0;
+    for (std::size_t i = 0; i < numQubits; ++i) {
+        for (std::size_t j = i + 1; j < numQubits; ++j) {
+            double zi = bits[i] == '1' ? -1.0 : 1.0;
+            double zj = bits[j] == '1' ? -1.0 : 1.0;
+            energy += weight(i, j) * zi * zj;
+        }
+    }
+    return energy;
+}
+
+// ------------------------------------------------------------------- base
+
+QaoaBenchmarkBase::QaoaBenchmarkBase(SkModel model, std::size_t levels,
+                                     bool optimize)
+    : model_(std::move(model)), levels_(levels), optimize_(optimize)
+{
+    if (levels_ == 0)
+        throw std::invalid_argument("QaoaBenchmarkBase: levels >= 1");
+    // fixed fallback angles, staggered per level
+    params_.clear();
+    for (std::size_t l = 0; l < levels_; ++l) {
+        params_.push_back(0.35 / static_cast<double>(l + 1));
+        params_.push_back(0.25 / static_cast<double>(l + 1));
+    }
+}
+
+void
+QaoaBenchmarkBase::finalizeParameters()
+{
+    auto noiseless_energy = [&](const std::vector<double> &p) {
+        sim::StateVector state = sim::finalState(ansatz(p));
+        double energy = 0.0;
+        for (std::size_t i = 0; i < model_.numQubits; ++i) {
+            for (std::size_t j = i + 1; j < model_.numQubits; ++j) {
+                // expectation in terms of physical positions
+                std::size_t a = clbitOfLogical(i);
+                std::size_t b = clbitOfLogical(j);
+                energy += model_.weight(i, j) *
+                          state.expectationZ({a, b});
+            }
+        }
+        return energy;
+    };
+
+    if (!optimize_) {
+        // Feature-vector-only instances (arbitrarily large): fixed
+        // angles, no simulation. score() is unavailable.
+        idealEnergy_ = 0.0;
+        return;
+    }
+    std::vector<double> seed_params;
+    if (levels_ == 1) {
+        opt::OptResult grid =
+            opt::gridSearch(noiseless_energy, {0.0, 0.0}, {kPi, kPi}, 9);
+        seed_params = grid.x;
+    } else {
+        seed_params = params_; // staggered schedule seed for p > 1
+    }
+    opt::NelderMeadOptions nm;
+    nm.maxIterations = 150 * levels_;
+    nm.initialStep = 0.15;
+    opt::OptResult refined =
+        opt::nelderMead(noiseless_energy, seed_params, nm);
+    params_ = refined.value < noiseless_energy(seed_params)
+                  ? refined.x
+                  : seed_params;
+    idealEnergy_ = noiseless_energy(params_);
+}
+
+double
+QaoaBenchmarkBase::energyFromCounts(const stats::Counts &counts) const
+{
+    double energy = 0.0;
+    for (std::size_t i = 0; i < model_.numQubits; ++i) {
+        for (std::size_t j = i + 1; j < model_.numQubits; ++j) {
+            energy += model_.weight(i, j) *
+                      counts.parityExpectation(
+                          {clbitOfLogical(i), clbitOfLogical(j)});
+        }
+    }
+    return energy;
+}
+
+double
+QaoaBenchmarkBase::score(const std::vector<stats::Counts> &counts) const
+{
+    if (counts.size() != 1)
+        throw std::invalid_argument("Qaoa score: one histogram expected");
+    double experimental = energyFromCounts(counts[0]);
+    if (std::abs(idealEnergy_) < 1e-12)
+        throw std::logic_error(
+            "Qaoa score: ideal energy is zero; re-seed the SK instance");
+    double score =
+        1.0 - std::abs((idealEnergy_ - experimental) /
+                       (2.0 * idealEnergy_));
+    return std::clamp(score, 0.0, 1.0);
+}
+
+// ---------------------------------------------------------------- vanilla
+
+QaoaVanillaBenchmark::QaoaVanillaBenchmark(std::size_t num_qubits,
+                                           std::uint64_t seed,
+                                           bool optimize,
+                                           std::size_t levels)
+    : QaoaBenchmarkBase(SkModel::random(num_qubits, seed), levels,
+                        optimize)
+{
+    finalizeParameters();
+}
+
+std::string
+QaoaVanillaBenchmark::name() const
+{
+    std::string suffix =
+        levels_ > 1 ? "_p" + std::to_string(levels_) : "";
+    return "qaoa_vanilla_" + std::to_string(model_.numQubits) + suffix;
+}
+
+qc::Circuit
+QaoaVanillaBenchmark::ansatz(const std::vector<double> &params) const
+{
+    if (params.size() != 2 * levels_)
+        throw std::invalid_argument("QaoaVanilla::ansatz: param count");
+    std::size_t n = model_.numQubits;
+    qc::Circuit circuit(n, 0, "qaoa_vanilla_ansatz");
+    for (std::size_t q = 0; q < n; ++q)
+        circuit.h(static_cast<qc::Qubit>(q));
+    for (std::size_t level = 0; level < levels_; ++level) {
+        double gamma = params[2 * level];
+        double beta = params[2 * level + 1];
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                circuit.rzz(2.0 * gamma * model_.weight(i, j),
+                            static_cast<qc::Qubit>(i),
+                            static_cast<qc::Qubit>(j));
+            }
+        }
+        for (std::size_t q = 0; q < n; ++q)
+            circuit.rx(2.0 * beta, static_cast<qc::Qubit>(q));
+    }
+    return circuit;
+}
+
+std::vector<qc::Circuit>
+QaoaVanillaBenchmark::circuits() const
+{
+    qc::Circuit circuit = ansatz(params_);
+    circuit.setName(name());
+    circuit.measureAll();
+    return {circuit};
+}
+
+// --------------------------------------------------------------- ZZ-SWAP
+
+QaoaSwapBenchmark::QaoaSwapBenchmark(std::size_t num_qubits,
+                                     std::uint64_t seed, bool optimize,
+                                     std::size_t levels)
+    : QaoaBenchmarkBase(SkModel::random(num_qubits, seed), levels,
+                        optimize)
+{
+    // Each QAOA level runs a full brickwork of n layers, reversing the
+    // qubit order; track the cumulative permutation explicitly.
+    permutation_.resize(num_qubits);
+    for (std::size_t p = 0; p < num_qubits; ++p)
+        permutation_[p] = p;
+    for (std::size_t level = 0; level < levels_; ++level) {
+        for (std::size_t layer = 0; layer < num_qubits; ++layer) {
+            for (std::size_t p = layer % 2; p + 1 < num_qubits; p += 2)
+                std::swap(permutation_[p], permutation_[p + 1]);
+        }
+    }
+    finalizeParameters();
+}
+
+std::string
+QaoaSwapBenchmark::name() const
+{
+    std::string suffix =
+        levels_ > 1 ? "_p" + std::to_string(levels_) : "";
+    return "qaoa_zzswap_" + std::to_string(model_.numQubits) + suffix;
+}
+
+std::size_t
+QaoaSwapBenchmark::clbitOfLogical(std::size_t i) const
+{
+    for (std::size_t p = 0; p < permutation_.size(); ++p) {
+        if (permutation_[p] == i)
+            return p;
+    }
+    throw std::logic_error("QaoaSwapBenchmark: bad permutation");
+}
+
+qc::Circuit
+QaoaSwapBenchmark::ansatz(const std::vector<double> &params) const
+{
+    if (params.size() != 2 * levels_)
+        throw std::invalid_argument("QaoaSwap::ansatz: param count");
+    std::size_t n = model_.numQubits;
+    qc::Circuit circuit(n, 0, "qaoa_zzswap_ansatz");
+    for (std::size_t q = 0; q < n; ++q)
+        circuit.h(static_cast<qc::Qubit>(q));
+
+    // brickwork of fused RZZ+SWAP blocks: 3 CX + 1 RZ each
+    std::vector<std::size_t> perm(n);
+    for (std::size_t p = 0; p < n; ++p)
+        perm[p] = p;
+    for (std::size_t level = 0; level < levels_; ++level) {
+        double gamma = params[2 * level];
+        double beta = params[2 * level + 1];
+        for (std::size_t layer = 0; layer < n; ++layer) {
+            for (std::size_t p = layer % 2; p + 1 < n; p += 2) {
+                qc::Qubit a = static_cast<qc::Qubit>(p);
+                qc::Qubit b = static_cast<qc::Qubit>(p + 1);
+                double w = model_.weight(perm[p], perm[p + 1]);
+                circuit.cx(a, b);
+                circuit.rz(2.0 * gamma * w, b);
+                circuit.cx(b, a);
+                circuit.cx(a, b);
+                std::swap(perm[p], perm[p + 1]);
+            }
+        }
+        for (std::size_t q = 0; q < n; ++q)
+            circuit.rx(2.0 * beta, static_cast<qc::Qubit>(q));
+    }
+    return circuit;
+}
+
+std::vector<qc::Circuit>
+QaoaSwapBenchmark::circuits() const
+{
+    qc::Circuit circuit = ansatz(params_);
+    circuit.setName(name());
+    circuit.measureAll();
+    return {circuit};
+}
+
+} // namespace smq::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * QAOA proxy benchmarks on the Sherrington-Kirkpatrick model
+ * (paper Sec. IV-D).
+ *
+ * Both variants evaluate a single iteration of level-1 QAOA for
+ * MaxCut on a complete graph with +/-1 edge weights. The angles are
+ * found classically (noiseless simulation, grid + Nelder-Mead); the
+ * QPU's score is 1 - |(<H>_ideal - <H>_exp) / (2 <H>_ideal)| with
+ * H = sum_{(i,j) in E} w_ij Z_i Z_j.
+ *
+ * The Vanilla ansatz applies one RZZ per edge (requiring all-to-all
+ * connectivity); the ZZ-SWAP ansatz uses a linear-depth SWAP network
+ * (each RZZ+SWAP fused into 3 CX + 1 RZ) that needs only
+ * nearest-neighbour couplings.
+ */
+
+#ifndef SMQ_CORE_BENCHMARKS_QAOA_HPP
+#define SMQ_CORE_BENCHMARKS_QAOA_HPP
+
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::core {
+
+/** A Sherrington-Kirkpatrick MaxCut instance: w_ij in {-1, +1}. */
+struct SkModel
+{
+    std::size_t numQubits = 0;
+    std::vector<double> weights; ///< row-major upper triangle packed
+
+    /** Random +/-1 instance with the given seed. */
+    static SkModel random(std::size_t num_qubits, std::uint64_t seed);
+
+    /** Edge weight w_ij (i != j). */
+    double weight(std::size_t i, std::size_t j) const;
+
+    /** H = sum w_ij Z_i Z_j evaluated on a computational basis state. */
+    double energyOfBitstring(const std::string &bits) const;
+};
+
+/** Shared machinery for both QAOA variants. */
+class QaoaBenchmarkBase : public Benchmark
+{
+  public:
+    std::size_t numQubits() const override { return model_.numQubits; }
+
+    /** The optimised (gamma, beta). */
+    const std::vector<double> &parameters() const { return params_; }
+
+    /** Noiseless <H> at the optimised parameters. */
+    double idealEnergy() const { return idealEnergy_; }
+
+    /** Estimate <H> from Z-basis counts. */
+    double energyFromCounts(const stats::Counts &counts) const;
+
+    double score(const std::vector<stats::Counts> &counts) const override;
+
+  protected:
+    /**
+     * @param model SK instance.
+     * @param levels QAOA depth p (the paper evaluates p = 1 for
+     *        scalable classical verification; higher p is supported
+     *        as an extension).
+     * @param optimize when false, fixed angles are used (feature-
+     *        vector generation for very large instances).
+     */
+    QaoaBenchmarkBase(SkModel model, std::size_t levels, bool optimize);
+
+    /** The variant's ansatz circuit at parameters
+     *  (gamma_1, beta_1, ..., gamma_p, beta_p). */
+    virtual qc::Circuit ansatz(const std::vector<double> &params)
+        const = 0;
+
+    /** clbit index measuring logical qubit i. */
+    virtual std::size_t clbitOfLogical(std::size_t i) const = 0;
+
+    /** Called by subclass constructors once the ansatz is available. */
+    void finalizeParameters();
+
+    SkModel model_;
+    std::size_t levels_;
+    bool optimize_;
+    std::vector<double> params_;
+    double idealEnergy_ = 0.0;
+};
+
+/** The Vanilla QAOA benchmark (one RZZ per edge). */
+class QaoaVanillaBenchmark : public QaoaBenchmarkBase
+{
+  public:
+    explicit QaoaVanillaBenchmark(std::size_t num_qubits,
+                                  std::uint64_t seed = 1,
+                                  bool optimize = true,
+                                  std::size_t levels = 1);
+
+    std::string name() const override;
+    std::vector<qc::Circuit> circuits() const override;
+
+  protected:
+    qc::Circuit ansatz(const std::vector<double> &params) const override;
+    std::size_t clbitOfLogical(std::size_t i) const override { return i; }
+};
+
+/** The ZZ-SWAP-network QAOA benchmark (linear depth). */
+class QaoaSwapBenchmark : public QaoaBenchmarkBase
+{
+  public:
+    explicit QaoaSwapBenchmark(std::size_t num_qubits,
+                               std::uint64_t seed = 1,
+                               bool optimize = true,
+                               std::size_t levels = 1);
+
+    std::string name() const override;
+    std::vector<qc::Circuit> circuits() const override;
+
+    /** position -> logical qubit after the full network. */
+    const std::vector<std::size_t> &finalPermutation() const
+    {
+        return permutation_;
+    }
+
+  protected:
+    qc::Circuit ansatz(const std::vector<double> &params) const override;
+    std::size_t clbitOfLogical(std::size_t i) const override;
+
+  private:
+    std::vector<std::size_t> permutation_; ///< position -> logical
+};
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_BENCHMARKS_QAOA_HPP

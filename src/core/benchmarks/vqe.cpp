@@ -1,0 +1,125 @@
+#include "core/benchmarks/vqe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/nelder_mead.hpp"
+#include "sim/statevector.hpp"
+
+namespace smq::core {
+
+VqeBenchmark::VqeBenchmark(std::size_t num_qubits, std::size_t layers,
+                           bool optimize)
+    : numQubits_(num_qubits), layers_(layers)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument("VqeBenchmark: need >= 2 qubits");
+    if (layers < 1)
+        throw std::invalid_argument("VqeBenchmark: need >= 1 layer");
+
+    params_.assign(numParameters(), 0.1);
+    if (!optimize) {
+        // Feature-vector-only instances: fixed parameters, no
+        // simulation. score() is unavailable.
+        return;
+    }
+    auto objective = [&](const std::vector<double> &p) {
+        return noiselessEnergy(p);
+    };
+    opt::NelderMeadOptions nm;
+    nm.maxIterations = 600;
+    nm.initialStep = 0.5;
+    opt::OptResult best = opt::nelderMead(objective, params_, nm);
+    // one restart from a different seed to dodge local minima
+    std::vector<double> seed2(numParameters());
+    for (std::size_t i = 0; i < seed2.size(); ++i)
+        seed2[i] = 0.3 + 0.1 * static_cast<double>(i % 5);
+    opt::OptResult second = opt::nelderMead(objective, seed2, nm);
+    params_ = second.value < best.value ? second.x : best.x;
+    idealEnergy_ = noiselessEnergy(params_);
+}
+
+std::string
+VqeBenchmark::name() const
+{
+    return "vqe_" + std::to_string(numQubits_);
+}
+
+qc::Circuit
+VqeBenchmark::ansatz(const std::vector<double> &params) const
+{
+    if (params.size() != numParameters())
+        throw std::invalid_argument("VqeBenchmark::ansatz: param count");
+    qc::Circuit circuit(numQubits_, 0, "vqe_ansatz");
+    std::size_t k = 0;
+    for (std::size_t layer = 0; layer < layers_; ++layer) {
+        for (std::size_t q = 0; q < numQubits_; ++q)
+            circuit.ry(params[k++], static_cast<qc::Qubit>(q));
+        for (std::size_t q = 0; q + 1 < numQubits_; ++q)
+            circuit.cx(static_cast<qc::Qubit>(q),
+                       static_cast<qc::Qubit>(q + 1));
+    }
+    for (std::size_t q = 0; q < numQubits_; ++q)
+        circuit.ry(params[k++], static_cast<qc::Qubit>(q));
+    return circuit;
+}
+
+double
+VqeBenchmark::noiselessEnergy(const std::vector<double> &params) const
+{
+    sim::StateVector state = sim::finalState(ansatz(params));
+    double energy = 0.0;
+    for (std::size_t q = 0; q + 1 < numQubits_; ++q)
+        energy -= state.expectationZ({q, q + 1});
+    for (std::size_t q = 0; q < numQubits_; ++q) {
+        qc::PauliString x(numQubits_);
+        x.setX(q, true);
+        energy -= state.expectation(x).real();
+    }
+    return energy;
+}
+
+std::vector<qc::Circuit>
+VqeBenchmark::circuits() const
+{
+    qc::Circuit z_basis = ansatz(params_);
+    z_basis.setName(name() + "_zbasis");
+    z_basis.measureAll();
+
+    qc::Circuit x_basis = ansatz(params_);
+    x_basis.setName(name() + "_xbasis");
+    for (std::size_t q = 0; q < numQubits_; ++q)
+        x_basis.h(static_cast<qc::Qubit>(q));
+    x_basis.measureAll();
+
+    return {z_basis, x_basis};
+}
+
+double
+VqeBenchmark::energyFromCounts(const stats::Counts &z_counts,
+                               const stats::Counts &x_counts) const
+{
+    double energy = 0.0;
+    for (std::size_t q = 0; q + 1 < numQubits_; ++q)
+        energy -= z_counts.parityExpectation({q, q + 1});
+    for (std::size_t q = 0; q < numQubits_; ++q)
+        energy -= x_counts.parityExpectation({q});
+    return energy;
+}
+
+double
+VqeBenchmark::score(const std::vector<stats::Counts> &counts) const
+{
+    if (counts.size() != 2)
+        throw std::invalid_argument(
+            "VqeBenchmark::score: expected Z-basis and X-basis counts");
+    double experimental = energyFromCounts(counts[0], counts[1]);
+    if (std::abs(idealEnergy_) < 1e-12)
+        throw std::logic_error("VqeBenchmark::score: ideal energy zero");
+    double score = 1.0 - std::abs((idealEnergy_ - experimental) /
+                                  (2.0 * idealEnergy_));
+    return std::clamp(score, 0.0, 1.0);
+}
+
+} // namespace smq::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * VQE proxy benchmark on the 1-D transverse-field Ising model
+ * (paper Sec. IV-E).
+ *
+ * The variational optimisation runs classically to convergence on the
+ * noiseless simulator; the QPU then evaluates the energy of the
+ * optimised hardware-efficient ansatz. Energy measurement needs two
+ * circuits (ZZ terms in the computational basis, X terms after a
+ * Hadamard layer). Score: 1 - |(E_ideal - E_exp) / (2 E_ideal)|.
+ *
+ * H = -J sum_i Z_i Z_{i+1} - h sum_i X_i (open chain, J = h = 1).
+ */
+
+#ifndef SMQ_CORE_BENCHMARKS_VQE_HPP
+#define SMQ_CORE_BENCHMARKS_VQE_HPP
+
+#include <vector>
+
+#include "core/benchmark.hpp"
+
+namespace smq::core {
+
+/** The VQE benchmark on an n-spin TFIM chain. */
+class VqeBenchmark : public Benchmark
+{
+  public:
+    /**
+     * @param num_qubits chain length (>= 2).
+     * @param layers entangling layers in the ansatz (>= 1).
+     * @param optimize when false, fixed parameters are used (for
+     *        feature-vector generation at large sizes).
+     */
+    explicit VqeBenchmark(std::size_t num_qubits, std::size_t layers = 1,
+                          bool optimize = true);
+
+    std::string name() const override;
+    std::size_t numQubits() const override { return numQubits_; }
+    std::vector<qc::Circuit> circuits() const override;
+    double score(const std::vector<stats::Counts> &counts) const override;
+
+    /** The hardware-efficient ansatz at given parameters. */
+    qc::Circuit ansatz(const std::vector<double> &params) const;
+
+    /** Number of variational parameters: (layers + 1) * n. */
+    std::size_t numParameters() const
+    {
+        return (layers_ + 1) * numQubits_;
+    }
+
+    const std::vector<double> &parameters() const { return params_; }
+
+    /** Noiseless energy at the optimised parameters. */
+    double idealEnergy() const { return idealEnergy_; }
+
+    /** Energy estimate from (Z-basis, X-basis) histograms. */
+    double energyFromCounts(const stats::Counts &z_counts,
+                            const stats::Counts &x_counts) const;
+
+  private:
+    double noiselessEnergy(const std::vector<double> &params) const;
+
+    std::size_t numQubits_;
+    std::size_t layers_;
+    std::vector<double> params_;
+    double idealEnergy_ = 0.0;
+};
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_BENCHMARKS_VQE_HPP

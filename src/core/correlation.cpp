@@ -1,0 +1,71 @@
+#include "core/correlation.hpp"
+
+#include <stdexcept>
+
+namespace smq::core {
+
+const std::vector<std::string> kCorrelationAxes = {
+    "Program Communication",
+    "Critical Depth",
+    "Entanglement-Ratio",
+    "Parallelism",
+    "Liveness",
+    "Measurement",
+    "Depth",
+    "Num Qubits",
+    "Num 2Q Gates",
+};
+
+double
+axisValue(const ScoredInstance &instance, std::size_t axis)
+{
+    switch (axis) {
+      case 0:
+        return instance.features.communication;
+      case 1:
+        return instance.features.criticalDepth;
+      case 2:
+        return instance.features.entanglement;
+      case 3:
+        return instance.features.parallelism;
+      case 4:
+        return instance.features.liveness;
+      case 5:
+        return instance.features.measurement;
+      case 6:
+        return static_cast<double>(instance.stats.depth);
+      case 7:
+        return static_cast<double>(instance.stats.numQubits);
+      case 8:
+        return static_cast<double>(instance.stats.twoQubitGates);
+      default:
+        throw std::out_of_range("axisValue: bad axis");
+    }
+}
+
+stats::LinearFit
+axisFit(const std::vector<ScoredInstance> &instances, std::size_t axis,
+        bool exclude_error_correction)
+{
+    std::vector<double> xs, ys;
+    for (const ScoredInstance &inst : instances) {
+        if (exclude_error_correction && inst.isErrorCorrection)
+            continue;
+        xs.push_back(axisValue(inst, axis));
+        ys.push_back(inst.score);
+    }
+    return stats::linearRegression(xs, ys);
+}
+
+std::vector<double>
+correlationRow(const std::vector<ScoredInstance> &instances,
+               bool exclude_error_correction)
+{
+    std::vector<double> row;
+    row.reserve(kCorrelationAxes.size());
+    for (std::size_t axis = 0; axis < kCorrelationAxes.size(); ++axis)
+        row.push_back(axisFit(instances, axis, exclude_error_correction).r2);
+    return row;
+}
+
+} // namespace smq::core

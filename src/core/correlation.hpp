@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Feature-performance correlation analysis (paper Sec. VI, Figs. 3-4).
+ *
+ * For every (feature, QPU) pair, regress the benchmark scores observed
+ * on that QPU against the feature values of the benchmarks and report
+ * R^2 — "the proportion of the variance in that QPU's performance
+ * attributable to that feature". The paper contrasts the regression
+ * over all benchmarks with one excluding the error-correction
+ * benchmarks, exposing the outsized impact of RESET/mid-circuit
+ * measurement.
+ */
+
+#ifndef SMQ_CORE_CORRELATION_HPP
+#define SMQ_CORE_CORRELATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "stats/regression.hpp"
+
+namespace smq::core {
+
+/** One benchmark's feature values + its mean score on one device. */
+struct ScoredInstance
+{
+    std::string benchmark;
+    bool isErrorCorrection = false; ///< bit/phase code instance
+    FeatureVector features;
+    ProgramStats stats;
+    double score = 0.0;
+};
+
+/** The feature axes of the Fig. 3 heatmap (6 features + 3 classic). */
+extern const std::vector<std::string> kCorrelationAxes;
+
+/** Feature value of an instance along a named axis. */
+double axisValue(const ScoredInstance &instance, std::size_t axis);
+
+/**
+ * R^2 per axis for one device's scored instances.
+ *
+ * @param exclude_error_correction drop bit/phase-code instances
+ *        before regressing (Fig. 3b).
+ */
+std::vector<double>
+correlationRow(const std::vector<ScoredInstance> &instances,
+               bool exclude_error_correction);
+
+/** The underlying linear fit for one axis (Fig. 4's example). */
+stats::LinearFit axisFit(const std::vector<ScoredInstance> &instances,
+                         std::size_t axis,
+                         bool exclude_error_correction);
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_CORRELATION_HPP

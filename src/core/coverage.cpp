@@ -1,0 +1,35 @@
+#include "core/coverage.hpp"
+
+namespace smq::core {
+
+CoverageResult
+computeCoverage(const std::string &suite_name,
+                const std::vector<FeatureVector> &features)
+{
+    std::vector<geom::Point> points;
+    points.reserve(features.size());
+    for (const FeatureVector &f : features) {
+        auto arr = f.asArray();
+        points.emplace_back(arr.begin(), arr.end());
+    }
+    geom::HullResult hull = geom::convexHull(points, 6);
+
+    CoverageResult result;
+    result.suite = suite_name;
+    result.volume = hull.volume;
+    result.numCircuits = features.size();
+    result.affineRank = hull.affineRank;
+    return result;
+}
+
+std::vector<FeatureVector>
+featuresOfCircuits(const std::vector<qc::Circuit> &circuits)
+{
+    std::vector<FeatureVector> features;
+    features.reserve(circuits.size());
+    for (const qc::Circuit &circuit : circuits)
+        features.push_back(computeFeatures(circuit));
+    return features;
+}
+
+} // namespace smq::core

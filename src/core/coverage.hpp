@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Suite coverage: convex-hull volume in the 6-D feature space
+ * (paper Sec. IV-G, Table I).
+ */
+
+#ifndef SMQ_CORE_COVERAGE_HPP
+#define SMQ_CORE_COVERAGE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "geom/hull.hpp"
+
+namespace smq::core {
+
+/** Coverage of one suite. */
+struct CoverageResult
+{
+    std::string suite;
+    double volume = 0.0;
+    std::size_t numCircuits = 0;
+    std::size_t affineRank = 0; ///< < 6 means volume exactly 0
+};
+
+/** Hull volume of a set of feature vectors. */
+CoverageResult computeCoverage(const std::string &suite_name,
+                               const std::vector<FeatureVector> &features);
+
+/** Feature vectors of a set of circuits. */
+std::vector<FeatureVector>
+featuresOfCircuits(const std::vector<qc::Circuit> &circuits);
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_COVERAGE_HPP

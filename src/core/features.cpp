@@ -1,0 +1,140 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+#include "qc/dag.hpp"
+#include "qc/interaction_graph.hpp"
+#include "qc/schedule.hpp"
+
+namespace smq::core {
+
+const std::array<std::string, 6> &
+FeatureVector::axisNames()
+{
+    static const std::array<std::string, 6> names = {
+        "Program Communication", "Critical Depth", "Entanglement-Ratio",
+        "Parallelism",           "Liveness",       "Measurement"};
+    return names;
+}
+
+double
+programCommunication(const qc::Circuit &circuit)
+{
+    return qc::InteractionGraph(circuit).normalizedAverageDegree();
+}
+
+double
+criticalDepth(const qc::Circuit &circuit)
+{
+    qc::GateDag dag(circuit);
+    std::size_t total = circuit.multiQubitGateCount();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(dag.criticalTwoQubitCount()) /
+           static_cast<double>(total);
+}
+
+double
+entanglementRatio(const qc::Circuit &circuit)
+{
+    std::size_t ops = circuit.opCount();
+    if (ops == 0)
+        return 0.0;
+    return static_cast<double>(circuit.multiQubitGateCount()) /
+           static_cast<double>(ops);
+}
+
+double
+parallelism(const qc::Circuit &circuit)
+{
+    std::size_t n = circuit.numQubits();
+    if (n < 2)
+        return 0.0;
+    qc::Schedule sched = qc::schedule(circuit);
+    if (sched.depth() == 0)
+        return 0.0;
+    double density = static_cast<double>(circuit.opCount()) /
+                     static_cast<double>(sched.depth());
+    double value = (density - 1.0) / static_cast<double>(n - 1);
+    return std::clamp(value, 0.0, 1.0);
+}
+
+double
+liveness(const qc::Circuit &circuit)
+{
+    qc::Schedule sched = qc::schedule(circuit);
+    std::size_t n = circuit.numQubits();
+    std::size_t d = sched.depth();
+    if (n == 0 || d == 0)
+        return 0.0;
+    auto live = qc::livenessMatrix(circuit, sched);
+    std::size_t active = 0;
+    for (const auto &row : live) {
+        for (std::uint8_t cell : row)
+            active += cell;
+    }
+    return static_cast<double>(active) / static_cast<double>(n * d);
+}
+
+double
+measurementFeature(const qc::Circuit &circuit)
+{
+    qc::Schedule sched = qc::schedule(circuit);
+    std::size_t d = sched.depth();
+    if (d == 0)
+        return 0.0;
+
+    // An op is mid-circuit when some later moment touches its qubit.
+    const auto &gates = circuit.gates();
+    std::vector<std::ptrdiff_t> last_moment(circuit.numQubits(), -1);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (gates[i].type == qc::GateType::BARRIER)
+            continue;
+        for (qc::Qubit q : gates[i].qubits) {
+            last_moment[q] =
+                std::max(last_moment[q], sched.momentOf[i]);
+        }
+    }
+    std::vector<bool> layer_has_mcm(d, false);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const qc::Gate &g = gates[i];
+        if (g.type != qc::GateType::MEASURE &&
+            g.type != qc::GateType::RESET) {
+            continue;
+        }
+        if (sched.momentOf[i] < last_moment[g.qubits[0]])
+            layer_has_mcm[static_cast<std::size_t>(sched.momentOf[i])] =
+                true;
+    }
+    std::size_t mcm_layers = static_cast<std::size_t>(std::count(
+        layer_has_mcm.begin(), layer_has_mcm.end(), true));
+    return static_cast<double>(mcm_layers) / static_cast<double>(d);
+}
+
+FeatureVector
+computeFeatures(const qc::Circuit &circuit)
+{
+    FeatureVector f;
+    f.communication = programCommunication(circuit);
+    f.criticalDepth = criticalDepth(circuit);
+    f.entanglement = entanglementRatio(circuit);
+    f.parallelism = parallelism(circuit);
+    f.liveness = liveness(circuit);
+    f.measurement = measurementFeature(circuit);
+    return f;
+}
+
+ProgramStats
+computeStats(const qc::Circuit &circuit)
+{
+    ProgramStats s;
+    s.numQubits = circuit.numQubits();
+    s.depth = qc::schedule(circuit).depth();
+    s.gateCount = circuit.opCount();
+    s.twoQubitGates = circuit.multiQubitGateCount();
+    s.measurements = circuit.measureCount();
+    s.resets = circuit.resetCount();
+    return s;
+}
+
+} // namespace smq::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The SupermarQ feature vectors (paper Sec. III-B, Eqs. 1-6).
+ *
+ * Six hardware-agnostic features quantify how an application stresses
+ * a QPU: program communication, critical-depth, entanglement-ratio,
+ * parallelism, liveness, and measurement. Suites are compared by the
+ * convex-hull volume of their feature vectors (coverage.hpp).
+ */
+
+#ifndef SMQ_CORE_FEATURES_HPP
+#define SMQ_CORE_FEATURES_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "qc/circuit.hpp"
+
+namespace smq::core {
+
+/** The six application features, each in [0, 1]. */
+struct FeatureVector
+{
+    double communication = 0.0; ///< Eq. 1: normalised average degree
+    double criticalDepth = 0.0; ///< Eq. 2: 2q gates on the critical path
+    double entanglement = 0.0;  ///< Eq. 3: 2q share of all operations
+    double parallelism = 0.0;   ///< Eq. 4: gate density vs depth
+    double liveness = 0.0;      ///< Eq. 5: fraction of active qubit-slots
+    double measurement = 0.0;   ///< Eq. 6: mid-circuit measure/reset layers
+
+    /** As a point in feature space (axis order as listed above). */
+    std::array<double, 6> asArray() const
+    {
+        return {communication, criticalDepth, entanglement,
+                parallelism,   liveness,      measurement};
+    }
+
+    /** Axis labels matching asArray(), e.g. for feature-map output. */
+    static const std::array<std::string, 6> &axisNames();
+};
+
+/**
+ * Auxiliary program statistics used by the Fig. 3 correlation study
+ * alongside the six features (depth, qubit count, 2q-gate count were
+ * "typical features used in prior work").
+ */
+struct ProgramStats
+{
+    std::size_t numQubits = 0;
+    std::size_t depth = 0;
+    std::size_t gateCount = 0;     ///< non-barrier operations
+    std::size_t twoQubitGates = 0; ///< multi-qubit unitary count
+    std::size_t measurements = 0;
+    std::size_t resets = 0;
+};
+
+/** Compute the six features of a circuit. */
+FeatureVector computeFeatures(const qc::Circuit &circuit);
+
+/** Compute the auxiliary statistics of a circuit. */
+ProgramStats computeStats(const qc::Circuit &circuit);
+
+/// @name Individual feature computations (exposed for testing)
+/// @{
+double programCommunication(const qc::Circuit &circuit);
+double criticalDepth(const qc::Circuit &circuit);
+double entanglementRatio(const qc::Circuit &circuit);
+double parallelism(const qc::Circuit &circuit);
+double liveness(const qc::Circuit &circuit);
+double measurementFeature(const qc::Circuit &circuit);
+/// @}
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_FEATURES_HPP

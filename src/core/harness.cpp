@@ -1,0 +1,70 @@
+#include "core/harness.hpp"
+
+#include <stdexcept>
+
+#include "sim/runner.hpp"
+
+namespace smq::core {
+
+BenchmarkRun
+runBenchmark(const Benchmark &benchmark, const device::Device &device,
+             const HarnessOptions &options)
+{
+    BenchmarkRun run;
+    run.benchmark = benchmark.name();
+    run.device = device.name;
+
+    if (benchmark.numQubits() > device.numQubits()) {
+        run.tooLarge = true;
+        return run;
+    }
+
+    // Transpile each circuit once (the Closed-Division pipeline is
+    // deterministic); repetitions then differ by trajectory sampling,
+    // which captures shot-to-shot and run-to-run noise variation.
+    std::vector<qc::Circuit> compact_circuits;
+    for (const qc::Circuit &logical : benchmark.circuits()) {
+        transpile::TranspileResult result =
+            transpile::transpile(logical, device, options.transpile);
+        run.physicalTwoQubitGates += result.twoQubitGateCount;
+        run.swapsInserted += result.swapsInserted;
+        auto [compact, mapping] =
+            transpile::compactCircuit(result.circuit);
+        if (compact.numQubits() > options.maxSimQubits) {
+            run.tooLarge = true;
+            return run;
+        }
+        compact_circuits.push_back(std::move(compact));
+    }
+
+    stats::Rng rng(options.seed);
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+        std::vector<stats::Counts> counts;
+        counts.reserve(compact_circuits.size());
+        for (const qc::Circuit &circuit : compact_circuits) {
+            sim::RunOptions ro;
+            ro.shots = options.shots;
+            ro.noise = device.noise;
+            counts.push_back(sim::run(circuit, ro, rng));
+        }
+        run.scores.push_back(benchmark.score(counts));
+    }
+    run.summary = stats::summarize(run.scores);
+    return run;
+}
+
+double
+noiselessScore(const Benchmark &benchmark, std::uint64_t shots,
+               std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    std::vector<stats::Counts> counts;
+    for (const qc::Circuit &circuit : benchmark.circuits()) {
+        sim::RunOptions ro;
+        ro.shots = shots;
+        counts.push_back(sim::run(circuit, ro, rng));
+    }
+    return benchmark.score(counts);
+}
+
+} // namespace smq::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The benchmark execution harness: generate -> transpile -> execute ->
+ * score, standing in for the paper's SuperstaQ-based collection flow
+ * (Sec. V). Devices are the calibrated noise models of device.hpp.
+ */
+
+#ifndef SMQ_CORE_HARNESS_HPP
+#define SMQ_CORE_HARNESS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "device/device.hpp"
+#include "stats/descriptive.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace smq::core {
+
+/** Execution knobs mirroring the paper's methodology. */
+struct HarnessOptions
+{
+    std::uint64_t shots = 2000;  ///< per circuit per repetition
+    std::size_t repetitions = 3; ///< independent runs for error bars
+    std::uint64_t seed = 12345;
+    transpile::TranspileOptions transpile;
+    /**
+     * Largest compacted register the simulator accepts; benchmarks
+     * whose routed circuits exceed it are reported as "too large",
+     * like the X markers of Fig. 2.
+     */
+    std::size_t maxSimQubits = 22;
+};
+
+/** Outcome of running one benchmark on one device. */
+struct BenchmarkRun
+{
+    std::string benchmark;
+    std::string device;
+    bool tooLarge = false;            ///< did not fit (Fig. 2's X)
+    std::vector<double> scores;       ///< one per repetition
+    stats::Summary summary;           ///< over scores (valid unless X)
+    std::size_t physicalTwoQubitGates = 0; ///< post-transpile
+    std::size_t swapsInserted = 0;
+};
+
+/** Run one benchmark on one device. */
+BenchmarkRun runBenchmark(const Benchmark &benchmark,
+                          const device::Device &device,
+                          const HarnessOptions &options = {});
+
+/**
+ * Execute a benchmark's circuits noiselessly (sanity baseline: every
+ * SupermarQ benchmark must score ~1 on a perfect machine).
+ */
+double noiselessScore(const Benchmark &benchmark, std::uint64_t shots,
+                      std::uint64_t seed = 7);
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_HARNESS_HPP

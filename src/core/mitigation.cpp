@@ -1,0 +1,112 @@
+#include "core/mitigation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qc/circuit.hpp"
+#include "sim/runner.hpp"
+
+namespace smq::core {
+
+ReadoutCalibration
+calibrateReadout(const sim::NoiseModel &noise, std::size_t num_qubits,
+                 std::uint64_t shots, stats::Rng &rng)
+{
+    if (num_qubits == 0 || shots == 0)
+        throw std::invalid_argument("calibrateReadout: empty request");
+
+    auto run_prep = [&](bool ones) {
+        qc::Circuit circuit(num_qubits, num_qubits,
+                            ones ? "cal_ones" : "cal_zeros");
+        if (ones) {
+            for (std::size_t q = 0; q < num_qubits; ++q)
+                circuit.x(static_cast<qc::Qubit>(q));
+        }
+        circuit.measureAll();
+        sim::RunOptions options;
+        options.shots = shots;
+        options.noise = noise;
+        return sim::run(circuit, options, rng);
+    };
+
+    stats::Counts zeros = run_prep(false);
+    stats::Counts ones = run_prep(true);
+
+    ReadoutCalibration cal;
+    cal.p01.resize(num_qubits);
+    cal.p10.resize(num_qubits);
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+        // marginal flip rates per qubit
+        double flips0 = 0.0, flips1 = 0.0;
+        for (const auto &[bits, n] : zeros.map()) {
+            if (bits[q] == '1')
+                flips0 += static_cast<double>(n);
+        }
+        for (const auto &[bits, n] : ones.map()) {
+            if (bits[q] == '0')
+                flips1 += static_cast<double>(n);
+        }
+        cal.p01[q] = flips0 / static_cast<double>(zeros.shots());
+        cal.p10[q] = flips1 / static_cast<double>(ones.shots());
+    }
+    return cal;
+}
+
+stats::Distribution
+mitigateReadout(const stats::Counts &counts,
+                const ReadoutCalibration &calibration)
+{
+    if (counts.shots() == 0)
+        throw std::invalid_argument("mitigateReadout: empty histogram");
+    const std::size_t n = calibration.numQubits();
+
+    // quasi-probabilities per observed key, unfolded bit by bit:
+    // M_q = [[1 - p01, p10], [p01, 1 - p10]],
+    // M_q^{-1} = (1/det) [[1 - p10, -p10], [-p01, 1 - p01]]
+    std::map<std::string, double> quasi;
+    for (const auto &[bits, cnt] : counts.map()) {
+        if (bits.size() != n)
+            throw std::invalid_argument(
+                "mitigateReadout: key width != calibration width");
+        quasi[bits] = static_cast<double>(cnt) /
+                      static_cast<double>(counts.shots());
+    }
+
+    for (std::size_t q = 0; q < n; ++q) {
+        double p01 = calibration.p01[q];
+        double p10 = calibration.p10[q];
+        double det = 1.0 - p01 - p10;
+        if (std::abs(det) < 1e-6)
+            throw std::logic_error(
+                "mitigateReadout: confusion matrix is singular");
+        std::map<std::string, double> next;
+        for (const auto &[bits, p] : quasi) {
+            std::string flipped = bits;
+            flipped[q] = bits[q] == '0' ? '1' : '0';
+            auto it = quasi.find(flipped);
+            double other = it == quasi.end() ? 0.0 : it->second;
+            double value;
+            if (bits[q] == '0')
+                value = ((1.0 - p10) * p - p10 * other) / det;
+            else
+                value = ((1.0 - p01) * p - p01 * other) / det;
+            next[bits] = value;
+        }
+        quasi = std::move(next);
+    }
+
+    // clip negative quasi-probabilities and renormalise
+    stats::Distribution mitigated;
+    double total = 0.0;
+    for (const auto &[bits, p] : quasi)
+        total += std::max(p, 0.0);
+    if (total <= 0.0)
+        throw std::logic_error("mitigateReadout: degenerate unfolding");
+    for (const auto &[bits, p] : quasi) {
+        if (p > 0.0)
+            mitigated.add(bits, p / total);
+    }
+    return mitigated;
+}
+
+} // namespace smq::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Readout-error mitigation.
+ *
+ * The paper's Closed Division explicitly forbids "post-processing
+ * techniques like error-mitigation" (Sec. V) and defers them to the
+ * future Open division. This module implements the standard
+ * tensored-readout mitigation so the repository can quantify exactly
+ * how much of each benchmark's score loss is measurement error:
+ * calibrate a per-qubit confusion matrix from |0>/|1> preparation
+ * circuits, then unfold observed histograms through its inverse.
+ */
+
+#ifndef SMQ_CORE_MITIGATION_HPP
+#define SMQ_CORE_MITIGATION_HPP
+
+#include <vector>
+
+#include "sim/noise.hpp"
+#include "stats/counts.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::core {
+
+/** Per-qubit readout confusion parameters. */
+struct ReadoutCalibration
+{
+    /** p01[q] = P(read 1 | prepared 0), p10[q] = P(read 0 | prep 1). */
+    std::vector<double> p01;
+    std::vector<double> p10;
+
+    std::size_t numQubits() const { return p01.size(); }
+};
+
+/**
+ * Calibrate the confusion matrix of @p num_qubits qubits under a
+ * noise model by executing the standard |0...0> and |1...1>
+ * preparation circuits.
+ */
+ReadoutCalibration calibrateReadout(const sim::NoiseModel &noise,
+                                    std::size_t num_qubits,
+                                    std::uint64_t shots,
+                                    stats::Rng &rng);
+
+/**
+ * Unfold a histogram through the inverse per-qubit confusion
+ * matrices (tensored mitigation). Negative quasi-probabilities from
+ * the inversion are clipped and the result renormalised; the output
+ * is a distribution scaled back to the input shot count.
+ *
+ * @pre every key has exactly calibration.numQubits() bits measuring
+ *      qubit i into bit i.
+ */
+stats::Distribution mitigateReadout(const stats::Counts &counts,
+                                    const ReadoutCalibration &calibration);
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_MITIGATION_HPP

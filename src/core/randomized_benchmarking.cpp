@@ -1,0 +1,413 @@
+#include "core/randomized_benchmarking.hpp"
+
+#include <array>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "opt/nelder_mead.hpp"
+#include "sim/gate_matrices.hpp"
+#include "sim/runner.hpp"
+
+namespace smq::core {
+
+namespace {
+
+/** Phase-invariant key of a 2x2 unitary for group-closure hashing. */
+std::array<long long, 8>
+matrixKey(const sim::Matrix2 &m)
+{
+    // normalise the global phase at the FIRST significant entry (all
+    // Clifford entries are 0 or >= 1/(2 sqrt 2) in magnitude, so the
+    // reference index is stable under floating-point noise, unlike an
+    // argmax over tied magnitudes)
+    std::size_t k = 0;
+    while (k < 4 && std::abs(m[k]) < 0.1)
+        ++k;
+    sim::Complex phase = m[k] / std::abs(m[k]);
+    std::array<long long, 8> key{};
+    for (std::size_t i = 0; i < 4; ++i) {
+        sim::Complex v = m[i] / phase;
+        key[2 * i] = std::llround(v.real() * 1e6);
+        key[2 * i + 1] = std::llround(v.imag() * 1e6);
+    }
+    return key;
+}
+
+sim::Matrix2
+matrixOfGates(const std::vector<qc::GateType> &gates)
+{
+    sim::Matrix2 m = {1.0, 0.0, 0.0, 1.0};
+    for (qc::GateType t : gates)
+        m = sim::multiply(sim::gateMatrix1(qc::Gate(t, {0})), m);
+    return m;
+}
+
+std::vector<Clifford1q>
+buildGroup()
+{
+    // BFS closure of {H, S}: shortest decompositions first
+    std::vector<Clifford1q> group;
+    std::vector<sim::Matrix2> matrices;
+    std::map<std::array<long long, 8>, std::size_t> seen;
+
+    std::deque<std::vector<qc::GateType>> frontier;
+    frontier.push_back({});
+    while (!frontier.empty()) {
+        std::vector<qc::GateType> gates = std::move(frontier.front());
+        frontier.pop_front();
+        sim::Matrix2 m = matrixOfGates(gates);
+        auto key = matrixKey(m);
+        if (seen.count(key))
+            continue;
+        seen.emplace(key, group.size());
+        group.push_back(Clifford1q{gates, 0});
+        matrices.push_back(m);
+        for (qc::GateType next : {qc::GateType::H, qc::GateType::S}) {
+            std::vector<qc::GateType> extended = gates;
+            extended.push_back(next);
+            frontier.push_back(std::move(extended));
+        }
+    }
+    if (group.size() != 24)
+        throw std::logic_error("clifford1qGroup: closure != 24");
+
+    // inverses by lookup of the conjugate transpose
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        auto key = matrixKey(sim::dagger(matrices[i]));
+        auto it = seen.find(key);
+        if (it == seen.end())
+            throw std::logic_error("clifford1qGroup: inverse missing");
+        group[i].inverseIndex = it->second;
+    }
+    return group;
+}
+
+} // namespace
+
+const std::vector<Clifford1q> &
+clifford1qGroup()
+{
+    static const std::vector<Clifford1q> group = buildGroup();
+    return group;
+}
+
+qc::Circuit
+rbSequence(std::size_t length, stats::Rng &rng)
+{
+    const auto &group = clifford1qGroup();
+    qc::Circuit circuit(1, 1, "rb_" + std::to_string(length));
+
+    // accumulate the product to find the closing inverse exactly
+    sim::Matrix2 total = {1.0, 0.0, 0.0, 1.0};
+    for (std::size_t s = 0; s < length; ++s) {
+        const Clifford1q &c = group[rng.index(group.size())];
+        for (qc::GateType t : c.gates)
+            circuit.append(qc::Gate(t, {0}));
+        total = sim::multiply(matrixOfGates(c.gates), total);
+    }
+    // find the group element equal to total (up to phase) and append
+    // its inverse's decomposition
+    const auto target = sim::dagger(total);
+    bool found = false;
+    for (const Clifford1q &c : group) {
+        if (sim::phaseInvariantDistance(matrixOfGates(c.gates), target) <
+            1e-6) {
+            for (qc::GateType t : c.gates)
+                circuit.append(qc::Gate(t, {0}));
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        throw std::logic_error("rbSequence: closing inverse not found");
+    circuit.measure(0, 0);
+    return circuit;
+}
+
+RbResult
+runRb(const sim::NoiseModel &noise,
+      const std::vector<std::size_t> &lengths, std::size_t sequences,
+      std::uint64_t shots, stats::Rng &rng)
+{
+    if (lengths.size() < 3)
+        throw std::invalid_argument("runRb: need >= 3 sequence lengths");
+    RbResult result;
+    result.lengths = lengths;
+    for (std::size_t m : lengths) {
+        double total = 0.0;
+        for (std::size_t s = 0; s < sequences; ++s) {
+            qc::Circuit circuit = rbSequence(m, rng);
+            sim::RunOptions options;
+            options.shots = shots;
+            options.noise = noise;
+            options.shotsPerTrajectory = 1;
+            stats::Counts counts = sim::run(circuit, options, rng);
+            total += counts.probability("0");
+        }
+        result.survival.push_back(total / static_cast<double>(sequences));
+    }
+
+    // Least-squares fit of A p^m + B with the asymptote pinned at
+    // B = 1/2 (the symmetric-SPAM fixed point of 1q RB); fitting B
+    // freely is degenerate at the small error rates of Table II.
+    const double b = 0.5;
+    // fit in log-space for p so tiny error rates stay resolvable
+    auto loss = [&](const std::vector<double> &params) {
+        double a = params[0];
+        double p = 1.0 - std::exp(params[1]); // params[1] = log(1 - p)
+        double err = 0.0;
+        for (std::size_t i = 0; i < lengths.size(); ++i) {
+            double predicted =
+                a * std::pow(p, static_cast<double>(lengths[i])) + b;
+            double d = predicted - result.survival[i];
+            err += d * d;
+        }
+        return err;
+    };
+    opt::NelderMeadOptions nm;
+    nm.maxIterations = 3000;
+    nm.initialStep = 0.5;
+    opt::OptResult fit = opt::nelderMead(loss, {0.5, std::log(1e-3)}, nm);
+    result.a = fit.x[0];
+    result.decay = 1.0 - std::exp(fit.x[1]);
+    result.b = b;
+    result.errorPerClifford = (1.0 - result.decay) / 2.0;
+    return result;
+}
+
+// ------------------------------------------------------------- 2q RB
+
+namespace {
+
+using Matrix4 = std::array<sim::Complex, 16>;
+
+Matrix4
+multiply4(const Matrix4 &a, const Matrix4 &b)
+{
+    Matrix4 out{};
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t k = 0; k < 4; ++k) {
+            sim::Complex v = a[r * 4 + k];
+            for (std::size_t c = 0; c < 4; ++c)
+                out[r * 4 + c] += v * b[k * 4 + c];
+        }
+    }
+    return out;
+}
+
+Matrix4
+dagger4(const Matrix4 &m)
+{
+    Matrix4 out{};
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            out[r * 4 + c] = std::conj(m[c * 4 + r]);
+    return out;
+}
+
+/** 4x4 matrix of a gate on qubits {0,1} (basis |b0 b1>, b0 = MSB). */
+Matrix4
+gateMatrix4(const qc::Gate &gate)
+{
+    if (gate.qubits.size() == 2)
+        return sim::gateMatrix2(gate);
+    // embed a 1q matrix: operand 0 is the b0 (MSB) slot
+    sim::Matrix2 u = sim::gateMatrix1(gate);
+    Matrix4 m{};
+    bool on_first = gate.qubits[0] == 0;
+    for (std::size_t b0 = 0; b0 < 2; ++b0) {
+        for (std::size_t b1 = 0; b1 < 2; ++b1) {
+            for (std::size_t c0 = 0; c0 < 2; ++c0) {
+                for (std::size_t c1 = 0; c1 < 2; ++c1) {
+                    sim::Complex value;
+                    if (on_first) {
+                        value = (b1 == c1) ? u[b0 * 2 + c0]
+                                           : sim::Complex{0.0, 0.0};
+                    } else {
+                        value = (b0 == c0) ? u[b1 * 2 + c1]
+                                           : sim::Complex{0.0, 0.0};
+                    }
+                    m[(b0 * 2 + b1) * 4 + (c0 * 2 + c1)] = value;
+                }
+            }
+        }
+    }
+    return m;
+}
+
+std::array<long long, 32>
+matrixKey4(const Matrix4 &m)
+{
+    // first-significant-entry phase reference (see matrixKey)
+    std::size_t k = 0;
+    while (k < 16 && std::abs(m[k]) < 0.1)
+        ++k;
+    sim::Complex phase = m[k] / std::abs(m[k]);
+    std::array<long long, 32> key{};
+    for (std::size_t i = 0; i < 16; ++i) {
+        sim::Complex v = m[i] / phase;
+        key[2 * i] = std::llround(v.real() * 1e6);
+        key[2 * i + 1] = std::llround(v.imag() * 1e6);
+    }
+    return key;
+}
+
+Matrix4
+matrixOfGateWord(const std::vector<qc::Gate> &gates)
+{
+    Matrix4 m{};
+    m[0] = m[5] = m[10] = m[15] = 1.0;
+    for (const qc::Gate &g : gates)
+        m = multiply4(gateMatrix4(g), m);
+    return m;
+}
+
+std::vector<Clifford2q>
+buildGroup2q()
+{
+    const std::vector<qc::Gate> generators = {
+        qc::Gate(qc::GateType::H, {0}), qc::Gate(qc::GateType::H, {1}),
+        qc::Gate(qc::GateType::S, {0}), qc::Gate(qc::GateType::S, {1}),
+        qc::Gate(qc::GateType::CX, {0, 1}),
+    };
+    std::vector<Clifford2q> group;
+    std::vector<Matrix4> matrices;
+    std::map<std::array<long long, 32>, std::size_t> seen;
+
+    std::deque<std::size_t> frontier; // indices into group
+    {
+        Clifford2q identity;
+        Matrix4 id{};
+        id[0] = id[5] = id[10] = id[15] = 1.0;
+        seen.emplace(matrixKey4(id), 0);
+        group.push_back(identity);
+        matrices.push_back(id);
+        frontier.push_back(0);
+    }
+    while (!frontier.empty()) {
+        std::size_t idx = frontier.front();
+        frontier.pop_front();
+        for (const qc::Gate &g : generators) {
+            Matrix4 m = multiply4(gateMatrix4(g), matrices[idx]);
+            auto key = matrixKey4(m);
+            if (seen.count(key))
+                continue;
+            Clifford2q next;
+            next.gates = group[idx].gates;
+            next.gates.push_back(g);
+            seen.emplace(key, group.size());
+            group.push_back(std::move(next));
+            matrices.push_back(m);
+            frontier.push_back(group.size() - 1);
+        }
+    }
+    if (group.size() != 11520)
+        throw std::logic_error("clifford2qGroup: closure != 11520");
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        auto key = matrixKey4(dagger4(matrices[i]));
+        auto it = seen.find(key);
+        if (it == seen.end())
+            throw std::logic_error("clifford2qGroup: inverse missing");
+        group[i].inverseIndex = it->second;
+    }
+    return group;
+}
+
+} // namespace
+
+const std::vector<Clifford2q> &
+clifford2qGroup()
+{
+    static const std::vector<Clifford2q> group = buildGroup2q();
+    return group;
+}
+
+qc::Circuit
+rbSequence2q(std::size_t length, stats::Rng &rng)
+{
+    const auto &group = clifford2qGroup();
+    qc::Circuit circuit(2, 2, "rb2q_" + std::to_string(length));
+
+    Matrix4 total{};
+    total[0] = total[5] = total[10] = total[15] = 1.0;
+    std::size_t accumulated = 0; // group index of the product so far
+
+    // track the product as a group element so the inverse is a table
+    // lookup (composition via matrix key lookup)
+    static std::map<std::array<long long, 32>, std::size_t> *index =
+        nullptr;
+    if (index == nullptr) {
+        index = new std::map<std::array<long long, 32>, std::size_t>();
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            (*index)[matrixKey4(matrixOfGateWord(group[i].gates))] = i;
+        }
+    }
+
+    for (std::size_t s = 0; s < length; ++s) {
+        const Clifford2q &c = group[rng.index(group.size())];
+        for (const qc::Gate &g : c.gates)
+            circuit.append(g);
+        total = multiply4(matrixOfGateWord(c.gates), total);
+    }
+    auto it = index->find(matrixKey4(total));
+    if (it == index->end())
+        throw std::logic_error("rbSequence2q: product not in group");
+    accumulated = it->second;
+    for (const qc::Gate &g : group[group[accumulated].inverseIndex].gates)
+        circuit.append(g);
+    circuit.measure(0, 0);
+    circuit.measure(1, 1);
+    return circuit;
+}
+
+RbResult
+runRb2q(const sim::NoiseModel &noise,
+        const std::vector<std::size_t> &lengths, std::size_t sequences,
+        std::uint64_t shots, stats::Rng &rng)
+{
+    if (lengths.size() < 3)
+        throw std::invalid_argument("runRb2q: need >= 3 lengths");
+    RbResult result;
+    result.lengths = lengths;
+    for (std::size_t m : lengths) {
+        double total = 0.0;
+        for (std::size_t s = 0; s < sequences; ++s) {
+            qc::Circuit circuit = rbSequence2q(m, rng);
+            sim::RunOptions options;
+            options.shots = shots;
+            options.noise = noise;
+            options.shotsPerTrajectory = 1;
+            stats::Counts counts = sim::run(circuit, options, rng);
+            total += counts.probability("00");
+        }
+        result.survival.push_back(total / static_cast<double>(sequences));
+    }
+
+    // fit A p^m + B with the asymptote pinned at B = 1/4 (dim 4)
+    const double b = 0.25;
+    auto loss = [&](const std::vector<double> &params) {
+        double a = params[0];
+        double p = 1.0 - std::exp(params[1]);
+        double err = 0.0;
+        for (std::size_t i = 0; i < lengths.size(); ++i) {
+            double predicted =
+                a * std::pow(p, static_cast<double>(lengths[i])) + b;
+            double d = predicted - result.survival[i];
+            err += d * d;
+        }
+        return err;
+    };
+    opt::NelderMeadOptions nm;
+    nm.maxIterations = 3000;
+    nm.initialStep = 0.5;
+    opt::OptResult fit = opt::nelderMead(loss, {0.75, std::log(1e-2)}, nm);
+    result.a = fit.x[0];
+    result.decay = 1.0 - std::exp(fit.x[1]);
+    result.b = b;
+    result.errorPerClifford = 3.0 * (1.0 - result.decay) / 4.0;
+    return result;
+}
+
+} // namespace smq::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Single-qubit randomized benchmarking (RB).
+ *
+ * The paper's Sec. II contrasts gate-level characterisation
+ * (randomized benchmarking) with application-level benchmarking. This
+ * module implements standard 1q RB — random Clifford sequences closed
+ * by the group inverse, survival probability fitted to A p^m + B —
+ * and serves as a self-consistency check of the repository's device
+ * models: the RB-extracted error per Clifford must track the Table II
+ * calibration each model was built from (see bench_rb and the RB
+ * tests).
+ */
+
+#ifndef SMQ_CORE_RANDOMIZED_BENCHMARKING_HPP
+#define SMQ_CORE_RANDOMIZED_BENCHMARKING_HPP
+
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "sim/noise.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::core {
+
+/** One element of the 24-element single-qubit Clifford group. */
+struct Clifford1q
+{
+    std::vector<qc::GateType> gates; ///< H/S decomposition, in order
+    std::size_t inverseIndex = 0;    ///< index of the group inverse
+};
+
+/**
+ * The single-qubit Clifford group, generated as the closure of {H, S}
+ * with shortest-first decompositions and precomputed inverses.
+ * The returned table always has exactly 24 elements; index 0 is the
+ * identity.
+ */
+const std::vector<Clifford1q> &clifford1qGroup();
+
+/**
+ * Build one RB sequence circuit: @p length random Cliffords followed
+ * by the exact group inverse of their product, then a measurement of
+ * qubit 0. A noiseless execution returns |0> with certainty.
+ */
+qc::Circuit rbSequence(std::size_t length, stats::Rng &rng);
+
+/** Aggregate result of an RB experiment. */
+struct RbResult
+{
+    std::vector<std::size_t> lengths;
+    std::vector<double> survival;    ///< mean P(0) per length
+    double a = 0.0;                  ///< fit amplitude
+    double b = 0.0;                  ///< fit offset
+    double decay = 1.0;              ///< fitted p
+    double errorPerClifford = 0.0;   ///< (1 - p) / 2
+};
+
+/**
+ * Run 1q RB against a noise model: @p sequences random circuits per
+ * length, @p shots each, then a Nelder-Mead fit of A p^m + B.
+ */
+RbResult runRb(const sim::NoiseModel &noise,
+               const std::vector<std::size_t> &lengths,
+               std::size_t sequences, std::uint64_t shots,
+               stats::Rng &rng);
+
+/** One element of the 11520-element two-qubit Clifford group. */
+struct Clifford2q
+{
+    std::vector<qc::Gate> gates;  ///< {H,S on either qubit, CX} words
+    std::size_t inverseIndex = 0; ///< index of the group inverse
+};
+
+/**
+ * The two-qubit Clifford group, generated as the BFS closure of
+ * {H0, H1, S0, S1, CX01} (shortest decompositions first, 11520
+ * elements). Built lazily on first use (~a second).
+ */
+const std::vector<Clifford2q> &clifford2qGroup();
+
+/**
+ * Build one 2q RB sequence: @p length random two-qubit Cliffords
+ * closed by the exact group inverse, measuring both qubits. A
+ * noiseless execution returns "00" with certainty.
+ */
+qc::Circuit rbSequence2q(std::size_t length, stats::Rng &rng);
+
+/**
+ * Run 2q RB against a noise model; result.errorPerClifford uses the
+ * two-qubit convention (1 - p) * 3 / 4.
+ */
+RbResult runRb2q(const sim::NoiseModel &noise,
+                 const std::vector<std::size_t> &lengths,
+                 std::size_t sequences, std::uint64_t shots,
+                 stats::Rng &rng);
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_RANDOMIZED_BENCHMARKING_HPP

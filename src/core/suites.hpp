@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Benchmark suites: the SupermarQ instances evaluated in the paper's
+ * figures plus the proxy suites of the Table I coverage comparison.
+ *
+ * Proxy composition follows DESIGN.md Sec. 5: the published circuit
+ * counts and qubit ranges of QASMBench, TriQ, PPL+2020 and CBG2021
+ * are regenerated from the circuit library, since only their feature
+ * vectors enter the coverage computation.
+ */
+
+#ifndef SMQ_CORE_SUITES_HPP
+#define SMQ_CORE_SUITES_HPP
+
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "core/features.hpp"
+
+namespace smq::core {
+
+/**
+ * The Fig. 2 benchmark instances: all eight applications at the sizes
+ * evaluated in the paper (small enough for every device class).
+ */
+std::vector<BenchmarkPtr> figure2Benchmarks();
+
+/**
+ * Feature vectors of the SupermarQ suite for the Table I coverage
+ * computation: the eight applications swept from 3 to 1000 qubits
+ * (52 instances; variational parameters fixed, as features do not
+ * depend on them).
+ */
+std::vector<FeatureVector> supermarqFeaturePoints();
+
+/** QASMBench proxy: 62 library kernels spanning 2..1000 qubits. */
+std::vector<FeatureVector> qasmbenchProxyFeaturePoints();
+
+/**
+ * The synthetic suite: hypothetical proxy-benchmarks maximising one
+ * feature each (the 6 axis unit vectors) plus the trivial program at
+ * the origin. Hull volume is exactly 1/6! ~ 1.4e-3, matching Table I.
+ */
+std::vector<FeatureVector> syntheticFeaturePoints();
+
+/** TriQ proxy: 12 small (<= 8 qubit) NISQ kernels. */
+std::vector<FeatureVector> triqProxyFeaturePoints();
+
+/** PPL+2020 proxy: 9 small (3-5 qubit) kernels. */
+std::vector<FeatureVector> pplProxyFeaturePoints();
+
+/**
+ * CBG2021 proxy: a dense parametric family of shallow structured
+ * circuits (subsampled from the published 10476 instances; hull
+ * volume depends only on the extreme points).
+ */
+std::vector<FeatureVector> cbgProxyFeaturePoints(std::size_t count = 400);
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_SUITES_HPP

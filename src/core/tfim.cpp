@@ -1,0 +1,168 @@
+#include "core/tfim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace smq::core {
+
+void
+applyTfim(const std::vector<double> &x, std::vector<double> &y,
+          std::size_t n, double j, double h, Boundary boundary)
+{
+    if (n < 2 || n > 24)
+        throw std::invalid_argument("applyTfim: 2 <= n <= 24");
+    const std::size_t dim = std::size_t{1} << n;
+    if (x.size() != dim || y.size() != dim)
+        throw std::invalid_argument("applyTfim: dimension mismatch");
+
+    const std::size_t bonds = boundary == Boundary::Open ? n - 1 : n;
+    for (std::size_t s = 0; s < dim; ++s) {
+        // diagonal: -J sum Z_i Z_{i+1}
+        double diag = 0.0;
+        for (std::size_t b = 0; b < bonds; ++b) {
+            std::size_t i = b;
+            std::size_t k = (b + 1) % n;
+            bool same = (((s >> i) ^ (s >> k)) & 1) == 0;
+            diag += same ? -j : j;
+        }
+        y[s] = diag * x[s];
+    }
+    // off-diagonal: -h sum X_i
+    for (std::size_t q = 0; q < n; ++q) {
+        const std::size_t mask = std::size_t{1} << q;
+        for (std::size_t s = 0; s < dim; ++s)
+            y[s] -= h * x[s ^ mask];
+    }
+}
+
+namespace {
+
+/**
+ * Smallest eigenvalue of a symmetric tridiagonal matrix (diagonal a,
+ * off-diagonal b) by Sturm-sequence bisection.
+ */
+double
+tridiagonalSmallestEigenvalue(const std::vector<double> &a,
+                              const std::vector<double> &b)
+{
+    const std::size_t m = a.size();
+    // Gershgorin bounds
+    double lo = a[0], hi = a[0];
+    for (std::size_t i = 0; i < m; ++i) {
+        double radius = (i > 0 ? std::abs(b[i - 1]) : 0.0) +
+                        (i + 1 < m ? std::abs(b[i]) : 0.0);
+        lo = std::min(lo, a[i] - radius);
+        hi = std::max(hi, a[i] + radius);
+    }
+    // count of eigenvalues < lambda via the Sturm sequence
+    auto count_below = [&](double lambda) {
+        std::size_t count = 0;
+        double d = 1.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            double off = i > 0 ? b[i - 1] : 0.0;
+            d = a[i] - lambda - (off * off) / (d == 0.0 ? 1e-300 : d);
+            if (d < 0.0)
+                ++count;
+        }
+        return count;
+    };
+    for (int iter = 0; iter < 200; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (count_below(mid) >= 1)
+            hi = mid;
+        else
+            lo = mid;
+        if (hi - lo < 1e-13 * std::max(1.0, std::abs(hi)))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+double
+tfimGroundEnergyLanczos(std::size_t n, double j, double h,
+                        Boundary boundary, std::size_t max_iters,
+                        double tol)
+{
+    const std::size_t dim = std::size_t{1} << n;
+    stats::Rng rng(7);
+
+    std::vector<std::vector<double>> basis; // Lanczos vectors
+    std::vector<double> alpha, beta;
+
+    std::vector<double> v(dim);
+    for (double &x : v)
+        x = rng.gaussian();
+    double norm = 0.0;
+    for (double x : v)
+        norm += x * x;
+    norm = std::sqrt(norm);
+    for (double &x : v)
+        x /= norm;
+
+    std::vector<double> w(dim);
+    double previous = 1e300;
+    std::size_t stagnant = 0; // consecutive sub-tolerance improvements
+    for (std::size_t it = 0; it < max_iters; ++it) {
+        basis.push_back(v);
+        applyTfim(v, w, n, j, h, boundary);
+
+        double a = 0.0;
+        for (std::size_t s = 0; s < dim; ++s)
+            a += v[s] * w[s];
+        alpha.push_back(a);
+
+        // w <- w - a v - beta v_prev, then full reorthogonalisation
+        for (std::size_t s = 0; s < dim; ++s)
+            w[s] -= a * v[s];
+        if (!beta.empty()) {
+            const std::vector<double> &prev = basis[basis.size() - 2];
+            for (std::size_t s = 0; s < dim; ++s)
+                w[s] -= beta.back() * prev[s];
+        }
+        for (const std::vector<double> &u : basis) {
+            double proj = 0.0;
+            for (std::size_t s = 0; s < dim; ++s)
+                proj += u[s] * w[s];
+            for (std::size_t s = 0; s < dim; ++s)
+                w[s] -= proj * u[s];
+        }
+
+        double b = 0.0;
+        for (double x : w)
+            b += x * x;
+        b = std::sqrt(b);
+
+        double energy = tridiagonalSmallestEigenvalue(alpha, beta);
+        // Lanczos Ritz values can plateau before converging; demand
+        // several consecutive sub-tolerance improvements.
+        stagnant = std::abs(energy - previous) < tol ? stagnant + 1 : 0;
+        if (stagnant >= 5 || b < 1e-12)
+            return energy;
+        previous = energy;
+
+        beta.push_back(b);
+        for (std::size_t s = 0; s < dim; ++s)
+            v[s] = w[s] / b;
+    }
+    return previous;
+}
+
+double
+tfimGroundEnergyExact(std::size_t n, double j, double h)
+{
+    if (n < 2)
+        throw std::invalid_argument("tfimGroundEnergyExact: n >= 2");
+    double total = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+        double k = (2.0 * static_cast<double>(m) + 1.0) * M_PI /
+                   static_cast<double>(n);
+        total += 2.0 * std::sqrt(j * j + h * h - 2.0 * j * h * std::cos(k));
+    }
+    return -0.5 * total;
+}
+
+} // namespace smq::core

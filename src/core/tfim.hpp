@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exact solutions of the 1-D transverse-field Ising model.
+ *
+ * The paper picks the TFIM for its VQE and Hamiltonian-simulation
+ * benchmarks precisely because it is "exactly solvable via classical
+ * methods" (Sec. IV-E, citing Pfeuty). This module provides that
+ * classical reference: a matrix-free Lanczos ground-state solver for
+ * any chain, and the free-fermion closed form for periodic chains,
+ * used to validate the variational benchmarks and to quantify ansatz
+ * quality.
+ *
+ *   H = -J sum_i Z_i Z_{i+1} - h sum_i X_i
+ */
+
+#ifndef SMQ_CORE_TFIM_HPP
+#define SMQ_CORE_TFIM_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace smq::core {
+
+/** Chain boundary conditions. */
+enum class Boundary { Open, Periodic };
+
+/**
+ * y = H x for the TFIM Hamiltonian on n spins (H is real symmetric in
+ * the computational basis, so real vectors suffice).
+ * @pre x.size() == y.size() == 2^n, n <= 24.
+ */
+void applyTfim(const std::vector<double> &x, std::vector<double> &y,
+               std::size_t n, double j, double h, Boundary boundary);
+
+/**
+ * Ground-state energy by the Lanczos method with full
+ * reorthogonalisation (matrix-free; dimension 2^n).
+ *
+ * @param max_iters Krylov dimension cap.
+ * @param tol       convergence threshold on the energy.
+ */
+double tfimGroundEnergyLanczos(std::size_t n, double j, double h,
+                               Boundary boundary,
+                               std::size_t max_iters = 200,
+                               double tol = 1e-12);
+
+/**
+ * Exact ground energy of the PERIODIC chain via free fermions:
+ * E0 = -(1/2) sum_m eps(k_m), eps(k) = 2 sqrt(J^2 + h^2 - 2 J h cos k)
+ * over the antiperiodic momenta k_m = (2m + 1) pi / n.
+ */
+double tfimGroundEnergyExact(std::size_t n, double j, double h);
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_TFIM_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quantum device models: topology + calibration + native gate family.
+ *
+ * These stand in for the nine QPUs of the paper's evaluation
+ * (Table II, Sec. V). For the machines whose calibration Table II
+ * lists (Casablanca, Montreal, Guadalupe, IonQ, AQT) the numbers are
+ * taken verbatim; the remaining IBM devices named in the text (Lagos,
+ * Jakarta, Mumbai, Toronto) use representative values from the same
+ * hardware generation, documented in EXPERIMENTS.md.
+ */
+
+#ifndef SMQ_DEVICE_DEVICE_HPP
+#define SMQ_DEVICE_DEVICE_HPP
+
+#include <string>
+#include <vector>
+
+#include "device/topology.hpp"
+#include "sim/noise.hpp"
+
+namespace smq::device {
+
+/** Native-gate family determining the transpiler's final basis. */
+enum class NativeFamily {
+    IBM,  ///< {rz, sx, x} + CX
+    ION,  ///< {rx, ry, rz} + RXX (Molmer-Sorensen style)
+    AQT,  ///< {rx, ry, rz} + CZ
+};
+
+/** Hardware architecture class (for reporting). */
+enum class ArchitectureKind { Superconducting, TrappedIon };
+
+/** A benchmarkable device model. */
+struct Device
+{
+    std::string name;
+    ArchitectureKind kind = ArchitectureKind::Superconducting;
+    NativeFamily family = NativeFamily::IBM;
+    Topology topology;
+    sim::NoiseModel noise; ///< Table II calibration as a noise model
+
+    std::size_t numQubits() const { return topology.numQubits(); }
+
+    /** True when the topology couples every pair directly. */
+    bool allToAll() const
+    {
+        std::size_t n = topology.numQubits();
+        return topology.numEdges() == n * (n - 1) / 2;
+    }
+};
+
+/// @name The nine QPUs of the paper's evaluation
+/// @{
+Device ibmCasablanca();
+Device ibmLagos();
+Device ibmJakarta();
+Device ibmGuadalupe();
+Device ibmMontreal();
+Device ibmMumbai();
+Device ibmToronto();
+Device ionqDevice();
+Device aqtDevice();
+/// @}
+
+/** All nine devices, in the display order used by the figures. */
+std::vector<Device> allDevices();
+
+/** An idealised noiseless all-to-all device (for testing). */
+Device perfectDevice(std::size_t num_qubits);
+
+} // namespace smq::device
+
+#endif // SMQ_DEVICE_DEVICE_HPP

@@ -1,0 +1,193 @@
+#include "device/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace smq::device {
+
+namespace {
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+} // namespace
+
+Topology::Topology(std::size_t num_qubits,
+                   std::vector<std::pair<std::size_t, std::size_t>> edges)
+    : numQubits_(num_qubits), adjacency_(num_qubits)
+{
+    for (auto [a, b] : edges) {
+        if (a >= num_qubits || b >= num_qubits || a == b)
+            throw std::invalid_argument("Topology: bad edge");
+        auto edge = std::minmax(a, b);
+        if (edges_.emplace(edge.first, edge.second).second) {
+            adjacency_[a].push_back(b);
+            adjacency_[b].push_back(a);
+        }
+    }
+    for (auto &nbrs : adjacency_)
+        std::sort(nbrs.begin(), nbrs.end());
+    computeDistances();
+}
+
+void
+Topology::computeDistances()
+{
+    dist_.assign(numQubits_,
+                 std::vector<std::size_t>(numQubits_, kUnreachable));
+    for (std::size_t src = 0; src < numQubits_; ++src) {
+        std::deque<std::size_t> queue{src};
+        dist_[src][src] = 0;
+        while (!queue.empty()) {
+            std::size_t u = queue.front();
+            queue.pop_front();
+            for (std::size_t v : adjacency_[u]) {
+                if (dist_[src][v] == kUnreachable) {
+                    dist_[src][v] = dist_[src][u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+bool
+Topology::coupled(std::size_t a, std::size_t b) const
+{
+    if (a == b)
+        return false;
+    auto edge = std::minmax(a, b);
+    return edges_.count({edge.first, edge.second}) > 0;
+}
+
+const std::vector<std::size_t> &
+Topology::neighbors(std::size_t q) const
+{
+    return adjacency_.at(q);
+}
+
+std::size_t
+Topology::distance(std::size_t a, std::size_t b) const
+{
+    return dist_.at(a).at(b);
+}
+
+std::vector<std::size_t>
+Topology::shortestPath(std::size_t a, std::size_t b) const
+{
+    if (distance(a, b) == kUnreachable)
+        throw std::invalid_argument("Topology::shortestPath: disconnected");
+    std::vector<std::size_t> path{a};
+    std::size_t current = a;
+    while (current != b) {
+        for (std::size_t v : adjacency_[current]) {
+            if (dist_[v][b] + 1 == dist_[current][b]) {
+                current = v;
+                path.push_back(v);
+                break;
+            }
+        }
+    }
+    return path;
+}
+
+bool
+Topology::connectedGraph() const
+{
+    if (numQubits_ == 0)
+        return true;
+    for (std::size_t q = 0; q < numQubits_; ++q) {
+        if (dist_[0][q] == kUnreachable)
+            return false;
+    }
+    return true;
+}
+
+Topology
+Topology::line(std::size_t n)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    return Topology(n, std::move(edges));
+}
+
+Topology
+Topology::ring(std::size_t n)
+{
+    Topology t = line(n);
+    if (n > 2)
+        return Topology(n, [&] {
+            std::vector<std::pair<std::size_t, std::size_t>> edges(
+                t.edges_.begin(), t.edges_.end());
+            edges.emplace_back(0, n - 1);
+            return edges;
+        }());
+    return t;
+}
+
+Topology
+Topology::grid(std::size_t rows, std::size_t cols)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return Topology(rows * cols, std::move(edges));
+}
+
+Topology
+Topology::allToAll(std::size_t n)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j)
+            edges.emplace_back(i, j);
+    }
+    return Topology(n, std::move(edges));
+}
+
+Topology
+Topology::ibmFalcon7()
+{
+    return Topology(7, {{0, 1}, {1, 2}, {1, 3}, {3, 5}, {4, 5}, {5, 6}});
+}
+
+Topology
+Topology::ibmFalcon16()
+{
+    return Topology(16, {{0, 1},
+                         {1, 2},
+                         {1, 4},
+                         {2, 3},
+                         {3, 5},
+                         {4, 7},
+                         {5, 8},
+                         {6, 7},
+                         {7, 10},
+                         {8, 9},
+                         {8, 11},
+                         {10, 12},
+                         {11, 14},
+                         {12, 13},
+                         {12, 15},
+                         {13, 14}});
+}
+
+Topology
+Topology::ibmFalcon27()
+{
+    return Topology(27, {{0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},
+                         {4, 7},   {5, 8},   {6, 7},   {7, 10},  {8, 9},
+                         {8, 11},  {10, 12}, {11, 14}, {12, 13}, {12, 15},
+                         {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18},
+                         {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
+                         {23, 24}, {24, 25}, {25, 26}});
+}
+
+} // namespace smq::device

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hardware qubit-coupling topologies.
+ *
+ * The paper shows (Sec. VI) that the match between program
+ * connectivity and hardware topology dominates cross-platform
+ * differences; Topology supplies the coupling graphs the router and
+ * layout passes work against.
+ */
+
+#ifndef SMQ_DEVICE_TOPOLOGY_HPP
+#define SMQ_DEVICE_TOPOLOGY_HPP
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smq::device {
+
+/** An undirected coupling graph over physical qubits. */
+class Topology
+{
+  public:
+    Topology() = default;
+
+    /** Build from an explicit edge list. */
+    Topology(std::size_t num_qubits,
+             std::vector<std::pair<std::size_t, std::size_t>> edges);
+
+    std::size_t numQubits() const { return numQubits_; }
+    std::size_t numEdges() const { return edges_.size(); }
+
+    const std::set<std::pair<std::size_t, std::size_t>> &edges() const
+    {
+        return edges_;
+    }
+
+    /** True when a two-qubit gate can act directly on (a, b). */
+    bool coupled(std::size_t a, std::size_t b) const;
+
+    /** Neighbours of physical qubit q. */
+    const std::vector<std::size_t> &neighbors(std::size_t q) const;
+
+    /** Hop distance between physical qubits (BFS; SIZE_MAX if cut). */
+    std::size_t distance(std::size_t a, std::size_t b) const;
+
+    /** A shortest path a -> b inclusive of both endpoints. */
+    std::vector<std::size_t> shortestPath(std::size_t a,
+                                          std::size_t b) const;
+
+    /** True if every qubit can reach every other. */
+    bool connectedGraph() const;
+
+    /// @name Factories
+    /// @{
+    static Topology line(std::size_t n);
+    static Topology ring(std::size_t n);
+    static Topology grid(std::size_t rows, std::size_t cols);
+    static Topology allToAll(std::size_t n);
+    /** IBM 7-qubit Falcon "H" layout (Casablanca/Lagos/Jakarta). */
+    static Topology ibmFalcon7();
+    /** IBM 16-qubit Falcon heavy-hex layout (Guadalupe). */
+    static Topology ibmFalcon16();
+    /** IBM 27-qubit Falcon layout (Montreal/Mumbai/Toronto). */
+    static Topology ibmFalcon27();
+    /// @}
+
+  private:
+    void computeDistances();
+
+    std::size_t numQubits_ = 0;
+    std::set<std::pair<std::size_t, std::size_t>> edges_;
+    std::vector<std::vector<std::size_t>> adjacency_;
+    std::vector<std::vector<std::size_t>> dist_;
+};
+
+} // namespace smq::device
+
+#endif // SMQ_DEVICE_TOPOLOGY_HPP

@@ -1,0 +1,366 @@
+#include "geom/hull.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace smq::geom {
+
+namespace {
+
+double
+dot(const Point &a, const Point &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+Point
+subtract(const Point &a, const Point &b)
+{
+    Point out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+double
+norm(const Point &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+/**
+ * Outward normal of the hyperplane through d points, via cofactor
+ * expansion: normal[k] = (-1)^k det(edge matrix with column k removed),
+ * where edges are v_i - v_0 for i = 1..d-1.
+ */
+Point
+hyperplaneNormal(const std::vector<Point> &points,
+                 const std::vector<std::size_t> &vertices, std::size_t dim)
+{
+    std::vector<std::vector<double>> edges(dim - 1,
+                                           std::vector<double>(dim));
+    for (std::size_t i = 1; i < dim; ++i)
+        edges[i - 1] = subtract(points[vertices[i]], points[vertices[0]]);
+
+    Point normal(dim, 0.0);
+    for (std::size_t k = 0; k < dim; ++k) {
+        std::vector<std::vector<double>> minor(
+            dim - 1, std::vector<double>(dim - 1));
+        for (std::size_t r = 0; r < dim - 1; ++r) {
+            std::size_t cc = 0;
+            for (std::size_t c = 0; c < dim; ++c) {
+                if (c == k)
+                    continue;
+                minor[r][cc++] = edges[r][c];
+            }
+        }
+        double cofactor = determinant(minor);
+        normal[k] = (k % 2 == 0) ? cofactor : -cofactor;
+    }
+    return normal;
+}
+
+/** Build an oriented facet whose outward side excludes @p interior. */
+Facet
+makeFacet(const std::vector<Point> &points,
+          std::vector<std::size_t> vertices, const Point &interior,
+          std::size_t dim)
+{
+    Facet f;
+    f.normal = hyperplaneNormal(points, vertices, dim);
+    double len = norm(f.normal);
+    if (len < 1e-300)
+        throw std::logic_error("makeFacet: degenerate facet");
+    for (double &x : f.normal)
+        x /= len;
+    f.offset = dot(f.normal, points[vertices[0]]);
+    if (dot(f.normal, interior) > f.offset) {
+        for (double &x : f.normal)
+            x = -x;
+        f.offset = -f.offset;
+    }
+    f.vertices = std::move(vertices);
+    return f;
+}
+
+} // namespace
+
+double
+determinant(std::vector<std::vector<double>> m)
+{
+    const std::size_t n = m.size();
+    double det = 1.0;
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(m[r][col]) > std::abs(m[pivot][col]))
+                pivot = r;
+        }
+        if (std::abs(m[pivot][col]) < 1e-300)
+            return 0.0;
+        if (pivot != col) {
+            std::swap(m[pivot], m[col]);
+            det = -det;
+        }
+        det *= m[col][col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double factor = m[r][col] / m[col][col];
+            for (std::size_t c = col; c < n; ++c)
+                m[r][c] -= factor * m[col][c];
+        }
+    }
+    return det;
+}
+
+bool
+HullResult::contains(const Point &p, double tolerance) const
+{
+    if (facets.empty())
+        return false;
+    for (const Facet &f : facets) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < p.size(); ++i)
+            d += f.normal[i] * p[i];
+        if (d > f.offset + tolerance)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** One beneath-beyond pass; throws std::logic_error on a geometric
+ *  degeneracy the tolerance did not catch. */
+HullResult convexHullOnce(const std::vector<Point> &points,
+                          std::size_t dim, double tolerance);
+
+} // namespace
+
+HullResult
+convexHull(const std::vector<Point> &points, std::size_t dim,
+           double tolerance)
+{
+    for (const Point &p : points) {
+        if (p.size() != dim)
+            throw std::invalid_argument("convexHull: dimension mismatch");
+    }
+    // Merge near-duplicates: snap to a grid a little coarser than the
+    // tolerance and keep the first representative of each cell.
+    const double pitch = std::max(std::sqrt(tolerance), 1e-12);
+    std::set<std::vector<long long>> seen;
+    std::vector<Point> unique_points;
+    unique_points.reserve(points.size());
+    for (const Point &p : points) {
+        std::vector<long long> cell(dim);
+        for (std::size_t k = 0; k < dim; ++k)
+            cell[k] = static_cast<long long>(std::llround(p[k] / pitch));
+        if (seen.insert(std::move(cell)).second)
+            unique_points.push_back(p);
+    }
+
+    // Exact pass first; on a near-degenerate configuration (coplanar
+    // ridges slipping past the tolerance) retry with a deterministic
+    // joggle, exactly as qhull's QJ option does. The perturbation is
+    // orders of magnitude below any feature-space scale of interest.
+    double jitter = 10.0 * tolerance;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        std::vector<Point> working = unique_points;
+        if (attempt > 0) {
+            stats::Rng rng(12345 + static_cast<std::uint64_t>(attempt));
+            for (Point &p : working) {
+                for (double &x : p)
+                    x += rng.uniform(-jitter, jitter);
+            }
+            jitter *= 10.0;
+        }
+        try {
+            return convexHullOnce(working, dim, tolerance);
+        } catch (const std::logic_error &) {
+            continue;
+        }
+    }
+    throw std::logic_error("convexHull: degenerate input survived joggle");
+}
+
+namespace {
+
+HullResult
+convexHullOnce(const std::vector<Point> &points, std::size_t dim,
+               double tolerance)
+{
+    HullResult result;
+    if (points.size() < dim + 1)
+        return result;
+
+    // --- initial simplex by greedy Gram-Schmidt span maximisation ---
+    std::vector<std::size_t> simplex;
+    std::vector<Point> basis; // orthonormalised directions
+    simplex.push_back(0);
+    while (simplex.size() < dim + 1) {
+        double best_residual = 0.0;
+        std::size_t best_idx = points.size();
+        Point best_vec;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            Point v = subtract(points[i], points[simplex[0]]);
+            for (const Point &b : basis) {
+                double proj = dot(v, b);
+                for (std::size_t k = 0; k < dim; ++k)
+                    v[k] -= proj * b[k];
+            }
+            double residual = norm(v);
+            if (residual > best_residual) {
+                best_residual = residual;
+                best_idx = i;
+                best_vec = v;
+            }
+        }
+        if (best_idx == points.size() || best_residual < tolerance) {
+            result.affineRank = simplex.size() - 1;
+            return result; // rank-deficient: volume 0
+        }
+        for (double &x : best_vec)
+            x /= best_residual;
+        basis.push_back(std::move(best_vec));
+        simplex.push_back(best_idx);
+    }
+    result.affineRank = dim;
+
+    // interior point = simplex centroid
+    Point interior(dim, 0.0);
+    for (std::size_t idx : simplex) {
+        for (std::size_t k = 0; k < dim; ++k)
+            interior[k] += points[idx][k];
+    }
+    for (double &x : interior)
+        x /= static_cast<double>(dim + 1);
+    result.interiorPoint = interior;
+
+    // simplex facets: drop each vertex in turn
+    std::vector<Facet> facets;
+    for (std::size_t drop = 0; drop < simplex.size(); ++drop) {
+        std::vector<std::size_t> verts;
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+            if (i != drop)
+                verts.push_back(simplex[i]);
+        }
+        facets.push_back(makeFacet(points, std::move(verts), interior, dim));
+    }
+
+    // --- incremental insertion ---
+    std::vector<bool> in_simplex(points.size(), false);
+    for (std::size_t idx : simplex)
+        in_simplex[idx] = true;
+
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        if (in_simplex[p])
+            continue;
+        std::vector<std::size_t> visible;
+        for (std::size_t f = 0; f < facets.size(); ++f) {
+            if (dot(facets[f].normal, points[p]) >
+                facets[f].offset + tolerance) {
+                visible.push_back(f);
+            }
+        }
+        if (visible.empty())
+            continue; // inside or on the hull
+
+        // horizon ridges: (d-1)-subsets appearing exactly once among
+        // the visible facets
+        std::map<std::vector<std::size_t>, std::size_t> ridge_count;
+        for (std::size_t f : visible) {
+            const auto &verts = facets[f].vertices;
+            for (std::size_t drop = 0; drop < verts.size(); ++drop) {
+                std::vector<std::size_t> ridge;
+                for (std::size_t i = 0; i < verts.size(); ++i) {
+                    if (i != drop)
+                        ridge.push_back(verts[i]);
+                }
+                std::sort(ridge.begin(), ridge.end());
+                ++ridge_count[ridge];
+            }
+        }
+
+        // delete visible facets
+        std::vector<Facet> kept;
+        kept.reserve(facets.size());
+        std::vector<bool> is_visible(facets.size(), false);
+        for (std::size_t f : visible)
+            is_visible[f] = true;
+        for (std::size_t f = 0; f < facets.size(); ++f) {
+            if (!is_visible[f])
+                kept.push_back(std::move(facets[f]));
+        }
+        facets = std::move(kept);
+
+        // cone new facets over the horizon
+        for (const auto &[ridge, count] : ridge_count) {
+            if (count != 1)
+                continue;
+            std::vector<std::size_t> verts = ridge;
+            verts.push_back(p);
+            facets.push_back(
+                makeFacet(points, std::move(verts), interior, dim));
+        }
+        if (facets.size() > 200000) {
+            throw std::runtime_error(
+                "convexHull: facet explosion (pathological input)");
+        }
+    }
+
+    // --- volume: fan of simplices from the interior point ---
+    double volume = 0.0;
+    double factorial = 1.0;
+    for (std::size_t k = 2; k <= dim; ++k)
+        factorial *= static_cast<double>(k);
+    for (const Facet &f : facets) {
+        std::vector<std::vector<double>> edges(dim,
+                                               std::vector<double>(dim));
+        for (std::size_t i = 0; i < dim; ++i)
+            edges[i] = subtract(points[f.vertices[i]], interior);
+        volume += std::abs(determinant(edges)) / factorial;
+    }
+    result.volume = volume;
+    result.facets = std::move(facets);
+    return result;
+}
+
+} // namespace
+
+double
+monteCarloVolume(const HullResult &hull, const std::vector<Point> &points,
+                 std::size_t dim, std::size_t samples, stats::Rng &rng)
+{
+    if (hull.facets.empty() || points.empty())
+        return 0.0;
+    Point lo(dim, 1e300), hi(dim, -1e300);
+    for (const Point &p : points) {
+        for (std::size_t k = 0; k < dim; ++k) {
+            lo[k] = std::min(lo[k], p[k]);
+            hi[k] = std::max(hi[k], p[k]);
+        }
+    }
+    double box = 1.0;
+    for (std::size_t k = 0; k < dim; ++k)
+        box *= (hi[k] - lo[k]);
+    if (box <= 0.0)
+        return 0.0;
+
+    std::size_t inside = 0;
+    Point sample(dim);
+    for (std::size_t s = 0; s < samples; ++s) {
+        for (std::size_t k = 0; k < dim; ++k)
+            sample[k] = rng.uniform(lo[k], hi[k]);
+        if (hull.contains(sample))
+            ++inside;
+    }
+    return box * static_cast<double>(inside) /
+           static_cast<double>(samples);
+}
+
+} // namespace smq::geom

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * d-dimensional convex hull volume (beneath-beyond algorithm).
+ *
+ * The paper's coverage metric (Sec. IV-G, Table I) is the volume of
+ * the convex hull of a suite's feature vectors in the 6-D feature
+ * space. This module computes that volume for arbitrary dimension
+ * with an incremental (beneath-beyond) hull: start from a maximal-
+ * volume initial simplex, insert points one at a time, replace the
+ * facets they can see. Rank-deficient point sets report volume 0 with
+ * their affine rank, matching the geometric meaning of "no coverage"
+ * along the missing directions.
+ */
+
+#ifndef SMQ_GEOM_HULL_HPP
+#define SMQ_GEOM_HULL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace smq::geom {
+
+/** A point in R^d. */
+using Point = std::vector<double>;
+
+/** One oriented hull facet: d vertex indices + outward halfspace. */
+struct Facet
+{
+    std::vector<std::size_t> vertices; ///< indices into the input set
+    Point normal;                      ///< outward unit normal
+    double offset = 0.0;               ///< n . x <= offset inside
+};
+
+/** Result of a hull computation. */
+struct HullResult
+{
+    double volume = 0.0;
+    std::size_t affineRank = 0;       ///< affine dimension of the input
+    std::vector<Facet> facets;        ///< empty when rank < d
+    Point interiorPoint;              ///< a point strictly inside
+
+    /** True when @p p lies inside or on the hull (within tolerance). */
+    bool contains(const Point &p, double tolerance = 1e-9) const;
+};
+
+/**
+ * Convex hull volume of @p points in R^dim.
+ *
+ * Near-duplicate points are merged (coordinates snapped to a grid of
+ * pitch tolerance^(1/2)) before the hull is built; points within
+ * @p tolerance of a facet hyperplane do not extend it. Both guards
+ * keep clustered inputs (e.g. a parametric circuit family whose
+ * feature vectors nearly coincide) from exploding the facet count.
+ *
+ * @param points input set (each of size dim).
+ * @param tolerance geometric thickness below which points count as
+ *        coplanar.
+ */
+HullResult convexHull(const std::vector<Point> &points, std::size_t dim,
+                      double tolerance = 1e-9);
+
+/**
+ * Monte-Carlo estimate of the hull volume (bounding-box rejection
+ * sampling against the facet halfspaces); cross-validates convexHull.
+ */
+double monteCarloVolume(const HullResult &hull,
+                        const std::vector<Point> &points, std::size_t dim,
+                        std::size_t samples, stats::Rng &rng);
+
+/** Determinant of a dense square matrix (LU, partial pivoting). */
+double determinant(std::vector<std::vector<double>> m);
+
+} // namespace smq::geom
+
+#endif // SMQ_GEOM_HULL_HPP

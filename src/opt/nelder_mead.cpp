@@ -1,0 +1,156 @@
+#include <limits>
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smq::opt {
+
+OptResult
+nelderMead(const Objective &f, std::vector<double> seed,
+           const NelderMeadOptions &options)
+{
+    const std::size_t n = seed.size();
+    if (n == 0)
+        throw std::invalid_argument("nelderMead: empty seed");
+
+    // standard coefficients
+    const double alpha = 1.0; // reflection
+    const double gamma = 2.0; // expansion
+    const double rho = 0.5;   // contraction
+    const double sigma = 0.5; // shrink
+
+    struct Vertex
+    {
+        std::vector<double> x;
+        double value;
+    };
+    std::vector<Vertex> simplex;
+    simplex.reserve(n + 1);
+    simplex.push_back({seed, f(seed)});
+    for (std::size_t d = 0; d < n; ++d) {
+        std::vector<double> x = seed;
+        x[d] += options.initialStep;
+        simplex.push_back({x, f(x)});
+    }
+
+    OptResult result;
+    for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
+        std::sort(simplex.begin(), simplex.end(),
+                  [](const Vertex &a, const Vertex &b) {
+                      return a.value < b.value;
+                  });
+        result.iterations = iter;
+
+        // convergence tests
+        double f_spread = simplex.back().value - simplex.front().value;
+        double x_spread = 0.0;
+        for (std::size_t d = 0; d < n; ++d) {
+            for (const Vertex &v : simplex) {
+                x_spread = std::max(
+                    x_spread, std::abs(v.x[d] - simplex.front().x[d]));
+            }
+        }
+        if (std::abs(f_spread) < options.fTolerance &&
+            x_spread < options.xTolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // centroid of all but worst
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t v = 0; v < n; ++v) {
+            for (std::size_t d = 0; d < n; ++d)
+                centroid[d] += simplex[v].x[d];
+        }
+        for (double &c : centroid)
+            c /= static_cast<double>(n);
+
+        auto blend = [&](double coeff) {
+            std::vector<double> x(n);
+            for (std::size_t d = 0; d < n; ++d) {
+                x[d] = centroid[d] +
+                       coeff * (simplex.back().x[d] - centroid[d]);
+            }
+            return x;
+        };
+
+        std::vector<double> reflected = blend(-alpha);
+        double f_reflected = f(reflected);
+        if (f_reflected < simplex.front().value) {
+            std::vector<double> expanded = blend(-gamma);
+            double f_expanded = f(expanded);
+            if (f_expanded < f_reflected)
+                simplex.back() = {expanded, f_expanded};
+            else
+                simplex.back() = {reflected, f_reflected};
+            continue;
+        }
+        if (f_reflected < simplex[n - 1].value) {
+            simplex.back() = {reflected, f_reflected};
+            continue;
+        }
+        std::vector<double> contracted = blend(rho);
+        double f_contracted = f(contracted);
+        if (f_contracted < simplex.back().value) {
+            simplex.back() = {contracted, f_contracted};
+            continue;
+        }
+        // shrink toward the best vertex
+        for (std::size_t v = 1; v <= n; ++v) {
+            for (std::size_t d = 0; d < n; ++d) {
+                simplex[v].x[d] = simplex[0].x[d] +
+                                  sigma * (simplex[v].x[d] -
+                                           simplex[0].x[d]);
+            }
+            simplex[v].value = f(simplex[v].x);
+        }
+    }
+
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex &a, const Vertex &b) {
+                  return a.value < b.value;
+              });
+    result.x = simplex.front().x;
+    result.value = simplex.front().value;
+    return result;
+}
+
+OptResult
+gridSearch(const Objective &f, const std::vector<double> &lo,
+           const std::vector<double> &hi, std::size_t points_per_dim)
+{
+    if (lo.size() != hi.size() || lo.empty())
+        throw std::invalid_argument("gridSearch: bad bounds");
+    if (points_per_dim < 2)
+        throw std::invalid_argument("gridSearch: need >= 2 points per dim");
+
+    const std::size_t n = lo.size();
+    std::size_t total = 1;
+    for (std::size_t d = 0; d < n; ++d)
+        total *= points_per_dim;
+
+    OptResult result;
+    result.value = std::numeric_limits<double>::infinity();
+    std::vector<double> x(n);
+    for (std::size_t idx = 0; idx < total; ++idx) {
+        std::size_t rest = idx;
+        for (std::size_t d = 0; d < n; ++d) {
+            std::size_t k = rest % points_per_dim;
+            rest /= points_per_dim;
+            x[d] = lo[d] + (hi[d] - lo[d]) * static_cast<double>(k) /
+                               static_cast<double>(points_per_dim - 1);
+        }
+        double value = f(x);
+        ++result.iterations;
+        if (value < result.value) {
+            result.value = value;
+            result.x = x;
+        }
+    }
+    result.converged = true;
+    return result;
+}
+
+} // namespace smq::opt

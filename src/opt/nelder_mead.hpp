@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Derivative-free optimisation for the variational benchmarks.
+ *
+ * The QAOA and VQE proxy-applications (paper Sec. IV-D/E) require
+ * classically optimised circuit parameters: "we found optimal
+ * parameters via classical simulation and then executed these ...
+ * circuits on the real QC systems". NelderMead plays the role SciPy
+ * plays in the reference artifact.
+ */
+
+#ifndef SMQ_OPT_NELDER_MEAD_HPP
+#define SMQ_OPT_NELDER_MEAD_HPP
+
+#include <functional>
+#include <vector>
+
+namespace smq::opt {
+
+/** Objective: R^n -> R, minimised. */
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/** Configuration for the Nelder-Mead simplex search. */
+struct NelderMeadOptions
+{
+    std::size_t maxIterations = 400;
+    double initialStep = 0.4;  ///< simplex edge length around the seed
+    double fTolerance = 1e-9;  ///< spread-of-values stopping criterion
+    double xTolerance = 1e-9;  ///< simplex-diameter stopping criterion
+};
+
+/** Result of an optimisation run. */
+struct OptResult
+{
+    std::vector<double> x; ///< best parameters found
+    double value = 0.0;    ///< objective at x
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/** Minimise @p f starting from @p seed. */
+OptResult nelderMead(const Objective &f, std::vector<double> seed,
+                     const NelderMeadOptions &options = {});
+
+/**
+ * Exhaustive grid search over a box, returning the best point; used
+ * to seed Nelder-Mead for the periodic QAOA landscape.
+ *
+ * @param lo,hi per-dimension bounds; @param points_per_dim grid size.
+ */
+OptResult gridSearch(const Objective &f, const std::vector<double> &lo,
+                     const std::vector<double> &hi,
+                     std::size_t points_per_dim);
+
+} // namespace smq::opt
+
+#endif // SMQ_OPT_NELDER_MEAD_HPP

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The Circuit IR: an ordered list of Gate instructions over a fixed
+ * qubit and classical-bit register, with a fluent builder API.
+ */
+
+#ifndef SMQ_QC_CIRCUIT_HPP
+#define SMQ_QC_CIRCUIT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qc/gate.hpp"
+
+namespace smq::qc {
+
+/**
+ * A quantum circuit over numQubits() qubits and numClbits() classical
+ * bits. Instructions execute in list order; the moment scheduler
+ * (schedule.hpp) derives the parallel "depth" view the paper's
+ * features are defined on.
+ */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** Create an empty circuit. Classical bits default to none. */
+    explicit Circuit(std::size_t num_qubits, std::size_t num_clbits = 0,
+                     std::string name = "");
+
+    std::size_t numQubits() const { return numQubits_; }
+    std::size_t numClbits() const { return numClbits_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    /** Append a validated instruction. */
+    void append(Gate gate);
+
+    /// @name Fluent gate builders
+    /// @{
+    Circuit &i(Qubit q) { return add1(GateType::I, q); }
+    Circuit &x(Qubit q) { return add1(GateType::X, q); }
+    Circuit &y(Qubit q) { return add1(GateType::Y, q); }
+    Circuit &z(Qubit q) { return add1(GateType::Z, q); }
+    Circuit &h(Qubit q) { return add1(GateType::H, q); }
+    Circuit &s(Qubit q) { return add1(GateType::S, q); }
+    Circuit &sdg(Qubit q) { return add1(GateType::SDG, q); }
+    Circuit &t(Qubit q) { return add1(GateType::T, q); }
+    Circuit &tdg(Qubit q) { return add1(GateType::TDG, q); }
+    Circuit &sx(Qubit q) { return add1(GateType::SX, q); }
+    Circuit &sxdg(Qubit q) { return add1(GateType::SXDG, q); }
+    Circuit &rx(double theta, Qubit q);
+    Circuit &ry(double theta, Qubit q);
+    Circuit &rz(double theta, Qubit q);
+    Circuit &p(double lambda, Qubit q);
+    Circuit &u3(double theta, double phi, double lambda, Qubit q);
+    Circuit &cx(Qubit c, Qubit t) { return add2(GateType::CX, c, t); }
+    Circuit &cy(Qubit c, Qubit t) { return add2(GateType::CY, c, t); }
+    Circuit &cz(Qubit a, Qubit b) { return add2(GateType::CZ, a, b); }
+    Circuit &ch(Qubit c, Qubit t) { return add2(GateType::CH, c, t); }
+    Circuit &cp(double lambda, Qubit c, Qubit t);
+    Circuit &swap(Qubit a, Qubit b) { return add2(GateType::SWAP, a, b); }
+    Circuit &iswap(Qubit a, Qubit b) { return add2(GateType::ISWAP, a, b); }
+    Circuit &rxx(double theta, Qubit a, Qubit b);
+    Circuit &ryy(double theta, Qubit a, Qubit b);
+    Circuit &rzz(double theta, Qubit a, Qubit b);
+    Circuit &ccx(Qubit a, Qubit b, Qubit t);
+    Circuit &cswap(Qubit c, Qubit a, Qubit b);
+    Circuit &measure(Qubit q, std::size_t clbit);
+    Circuit &reset(Qubit q) { return add1(GateType::RESET, q); }
+    /** Full-width barrier: a scheduling fence across all qubits. */
+    Circuit &barrier();
+    /** Measure qubit i into classical bit i for all qubits. */
+    Circuit &measureAll();
+    /// @}
+
+    /**
+     * Append all of @p other's gates (registers must be at least as
+     * large as other's). Classical bits are preserved verbatim.
+     */
+    Circuit &compose(const Circuit &other);
+
+    /**
+     * The inverse circuit (gates reversed and individually inverted).
+     * @throws std::invalid_argument if any gate is non-unitary.
+     */
+    Circuit inverse() const;
+
+    /**
+     * Relabel qubits: gate operand q becomes mapping[q]. The result has
+     * @p new_num_qubits qubits (defaults to this circuit's count).
+     * @pre mapping.size() == numQubits() and all images are in range.
+     */
+    Circuit remapped(const std::vector<Qubit> &mapping,
+                     std::size_t new_num_qubits = 0) const;
+
+    /// @name Aggregate counts used by the feature definitions
+    /// @{
+    /** Number of non-barrier operations (gates + measure + reset). */
+    std::size_t opCount() const;
+    /** Number of unitary multi-qubit (>= 2 operands) gates. */
+    std::size_t multiQubitGateCount() const;
+    /** Number of MEASURE instructions. */
+    std::size_t measureCount() const;
+    /** Number of RESET instructions. */
+    std::size_t resetCount() const;
+    /// @}
+
+    /** Multi-line dump for debugging. */
+    std::string toString() const;
+
+    bool operator==(const Circuit &other) const = default;
+
+  private:
+    Circuit &add1(GateType type, Qubit q, std::vector<double> params = {});
+    Circuit &add2(GateType type, Qubit a, Qubit b,
+                  std::vector<double> params = {});
+    void checkQubit(Qubit q) const;
+
+    std::size_t numQubits_ = 0;
+    std::size_t numClbits_ = 0;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace smq::qc
+
+#endif // SMQ_QC_CIRCUIT_HPP

@@ -1,0 +1,149 @@
+#include "qc/clifford.hpp"
+
+#include <stdexcept>
+
+namespace smq::qc {
+
+namespace {
+
+/** The (x|z) symplectic bit row of a Pauli string. */
+std::vector<std::uint8_t>
+symplecticRow(const PauliString &p)
+{
+    std::size_t n = p.numQubits();
+    std::vector<std::uint8_t> row(2 * n, 0);
+    for (std::size_t q = 0; q < n; ++q) {
+        row[q] = p.xBit(q);
+        row[n + q] = p.zBit(q);
+    }
+    return row;
+}
+
+} // namespace
+
+std::vector<PauliString>
+independentGenerators(const std::vector<PauliString> &paulis)
+{
+    std::vector<PauliString> generators;
+    std::vector<std::vector<std::uint8_t>> echelon; // reduced rows
+    std::vector<std::size_t> pivots;                // pivot column per row
+
+    for (const PauliString &p : paulis) {
+        std::vector<std::uint8_t> row = symplecticRow(p);
+        for (std::size_t r = 0; r < echelon.size(); ++r) {
+            if (row[pivots[r]]) {
+                for (std::size_t c = 0; c < row.size(); ++c)
+                    row[c] ^= echelon[r][c];
+            }
+        }
+        std::size_t pivot = row.size();
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c]) {
+                pivot = c;
+                break;
+            }
+        }
+        if (pivot == row.size())
+            continue; // dependent on earlier strings
+        echelon.push_back(std::move(row));
+        pivots.push_back(pivot);
+        generators.push_back(p);
+    }
+    return generators;
+}
+
+Circuit
+diagonalizationCircuit(const std::vector<PauliString> &commuting,
+                       std::size_t num_qubits)
+{
+    for (std::size_t i = 0; i < commuting.size(); ++i) {
+        if (commuting[i].numQubits() != num_qubits)
+            throw std::invalid_argument(
+                "diagonalizationCircuit: size mismatch");
+        for (std::size_t j = i + 1; j < commuting.size(); ++j) {
+            if (!commuting[i].commutesWith(commuting[j]))
+                throw std::invalid_argument(
+                    "diagonalizationCircuit: strings do not commute");
+        }
+    }
+
+    std::vector<PauliString> gens = independentGenerators(commuting);
+    Circuit circuit(num_qubits, 0, "diagonalize");
+    std::vector<bool> processed(num_qubits, false);
+
+    auto apply = [&](GateType type, std::vector<Qubit> qubits) {
+        Gate gate(type, std::move(qubits));
+        for (PauliString &g : gens)
+            g.conjugateBy(gate);
+        circuit.append(std::move(gate));
+    };
+
+    for (std::size_t i = 0; i < gens.size(); ++i) {
+        PauliString &g = gens[i];
+
+        // Find a pivot. Commutation with the already-reduced single-Z
+        // generators guarantees no X support on processed qubits.
+        std::size_t pivot = num_qubits;
+        bool x_branch = false;
+        for (std::size_t q = 0; q < num_qubits; ++q) {
+            if (g.xBit(q)) {
+                pivot = q;
+                x_branch = true;
+                break;
+            }
+        }
+        if (x_branch && processed[pivot])
+            throw std::logic_error(
+                "diagonalizationCircuit: invariant violated (X on "
+                "processed qubit)");
+
+        if (x_branch) {
+            // (a) fold all other X support onto the pivot
+            for (std::size_t q = 0; q < num_qubits; ++q) {
+                if (q != pivot && g.xBit(q)) {
+                    apply(GateType::CX, {static_cast<Qubit>(pivot),
+                                         static_cast<Qubit>(q)});
+                }
+            }
+            // (b) strip a Y at the pivot down to X
+            if (g.zBit(pivot))
+                apply(GateType::S, {static_cast<Qubit>(pivot)});
+            // (c) clear the Z tail via CZ against the pivot's X
+            for (std::size_t q = 0; q < num_qubits; ++q) {
+                if (q != pivot && g.zBit(q)) {
+                    apply(GateType::CZ, {static_cast<Qubit>(pivot),
+                                         static_cast<Qubit>(q)});
+                }
+            }
+            // (d) rotate the lone X into Z
+            apply(GateType::H, {static_cast<Qubit>(pivot)});
+        } else {
+            // Already Z-type; fold multi-qubit support onto a fresh
+            // pivot so later H gates cannot disturb this generator.
+            for (std::size_t q = 0; q < num_qubits; ++q) {
+                if (g.zBit(q) && !processed[q]) {
+                    pivot = q;
+                    break;
+                }
+            }
+            if (pivot == num_qubits)
+                throw std::logic_error(
+                    "diagonalizationCircuit: Z-type generator supported "
+                    "only on processed qubits (dependence)");
+            for (std::size_t q = 0; q < num_qubits; ++q) {
+                if (q != pivot && g.zBit(q)) {
+                    apply(GateType::CX, {static_cast<Qubit>(q),
+                                         static_cast<Qubit>(pivot)});
+                }
+            }
+        }
+
+        if (!(g.isZType() && g.weight() == 1 && g.zBit(pivot)))
+            throw std::logic_error(
+                "diagonalizationCircuit: reduction failed");
+        processed[pivot] = true;
+    }
+    return circuit;
+}
+
+} // namespace smq::qc

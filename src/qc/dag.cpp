@@ -1,0 +1,93 @@
+#include "qc/dag.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace smq::qc {
+
+GateDag::GateDag(const Circuit &circuit) : circuit_(circuit)
+{
+    const auto &gates = circuit.gates();
+    preds_.resize(gates.size());
+    levels_.assign(gates.size(), 0);
+
+    // last[q] = index of the most recent instruction touching qubit q;
+    // SIZE_MAX when none.
+    constexpr std::size_t none = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> last(circuit.numQubits(), none);
+
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        if (g.type == GateType::BARRIER) {
+            // A barrier serialises everything: record a synthetic
+            // frontier by pointing every qubit at its latest op; later
+            // ops then depend (transitively) on all earlier ones. We
+            // model it by giving every qubit the globally newest op.
+            std::size_t newest = none;
+            std::size_t newest_level = 0;
+            for (std::size_t q = 0; q < last.size(); ++q) {
+                if (last[q] != none && levels_[last[q]] >= newest_level) {
+                    newest = last[q];
+                    newest_level = levels_[last[q]];
+                }
+            }
+            if (newest != none) {
+                for (std::size_t q = 0; q < last.size(); ++q) {
+                    if (last[q] == none)
+                        last[q] = newest;
+                }
+            }
+            continue;
+        }
+        std::set<std::size_t> pred_set;
+        std::size_t lvl = 0;
+        for (Qubit q : g.qubits) {
+            if (last[q] != none) {
+                pred_set.insert(last[q]);
+                lvl = std::max(lvl, levels_[last[q]]);
+            }
+        }
+        preds_[i].assign(pred_set.begin(), pred_set.end());
+        levels_[i] = lvl + 1;
+        depth_ = std::max(depth_, levels_[i]);
+        for (Qubit q : g.qubits)
+            last[q] = i;
+    }
+}
+
+const std::vector<std::size_t> &
+GateDag::predecessors(std::size_t i) const
+{
+    return preds_.at(i);
+}
+
+std::size_t
+GateDag::criticalTwoQubitCount() const
+{
+    if (depth_ == 0)
+        return 0;
+    // best[i] = max #2q gates along a level-consecutive path ending at
+    // instruction i (which is only part of a depth-setting path when
+    // the chain of levels 1..level(i) is unbroken, guaranteed by only
+    // extending from predecessors one level down).
+    const auto &gates = circuit_.gates();
+    std::vector<std::size_t> best(gates.size(), 0);
+    std::size_t answer = 0;
+
+    // Instructions are already in a topological order (program order).
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (gates[i].type == GateType::BARRIER)
+            continue;
+        std::size_t from_pred = 0;
+        for (std::size_t p : preds_[i]) {
+            if (levels_[p] + 1 == levels_[i])
+                from_pred = std::max(from_pred, best[p]);
+        }
+        best[i] = from_pred + (gates[i].isTwoQubit() ? 1 : 0);
+        if (levels_[i] == depth_)
+            answer = std::max(answer, best[i]);
+    }
+    return answer;
+}
+
+} // namespace smq::qc

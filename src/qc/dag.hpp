@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate dependency DAG and critical-path analysis.
+ *
+ * Supports the critical-depth feature (paper Eq. 2): the number of
+ * two-qubit interactions along the longest dependency path that sets
+ * the circuit depth.
+ */
+
+#ifndef SMQ_QC_DAG_HPP
+#define SMQ_QC_DAG_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "qc/circuit.hpp"
+
+namespace smq::qc {
+
+/**
+ * The dependency DAG of a circuit: node i is instruction i (barriers
+ * excluded); an edge p -> i exists when p is the most recent prior
+ * instruction sharing a qubit with i. A BARRIER makes every later
+ * instruction depend on the last instruction of every qubit.
+ */
+class GateDag
+{
+  public:
+    explicit GateDag(const Circuit &circuit);
+
+    /** Predecessor instruction indices of instruction i. */
+    const std::vector<std::size_t> &predecessors(std::size_t i) const;
+
+    /** ASAP level (1-based) of instruction i; 0 for barriers. */
+    std::size_t level(std::size_t i) const { return levels_[i]; }
+
+    /** Circuit depth: max level over all instructions. */
+    std::size_t depth() const { return depth_; }
+
+    /**
+     * Maximum number of two-qubit unitary gates along any dependency
+     * path of full length depth() (paper's n_e_d).
+     */
+    std::size_t criticalTwoQubitCount() const;
+
+  private:
+    const Circuit &circuit_;
+    std::vector<std::vector<std::size_t>> preds_;
+    std::vector<std::size_t> levels_;
+    std::size_t depth_ = 0;
+};
+
+} // namespace smq::qc
+
+#endif // SMQ_QC_DAG_HPP

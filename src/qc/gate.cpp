@@ -1,0 +1,206 @@
+#include "qc/gate.hpp"
+
+#include <array>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace smq::qc {
+
+namespace {
+
+struct GateInfo
+{
+    const char *name;
+    std::size_t arity;
+    std::size_t params;
+    bool unitary;
+    bool clifford;
+};
+
+// Indexed by the integer value of GateType; order must match the enum.
+const std::array<GateInfo, 30> gateInfoTable = {{
+    {"id", 1, 0, true, true},      // I
+    {"x", 1, 0, true, true},       // X
+    {"y", 1, 0, true, true},       // Y
+    {"z", 1, 0, true, true},       // Z
+    {"h", 1, 0, true, true},       // H
+    {"s", 1, 0, true, true},       // S
+    {"sdg", 1, 0, true, true},     // SDG
+    {"t", 1, 0, true, false},      // T
+    {"tdg", 1, 0, true, false},    // TDG
+    {"sx", 1, 0, true, true},      // SX
+    {"sxdg", 1, 0, true, true},    // SXDG
+    {"rx", 1, 1, true, false},     // RX
+    {"ry", 1, 1, true, false},     // RY
+    {"rz", 1, 1, true, false},     // RZ
+    {"p", 1, 1, true, false},      // P
+    {"u3", 1, 3, true, false},     // U3
+    {"cx", 2, 0, true, true},      // CX
+    {"cy", 2, 0, true, true},      // CY
+    {"cz", 2, 0, true, true},      // CZ
+    {"ch", 2, 0, true, false},     // CH
+    {"cp", 2, 1, true, false},     // CP
+    {"swap", 2, 0, true, true},    // SWAP
+    {"iswap", 2, 0, true, true},   // ISWAP
+    {"rxx", 2, 1, true, false},    // RXX
+    {"ryy", 2, 1, true, false},    // RYY
+    {"rzz", 2, 1, true, false},    // RZZ
+    {"ccx", 3, 0, true, false},    // CCX
+    {"cswap", 3, 0, true, false},  // CSWAP
+    {"measure", 1, 0, false, false}, // MEASURE
+    {"reset", 1, 0, false, false},   // RESET
+}};
+
+const GateInfo &
+info(GateType type)
+{
+    auto idx = static_cast<std::size_t>(type);
+    if (idx >= gateInfoTable.size()) {
+        // BARRIER is handled out-of-line since it has variable arity.
+        throw std::invalid_argument("gate info: unknown gate type");
+    }
+    return gateInfoTable[idx];
+}
+
+} // namespace
+
+std::size_t
+gateArity(GateType type)
+{
+    if (type == GateType::BARRIER)
+        return 0;
+    return info(type).arity;
+}
+
+std::size_t
+gateParamCount(GateType type)
+{
+    if (type == GateType::BARRIER)
+        return 0;
+    return info(type).params;
+}
+
+const std::string &
+gateName(GateType type)
+{
+    static const std::string barrier_name = "barrier";
+    if (type == GateType::BARRIER)
+        return barrier_name;
+    static std::map<GateType, std::string> cache;
+    auto it = cache.find(type);
+    if (it == cache.end())
+        it = cache.emplace(type, info(type).name).first;
+    return it->second;
+}
+
+GateType
+gateTypeFromName(const std::string &name)
+{
+    static const std::map<std::string, GateType> lookup = [] {
+        std::map<std::string, GateType> m;
+        for (std::size_t i = 0; i < gateInfoTable.size(); ++i)
+            m.emplace(gateInfoTable[i].name, static_cast<GateType>(i));
+        m.emplace("barrier", GateType::BARRIER);
+        // common OpenQASM aliases
+        m.emplace("u1", GateType::P);
+        m.emplace("cnot", GateType::CX);
+        return m;
+    }();
+    auto it = lookup.find(name);
+    if (it == lookup.end())
+        throw std::invalid_argument("unknown gate name: " + name);
+    return it->second;
+}
+
+bool
+isUnitary(GateType type)
+{
+    if (type == GateType::BARRIER)
+        return false;
+    return info(type).unitary;
+}
+
+bool
+isTwoQubit(GateType type)
+{
+    return isUnitary(type) && gateArity(type) == 2;
+}
+
+bool
+isClifford(GateType type)
+{
+    if (type == GateType::BARRIER)
+        return false;
+    return info(type).clifford;
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream out;
+    out << gateName(type);
+    if (!params.empty()) {
+        out << "(";
+        for (std::size_t i = 0; i < params.size(); ++i)
+            out << (i ? "," : "") << params[i];
+        out << ")";
+    }
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        out << (i ? ", q[" : " q[") << qubits[i] << "]";
+    if (type == GateType::MEASURE && cbit >= 0)
+        out << " -> c[" << cbit << "]";
+    return out.str();
+}
+
+Gate
+inverseGate(const Gate &gate)
+{
+    if (!gate.isUnitary())
+        throw std::invalid_argument("inverseGate: gate is not unitary");
+    Gate inv = gate;
+    switch (gate.type) {
+      case GateType::S:
+        inv.type = GateType::SDG;
+        break;
+      case GateType::SDG:
+        inv.type = GateType::S;
+        break;
+      case GateType::T:
+        inv.type = GateType::TDG;
+        break;
+      case GateType::TDG:
+        inv.type = GateType::T;
+        break;
+      case GateType::SX:
+        inv.type = GateType::SXDG;
+        break;
+      case GateType::SXDG:
+        inv.type = GateType::SX;
+        break;
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::P:
+      case GateType::CP:
+      case GateType::RXX:
+      case GateType::RYY:
+      case GateType::RZZ:
+        inv.params[0] = -gate.params[0];
+        break;
+      case GateType::U3:
+        // u3(theta, phi, lambda)^-1 = u3(-theta, -lambda, -phi)
+        inv.params = {-gate.params[0], -gate.params[2], -gate.params[1]};
+        break;
+      case GateType::ISWAP:
+        // iswap^-1 = (S^dg x S^dg) iswap (Z x I)(I x Z) ... decompose
+        // instead of inventing a new gate type, callers should avoid
+        // inverting ISWAP; reject explicitly.
+        throw std::invalid_argument("inverseGate: ISWAP not supported");
+      default:
+        break; // self-inverse gates (X, Y, Z, H, CX, CZ, SWAP, CCX, ...)
+    }
+    return inv;
+}
+
+} // namespace smq::qc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Gate types and the Gate instruction record.
+ *
+ * The suite's circuit IR is a flat list of Gate instructions over
+ * qubit indices, mirroring the OpenQASM 2.0 abstraction level at which
+ * the paper specifies its benchmarks (Sec. V, "Closed Division").
+ */
+
+#ifndef SMQ_QC_GATE_HPP
+#define SMQ_QC_GATE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smq::qc {
+
+/** Qubit index type. */
+using Qubit = std::uint32_t;
+
+/** The instruction set understood by the IR, simulator and transpiler. */
+enum class GateType : std::uint8_t {
+    // one-qubit, parameter-free
+    I, X, Y, Z, H, S, SDG, T, TDG, SX, SXDG,
+    // one-qubit, parameterised
+    RX, RY, RZ, P, U3,
+    // two-qubit
+    CX, CY, CZ, CH, CP, SWAP, ISWAP, RXX, RYY, RZZ,
+    // three-qubit
+    CCX, CSWAP,
+    // non-unitary / structural
+    MEASURE, RESET, BARRIER,
+};
+
+/** Number of qubit operands a gate type takes (0 for BARRIER = all). */
+std::size_t gateArity(GateType type);
+
+/** Number of real parameters a gate type carries. */
+std::size_t gateParamCount(GateType type);
+
+/** OpenQASM 2.0 mnemonic (e.g. "cx", "rz", "u3"). */
+const std::string &gateName(GateType type);
+
+/** Reverse lookup from the OpenQASM mnemonic; throws on unknown name. */
+GateType gateTypeFromName(const std::string &name);
+
+/** True for unitary gate types (excludes MEASURE/RESET/BARRIER). */
+bool isUnitary(GateType type);
+
+/** True for unitary gates acting on exactly two qubits. */
+bool isTwoQubit(GateType type);
+
+/**
+ * True if the gate is Clifford for all parameter values (H, S, CX, ...).
+ * Parameterised rotations are never reported Clifford, even at special
+ * angles.
+ */
+bool isClifford(GateType type);
+
+/**
+ * One instruction: a gate type, its qubit operands, real parameters,
+ * and (for MEASURE) the classical bit written.
+ */
+struct Gate
+{
+    GateType type = GateType::I;
+    std::vector<Qubit> qubits;
+    std::vector<double> params;
+    /** Classical bit receiving a MEASURE outcome; -1 when unused. */
+    std::int32_t cbit = -1;
+
+    Gate() = default;
+    Gate(GateType t, std::vector<Qubit> qs, std::vector<double> ps = {},
+         std::int32_t cb = -1)
+        : type(t), qubits(std::move(qs)), params(std::move(ps)), cbit(cb) {}
+
+    bool isUnitary() const { return qc::isUnitary(type); }
+    bool isTwoQubit() const { return qc::isTwoQubit(type); }
+
+    /** Human/QASM-readable rendering, e.g. "rz(0.5) q[3]". */
+    std::string toString() const;
+
+    bool operator==(const Gate &other) const = default;
+};
+
+/**
+ * The inverse of a unitary gate (e.g. S -> SDG, RZ(t) -> RZ(-t)).
+ * @throws std::invalid_argument for non-unitary gates.
+ */
+Gate inverseGate(const Gate &gate);
+
+} // namespace smq::qc
+
+#endif // SMQ_QC_GATE_HPP

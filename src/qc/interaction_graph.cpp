@@ -1,0 +1,47 @@
+#include "qc/interaction_graph.hpp"
+
+#include <algorithm>
+
+namespace smq::qc {
+
+InteractionGraph::InteractionGraph(const Circuit &circuit)
+    : degree_(circuit.numQubits(), 0)
+{
+    for (const Gate &g : circuit.gates()) {
+        if (!g.isUnitary() || g.qubits.size() < 2)
+            continue;
+        for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+            for (std::size_t j = i + 1; j < g.qubits.size(); ++j) {
+                Qubit a = std::min(g.qubits[i], g.qubits[j]);
+                Qubit b = std::max(g.qubits[i], g.qubits[j]);
+                if (edges_.emplace(a, b).second) {
+                    ++degree_[a];
+                    ++degree_[b];
+                }
+            }
+        }
+    }
+}
+
+bool
+InteractionGraph::connected(Qubit a, Qubit b) const
+{
+    if (a == b)
+        return false;
+    return edges_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+double
+InteractionGraph::normalizedAverageDegree() const
+{
+    std::size_t n = degree_.size();
+    if (n < 2)
+        return 0.0;
+    std::size_t degree_sum = 0;
+    for (std::size_t d : degree_)
+        degree_sum += d;
+    return static_cast<double>(degree_sum) /
+           (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+} // namespace smq::qc

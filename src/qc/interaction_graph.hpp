@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The qubit interaction graph of a circuit.
+ *
+ * Vertices are qubits; an edge joins two qubits that share at least
+ * one multi-qubit operation. The program-communication feature (paper
+ * Eq. 1) is the graph's average degree normalised by that of the
+ * complete graph.
+ */
+
+#ifndef SMQ_QC_INTERACTION_GRAPH_HPP
+#define SMQ_QC_INTERACTION_GRAPH_HPP
+
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "qc/circuit.hpp"
+
+namespace smq::qc {
+
+/** Undirected interaction graph over a circuit's qubits. */
+class InteractionGraph
+{
+  public:
+    explicit InteractionGraph(const Circuit &circuit);
+
+    std::size_t numQubits() const { return degree_.size(); }
+    std::size_t numEdges() const { return edges_.size(); }
+
+    /** Degree of qubit q. */
+    std::size_t degree(Qubit q) const { return degree_.at(q); }
+
+    /** All edges, each stored once with first < second. */
+    const std::set<std::pair<Qubit, Qubit>> &edges() const { return edges_; }
+
+    /** True if qubits a and b interact. */
+    bool connected(Qubit a, Qubit b) const;
+
+    /**
+     * Normalised average degree: sum of degrees / (N (N - 1)); the
+     * program-communication feature. Returns 0 for N < 2.
+     */
+    double normalizedAverageDegree() const;
+
+  private:
+    std::set<std::pair<Qubit, Qubit>> edges_;
+    std::vector<std::size_t> degree_;
+};
+
+} // namespace smq::qc
+
+#endif // SMQ_QC_INTERACTION_GRAPH_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A library of standard circuit generators.
+ *
+ * These kernels serve two purposes: (1) they compose the proxy suites
+ * whose feature-space coverage Table I compares against SupermarQ
+ * (QASMBench, TriQ, PPL+2020, CBG2021), and (2) they give downstream
+ * users ready-made workloads beyond the eight SupermarQ applications.
+ */
+
+#ifndef SMQ_QC_LIBRARY_HPP
+#define SMQ_QC_LIBRARY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::qc::library {
+
+/**
+ * Quantum Fourier transform on n qubits (with final reversal swaps).
+ * Convention: implements the DFT matrix with qubit 0 as the MOST
+ * significant bit (the standard textbook circuit read top-down).
+ */
+Circuit qft(std::size_t n, bool with_swaps = true);
+
+/** Inverse QFT on n qubits. */
+Circuit inverseQft(std::size_t n, bool with_swaps = true);
+
+/**
+ * Bernstein-Vazirani with the given secret string (secret.size() data
+ * qubits plus one ancilla). Ends with measurement of the data qubits.
+ */
+Circuit bernsteinVazirani(const std::vector<std::uint8_t> &secret);
+
+/**
+ * Cuccaro ripple-carry adder computing b <- a + b for two n-bit
+ * registers (2n + 2 qubits: carry-in, a, b, carry-out).
+ */
+Circuit cuccaroAdder(std::size_t n);
+
+/**
+ * Grover search for a marked n-bit string, using n - 2 work ancillas
+ * for the multi-controlled phase flip (total 2n - 2 qubits for n >= 3,
+ * n qubits for n <= 2). Runs the given number of iterations and
+ * measures the search register.
+ */
+Circuit grover(std::size_t n, const std::vector<std::uint8_t> &marked,
+               std::size_t iterations);
+
+/** W-state preparation on n qubits: (|10..0> + |01..0> + ...)/sqrt(n). */
+Circuit wState(std::size_t n);
+
+/**
+ * Hidden-shift circuit for the bent function f(x) = x0 x1 + x2 x3 + ...
+ * (n even) with the given shift; measures all qubits.
+ */
+Circuit hiddenShift(const std::vector<std::uint8_t> &shift);
+
+/** A chain of n - 2 Toffoli gates across n qubits (n >= 3). */
+Circuit toffoliChain(std::size_t n);
+
+/**
+ * Random brickwork circuit: @p depth layers, each of random single-
+ * qubit rotations on every qubit followed by CX gates on a random
+ * matching of adjacent pairs (alternating offset).
+ */
+Circuit randomLayered(std::size_t n, std::size_t depth, stats::Rng &rng);
+
+/** GHZ/cat-state preparation via a CNOT ladder, without measurement. */
+Circuit ghzLadder(std::size_t n);
+
+/** Swap test between two n-qubit registers plus one ancilla. */
+Circuit swapTest(std::size_t n);
+
+/** Quantum ripple increment: adds one modulo 2^n using MCX cascades. */
+Circuit incrementer(std::size_t n);
+
+/**
+ * Iterative phase estimation of a P(theta) eigenphase using a single
+ * repeatedly measured-and-reset ancilla (rounds mid-circuit
+ * measurements; the classically controlled correction is omitted, as
+ * in other mid-circuit-measurement proxy workloads).
+ */
+Circuit iterativePhaseEstimation(std::size_t rounds,
+                                 double theta = 0.4 * 3.14159265358979);
+
+/**
+ * Textbook quantum phase estimation of a P(theta) eigenphase with a
+ * counting register of @p counting_bits qubits, controlled-power
+ * phase gates and an inverse QFT; measures the counting register.
+ * The eigenstate qubit is the last one.
+ */
+Circuit quantumPhaseEstimation(std::size_t counting_bits,
+                               double theta = 2.0 * 3.14159265358979 *
+                                              0.375);
+
+/**
+ * Deutsch-Jozsa on @p n data qubits plus one ancilla. The oracle is
+ * constant when @p balanced is false, and the balanced parity oracle
+ * f(x) = x_0 otherwise. Measures the data register (all zeros iff
+ * constant).
+ */
+Circuit deutschJozsa(std::size_t n, bool balanced);
+
+} // namespace smq::qc::library
+
+#endif // SMQ_QC_LIBRARY_HPP

@@ -1,0 +1,245 @@
+#include "qc/pauli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace smq::qc {
+
+PauliString::PauliString(std::size_t num_qubits)
+    : x_(num_qubits, 0), z_(num_qubits, 0)
+{
+}
+
+PauliString
+PauliString::fromLabel(const std::string &label)
+{
+    PauliString p(label.size());
+    for (std::size_t q = 0; q < label.size(); ++q) {
+        switch (label[q]) {
+          case 'I':
+            break;
+          case 'X':
+            p.x_[q] = 1;
+            break;
+          case 'Z':
+            p.z_[q] = 1;
+            break;
+          case 'Y':
+            p.x_[q] = 1;
+            p.z_[q] = 1;
+            p.phase_ = (p.phase_ + 1) % 4; // Y = i X Z
+            break;
+          default:
+            throw std::invalid_argument(
+                std::string("PauliString::fromLabel: bad character '") +
+                label[q] + "'");
+        }
+    }
+    return p;
+}
+
+std::size_t
+PauliString::weight() const
+{
+    std::size_t w = 0;
+    for (std::size_t q = 0; q < x_.size(); ++q)
+        w += (x_[q] || z_[q]) ? 1 : 0;
+    return w;
+}
+
+bool
+PauliString::isZType() const
+{
+    for (std::uint8_t xb : x_) {
+        if (xb)
+            return false;
+    }
+    return true;
+}
+
+bool
+PauliString::isIdentity() const
+{
+    for (std::size_t q = 0; q < x_.size(); ++q) {
+        if (x_[q] || z_[q])
+            return false;
+    }
+    return true;
+}
+
+int
+PauliString::sign() const
+{
+    if (!isZType())
+        throw std::logic_error("PauliString::sign: not a Z-type string");
+    if (phase_ == 0)
+        return 1;
+    if (phase_ == 2)
+        return -1;
+    throw std::logic_error("PauliString::sign: imaginary phase");
+}
+
+std::vector<std::size_t>
+PauliString::support() const
+{
+    std::vector<std::size_t> qubits;
+    for (std::size_t q = 0; q < x_.size(); ++q) {
+        if (x_[q] || z_[q])
+            qubits.push_back(q);
+    }
+    return qubits;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    if (numQubits() != other.numQubits())
+        throw std::invalid_argument("PauliString: size mismatch");
+    int anti = 0;
+    for (std::size_t q = 0; q < x_.size(); ++q)
+        anti ^= (x_[q] & other.z_[q]) ^ (z_[q] & other.x_[q]);
+    return anti == 0;
+}
+
+PauliString
+PauliString::operator*(const PauliString &other) const
+{
+    if (numQubits() != other.numQubits())
+        throw std::invalid_argument("PauliString: size mismatch");
+    PauliString out(numQubits());
+    int extra = 0; // factors of -1 from reordering Z^z1 past X^x2
+    for (std::size_t q = 0; q < x_.size(); ++q) {
+        extra += z_[q] & other.x_[q];
+        out.x_[q] = x_[q] ^ other.x_[q];
+        out.z_[q] = z_[q] ^ other.z_[q];
+    }
+    out.phase_ = (phase_ + other.phase_ + 2 * (extra & 1)) % 4;
+    return out;
+}
+
+void
+PauliString::conjugateBy(const Gate &gate)
+{
+    auto q0 = [&]() { return static_cast<std::size_t>(gate.qubits.at(0)); };
+    auto q1 = [&]() { return static_cast<std::size_t>(gate.qubits.at(1)); };
+    auto bump = [&](int d) { phase_ = ((phase_ + d) % 4 + 4) % 4; };
+
+    switch (gate.type) {
+      case GateType::I:
+        break;
+      case GateType::X:
+        bump(2 * z_[q0()]);
+        break;
+      case GateType::Y:
+        bump(2 * (x_[q0()] ^ z_[q0()]));
+        break;
+      case GateType::Z:
+        bump(2 * x_[q0()]);
+        break;
+      case GateType::H: {
+        std::size_t q = q0();
+        bump(2 * (x_[q] & z_[q]));
+        std::swap(x_[q], z_[q]);
+        break;
+      }
+      case GateType::S: {
+        std::size_t q = q0();
+        bump(x_[q]);
+        z_[q] ^= x_[q];
+        break;
+      }
+      case GateType::SDG: {
+        std::size_t q = q0();
+        bump(3 * x_[q]);
+        z_[q] ^= x_[q];
+        break;
+      }
+      case GateType::SX:
+        // sqrt(X) ~ H S H up to global phase; conjugation composes.
+        conjugateBy(Gate(GateType::H, {gate.qubits[0]}));
+        conjugateBy(Gate(GateType::S, {gate.qubits[0]}));
+        conjugateBy(Gate(GateType::H, {gate.qubits[0]}));
+        break;
+      case GateType::SXDG:
+        conjugateBy(Gate(GateType::H, {gate.qubits[0]}));
+        conjugateBy(Gate(GateType::SDG, {gate.qubits[0]}));
+        conjugateBy(Gate(GateType::H, {gate.qubits[0]}));
+        break;
+      case GateType::CX: {
+        std::size_t c = q0(), t = q1();
+        x_[t] ^= x_[c];
+        z_[c] ^= z_[t];
+        break;
+      }
+      case GateType::CZ: {
+        std::size_t a = q0(), b = q1();
+        bump(2 * (x_[a] & x_[b]));
+        z_[a] ^= x_[b];
+        z_[b] ^= x_[a];
+        break;
+      }
+      case GateType::CY:
+        // CY = (I (x) S) CX (I (x) S^dg): conjugate right-to-left.
+        conjugateBy(Gate(GateType::SDG, {gate.qubits[1]}));
+        conjugateBy(Gate(GateType::CX, {gate.qubits[0], gate.qubits[1]}));
+        conjugateBy(Gate(GateType::S, {gate.qubits[1]}));
+        break;
+      case GateType::SWAP: {
+        std::size_t a = q0(), b = q1();
+        std::swap(x_[a], x_[b]);
+        std::swap(z_[a], z_[b]);
+        break;
+      }
+      default:
+        throw std::invalid_argument(
+            "PauliString::conjugateBy: non-Clifford gate " +
+            gateName(gate.type));
+    }
+}
+
+void
+PauliString::conjugateByCircuit(const Circuit &circuit)
+{
+    if (circuit.numQubits() != numQubits())
+        throw std::invalid_argument(
+            "PauliString::conjugateByCircuit: size mismatch");
+    for (const Gate &g : circuit.gates()) {
+        if (g.type == GateType::BARRIER)
+            continue;
+        conjugateBy(g);
+    }
+}
+
+std::string
+PauliString::toString() const
+{
+    // Translate the (x, z, r) form back into letters; each Y absorbs
+    // one factor of i from the stored phase.
+    int r = phase_;
+    std::string body;
+    body.reserve(numQubits());
+    for (std::size_t q = 0; q < x_.size(); ++q) {
+        if (x_[q] && z_[q]) {
+            body.push_back('Y');
+            r = (r + 3) % 4;
+        } else if (x_[q]) {
+            body.push_back('X');
+        } else if (z_[q]) {
+            body.push_back('Z');
+        } else {
+            body.push_back('I');
+        }
+    }
+    static const char *prefixes[4] = {"+", "+i", "-", "-i"};
+    return std::string(prefixes[r]) + body;
+}
+
+bool
+PauliString::operator<(const PauliString &other) const
+{
+    return std::tie(x_, z_, phase_) <
+           std::tie(other.x_, other.z_, other.phase_);
+}
+
+} // namespace smq::qc

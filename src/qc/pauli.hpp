@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Pauli-string algebra with exact phase tracking.
+ *
+ * A PauliString represents  i^r * prod_q X_q^{x_q} Z_q^{z_q}  for
+ * r in Z_4. In this representation Y = i * X Z, so a textbook Pauli
+ * string with k Y factors carries r = k (mod 4).
+ *
+ * The Mermin-Bell benchmark (paper Sec. IV-B) expands the Mermin
+ * operator into 2^{n-1} commuting X/Y strings; this module provides
+ * the commutation test, products, and exact conjugation by Clifford
+ * gates needed to measure all terms in one shared basis.
+ */
+
+#ifndef SMQ_QC_PAULI_HPP
+#define SMQ_QC_PAULI_HPP
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qc/circuit.hpp"
+
+namespace smq::qc {
+
+/** A phased Pauli string over n qubits. */
+class PauliString
+{
+  public:
+    /** The identity string over @p num_qubits qubits. */
+    explicit PauliString(std::size_t num_qubits = 0);
+
+    /**
+     * Parse from letters, e.g. "XIYZ" (character q = qubit q).
+     * Y factors contribute +1 each to the phase power so the operator
+     * equals the literal tensor product of Pauli matrices.
+     */
+    static PauliString fromLabel(const std::string &label);
+
+    std::size_t numQubits() const { return x_.size(); }
+
+    bool xBit(std::size_t q) const { return x_.at(q); }
+    bool zBit(std::size_t q) const { return z_.at(q); }
+    void setX(std::size_t q, bool v) { x_.at(q) = v; }
+    void setZ(std::size_t q, bool v) { z_.at(q) = v; }
+
+    /** Phase power r: the operator is i^r X^x Z^z. */
+    int phasePower() const { return phase_; }
+    void setPhasePower(int r) { phase_ = ((r % 4) + 4) % 4; }
+
+    /** Number of non-identity sites. */
+    std::size_t weight() const;
+
+    /** True when every site is I or Z (and any phase). */
+    bool isZType() const;
+
+    /** True when the full x and z vectors are zero. */
+    bool isIdentity() const;
+
+    /**
+     * The operator as +/-1 for a Hermitian Z-type string.
+     * @throws std::logic_error unless isZType() and the phase is real.
+     */
+    int sign() const;
+
+    /** Qubits where the string acts non-trivially. */
+    std::vector<std::size_t> support() const;
+
+    /** True when this commutes with @p other (symplectic product 0). */
+    bool commutesWith(const PauliString &other) const;
+
+    /** Group product: (*this) * other, with exact phase. */
+    PauliString operator*(const PauliString &other) const;
+
+    /**
+     * In-place conjugation by a Clifford gate: P <- G P G^dagger.
+     * Supported gates: I, X, Y, Z, H, S, SDG, SX, SXDG, CX, CY, CZ,
+     * SWAP. @throws std::invalid_argument otherwise.
+     */
+    void conjugateBy(const Gate &gate);
+
+    /**
+     * Conjugate through a whole circuit in execution order, producing
+     * U P U^dagger where U is the circuit unitary.
+     */
+    void conjugateByCircuit(const Circuit &circuit);
+
+    /** Label like "+XIYZ", "-iZZ". */
+    std::string toString() const;
+
+    bool operator==(const PauliString &other) const = default;
+    bool operator<(const PauliString &other) const;
+
+  private:
+    std::vector<std::uint8_t> x_;
+    std::vector<std::uint8_t> z_;
+    int phase_ = 0; // power of i, in {0, 1, 2, 3}
+};
+
+} // namespace smq::qc
+
+#endif // SMQ_QC_PAULI_HPP

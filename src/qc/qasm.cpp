@@ -1,0 +1,393 @@
+#include "qc/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace smq::qc {
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream out;
+    out << "OPENQASM 2.0;\n";
+    out << "include \"qelib1.inc\";\n";
+    out << "qreg q[" << circuit.numQubits() << "];\n";
+    if (circuit.numClbits() > 0)
+        out << "creg c[" << circuit.numClbits() << "];\n";
+    out << std::setprecision(17);
+    for (const Gate &g : circuit.gates()) {
+        if (g.type == GateType::BARRIER) {
+            out << "barrier q;\n";
+            continue;
+        }
+        if (g.type == GateType::MEASURE) {
+            out << "measure q[" << g.qubits[0] << "] -> c[" << g.cbit
+                << "];\n";
+            continue;
+        }
+        out << gateName(g.type);
+        if (!g.params.empty()) {
+            out << "(";
+            for (std::size_t i = 0; i < g.params.size(); ++i)
+                out << (i ? "," : "") << g.params[i];
+            out << ")";
+        }
+        for (std::size_t i = 0; i < g.qubits.size(); ++i)
+            out << (i ? ",q[" : " q[") << g.qubits[i] << "]";
+        out << ";\n";
+    }
+    return out.str();
+}
+
+namespace {
+
+/** A minimal recursive-descent parser for the OpenQASM 2.0 subset. */
+class QasmParser
+{
+  public:
+    explicit QasmParser(const std::string &text) : text_(text) {}
+
+    Circuit parse();
+
+  private:
+    [[noreturn]] void fail(const std::string &message) const;
+    void skipWhitespaceAndComments();
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return atEnd() ? '\0' : text_[pos_]; }
+    char get();
+    bool consume(char c);
+    void expect(char c);
+    bool consumeWord(const std::string &word);
+    std::string parseIdentifier();
+    std::size_t parseInteger();
+    std::string parseStringLiteral();
+    std::size_t parseIndexedRegister(const std::string &expected_reg);
+
+    // parameter expression grammar: expr := term (('+'|'-') term)*
+    //                               term := factor (('*'|'/') factor)*
+    //                               factor := ('-')? atom | '(' expr ')'
+    double parseExpr();
+    double parseTerm();
+    double parseFactor();
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::size_t num_qubits_ = 0;
+    std::size_t num_clbits_ = 0;
+    std::string qreg_name_;
+    std::string creg_name_;
+};
+
+void
+QasmParser::fail(const std::string &message) const
+{
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+    }
+    std::ostringstream out;
+    out << "QASM parse error at line " << line << ", column " << col << ": "
+        << message;
+    throw std::runtime_error(out.str());
+}
+
+void
+QasmParser::skipWhitespaceAndComments()
+{
+    while (!atEnd()) {
+        if (std::isspace(static_cast<unsigned char>(peek()))) {
+            ++pos_;
+        } else if (peek() == '/' && pos_ + 1 < text_.size() &&
+                   text_[pos_ + 1] == '/') {
+            while (!atEnd() && peek() != '\n')
+                ++pos_;
+        } else {
+            break;
+        }
+    }
+}
+
+char
+QasmParser::get()
+{
+    if (atEnd())
+        fail("unexpected end of input");
+    return text_[pos_++];
+}
+
+bool
+QasmParser::consume(char c)
+{
+    skipWhitespaceAndComments();
+    if (peek() == c) {
+        ++pos_;
+        return true;
+    }
+    return false;
+}
+
+void
+QasmParser::expect(char c)
+{
+    if (!consume(c))
+        fail(std::string("expected '") + c + "'");
+}
+
+bool
+QasmParser::consumeWord(const std::string &word)
+{
+    skipWhitespaceAndComments();
+    if (text_.compare(pos_, word.size(), word) != 0)
+        return false;
+    std::size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+        return false;
+    }
+    pos_ = after;
+    return true;
+}
+
+std::string
+QasmParser::parseIdentifier()
+{
+    skipWhitespaceAndComments();
+    if (atEnd() || !(std::isalpha(static_cast<unsigned char>(peek())) ||
+                     peek() == '_')) {
+        fail("expected identifier");
+    }
+    std::string id;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_')) {
+        id.push_back(get());
+    }
+    return id;
+}
+
+std::size_t
+QasmParser::parseInteger()
+{
+    skipWhitespaceAndComments();
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        fail("expected integer");
+    std::size_t value = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        value = value * 10 + static_cast<std::size_t>(get() - '0');
+    return value;
+}
+
+std::string
+QasmParser::parseStringLiteral()
+{
+    skipWhitespaceAndComments();
+    expect('"');
+    std::string value;
+    while (peek() != '"')
+        value.push_back(get());
+    expect('"');
+    return value;
+}
+
+std::size_t
+QasmParser::parseIndexedRegister(const std::string &expected_reg)
+{
+    std::string reg = parseIdentifier();
+    if (reg != expected_reg)
+        fail("unknown register '" + reg + "'");
+    expect('[');
+    std::size_t index = parseInteger();
+    expect(']');
+    return index;
+}
+
+double
+QasmParser::parseExpr()
+{
+    double value = parseTerm();
+    while (true) {
+        if (consume('+'))
+            value += parseTerm();
+        else if (consume('-'))
+            value -= parseTerm();
+        else
+            return value;
+    }
+}
+
+double
+QasmParser::parseTerm()
+{
+    double value = parseFactor();
+    while (true) {
+        if (consume('*')) {
+            value *= parseFactor();
+        } else if (consume('/')) {
+            double divisor = parseFactor();
+            if (divisor == 0.0)
+                fail("division by zero in parameter expression");
+            value /= divisor;
+        } else {
+            return value;
+        }
+    }
+}
+
+double
+QasmParser::parseFactor()
+{
+    skipWhitespaceAndComments();
+    if (consume('-'))
+        return -parseFactor();
+    if (consume('(')) {
+        double value = parseExpr();
+        expect(')');
+        return value;
+    }
+    if (consumeWord("pi"))
+        return M_PI;
+    // numeric literal (int / float / scientific)
+    std::size_t start = pos_;
+    while (!atEnd() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                        peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                        ((peek() == '+' || peek() == '-') && pos_ > start &&
+                         (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+        ++pos_;
+    }
+    if (pos_ == start)
+        fail("expected numeric literal");
+    try {
+        return std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception &) {
+        fail("bad numeric literal");
+    }
+}
+
+Circuit
+QasmParser::parse()
+{
+    skipWhitespaceAndComments();
+    if (!consumeWord("OPENQASM"))
+        fail("missing OPENQASM header");
+    parseExpr(); // version number, ignored
+    expect(';');
+
+    std::vector<Gate> pending;
+    while (true) {
+        skipWhitespaceAndComments();
+        if (atEnd())
+            break;
+        if (consumeWord("include")) {
+            parseStringLiteral();
+            expect(';');
+            continue;
+        }
+        if (consumeWord("qreg")) {
+            if (!qreg_name_.empty())
+                fail("multiple quantum registers are not supported");
+            qreg_name_ = parseIdentifier();
+            expect('[');
+            num_qubits_ = parseInteger();
+            expect(']');
+            expect(';');
+            continue;
+        }
+        if (consumeWord("creg")) {
+            if (!creg_name_.empty())
+                fail("multiple classical registers are not supported");
+            creg_name_ = parseIdentifier();
+            expect('[');
+            num_clbits_ = parseInteger();
+            expect(']');
+            expect(';');
+            continue;
+        }
+        if (consumeWord("measure")) {
+            std::size_t q = parseIndexedRegister(qreg_name_);
+            skipWhitespaceAndComments();
+            if (!(consume('-') && consume('>')))
+                fail("expected '->' in measure");
+            std::size_t c = parseIndexedRegister(creg_name_);
+            expect(';');
+            pending.emplace_back(GateType::MEASURE,
+                                 std::vector<Qubit>{static_cast<Qubit>(q)},
+                                 std::vector<double>{},
+                                 static_cast<std::int32_t>(c));
+            continue;
+        }
+        if (consumeWord("reset")) {
+            std::size_t q = parseIndexedRegister(qreg_name_);
+            expect(';');
+            pending.emplace_back(GateType::RESET,
+                                 std::vector<Qubit>{static_cast<Qubit>(q)});
+            continue;
+        }
+        if (consumeWord("barrier")) {
+            // accept "barrier q;" or "barrier q[0],q[1];" — both become
+            // a full fence, which is how the suite uses barriers.
+            while (true) {
+                skipWhitespaceAndComments();
+                parseIdentifier();
+                skipWhitespaceAndComments();
+                if (consume('[')) {
+                    parseInteger();
+                    expect(']');
+                }
+                if (!consume(','))
+                    break;
+            }
+            expect(';');
+            pending.emplace_back(GateType::BARRIER, std::vector<Qubit>{});
+            continue;
+        }
+
+        std::string name = parseIdentifier();
+        GateType type;
+        try {
+            type = gateTypeFromName(name);
+        } catch (const std::invalid_argument &) {
+            fail("unknown gate '" + name + "'");
+        }
+        std::vector<double> params;
+        if (consume('(')) {
+            if (!consume(')')) {
+                do {
+                    params.push_back(parseExpr());
+                } while (consume(','));
+                expect(')');
+            }
+        }
+        std::vector<Qubit> qubits;
+        do {
+            qubits.push_back(
+                static_cast<Qubit>(parseIndexedRegister(qreg_name_)));
+        } while (consume(','));
+        expect(';');
+        pending.emplace_back(type, std::move(qubits), std::move(params));
+    }
+
+    if (qreg_name_.empty())
+        fail("no quantum register declared");
+    Circuit circuit(num_qubits_, num_clbits_);
+    for (Gate &g : pending)
+        circuit.append(std::move(g));
+    return circuit;
+}
+
+} // namespace
+
+Circuit
+fromQasm(const std::string &text)
+{
+    return QasmParser(text).parse();
+}
+
+} // namespace smq::qc

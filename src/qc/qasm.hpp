@@ -1,0 +1,36 @@
+/**
+ * @file
+ * OpenQASM 2.0 serialisation.
+ *
+ * The paper specifies every benchmark "at the level of OpenQASM"
+ * (Sec. V) so that any compiler/hardware stack can consume it. This
+ * module writes the IR to OpenQASM 2.0 text and parses the dialect
+ * back (the qelib1 gate vocabulary used by the suite; user-defined
+ * gate bodies are not supported).
+ */
+
+#ifndef SMQ_QC_QASM_HPP
+#define SMQ_QC_QASM_HPP
+
+#include <string>
+
+#include "qc/circuit.hpp"
+
+namespace smq::qc {
+
+/** Serialise a circuit as OpenQASM 2.0 text. */
+std::string toQasm(const Circuit &circuit);
+
+/**
+ * Parse OpenQASM 2.0 text produced by toQasm (or any program using a
+ * single quantum and single classical register plus the qelib1 gates
+ * known to GateType). Parameter expressions support +, -, *, /,
+ * parentheses, numeric literals and "pi".
+ *
+ * @throws std::runtime_error with a line/column message on bad input.
+ */
+Circuit fromQasm(const std::string &text);
+
+} // namespace smq::qc
+
+#endif // SMQ_QC_QASM_HPP

@@ -1,0 +1,54 @@
+#include "qc/schedule.hpp"
+
+#include <algorithm>
+
+namespace smq::qc {
+
+Schedule
+schedule(const Circuit &circuit)
+{
+    Schedule sched;
+    sched.momentOf.assign(circuit.size(), -1);
+    // frontier[q] = first moment at which qubit q is free.
+    std::vector<std::size_t> frontier(circuit.numQubits(), 0);
+
+    const auto &gates = circuit.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        if (g.type == GateType::BARRIER) {
+            std::size_t fence = 0;
+            for (std::size_t f : frontier)
+                fence = std::max(fence, f);
+            std::fill(frontier.begin(), frontier.end(), fence);
+            continue;
+        }
+        std::size_t moment = 0;
+        for (Qubit q : g.qubits)
+            moment = std::max(moment, frontier[q]);
+        if (moment >= sched.moments.size())
+            sched.moments.resize(moment + 1);
+        sched.moments[moment].push_back(i);
+        sched.momentOf[i] = static_cast<std::ptrdiff_t>(moment);
+        for (Qubit q : g.qubits)
+            frontier[q] = moment + 1;
+    }
+    return sched;
+}
+
+std::vector<std::vector<std::uint8_t>>
+livenessMatrix(const Circuit &circuit, const Schedule &sched)
+{
+    std::vector<std::vector<std::uint8_t>> live(
+        circuit.numQubits(),
+        std::vector<std::uint8_t>(sched.depth(), 0));
+    const auto &gates = circuit.gates();
+    for (std::size_t m = 0; m < sched.moments.size(); ++m) {
+        for (std::size_t idx : sched.moments[m]) {
+            for (Qubit q : gates[idx].qubits)
+                live[q][m] = 1;
+        }
+    }
+    return live;
+}
+
+} // namespace smq::qc

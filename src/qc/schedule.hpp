@@ -1,0 +1,50 @@
+/**
+ * @file
+ * As-soon-as-possible moment scheduling.
+ *
+ * The paper's depth-dependent features (critical-depth, parallelism,
+ * liveness, measurement; Sec. III-B) are defined over a layered view
+ * of the circuit: sequential "moments" in which each qubit is acted on
+ * at most once. Schedule materialises that view.
+ */
+
+#ifndef SMQ_QC_SCHEDULE_HPP
+#define SMQ_QC_SCHEDULE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "qc/circuit.hpp"
+
+namespace smq::qc {
+
+/** A layered (moment-by-moment) view of a circuit. */
+struct Schedule
+{
+    /** moments[m] holds indices into circuit.gates() scheduled at m. */
+    std::vector<std::vector<std::size_t>> moments;
+
+    /** moment[i] = moment assigned to instruction i (barrier: -1). */
+    std::vector<std::ptrdiff_t> momentOf;
+
+    /** Circuit depth = number of moments. */
+    std::size_t depth() const { return moments.size(); }
+};
+
+/**
+ * Greedy ASAP scheduling: each non-barrier instruction is placed at
+ * 1 + max(frontier of its qubits). A BARRIER advances every qubit's
+ * frontier to the current maximum but occupies no moment itself.
+ */
+Schedule schedule(const Circuit &circuit);
+
+/**
+ * The liveness matrix A (paper Eq. 5): A[q][m] = 1 when qubit q is
+ * involved in an operation at moment m.
+ */
+std::vector<std::vector<std::uint8_t>>
+livenessMatrix(const Circuit &circuit, const Schedule &sched);
+
+} // namespace smq::qc
+
+#endif // SMQ_QC_SCHEDULE_HPP

@@ -1,0 +1,362 @@
+#include "sim/density_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qc/schedule.hpp"
+
+namespace smq::sim {
+
+namespace {
+constexpr std::size_t kMaxQubits = 11;
+} // namespace
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : numQubits_(num_qubits), dim_(std::size_t{1} << num_qubits)
+{
+    if (num_qubits > kMaxQubits)
+        throw std::invalid_argument(
+            "DensityMatrix: too many qubits for dense simulation");
+    rho_.assign(dim_ * dim_, Complex{0.0, 0.0});
+    rho_[0] = 1.0;
+}
+
+Complex
+DensityMatrix::element(std::size_t r, std::size_t c) const
+{
+    if (r >= dim_ || c >= dim_)
+        throw std::out_of_range("DensityMatrix::element");
+    return rho_[r * dim_ + c];
+}
+
+void
+DensityMatrix::checkQubit(std::size_t q) const
+{
+    if (q >= numQubits_)
+        throw std::out_of_range("DensityMatrix: qubit index out of range");
+}
+
+void
+DensityMatrix::applyMatrix1(std::size_t q, const Matrix2 &u)
+{
+    checkQubit(q);
+    const std::size_t stride = std::size_t{1} << q;
+    // left multiply: rows
+    for (std::size_t c = 0; c < dim_; ++c) {
+        for (std::size_t base = 0; base < dim_; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                std::size_t r0 = base + off;
+                std::size_t r1 = r0 + stride;
+                Complex a0 = rho_[r0 * dim_ + c];
+                Complex a1 = rho_[r1 * dim_ + c];
+                rho_[r0 * dim_ + c] = u[0] * a0 + u[1] * a1;
+                rho_[r1 * dim_ + c] = u[2] * a0 + u[3] * a1;
+            }
+        }
+    }
+    // right multiply by U^dagger: columns with conjugated entries
+    for (std::size_t r = 0; r < dim_; ++r) {
+        for (std::size_t base = 0; base < dim_; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                std::size_t c0 = base + off;
+                std::size_t c1 = c0 + stride;
+                Complex a0 = rho_[r * dim_ + c0];
+                Complex a1 = rho_[r * dim_ + c1];
+                rho_[r * dim_ + c0] =
+                    std::conj(u[0]) * a0 + std::conj(u[1]) * a1;
+                rho_[r * dim_ + c1] =
+                    std::conj(u[2]) * a0 + std::conj(u[3]) * a1;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &u)
+{
+    checkQubit(q0);
+    checkQubit(q1);
+    if (q0 == q1)
+        throw std::invalid_argument("DensityMatrix: duplicate qubit");
+    const std::size_t s0 = std::size_t{1} << q0;
+    const std::size_t s1 = std::size_t{1} << q1;
+
+    for (std::size_t c = 0; c < dim_; ++c) {
+        for (std::size_t idx = 0; idx < dim_; ++idx) {
+            if ((idx & s0) || (idx & s1))
+                continue;
+            std::size_t r[4] = {idx, idx + s1, idx + s0, idx + s0 + s1};
+            Complex a[4];
+            for (int k = 0; k < 4; ++k)
+                a[k] = rho_[r[k] * dim_ + c];
+            for (int k = 0; k < 4; ++k) {
+                rho_[r[k] * dim_ + c] = u[k * 4 + 0] * a[0] +
+                                        u[k * 4 + 1] * a[1] +
+                                        u[k * 4 + 2] * a[2] +
+                                        u[k * 4 + 3] * a[3];
+            }
+        }
+    }
+    for (std::size_t r = 0; r < dim_; ++r) {
+        for (std::size_t idx = 0; idx < dim_; ++idx) {
+            if ((idx & s0) || (idx & s1))
+                continue;
+            std::size_t c[4] = {idx, idx + s1, idx + s0, idx + s0 + s1};
+            Complex a[4];
+            for (int k = 0; k < 4; ++k)
+                a[k] = rho_[r * dim_ + c[k]];
+            for (int k = 0; k < 4; ++k) {
+                rho_[r * dim_ + c[k]] = std::conj(u[k * 4 + 0]) * a[0] +
+                                        std::conj(u[k * 4 + 1]) * a[1] +
+                                        std::conj(u[k * 4 + 2]) * a[2] +
+                                        std::conj(u[k * 4 + 3]) * a[3];
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyGate(const qc::Gate &gate)
+{
+    using qc::GateType;
+    if (gate.type == GateType::CCX || gate.type == GateType::CSWAP) {
+        // Decompose the permutation into the 2q basis via a swap on
+        // amplitudes is awkward for rho; apply as row/col permutation.
+        auto permute = [&](std::size_t idx) {
+            if (gate.type == GateType::CCX) {
+                std::size_t c0 = std::size_t{1} << gate.qubits[0];
+                std::size_t c1 = std::size_t{1} << gate.qubits[1];
+                std::size_t t = std::size_t{1} << gate.qubits[2];
+                if ((idx & c0) && (idx & c1))
+                    return idx ^ t;
+                return idx;
+            }
+            std::size_t c = std::size_t{1} << gate.qubits[0];
+            std::size_t a = std::size_t{1} << gate.qubits[1];
+            std::size_t b = std::size_t{1} << gate.qubits[2];
+            if ((idx & c) && (((idx & a) != 0) != ((idx & b) != 0)))
+                return idx ^ a ^ b;
+            return idx;
+        };
+        std::vector<Complex> next(dim_ * dim_);
+        for (std::size_t r = 0; r < dim_; ++r) {
+            for (std::size_t c = 0; c < dim_; ++c)
+                next[permute(r) * dim_ + permute(c)] = rho_[r * dim_ + c];
+        }
+        rho_ = std::move(next);
+        return;
+    }
+    if (gate.qubits.size() == 1) {
+        applyMatrix1(gate.qubits[0], gateMatrix1(gate));
+    } else if (gate.qubits.size() == 2) {
+        applyMatrix2(gate.qubits[0], gate.qubits[1], gateMatrix2(gate));
+    } else {
+        throw std::invalid_argument("DensityMatrix::applyGate: bad arity");
+    }
+}
+
+void
+DensityMatrix::applyKraus1(std::size_t q, const std::vector<Matrix2> &kraus)
+{
+    checkQubit(q);
+    std::vector<Complex> acc(dim_ * dim_, Complex{0.0, 0.0});
+    std::vector<Complex> saved = rho_;
+    for (const Matrix2 &k : kraus) {
+        rho_ = saved;
+        applyMatrix1(q, k);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += rho_[i];
+    }
+    rho_ = std::move(acc);
+}
+
+void
+DensityMatrix::depolarize1(std::size_t q, double p)
+{
+    if (p <= 0.0)
+        return;
+    double sp = std::sqrt(p / 3.0);
+    std::vector<Matrix2> kraus = {
+        {std::sqrt(1.0 - p), 0.0, 0.0, std::sqrt(1.0 - p)},
+        {0.0, sp, sp, 0.0},
+        {0.0, Complex{0.0, -sp}, Complex{0.0, sp}, 0.0},
+        {sp, 0.0, 0.0, -sp},
+    };
+    applyKraus1(q, kraus);
+}
+
+void
+DensityMatrix::depolarize2(std::size_t qa, std::size_t qb, double p)
+{
+    if (p <= 0.0)
+        return;
+    checkQubit(qa);
+    checkQubit(qb);
+    std::vector<Complex> saved = rho_;
+    std::vector<Complex> acc(dim_ * dim_, Complex{0.0, 0.0});
+    static const qc::GateType paulis[4] = {qc::GateType::I, qc::GateType::X,
+                                           qc::GateType::Y, qc::GateType::Z};
+    for (std::size_t pa = 0; pa < 4; ++pa) {
+        for (std::size_t pb = 0; pb < 4; ++pb) {
+            double weight =
+                (pa == 0 && pb == 0) ? (1.0 - p) : (p / 15.0);
+            rho_ = saved;
+            if (pa != 0)
+                applyMatrix1(qa, gateMatrix1(qc::Gate(
+                                     paulis[pa],
+                                     {static_cast<qc::Qubit>(qa)})));
+            if (pb != 0)
+                applyMatrix1(qb, gateMatrix1(qc::Gate(
+                                     paulis[pb],
+                                     {static_cast<qc::Qubit>(qb)})));
+            for (std::size_t i = 0; i < acc.size(); ++i)
+                acc[i] += weight * rho_[i];
+        }
+    }
+    rho_ = std::move(acc);
+}
+
+void
+DensityMatrix::amplitudeDamp(std::size_t q, double gamma)
+{
+    if (gamma <= 0.0)
+        return;
+    std::vector<Matrix2> kraus = {
+        {1.0, 0.0, 0.0, std::sqrt(1.0 - gamma)},
+        {0.0, std::sqrt(gamma), 0.0, 0.0},
+    };
+    applyKraus1(q, kraus);
+}
+
+void
+DensityMatrix::dephase(std::size_t q, double p)
+{
+    if (p <= 0.0)
+        return;
+    std::vector<Matrix2> kraus = {
+        {std::sqrt(1.0 - p), 0.0, 0.0, std::sqrt(1.0 - p)},
+        {std::sqrt(p), 0.0, 0.0, -std::sqrt(p)},
+    };
+    applyKraus1(q, kraus);
+}
+
+double
+DensityMatrix::trace() const
+{
+    double tr = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i)
+        tr += rho_[i * dim_ + i].real();
+    return tr;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_{r,c} rho[r][c] rho[c][r] = sum |rho[r][c]|^2
+    // for Hermitian rho.
+    double p = 0.0;
+    for (const Complex &v : rho_)
+        p += std::norm(v);
+    return p;
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    std::vector<double> probs(dim_);
+    for (std::size_t i = 0; i < dim_; ++i)
+        probs[i] = rho_[i * dim_ + i].real();
+    return probs;
+}
+
+stats::Distribution
+noisyDistribution(const qc::Circuit &circuit, const NoiseModel &noise)
+{
+    // Terminal measurements only; mirror the runner's moment loop.
+    std::vector<std::ptrdiff_t> clbit_source(circuit.numClbits(), -1);
+    qc::Circuit body(circuit.numQubits());
+    std::vector<bool> measured_qubit(circuit.numQubits(), false);
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::MEASURE) {
+            clbit_source[static_cast<std::size_t>(g.cbit)] =
+                static_cast<std::ptrdiff_t>(g.qubits[0]);
+            measured_qubit[g.qubits[0]] = true;
+            continue;
+        }
+        if (g.type == qc::GateType::RESET)
+            throw std::invalid_argument(
+                "noisyDistribution: RESET not supported (use trajectories)");
+        for (qc::Qubit q : g.qubits) {
+            if (measured_qubit[q])
+                throw std::invalid_argument(
+                    "noisyDistribution: non-terminal measurement");
+        }
+        body.append(g);
+    }
+
+    DensityMatrix rho(circuit.numQubits());
+    qc::Schedule sched = qc::schedule(body);
+    const auto &gates = body.gates();
+    for (const auto &moment : sched.moments) {
+        double duration = 0.0;
+        std::vector<bool> active(circuit.numQubits(), false);
+        for (std::size_t idx : moment) {
+            const qc::Gate &g = gates[idx];
+            duration = std::max(duration, g.qubits.size() >= 2
+                                              ? noise.time2q
+                                              : noise.time1q);
+            for (qc::Qubit q : g.qubits)
+                active[q] = true;
+            rho.applyGate(g);
+            if (noise.enabled) {
+                if (g.qubits.size() == 1)
+                    rho.depolarize1(g.qubits[0], noise.p1);
+                else if (g.qubits.size() == 2)
+                    rho.depolarize2(g.qubits[0], g.qubits[1], noise.p2);
+            }
+        }
+        if (noise.enabled && duration > 0.0) {
+            for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
+                if (!active[q]) {
+                    rho.amplitudeDamp(q,
+                                      noise.idleDampingProbability(duration));
+                    rho.dephase(q,
+                                noise.idleDephasingProbability(duration));
+                }
+            }
+        }
+    }
+
+    std::vector<double> probs = rho.probabilities();
+    // Readout error: independent classical flips on measured qubits.
+    if (noise.enabled && noise.pMeas > 0.0) {
+        for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
+            if (!measured_qubit[q])
+                continue;
+            std::size_t mask = std::size_t{1} << q;
+            std::vector<double> next(probs.size());
+            for (std::size_t s = 0; s < probs.size(); ++s) {
+                next[s] = (1.0 - noise.pMeas) * probs[s] +
+                          noise.pMeas * probs[s ^ mask];
+            }
+            probs = std::move(next);
+        }
+    }
+
+    stats::Distribution dist;
+    for (std::size_t s = 0; s < probs.size(); ++s) {
+        if (probs[s] < 1e-15)
+            continue;
+        std::string key(circuit.numClbits(), '0');
+        for (std::size_t c = 0; c < circuit.numClbits(); ++c) {
+            if (clbit_source[c] >= 0 &&
+                (s >> static_cast<std::size_t>(clbit_source[c])) & 1) {
+                key[c] = '1';
+            }
+        }
+        dist.add(key, probs[s]);
+    }
+    return dist;
+}
+
+} // namespace smq::sim

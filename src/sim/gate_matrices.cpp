@@ -1,0 +1,204 @@
+#include "sim/gate_matrices.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smq::sim {
+
+namespace {
+
+constexpr Complex kI{0.0, 1.0};
+
+Matrix2
+u3Matrix(double theta, double phi, double lambda)
+{
+    double c = std::cos(theta / 2.0);
+    double s = std::sin(theta / 2.0);
+    return {Complex{c, 0.0}, -std::exp(kI * lambda) * s,
+            std::exp(kI * phi) * s, std::exp(kI * (phi + lambda)) * c};
+}
+
+/** Embed a one-qubit matrix acting on operand 1 (the target slot). */
+Matrix4
+controlled(const Matrix2 &u)
+{
+    Matrix4 m{};
+    m[0 * 4 + 0] = 1.0;
+    m[1 * 4 + 1] = 1.0;
+    m[2 * 4 + 2] = u[0];
+    m[2 * 4 + 3] = u[1];
+    m[3 * 4 + 2] = u[2];
+    m[3 * 4 + 3] = u[3];
+    return m;
+}
+
+} // namespace
+
+Matrix2
+gateMatrix1(const qc::Gate &gate)
+{
+    using qc::GateType;
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (gate.type) {
+      case GateType::I:
+        return {1.0, 0.0, 0.0, 1.0};
+      case GateType::X:
+        return {0.0, 1.0, 1.0, 0.0};
+      case GateType::Y:
+        return {0.0, -kI, kI, 0.0};
+      case GateType::Z:
+        return {1.0, 0.0, 0.0, -1.0};
+      case GateType::H:
+        return {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2};
+      case GateType::S:
+        return {1.0, 0.0, 0.0, kI};
+      case GateType::SDG:
+        return {1.0, 0.0, 0.0, -kI};
+      case GateType::T:
+        return {1.0, 0.0, 0.0, std::exp(kI * (M_PI / 4.0))};
+      case GateType::TDG:
+        return {1.0, 0.0, 0.0, std::exp(-kI * (M_PI / 4.0))};
+      case GateType::SX:
+        return {Complex{0.5, 0.5}, Complex{0.5, -0.5}, Complex{0.5, -0.5},
+                Complex{0.5, 0.5}};
+      case GateType::SXDG:
+        return {Complex{0.5, -0.5}, Complex{0.5, 0.5}, Complex{0.5, 0.5},
+                Complex{0.5, -0.5}};
+      case GateType::RX: {
+        double t = gate.params.at(0);
+        double c = std::cos(t / 2.0), s = std::sin(t / 2.0);
+        return {Complex{c, 0.0}, -kI * s, -kI * s, Complex{c, 0.0}};
+      }
+      case GateType::RY: {
+        double t = gate.params.at(0);
+        double c = std::cos(t / 2.0), s = std::sin(t / 2.0);
+        return {Complex{c, 0.0}, Complex{-s, 0.0}, Complex{s, 0.0},
+                Complex{c, 0.0}};
+      }
+      case GateType::RZ: {
+        double t = gate.params.at(0);
+        return {std::exp(-kI * (t / 2.0)), 0.0, 0.0,
+                std::exp(kI * (t / 2.0))};
+      }
+      case GateType::P:
+        return {1.0, 0.0, 0.0, std::exp(kI * gate.params.at(0))};
+      case GateType::U3:
+        return u3Matrix(gate.params.at(0), gate.params.at(1),
+                        gate.params.at(2));
+      default:
+        throw std::invalid_argument("gateMatrix1: not a one-qubit gate: " +
+                                    qc::gateName(gate.type));
+    }
+}
+
+Matrix4
+gateMatrix2(const qc::Gate &gate)
+{
+    using qc::GateType;
+    switch (gate.type) {
+      case GateType::CX:
+        return controlled({0.0, 1.0, 1.0, 0.0});
+      case GateType::CY:
+        return controlled({0.0, -kI, kI, 0.0});
+      case GateType::CZ:
+        return controlled({1.0, 0.0, 0.0, -1.0});
+      case GateType::CH: {
+        const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+        return controlled({inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2});
+      }
+      case GateType::CP:
+        return controlled({1.0, 0.0, 0.0, std::exp(kI * gate.params.at(0))});
+      case GateType::SWAP: {
+        Matrix4 m{};
+        m[0 * 4 + 0] = 1.0;
+        m[1 * 4 + 2] = 1.0;
+        m[2 * 4 + 1] = 1.0;
+        m[3 * 4 + 3] = 1.0;
+        return m;
+      }
+      case GateType::ISWAP: {
+        Matrix4 m{};
+        m[0 * 4 + 0] = 1.0;
+        m[1 * 4 + 2] = kI;
+        m[2 * 4 + 1] = kI;
+        m[3 * 4 + 3] = 1.0;
+        return m;
+      }
+      case GateType::RXX: {
+        double t = gate.params.at(0);
+        double c = std::cos(t / 2.0), s = std::sin(t / 2.0);
+        Matrix4 m{};
+        m[0 * 4 + 0] = c;
+        m[0 * 4 + 3] = -kI * s;
+        m[1 * 4 + 1] = c;
+        m[1 * 4 + 2] = -kI * s;
+        m[2 * 4 + 1] = -kI * s;
+        m[2 * 4 + 2] = c;
+        m[3 * 4 + 0] = -kI * s;
+        m[3 * 4 + 3] = c;
+        return m;
+      }
+      case GateType::RYY: {
+        double t = gate.params.at(0);
+        double c = std::cos(t / 2.0), s = std::sin(t / 2.0);
+        Matrix4 m{};
+        m[0 * 4 + 0] = c;
+        m[0 * 4 + 3] = kI * s;
+        m[1 * 4 + 1] = c;
+        m[1 * 4 + 2] = -kI * s;
+        m[2 * 4 + 1] = -kI * s;
+        m[2 * 4 + 2] = c;
+        m[3 * 4 + 0] = kI * s;
+        m[3 * 4 + 3] = c;
+        return m;
+      }
+      case GateType::RZZ: {
+        double t = gate.params.at(0);
+        Complex minus = std::exp(-kI * (t / 2.0));
+        Complex plus = std::exp(kI * (t / 2.0));
+        Matrix4 m{};
+        m[0 * 4 + 0] = minus;
+        m[1 * 4 + 1] = plus;
+        m[2 * 4 + 2] = plus;
+        m[3 * 4 + 3] = minus;
+        return m;
+      }
+      default:
+        throw std::invalid_argument("gateMatrix2: not a two-qubit gate: " +
+                                    qc::gateName(gate.type));
+    }
+}
+
+Matrix2
+multiply(const Matrix2 &a, const Matrix2 &b)
+{
+    return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Matrix2
+dagger(const Matrix2 &m)
+{
+    return {std::conj(m[0]), std::conj(m[2]), std::conj(m[1]),
+            std::conj(m[3])};
+}
+
+double
+phaseInvariantDistance(const Matrix2 &a, const Matrix2 &b)
+{
+    // Align the global phase at the largest entry of a.
+    std::size_t k = 0;
+    for (std::size_t i = 1; i < 4; ++i) {
+        if (std::abs(a[i]) > std::abs(a[k]))
+            k = i;
+    }
+    Complex phase{1.0, 0.0};
+    if (std::abs(a[k]) > 1e-12 && std::abs(b[k]) > 1e-12)
+        phase = (a[k] / std::abs(a[k])) / (b[k] / std::abs(b[k]));
+    double dist = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+        dist += std::norm(a[i] - phase * b[i]);
+    return std::sqrt(dist);
+}
+
+} // namespace smq::sim

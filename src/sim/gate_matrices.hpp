@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Unitary matrices for the gate set.
+ *
+ * Conventions: a one-qubit matrix is row-major 2x2. A two-qubit matrix
+ * is row-major 4x4 in the basis |b0 b1> where b0 is the value of the
+ * gate's FIRST operand (e.g. the CX control) and the basis index is
+ * k = 2 b0 + b1.
+ */
+
+#ifndef SMQ_SIM_GATE_MATRICES_HPP
+#define SMQ_SIM_GATE_MATRICES_HPP
+
+#include <array>
+#include <complex>
+
+#include "qc/gate.hpp"
+
+namespace smq::sim {
+
+using Complex = std::complex<double>;
+using Matrix2 = std::array<Complex, 4>;   ///< row-major 2x2
+using Matrix4 = std::array<Complex, 16>;  ///< row-major 4x4
+
+/** The 2x2 unitary of a one-qubit gate. @throws for other arities. */
+Matrix2 gateMatrix1(const qc::Gate &gate);
+
+/** The 4x4 unitary of a two-qubit gate. @throws for other arities. */
+Matrix4 gateMatrix2(const qc::Gate &gate);
+
+/** Matrix product a * b for 2x2 matrices. */
+Matrix2 multiply(const Matrix2 &a, const Matrix2 &b);
+
+/** Conjugate transpose of a 2x2 matrix. */
+Matrix2 dagger(const Matrix2 &m);
+
+/** Frobenius distance between 2x2 matrices up to global phase. */
+double phaseInvariantDistance(const Matrix2 &a, const Matrix2 &b);
+
+} // namespace smq::sim
+
+#endif // SMQ_SIM_GATE_MATRICES_HPP

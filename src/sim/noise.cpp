@@ -1,0 +1,55 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smq::sim {
+
+NoiseModel
+NoiseModel::scaled(double factor) const
+{
+    NoiseModel out = *this;
+    auto clamp01 = [](double p) { return std::clamp(p, 0.0, 1.0); };
+    out.p1 = clamp01(p1 * factor);
+    out.p2 = clamp01(p2 * factor);
+    out.pMeas = clamp01(pMeas * factor);
+    out.pReset = clamp01(pReset * factor);
+    if (factor > 0.0) {
+        out.t1 = t1 / factor;
+        out.t2 = t2 / factor;
+    } else {
+        out.t1 = 1e9;
+        out.t2 = 1e9;
+    }
+    out.enabled = enabled && factor > 0.0;
+    return out;
+}
+
+double
+NoiseModel::dephasingRate() const
+{
+    if (t2 <= 0.0)
+        return 0.0;
+    double rate = 1.0 / t2 - 1.0 / (2.0 * t1);
+    return std::max(rate, 0.0);
+}
+
+double
+NoiseModel::idleDampingProbability(double dt) const
+{
+    if (t1 <= 0.0 || dt <= 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-dt / t1);
+}
+
+double
+NoiseModel::idleDephasingProbability(double dt) const
+{
+    double rate = dephasingRate();
+    if (rate <= 0.0 || dt <= 0.0)
+        return 0.0;
+    // Pauli-twirled pure dephasing: Z flip with prob (1 - e^{-t/Tphi})/2
+    return 0.5 * (1.0 - std::exp(-dt * rate));
+}
+
+} // namespace smq::sim

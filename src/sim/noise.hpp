@@ -1,0 +1,65 @@
+/**
+ * @file
+ * NISQ noise modelling.
+ *
+ * The paper evaluates its suite on real QPUs whose dominant error
+ * sources are (Table II): imperfect 1q/2q gates, measurement error,
+ * and decoherence of idling qubits relative to T1/T2. NoiseModel
+ * carries exactly those parameters; the trajectory runner (runner.hpp)
+ * and density-matrix simulator apply them.
+ *
+ * Channels:
+ *  - depolarising after each gate on the gate's qubits,
+ *  - thermal relaxation (amplitude damping toward |0> with rate 1/T1,
+ *    pure dephasing with rate 1/Tphi = 1/T2 - 1/(2 T1)) on idle qubits
+ *    for each scheduled moment's duration,
+ *  - classical bit-flip on measurement outcomes,
+ *  - imperfect RESET (residual excitation).
+ */
+
+#ifndef SMQ_SIM_NOISE_HPP
+#define SMQ_SIM_NOISE_HPP
+
+#include <cstddef>
+
+namespace smq::sim {
+
+/** Device-level noise parameters (times in microseconds). */
+struct NoiseModel
+{
+    bool enabled = false;
+
+    double p1 = 0.0;     ///< 1q gate depolarising probability
+    double p2 = 0.0;     ///< 2q gate depolarising probability
+    double pMeas = 0.0;  ///< measurement bit-flip probability
+    double pReset = 0.0; ///< residual |1> population after RESET
+
+    double t1 = 1e9;    ///< amplitude-damping time constant (us)
+    double t2 = 1e9;    ///< dephasing time constant (us)
+
+    double time1q = 0.0;   ///< 1q gate duration (us)
+    double time2q = 0.0;   ///< 2q gate duration (us)
+    double timeMeas = 0.0; ///< measurement/reset duration (us)
+
+    /** A noiseless model. */
+    static NoiseModel ideal() { return NoiseModel{}; }
+
+    /**
+     * Uniform scaling of all error probabilities and time/coherence
+     * ratios by @p factor (used by the artifact-style noise sweep).
+     */
+    NoiseModel scaled(double factor) const;
+
+    /** Pure dephasing rate 1/Tphi derived from T1/T2 (>= 0). */
+    double dephasingRate() const;
+
+    /** Amplitude-damping probability for an idle window of @p dt us. */
+    double idleDampingProbability(double dt) const;
+
+    /** Pure-dephasing phase-flip probability for an idle window. */
+    double idleDephasingProbability(double dt) const;
+};
+
+} // namespace smq::sim
+
+#endif // SMQ_SIM_NOISE_HPP

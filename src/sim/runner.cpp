@@ -1,0 +1,214 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qc/schedule.hpp"
+#include "sim/statevector.hpp"
+
+namespace smq::sim {
+
+namespace {
+
+/** Random non-identity Pauli on one qubit. */
+void
+applyRandomPauli(StateVector &state, std::size_t q, stats::Rng &rng)
+{
+    static const qc::GateType paulis[3] = {qc::GateType::X, qc::GateType::Y,
+                                           qc::GateType::Z};
+    qc::GateType type = paulis[rng.index(3)];
+    state.applyGate(qc::Gate(type, {static_cast<qc::Qubit>(q)}));
+}
+
+/** Random non-identity two-qubit Pauli (uniform over the 15). */
+void
+applyRandomPauli2(StateVector &state, std::size_t qa, std::size_t qb,
+                  stats::Rng &rng)
+{
+    std::size_t choice = rng.index(15) + 1; // 1..15, base-4 digits (pa, pb)
+    std::size_t pa = choice / 4;
+    std::size_t pb = choice % 4;
+    static const qc::GateType paulis[4] = {qc::GateType::I, qc::GateType::X,
+                                           qc::GateType::Y, qc::GateType::Z};
+    if (pa != 0)
+        state.applyGate(qc::Gate(paulis[pa], {static_cast<qc::Qubit>(qa)}));
+    if (pb != 0)
+        state.applyGate(qc::Gate(paulis[pb], {static_cast<qc::Qubit>(qb)}));
+}
+
+double
+gateDuration(const qc::Gate &gate, const NoiseModel &noise)
+{
+    if (gate.type == qc::GateType::MEASURE ||
+        gate.type == qc::GateType::RESET) {
+        return noise.timeMeas;
+    }
+    if (gate.qubits.size() >= 2)
+        return noise.time2q;
+    return noise.time1q;
+}
+
+/** Apply idle thermal relaxation to one qubit for dt microseconds. */
+void
+applyIdleNoise(StateVector &state, std::size_t q, double dt,
+               const NoiseModel &noise, stats::Rng &rng)
+{
+    state.thermalRelaxationTrajectory(q, noise.idleDampingProbability(dt),
+                                      noise.idleDephasingProbability(dt),
+                                      rng);
+}
+
+/** One trajectory through the full circuit, writing classical bits. */
+std::string
+runTrajectory(const qc::Circuit &circuit, const qc::Schedule &sched,
+              const NoiseModel &noise, stats::Rng &rng, StateVector &state)
+{
+    state.resetToZero();
+    std::string clbits(circuit.numClbits(), '0');
+    const auto &gates = circuit.gates();
+
+    for (const auto &moment : sched.moments) {
+        double duration = 0.0;
+        std::vector<bool> active(circuit.numQubits(), false);
+        for (std::size_t idx : moment) {
+            const qc::Gate &g = gates[idx];
+            if (noise.enabled)
+                duration = std::max(duration, gateDuration(g, noise));
+            for (qc::Qubit q : g.qubits)
+                active[q] = true;
+
+            switch (g.type) {
+              case qc::GateType::MEASURE: {
+                int outcome = state.measure(g.qubits[0], rng);
+                if (noise.enabled && rng.bernoulli(noise.pMeas))
+                    outcome ^= 1;
+                clbits[static_cast<std::size_t>(g.cbit)] =
+                    outcome ? '1' : '0';
+                break;
+              }
+              case qc::GateType::RESET:
+                state.reset(g.qubits[0], rng);
+                if (noise.enabled && rng.bernoulli(noise.pReset)) {
+                    state.applyGate(qc::Gate(qc::GateType::X,
+                                             {g.qubits[0]}));
+                }
+                break;
+              default:
+                state.applyGate(g);
+                if (noise.enabled) {
+                    if (g.qubits.size() == 1 && rng.bernoulli(noise.p1)) {
+                        applyRandomPauli(state, g.qubits[0], rng);
+                    } else if (g.qubits.size() >= 2 &&
+                               rng.bernoulli(noise.p2)) {
+                        applyRandomPauli2(state, g.qubits[0], g.qubits[1],
+                                          rng);
+                    }
+                }
+                break;
+            }
+        }
+        if (noise.enabled && duration > 0.0) {
+            for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
+                if (!active[q])
+                    applyIdleNoise(state, q, duration, noise, rng);
+            }
+        }
+    }
+    return clbits;
+}
+
+} // namespace
+
+bool
+hasMidCircuitOperations(const qc::Circuit &circuit)
+{
+    std::vector<bool> finalized(circuit.numQubits(), false);
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER)
+            continue;
+        if (g.type == qc::GateType::RESET)
+            return true;
+        if (g.type == qc::GateType::MEASURE) {
+            finalized[g.qubits[0]] = true;
+            continue;
+        }
+        for (qc::Qubit q : g.qubits) {
+            if (finalized[q])
+                return true;
+        }
+    }
+    return false;
+}
+
+stats::Counts
+run(const qc::Circuit &circuit, const RunOptions &options, stats::Rng &rng)
+{
+    if (circuit.measureCount() == 0)
+        throw std::invalid_argument("run: circuit measures nothing");
+
+    const bool mid_circuit = hasMidCircuitOperations(circuit);
+
+    // Noiseless, terminal measurements: sample the exact distribution.
+    if (!options.noise.enabled && !mid_circuit)
+        return idealDistribution(circuit).sample(options.shots, rng);
+
+    qc::Schedule sched = qc::schedule(circuit);
+    StateVector state(circuit.numQubits());
+    stats::Counts counts;
+
+    if (mid_circuit) {
+        for (std::uint64_t s = 0; s < options.shots; ++s)
+            counts.add(runTrajectory(circuit, sched, options.noise, rng,
+                                     state));
+        return counts;
+    }
+
+    // Terminal measurements with gate noise: amortise several shots
+    // per stochastic trajectory. Measurement collapse order does not
+    // matter, so we split the circuit at the measurement boundary and
+    // sample the pre-measurement state repeatedly.
+    std::uint64_t per_traj = std::max<std::uint64_t>(
+        1, std::min(options.shotsPerTrajectory, options.shots));
+
+    // Identify classical mapping; all measurements are terminal.
+    std::vector<std::ptrdiff_t> clbit_source(circuit.numClbits(), -1);
+    qc::Circuit body(circuit.numQubits());
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::MEASURE) {
+            clbit_source[static_cast<std::size_t>(g.cbit)] =
+                static_cast<std::ptrdiff_t>(g.qubits[0]);
+        } else {
+            body.append(g);
+        }
+    }
+    qc::Schedule body_sched = qc::schedule(body);
+
+    std::uint64_t remaining = options.shots;
+    while (remaining > 0) {
+        std::uint64_t batch = std::min(per_traj, remaining);
+        remaining -= batch;
+        // Note: measurement-time idle noise for the terminal moment is
+        // captured by the readout error probability itself.
+        runTrajectory(body, body_sched, options.noise, rng, state);
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            std::size_t basis = state.sampleBasisState(rng);
+            std::string clbits(circuit.numClbits(), '0');
+            for (std::size_t c = 0; c < clbits.size(); ++c) {
+                if (clbit_source[c] < 0)
+                    continue;
+                int bit = static_cast<int>(
+                    (basis >> static_cast<std::size_t>(clbit_source[c])) & 1);
+                if (options.noise.enabled &&
+                    rng.bernoulli(options.noise.pMeas)) {
+                    bit ^= 1;
+                }
+                clbits[c] = bit ? '1' : '0';
+            }
+            counts.add(clbits);
+        }
+    }
+    return counts;
+}
+
+} // namespace smq::sim

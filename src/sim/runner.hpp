@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shot execution of circuits under a noise model.
+ *
+ * The runner stands in for a cloud QPU: it takes a (transpiled)
+ * circuit, executes the requested number of shots under the device's
+ * NoiseModel, and returns a histogram over the classical bits, just
+ * as the paper's benchmark harness receives counts from hardware.
+ *
+ * Noise is simulated with quantum trajectories over the state vector:
+ * stochastic Pauli insertions for gate error, per-moment thermal
+ * relaxation of idle qubits (moment durations from gate times), and
+ * classical readout flips. Circuits whose measurements are all
+ * terminal amortise several shots per trajectory; mid-circuit
+ * measurement / RESET (the error-correction benchmarks) force one
+ * trajectory per shot because the collapse is outcome-dependent.
+ */
+
+#ifndef SMQ_SIM_RUNNER_HPP
+#define SMQ_SIM_RUNNER_HPP
+
+#include <cstdint>
+
+#include "qc/circuit.hpp"
+#include "sim/noise.hpp"
+#include "stats/counts.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::sim {
+
+/** Execution options for the shot runner. */
+struct RunOptions
+{
+    std::uint64_t shots = 1000;
+    NoiseModel noise = NoiseModel::ideal();
+    /**
+     * For terminal-measurement circuits, how many shots to draw from
+     * each stochastic trajectory (1 = fully independent shots).
+     */
+    std::uint64_t shotsPerTrajectory = 20;
+};
+
+/** True if the circuit contains RESET or a non-terminal MEASURE. */
+bool hasMidCircuitOperations(const qc::Circuit &circuit);
+
+/**
+ * Execute @p circuit for options.shots shots and return the histogram
+ * over its classical bits. @pre the circuit measures at least one bit.
+ */
+stats::Counts run(const qc::Circuit &circuit, const RunOptions &options,
+                  stats::Rng &rng);
+
+} // namespace smq::sim
+
+#endif // SMQ_SIM_RUNNER_HPP

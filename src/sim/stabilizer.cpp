@@ -1,0 +1,420 @@
+#include "sim/stabilizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qc/schedule.hpp"
+
+namespace smq::sim {
+
+StabilizerSimulator::StabilizerSimulator(std::size_t num_qubits)
+    : numQubits_(num_qubits), words_((num_qubits + 63) / 64)
+{
+    if (num_qubits == 0)
+        throw std::invalid_argument("StabilizerSimulator: n > 0");
+    x_.assign((2 * numQubits_ + 1) * words_, 0);
+    z_.assign((2 * numQubits_ + 1) * words_, 0);
+    r_.assign(2 * numQubits_ + 1, 0);
+    resetAll();
+}
+
+void
+StabilizerSimulator::resetAll()
+{
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+    std::fill(r_.begin(), r_.end(), 0);
+    // destabilizer i = X_i, stabilizer n+i = Z_i
+    for (std::size_t i = 0; i < numQubits_; ++i) {
+        setX(i, i, true);
+        setZ(numQubits_ + i, i, true);
+    }
+}
+
+bool
+StabilizerSimulator::xBit(std::size_t row, std::size_t q) const
+{
+    return (x_[row * words_ + q / 64] >> (q % 64)) & 1;
+}
+
+bool
+StabilizerSimulator::zBit(std::size_t row, std::size_t q) const
+{
+    return (z_[row * words_ + q / 64] >> (q % 64)) & 1;
+}
+
+void
+StabilizerSimulator::setX(std::size_t row, std::size_t q, bool v)
+{
+    std::uint64_t mask = std::uint64_t{1} << (q % 64);
+    if (v)
+        x_[row * words_ + q / 64] |= mask;
+    else
+        x_[row * words_ + q / 64] &= ~mask;
+}
+
+void
+StabilizerSimulator::setZ(std::size_t row, std::size_t q, bool v)
+{
+    std::uint64_t mask = std::uint64_t{1} << (q % 64);
+    if (v)
+        z_[row * words_ + q / 64] |= mask;
+    else
+        z_[row * words_ + q / 64] &= ~mask;
+}
+
+void
+StabilizerSimulator::clearRow(std::size_t row)
+{
+    std::fill_n(x_.begin() + static_cast<std::ptrdiff_t>(row * words_),
+                words_, 0);
+    std::fill_n(z_.begin() + static_cast<std::ptrdiff_t>(row * words_),
+                words_, 0);
+    r_[row] = 0;
+}
+
+void
+StabilizerSimulator::copyRow(std::size_t dst, std::size_t src)
+{
+    std::copy_n(x_.begin() + static_cast<std::ptrdiff_t>(src * words_),
+                words_,
+                x_.begin() + static_cast<std::ptrdiff_t>(dst * words_));
+    std::copy_n(z_.begin() + static_cast<std::ptrdiff_t>(src * words_),
+                words_,
+                z_.begin() + static_cast<std::ptrdiff_t>(dst * words_));
+    r_[dst] = r_[src];
+}
+
+void
+StabilizerSimulator::rowsum(std::size_t h, std::size_t i)
+{
+    // phase exponent of i accumulated while multiplying row i into h
+    // (Aaronson-Gottesman g function), tracked mod 4
+    int phase = 2 * (r_[h] + r_[i]);
+    for (std::size_t q = 0; q < numQubits_; ++q) {
+        int x1 = xBit(h, q), z1 = zBit(h, q);
+        int x2 = xBit(i, q), z2 = zBit(i, q);
+        // g(x2, z2 | x1, z1): contribution of multiplying the q-th
+        // factors (note: row h <- row h * row i with row i's factor on
+        // the right; AG define g(x1,z1,x2,z2) for row_h = row_i * row_h
+        // — we follow AG exactly: h <- i + h)
+        if (x2 == 0 && z2 == 0) {
+            // identity contributes nothing
+        } else if (x2 == 1 && z2 == 1) {
+            phase += z1 - x1;
+        } else if (x2 == 1 && z2 == 0) {
+            phase += z1 * (2 * x1 - 1);
+        } else {
+            phase += x1 * (1 - 2 * z1);
+        }
+    }
+    phase = ((phase % 4) + 4) % 4;
+    r_[h] = static_cast<std::uint8_t>(phase == 2);
+    for (std::size_t w = 0; w < words_; ++w) {
+        x_[h * words_ + w] ^= x_[i * words_ + w];
+        z_[h * words_ + w] ^= z_[i * words_ + w];
+    }
+}
+
+void
+StabilizerSimulator::applyGate(const qc::Gate &gate)
+{
+    using qc::GateType;
+    const std::size_t rows = 2 * numQubits_;
+    auto q0 = [&]() { return static_cast<std::size_t>(gate.qubits.at(0)); };
+    auto q1 = [&]() { return static_cast<std::size_t>(gate.qubits.at(1)); };
+
+    switch (gate.type) {
+      case GateType::I:
+        return;
+      case GateType::X: {
+        std::size_t q = q0();
+        for (std::size_t row = 0; row < rows; ++row)
+            r_[row] ^= zBit(row, q);
+        return;
+      }
+      case GateType::Z: {
+        std::size_t q = q0();
+        for (std::size_t row = 0; row < rows; ++row)
+            r_[row] ^= xBit(row, q);
+        return;
+      }
+      case GateType::Y: {
+        std::size_t q = q0();
+        for (std::size_t row = 0; row < rows; ++row)
+            r_[row] ^= xBit(row, q) ^ zBit(row, q);
+        return;
+      }
+      case GateType::H: {
+        std::size_t q = q0();
+        for (std::size_t row = 0; row < rows; ++row) {
+            bool x = xBit(row, q), z = zBit(row, q);
+            r_[row] ^= static_cast<std::uint8_t>(x && z);
+            setX(row, q, z);
+            setZ(row, q, x);
+        }
+        return;
+      }
+      case GateType::S: {
+        std::size_t q = q0();
+        for (std::size_t row = 0; row < rows; ++row) {
+            bool x = xBit(row, q), z = zBit(row, q);
+            r_[row] ^= static_cast<std::uint8_t>(x && z);
+            setZ(row, q, x ^ z);
+        }
+        return;
+      }
+      case GateType::SDG:
+        // SDG = S Z (conjugation-wise S then Z adjusts the sign)
+        applyGate(qc::Gate(GateType::S, gate.qubits));
+        applyGate(qc::Gate(GateType::Z, gate.qubits));
+        return;
+      case GateType::SX:
+        applyGate(qc::Gate(GateType::H, gate.qubits));
+        applyGate(qc::Gate(GateType::S, gate.qubits));
+        applyGate(qc::Gate(GateType::H, gate.qubits));
+        return;
+      case GateType::SXDG:
+        applyGate(qc::Gate(GateType::H, gate.qubits));
+        applyGate(qc::Gate(GateType::SDG, gate.qubits));
+        applyGate(qc::Gate(GateType::H, gate.qubits));
+        return;
+      case GateType::CX: {
+        std::size_t c = q0(), t = q1();
+        for (std::size_t row = 0; row < rows; ++row) {
+            bool xc = xBit(row, c), zc = zBit(row, c);
+            bool xt = xBit(row, t), zt = zBit(row, t);
+            r_[row] ^= static_cast<std::uint8_t>(xc && zt &&
+                                                 (xt == zc));
+            setX(row, t, xt ^ xc);
+            setZ(row, c, zc ^ zt);
+        }
+        return;
+      }
+      case GateType::CZ:
+        applyGate(qc::Gate(GateType::H, {gate.qubits[1]}));
+        applyGate(qc::Gate(GateType::CX, gate.qubits));
+        applyGate(qc::Gate(GateType::H, {gate.qubits[1]}));
+        return;
+      case GateType::CY:
+        applyGate(qc::Gate(GateType::SDG, {gate.qubits[1]}));
+        applyGate(qc::Gate(GateType::CX, gate.qubits));
+        applyGate(qc::Gate(GateType::S, {gate.qubits[1]}));
+        return;
+      case GateType::SWAP:
+        applyGate(qc::Gate(GateType::CX, {gate.qubits[0], gate.qubits[1]}));
+        applyGate(qc::Gate(GateType::CX, {gate.qubits[1], gate.qubits[0]}));
+        applyGate(qc::Gate(GateType::CX, {gate.qubits[0], gate.qubits[1]}));
+        return;
+      default:
+        throw std::invalid_argument(
+            "StabilizerSimulator: non-Clifford gate " +
+            qc::gateName(gate.type));
+    }
+}
+
+bool
+StabilizerSimulator::isDeterministic(std::size_t q) const
+{
+    for (std::size_t p = numQubits_; p < 2 * numQubits_; ++p) {
+        if (xBit(p, q))
+            return false;
+    }
+    return true;
+}
+
+int
+StabilizerSimulator::measure(std::size_t q, stats::Rng &rng)
+{
+    const std::size_t n = numQubits_;
+    // find a stabilizer anticommuting with Z_q
+    std::size_t p = 2 * n;
+    for (std::size_t row = n; row < 2 * n; ++row) {
+        if (xBit(row, q)) {
+            p = row;
+            break;
+        }
+    }
+    if (p < 2 * n) {
+        // random outcome
+        for (std::size_t row = 0; row < 2 * n; ++row) {
+            if (row != p && xBit(row, q))
+                rowsum(row, p);
+        }
+        copyRow(p - n, p);
+        clearRow(p);
+        setZ(p, q, true);
+        int outcome = rng.bernoulli(0.5) ? 1 : 0;
+        r_[p] = static_cast<std::uint8_t>(outcome);
+        return outcome;
+    }
+    // deterministic outcome: accumulate into the scratch row
+    const std::size_t scratch = 2 * n;
+    clearRow(scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (xBit(i, q))
+            rowsum(scratch, i + n);
+    }
+    return r_[scratch];
+}
+
+void
+StabilizerSimulator::reset(std::size_t q, stats::Rng &rng)
+{
+    if (measure(q, rng) == 1)
+        applyGate(qc::Gate(qc::GateType::X,
+                           {static_cast<qc::Qubit>(q)}));
+}
+
+bool
+isCliffordCircuit(const qc::Circuit &circuit)
+{
+    for (const qc::Gate &g : circuit.gates()) {
+        switch (g.type) {
+          case qc::GateType::MEASURE:
+          case qc::GateType::RESET:
+          case qc::GateType::BARRIER:
+            continue;
+          default:
+            if (!qc::isClifford(g.type))
+                return false;
+            // the tableau engine implements this subset directly
+            if (g.type == qc::GateType::ISWAP)
+                return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/** Pauli-twirled amplitude damping + dephasing as X/Y/Z flip probs. */
+struct TwirledIdle
+{
+    double px = 0.0, py = 0.0, pz = 0.0;
+};
+
+TwirledIdle
+twirlIdle(const NoiseModel &noise, double dt)
+{
+    TwirledIdle t;
+    double gamma = noise.idleDampingProbability(dt);
+    // standard Pauli twirl of amplitude damping
+    t.px = gamma / 4.0;
+    t.py = gamma / 4.0;
+    t.pz = std::max(0.0, (1.0 - std::sqrt(1.0 - gamma)) / 2.0 -
+                             gamma / 4.0);
+    t.pz += noise.idleDephasingProbability(dt);
+    return t;
+}
+
+void
+applyPauliFlip(StabilizerSimulator &sim, std::size_t q,
+               const TwirledIdle &t, stats::Rng &rng)
+{
+    double u = rng.uniform();
+    qc::Qubit qu = static_cast<qc::Qubit>(q);
+    if (u < t.px)
+        sim.applyGate(qc::Gate(qc::GateType::X, {qu}));
+    else if (u < t.px + t.py)
+        sim.applyGate(qc::Gate(qc::GateType::Y, {qu}));
+    else if (u < t.px + t.py + t.pz)
+        sim.applyGate(qc::Gate(qc::GateType::Z, {qu}));
+}
+
+} // namespace
+
+stats::Counts
+runStabilizer(const qc::Circuit &circuit, const RunOptions &options,
+              stats::Rng &rng)
+{
+    if (!isCliffordCircuit(circuit))
+        throw std::invalid_argument(
+            "runStabilizer: circuit is not Clifford");
+    if (circuit.measureCount() == 0)
+        throw std::invalid_argument("runStabilizer: nothing measured");
+
+    qc::Schedule sched = qc::schedule(circuit);
+    const auto &gates = circuit.gates();
+    const NoiseModel &noise = options.noise;
+    StabilizerSimulator sim(circuit.numQubits());
+    stats::Counts counts;
+
+    static const qc::GateType paulis[4] = {qc::GateType::I,
+                                           qc::GateType::X,
+                                           qc::GateType::Y,
+                                           qc::GateType::Z};
+
+    for (std::uint64_t shot = 0; shot < options.shots; ++shot) {
+        sim.resetAll();
+        std::string clbits(circuit.numClbits(), '0');
+        for (const auto &moment : sched.moments) {
+            double duration = 0.0;
+            std::vector<bool> active(circuit.numQubits(), false);
+            for (std::size_t idx : moment) {
+                const qc::Gate &g = gates[idx];
+                for (qc::Qubit q : g.qubits)
+                    active[q] = true;
+                if (noise.enabled) {
+                    duration = std::max(
+                        duration,
+                        g.type == qc::GateType::MEASURE ||
+                                g.type == qc::GateType::RESET
+                            ? noise.timeMeas
+                            : (g.qubits.size() >= 2 ? noise.time2q
+                                                    : noise.time1q));
+                }
+                switch (g.type) {
+                  case qc::GateType::MEASURE: {
+                    int outcome = sim.measure(g.qubits[0], rng);
+                    if (noise.enabled && rng.bernoulli(noise.pMeas))
+                        outcome ^= 1;
+                    clbits[static_cast<std::size_t>(g.cbit)] =
+                        outcome ? '1' : '0';
+                    break;
+                  }
+                  case qc::GateType::RESET:
+                    sim.reset(g.qubits[0], rng);
+                    if (noise.enabled && rng.bernoulli(noise.pReset)) {
+                        sim.applyGate(
+                            qc::Gate(qc::GateType::X, {g.qubits[0]}));
+                    }
+                    break;
+                  default:
+                    sim.applyGate(g);
+                    if (noise.enabled) {
+                        if (g.qubits.size() == 1 &&
+                            rng.bernoulli(noise.p1)) {
+                            sim.applyGate(qc::Gate(
+                                paulis[1 + rng.index(3)],
+                                {g.qubits[0]}));
+                        } else if (g.qubits.size() >= 2 &&
+                                   rng.bernoulli(noise.p2)) {
+                            std::size_t choice = rng.index(15) + 1;
+                            std::size_t pa = choice / 4, pb = choice % 4;
+                            if (pa)
+                                sim.applyGate(qc::Gate(paulis[pa],
+                                                       {g.qubits[0]}));
+                            if (pb)
+                                sim.applyGate(qc::Gate(paulis[pb],
+                                                       {g.qubits[1]}));
+                        }
+                    }
+                    break;
+                }
+            }
+            if (noise.enabled && duration > 0.0) {
+                TwirledIdle idle = twirlIdle(noise, duration);
+                for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
+                    if (!active[q])
+                        applyPauliFlip(sim, q, idle, rng);
+                }
+            }
+        }
+        counts.add(clbits);
+    }
+    return counts;
+}
+
+} // namespace smq::sim

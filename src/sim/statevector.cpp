@@ -1,0 +1,364 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smq::sim {
+
+namespace {
+constexpr std::size_t kMaxQubits = 26;
+} // namespace
+
+StateVector::StateVector(std::size_t num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits > kMaxQubits)
+        throw std::invalid_argument(
+            "StateVector: too many qubits for dense simulation");
+    amps_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
+    amps_[0] = 1.0;
+}
+
+Complex
+StateVector::amplitude(std::size_t basis_state) const
+{
+    return amps_.at(basis_state);
+}
+
+void
+StateVector::resetToZero()
+{
+    std::fill(amps_.begin(), amps_.end(), Complex{0.0, 0.0});
+    amps_[0] = 1.0;
+}
+
+void
+StateVector::checkQubit(std::size_t q) const
+{
+    if (q >= numQubits_)
+        throw std::out_of_range("StateVector: qubit index out of range");
+}
+
+void
+StateVector::applyMatrix1(std::size_t q, const Matrix2 &m)
+{
+    checkQubit(q);
+    const std::size_t stride = std::size_t{1} << q;
+    for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            std::size_t i0 = base + offset;
+            std::size_t i1 = i0 + stride;
+            Complex a0 = amps_[i0];
+            Complex a1 = amps_[i1];
+            amps_[i0] = m[0] * a0 + m[1] * a1;
+            amps_[i1] = m[2] * a0 + m[3] * a1;
+        }
+    }
+}
+
+void
+StateVector::applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &m)
+{
+    checkQubit(q0);
+    checkQubit(q1);
+    if (q0 == q1)
+        throw std::invalid_argument("StateVector: duplicate qubit");
+    const std::size_t s0 = std::size_t{1} << q0;
+    const std::size_t s1 = std::size_t{1} << q1;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        if ((idx & s0) || (idx & s1))
+            continue;
+        std::size_t i[4] = {idx, idx + s1, idx + s0, idx + s0 + s1};
+        Complex a[4] = {amps_[i[0]], amps_[i[1]], amps_[i[2]], amps_[i[3]]};
+        for (std::size_t r = 0; r < 4; ++r) {
+            amps_[i[r]] = m[r * 4 + 0] * a[0] + m[r * 4 + 1] * a[1] +
+                          m[r * 4 + 2] * a[2] + m[r * 4 + 3] * a[3];
+        }
+    }
+}
+
+void
+StateVector::applyGate(const qc::Gate &gate)
+{
+    using qc::GateType;
+    switch (gate.type) {
+      case GateType::CCX: {
+        const std::size_t c0 = std::size_t{1} << gate.qubits[0];
+        const std::size_t c1 = std::size_t{1} << gate.qubits[1];
+        const std::size_t t = std::size_t{1} << gate.qubits[2];
+        for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+            if ((idx & c0) && (idx & c1) && !(idx & t))
+                std::swap(amps_[idx], amps_[idx | t]);
+        }
+        return;
+      }
+      case GateType::CSWAP: {
+        const std::size_t c = std::size_t{1} << gate.qubits[0];
+        const std::size_t a = std::size_t{1} << gate.qubits[1];
+        const std::size_t b = std::size_t{1} << gate.qubits[2];
+        for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+            if ((idx & c) && (idx & a) && !(idx & b))
+                std::swap(amps_[idx], amps_[(idx & ~a) | b]);
+        }
+        return;
+      }
+      case GateType::MEASURE:
+      case GateType::RESET:
+      case GateType::BARRIER:
+        throw std::invalid_argument(
+            "StateVector::applyGate: non-unitary instruction");
+      default:
+        break;
+    }
+    if (gate.qubits.size() == 1) {
+        applyMatrix1(gate.qubits[0], gateMatrix1(gate));
+    } else if (gate.qubits.size() == 2) {
+        applyMatrix2(gate.qubits[0], gate.qubits[1], gateMatrix2(gate));
+    } else {
+        throw std::invalid_argument("StateVector::applyGate: bad arity");
+    }
+}
+
+void
+StateVector::applyUnitaryCircuit(const qc::Circuit &circuit)
+{
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument("StateVector: circuit size mismatch");
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER)
+            continue;
+        applyGate(g);
+    }
+}
+
+double
+StateVector::probabilityOfOne(std::size_t q) const
+{
+    checkQubit(q);
+    const std::size_t mask = std::size_t{1} << q;
+    double p = 0.0;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        if (idx & mask)
+            p += std::norm(amps_[idx]);
+    }
+    return p;
+}
+
+int
+StateVector::measure(std::size_t q, stats::Rng &rng)
+{
+    double p1 = probabilityOfOne(q);
+    int outcome = rng.bernoulli(p1) ? 1 : 0;
+    const std::size_t mask = std::size_t{1} << q;
+    double keep = outcome ? p1 : 1.0 - p1;
+    if (keep <= 0.0)
+        keep = 1.0; // numerically impossible branch; avoid div by zero
+    double scale = 1.0 / std::sqrt(keep);
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        bool is_one = (idx & mask) != 0;
+        if (is_one == (outcome == 1))
+            amps_[idx] *= scale;
+        else
+            amps_[idx] = 0.0;
+    }
+    return outcome;
+}
+
+void
+StateVector::thermalRelaxationTrajectory(std::size_t q, double p_damp,
+                                         double p_phase, stats::Rng &rng)
+{
+    const std::size_t mask = std::size_t{1} << q;
+    if (p_damp > 0.0) {
+        double p1 = probabilityOfOne(q);
+        if (p1 > 0.0 && rng.bernoulli(p_damp * p1)) {
+            // jump |1> -> |0>: move the excited amplitudes down and
+            // renormalise by sqrt(p1) in the same pass
+            double scale = 1.0 / std::sqrt(p1);
+            for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+                if (idx & mask) {
+                    amps_[idx ^ mask] = amps_[idx] * scale;
+                    amps_[idx] = 0.0;
+                }
+            }
+        } else if (p1 > 0.0) {
+            // no-jump Kraus diag(1, sqrt(1 - p_damp)), renormalised by
+            // the branch probability sqrt(1 - p_damp * p1)
+            double renorm = std::sqrt(1.0 - p_damp * p1);
+            double keep0 = 1.0 / renorm;
+            double keep1 = std::sqrt(1.0 - p_damp) / renorm;
+            for (std::size_t idx = 0; idx < amps_.size(); ++idx)
+                amps_[idx] *= (idx & mask) ? keep1 : keep0;
+        }
+    }
+    if (p_phase > 0.0 && rng.bernoulli(p_phase)) {
+        for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+            if (idx & mask)
+                amps_[idx] = -amps_[idx];
+        }
+    }
+}
+
+void
+StateVector::reset(std::size_t q, stats::Rng &rng)
+{
+    int outcome = measure(q, rng);
+    if (outcome == 1)
+        applyMatrix1(q, gateMatrix1(qc::Gate(qc::GateType::X,
+                                             {static_cast<qc::Qubit>(q)})));
+}
+
+std::size_t
+StateVector::sampleBasisState(stats::Rng &rng) const
+{
+    double r = rng.uniform();
+    double acc = 0.0;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        acc += std::norm(amps_[idx]);
+        if (r < acc)
+            return idx;
+    }
+    return amps_.size() - 1;
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx)
+        probs[idx] = std::norm(amps_[idx]);
+    return probs;
+}
+
+Complex
+StateVector::expectation(const qc::PauliString &pauli) const
+{
+    if (pauli.numQubits() != numQubits_)
+        throw std::invalid_argument("StateVector: Pauli size mismatch");
+    // Apply P = i^r X^x Z^z to a copy: for basis state |s>,
+    // Z^z contributes (-1)^(z . s) and X^x maps |s> -> |s ^ x>.
+    std::size_t xmask = 0, zmask = 0;
+    for (std::size_t q = 0; q < numQubits_; ++q) {
+        if (pauli.xBit(q))
+            xmask |= std::size_t{1} << q;
+        if (pauli.zBit(q))
+            zmask |= std::size_t{1} << q;
+    }
+    Complex acc{0.0, 0.0};
+    for (std::size_t s = 0; s < amps_.size(); ++s) {
+        // (P psi)[s ^ x] += (-1)^(z.s) psi[s]
+        double sign = __builtin_parityll(s & zmask) ? -1.0 : 1.0;
+        acc += std::conj(amps_[s ^ xmask]) * (sign * amps_[s]);
+    }
+    static const Complex phases[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    return phases[pauli.phasePower()] * acc;
+}
+
+double
+StateVector::expectationZ(const std::vector<std::size_t> &support) const
+{
+    std::size_t zmask = 0;
+    for (std::size_t q : support) {
+        checkQubit(q);
+        zmask |= std::size_t{1} << q;
+    }
+    double acc = 0.0;
+    for (std::size_t s = 0; s < amps_.size(); ++s) {
+        int sign = __builtin_parityll(s & zmask) ? -1 : 1;
+        acc += sign * std::norm(amps_[s]);
+    }
+    return acc;
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    if (other.numQubits() != numQubits_)
+        throw std::invalid_argument("StateVector: size mismatch");
+    Complex overlap{0.0, 0.0};
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx)
+        overlap += std::conj(other.amps_[idx]) * amps_[idx];
+    return std::norm(overlap);
+}
+
+double
+StateVector::norm() const
+{
+    double n2 = 0.0;
+    for (const Complex &a : amps_)
+        n2 += std::norm(a);
+    return std::sqrt(n2);
+}
+
+void
+StateVector::normalize()
+{
+    double n = norm();
+    if (n < 1e-300)
+        throw std::logic_error("StateVector::normalize: zero state");
+    for (Complex &a : amps_)
+        a /= n;
+}
+
+stats::Distribution
+idealDistribution(const qc::Circuit &circuit)
+{
+    // Verify terminal measurements and record qubit -> clbit mapping.
+    std::vector<bool> measured(circuit.numQubits(), false);
+    std::vector<std::ptrdiff_t> clbit_source(circuit.numClbits(), -1);
+    qc::Circuit unitary_part(circuit.numQubits());
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER)
+            continue;
+        if (g.type == qc::GateType::MEASURE) {
+            measured[g.qubits[0]] = true;
+            clbit_source[static_cast<std::size_t>(g.cbit)] =
+                static_cast<std::ptrdiff_t>(g.qubits[0]);
+            continue;
+        }
+        if (g.type == qc::GateType::RESET)
+            throw std::invalid_argument(
+                "idealDistribution: RESET requires trajectory simulation");
+        for (qc::Qubit q : g.qubits) {
+            if (measured[q])
+                throw std::invalid_argument(
+                    "idealDistribution: non-terminal measurement");
+        }
+        unitary_part.append(g);
+    }
+
+    StateVector state(circuit.numQubits());
+    state.applyUnitaryCircuit(unitary_part);
+
+    stats::Distribution dist;
+    std::vector<double> probs = state.probabilities();
+    for (std::size_t s = 0; s < probs.size(); ++s) {
+        if (probs[s] < 1e-15)
+            continue;
+        std::string key(circuit.numClbits(), '0');
+        for (std::size_t c = 0; c < circuit.numClbits(); ++c) {
+            if (clbit_source[c] >= 0 &&
+                (s >> static_cast<std::size_t>(clbit_source[c])) & 1) {
+                key[c] = '1';
+            }
+        }
+        dist.add(key, probs[s]);
+    }
+    return dist;
+}
+
+StateVector
+finalState(const qc::Circuit &circuit)
+{
+    StateVector state(circuit.numQubits());
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER)
+            continue;
+        if (g.type == qc::GateType::MEASURE || g.type == qc::GateType::RESET)
+            throw std::invalid_argument(
+                "finalState: circuit must be purely unitary");
+        state.applyGate(g);
+    }
+    return state;
+}
+
+} // namespace smq::sim

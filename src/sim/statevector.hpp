@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dense state-vector simulator.
+ *
+ * This is the execution substrate standing in for the paper's QPUs
+ * (the HPCA artifact likewise evaluates the suite through circuit
+ * simulation). Supports mid-circuit measurement and RESET — required
+ * by the error-correction proxy benchmarks — plus Pauli expectation
+ * values for the QAOA/VQE/Hamiltonian-simulation score functions.
+ *
+ * Qubit q maps to bit q of the amplitude index (qubit 0 is the least
+ * significant bit).
+ */
+
+#ifndef SMQ_SIM_STATEVECTOR_HPP
+#define SMQ_SIM_STATEVECTOR_HPP
+
+#include <complex>
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "qc/pauli.hpp"
+#include "sim/gate_matrices.hpp"
+#include "stats/counts.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::sim {
+
+/** A normalised pure state over n qubits. */
+class StateVector
+{
+  public:
+    /** |0...0> over @p num_qubits qubits. @pre num_qubits <= 26. */
+    explicit StateVector(std::size_t num_qubits);
+
+    std::size_t numQubits() const { return numQubits_; }
+    std::size_t dimension() const { return amps_.size(); }
+
+    const std::vector<Complex> &amplitudes() const { return amps_; }
+    Complex amplitude(std::size_t basis_state) const;
+
+    /** Reinitialise to |0...0>. */
+    void resetToZero();
+
+    /** Apply a one-qubit matrix to qubit q. */
+    void applyMatrix1(std::size_t q, const Matrix2 &m);
+
+    /** Apply a two-qubit matrix (basis |b0 b1>, see gate_matrices). */
+    void applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &m);
+
+    /**
+     * Apply one unitary gate (including CCX / CSWAP, handled as basis
+     * permutations). @throws for MEASURE / RESET / BARRIER.
+     */
+    void applyGate(const qc::Gate &gate);
+
+    /** Apply every unitary gate of a circuit (barriers skipped).
+     *  @throws if the circuit contains MEASURE or RESET. */
+    void applyUnitaryCircuit(const qc::Circuit &circuit);
+
+    /** Probability that qubit q reads 1. */
+    double probabilityOfOne(std::size_t q) const;
+
+    /**
+     * Projectively measure qubit q, collapsing the state.
+     * @return the sampled outcome bit.
+     */
+    int measure(std::size_t q, stats::Rng &rng);
+
+    /** Measure-and-restore-to-|0> (RESET semantics). */
+    void reset(std::size_t q, stats::Rng &rng);
+
+    /**
+     * One trajectory step of thermal relaxation on an idle qubit:
+     * amplitude damping toward |0> with probability @p p_damp
+     * (exact jump/no-jump unravelling, renormalised in-place) and a
+     * Pauli-twirled dephasing Z-flip with probability @p p_phase.
+     * Fused into two passes over the state for the noisy-runner hot
+     * path.
+     */
+    void thermalRelaxationTrajectory(std::size_t q, double p_damp,
+                                     double p_phase, stats::Rng &rng);
+
+    /** Sample a full computational-basis outcome without collapsing. */
+    std::size_t sampleBasisState(stats::Rng &rng) const;
+
+    /** Exact probabilities of all basis states. */
+    std::vector<double> probabilities() const;
+
+    /** <psi| P |psi> for a phased Pauli string (complex in general). */
+    Complex expectation(const qc::PauliString &pauli) const;
+
+    /** <psi| Z_support |psi> (product of Z on the given qubits). */
+    double expectationZ(const std::vector<std::size_t> &support) const;
+
+    /** |<other|this>|^2. */
+    double fidelityWith(const StateVector &other) const;
+
+    /** L2 norm (should stay 1 up to rounding). */
+    double norm() const;
+
+    /** Divide by the norm. @throws if the norm is ~0. */
+    void normalize();
+
+  private:
+    void checkQubit(std::size_t q) const;
+
+    std::size_t numQubits_;
+    std::vector<Complex> amps_;
+};
+
+/**
+ * Exact output distribution over the circuit's classical bits under
+ * noiseless execution, assuming measurements are terminal (no gate
+ * follows a MEASURE/RESET on the same qubit). Used for ideal reference
+ * distributions. @throws if a measurement is not terminal.
+ */
+stats::Distribution
+idealDistribution(const qc::Circuit &circuit);
+
+/**
+ * Apply all unitary gates of a circuit (must contain no MEASURE or
+ * RESET) and return the final state.
+ */
+StateVector finalState(const qc::Circuit &circuit);
+
+} // namespace smq::sim
+
+#endif // SMQ_SIM_STATEVECTOR_HPP

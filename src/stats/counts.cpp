@@ -1,0 +1,154 @@
+#include "stats/counts.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace smq::stats {
+
+Counts::Counts(Map counts) : counts_(std::move(counts))
+{
+    for (const auto &[bits, n] : counts_)
+        shots_ += n;
+}
+
+void
+Counts::add(const std::string &bits, std::uint64_t n)
+{
+    counts_[bits] += n;
+    shots_ += n;
+}
+
+std::uint64_t
+Counts::at(const std::string &bits) const
+{
+    auto it = counts_.find(bits);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double
+Counts::probability(const std::string &bits) const
+{
+    if (shots_ == 0)
+        return 0.0;
+    return static_cast<double>(at(bits)) / static_cast<double>(shots_);
+}
+
+double
+Counts::parityExpectation(const std::vector<std::size_t> &support) const
+{
+    if (shots_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &[bits, n] : counts_) {
+        int parity = 0;
+        for (std::size_t idx : support) {
+            if (idx >= bits.size())
+                throw std::out_of_range(
+                    "Counts::parityExpectation: bit index out of range");
+            parity ^= (bits[idx] == '1');
+        }
+        acc += (parity ? -1.0 : 1.0) * static_cast<double>(n);
+    }
+    return acc / static_cast<double>(shots_);
+}
+
+Counts
+Counts::marginal(const std::vector<std::size_t> &keep) const
+{
+    Counts out;
+    for (const auto &[bits, n] : counts_) {
+        std::string key;
+        key.reserve(keep.size());
+        for (std::size_t idx : keep) {
+            if (idx >= bits.size())
+                throw std::out_of_range(
+                    "Counts::marginal: bit index out of range");
+            key.push_back(bits[idx]);
+        }
+        out.add(key, n);
+    }
+    return out;
+}
+
+void
+Counts::merge(const Counts &other)
+{
+    for (const auto &[bits, n] : other.counts_)
+        add(bits, n);
+}
+
+Distribution::Distribution(Map probs) : probs_(std::move(probs))
+{
+    for (const auto &[bits, p] : probs_) {
+        if (p < 0.0)
+            throw std::invalid_argument(
+                "Distribution: negative probability for key " + bits);
+    }
+}
+
+double
+Distribution::probability(const std::string &bits) const
+{
+    auto it = probs_.find(bits);
+    return it == probs_.end() ? 0.0 : it->second;
+}
+
+void
+Distribution::add(const std::string &bits, double p)
+{
+    if (p < 0.0)
+        throw std::invalid_argument("Distribution::add: negative mass");
+    probs_[bits] += p;
+}
+
+double
+Distribution::totalMass() const
+{
+    double total = 0.0;
+    for (const auto &[bits, p] : probs_)
+        total += p;
+    return total;
+}
+
+void
+Distribution::normalize()
+{
+    double total = totalMass();
+    if (total <= 0.0)
+        throw std::logic_error("Distribution::normalize: zero total mass");
+    for (auto &[bits, p] : probs_)
+        p /= total;
+}
+
+Counts
+Distribution::sample(std::uint64_t shots, Rng &rng) const
+{
+    std::vector<const std::string *> keys;
+    std::vector<double> weights;
+    keys.reserve(probs_.size());
+    weights.reserve(probs_.size());
+    for (const auto &[bits, p] : probs_) {
+        keys.push_back(&bits);
+        weights.push_back(p);
+    }
+    Counts out;
+    for (std::uint64_t s = 0; s < shots; ++s)
+        out.add(*keys[rng.discrete(weights)]);
+    return out;
+}
+
+Distribution
+toDistribution(const Counts &counts)
+{
+    Distribution dist;
+    if (counts.shots() == 0)
+        return dist;
+    for (const auto &[bits, n] : counts.map()) {
+        dist.add(bits, static_cast<double>(n) /
+                           static_cast<double>(counts.shots()));
+    }
+    return dist;
+}
+
+} // namespace smq::stats

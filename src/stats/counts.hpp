@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Measurement-outcome histograms ("counts") and probability
+ * distributions over bitstrings.
+ *
+ * A Counts object is the universal currency between the simulator /
+ * hardware model and the benchmark score functions: every benchmark
+ * run produces a Counts, and every score function consumes one.
+ *
+ * Bitstring convention: character i of the key is the outcome of
+ * classical bit i (little-endian in bit index, leftmost character is
+ * bit 0). This matches the order in which measurement operations write
+ * their classical bits.
+ */
+
+#ifndef SMQ_STATS_COUNTS_HPP
+#define SMQ_STATS_COUNTS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace smq::stats {
+
+/** A histogram of observed bitstrings. */
+class Counts
+{
+  public:
+    using Map = std::map<std::string, std::uint64_t>;
+
+    Counts() = default;
+
+    /** Construct from an existing key->count map. */
+    explicit Counts(Map counts);
+
+    /** Record one observation of @p bits. */
+    void add(const std::string &bits, std::uint64_t n = 1);
+
+    /** Total number of shots recorded. */
+    std::uint64_t shots() const { return shots_; }
+
+    /** Number of distinct bitstrings observed. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Count for a specific bitstring (0 if never seen). */
+    std::uint64_t at(const std::string &bits) const;
+
+    /** Empirical probability of a specific bitstring. */
+    double probability(const std::string &bits) const;
+
+    /** Underlying map, ordered by bitstring. */
+    const Map &map() const { return counts_; }
+
+    /**
+     * Expectation of (-1)^(parity of marked bits) over the histogram.
+     * This evaluates a Z-type Pauli observable from Z-basis counts.
+     *
+     * @param support indices of the bits included in the parity.
+     */
+    double parityExpectation(const std::vector<std::size_t> &support) const;
+
+    /**
+     * Marginalise onto a subset of bit positions, preserving order of
+     * @p keep within the new keys.
+     */
+    Counts marginal(const std::vector<std::size_t> &keep) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const Counts &other);
+
+  private:
+    Map counts_;
+    std::uint64_t shots_ = 0;
+};
+
+/**
+ * An exact probability distribution over bitstrings. Used for ideal
+ * (noiseless / analytic) reference distributions in score functions.
+ */
+class Distribution
+{
+  public:
+    using Map = std::map<std::string, double>;
+
+    Distribution() = default;
+
+    /** Construct from key->probability; validates non-negativity. */
+    explicit Distribution(Map probs);
+
+    /** Probability of @p bits (0 if absent). */
+    double probability(const std::string &bits) const;
+
+    /** Add probability mass to a bitstring. */
+    void add(const std::string &bits, double p);
+
+    /** Sum of all probability mass. */
+    double totalMass() const;
+
+    /** Scale all probabilities so the total mass is 1. */
+    void normalize();
+
+    const Map &map() const { return probs_; }
+
+    /** Draw @p shots samples to build a Counts histogram. */
+    Counts sample(std::uint64_t shots, Rng &rng) const;
+
+  private:
+    Map probs_;
+};
+
+/** Convert a histogram into its empirical distribution. */
+Distribution toDistribution(const Counts &counts);
+
+} // namespace smq::stats
+
+#endif // SMQ_STATS_COUNTS_HPP

@@ -1,0 +1,81 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smq::stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("mean: empty sample");
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mu) * (x - mu);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("median: empty sample");
+    std::sort(xs.begin(), xs.end());
+    std::size_t mid = xs.size() / 2;
+    if (xs.size() % 2 == 1)
+        return xs[mid];
+    return 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("summarize: empty sample");
+    Summary s;
+    s.n = xs.size();
+    s.mean = mean(xs);
+    s.stddev = stddev(xs);
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+    return s;
+}
+
+void
+RunningStats::push(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace smq::stats

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Descriptive statistics over samples of benchmark scores.
+ *
+ * Fig. 2 of the paper reports the mean score over repeated benchmark
+ * runs with one-standard-deviation error bars; Summary packages
+ * exactly those quantities.
+ */
+
+#ifndef SMQ_STATS_DESCRIPTIVE_HPP
+#define SMQ_STATS_DESCRIPTIVE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace smq::stats {
+
+/** Mean / spread summary of a sample. */
+struct Summary
+{
+    std::size_t n = 0;  ///< sample size
+    double mean = 0.0;  ///< arithmetic mean
+    double stddev = 0.0; ///< sample standard deviation (n-1 denominator)
+    double min = 0.0;   ///< smallest sample
+    double max = 0.0;   ///< largest sample
+};
+
+/** Arithmetic mean. @pre xs non-empty. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Sample standard deviation (Bessel-corrected). Returns 0 for samples
+ * of size < 2.
+ */
+double stddev(const std::vector<double> &xs);
+
+/** Median (average of middle two for even sizes). @pre xs non-empty. */
+double median(std::vector<double> xs);
+
+/** Full summary of a sample. @pre xs non-empty. */
+Summary summarize(const std::vector<double> &xs);
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm), used by
+ * the trajectory runner to aggregate scores without storing every
+ * repetition.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+
+    /** Sample variance; 0 when fewer than two observations. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+} // namespace smq::stats
+
+#endif // SMQ_STATS_DESCRIPTIVE_HPP

@@ -1,0 +1,39 @@
+#include "stats/hellinger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smq::stats {
+
+double
+bhattacharyya(const Distribution &p, const Distribution &q)
+{
+    double bc = 0.0;
+    for (const auto &[bits, pp] : p.map()) {
+        double qq = q.probability(bits);
+        if (pp > 0.0 && qq > 0.0)
+            bc += std::sqrt(pp * qq);
+    }
+    return std::min(bc, 1.0);
+}
+
+double
+hellingerDistance(const Distribution &p, const Distribution &q)
+{
+    return std::sqrt(std::max(0.0, 1.0 - bhattacharyya(p, q)));
+}
+
+double
+hellingerFidelity(const Distribution &p, const Distribution &q)
+{
+    double bc = bhattacharyya(p, q);
+    return bc * bc;
+}
+
+double
+hellingerFidelity(const Counts &experiment, const Distribution &ideal)
+{
+    return hellingerFidelity(toDistribution(experiment), ideal);
+}
+
+} // namespace smq::stats

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Hellinger fidelity between probability distributions.
+ *
+ * The GHZ, bit-code and phase-code benchmarks all score a run as the
+ * Hellinger fidelity between the experimentally observed distribution
+ * and the ideal one (paper Sec. IV-A, IV-C), following Qiskit's
+ * hellinger_fidelity definition:
+ *
+ *   H(P,Q)^2 = 1 - sum_i sqrt(p_i q_i)           (squared distance)
+ *   fidelity = (1 - H^2)^2 = (sum_i sqrt(p_i q_i))^2
+ */
+
+#ifndef SMQ_STATS_HELLINGER_HPP
+#define SMQ_STATS_HELLINGER_HPP
+
+#include "stats/counts.hpp"
+
+namespace smq::stats {
+
+/** Bhattacharyya coefficient sum_i sqrt(p_i q_i), in [0, 1]. */
+double bhattacharyya(const Distribution &p, const Distribution &q);
+
+/** Hellinger distance sqrt(1 - BC), in [0, 1]. */
+double hellingerDistance(const Distribution &p, const Distribution &q);
+
+/** Hellinger fidelity (BC squared), in [0, 1]. */
+double hellingerFidelity(const Distribution &p, const Distribution &q);
+
+/** Convenience overload scoring a histogram against an ideal. */
+double hellingerFidelity(const Counts &experiment, const Distribution &ideal);
+
+} // namespace smq::stats
+
+#endif // SMQ_STATS_HELLINGER_HPP

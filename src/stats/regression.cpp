@@ -1,0 +1,54 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace smq::stats {
+
+LinearFit
+linearRegression(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        throw std::invalid_argument("linearRegression: size mismatch");
+    LinearFit fit;
+    fit.n = xs.size();
+    if (xs.empty())
+        return fit;
+
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || xs.size() < 2) {
+        fit.intercept = my;
+        fit.slope = 0.0;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    // R^2 = explained variance / total variance; if y is constant the
+    // fit is exact and conventionally R^2 = 0 (nothing to explain).
+    fit.r2 = (syy <= 0.0) ? 0.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    LinearFit fit = linearRegression(xs, ys);
+    if (fit.r2 <= 0.0)
+        return 0.0;
+    double r = std::sqrt(fit.r2);
+    return fit.slope < 0.0 ? -r : r;
+}
+
+} // namespace smq::stats

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ordinary least squares regression and correlation measures.
+ *
+ * Fig. 3 of the paper reports, for every (application feature, QPU)
+ * pair, the coefficient of determination R^2 of a linear regression of
+ * benchmark score against feature value; Fig. 4 shows one such fit.
+ */
+
+#ifndef SMQ_STATS_REGRESSION_HPP
+#define SMQ_STATS_REGRESSION_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace smq::stats {
+
+/** Result of a simple (one predictor) least-squares fit y = a + b x. */
+struct LinearFit
+{
+    double intercept = 0.0; ///< a
+    double slope = 0.0;     ///< b
+    double r2 = 0.0;        ///< coefficient of determination
+    std::size_t n = 0;      ///< number of points fitted
+
+    /** Predicted value at @p x. */
+    double predict(double x) const { return intercept + slope * x; }
+};
+
+/**
+ * Fit y = a + b x by ordinary least squares.
+ *
+ * Degenerate inputs (fewer than two points, or zero variance in x)
+ * yield a flat fit through the mean with r2 = 0.
+ *
+ * @pre xs.size() == ys.size()
+ */
+LinearFit linearRegression(const std::vector<double> &xs,
+                           const std::vector<double> &ys);
+
+/** Pearson correlation coefficient; 0 for degenerate inputs. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+} // namespace smq::stats
+
+#endif // SMQ_STATS_REGRESSION_HPP

@@ -1,0 +1,64 @@
+#include "stats/rng.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace smq::stats {
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    assert(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return std::bernoulli_distribution(p)(engine_);
+}
+
+double
+Rng::gaussian()
+{
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            throw std::invalid_argument("Rng::discrete: negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        throw std::invalid_argument("Rng::discrete: all weights zero");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace smq::stats

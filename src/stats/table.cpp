@@ -1,0 +1,69 @@
+#include "stats/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace smq::stats {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        throw std::invalid_argument("TextTable: no headers");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        throw std::invalid_argument("TextTable::addRow: wrong cell count");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            out << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out << std::string(widths[c], '-')
+            << (c + 1 == headers_.size() ? "\n" : "  ");
+    }
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string
+formatScientific(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::scientific << std::setprecision(precision) << value;
+    return out.str();
+}
+
+} // namespace smq::stats

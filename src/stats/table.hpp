@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table formatting for the experiment regenerators.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure; TextTable keeps that output aligned and consistent.
+ */
+
+#ifndef SMQ_STATS_TABLE_HPP
+#define SMQ_STATS_TABLE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace smq::stats {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table with a header separator line. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int precision);
+
+/** Format a double in scientific notation (paper Table I style). */
+std::string formatScientific(double value, int precision);
+
+} // namespace smq::stats
+
+#endif // SMQ_STATS_TABLE_HPP

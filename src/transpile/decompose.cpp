@@ -1,0 +1,157 @@
+#include "transpile/decompose.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smq::transpile {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void
+appendSwapAsCx(qc::Circuit &out, qc::Qubit a, qc::Qubit b)
+{
+    out.cx(a, b);
+    out.cx(b, a);
+    out.cx(a, b);
+}
+
+void
+appendCcx(qc::Circuit &out, qc::Qubit a, qc::Qubit b, qc::Qubit t)
+{
+    // standard 6-CX Toffoli
+    out.h(t);
+    out.cx(b, t);
+    out.tdg(t);
+    out.cx(a, t);
+    out.t(t);
+    out.cx(b, t);
+    out.tdg(t);
+    out.cx(a, t);
+    out.t(b);
+    out.t(t);
+    out.h(t);
+    out.cx(a, b);
+    out.t(a);
+    out.tdg(b);
+    out.cx(a, b);
+}
+
+} // namespace
+
+void
+appendDecomposed(qc::Circuit &out, const qc::Gate &gate)
+{
+    using qc::GateType;
+    switch (gate.type) {
+      case GateType::BARRIER:
+      case GateType::MEASURE:
+      case GateType::RESET:
+        out.append(gate);
+        return;
+      case GateType::CX:
+        out.append(gate);
+        return;
+      case GateType::CY:
+        out.sdg(gate.qubits[1]);
+        out.cx(gate.qubits[0], gate.qubits[1]);
+        out.s(gate.qubits[1]);
+        return;
+      case GateType::CZ:
+        out.h(gate.qubits[1]);
+        out.cx(gate.qubits[0], gate.qubits[1]);
+        out.h(gate.qubits[1]);
+        return;
+      case GateType::CH: {
+        // H = V X V^dg with V = RY(-pi/4) (H and X share eigenvalues
+        // +/-1), so CH = (I x V) CX (I x V^dg) exactly.
+        qc::Qubit c = gate.qubits[0], t = gate.qubits[1];
+        out.ry(kPi / 4.0, t);
+        out.cx(c, t);
+        out.ry(-kPi / 4.0, t);
+        return;
+      }
+      case GateType::CP: {
+        double lambda = gate.params[0];
+        qc::Qubit c = gate.qubits[0], t = gate.qubits[1];
+        out.p(lambda / 2.0, c);
+        out.cx(c, t);
+        out.p(-lambda / 2.0, t);
+        out.cx(c, t);
+        out.p(lambda / 2.0, t);
+        return;
+      }
+      case GateType::SWAP:
+        appendSwapAsCx(out, gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateType::ISWAP: {
+        // iSWAP = (S x S) (H x I) CX(a,b) CX(b,a) (I x H)
+        qc::Qubit a = gate.qubits[0], b = gate.qubits[1];
+        out.h(b);
+        out.cx(b, a);
+        out.cx(a, b);
+        out.h(a);
+        out.s(a);
+        out.s(b);
+        return;
+      }
+      case GateType::RXX: {
+        qc::Qubit a = gate.qubits[0], b = gate.qubits[1];
+        out.h(a);
+        out.h(b);
+        out.cx(a, b);
+        out.rz(gate.params[0], b);
+        out.cx(a, b);
+        out.h(a);
+        out.h(b);
+        return;
+      }
+      case GateType::RYY: {
+        qc::Qubit a = gate.qubits[0], b = gate.qubits[1];
+        out.rx(kPi / 2.0, a);
+        out.rx(kPi / 2.0, b);
+        out.cx(a, b);
+        out.rz(gate.params[0], b);
+        out.cx(a, b);
+        out.rx(-kPi / 2.0, a);
+        out.rx(-kPi / 2.0, b);
+        return;
+      }
+      case GateType::RZZ: {
+        qc::Qubit a = gate.qubits[0], b = gate.qubits[1];
+        out.cx(a, b);
+        out.rz(gate.params[0], b);
+        out.cx(a, b);
+        return;
+      }
+      case GateType::CCX:
+        appendCcx(out, gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+        return;
+      case GateType::CSWAP:
+        out.cx(gate.qubits[2], gate.qubits[1]);
+        appendCcx(out, gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+        out.cx(gate.qubits[2], gate.qubits[1]);
+        return;
+      default:
+        // one-qubit gates pass through
+        if (gate.qubits.size() == 1) {
+            out.append(gate);
+            return;
+        }
+        throw std::invalid_argument("appendDecomposed: unhandled gate " +
+                                    qc::gateName(gate.type));
+    }
+}
+
+qc::Circuit
+decomposeToCx(const qc::Circuit &circuit)
+{
+    qc::Circuit out(circuit.numQubits(), circuit.numClbits(),
+                    circuit.name());
+    for (const qc::Gate &g : circuit.gates())
+        appendDecomposed(out, g);
+    return out;
+}
+
+} // namespace smq::transpile

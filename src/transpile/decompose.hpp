@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Lowering pass: rewrite every gate into {one-qubit gates, CX}.
+ *
+ * Routing and gate-cancellation operate on this normal form; native
+ * translation afterwards maps CX onto each platform's entangler.
+ */
+
+#ifndef SMQ_TRANSPILE_DECOMPOSE_HPP
+#define SMQ_TRANSPILE_DECOMPOSE_HPP
+
+#include "qc/circuit.hpp"
+
+namespace smq::transpile {
+
+/**
+ * Rewrite @p circuit so that every unitary instruction is either a
+ * one-qubit gate or a CX. MEASURE / RESET / BARRIER pass through.
+ */
+qc::Circuit decomposeToCx(const qc::Circuit &circuit);
+
+/** Append the {1q, CX} expansion of one gate to @p out. */
+void appendDecomposed(qc::Circuit &out, const qc::Gate &gate);
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_DECOMPOSE_HPP

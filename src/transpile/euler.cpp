@@ -1,0 +1,123 @@
+#include "transpile/euler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smq::transpile {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Map an angle into (-pi, pi]. */
+double
+wrapAngle(double a)
+{
+    while (a > kPi)
+        a -= 2.0 * kPi;
+    while (a <= -kPi)
+        a += 2.0 * kPi;
+    return a;
+}
+
+bool
+isZeroAngle(double a, double tol)
+{
+    return std::abs(wrapAngle(a)) < tol;
+}
+
+} // namespace
+
+EulerAngles
+zyzDecompose(const sim::Matrix2 &u)
+{
+    using sim::Complex;
+    Complex det = u[0] * u[3] - u[1] * u[2];
+    double alpha = 0.5 * std::arg(det);
+    Complex inv_phase = std::exp(Complex{0.0, -alpha});
+    Complex v00 = u[0] * inv_phase;
+    Complex v10 = u[2] * inv_phase;
+    Complex v11 = u[3] * inv_phase;
+
+    EulerAngles e;
+    e.alpha = alpha;
+    double c = std::abs(v00);
+    double s = std::abs(v10);
+    e.theta = 2.0 * std::atan2(s, c);
+
+    if (s < 1e-12) {
+        // diagonal: RZ(phi + lambda) only
+        e.phi = 0.0;
+        e.lambda = wrapAngle(2.0 * std::arg(v11));
+    } else if (c < 1e-12) {
+        // anti-diagonal: phi + lambda unconstrained, pick 0, so
+        // phi = -lambda = (phi - lambda)/2 = arg(v10)
+        e.phi = wrapAngle(std::arg(v10));
+        e.lambda = wrapAngle(-e.phi);
+    } else {
+        double sum = 2.0 * std::arg(v11); // phi + lambda
+        double diff = 2.0 * std::arg(v10); // phi - lambda
+        e.phi = wrapAngle(0.5 * (sum + diff));
+        e.lambda = wrapAngle(0.5 * (sum - diff));
+    }
+    return e;
+}
+
+std::vector<qc::Gate>
+synthesizeZYZ(const sim::Matrix2 &u, qc::Qubit q, double tolerance)
+{
+    EulerAngles e = zyzDecompose(u);
+    std::vector<qc::Gate> gates;
+    if (!isZeroAngle(e.lambda, tolerance))
+        gates.emplace_back(qc::GateType::RZ, std::vector<qc::Qubit>{q},
+                           std::vector<double>{wrapAngle(e.lambda)});
+    if (!isZeroAngle(e.theta, tolerance))
+        gates.emplace_back(qc::GateType::RY, std::vector<qc::Qubit>{q},
+                           std::vector<double>{wrapAngle(e.theta)});
+    if (!isZeroAngle(e.phi, tolerance))
+        gates.emplace_back(qc::GateType::RZ, std::vector<qc::Qubit>{q},
+                           std::vector<double>{wrapAngle(e.phi)});
+    return gates;
+}
+
+std::vector<qc::Gate>
+synthesizeZXZXZ(const sim::Matrix2 &u, qc::Qubit q, double tolerance)
+{
+    EulerAngles e = zyzDecompose(u);
+    std::vector<qc::Gate> gates;
+    auto rz = [&](double angle) {
+        if (!isZeroAngle(angle, tolerance))
+            gates.emplace_back(qc::GateType::RZ, std::vector<qc::Qubit>{q},
+                               std::vector<double>{wrapAngle(angle)});
+    };
+    auto sx = [&]() {
+        gates.emplace_back(qc::GateType::SX, std::vector<qc::Qubit>{q});
+    };
+
+    if (isZeroAngle(e.theta, tolerance)) {
+        rz(e.phi + e.lambda);
+        return gates;
+    }
+    // U3(theta, phi, lambda) ~ RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda)
+    rz(e.lambda);
+    sx();
+    rz(e.theta + kPi);
+    sx();
+    rz(e.phi + kPi);
+    return gates;
+}
+
+sim::Matrix2
+sequenceMatrix(const std::vector<qc::Gate> &gates)
+{
+    sim::Matrix2 m = {1.0, 0.0, 0.0, 1.0};
+    for (const qc::Gate &g : gates) {
+        if (g.qubits.size() != 1)
+            throw std::invalid_argument(
+                "sequenceMatrix: not a one-qubit gate");
+        m = sim::multiply(sim::gateMatrix1(g), m);
+    }
+    return m;
+}
+
+} // namespace smq::transpile

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * One-qubit unitary decompositions (Euler angles).
+ *
+ * Used by the 1q-fusion pass (merge adjacent gates, re-synthesise) and
+ * by native-gate translation (ZYZ for ion/AQT bases, ZXZXZ with sqrt-X
+ * for the IBM basis).
+ */
+
+#ifndef SMQ_TRANSPILE_EULER_HPP
+#define SMQ_TRANSPILE_EULER_HPP
+
+#include <vector>
+
+#include "qc/gate.hpp"
+#include "sim/gate_matrices.hpp"
+
+namespace smq::transpile {
+
+/** ZYZ Euler angles: U = e^{i alpha} RZ(phi) RY(theta) RZ(lambda). */
+struct EulerAngles
+{
+    double theta = 0.0;
+    double phi = 0.0;
+    double lambda = 0.0;
+    double alpha = 0.0; ///< global phase
+};
+
+/** Decompose any 2x2 unitary into ZYZ Euler angles. */
+EulerAngles zyzDecompose(const sim::Matrix2 &u);
+
+/**
+ * Gates realising @p u (up to global phase) in the {RZ, RY} basis, in
+ * execution order. Near-identity matrices yield an empty sequence;
+ * zero rotations are omitted.
+ */
+std::vector<qc::Gate> synthesizeZYZ(const sim::Matrix2 &u, qc::Qubit q,
+                                    double tolerance = 1e-9);
+
+/**
+ * Gates realising @p u (up to global phase) in the IBM {RZ, SX} basis
+ * (RZ SX RZ SX RZ), in execution order; pure-diagonal matrices yield a
+ * single RZ.
+ */
+std::vector<qc::Gate> synthesizeZXZXZ(const sim::Matrix2 &u, qc::Qubit q,
+                                      double tolerance = 1e-9);
+
+/** The 2x2 unitary of a (possibly composite) 1q gate sequence applied
+ *  in order. */
+sim::Matrix2 sequenceMatrix(const std::vector<qc::Gate> &gates);
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_EULER_HPP

@@ -1,0 +1,114 @@
+#include "transpile/layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "qc/interaction_graph.hpp"
+
+namespace smq::transpile {
+
+namespace {
+
+std::vector<std::size_t>
+trivialLayout(std::size_t logical, std::size_t physical)
+{
+    if (logical > physical)
+        throw std::invalid_argument("layout: circuit larger than device");
+    std::vector<std::size_t> layout(logical);
+    for (std::size_t i = 0; i < logical; ++i)
+        layout[i] = i;
+    return layout;
+}
+
+/**
+ * Greedy placement: repeatedly take the unplaced logical qubit with
+ * the strongest connection to already-placed ones (falling back to
+ * interaction degree) and put it on the free physical qubit minimising
+ * total distance to the placed neighbours (tie-break: higher physical
+ * degree).
+ */
+std::vector<std::size_t>
+connectivityLayout(const qc::Circuit &circuit,
+                   const device::Topology &topology)
+{
+    std::size_t n_logical = circuit.numQubits();
+    std::size_t n_physical = topology.numQubits();
+    if (n_logical > n_physical)
+        throw std::invalid_argument("layout: circuit larger than device");
+
+    qc::InteractionGraph graph(circuit);
+    constexpr std::size_t unset = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> layout(n_logical, unset);
+    std::vector<bool> physical_used(n_physical, false);
+
+    // interaction weights (edge multiplicity would be better; degree
+    // suffices for the suite's structured circuits)
+    auto placed_neighbors = [&](std::size_t logical) {
+        std::vector<std::size_t> result;
+        for (std::size_t other = 0; other < n_logical; ++other) {
+            if (layout[other] != unset &&
+                graph.connected(static_cast<qc::Qubit>(logical),
+                                static_cast<qc::Qubit>(other))) {
+                result.push_back(layout[other]);
+            }
+        }
+        return result;
+    };
+
+    for (std::size_t step = 0; step < n_logical; ++step) {
+        // pick the next logical qubit
+        std::size_t best_logical = unset;
+        std::size_t best_key = 0;
+        for (std::size_t l = 0; l < n_logical; ++l) {
+            if (layout[l] != unset)
+                continue;
+            // key = (#placed neighbours, total degree)
+            std::size_t placed = placed_neighbors(l).size();
+            std::size_t key = placed * (n_logical + 1) +
+                              graph.degree(static_cast<qc::Qubit>(l));
+            if (best_logical == unset || key > best_key) {
+                best_logical = l;
+                best_key = key;
+            }
+        }
+
+        // pick its physical home
+        std::vector<std::size_t> anchors = placed_neighbors(best_logical);
+        std::size_t best_physical = unset;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < n_physical; ++p) {
+            if (physical_used[p])
+                continue;
+            double cost = 0.0;
+            for (std::size_t a : anchors)
+                cost += static_cast<double>(topology.distance(p, a));
+            // prefer well-connected physical qubits on ties
+            cost -= 0.01 * static_cast<double>(topology.neighbors(p).size());
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_physical = p;
+            }
+        }
+        layout[best_logical] = best_physical;
+        physical_used[best_physical] = true;
+    }
+    return layout;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+chooseLayout(const qc::Circuit &circuit, const device::Topology &topology,
+             LayoutStrategy strategy)
+{
+    switch (strategy) {
+      case LayoutStrategy::Trivial:
+        return trivialLayout(circuit.numQubits(), topology.numQubits());
+      case LayoutStrategy::Connectivity:
+        return connectivityLayout(circuit, topology);
+    }
+    throw std::logic_error("chooseLayout: unknown strategy");
+}
+
+} // namespace smq::transpile

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Initial qubit placement (layout) passes.
+ *
+ * The Closed Division allows "noise-aware qubit mapping" (paper
+ * Sec. V); with device-level uniform calibration this reduces to
+ * connectivity-aware placement: put heavily interacting logical qubits
+ * on tightly coupled physical qubits to minimise later SWAP insertion.
+ */
+
+#ifndef SMQ_TRANSPILE_LAYOUT_HPP
+#define SMQ_TRANSPILE_LAYOUT_HPP
+
+#include <vector>
+
+#include "device/topology.hpp"
+#include "qc/circuit.hpp"
+
+namespace smq::transpile {
+
+/** How initial placement is chosen. */
+enum class LayoutStrategy {
+    Trivial,      ///< logical i -> physical i
+    Connectivity, ///< greedy subgraph match by interaction degree
+};
+
+/**
+ * Choose an initial layout: result[logical] = physical.
+ * @pre circuit.numQubits() <= topology.numQubits()
+ */
+std::vector<std::size_t> chooseLayout(const qc::Circuit &circuit,
+                                      const device::Topology &topology,
+                                      LayoutStrategy strategy);
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_LAYOUT_HPP

@@ -1,0 +1,126 @@
+#include "transpile/native.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/gate_matrices.hpp"
+#include "transpile/euler.hpp"
+
+namespace smq::transpile {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void
+appendNative1q(qc::Circuit &out, const qc::Gate &gate,
+               device::NativeFamily family)
+{
+    sim::Matrix2 m = sim::gateMatrix1(gate);
+    std::vector<qc::Gate> seq;
+    if (family == device::NativeFamily::IBM)
+        seq = synthesizeZXZXZ(m, gate.qubits[0]);
+    else
+        seq = synthesizeZYZ(m, gate.qubits[0]);
+    for (qc::Gate &g : seq)
+        out.append(std::move(g));
+}
+
+/** CX in the ion basis: RY/RXX/RX sandwich around RXX(pi/2). */
+void
+appendIonCx(qc::Circuit &out, qc::Qubit c, qc::Qubit t)
+{
+    out.ry(kPi / 2.0, c);
+    out.rxx(kPi / 2.0, c, t);
+    out.rx(-kPi / 2.0, c);
+    out.rx(-kPi / 2.0, t);
+    out.ry(-kPi / 2.0, c);
+}
+
+/** CX in the AQT basis: CZ conjugated by RY on the target
+ *  (CX = (I x RY(pi/2)) CZ (I x RY(-pi/2)) exactly, since the Z
+ *  factors of H = RY(pi/2) Z commute through CZ). */
+void
+appendAqtCx(qc::Circuit &out, qc::Qubit c, qc::Qubit t)
+{
+    out.ry(-kPi / 2.0, t);
+    out.cz(c, t);
+    out.ry(kPi / 2.0, t);
+}
+
+void
+appendNativeCx(qc::Circuit &out, qc::Qubit c, qc::Qubit t,
+               device::NativeFamily family)
+{
+    switch (family) {
+      case device::NativeFamily::IBM:
+        out.cx(c, t);
+        return;
+      case device::NativeFamily::ION:
+        appendIonCx(out, c, t);
+        return;
+      case device::NativeFamily::AQT:
+        appendAqtCx(out, c, t);
+        return;
+    }
+    throw std::logic_error("appendNativeCx: unknown family");
+}
+
+} // namespace
+
+bool
+isNativeGate(const qc::Gate &gate, device::NativeFamily family)
+{
+    using qc::GateType;
+    switch (family) {
+      case device::NativeFamily::IBM:
+        return gate.type == GateType::RZ || gate.type == GateType::SX ||
+               gate.type == GateType::X || gate.type == GateType::CX;
+      case device::NativeFamily::ION:
+        return gate.type == GateType::RX || gate.type == GateType::RY ||
+               gate.type == GateType::RZ || gate.type == GateType::RXX;
+      case device::NativeFamily::AQT:
+        return gate.type == GateType::RX || gate.type == GateType::RY ||
+               gate.type == GateType::RZ || gate.type == GateType::CZ;
+    }
+    return false;
+}
+
+qc::Circuit
+translateToNative(const qc::Circuit &circuit, device::NativeFamily family)
+{
+    qc::Circuit out(circuit.numQubits(), circuit.numClbits(),
+                    circuit.name());
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER ||
+            g.type == qc::GateType::MEASURE ||
+            g.type == qc::GateType::RESET) {
+            out.append(g);
+            continue;
+        }
+        if (isNativeGate(g, family)) {
+            out.append(g);
+            continue;
+        }
+        if (g.qubits.size() == 1) {
+            appendNative1q(out, g, family);
+            continue;
+        }
+        if (g.type == qc::GateType::CX) {
+            appendNativeCx(out, g.qubits[0], g.qubits[1], family);
+            continue;
+        }
+        if (g.type == qc::GateType::SWAP) {
+            appendNativeCx(out, g.qubits[0], g.qubits[1], family);
+            appendNativeCx(out, g.qubits[1], g.qubits[0], family);
+            appendNativeCx(out, g.qubits[0], g.qubits[1], family);
+            continue;
+        }
+        throw std::invalid_argument(
+            "translateToNative: unexpected gate " + qc::gateName(g.type) +
+            " (run decomposeToCx + route first)");
+    }
+    return out;
+}
+
+} // namespace smq::transpile

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Native-gate translation.
+ *
+ * The last transpiler stage: rewrite the routed {1q, CX, SWAP} circuit
+ * into each platform's native vocabulary (paper Sec. III-A(3): the
+ * compiler must be free to exploit the hardware's own gate set).
+ *
+ *  - IBM superconducting: {RZ, SX, X} + CX
+ *  - Trapped ion (IonQ): {RX, RY, RZ} + RXX(pi/2) (Molmer-Sorensen)
+ *  - AQT superconducting: {RX, RY, RZ} + CZ
+ */
+
+#ifndef SMQ_TRANSPILE_NATIVE_HPP
+#define SMQ_TRANSPILE_NATIVE_HPP
+
+#include "device/device.hpp"
+#include "qc/circuit.hpp"
+
+namespace smq::transpile {
+
+/**
+ * Rewrite all gates into the family's native set. Input must contain
+ * only 1q unitaries, CX, SWAP, MEASURE, RESET, BARRIER.
+ */
+qc::Circuit translateToNative(const qc::Circuit &circuit,
+                              device::NativeFamily family);
+
+/** True when a gate is native to the family. */
+bool isNativeGate(const qc::Gate &gate, device::NativeFamily family);
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_NATIVE_HPP

@@ -1,0 +1,207 @@
+#include "transpile/optimize.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "sim/gate_matrices.hpp"
+#include "transpile/euler.hpp"
+
+namespace smq::transpile {
+
+namespace {
+
+bool
+isIdentityUpToPhase(const sim::Matrix2 &m, double tol = 1e-10)
+{
+    if (std::abs(m[1]) > tol || std::abs(m[2]) > tol)
+        return false;
+    // both diagonal entries equal (same phase) => global phase only
+    return std::abs(m[0] - m[3]) < tol;
+}
+
+} // namespace
+
+qc::Circuit
+fuseSingleQubitGates(const qc::Circuit &circuit)
+{
+    qc::Circuit out(circuit.numQubits(), circuit.numClbits(),
+                    circuit.name());
+    // pending[q] = accumulated 2x2 matrix awaiting emission
+    std::vector<std::optional<sim::Matrix2>> pending(circuit.numQubits());
+
+    auto flush = [&](qc::Qubit q) {
+        if (!pending[q])
+            return;
+        const sim::Matrix2 &m = *pending[q];
+        if (!isIdentityUpToPhase(m)) {
+            EulerAngles e = zyzDecompose(m);
+            out.u3(e.theta, e.phi, e.lambda, q);
+        }
+        pending[q].reset();
+    };
+    auto flushAll = [&]() {
+        for (qc::Qubit q = 0; q < circuit.numQubits(); ++q)
+            flush(q);
+    };
+
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER) {
+            flushAll();
+            out.append(g);
+            continue;
+        }
+        if (g.isUnitary() && g.qubits.size() == 1) {
+            qc::Qubit q = g.qubits[0];
+            sim::Matrix2 m = sim::gateMatrix1(g);
+            pending[q] = pending[q] ? sim::multiply(m, *pending[q]) : m;
+            continue;
+        }
+        for (qc::Qubit q : g.qubits)
+            flush(q);
+        out.append(g);
+    }
+    flushAll();
+    return out;
+}
+
+namespace {
+
+/** True when @p g commutes with CX(c, t) by the Open-Division rules. */
+bool
+commutesWithCx(const qc::Gate &g, qc::Qubit c, qc::Qubit t)
+{
+    using qc::GateType;
+    bool touches_c = false, touches_t = false;
+    for (qc::Qubit q : g.qubits) {
+        touches_c |= q == c;
+        touches_t |= q == t;
+    }
+    if (!touches_c && !touches_t)
+        return true;
+    if (!g.isUnitary())
+        return false;
+    if (g.qubits.size() == 1) {
+        if (touches_c) {
+            // Z-axis gates commute through the control
+            return g.type == GateType::RZ || g.type == GateType::Z ||
+                   g.type == GateType::S || g.type == GateType::SDG ||
+                   g.type == GateType::T || g.type == GateType::TDG ||
+                   g.type == GateType::P;
+        }
+        // X-axis gates commute through the target
+        return g.type == GateType::RX || g.type == GateType::X ||
+               g.type == GateType::SX || g.type == GateType::SXDG;
+    }
+    if (g.type == GateType::CX) {
+        if (touches_c && touches_t)
+            return false; // overlapping differently-oriented CX
+        if (touches_c)
+            return g.qubits[0] == c; // shared control commutes
+        return g.qubits[1] == t;     // shared target commutes
+    }
+    return false;
+}
+
+} // namespace
+
+qc::Circuit
+commutationAwareCancellation(const qc::Circuit &circuit)
+{
+    std::vector<qc::Gate> gates(circuit.gates());
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<bool> removed(gates.size(), false);
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (removed[i] || gates[i].type != qc::GateType::CX)
+                continue;
+            qc::Qubit c = gates[i].qubits[0], t = gates[i].qubits[1];
+            for (std::size_t j = i + 1; j < gates.size(); ++j) {
+                if (removed[j])
+                    continue;
+                const qc::Gate &h = gates[j];
+                if (h.type == qc::GateType::BARRIER)
+                    break;
+                if (h == gates[i]) {
+                    removed[i] = removed[j] = true;
+                    changed = true;
+                    break;
+                }
+                if (!commutesWithCx(h, c, t))
+                    break;
+            }
+        }
+        if (changed) {
+            std::vector<qc::Gate> next;
+            next.reserve(gates.size());
+            for (std::size_t i = 0; i < gates.size(); ++i) {
+                if (!removed[i])
+                    next.push_back(gates[i]);
+            }
+            gates = std::move(next);
+        }
+    }
+    qc::Circuit out(circuit.numQubits(), circuit.numClbits(),
+                    circuit.name());
+    for (qc::Gate &g : gates)
+        out.append(std::move(g));
+    return out;
+}
+
+qc::Circuit
+cancelAdjacentGates(const qc::Circuit &circuit)
+{
+    std::vector<qc::Gate> gates(circuit.gates());
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<bool> removed(gates.size(), false);
+        // last pending self-inverse 2q gate per qubit frontier
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (removed[i])
+                continue;
+            const qc::Gate &g = gates[i];
+            bool cancellable = g.type == qc::GateType::CX ||
+                               g.type == qc::GateType::CZ ||
+                               g.type == qc::GateType::SWAP;
+            if (!cancellable)
+                continue;
+            // scan forward for the next op touching either qubit
+            for (std::size_t j = i + 1; j < gates.size(); ++j) {
+                if (removed[j])
+                    continue;
+                const qc::Gate &h = gates[j];
+                if (h.type == qc::GateType::BARRIER)
+                    break;
+                bool touches = false;
+                for (qc::Qubit q : h.qubits) {
+                    if (q == g.qubits[0] || q == g.qubits[1])
+                        touches = true;
+                }
+                if (!touches)
+                    continue;
+                if (h == g) {
+                    removed[i] = removed[j] = true;
+                    changed = true;
+                }
+                break;
+            }
+        }
+        if (changed) {
+            std::vector<qc::Gate> next;
+            next.reserve(gates.size());
+            for (std::size_t i = 0; i < gates.size(); ++i) {
+                if (!removed[i])
+                    next.push_back(gates[i]);
+            }
+            gates = std::move(next);
+        }
+    }
+    qc::Circuit out(circuit.numQubits(), circuit.numClbits(),
+                    circuit.name());
+    for (qc::Gate &g : gates)
+        out.append(std::move(g));
+    return out;
+}
+
+} // namespace smq::transpile

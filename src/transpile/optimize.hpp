@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Closed-Division peephole optimisations: one-qubit gate fusion and
+ * adjacent-CX cancellation (paper Sec. V allows "reordering of
+ * commuting gates and cancellation of adjacent gates").
+ */
+
+#ifndef SMQ_TRANSPILE_OPTIMIZE_HPP
+#define SMQ_TRANSPILE_OPTIMIZE_HPP
+
+#include "qc/circuit.hpp"
+
+namespace smq::transpile {
+
+/**
+ * Merge maximal runs of adjacent one-qubit gates on the same qubit
+ * into a single U3 (dropped entirely when the product is the identity
+ * up to phase). Multi-qubit gates, measures, resets and barriers act
+ * as fences per qubit.
+ */
+qc::Circuit fuseSingleQubitGates(const qc::Circuit &circuit);
+
+/**
+ * Cancel adjacent self-inverse two-qubit pairs (CX/CZ/SWAP on the same
+ * qubits with no intervening operation on either qubit). Repeats to a
+ * fixed point.
+ */
+qc::Circuit cancelAdjacentGates(const qc::Circuit &circuit);
+
+/**
+ * Open-Division extension (the paper defers an "Open" benchmarking
+ * division to future work, Sec. V): commutation-aware CX cancellation.
+ * Two equal CX gates also cancel when separated only by gates that
+ * commute with them — Z-axis rotations (RZ/Z/S/T/P) on the control,
+ * X-axis rotations (RX/X/SX) on the target, and other CX gates sharing
+ * the same control or the same target. Repeats to a fixed point.
+ */
+qc::Circuit commutationAwareCancellation(const qc::Circuit &circuit);
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_OPTIMIZE_HPP

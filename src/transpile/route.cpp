@@ -1,0 +1,132 @@
+#include "transpile/route.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace smq::transpile {
+
+namespace {
+
+/** Number of upcoming 2q gates considered by the lookahead. */
+constexpr std::size_t kLookahead = 5;
+
+} // namespace
+
+RoutingResult
+route(const qc::Circuit &circuit, const device::Topology &topology,
+      const std::vector<std::size_t> &initial_layout)
+{
+    std::size_t n_logical = circuit.numQubits();
+    std::size_t n_physical = topology.numQubits();
+    if (initial_layout.size() != n_logical)
+        throw std::invalid_argument("route: layout size mismatch");
+    if (n_logical > n_physical)
+        throw std::invalid_argument("route: circuit larger than device");
+    if (!topology.connectedGraph())
+        throw std::invalid_argument("route: disconnected topology");
+
+    std::vector<std::size_t> l2p = initial_layout;
+    constexpr std::size_t unset = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> p2l(n_physical, unset);
+    for (std::size_t l = 0; l < n_logical; ++l) {
+        if (l2p[l] >= n_physical || p2l[l2p[l]] != unset)
+            throw std::invalid_argument("route: invalid layout");
+        p2l[l2p[l]] = l;
+    }
+
+    // Pre-collect the logical 2q gate sequence for lookahead costs.
+    const auto &gates = circuit.gates();
+    std::vector<std::pair<qc::Qubit, qc::Qubit>> future_pairs;
+    std::vector<std::size_t> future_index_of_gate(gates.size(), 0);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        future_index_of_gate[i] = future_pairs.size();
+        if (gates[i].isUnitary() && gates[i].qubits.size() == 2)
+            future_pairs.emplace_back(gates[i].qubits[0],
+                                      gates[i].qubits[1]);
+    }
+
+    RoutingResult result;
+    result.circuit = qc::Circuit(n_physical, circuit.numClbits(),
+                                 circuit.name());
+    result.initialLayout = initial_layout;
+
+    auto lookahead_cost = [&](std::size_t from_future) {
+        double cost = 0.0;
+        double weight = 1.0;
+        std::size_t end =
+            std::min(future_pairs.size(), from_future + kLookahead);
+        for (std::size_t k = from_future; k < end; ++k) {
+            cost += weight * static_cast<double>(topology.distance(
+                                 l2p[future_pairs[k].first],
+                                 l2p[future_pairs[k].second]));
+            weight *= 0.7;
+        }
+        return cost;
+    };
+
+    auto update_maps = [&](std::size_t pa, std::size_t pb) {
+        std::size_t la = p2l[pa], lb = p2l[pb];
+        if (la != unset)
+            l2p[la] = pb;
+        if (lb != unset)
+            l2p[lb] = pa;
+        std::swap(p2l[pa], p2l[pb]);
+    };
+    auto do_swap = [&](std::size_t pa, std::size_t pb) {
+        result.circuit.swap(static_cast<qc::Qubit>(pa),
+                            static_cast<qc::Qubit>(pb));
+        ++result.swapsInserted;
+        update_maps(pa, pb);
+    };
+
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const qc::Gate &g = gates[i];
+        if (g.type == qc::GateType::BARRIER) {
+            result.circuit.barrier();
+            continue;
+        }
+        if (g.qubits.size() > 2)
+            throw std::invalid_argument(
+                "route: decompose to <=2 qubit gates first");
+        if (g.qubits.size() <= 1 || !g.isUnitary()) {
+            qc::Gate mapped = g;
+            for (qc::Qubit &q : mapped.qubits)
+                q = static_cast<qc::Qubit>(l2p[q]);
+            result.circuit.append(std::move(mapped));
+            continue;
+        }
+
+        // two-qubit gate: swap until adjacent
+        qc::Qubit la = g.qubits[0], lb = g.qubits[1];
+        while (!topology.coupled(l2p[la], l2p[lb])) {
+            std::size_t pa = l2p[la], pb = l2p[lb];
+            std::vector<std::size_t> path = topology.shortestPath(pa, pb);
+            // option A: move la one hop toward lb; option B: reverse
+            std::size_t step_a = path[1];
+            std::size_t step_b = path[path.size() - 2];
+
+            // probe both options on the mapping only
+            update_maps(pa, step_a);
+            double cost_a = lookahead_cost(future_index_of_gate[i]);
+            update_maps(pa, step_a); // undo
+
+            update_maps(pb, step_b);
+            double cost_b = lookahead_cost(future_index_of_gate[i]);
+            update_maps(pb, step_b); // undo
+
+            if (cost_a <= cost_b)
+                do_swap(pa, step_a);
+            else
+                do_swap(pb, step_b);
+        }
+        qc::Gate mapped = g;
+        mapped.qubits[0] = static_cast<qc::Qubit>(l2p[la]);
+        mapped.qubits[1] = static_cast<qc::Qubit>(l2p[lb]);
+        result.circuit.append(std::move(mapped));
+    }
+
+    result.finalLayout = l2p;
+    return result;
+}
+
+} // namespace smq::transpile

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SWAP-insertion routing.
+ *
+ * Rewrites a {1q, CX} circuit over logical qubits into an equivalent
+ * circuit over physical qubits in which every CX acts on a coupled
+ * pair, inserting SWAP chains along shortest paths. The paper's
+ * discussion (Sec. VI-VII) hinges on exactly this cost: mismatched
+ * program/hardware connectivity burns extra 2q gates and decoheres
+ * the run.
+ */
+
+#ifndef SMQ_TRANSPILE_ROUTE_HPP
+#define SMQ_TRANSPILE_ROUTE_HPP
+
+#include <vector>
+
+#include "device/topology.hpp"
+#include "qc/circuit.hpp"
+
+namespace smq::transpile {
+
+/** Result of routing a circuit onto a topology. */
+struct RoutingResult
+{
+    qc::Circuit circuit;                   ///< physical-qubit circuit
+    std::vector<std::size_t> initialLayout; ///< logical -> physical
+    std::vector<std::size_t> finalLayout;   ///< logical -> physical
+    std::size_t swapsInserted = 0;          ///< number of SWAPs added
+};
+
+/**
+ * Route @p circuit (any gate set; multi-qubit gates must be 2-qubit)
+ * onto @p topology starting from @p initial_layout. SWAPs are emitted
+ * as SWAP gates (decompose afterwards). Lookahead: when moving the two
+ * operands together, the endpoint whose move least disturbs upcoming
+ * gates is preferred.
+ */
+RoutingResult route(const qc::Circuit &circuit,
+                    const device::Topology &topology,
+                    const std::vector<std::size_t> &initial_layout);
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_ROUTE_HPP

@@ -1,0 +1,72 @@
+#include "transpile/transpiler.hpp"
+
+#include <limits>
+
+#include "transpile/decompose.hpp"
+#include "transpile/native.hpp"
+#include "transpile/optimize.hpp"
+#include "transpile/route.hpp"
+
+namespace smq::transpile {
+
+TranspileResult
+transpile(const qc::Circuit &circuit, const device::Device &device,
+          const TranspileOptions &options)
+{
+    qc::Circuit working = decomposeToCx(circuit);
+    if (options.optimize) {
+        working = fuseSingleQubitGates(working);
+        working = cancelAdjacentGates(working);
+        if (options.division == Division::Open)
+            working = commutationAwareCancellation(working);
+    }
+
+    std::vector<std::size_t> layout =
+        chooseLayout(working, device.topology, options.layout);
+    RoutingResult routed = route(working, device.topology, layout);
+
+    qc::Circuit physical = decomposeToCx(routed.circuit); // expand SWAPs
+    if (options.optimize) {
+        physical = cancelAdjacentGates(physical);
+        if (options.division == Division::Open)
+            physical = commutationAwareCancellation(physical);
+        physical = fuseSingleQubitGates(physical);
+    }
+    if (options.toNativeGates) {
+        physical = translateToNative(physical, device.family);
+        if (options.optimize)
+            physical = cancelAdjacentGates(physical);
+    }
+
+    TranspileResult result;
+    result.circuit = std::move(physical);
+    result.initialLayout = std::move(routed.initialLayout);
+    result.finalLayout = std::move(routed.finalLayout);
+    result.swapsInserted = routed.swapsInserted;
+    result.twoQubitGateCount = result.circuit.multiQubitGateCount();
+    return result;
+}
+
+std::pair<qc::Circuit, std::vector<std::size_t>>
+compactCircuit(const qc::Circuit &circuit)
+{
+    constexpr std::size_t unset = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> mapping(circuit.numQubits(), unset);
+    std::size_t next = 0;
+    for (const qc::Gate &g : circuit.gates()) {
+        for (qc::Qubit q : g.qubits) {
+            if (mapping[q] == unset)
+                mapping[q] = next++;
+        }
+    }
+    qc::Circuit compact(next, circuit.numClbits(), circuit.name());
+    for (const qc::Gate &g : circuit.gates()) {
+        qc::Gate mapped = g;
+        for (qc::Qubit &q : mapped.qubits)
+            q = static_cast<qc::Qubit>(mapping[q]);
+        compact.append(std::move(mapped));
+    }
+    return {std::move(compact), std::move(mapping)};
+}
+
+} // namespace smq::transpile

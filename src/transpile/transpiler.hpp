@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Closed-Division transpilation pipeline.
+ *
+ * Mirrors the optimisation envelope the paper allows (Sec. V):
+ * transpilation of OpenQASM to native gates, connectivity-aware qubit
+ * mapping, SWAP insertion, commuting-gate reordering, and adjacent-
+ * gate cancellation — but no pulse-level tricks or error mitigation.
+ *
+ * Pipeline: decomposeToCx -> fuse -> cancel -> layout -> route ->
+ * decompose SWAPs -> cancel -> fuse -> native translation.
+ */
+
+#ifndef SMQ_TRANSPILE_TRANSPILER_HPP
+#define SMQ_TRANSPILE_TRANSPILER_HPP
+
+#include <vector>
+
+#include "device/device.hpp"
+#include "qc/circuit.hpp"
+#include "transpile/layout.hpp"
+
+namespace smq::transpile {
+
+/**
+ * Benchmarking division (paper Sec. V): Closed allows the cloud-level
+ * optimisations only; Open additionally enables commutation-aware
+ * cancellation (the paper defers the Open division to future work).
+ */
+enum class Division { Closed, Open };
+
+/** Knobs for the transpilation pipeline. */
+struct TranspileOptions
+{
+    LayoutStrategy layout = LayoutStrategy::Connectivity;
+    bool optimize = true;        ///< fusion + cancellation passes
+    bool toNativeGates = true;   ///< final basis translation
+    Division division = Division::Closed;
+};
+
+/** Outcome of transpilation. */
+struct TranspileResult
+{
+    qc::Circuit circuit;                    ///< over physical qubits
+    std::vector<std::size_t> initialLayout; ///< logical -> physical
+    std::vector<std::size_t> finalLayout;   ///< logical -> physical
+    std::size_t swapsInserted = 0;
+    std::size_t twoQubitGateCount = 0;      ///< after all passes
+};
+
+/** Run the full pipeline against a device. */
+TranspileResult transpile(const qc::Circuit &circuit,
+                          const device::Device &device,
+                          const TranspileOptions &options = {});
+
+/**
+ * Drop idle qubits: relabel the qubits actually touched by gates to a
+ * dense range so the simulator works on the smallest register.
+ * Returns the compact circuit plus old-physical -> new index map
+ * (SIZE_MAX for dropped qubits).
+ */
+std::pair<qc::Circuit, std::vector<std::size_t>>
+compactCircuit(const qc::Circuit &circuit);
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_TRANSPILER_HPP

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Behavioural tests for the eight SupermarQ applications: noiseless
+ * executions must score ~1, analytic reference values must hold, and
+ * scores must degrade under noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/hamiltonian_simulation.hpp"
+#include "core/benchmarks/mermin_bell.hpp"
+#include "core/benchmarks/qaoa.hpp"
+#include "core/benchmarks/vqe.hpp"
+#include "core/harness.hpp"
+#include "sim/runner.hpp"
+#include "sim/statevector.hpp"
+
+namespace smq::core {
+namespace {
+
+TEST(Ghz, NoiselessScoreIsNearOne)
+{
+    GhzBenchmark bench(5);
+    EXPECT_GT(noiselessScore(bench, 4000), 0.99);
+}
+
+TEST(Ghz, UniformNoiseFloorScoresLow)
+{
+    GhzBenchmark bench(3);
+    stats::Counts uniform;
+    for (int s = 0; s < 8; ++s) {
+        std::string key;
+        for (int b = 0; b < 3; ++b)
+            key.push_back((s >> b) & 1 ? '1' : '0');
+        uniform.add(key, 100);
+    }
+    // BC = 2 * sqrt(0.125 * 0.5) = 0.5 -> fidelity 0.25
+    EXPECT_NEAR(bench.score({uniform}), 0.25, 1e-9);
+}
+
+TEST(Ghz, RejectsTinySizesAndWrongArity)
+{
+    EXPECT_THROW(GhzBenchmark(1), std::invalid_argument);
+    GhzBenchmark bench(3);
+    EXPECT_THROW(bench.score({}), std::invalid_argument);
+}
+
+class MerminExact : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MerminExact, StatePreparationSaturatesQuantumBound)
+{
+    // exact check: <phi| M |phi> = 2^{n-1}, evaluated term by term on
+    // the preparation state with the dense simulator.
+    std::size_t n = GetParam();
+    MerminBellBenchmark bench(n);
+
+    qc::Circuit prep(n);
+    prep.h(0);
+    prep.s(0);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        prep.cx(static_cast<qc::Qubit>(i), static_cast<qc::Qubit>(i + 1));
+    sim::StateVector state = sim::finalState(prep);
+    double exact = 0.0;
+    for (const auto &[coeff, term] : MerminBellBenchmark::merminTerms(n))
+        exact += coeff * state.expectation(term).real();
+    EXPECT_NEAR(exact, MerminBellBenchmark::quantumValue(n), 1e-9);
+
+    // and the counts-based estimator through the synthesised shared
+    // basis converges to the same value
+    sim::RunOptions options;
+    options.shots = 200000;
+    stats::Rng rng(5);
+    stats::Counts counts = sim::run(bench.circuits()[0], options, rng);
+    double m = bench.merminExpectation(counts);
+    EXPECT_NEAR(m, MerminBellBenchmark::quantumValue(n),
+                0.05 * MerminBellBenchmark::quantumValue(n));
+    EXPECT_GT(bench.score({counts}), 0.97);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerminExact, ::testing::Values(2, 3, 4, 5));
+
+TEST(Mermin, TermCountAndCoefficients)
+{
+    auto terms = MerminBellBenchmark::merminTerms(3);
+    EXPECT_EQ(terms.size(), 4u);
+    // n=3: XXY, XYX, YXX with +1; YYY with -1
+    int plus = 0, minus = 0;
+    for (const auto &[coeff, p] : terms)
+        (coeff > 0 ? plus : minus)++;
+    EXPECT_EQ(plus, 3);
+    EXPECT_EQ(minus, 1);
+}
+
+TEST(Mermin, ClassicalBoundBelowQuantumValue)
+{
+    for (std::size_t n : {2, 3, 4, 5, 8}) {
+        EXPECT_LT(MerminBellBenchmark::classicalBound(n),
+                  MerminBellBenchmark::quantumValue(n) + 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(MerminBellBenchmark::classicalBound(5), 4.0);
+    EXPECT_DOUBLE_EQ(MerminBellBenchmark::quantumValue(5), 16.0);
+}
+
+TEST(Mermin, RejectsOutOfRangeSizes)
+{
+    EXPECT_THROW(MerminBellBenchmark(1), std::invalid_argument);
+    EXPECT_THROW(MerminBellBenchmark(13), std::invalid_argument);
+}
+
+TEST(BitCode, IdealOutputMatchesNoiselessExecution)
+{
+    BitCodeBenchmark bench({1, 0, 1}, 2);
+    sim::RunOptions options;
+    options.shots = 500;
+    stats::Rng rng(3);
+    stats::Counts counts = sim::run(bench.circuits()[0], options, rng);
+    // deterministic ideal: a single key
+    auto ideal = bench.idealOutput();
+    ASSERT_EQ(ideal.map().size(), 1u);
+    const std::string &key = ideal.map().begin()->first;
+    EXPECT_EQ(counts.at(key), 500u);
+    EXPECT_NEAR(bench.score({counts}), 1.0, 1e-9);
+}
+
+TEST(BitCode, SyndromesAreAdjacentParities)
+{
+    BitCodeBenchmark bench({1, 0, 1}, 1);
+    // syndromes: 1^0=1, 0^1=1; data 101 -> key "11" + "101"
+    EXPECT_NEAR(bench.idealOutput().probability("11101"), 1.0, 1e-12);
+}
+
+TEST(PhaseCode, IdealOutputMatchesNoiselessExecution)
+{
+    PhaseCodeBenchmark bench({0, 1, 0}, 1);
+    sim::RunOptions options;
+    options.shots = 6000;
+    stats::Rng rng(11);
+    stats::Counts counts = sim::run(bench.circuits()[0], options, rng);
+    EXPECT_GT(bench.score({counts}), 0.98);
+    // syndrome bits deterministic: +- -> 1, -+ -> 1
+    for (const auto &[bits, cnt] : counts.map()) {
+        EXPECT_EQ(bits[0], '1') << bits;
+        EXPECT_EQ(bits[1], '1') << bits;
+    }
+}
+
+TEST(PhaseCode, DataBitsAreUniform)
+{
+    PhaseCodeBenchmark bench({0, 0}, 1);
+    sim::RunOptions options;
+    options.shots = 8000;
+    stats::Rng rng(19);
+    stats::Counts counts = sim::run(bench.circuits()[0], options, rng);
+    stats::Counts data = counts.marginal({1, 2});
+    for (const char *key : {"00", "01", "10", "11"})
+        EXPECT_NEAR(data.probability(key), 0.25, 0.03);
+}
+
+TEST(ErrorCorrection, ValidatesParameters)
+{
+    EXPECT_THROW(BitCodeBenchmark({1}, 1), std::invalid_argument);
+    EXPECT_THROW(BitCodeBenchmark({1, 0}, 0), std::invalid_argument);
+    EXPECT_THROW(PhaseCodeBenchmark({0}, 2), std::invalid_argument);
+}
+
+TEST(Qaoa, VanillaNoiselessScoreIsNearOne)
+{
+    QaoaVanillaBenchmark bench(5, 7);
+    EXPECT_NE(bench.idealEnergy(), 0.0);
+    EXPECT_GT(noiselessScore(bench, 20000), 0.95);
+}
+
+TEST(Qaoa, SwapNetworkNoiselessScoreIsNearOne)
+{
+    QaoaSwapBenchmark bench(5, 7);
+    EXPECT_GT(noiselessScore(bench, 20000), 0.95);
+}
+
+TEST(Qaoa, SwapNetworkMatchesVanillaLandscape)
+{
+    // same SK instance: both ansatzes realise the same unitary up to
+    // qubit relabelling, so the optimised ideal energies must agree.
+    QaoaVanillaBenchmark vanilla(4, 9);
+    QaoaSwapBenchmark swapped(4, 9);
+    EXPECT_NEAR(vanilla.idealEnergy(), swapped.idealEnergy(), 0.05);
+}
+
+TEST(Qaoa, SwapNetworkCoversAllPairsOnce)
+{
+    QaoaSwapBenchmark bench(5, 1);
+    qc::Circuit c = bench.circuits()[0];
+    // 5 qubits -> C(5,2) = 10 fused blocks of 3 CX each = 30 CX
+    std::size_t cx = 0;
+    for (const qc::Gate &g : c.gates())
+        cx += g.type == qc::GateType::CX;
+    EXPECT_EQ(cx, 30u);
+    // final permutation is the order reversal
+    EXPECT_EQ(bench.finalPermutation(),
+              (std::vector<std::size_t>{4, 3, 2, 1, 0}));
+}
+
+TEST(Qaoa, SkModelIsSymmetricAndSigned)
+{
+    SkModel model = SkModel::random(6, 2);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+            if (i == j)
+                continue;
+            double w = model.weight(i, j);
+            EXPECT_TRUE(w == 1.0 || w == -1.0);
+            EXPECT_EQ(w, model.weight(j, i));
+        }
+    }
+    EXPECT_THROW(model.weight(0, 0), std::out_of_range);
+    // energy of a bitstring equals the brute-force sum
+    EXPECT_NEAR(model.energyOfBitstring("000000"),
+                [&] {
+                    double e = 0.0;
+                    for (std::size_t i = 0; i < 6; ++i)
+                        for (std::size_t j = i + 1; j < 6; ++j)
+                            e += model.weight(i, j);
+                    return e;
+                }(),
+                1e-12);
+}
+
+TEST(Qaoa, DeeperLevelsReachLowerEnergy)
+{
+    // p = 2 must do at least as well as p = 1 on the same instance
+    QaoaVanillaBenchmark p1(5, 21, true, 1);
+    QaoaVanillaBenchmark p2(5, 21, true, 2);
+    EXPECT_LE(p2.idealEnergy(), p1.idealEnergy() + 1e-9);
+    EXPECT_NE(p1.name(), p2.name());
+    EXPECT_GT(noiselessScore(p2, 20000), 0.93);
+}
+
+TEST(Qaoa, SwapNetworkLevelsTrackPermutation)
+{
+    // two levels of the network restore the original qubit order
+    QaoaSwapBenchmark p2(5, 3, /*optimize=*/false, 2);
+    EXPECT_EQ(p2.finalPermutation(),
+              (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+    QaoaSwapBenchmark p1(5, 3, /*optimize=*/false, 1);
+    EXPECT_EQ(p1.finalPermutation(),
+              (std::vector<std::size_t>{4, 3, 2, 1, 0}));
+}
+
+TEST(Qaoa, RejectsZeroLevels)
+{
+    EXPECT_THROW(QaoaVanillaBenchmark(4, 1, true, 0),
+                 std::invalid_argument);
+}
+
+TEST(Vqe, NoiselessScoreIsNearOne)
+{
+    VqeBenchmark bench(4, 1);
+    EXPECT_LT(bench.idealEnergy(), 0.0);
+    EXPECT_GT(noiselessScore(bench, 40000), 0.95);
+}
+
+TEST(Vqe, RespectsVariationalBound)
+{
+    // exact TFIM ground energy by dense diagonalisation (power
+    // iteration on shifted H) for n = 3
+    const std::size_t n = 3;
+    const std::size_t dim = 1u << n;
+    std::vector<std::vector<double>> h(dim, std::vector<double>(dim, 0.0));
+    for (std::size_t s = 0; s < dim; ++s) {
+        for (std::size_t q = 0; q + 1 < n; ++q) {
+            double zi = (s >> q) & 1 ? -1.0 : 1.0;
+            double zj = (s >> (q + 1)) & 1 ? -1.0 : 1.0;
+            h[s][s] -= zi * zj;
+        }
+        for (std::size_t q = 0; q < n; ++q)
+            h[s ^ (1u << q)][s] -= 1.0; // -X_q
+    }
+    // power iteration on (c I - H)
+    std::vector<double> v(dim, 1.0);
+    const double shift = 10.0;
+    for (int it = 0; it < 3000; ++it) {
+        std::vector<double> w(dim, 0.0);
+        for (std::size_t r = 0; r < dim; ++r) {
+            for (std::size_t c = 0; c < dim; ++c)
+                w[r] += (r == c ? shift : 0.0) * v[c] - h[r][c] * v[c];
+        }
+        double norm = 0.0;
+        for (double x : w)
+            norm += x * x;
+        norm = std::sqrt(norm);
+        for (std::size_t r = 0; r < dim; ++r)
+            v[r] = w[r] / norm;
+    }
+    double e0 = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) {
+        double hv = 0.0;
+        for (std::size_t c = 0; c < dim; ++c)
+            hv += h[r][c] * v[c];
+        e0 += v[r] * hv;
+    }
+
+    VqeBenchmark bench(n, 2);
+    EXPECT_GE(bench.idealEnergy(), e0 - 1e-9);  // variational bound
+    EXPECT_LT(bench.idealEnergy(), e0 * 0.85);  // and reasonably close
+}
+
+TEST(Vqe, TwoCircuitsAndScoreArity)
+{
+    VqeBenchmark bench(3, 1);
+    auto circuits = bench.circuits();
+    ASSERT_EQ(circuits.size(), 2u);
+    EXPECT_EQ(circuits[0].measureCount(), 3u);
+    // X-basis circuit carries the extra Hadamard layer
+    EXPECT_GT(circuits[1].opCount(), circuits[0].opCount());
+    EXPECT_THROW(bench.score({stats::Counts{}}), std::invalid_argument);
+}
+
+TEST(HamiltonianSimulation, NoiselessScoreIsNearOne)
+{
+    HamiltonianSimulationBenchmark bench(4, 3);
+    double m = bench.idealMagnetization();
+    EXPECT_GE(m, -1.0);
+    EXPECT_LE(m, 1.0);
+    EXPECT_GT(noiselessScore(bench, 20000), 0.98);
+}
+
+TEST(HamiltonianSimulation, DriveActuallyMovesMagnetization)
+{
+    HamiltonianSimulationBenchmark bench(5, 4);
+    EXPECT_LT(bench.idealMagnetization(), 0.999);
+}
+
+TEST(HamiltonianSimulation, MoreTrotterStepsDeepenCircuit)
+{
+    HamiltonianSimulationBenchmark a(4, 2), b(4, 6);
+    EXPECT_GT(b.circuits()[0].size(), a.circuits()[0].size());
+}
+
+TEST(Benchmarks, NoiseDegradesGhzScore)
+{
+    GhzBenchmark bench(5);
+    qc::Circuit circuit = bench.circuits()[0];
+
+    sim::RunOptions noisy;
+    noisy.shots = 3000;
+    noisy.noise.enabled = true;
+    noisy.noise.p1 = 0.01;
+    noisy.noise.p2 = 0.03;
+    noisy.noise.pMeas = 0.03;
+    stats::Rng rng(17);
+    stats::Counts counts = sim::run(circuit, noisy, rng);
+    double noisy_score = bench.score({counts});
+    double clean_score = noiselessScore(bench, 3000);
+    EXPECT_LT(noisy_score, clean_score - 0.02);
+}
+
+TEST(Benchmarks, ArtifactStyleNoiseSweepIsMonotonic)
+{
+    // the HPCA artifact's demonstration: score decreases as the noise
+    // scale increases
+    GhzBenchmark bench(4);
+    qc::Circuit circuit = bench.circuits()[0];
+    sim::NoiseModel base;
+    base.enabled = true;
+    base.p1 = 0.002;
+    base.p2 = 0.01;
+    base.pMeas = 0.01;
+
+    double last = 1.1;
+    for (double scale : {1.0, 4.0, 16.0}) {
+        sim::RunOptions options;
+        options.shots = 6000;
+        options.noise = base.scaled(scale);
+        stats::Rng rng(23);
+        double score = bench.score({sim::run(circuit, options, rng)});
+        EXPECT_LT(score, last);
+        last = score;
+    }
+}
+
+} // namespace
+} // namespace smq::core

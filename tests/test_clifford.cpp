@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for Clifford synthesis: independent-generator extraction and
+ * simultaneous diagonalisation of commuting Pauli sets, including the
+ * Mermin-operator sets the Mermin-Bell benchmark relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks/mermin_bell.hpp"
+#include "qc/clifford.hpp"
+#include "sim/statevector.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::qc {
+namespace {
+
+TEST(IndependentGenerators, DropsDependentStrings)
+{
+    std::vector<PauliString> set = {
+        PauliString::fromLabel("XX"),
+        PauliString::fromLabel("ZZ"),
+        PauliString::fromLabel("YY"), // = -(XX)(ZZ): dependent
+        PauliString::fromLabel("II"), // identity: dependent
+    };
+    auto gens = independentGenerators(set);
+    EXPECT_EQ(gens.size(), 2u);
+}
+
+TEST(Diagonalization, RejectsNonCommutingInput)
+{
+    std::vector<PauliString> bad = {PauliString::fromLabel("XI"),
+                                    PauliString::fromLabel("ZI")};
+    EXPECT_THROW(diagonalizationCircuit(bad, 2), std::invalid_argument);
+}
+
+TEST(Diagonalization, AlreadyDiagonalSetNeedsLittleWork)
+{
+    std::vector<PauliString> zs = {PauliString::fromLabel("ZZI"),
+                                   PauliString::fromLabel("IZZ")};
+    Circuit u = diagonalizationCircuit(zs, 3);
+    for (PauliString p : zs) {
+        p.conjugateByCircuit(u);
+        EXPECT_TRUE(p.isZType());
+    }
+}
+
+/**
+ * Random commuting sets: start from random Z-type strings (always
+ * commuting) and conjugate all of them by a random Clifford circuit;
+ * commutation is preserved and the set is non-trivial.
+ */
+class RandomCommutingSet : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomCommutingSet, DiagonalizationMapsAllToZType)
+{
+    stats::Rng rng(100 + GetParam());
+    const std::size_t n = 2 + rng.index(4); // 2..5 qubits
+    const std::size_t k = 1 + rng.index(n); // up to n strings
+
+    // random Z-type generators
+    std::vector<PauliString> set;
+    for (std::size_t i = 0; i < k; ++i) {
+        PauliString p(n);
+        bool nontrivial = false;
+        for (std::size_t q = 0; q < n; ++q) {
+            bool z = rng.bernoulli(0.5);
+            p.setZ(q, z);
+            nontrivial |= z;
+        }
+        if (!nontrivial)
+            p.setZ(0, true);
+        set.push_back(p);
+    }
+    // random Clifford scrambling circuit
+    Circuit scramble(n);
+    for (int g = 0; g < 24; ++g) {
+        switch (rng.index(4)) {
+          case 0:
+            scramble.h(static_cast<Qubit>(rng.index(n)));
+            break;
+          case 1:
+            scramble.s(static_cast<Qubit>(rng.index(n)));
+            break;
+          case 2: {
+            Qubit a = static_cast<Qubit>(rng.index(n));
+            Qubit b = static_cast<Qubit>(rng.index(n));
+            if (a != b)
+                scramble.cx(a, b);
+            break;
+          }
+          default: {
+            Qubit a = static_cast<Qubit>(rng.index(n));
+            Qubit b = static_cast<Qubit>(rng.index(n));
+            if (a != b)
+                scramble.cz(a, b);
+            break;
+          }
+        }
+    }
+    for (PauliString &p : set)
+        p.conjugateByCircuit(scramble);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        for (std::size_t j = i + 1; j < set.size(); ++j)
+            ASSERT_TRUE(set[i].commutesWith(set[j]));
+    }
+
+    Circuit u = diagonalizationCircuit(set, n);
+    for (PauliString p : set) {
+        p.conjugateByCircuit(u);
+        EXPECT_TRUE(p.isZType()) << p.toString();
+    }
+    // the synthesised circuit only uses Clifford gates
+    for (const Gate &g : u.gates())
+        EXPECT_TRUE(isClifford(g.type)) << gateName(g.type);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomCommutingSet,
+                         ::testing::Range(0, 25));
+
+class MerminDiagonalization : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MerminDiagonalization, AllTermsBecomeZType)
+{
+    std::size_t n = GetParam();
+    auto terms = core::MerminBellBenchmark::merminTerms(n);
+    EXPECT_EQ(terms.size(), std::size_t{1} << (n - 1));
+
+    std::vector<PauliString> paulis;
+    for (const auto &[coeff, p] : terms)
+        paulis.push_back(p);
+    Circuit u = diagonalizationCircuit(paulis, n);
+    for (PauliString p : paulis) {
+        p.conjugateByCircuit(u);
+        EXPECT_TRUE(p.isZType());
+        EXPECT_NO_THROW(p.sign());
+    }
+}
+
+TEST_P(MerminDiagonalization, ExpectationPreservedUnderRotation)
+{
+    // <psi|P|psi> must equal <U psi| UPU^dg |U psi> for a random state.
+    std::size_t n = GetParam();
+    if (n > 5)
+        GTEST_SKIP() << "dense check kept small";
+    auto terms = core::MerminBellBenchmark::merminTerms(n);
+    std::vector<PauliString> paulis;
+    for (const auto &[coeff, p] : terms)
+        paulis.push_back(p);
+    Circuit u = diagonalizationCircuit(paulis, n);
+
+    stats::Rng rng(7);
+    Circuit prep(n);
+    for (std::size_t q = 0; q < n; ++q)
+        prep.u3(rng.uniform(0, 3.0), rng.uniform(0, 6.0),
+                rng.uniform(0, 6.0), static_cast<Qubit>(q));
+    for (std::size_t q = 0; q + 1 < n; ++q)
+        prep.cx(static_cast<Qubit>(q), static_cast<Qubit>(q + 1));
+
+    sim::StateVector before = sim::finalState(prep);
+    Circuit prep_rotated = prep;
+    prep_rotated.compose(u);
+    sim::StateVector after = sim::finalState(prep_rotated);
+
+    for (const auto &[coeff, p] : terms) {
+        PauliString rotated = p;
+        rotated.conjugateByCircuit(u);
+        EXPECT_NEAR(before.expectation(p).real(),
+                    after.expectation(rotated).real(), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerminDiagonalization,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+} // namespace
+} // namespace smq::qc

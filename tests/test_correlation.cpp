@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the feature-performance correlation machinery behind
+ * Figs. 3 and 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/correlation.hpp"
+
+namespace smq::core {
+namespace {
+
+ScoredInstance
+makeInstance(double entanglement, double score, bool is_ec = false)
+{
+    ScoredInstance inst;
+    inst.benchmark = "synthetic";
+    inst.isErrorCorrection = is_ec;
+    inst.features.entanglement = entanglement;
+    inst.score = score;
+    return inst;
+}
+
+TEST(Correlation, AxisTableCoversSixFeaturesPlusClassicThree)
+{
+    ASSERT_EQ(kCorrelationAxes.size(), 9u);
+    EXPECT_EQ(kCorrelationAxes[2], "Entanglement-Ratio");
+    EXPECT_EQ(kCorrelationAxes[8], "Num 2Q Gates");
+}
+
+TEST(Correlation, AxisValueSelectsTheRightField)
+{
+    ScoredInstance inst;
+    inst.features.communication = 0.1;
+    inst.features.criticalDepth = 0.2;
+    inst.features.entanglement = 0.3;
+    inst.features.parallelism = 0.4;
+    inst.features.liveness = 0.5;
+    inst.features.measurement = 0.6;
+    inst.stats.depth = 7;
+    inst.stats.numQubits = 8;
+    inst.stats.twoQubitGates = 9;
+    for (std::size_t axis = 0; axis < 6; ++axis)
+        EXPECT_NEAR(axisValue(inst, axis), 0.1 * (axis + 1), 1e-12);
+    EXPECT_EQ(axisValue(inst, 6), 7.0);
+    EXPECT_EQ(axisValue(inst, 7), 8.0);
+    EXPECT_EQ(axisValue(inst, 8), 9.0);
+    EXPECT_THROW(axisValue(inst, 9), std::out_of_range);
+}
+
+TEST(Correlation, PerfectLinearRelationGivesR2One)
+{
+    std::vector<ScoredInstance> instances;
+    for (double e : {0.1, 0.3, 0.5, 0.7})
+        instances.push_back(makeInstance(e, 1.0 - 0.8 * e));
+    auto row = correlationRow(instances, false);
+    EXPECT_NEAR(row[2], 1.0, 1e-9); // entanglement axis
+    stats::LinearFit fit = axisFit(instances, 2, false);
+    EXPECT_NEAR(fit.slope, -0.8, 1e-9);
+}
+
+TEST(Correlation, ExcludingErrorCorrectionChangesTheFit)
+{
+    // EC instances are outliers far below the linear trend (the Fig. 4
+    // pattern); excluding them must raise the R^2.
+    std::vector<ScoredInstance> instances;
+    for (double e : {0.1, 0.2, 0.3, 0.4, 0.5})
+        instances.push_back(makeInstance(e, 1.0 - 0.5 * e));
+    instances.push_back(makeInstance(0.15, 0.05, /*is_ec=*/true));
+    instances.push_back(makeInstance(0.25, 0.02, /*is_ec=*/true));
+
+    double with_ec = axisFit(instances, 2, false).r2;
+    double without_ec = axisFit(instances, 2, true).r2;
+    EXPECT_GT(without_ec, with_ec);
+    EXPECT_NEAR(without_ec, 1.0, 1e-9);
+}
+
+TEST(Correlation, RowHasOneEntryPerAxis)
+{
+    std::vector<ScoredInstance> instances = {makeInstance(0.2, 0.9),
+                                             makeInstance(0.4, 0.8)};
+    auto row = correlationRow(instances, false);
+    EXPECT_EQ(row.size(), kCorrelationAxes.size());
+    for (double r2 : row) {
+        EXPECT_GE(r2, 0.0);
+        EXPECT_LE(r2, 1.0 + 1e-12);
+    }
+}
+
+} // namespace
+} // namespace smq::core

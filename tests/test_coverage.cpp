@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the coverage metric (Table I): the synthetic suite's exact
+ * volume, suite ordering, and rank reporting for degenerate suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.hpp"
+#include "core/suites.hpp"
+
+namespace smq::core {
+namespace {
+
+TEST(Coverage, SyntheticSuiteVolumeIsExactlyInverse720)
+{
+    auto points = syntheticFeaturePoints();
+    ASSERT_EQ(points.size(), 7u);
+    CoverageResult result = computeCoverage("Synthetic", points);
+    EXPECT_EQ(result.affineRank, 6u);
+    EXPECT_NEAR(result.volume, 1.0 / 720.0, 1e-12);
+}
+
+TEST(Coverage, SupermarqBeatsSynthetic)
+{
+    CoverageResult supermarq =
+        computeCoverage("SupermarQ", supermarqFeaturePoints());
+    CoverageResult synthetic =
+        computeCoverage("Synthetic", syntheticFeaturePoints());
+    EXPECT_EQ(supermarq.affineRank, 6u);
+    EXPECT_GT(supermarq.volume, synthetic.volume);
+}
+
+TEST(Coverage, SmallTerminalMeasurementSuitesAreDegenerate)
+{
+    // TriQ and PPL+2020 kernels never measure mid-circuit: their
+    // feature vectors lie in the measurement = 0 hyperplane, so the
+    // 6-D hull volume is exactly zero (the paper's 4.1e-14 / 1.0e-15
+    // are numerical jitter from qhull's joggle on the same degenerate
+    // inputs).
+    CoverageResult triq = computeCoverage("TriQ", triqProxyFeaturePoints());
+    EXPECT_EQ(triq.volume, 0.0);
+    EXPECT_LE(triq.affineRank, 5u);
+    EXPECT_EQ(triq.numCircuits, 12u);
+
+    CoverageResult ppl =
+        computeCoverage("PPL+2020", pplProxyFeaturePoints());
+    EXPECT_EQ(ppl.volume, 0.0);
+    EXPECT_EQ(ppl.numCircuits, 9u);
+}
+
+TEST(Coverage, CbgFamilyIsThinButFullRank)
+{
+    CoverageResult cbg =
+        computeCoverage("CBG2021", cbgProxyFeaturePoints(200));
+    EXPECT_EQ(cbg.numCircuits, 200u);
+    EXPECT_EQ(cbg.affineRank, 6u);
+    EXPECT_GT(cbg.volume, 0.0);
+    // orders of magnitude below the application suites
+    CoverageResult synthetic =
+        computeCoverage("Synthetic", syntheticFeaturePoints());
+    EXPECT_LT(cbg.volume, 0.1 * synthetic.volume);
+}
+
+TEST(Coverage, QasmbenchProxyIsCompetitive)
+{
+    CoverageResult qasmbench =
+        computeCoverage("QASMBench", qasmbenchProxyFeaturePoints());
+    CoverageResult synthetic =
+        computeCoverage("Synthetic", syntheticFeaturePoints());
+    EXPECT_EQ(qasmbench.affineRank, 6u);
+    EXPECT_GT(qasmbench.volume, 0.2 * synthetic.volume);
+}
+
+TEST(Coverage, TableOneOrderingHolds)
+{
+    // SupermarQ > Synthetic > CBG2021 > TriQ = PPL+2020 = 0
+    double supermarq =
+        computeCoverage("s", supermarqFeaturePoints()).volume;
+    double synthetic =
+        computeCoverage("y", syntheticFeaturePoints()).volume;
+    double cbg = computeCoverage("c", cbgProxyFeaturePoints(200)).volume;
+    double triq = computeCoverage("t", triqProxyFeaturePoints()).volume;
+    EXPECT_GT(supermarq, synthetic);
+    EXPECT_GT(synthetic, cbg);
+    EXPECT_GT(cbg, triq);
+}
+
+TEST(Coverage, FeaturesOfCircuitsMatchesDirectComputation)
+{
+    qc::Circuit c(2, 2);
+    c.h(0).cx(0, 1).measureAll();
+    auto features = featuresOfCircuits({c});
+    ASSERT_EQ(features.size(), 1u);
+    FeatureVector direct = computeFeatures(c);
+    EXPECT_EQ(features[0].asArray(), direct.asArray());
+}
+
+} // namespace
+} // namespace smq::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for one-qubit Euler synthesis: ZYZ angles and the IBM ZXZXZ
+ * form, over random unitaries and structured edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/gate_matrices.hpp"
+#include "stats/rng.hpp"
+#include "transpile/euler.hpp"
+
+namespace smq::transpile {
+namespace {
+
+sim::Matrix2
+randomUnitary(stats::Rng &rng)
+{
+    qc::Gate g(qc::GateType::U3, {0},
+               {rng.uniform(0.0, M_PI), rng.uniform(0.0, 2.0 * M_PI),
+                rng.uniform(0.0, 2.0 * M_PI)});
+    return sim::gateMatrix1(g);
+}
+
+class EulerRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EulerRandom, ZyzReconstructionIsExact)
+{
+    stats::Rng rng(GetParam());
+    for (int i = 0; i < 40; ++i) {
+        sim::Matrix2 u = randomUnitary(rng);
+        auto gates = synthesizeZYZ(u, 0);
+        EXPECT_LE(gates.size(), 3u);
+        sim::Matrix2 v = sequenceMatrix(gates);
+        EXPECT_LT(sim::phaseInvariantDistance(u, v), 1e-9);
+    }
+}
+
+TEST_P(EulerRandom, ZxzxzReconstructionIsExact)
+{
+    stats::Rng rng(1000 + GetParam());
+    for (int i = 0; i < 40; ++i) {
+        sim::Matrix2 u = randomUnitary(rng);
+        auto gates = synthesizeZXZXZ(u, 0);
+        EXPECT_LE(gates.size(), 5u);
+        for (const qc::Gate &g : gates) {
+            EXPECT_TRUE(g.type == qc::GateType::RZ ||
+                        g.type == qc::GateType::SX);
+        }
+        sim::Matrix2 v = sequenceMatrix(gates);
+        EXPECT_LT(sim::phaseInvariantDistance(u, v), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerRandom, ::testing::Range(0, 4));
+
+TEST(Euler, DiagonalGateBecomesSingleRz)
+{
+    qc::Gate s(qc::GateType::S, {0});
+    auto gates = synthesizeZXZXZ(sim::gateMatrix1(s), 0);
+    ASSERT_EQ(gates.size(), 1u);
+    EXPECT_EQ(gates[0].type, qc::GateType::RZ);
+    EXPECT_NEAR(gates[0].params[0], M_PI / 2.0, 1e-9);
+}
+
+TEST(Euler, IdentityNeedsNoGates)
+{
+    sim::Matrix2 id = {1.0, 0.0, 0.0, 1.0};
+    EXPECT_TRUE(synthesizeZYZ(id, 0).empty());
+    EXPECT_TRUE(synthesizeZXZXZ(id, 0).empty());
+}
+
+TEST(Euler, AntiDiagonalCaseIsHandled)
+{
+    // X is fully anti-diagonal (theta = pi, |v00| = 0)
+    sim::Matrix2 x = {0.0, 1.0, 1.0, 0.0};
+    auto gates = synthesizeZYZ(x, 0);
+    EXPECT_LT(sim::phaseInvariantDistance(x, sequenceMatrix(gates)), 1e-9);
+    auto native = synthesizeZXZXZ(x, 0);
+    EXPECT_LT(sim::phaseInvariantDistance(x, sequenceMatrix(native)),
+              1e-9);
+}
+
+TEST(Euler, AnglesReproduceKnownHadamard)
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    sim::Matrix2 h = {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2};
+    EulerAngles e = zyzDecompose(h);
+    EXPECT_NEAR(e.theta, M_PI / 2.0, 1e-9);
+    // the ZYZ angles are not unique; the reconstruction must be exact
+    auto gates = synthesizeZYZ(h, 0);
+    EXPECT_LT(sim::phaseInvariantDistance(h, sequenceMatrix(gates)),
+              1e-9);
+    // phi + lambda = pi (mod 2 pi) is pinned by the diagonal entries
+    double sum = std::fmod(std::abs(e.phi + e.lambda), 2.0 * M_PI);
+    EXPECT_NEAR(sum, M_PI, 1e-9);
+}
+
+TEST(Euler, SequenceMatrixRejectsMultiQubitGates)
+{
+    EXPECT_THROW(sequenceMatrix({qc::Gate(qc::GateType::CX, {0, 1})}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace smq::transpile

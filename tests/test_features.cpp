@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the six feature computations (paper Eqs. 1-6), including
+ * closed-form values for GHZ circuits and hand-built edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "core/features.hpp"
+#include "qc/library.hpp"
+
+namespace smq::core {
+namespace {
+
+class GhzFeatures : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GhzFeatures, MatchClosedForms)
+{
+    const std::size_t n = GetParam();
+    qc::Circuit c = GhzBenchmark(n).circuits()[0];
+    FeatureVector f = computeFeatures(c);
+    double nd = static_cast<double>(n);
+
+    // communication: path graph, average degree 2(n-1)/n over (n-1)
+    EXPECT_NEAR(f.communication, 2.0 / nd, 1e-12);
+    // every CX lies on the critical path
+    EXPECT_NEAR(f.criticalDepth, 1.0, 1e-12);
+    // (n-1) CX out of 2n ops (h + CXs + n measures)
+    EXPECT_NEAR(f.entanglement, (nd - 1.0) / (2.0 * nd), 1e-12);
+    // depth = n + 1
+    EXPECT_NEAR(f.parallelism, 1.0 / (nd + 1.0), 1e-12);
+    // active slots: 1 + 2(n-1) + n over n(n+1)
+    EXPECT_NEAR(f.liveness, (3.0 * nd - 1.0) / (nd * (nd + 1.0)), 1e-12);
+    // terminal measurement only
+    EXPECT_NEAR(f.measurement, 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GhzFeatures,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));
+
+TEST(Features, AllFeaturesAreInUnitInterval)
+{
+    stats::Rng rng(3);
+    std::vector<qc::Circuit> circuits = {
+        qc::library::qft(5),
+        qc::library::randomLayered(5, 6, rng),
+        qc::library::iterativePhaseEstimation(5),
+        BitCodeBenchmark::alternating(4, 2).circuits()[0],
+    };
+    for (const qc::Circuit &c : circuits) {
+        FeatureVector f = computeFeatures(c);
+        for (double v : f.asArray()) {
+            EXPECT_GE(v, 0.0) << c.name();
+            EXPECT_LE(v, 1.0) << c.name();
+        }
+    }
+}
+
+TEST(Features, CompleteGraphProgramHasFullCommunication)
+{
+    const std::size_t n = 5;
+    qc::Circuit c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j)
+            c.cz(static_cast<qc::Qubit>(i), static_cast<qc::Qubit>(j));
+    }
+    EXPECT_NEAR(programCommunication(c), 1.0, 1e-12);
+}
+
+TEST(Features, FullyParallelLayerScoresOne)
+{
+    // n gates in a single moment: (n/1 - 1)/(n - 1) = 1
+    const std::size_t n = 6;
+    qc::Circuit c(n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(static_cast<qc::Qubit>(q));
+    EXPECT_NEAR(parallelism(c), 1.0, 1e-12);
+    EXPECT_NEAR(liveness(c), 1.0, 1e-12);
+}
+
+TEST(Features, SerialCircuitHasZeroParallelism)
+{
+    qc::Circuit c(3);
+    c.h(0).h(0).h(0);
+    EXPECT_NEAR(parallelism(c), 0.0, 1e-12);
+    EXPECT_NEAR(liveness(c), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Features, MeasurementCountsOnlyMidCircuitLayers)
+{
+    // terminal measurement: feature 0
+    qc::Circuit terminal(2, 2);
+    terminal.h(0).cx(0, 1).measureAll();
+    EXPECT_NEAR(measurementFeature(terminal), 0.0, 1e-12);
+
+    // one mid-circuit measure+reset layer pair out of depth 4
+    qc::Circuit mid(1, 2);
+    mid.h(0);          // moment 0
+    mid.measure(0, 0); // moment 1 (mid-circuit)
+    mid.reset(0);      // moment 2 (mid-circuit)
+    mid.measure(0, 1); // moment 3 (terminal)
+    EXPECT_NEAR(measurementFeature(mid), 0.5, 1e-12);
+}
+
+TEST(Features, ErrorCorrectionBenchmarksExerciseMeasurementAxis)
+{
+    FeatureVector bit = computeFeatures(
+        BitCodeBenchmark::alternating(3, 2).circuits()[0]);
+    EXPECT_GT(bit.measurement, 0.0);
+    FeatureVector phase = computeFeatures(
+        PhaseCodeBenchmark::alternating(3, 2).circuits()[0]);
+    EXPECT_GT(phase.measurement, 0.0);
+}
+
+TEST(Features, EmptyAndTrivialCircuits)
+{
+    qc::Circuit empty(3, 0);
+    FeatureVector f = computeFeatures(empty);
+    for (double v : f.asArray())
+        EXPECT_EQ(v, 0.0);
+
+    qc::Circuit single(1, 0);
+    single.h(0);
+    FeatureVector g = computeFeatures(single);
+    EXPECT_EQ(g.communication, 0.0);
+    EXPECT_EQ(g.parallelism, 0.0); // n < 2
+    EXPECT_EQ(g.liveness, 1.0);
+}
+
+TEST(Features, StatsReportProgramShape)
+{
+    qc::Circuit c(3, 3);
+    c.h(0).cx(0, 1).rzz(0.2, 1, 2).barrier().measureAll();
+    c.reset(0);
+    ProgramStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 3u);
+    EXPECT_EQ(s.gateCount, 7u);
+    EXPECT_EQ(s.twoQubitGates, 2u);
+    EXPECT_EQ(s.measurements, 3u);
+    EXPECT_EQ(s.resets, 1u);
+    EXPECT_GE(s.depth, 4u);
+}
+
+TEST(Features, AxisNamesMatchOrder)
+{
+    const auto &names = FeatureVector::axisNames();
+    EXPECT_EQ(names[0], "Program Communication");
+    EXPECT_EQ(names[5], "Measurement");
+    FeatureVector f;
+    f.measurement = 0.7;
+    EXPECT_EQ(f.asArray()[5], 0.7);
+}
+
+} // namespace
+} // namespace smq::core

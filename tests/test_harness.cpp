@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the execution harness: generate -> transpile -> execute ->
+ * score against device models, "too large" handling, and the
+ * repetition statistics Fig. 2 is built from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/hamiltonian_simulation.hpp"
+#include "core/benchmarks/mermin_bell.hpp"
+#include "core/benchmarks/qaoa.hpp"
+#include "core/benchmarks/vqe.hpp"
+#include "core/harness.hpp"
+
+namespace smq::core {
+namespace {
+
+HarnessOptions
+quickOptions()
+{
+    HarnessOptions options;
+    options.shots = 1500;
+    options.repetitions = 2;
+    return options;
+}
+
+TEST(Harness, AllBenchmarksScoreNearOneOnPerfectDevice)
+{
+    device::Device perfect = device::perfectDevice(8);
+    std::vector<BenchmarkPtr> suite;
+    suite.push_back(std::make_unique<GhzBenchmark>(4));
+    suite.push_back(std::make_unique<MerminBellBenchmark>(3));
+    suite.push_back(std::make_unique<BitCodeBenchmark>(
+        BitCodeBenchmark::alternating(3, 1)));
+    suite.push_back(std::make_unique<PhaseCodeBenchmark>(
+        PhaseCodeBenchmark::alternating(3, 1)));
+    suite.push_back(std::make_unique<QaoaVanillaBenchmark>(4, 3));
+    suite.push_back(std::make_unique<QaoaSwapBenchmark>(4, 3));
+    suite.push_back(std::make_unique<VqeBenchmark>(4, 1));
+    suite.push_back(
+        std::make_unique<HamiltonianSimulationBenchmark>(4, 2));
+
+    HarnessOptions options = quickOptions();
+    options.shots = 6000;
+    for (const BenchmarkPtr &bench : suite) {
+        BenchmarkRun run = runBenchmark(*bench, perfect, options);
+        ASSERT_FALSE(run.tooLarge) << bench->name();
+        EXPECT_GT(run.summary.mean, 0.93) << bench->name();
+        EXPECT_EQ(run.scores.size(), options.repetitions);
+    }
+}
+
+TEST(Harness, TooLargeBenchmarksAreFlagged)
+{
+    // 7-qubit GHZ cannot fit the 4-qubit AQT device
+    GhzBenchmark bench(7);
+    BenchmarkRun run = runBenchmark(bench, device::aqtDevice());
+    EXPECT_TRUE(run.tooLarge);
+    EXPECT_TRUE(run.scores.empty());
+}
+
+TEST(Harness, SimulatorBudgetAlsoFlagsTooLarge)
+{
+    GhzBenchmark bench(5);
+    device::Device dev = device::perfectDevice(8);
+    HarnessOptions options = quickOptions();
+    options.maxSimQubits = 4;
+    BenchmarkRun run = runBenchmark(bench, dev, options);
+    EXPECT_TRUE(run.tooLarge);
+}
+
+TEST(Harness, NoisyDeviceScoresBelowPerfect)
+{
+    GhzBenchmark bench(5);
+    HarnessOptions options = quickOptions();
+    options.shots = 3000;
+    BenchmarkRun perfect =
+        runBenchmark(bench, device::perfectDevice(7), options);
+    BenchmarkRun noisy =
+        runBenchmark(bench, device::ibmToronto(), options);
+    ASSERT_FALSE(noisy.tooLarge);
+    EXPECT_LT(noisy.summary.mean, perfect.summary.mean);
+}
+
+TEST(Harness, RoutingCostsAreReported)
+{
+    // the vanilla QAOA's complete graph cannot match the AQT line:
+    // swaps must appear
+    QaoaVanillaBenchmark bench(4, 5);
+    BenchmarkRun run = runBenchmark(bench, device::aqtDevice(),
+                                    quickOptions());
+    ASSERT_FALSE(run.tooLarge);
+    EXPECT_GT(run.swapsInserted, 0u);
+    EXPECT_GT(run.physicalTwoQubitGates, 6u);
+}
+
+TEST(Harness, ConnectivityMatchNeedsNoSwapsOnLine)
+{
+    // the ZZ-SWAP network is nearest-neighbour by construction
+    QaoaSwapBenchmark bench(4, 5);
+    BenchmarkRun run = runBenchmark(bench, device::aqtDevice(),
+                                    quickOptions());
+    ASSERT_FALSE(run.tooLarge);
+    EXPECT_EQ(run.swapsInserted, 0u);
+}
+
+TEST(Harness, RepetitionsAreIndependentSamples)
+{
+    GhzBenchmark bench(4);
+    HarnessOptions options;
+    options.shots = 400;
+    options.repetitions = 5;
+    BenchmarkRun run =
+        runBenchmark(bench, device::ibmCasablanca(), options);
+    ASSERT_EQ(run.scores.size(), 5u);
+    // under shot noise the repetition scores should not all coincide
+    bool all_equal = true;
+    for (double s : run.scores)
+        all_equal &= s == run.scores[0];
+    EXPECT_FALSE(all_equal);
+    EXPECT_GE(run.summary.stddev, 0.0);
+}
+
+TEST(Harness, DeterministicGivenSeed)
+{
+    GhzBenchmark bench(3);
+    HarnessOptions options = quickOptions();
+    BenchmarkRun a = runBenchmark(bench, device::ibmLagos(), options);
+    BenchmarkRun b = runBenchmark(bench, device::ibmLagos(), options);
+    EXPECT_EQ(a.scores, b.scores);
+}
+
+} // namespace
+} // namespace smq::core

@@ -1,0 +1,71 @@
+#include "test_helpers.hpp"
+
+#include <cmath>
+
+#include "sim/statevector.hpp"
+
+namespace smq::test {
+
+CMatrix
+circuitUnitary(const qc::Circuit &circuit)
+{
+    std::size_t dim = std::size_t{1} << circuit.numQubits();
+    CMatrix u(dim, std::vector<std::complex<double>>(dim));
+    for (std::size_t col = 0; col < dim; ++col) {
+        sim::StateVector state(circuit.numQubits());
+        qc::Circuit prep(circuit.numQubits());
+        for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
+            if ((col >> q) & 1)
+                prep.x(static_cast<qc::Qubit>(q));
+        }
+        state.applyUnitaryCircuit(prep);
+        state.applyUnitaryCircuit(circuit);
+        for (std::size_t row = 0; row < dim; ++row)
+            u[row][col] = state.amplitude(row);
+    }
+    return u;
+}
+
+double
+phaseInvariantDistance(const CMatrix &a, const CMatrix &b)
+{
+    std::size_t dim = a.size();
+    std::size_t mr = 0, mc = 0;
+    double best = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) {
+        for (std::size_t c = 0; c < dim; ++c) {
+            if (std::abs(a[r][c]) > best) {
+                best = std::abs(a[r][c]);
+                mr = r;
+                mc = c;
+            }
+        }
+    }
+    std::complex<double> phase{1.0, 0.0};
+    if (std::abs(a[mr][mc]) > 1e-12 && std::abs(b[mr][mc]) > 1e-12) {
+        phase = (a[mr][mc] / std::abs(a[mr][mc])) /
+                (b[mr][mc] / std::abs(b[mr][mc]));
+    }
+    double dist = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) {
+        for (std::size_t c = 0; c < dim; ++c)
+            dist += std::norm(a[r][c] - phase * b[r][c]);
+    }
+    return std::sqrt(dist);
+}
+
+CMatrix
+matmul(const CMatrix &a, const CMatrix &b)
+{
+    std::size_t dim = a.size();
+    CMatrix out(dim, std::vector<std::complex<double>>(dim, 0.0));
+    for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t k = 0; k < dim; ++k) {
+            for (std::size_t j = 0; j < dim; ++j)
+                out[i][j] += a[i][k] * b[k][j];
+        }
+    }
+    return out;
+}
+
+} // namespace smq::test

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared helpers for the test suite: full-circuit unitaries and
+ * phase-invariant matrix comparison.
+ */
+
+#ifndef SMQ_TESTS_TEST_HELPERS_HPP
+#define SMQ_TESTS_TEST_HELPERS_HPP
+
+#include <complex>
+#include <vector>
+
+#include "qc/circuit.hpp"
+
+namespace smq::test {
+
+using CMatrix = std::vector<std::vector<std::complex<double>>>;
+
+/** Dense unitary of a (unitary-only) circuit, built column by column. */
+CMatrix circuitUnitary(const qc::Circuit &circuit);
+
+/** Frobenius distance between matrices up to global phase. */
+double phaseInvariantDistance(const CMatrix &a, const CMatrix &b);
+
+/** Matrix product a * b. */
+CMatrix matmul(const CMatrix &a, const CMatrix &b);
+
+} // namespace smq::test
+
+#endif // SMQ_TESTS_TEST_HELPERS_HPP

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the d-dimensional convex-hull volume: known polytopes,
+ * rank-deficient inputs, containment, and the Monte-Carlo
+ * cross-check, in the dimensions the coverage metric uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/hull.hpp"
+
+namespace smq::geom {
+namespace {
+
+double
+factorial(std::size_t n)
+{
+    double f = 1.0;
+    for (std::size_t k = 2; k <= n; ++k)
+        f *= static_cast<double>(k);
+    return f;
+}
+
+std::vector<Point>
+hypercubeCorners(std::size_t dim)
+{
+    std::vector<Point> points;
+    for (std::size_t mask = 0; mask < (std::size_t{1} << dim); ++mask) {
+        Point p(dim);
+        for (std::size_t k = 0; k < dim; ++k)
+            p[k] = (mask >> k) & 1 ? 1.0 : 0.0;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+std::vector<Point>
+simplexCorners(std::size_t dim)
+{
+    std::vector<Point> points(dim + 1, Point(dim, 0.0));
+    for (std::size_t k = 0; k < dim; ++k)
+        points[k + 1][k] = 1.0;
+    return points;
+}
+
+TEST(Determinant, KnownValues)
+{
+    EXPECT_NEAR(determinant({{2.0}}), 2.0, 1e-12);
+    EXPECT_NEAR(determinant({{1, 2}, {3, 4}}), -2.0, 1e-12);
+    EXPECT_NEAR(determinant({{0, 1}, {1, 0}}), -1.0, 1e-12);
+    EXPECT_NEAR(determinant({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}), 0.0,
+                1e-9);
+}
+
+class HypercubeVolume : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HypercubeVolume, IsOne)
+{
+    std::size_t dim = GetParam();
+    HullResult hull = convexHull(hypercubeCorners(dim), dim);
+    EXPECT_EQ(hull.affineRank, dim);
+    EXPECT_NEAR(hull.volume, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeVolume,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+class SimplexVolume : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SimplexVolume, IsInverseFactorial)
+{
+    std::size_t dim = GetParam();
+    HullResult hull = convexHull(simplexCorners(dim), dim);
+    EXPECT_NEAR(hull.volume, 1.0 / factorial(dim), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimplexVolume,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(Hull, SixDimensionalSyntheticSuiteValue)
+{
+    // origin + 6 unit vectors: the paper's synthetic suite (Table I)
+    // has volume 1/6! = 1.389e-3.
+    std::vector<Point> points = simplexCorners(6);
+    HullResult hull = convexHull(points, 6);
+    EXPECT_NEAR(hull.volume, 1.0 / 720.0, 1e-12);
+}
+
+TEST(Hull, InteriorPointsDoNotChangeVolume)
+{
+    auto points = hypercubeCorners(3);
+    points.push_back({0.5, 0.5, 0.5});
+    points.push_back({0.25, 0.5, 0.75});
+    HullResult hull = convexHull(points, 3);
+    EXPECT_NEAR(hull.volume, 1.0, 1e-9);
+}
+
+TEST(Hull, DuplicatePointsAreHarmless)
+{
+    auto points = simplexCorners(4);
+    points.push_back(points[0]);
+    points.push_back(points[2]);
+    HullResult hull = convexHull(points, 4);
+    EXPECT_NEAR(hull.volume, 1.0 / factorial(4), 1e-12);
+}
+
+TEST(Hull, RankDeficientInputsReportZeroVolumeAndRank)
+{
+    // all points on the z = 0 hyperplane of R^3
+    std::vector<Point> flat = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+                               {1, 1, 0}, {0.3, 0.7, 0}};
+    HullResult hull = convexHull(flat, 3);
+    EXPECT_EQ(hull.volume, 0.0);
+    EXPECT_EQ(hull.affineRank, 2u);
+    EXPECT_TRUE(hull.facets.empty());
+}
+
+TEST(Hull, TooFewPointsGiveZero)
+{
+    // only 3 points in R^3: hull is at most a triangle
+    std::vector<Point> points = {
+        {0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+    HullResult hull = convexHull(points, 3);
+    EXPECT_EQ(hull.volume, 0.0);
+}
+
+TEST(Hull, ContainsClassifiesPoints)
+{
+    HullResult hull = convexHull(hypercubeCorners(3), 3);
+    EXPECT_TRUE(hull.contains({0.5, 0.5, 0.5}));
+    EXPECT_TRUE(hull.contains({0.0, 0.0, 0.0}));
+    EXPECT_FALSE(hull.contains({1.5, 0.5, 0.5}));
+    EXPECT_FALSE(hull.contains({-0.1, 0.0, 0.0}));
+}
+
+TEST(Hull, ScalingLawHolds)
+{
+    // scaling one axis by s multiplies the volume by s
+    auto points = hypercubeCorners(4);
+    for (Point &p : points)
+        p[2] *= 0.25;
+    HullResult hull = convexHull(points, 4);
+    EXPECT_NEAR(hull.volume, 0.25, 1e-9);
+}
+
+TEST(MonteCarloVolume, AgreesWithExactHull)
+{
+    stats::Rng rng(55);
+    auto points = simplexCorners(4);
+    HullResult hull = convexHull(points, 4);
+    double mc = monteCarloVolume(hull, points, 4, 200000, rng);
+    EXPECT_NEAR(mc, hull.volume, 0.15 * hull.volume);
+}
+
+TEST(MonteCarloVolume, ZeroForEmptyHull)
+{
+    stats::Rng rng(1);
+    HullResult empty;
+    EXPECT_EQ(monteCarloVolume(empty, {}, 3, 100, rng), 0.0);
+}
+
+TEST(Hull, RandomPointCloudInvariants)
+{
+    // volume of a random cloud inside the unit cube is positive, at
+    // most 1, and every input point is contained in the hull.
+    stats::Rng rng(42);
+    std::vector<Point> points;
+    for (int i = 0; i < 40; ++i) {
+        Point p(5);
+        for (double &x : p)
+            x = rng.uniform();
+        points.push_back(std::move(p));
+    }
+    HullResult hull = convexHull(points, 5);
+    EXPECT_GT(hull.volume, 0.0);
+    EXPECT_LT(hull.volume, 1.0);
+    for (const Point &p : points)
+        EXPECT_TRUE(hull.contains(p, 1e-7));
+}
+
+} // namespace
+} // namespace smq::geom

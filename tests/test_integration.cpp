@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cross-module integration tests: OpenQASM as the interchange format
+ * through the full pipeline (generate -> QASM -> parse -> transpile ->
+ * execute -> score), engine cross-checks, and end-to-end determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/mermin_bell.hpp"
+#include "core/benchmarks/qaoa.hpp"
+#include "core/harness.hpp"
+#include "qc/qasm.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "stats/hellinger.hpp"
+
+namespace smq {
+namespace {
+
+TEST(Integration, BenchmarkSurvivesQasmInterchange)
+{
+    // the paper's "write-once-target-all" flow: serialise a benchmark
+    // circuit to OpenQASM, parse it back, run the parsed copy, and
+    // score with the original benchmark object
+    core::MerminBellBenchmark bench(4);
+    qc::Circuit original = bench.circuits()[0];
+    qc::Circuit reparsed = qc::fromQasm(qc::toQasm(original));
+
+    sim::RunOptions options;
+    options.shots = 50000;
+    stats::Rng rng(3);
+    stats::Counts counts = sim::run(reparsed, options, rng);
+    EXPECT_GT(bench.score({counts}), 0.97);
+}
+
+TEST(Integration, TranspiledCircuitIsStillValidQasm)
+{
+    core::QaoaSwapBenchmark bench(4, 5);
+    transpile::TranspileResult result = transpile::transpile(
+        bench.circuits()[0], device::ibmCasablanca());
+    auto [compact, mapping] = transpile::compactCircuit(result.circuit);
+
+    // native-basis circuit must round-trip through OpenQASM
+    qc::Circuit reparsed = qc::fromQasm(qc::toQasm(compact));
+    EXPECT_EQ(reparsed.size(), compact.size());
+
+    sim::RunOptions options;
+    options.shots = 20000;
+    stats::Rng rng(9);
+    stats::Counts counts = sim::run(reparsed, options, rng);
+    EXPECT_GT(bench.score({counts}), 0.95);
+}
+
+TEST(Integration, ThreeEnginesAgreeOnACliffordCircuit)
+{
+    // state-vector, density-matrix and stabilizer engines on the same
+    // noiseless GHZ circuit
+    core::GhzBenchmark bench(4);
+    qc::Circuit circuit = bench.circuits()[0];
+
+    sim::RunOptions options;
+    options.shots = 40000;
+    stats::Rng rng_a(1), rng_b(2);
+    stats::Counts sv = sim::run(circuit, options, rng_a);
+    stats::Counts tableau = sim::runStabilizer(circuit, options, rng_b);
+    stats::Distribution dm =
+        sim::noisyDistribution(circuit, sim::NoiseModel::ideal());
+
+    EXPECT_GT(stats::hellingerFidelity(sv, dm), 0.999);
+    EXPECT_GT(stats::hellingerFidelity(tableau, dm), 0.999);
+}
+
+TEST(Integration, FullHarnessIsDeterministicAcrossRebuilds)
+{
+    // identical options + seeds => identical scores, even through the
+    // full transpile/trajectory stack
+    core::GhzBenchmark bench(5);
+    core::HarnessOptions options;
+    options.shots = 800;
+    options.repetitions = 3;
+    core::BenchmarkRun a =
+        core::runBenchmark(bench, device::ibmMumbai(), options);
+    core::BenchmarkRun b =
+        core::runBenchmark(bench, device::ibmMumbai(), options);
+    EXPECT_EQ(a.scores, b.scores);
+    EXPECT_EQ(a.swapsInserted, b.swapsInserted);
+    EXPECT_EQ(a.physicalTwoQubitGates, b.physicalTwoQubitGates);
+}
+
+TEST(Integration, DensityMatrixHandlesThreeQubitPermutations)
+{
+    // CCX / CSWAP have a dedicated permutation path in the DM engine
+    qc::Circuit c(3, 3);
+    c.x(0).x(1).ccx(0, 1, 2).cswap(2, 0, 1).measureAll();
+    stats::Distribution dm =
+        sim::noisyDistribution(c, sim::NoiseModel::ideal());
+    stats::Distribution sv = sim::idealDistribution(c);
+    EXPECT_GT(stats::hellingerFidelity(sv, dm), 1.0 - 1e-9);
+}
+
+TEST(Integration, OpenDivisionScoresAtLeastAsWellOnAverage)
+{
+    // fewer 2q gates can only help under 2q-dominated noise
+    core::QaoaVanillaBenchmark bench(5, 13);
+    core::HarnessOptions closed;
+    closed.shots = 2000;
+    closed.repetitions = 3;
+    core::HarnessOptions open = closed;
+    open.transpile.division = transpile::Division::Open;
+
+    core::BenchmarkRun closed_run =
+        core::runBenchmark(bench, device::ibmToronto(), closed);
+    core::BenchmarkRun open_run =
+        core::runBenchmark(bench, device::ibmToronto(), open);
+    EXPECT_LE(open_run.physicalTwoQubitGates,
+              closed_run.physicalTwoQubitGates);
+    // scores within statistical noise of each other or better
+    EXPECT_GT(open_run.summary.mean,
+              closed_run.summary.mean - 0.15);
+}
+
+} // namespace
+} // namespace smq

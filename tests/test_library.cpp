@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Behavioural tests for the circuit library: each kernel is executed
+ * noiselessly and checked against its algorithmic contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qc/library.hpp"
+#include "sim/runner.hpp"
+#include "sim/statevector.hpp"
+
+namespace smq::qc::library {
+namespace {
+
+stats::Counts
+execute(const Circuit &circuit, std::uint64_t shots = 2000,
+        std::uint64_t seed = 3)
+{
+    sim::RunOptions options;
+    options.shots = shots;
+    stats::Rng rng(seed);
+    return sim::run(circuit, options, rng);
+}
+
+TEST(Library, BernsteinVaziraniRecoversSecret)
+{
+    std::vector<std::uint8_t> secret = {1, 0, 1, 1, 0, 1};
+    stats::Counts counts = execute(bernsteinVazirani(secret), 100);
+    EXPECT_EQ(counts.at("101101"), 100u);
+}
+
+TEST(Library, GroverAmplifiesMarkedString)
+{
+    std::vector<std::uint8_t> marked = {1, 0, 1, 1};
+    stats::Counts counts = execute(grover(4, marked, 3), 1000);
+    EXPECT_GT(counts.probability("1011"), 0.8);
+}
+
+class AdderSums : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(AdderSums, CuccaroComputesAPlusB)
+{
+    auto [a, b] = GetParam();
+    const std::size_t n = 3;
+    Circuit adder = cuccaroAdder(n);
+    Circuit c(adder.numQubits(), n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((a >> i) & 1)
+            c.x(static_cast<Qubit>(1 + 2 * i));
+        if ((b >> i) & 1)
+            c.x(static_cast<Qubit>(2 + 2 * i));
+    }
+    c.compose(adder);
+    for (std::size_t i = 0; i < n; ++i)
+        c.measure(static_cast<Qubit>(2 + 2 * i), i); // b register
+    c.measure(static_cast<Qubit>(2 * n + 1), n);     // carry-out
+    stats::Counts counts = execute(c, 50);
+
+    int sum = a + b;
+    std::string expected;
+    for (std::size_t i = 0; i <= n; ++i)
+        expected.push_back(((sum >> i) & 1) ? '1' : '0');
+    EXPECT_EQ(counts.at(expected), 50u) << a << "+" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AdderSums,
+    ::testing::Values(std::pair{0, 0}, std::pair{1, 1}, std::pair{3, 5},
+                      std::pair{7, 7}, std::pair{4, 3}, std::pair{6, 5}));
+
+TEST(Library, WStateHasUniformSingleExcitation)
+{
+    const std::size_t n = 4;
+    sim::StateVector sv = sim::finalState(wState(n));
+    for (std::size_t q = 0; q < n; ++q) {
+        EXPECT_NEAR(std::norm(sv.amplitude(std::size_t{1} << q)),
+                    1.0 / static_cast<double>(n), 1e-10);
+    }
+    EXPECT_NEAR(std::norm(sv.amplitude(0)), 0.0, 1e-10);
+}
+
+TEST(Library, HiddenShiftRecoversShift)
+{
+    std::vector<std::uint8_t> shift = {1, 0, 0, 1};
+    stats::Counts counts = execute(hiddenShift(shift), 200);
+    EXPECT_EQ(counts.at("1001"), 200u);
+}
+
+TEST(Library, QftOnZeroIsUniform)
+{
+    const std::size_t n = 3;
+    Circuit c(n, n);
+    c.compose(qft(n));
+    c.measureAll();
+    sim::StateVector sv = sim::finalState(qft(n));
+    for (std::size_t s = 0; s < sv.dimension(); ++s)
+        EXPECT_NEAR(std::norm(sv.amplitude(s)), 1.0 / 8.0, 1e-10);
+}
+
+TEST(Library, QftInverseIsIdentity)
+{
+    const std::size_t n = 4;
+    Circuit c(n);
+    c.x(1).x(3); // arbitrary basis state
+    c.compose(qft(n));
+    c.compose(inverseQft(n));
+    sim::StateVector sv = sim::finalState(c);
+    EXPECT_NEAR(std::norm(sv.amplitude(0b1010)), 1.0, 1e-10);
+}
+
+TEST(Library, IterativePhaseEstimationReadsPhaseBits)
+{
+    // theta = 2*pi * 0.011b = 2*pi * 3/8: three rounds read 1,1,0
+    const double theta = 2.0 * M_PI * 3.0 / 8.0;
+    stats::Counts counts = execute(iterativePhaseEstimation(3, theta), 300);
+    // bits k=0..2 hold phase bits of 2^k theta / pi measurements; the
+    // eigenstate qubit reads 1. Without the classically controlled
+    // corrections only the top bit (k=2, fastest oscillation) is exact:
+    // cp(4*theta) = cp(3pi) -> ancilla reads 1 deterministically.
+    for (const auto &[bits, cnt] : counts.map())
+        EXPECT_EQ(bits[2], '1') << bits;
+    // the target stays in |1>
+    for (const auto &[bits, cnt] : counts.map())
+        EXPECT_EQ(bits[3], '1') << bits;
+}
+
+TEST(Library, GhzLadderMatchesExpectedState)
+{
+    sim::StateVector sv = sim::finalState(ghzLadder(5));
+    EXPECT_NEAR(std::norm(sv.amplitude(0)), 0.5, 1e-10);
+    EXPECT_NEAR(std::norm(sv.amplitude(31)), 0.5, 1e-10);
+}
+
+TEST(Library, SwapTestDetectsIdenticalStates)
+{
+    // equal (|0> vs |0>) registers: ancilla always reads 0
+    stats::Counts counts = execute(swapTest(2), 500);
+    EXPECT_EQ(counts.at("0"), 500u);
+}
+
+TEST(Library, SwapTestDetectsOrthogonalStates)
+{
+    // |0> vs |1>: P(ancilla = 1) = 1/2
+    Circuit c(3, 1);
+    c.x(2); // second register (qubit 2) to |1>
+    c.compose(swapTest(1));
+    stats::Counts counts = execute(c, 4000);
+    EXPECT_NEAR(counts.probability("1"), 0.5, 0.03);
+}
+
+TEST(Library, RandomLayeredIsReproducible)
+{
+    stats::Rng a(5), b(5);
+    Circuit ca = randomLayered(4, 3, a);
+    Circuit cb = randomLayered(4, 3, b);
+    EXPECT_EQ(ca, cb);
+}
+
+class QpeOnGridPhases : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QpeOnGridPhases, ReadsExactPhaseDeterministically)
+{
+    int x = GetParam();
+    double theta = 2.0 * M_PI * static_cast<double>(x) / 8.0;
+    stats::Counts counts =
+        execute(quantumPhaseEstimation(3, theta), 200);
+    // counting register is big-endian: key char 0 = MSB
+    std::string expected;
+    for (int b = 2; b >= 0; --b)
+        expected.push_back(((x >> b) & 1) ? '1' : '0');
+    EXPECT_EQ(counts.at(expected), 200u) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QpeOnGridPhases,
+                         ::testing::Values(0, 1, 2, 3, 5, 7));
+
+TEST(Library, QpeOffGridPhaseConcentratesNearTruth)
+{
+    // theta = 2*pi*0.3: best 3-bit estimates are 2/8 and 3/8
+    stats::Counts counts =
+        execute(quantumPhaseEstimation(3, 2.0 * M_PI * 0.3), 4000);
+    double near = counts.probability("010") + counts.probability("011");
+    EXPECT_GT(near, 0.7);
+}
+
+TEST(Library, DeutschJozsaSeparatesConstantFromBalanced)
+{
+    stats::Counts constant = execute(deutschJozsa(5, false), 100);
+    EXPECT_EQ(constant.at("00000"), 100u);
+    stats::Counts balanced = execute(deutschJozsa(5, true), 100);
+    EXPECT_EQ(balanced.at("00000"), 0u);
+}
+
+TEST(Library, ValidatesArguments)
+{
+    EXPECT_THROW(cuccaroAdder(0), std::invalid_argument);
+    EXPECT_THROW(wState(0), std::invalid_argument);
+    EXPECT_THROW(toffoliChain(2), std::invalid_argument);
+    EXPECT_THROW(hiddenShift({1, 0, 1}), std::invalid_argument);
+    EXPECT_THROW(grover(3, {1, 0}, 1), std::invalid_argument);
+    EXPECT_THROW(iterativePhaseEstimation(0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace smq::qc::library

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the classical optimisers backing the variational proxy
+ * benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/nelder_mead.hpp"
+
+namespace smq::opt {
+namespace {
+
+TEST(NelderMead, MinimizesQuadraticBowl)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 1.5) * (x[0] - 1.5) +
+               2.0 * (x[1] + 0.5) * (x[1] + 0.5) + 3.0;
+    };
+    OptResult result = nelderMead(f, {0.0, 0.0});
+    EXPECT_NEAR(result.x[0], 1.5, 1e-4);
+    EXPECT_NEAR(result.x[1], -0.5, 1e-4);
+    EXPECT_NEAR(result.value, 3.0, 1e-7);
+}
+
+TEST(NelderMead, HandlesOneDimension)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return std::cos(x[0]);
+    };
+    OptResult result = nelderMead(f, {2.5});
+    EXPECT_NEAR(result.value, -1.0, 1e-6);
+}
+
+TEST(NelderMead, RosenbrockValleyProgress)
+{
+    Objective f = [](const std::vector<double> &x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 4000;
+    options.initialStep = 0.8;
+    OptResult result = nelderMead(f, {-1.2, 1.0}, options);
+    EXPECT_LT(result.value, 1e-3);
+}
+
+TEST(NelderMead, RejectsEmptySeed)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(nelderMead(f, {}), std::invalid_argument);
+}
+
+TEST(NelderMead, ConvergesFlagOnEasyProblem)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return x[0] * x[0];
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 2000;
+    OptResult result = nelderMead(f, {3.0}, options);
+    EXPECT_TRUE(result.converged);
+}
+
+TEST(GridSearch, FindsBestCellOfSeparableFunction)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return std::abs(x[0] - 0.5) + std::abs(x[1] - 0.25);
+    };
+    OptResult result = gridSearch(f, {0.0, 0.0}, {1.0, 1.0}, 5);
+    EXPECT_NEAR(result.x[0], 0.5, 1e-12);
+    EXPECT_NEAR(result.x[1], 0.25, 1e-12);
+    EXPECT_EQ(result.iterations, 25u);
+}
+
+TEST(GridSearch, ValidatesArguments)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(gridSearch(f, {}, {}, 3), std::invalid_argument);
+    EXPECT_THROW(gridSearch(f, {0.0}, {1.0, 2.0}, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(gridSearch(f, {0.0}, {1.0}, 1), std::invalid_argument);
+}
+
+TEST(GridSearch, SeedsNelderMeadOnPeriodicLandscape)
+{
+    // multi-modal objective: grid seed keeps NM out of the bad basin
+    Objective f = [](const std::vector<double> &x) {
+        return std::sin(3.0 * x[0]) + 0.1 * x[0] * x[0];
+    };
+    OptResult seed = gridSearch(f, {-4.0}, {4.0}, 17);
+    OptResult refined = nelderMead(f, seed.x);
+    EXPECT_LE(refined.value, seed.value + 1e-12);
+    EXPECT_LT(refined.value, -0.9);
+}
+
+} // namespace
+} // namespace smq::opt

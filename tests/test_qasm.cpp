@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for OpenQASM 2.0 serialisation: writer output, parser
+ * acceptance (expressions, aliases, comments), round-trips, and error
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qc/library.hpp"
+#include "qc/qasm.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::qc {
+namespace {
+
+TEST(QasmWriter, EmitsHeaderAndGates)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).rz(0.25, 1).measure(0, 0).measure(1, 1);
+    std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("creg c[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.25) q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("measure q[0] -> c[0];"), std::string::npos);
+}
+
+TEST(QasmParser, ParsesBasicProgram)
+{
+    const char *text = R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        // a comment
+        qreg q[3];
+        creg c[3];
+        h q[0];
+        cx q[0],q[1];
+        u3(pi/2, 0, pi) q[2];
+        barrier q;
+        measure q[0] -> c[0];
+        reset q[1];
+    )";
+    Circuit c = fromQasm(text);
+    EXPECT_EQ(c.numQubits(), 3u);
+    EXPECT_EQ(c.numClbits(), 3u);
+    ASSERT_EQ(c.size(), 6u);
+    EXPECT_EQ(c.gates()[0].type, GateType::H);
+    EXPECT_EQ(c.gates()[2].type, GateType::U3);
+    EXPECT_NEAR(c.gates()[2].params[0], M_PI / 2.0, 1e-12);
+    EXPECT_NEAR(c.gates()[2].params[2], M_PI, 1e-12);
+    EXPECT_EQ(c.gates()[3].type, GateType::BARRIER);
+    EXPECT_EQ(c.gates()[5].type, GateType::RESET);
+}
+
+TEST(QasmParser, EvaluatesParameterExpressions)
+{
+    Circuit c = fromQasm("OPENQASM 2.0; qreg q[1];"
+                         "rz(-(pi/4) + 2*0.5) q[0];"
+                         "rx(1e-3) q[0];"
+                         "ry((1+2)/4) q[0];");
+    EXPECT_NEAR(c.gates()[0].params[0], -M_PI / 4.0 + 1.0, 1e-12);
+    EXPECT_NEAR(c.gates()[1].params[0], 1e-3, 1e-15);
+    EXPECT_NEAR(c.gates()[2].params[0], 0.75, 1e-12);
+}
+
+TEST(QasmParser, AcceptsAliases)
+{
+    Circuit c = fromQasm("OPENQASM 2.0; qreg q[2];"
+                         "cnot q[0],q[1]; u1(0.5) q[0];");
+    EXPECT_EQ(c.gates()[0].type, GateType::CX);
+    EXPECT_EQ(c.gates()[1].type, GateType::P);
+}
+
+TEST(QasmParser, ReportsLineOnError)
+{
+    try {
+        fromQasm("OPENQASM 2.0;\nqreg q[1];\nbadgate q[0];\n");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(QasmParser, RejectsUnknownRegister)
+{
+    EXPECT_THROW(fromQasm("OPENQASM 2.0; qreg q[1]; h r[0];"),
+                 std::runtime_error);
+    EXPECT_THROW(fromQasm("OPENQASM 2.0; h q[0];"), std::runtime_error);
+}
+
+TEST(QasmParser, RejectsMissingHeader)
+{
+    EXPECT_THROW(fromQasm("qreg q[1]; h q[0];"), std::runtime_error);
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QasmRoundTrip, LibraryCircuitsSurviveRoundTrip)
+{
+    stats::Rng rng(17);
+    Circuit original;
+    switch (GetParam()) {
+      case 0:
+        original = library::qft(4);
+        break;
+      case 1:
+        original = library::bernsteinVazirani({1, 0, 1, 1});
+        break;
+      case 2:
+        original = library::cuccaroAdder(3);
+        break;
+      case 3:
+        original = library::wState(5);
+        break;
+      case 4:
+        original = library::randomLayered(4, 4, rng);
+        break;
+      case 5:
+        original = library::iterativePhaseEstimation(4);
+        break;
+      default:
+        FAIL();
+    }
+    Circuit reparsed = fromQasm(toQasm(original));
+    ASSERT_EQ(reparsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const Gate &a = original.gates()[i];
+        const Gate &b = reparsed.gates()[i];
+        EXPECT_EQ(a.type, b.type) << "gate " << i;
+        EXPECT_EQ(a.qubits, b.qubits) << "gate " << i;
+        EXPECT_EQ(a.cbit, b.cbit) << "gate " << i;
+        ASSERT_EQ(a.params.size(), b.params.size());
+        for (std::size_t p = 0; p < a.params.size(); ++p)
+            EXPECT_NEAR(a.params[p], b.params[p], 1e-15);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, QasmRoundTrip, ::testing::Range(0, 6));
+
+} // namespace
+} // namespace smq::qc

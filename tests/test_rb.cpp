@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for randomized benchmarking: Clifford group closure, sequence
+ * identity property, and recovery of the injected error rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/randomized_benchmarking.hpp"
+#include "sim/runner.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/euler.hpp"
+
+namespace smq::core {
+namespace {
+
+TEST(CliffordGroup, HasTwentyFourElementsWithValidInverses)
+{
+    const auto &group = clifford1qGroup();
+    ASSERT_EQ(group.size(), 24u);
+    EXPECT_TRUE(group[0].gates.empty()); // identity first (BFS)
+    for (const Clifford1q &c : group) {
+        std::vector<qc::Gate> seq, inv_seq;
+        for (qc::GateType t : c.gates)
+            seq.emplace_back(t, std::vector<qc::Qubit>{0});
+        for (qc::GateType t : group[c.inverseIndex].gates)
+            inv_seq.emplace_back(t, std::vector<qc::Qubit>{0});
+        sim::Matrix2 product = sim::multiply(
+            transpile::sequenceMatrix(inv_seq),
+            transpile::sequenceMatrix(seq));
+        sim::Matrix2 identity = {1.0, 0.0, 0.0, 1.0};
+        EXPECT_LT(sim::phaseInvariantDistance(product, identity), 1e-9);
+    }
+}
+
+TEST(RbSequence, NoiselessSurvivalIsOne)
+{
+    stats::Rng rng(3);
+    for (std::size_t length : {0, 1, 5, 20}) {
+        qc::Circuit circuit = rbSequence(length, rng);
+        sim::RunOptions options;
+        options.shots = 200;
+        stats::Rng run_rng(7);
+        stats::Counts counts = sim::run(circuit, options, run_rng);
+        EXPECT_EQ(counts.at("0"), 200u) << "length " << length;
+    }
+}
+
+TEST(RbSequence, LengthControlsGateCount)
+{
+    stats::Rng rng(5);
+    qc::Circuit small = rbSequence(2, rng);
+    qc::Circuit large = rbSequence(40, rng);
+    EXPECT_GT(large.size(), small.size());
+}
+
+TEST(Rb, RecoversInjectedDepolarizingRate)
+{
+    // gate depolarising with probability p per H/S gate: the RB decay
+    // must land near the per-Clifford composition of that error
+    sim::NoiseModel noise;
+    noise.enabled = true;
+    noise.p1 = 0.02;
+
+    stats::Rng rng(11);
+    RbResult result =
+        runRb(noise, {1, 4, 8, 16, 32, 64}, 24, 300, rng);
+
+    EXPECT_GT(result.decay, 0.8);
+    EXPECT_LT(result.decay, 0.999);
+    // error per Clifford ~ gates/Clifford (~1.9) * p1/2
+    EXPECT_GT(result.errorPerClifford, 0.005);
+    EXPECT_LT(result.errorPerClifford, 0.08);
+    // survival decreases with length
+    EXPECT_GT(result.survival.front(), result.survival.back());
+}
+
+TEST(Rb, CleanerNoiseGivesSlowerDecay)
+{
+    sim::NoiseModel dirty;
+    dirty.enabled = true;
+    dirty.p1 = 0.03;
+    sim::NoiseModel clean;
+    clean.enabled = true;
+    clean.p1 = 0.003;
+
+    stats::Rng rng_a(21), rng_b(21);
+    RbResult d = runRb(dirty, {1, 8, 24, 48}, 16, 250, rng_a);
+    RbResult c = runRb(clean, {1, 8, 24, 48}, 16, 250, rng_b);
+    EXPECT_GT(c.decay, d.decay);
+    EXPECT_LT(c.errorPerClifford, d.errorPerClifford);
+}
+
+TEST(Rb, ValidatesArguments)
+{
+    sim::NoiseModel noise;
+    stats::Rng rng(1);
+    EXPECT_THROW(runRb(noise, {1, 2}, 4, 50, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(runRb2q(noise, {1, 2}, 4, 50, rng),
+                 std::invalid_argument);
+}
+
+TEST(CliffordGroup2q, HasCorrectOrderAndValidInverses)
+{
+    const auto &group = clifford2qGroup();
+    ASSERT_EQ(group.size(), 11520u);
+    // spot-check a sample of inverses against the dense simulator
+    stats::Rng rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Clifford2q &c = group[rng.index(group.size())];
+        qc::Circuit circuit(2);
+        for (const qc::Gate &g : c.gates)
+            circuit.append(g);
+        for (const qc::Gate &g : group[c.inverseIndex].gates)
+            circuit.append(g);
+        sim::StateVector sv = sim::finalState(circuit);
+        EXPECT_NEAR(std::norm(sv.amplitude(0)), 1.0, 1e-9);
+    }
+}
+
+TEST(RbSequence2q, NoiselessSurvivalIsOne)
+{
+    stats::Rng rng(4);
+    for (std::size_t length : {0, 1, 3, 8}) {
+        qc::Circuit circuit = rbSequence2q(length, rng);
+        sim::RunOptions options;
+        options.shots = 100;
+        stats::Rng run_rng(6);
+        stats::Counts counts = sim::run(circuit, options, run_rng);
+        EXPECT_EQ(counts.at("00"), 100u) << "length " << length;
+    }
+}
+
+TEST(Rb2q, TwoQubitErrorDominatesDecay)
+{
+    // inject only 2q depolarising error: the 2q RB decay must be much
+    // faster than the 1q RB decay under the same model
+    sim::NoiseModel noise;
+    noise.enabled = true;
+    noise.p2 = 0.03;
+
+    stats::Rng rng(31);
+    RbResult two = runRb2q(noise, {1, 4, 8, 16}, 10, 200, rng);
+    EXPECT_GT(two.errorPerClifford, 0.01);
+    EXPECT_LT(two.errorPerClifford, 0.2);
+    EXPECT_GT(two.survival.front(), two.survival.back());
+
+    stats::Rng rng1(32);
+    RbResult one = runRb(noise, {1, 8, 32, 64}, 10, 200, rng1);
+    // 1q RB sequences contain no CX: unaffected by p2
+    EXPECT_LT(one.errorPerClifford, 0.01);
+}
+
+} // namespace
+} // namespace smq::core

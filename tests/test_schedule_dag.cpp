@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for moment scheduling (depth, liveness matrix, barriers) and
+ * the dependency DAG (critical-path two-qubit counting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qc/dag.hpp"
+#include "qc/schedule.hpp"
+
+namespace smq::qc {
+namespace {
+
+TEST(Schedule, ParallelGatesShareAMoment)
+{
+    Circuit c(3, 0);
+    c.h(0).h(1).h(2).cx(0, 1);
+    Schedule s = schedule(c);
+    EXPECT_EQ(s.depth(), 2u);
+    EXPECT_EQ(s.moments[0].size(), 3u);
+    EXPECT_EQ(s.moments[1].size(), 1u);
+}
+
+TEST(Schedule, GhzLadderDepthIsLinear)
+{
+    // h + (n-1) serial CNOTs: depth n
+    const std::size_t n = 6;
+    Circuit c(n, 0);
+    c.h(0);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        c.cx(static_cast<Qubit>(i), static_cast<Qubit>(i + 1));
+    EXPECT_EQ(schedule(c).depth(), n);
+}
+
+TEST(Schedule, BarrierFencesAllQubits)
+{
+    Circuit c(2, 0);
+    c.h(0).barrier().h(1);
+    // without the barrier h(1) would share moment 0
+    Schedule s = schedule(c);
+    EXPECT_EQ(s.depth(), 2u);
+    EXPECT_EQ(s.momentOf[0], 0);
+    EXPECT_EQ(s.momentOf[2], 1);
+}
+
+TEST(Schedule, MeasureAndResetOccupyMoments)
+{
+    Circuit c(1, 1);
+    c.h(0).measure(0, 0).reset(0).h(0);
+    EXPECT_EQ(schedule(c).depth(), 4u);
+}
+
+TEST(Schedule, LivenessMatrixMarksActiveSlots)
+{
+    Circuit c(2, 0);
+    c.h(0).cx(0, 1);
+    Schedule s = schedule(c);
+    auto live = livenessMatrix(c, s);
+    ASSERT_EQ(live.size(), 2u);
+    ASSERT_EQ(live[0].size(), 2u);
+    EXPECT_EQ(live[0][0], 1); // h
+    EXPECT_EQ(live[1][0], 0); // idle
+    EXPECT_EQ(live[0][1], 1); // cx
+    EXPECT_EQ(live[1][1], 1); // cx
+}
+
+TEST(Dag, LevelsFollowDependencies)
+{
+    Circuit c(3, 0);
+    c.h(0);        // level 1
+    c.cx(0, 1);    // level 2
+    c.h(2);        // level 1
+    c.cx(1, 2);    // level 3
+    GateDag dag(c);
+    EXPECT_EQ(dag.level(0), 1u);
+    EXPECT_EQ(dag.level(1), 2u);
+    EXPECT_EQ(dag.level(2), 1u);
+    EXPECT_EQ(dag.level(3), 3u);
+    EXPECT_EQ(dag.depth(), 3u);
+}
+
+TEST(Dag, CriticalTwoQubitCountOnGhz)
+{
+    // GHZ ladder: every CX lies on the critical path.
+    const std::size_t n = 5;
+    Circuit c(n, 0);
+    c.h(0);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        c.cx(static_cast<Qubit>(i), static_cast<Qubit>(i + 1));
+    GateDag dag(c);
+    EXPECT_EQ(dag.criticalTwoQubitCount(), n - 1);
+}
+
+TEST(Dag, CriticalPathPrefersTwoQubitRichBranch)
+{
+    // Two equal-depth branches: one all-1q, one with a CX. The
+    // critical count must report the CX-rich path.
+    Circuit c(3, 0);
+    c.h(0).h(0).h(0);    // depth-3 branch of 1q gates on qubit 0
+    c.cx(1, 2);          // level 1
+    c.h(1);              // level 2
+    c.h(1);              // level 3
+    GateDag dag(c);
+    EXPECT_EQ(dag.depth(), 3u);
+    EXPECT_EQ(dag.criticalTwoQubitCount(), 1u);
+}
+
+TEST(Dag, SerializedTwoQubitChainCountsAll)
+{
+    Circuit c(2, 0);
+    c.cx(0, 1).cx(0, 1).cx(0, 1);
+    GateDag dag(c);
+    EXPECT_EQ(dag.criticalTwoQubitCount(), 3u);
+}
+
+TEST(Dag, EmptyCircuit)
+{
+    Circuit c(2, 0);
+    GateDag dag(c);
+    EXPECT_EQ(dag.depth(), 0u);
+    EXPECT_EQ(dag.criticalTwoQubitCount(), 0u);
+}
+
+TEST(Dag, ParallelTwoQubitGatesCountOncePerLevel)
+{
+    // Two CXs in the same moment followed by one joining CX: the
+    // longest path holds 2 of the 3.
+    Circuit c(4, 0);
+    c.cx(0, 1).cx(2, 3).cx(1, 2);
+    GateDag dag(c);
+    EXPECT_EQ(dag.depth(), 2u);
+    EXPECT_EQ(dag.criticalTwoQubitCount(), 2u);
+}
+
+} // namespace
+} // namespace smq::qc

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the stabilizer (CHP) simulator: agreement with the dense
+ * state-vector engine on random Clifford circuits, GHZ/EC behaviour,
+ * determinism queries, and large-n scalability smoke tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "stats/hellinger.hpp"
+
+namespace smq::sim {
+namespace {
+
+TEST(Stabilizer, PlusStateMeasuresUniformly)
+{
+    stats::Rng rng(3);
+    std::size_t ones = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        StabilizerSimulator sim(1);
+        sim.applyGate(qc::Gate(qc::GateType::H, {0}));
+        EXPECT_FALSE(sim.isDeterministic(0));
+        ones += sim.measure(0, rng);
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / 2000.0, 0.5, 0.05);
+}
+
+TEST(Stabilizer, BasisStatesAreDeterministic)
+{
+    stats::Rng rng(5);
+    StabilizerSimulator sim(3);
+    sim.applyGate(qc::Gate(qc::GateType::X, {1}));
+    for (std::size_t q = 0; q < 3; ++q)
+        EXPECT_TRUE(sim.isDeterministic(q));
+    EXPECT_EQ(sim.measure(0, rng), 0);
+    EXPECT_EQ(sim.measure(1, rng), 1);
+    EXPECT_EQ(sim.measure(2, rng), 0);
+}
+
+TEST(Stabilizer, GhzCorrelationsAndCollapse)
+{
+    stats::Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        StabilizerSimulator sim(4);
+        sim.applyGate(qc::Gate(qc::GateType::H, {0}));
+        for (qc::Qubit q = 0; q + 1 < 4; ++q)
+            sim.applyGate(qc::Gate(qc::GateType::CX, {q, q + 1}));
+        int first = sim.measure(0, rng);
+        // after the first measurement the rest are deterministic
+        for (std::size_t q = 1; q < 4; ++q) {
+            EXPECT_TRUE(sim.isDeterministic(q));
+            EXPECT_EQ(sim.measure(q, rng), first);
+        }
+    }
+}
+
+TEST(Stabilizer, ResetForcesZero)
+{
+    stats::Rng rng(2);
+    StabilizerSimulator sim(2);
+    sim.applyGate(qc::Gate(qc::GateType::H, {0}));
+    sim.applyGate(qc::Gate(qc::GateType::CX, {0, 1}));
+    sim.reset(0, rng);
+    EXPECT_TRUE(sim.isDeterministic(0));
+    EXPECT_EQ(sim.measure(0, rng), 0);
+}
+
+TEST(Stabilizer, RejectsNonCliffordGates)
+{
+    StabilizerSimulator sim(1);
+    EXPECT_THROW(sim.applyGate(qc::Gate(qc::GateType::T, {0})),
+                 std::invalid_argument);
+    EXPECT_THROW(sim.applyGate(qc::Gate(qc::GateType::RZ, {0}, {0.1})),
+                 std::invalid_argument);
+}
+
+TEST(Stabilizer, IsCliffordCircuitClassifier)
+{
+    qc::Circuit clifford(2, 2);
+    clifford.h(0).cx(0, 1).s(1).measureAll();
+    EXPECT_TRUE(isCliffordCircuit(clifford));
+    qc::Circuit not_clifford(2, 2);
+    not_clifford.h(0).t(0).measureAll();
+    EXPECT_FALSE(isCliffordCircuit(not_clifford));
+}
+
+/**
+ * Property test: on random Clifford circuits with terminal
+ * measurements, the tableau engine's output distribution must match
+ * the dense simulator's exactly (compared via Hellinger fidelity over
+ * many shots).
+ */
+class StabilizerVsDense : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StabilizerVsDense, DistributionsAgreeOnRandomCliffords)
+{
+    stats::Rng gen(400 + GetParam());
+    const std::size_t n = 2 + gen.index(4);
+    qc::Circuit circuit(n, n);
+    for (int g = 0; g < 30; ++g) {
+        switch (gen.index(6)) {
+          case 0:
+            circuit.h(static_cast<qc::Qubit>(gen.index(n)));
+            break;
+          case 1:
+            circuit.s(static_cast<qc::Qubit>(gen.index(n)));
+            break;
+          case 2:
+            circuit.sdg(static_cast<qc::Qubit>(gen.index(n)));
+            break;
+          case 3:
+            circuit.sx(static_cast<qc::Qubit>(gen.index(n)));
+            break;
+          default: {
+            qc::Qubit a = static_cast<qc::Qubit>(gen.index(n));
+            qc::Qubit b = static_cast<qc::Qubit>(gen.index(n));
+            if (a != b) {
+                if (gen.bernoulli(0.5))
+                    circuit.cx(a, b);
+                else
+                    circuit.cz(a, b);
+            }
+            break;
+          }
+        }
+    }
+    circuit.measureAll();
+
+    RunOptions options;
+    options.shots = 20000;
+    stats::Rng rng_a(7), rng_b(13);
+    stats::Counts dense = run(circuit, options, rng_a);
+    stats::Counts tableau = runStabilizer(circuit, options, rng_b);
+
+    double fidelity = stats::hellingerFidelity(
+        tableau, stats::toDistribution(dense));
+    EXPECT_GT(fidelity, 0.995);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StabilizerVsDense,
+                         ::testing::Range(0, 12));
+
+TEST(Stabilizer, MidCircuitAgreementOnBitCode)
+{
+    // the EC benchmark exercises mid-circuit measurement + reset;
+    // tableau and dense engines must produce the same (deterministic)
+    // noiseless output
+    core::BitCodeBenchmark bench({1, 0, 1}, 2);
+    qc::Circuit circuit = bench.circuits()[0];
+    ASSERT_TRUE(isCliffordCircuit(circuit));
+
+    RunOptions options;
+    options.shots = 300;
+    stats::Rng rng(3);
+    stats::Counts tableau = runStabilizer(circuit, options, rng);
+    EXPECT_NEAR(bench.score({tableau}), 1.0, 1e-9);
+}
+
+TEST(Stabilizer, NoisyScoresTrackDenseEngine)
+{
+    core::GhzBenchmark bench(6);
+    qc::Circuit circuit = bench.circuits()[0];
+    RunOptions options;
+    options.shots = 6000;
+    options.noise.enabled = true;
+    options.noise.p1 = 0.005;
+    options.noise.p2 = 0.02;
+    options.noise.pMeas = 0.02;
+
+    stats::Rng rng_a(5), rng_b(9);
+    double dense_score = bench.score({run(circuit, options, rng_a)});
+    double tableau_score =
+        bench.score({runStabilizer(circuit, options, rng_b)});
+    EXPECT_NEAR(tableau_score, dense_score, 0.05);
+}
+
+TEST(Stabilizer, ScalesToHundredsOfQubits)
+{
+    // far beyond the dense simulator's reach: a 300-qubit GHZ
+    core::GhzBenchmark bench(300);
+    qc::Circuit circuit = bench.circuits()[0];
+    RunOptions options;
+    options.shots = 64;
+    stats::Rng rng(21);
+    stats::Counts counts = runStabilizer(circuit, options, rng);
+    EXPECT_NEAR(bench.score({counts}), 1.0, 0.05);
+    // and with noise the score drops but stays computable
+    options.noise.enabled = true;
+    options.noise.p2 = 0.003;
+    stats::Counts noisy = runStabilizer(circuit, options, rng);
+    EXPECT_LT(bench.score({noisy}), 0.9);
+}
+
+TEST(Stabilizer, LargeErrorCorrectionProxyRuns)
+{
+    // note: the phase code's ideal output is uniform over 2^n data
+    // patterns, so the Hellinger estimate needs shots >> 2^n; keep
+    // n moderate and shots high (the bias is ~(K-1)/(8 shots)).
+    core::PhaseCodeBenchmark bench =
+        core::PhaseCodeBenchmark::alternating(5, 2);
+    qc::Circuit circuit = bench.circuits()[0];
+    RunOptions options;
+    options.shots = 4000;
+    stats::Rng rng(17);
+    stats::Counts counts = runStabilizer(circuit, options, rng);
+    EXPECT_GT(bench.score({counts}), 0.95);
+
+    // at larger sizes the *deterministic* bit code stays exactly
+    // scoreable: 41 data qubits, well beyond the dense engine
+    core::BitCodeBenchmark big = core::BitCodeBenchmark::alternating(41, 2);
+    ASSERT_TRUE(isCliffordCircuit(big.circuits()[0]));
+    options.shots = 200;
+    stats::Counts big_counts =
+        runStabilizer(big.circuits()[0], options, rng);
+    EXPECT_NEAR(big.score({big_counts}), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace smq::sim

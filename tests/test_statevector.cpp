@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the state-vector simulator: gate application, measurement
+ * collapse, RESET semantics, expectation values, sampling, and the
+ * ideal-distribution helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/statevector.hpp"
+#include "stats/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace smq::sim {
+namespace {
+
+TEST(StateVector, StartsInZero)
+{
+    StateVector sv(3);
+    EXPECT_EQ(sv.dimension(), 8u);
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, RejectsTooManyQubits)
+{
+    EXPECT_THROW(StateVector(40), std::invalid_argument);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition)
+{
+    StateVector sv(1);
+    sv.applyGate(qc::Gate(qc::GateType::H, {0}));
+    EXPECT_NEAR(std::norm(sv.amplitude(0)), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitude(1)), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.5, 1e-12);
+}
+
+TEST(StateVector, GhzStateAmplitudes)
+{
+    qc::Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    StateVector sv = finalState(c);
+    EXPECT_NEAR(std::norm(sv.amplitude(0b000)), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitude(0b111)), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitude(0b001)), 0.0, 1e-12);
+}
+
+TEST(StateVector, QubitOrderingIsLittleEndian)
+{
+    // X on qubit 2 flips bit 2 of the index
+    StateVector sv(3);
+    sv.applyGate(qc::Gate(qc::GateType::X, {2}));
+    EXPECT_NEAR(std::norm(sv.amplitude(0b100)), 1.0, 1e-12);
+}
+
+TEST(StateVector, CxControlTargetConvention)
+{
+    // control = operand 0: |10> (qubit0=1) -> |11>
+    StateVector sv(2);
+    sv.applyGate(qc::Gate(qc::GateType::X, {0}));
+    sv.applyGate(qc::Gate(qc::GateType::CX, {0, 1}));
+    EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 1.0, 1e-12);
+    // and with control 0 the target is untouched
+    StateVector sv2(2);
+    sv2.applyGate(qc::Gate(qc::GateType::CX, {0, 1}));
+    EXPECT_NEAR(std::norm(sv2.amplitude(0b00)), 1.0, 1e-12);
+}
+
+TEST(StateVector, CcxAndCswapPermuteBasis)
+{
+    StateVector sv(3);
+    sv.applyGate(qc::Gate(qc::GateType::X, {0}));
+    sv.applyGate(qc::Gate(qc::GateType::X, {1}));
+    sv.applyGate(qc::Gate(qc::GateType::CCX, {0, 1, 2}));
+    EXPECT_NEAR(std::norm(sv.amplitude(0b111)), 1.0, 1e-12);
+
+    StateVector sw(3);
+    sw.applyGate(qc::Gate(qc::GateType::X, {0}));
+    sw.applyGate(qc::Gate(qc::GateType::X, {1}));
+    sw.applyGate(qc::Gate(qc::GateType::CSWAP, {0, 1, 2}));
+    // control q0=1: qubits 1,2 swap -> |101>
+    EXPECT_NEAR(std::norm(sw.amplitude(0b101)), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasurementCollapsesAndIsDeterministicOnBasisStates)
+{
+    stats::Rng rng(4);
+    StateVector sv(2);
+    sv.applyGate(qc::Gate(qc::GateType::X, {1}));
+    EXPECT_EQ(sv.measure(1, rng), 1);
+    EXPECT_EQ(sv.measure(0, rng), 0);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasurementOnGhzCorrelatesQubits)
+{
+    stats::Rng rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        qc::Circuit c(2);
+        c.h(0).cx(0, 1);
+        StateVector sv = finalState(c);
+        int first = sv.measure(0, rng);
+        int second = sv.measure(1, rng);
+        EXPECT_EQ(first, second);
+    }
+}
+
+TEST(StateVector, ResetForcesZero)
+{
+    stats::Rng rng(2);
+    StateVector sv(1);
+    sv.applyGate(qc::Gate(qc::GateType::X, {0}));
+    sv.reset(0, rng);
+    EXPECT_NEAR(std::norm(sv.amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(StateVector, ExpectationOfPauliStrings)
+{
+    qc::Circuit c(2);
+    c.h(0).cx(0, 1); // GHZ2
+    StateVector sv = finalState(c);
+    EXPECT_NEAR(sv.expectation(qc::PauliString::fromLabel("ZZ")).real(),
+                1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(qc::PauliString::fromLabel("XX")).real(),
+                1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(qc::PauliString::fromLabel("YY")).real(),
+                -1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(qc::PauliString::fromLabel("ZI")).real(),
+                0.0, 1e-12);
+    EXPECT_NEAR(sv.expectationZ({0, 1}), 1.0, 1e-12);
+    EXPECT_NEAR(sv.expectationZ({0}), 0.0, 1e-12);
+}
+
+TEST(StateVector, FidelityWith)
+{
+    StateVector a(1), b(1);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-12);
+    b.applyGate(qc::Gate(qc::GateType::H, {0}));
+    EXPECT_NEAR(a.fidelityWith(b), 0.5, 1e-12);
+    b.applyGate(qc::Gate(qc::GateType::H, {0}));
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-12);
+}
+
+TEST(StateVector, SamplingMatchesProbabilities)
+{
+    stats::Rng rng(31);
+    qc::Circuit c(2);
+    c.h(0);
+    StateVector sv = finalState(c);
+    std::size_t ones = 0;
+    for (int i = 0; i < 5000; ++i)
+        ones += sv.sampleBasisState(rng) & 1;
+    EXPECT_NEAR(static_cast<double>(ones) / 5000.0, 0.5, 0.03);
+}
+
+TEST(StateVector, RejectsNonUnitaryInApplyGate)
+{
+    StateVector sv(1);
+    EXPECT_THROW(sv.applyGate(qc::Gate(qc::GateType::MEASURE, {0})),
+                 std::invalid_argument);
+    EXPECT_THROW(sv.applyGate(qc::Gate(qc::GateType::RESET, {0})),
+                 std::invalid_argument);
+}
+
+TEST(IdealDistribution, GhzGivesFiftyFifty)
+{
+    qc::Circuit c(2, 2);
+    c.h(0).cx(0, 1).measureAll();
+    auto dist = idealDistribution(c);
+    EXPECT_NEAR(dist.probability("00"), 0.5, 1e-12);
+    EXPECT_NEAR(dist.probability("11"), 0.5, 1e-12);
+    EXPECT_NEAR(dist.totalMass(), 1.0, 1e-12);
+}
+
+TEST(IdealDistribution, HonorsClassicalBitMapping)
+{
+    qc::Circuit c(2, 2);
+    c.x(0);
+    c.measure(0, 1); // qubit 0 -> clbit 1
+    c.measure(1, 0);
+    auto dist = idealDistribution(c);
+    EXPECT_NEAR(dist.probability("01"), 1.0, 1e-12);
+}
+
+TEST(IdealDistribution, RejectsMidCircuitOps)
+{
+    qc::Circuit c(1, 1);
+    c.measure(0, 0);
+    c.h(0);
+    EXPECT_THROW(idealDistribution(c), std::invalid_argument);
+
+    qc::Circuit r(1, 1);
+    r.reset(0);
+    r.measure(0, 0);
+    EXPECT_THROW(idealDistribution(r), std::invalid_argument);
+}
+
+TEST(UnitaryHelper, HGate)
+{
+    qc::Circuit c(1);
+    c.h(0);
+    auto u = smq::test::circuitUnitary(c);
+    double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(u[0][0].real(), inv_sqrt2, 1e-12);
+    EXPECT_NEAR(u[1][1].real(), -inv_sqrt2, 1e-12);
+}
+
+} // namespace
+} // namespace smq::sim

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the stats substrate: counts, distributions, Hellinger
+ * fidelity, descriptive statistics, and linear regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/counts.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/hellinger.hpp"
+#include "stats/regression.hpp"
+#include "stats/rng.hpp"
+#include "stats/table.hpp"
+
+namespace smq::stats {
+namespace {
+
+TEST(Counts, AccumulatesShotsAndProbabilities)
+{
+    Counts counts;
+    counts.add("00", 3);
+    counts.add("11", 1);
+    counts.add("00");
+    EXPECT_EQ(counts.shots(), 5u);
+    EXPECT_EQ(counts.at("00"), 4u);
+    EXPECT_EQ(counts.at("01"), 0u);
+    EXPECT_DOUBLE_EQ(counts.probability("00"), 0.8);
+    EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(Counts, ParityExpectationMatchesHandComputation)
+{
+    Counts counts;
+    counts.add("00", 50);
+    counts.add("11", 50);
+    // Z0 Z1 on a GHZ-like histogram: both keys have even parity
+    EXPECT_DOUBLE_EQ(counts.parityExpectation({0, 1}), 1.0);
+    // Z0 alone averages to zero
+    EXPECT_DOUBLE_EQ(counts.parityExpectation({0}), 0.0);
+}
+
+TEST(Counts, ParityExpectationThrowsOnBadIndex)
+{
+    Counts counts;
+    counts.add("01");
+    EXPECT_THROW(counts.parityExpectation({5}), std::out_of_range);
+}
+
+TEST(Counts, MarginalKeepsSelectedBits)
+{
+    Counts counts;
+    counts.add("010", 2);
+    counts.add("110", 3);
+    Counts marg = counts.marginal({1, 2});
+    EXPECT_EQ(marg.at("10"), 5u);
+    EXPECT_EQ(marg.shots(), 5u);
+}
+
+TEST(Counts, MergeSumsHistograms)
+{
+    Counts a, b;
+    a.add("0", 2);
+    b.add("0", 3);
+    b.add("1", 1);
+    a.merge(b);
+    EXPECT_EQ(a.at("0"), 5u);
+    EXPECT_EQ(a.shots(), 6u);
+}
+
+TEST(Distribution, NormalizeAndSample)
+{
+    Distribution dist;
+    dist.add("0", 2.0);
+    dist.add("1", 2.0);
+    dist.normalize();
+    EXPECT_NEAR(dist.totalMass(), 1.0, 1e-12);
+
+    Rng rng(3);
+    Counts sampled = dist.sample(10000, rng);
+    EXPECT_EQ(sampled.shots(), 10000u);
+    EXPECT_NEAR(sampled.probability("0"), 0.5, 0.03);
+}
+
+TEST(Distribution, RejectsNegativeMass)
+{
+    Distribution dist;
+    EXPECT_THROW(dist.add("0", -0.1), std::invalid_argument);
+}
+
+TEST(Hellinger, IdenticalDistributionsScoreOne)
+{
+    Distribution p;
+    p.add("00", 0.5);
+    p.add("11", 0.5);
+    EXPECT_NEAR(hellingerFidelity(p, p), 1.0, 1e-12);
+}
+
+TEST(Hellinger, DisjointDistributionsScoreZero)
+{
+    Distribution p, q;
+    p.add("00", 1.0);
+    q.add("11", 1.0);
+    EXPECT_NEAR(hellingerFidelity(p, q), 0.0, 1e-12);
+    EXPECT_NEAR(hellingerDistance(p, q), 1.0, 1e-12);
+}
+
+TEST(Hellinger, KnownOverlapValue)
+{
+    // P uniform over {00, 11}; Q puts all mass on 00:
+    // BC = sqrt(0.5), fidelity = 0.5.
+    Distribution p, q;
+    p.add("00", 0.5);
+    p.add("11", 0.5);
+    q.add("00", 1.0);
+    EXPECT_NEAR(hellingerFidelity(p, q), 0.5, 1e-12);
+}
+
+TEST(Hellinger, CountsOverloadMatchesDistribution)
+{
+    Counts counts;
+    counts.add("00", 500);
+    counts.add("11", 500);
+    Distribution ideal;
+    ideal.add("00", 0.5);
+    ideal.add("11", 0.5);
+    EXPECT_NEAR(hellingerFidelity(counts, ideal), 1.0, 1e-12);
+}
+
+TEST(Descriptive, SummaryOfKnownSample)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    Summary s = summarize(xs);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, RunningStatsMatchesBatch)
+{
+    std::vector<double> xs = {0.3, -1.2, 4.7, 2.2, 0.0};
+    RunningStats rs;
+    for (double x : xs)
+        rs.push(x);
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(Descriptive, EmptySampleThrows)
+{
+    EXPECT_THROW(mean({}), std::invalid_argument);
+    EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+TEST(Regression, RecoversExactLine)
+{
+    std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    std::vector<double> ys = {1.0, 3.0, 5.0, 7.0}; // y = 1 + 2x
+    LinearFit fit = linearRegression(xs, ys);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.predict(10.0), 21.0, 1e-12);
+}
+
+TEST(Regression, UncorrelatedDataHasLowR2)
+{
+    std::vector<double> xs = {0, 1, 2, 3};
+    std::vector<double> ys = {1, -1, 1, -1};
+    LinearFit fit = linearRegression(xs, ys);
+    EXPECT_LT(fit.r2, 0.3);
+}
+
+TEST(Regression, DegenerateInputsAreFlat)
+{
+    LinearFit fit = linearRegression({2.0, 2.0, 2.0}, {1.0, 5.0, 3.0});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.r2, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 3.0);
+}
+
+TEST(Regression, PearsonSignFollowsSlope)
+{
+    EXPECT_NEAR(pearson({0, 1, 2}, {2, 1, 0}), -1.0, 1e-12);
+    EXPECT_NEAR(pearson({0, 1, 2}, {0, 1, 2}), 1.0, 1e-12);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(11);
+    std::vector<double> weights = {0.0, 3.0, 1.0};
+    std::size_t hits1 = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::size_t idx = rng.discrete(weights);
+        ASSERT_NE(idx, 0u);
+        hits1 += idx == 1;
+    }
+    EXPECT_NEAR(static_cast<double>(hits1) / 4000.0, 0.75, 0.03);
+}
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(5), b(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(1);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_THROW(table.addRow({"only-one-cell"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatScientific(0.0014, 1), "1.4e-03");
+}
+
+} // namespace
+} // namespace smq::stats

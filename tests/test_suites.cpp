@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sanity tests for the suite registries: instance counts match the
+ * paper's Table I, names are unique, and every Fig. 2 instance is
+ * executable on at least one device model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/suites.hpp"
+#include "device/device.hpp"
+
+namespace smq::core {
+namespace {
+
+TEST(Suites, SupermarqPointCountMatchesPaper)
+{
+    EXPECT_EQ(supermarqFeaturePoints().size(), 52u);
+}
+
+TEST(Suites, QasmbenchProxyCountMatchesPaper)
+{
+    EXPECT_EQ(qasmbenchProxyFeaturePoints().size(), 62u);
+}
+
+TEST(Suites, SmallSuiteCountsMatchPaper)
+{
+    EXPECT_EQ(syntheticFeaturePoints().size(), 7u); // 6 axes + origin
+    EXPECT_EQ(triqProxyFeaturePoints().size(), 12u);
+    EXPECT_EQ(pplProxyFeaturePoints().size(), 9u);
+    EXPECT_EQ(cbgProxyFeaturePoints(123).size(), 123u);
+}
+
+TEST(Suites, AllFeaturePointsAreInUnitCube)
+{
+    for (const auto &points :
+         {supermarqFeaturePoints(), qasmbenchProxyFeaturePoints(),
+          triqProxyFeaturePoints(), pplProxyFeaturePoints()}) {
+        for (const FeatureVector &f : points) {
+            for (double v : f.asArray()) {
+                EXPECT_GE(v, 0.0);
+                EXPECT_LE(v, 1.0);
+            }
+        }
+    }
+}
+
+TEST(Suites, Figure2InstancesAreWellFormed)
+{
+    auto suite = figure2Benchmarks();
+    EXPECT_GE(suite.size(), 20u);
+
+    std::set<std::string> names;
+    std::size_t largest_device = 0;
+    for (const device::Device &dev : device::allDevices())
+        largest_device = std::max(largest_device, dev.numQubits());
+
+    for (const BenchmarkPtr &bench : suite) {
+        EXPECT_TRUE(names.insert(bench->name()).second)
+            << "duplicate name " << bench->name();
+        EXPECT_GE(bench->numQubits(), 2u);
+        // every instance fits at least the largest device
+        EXPECT_LE(bench->numQubits(), largest_device) << bench->name();
+        // circuits are generable and measure something
+        for (const qc::Circuit &c : bench->circuits())
+            EXPECT_GT(c.measureCount(), 0u) << bench->name();
+    }
+}
+
+TEST(Suites, Figure2CoversAllEightApplications)
+{
+    auto suite = figure2Benchmarks();
+    const char *prefixes[] = {"ghz_",          "mermin_bell_",
+                              "bit_code_",     "phase_code_",
+                              "qaoa_vanilla_", "qaoa_zzswap_",
+                              "vqe_",          "hamiltonian_sim_"};
+    for (const char *prefix : prefixes) {
+        bool found = false;
+        for (const BenchmarkPtr &bench : suite)
+            found |= bench->name().rfind(prefix, 0) == 0;
+        EXPECT_TRUE(found) << "missing application " << prefix;
+    }
+}
+
+} // namespace
+} // namespace smq::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the TFIM exact solvers: the Lanczos ground-state energy
+ * against the free-fermion closed form (periodic) and against dense
+ * reference values (open), plus the variational relationship with the
+ * VQE benchmark.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/benchmarks/vqe.hpp"
+#include "core/tfim.hpp"
+
+namespace smq::core {
+namespace {
+
+TEST(TfimMatvec, MatchesHandComputedTwoSpinMatrix)
+{
+    // n = 2 open chain, J = h = 1:
+    // H = -Z0 Z1 - X0 - X1 in basis |00>,|10>,|01>,|11> (little-endian)
+    // diag(-1, 1, 1, -1) with -1 on every single-bit-flip offdiagonal.
+    std::vector<double> x(4, 0.0), y(4, 0.0);
+    x[0] = 1.0;
+    applyTfim(x, y, 2, 1.0, 1.0, Boundary::Open);
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    EXPECT_DOUBLE_EQ(y[2], -1.0);
+    EXPECT_DOUBLE_EQ(y[3], 0.0);
+
+    x = {0.0, 1.0, 0.0, 0.0};
+    applyTfim(x, y, 2, 1.0, 1.0, Boundary::Open);
+    EXPECT_DOUBLE_EQ(y[1], 1.0);
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[3], -1.0);
+}
+
+TEST(TfimMatvec, ValidatesArguments)
+{
+    std::vector<double> x(4), y(8);
+    EXPECT_THROW(applyTfim(x, y, 2, 1.0, 1.0, Boundary::Open),
+                 std::invalid_argument);
+    EXPECT_THROW(applyTfim(x, x, 1, 1.0, 1.0, Boundary::Open),
+                 std::invalid_argument);
+}
+
+TEST(TfimExact, TwoSpinGroundEnergyClosedForm)
+{
+    // n = 2 open chain: eigenvalues of the 4x4 are -1 +- sqrt(1+4h^2)/..
+    // check against a direct 4x4 diagonalisation value at J = h = 1:
+    // ground energy = -sqrt(5) for H = -ZZ - X0 - X1? verify by power
+    // iteration below instead; here check the periodic closed form at
+    // the h = 0 and J = 0 limits.
+    EXPECT_NEAR(tfimGroundEnergyExact(6, 1.0, 0.0), -6.0, 1e-12);
+    EXPECT_NEAR(tfimGroundEnergyExact(6, 0.0, 1.0), -6.0, 1e-12);
+}
+
+TEST(TfimExact, ThermodynamicLimitApproaches4OverPi)
+{
+    // critical TFIM (J = h = 1): E0/N -> -4/pi
+    double per_site = tfimGroundEnergyExact(200, 1.0, 1.0) / 200.0;
+    EXPECT_NEAR(per_site, -4.0 / M_PI, 1e-4);
+}
+
+class LanczosVsExact : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(LanczosVsExact, PeriodicChainMatchesFreeFermions)
+{
+    std::size_t n = GetParam();
+    for (double h : {0.5, 1.0, 1.7}) {
+        double lanczos =
+            tfimGroundEnergyLanczos(n, 1.0, h, Boundary::Periodic);
+        double exact = tfimGroundEnergyExact(n, 1.0, h);
+        EXPECT_NEAR(lanczos, exact, 1e-7)
+            << "n=" << n << " h=" << h;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LanczosVsExact,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+TEST(Lanczos, OpenChainMatchesDensePowerIteration)
+{
+    // dense reference for n = 3 (same construction as the VQE test)
+    const std::size_t n = 3, dim = 8;
+    std::vector<std::vector<double>> hmat(dim,
+                                          std::vector<double>(dim, 0.0));
+    for (std::size_t s = 0; s < dim; ++s) {
+        for (std::size_t q = 0; q + 1 < n; ++q) {
+            double zi = (s >> q) & 1 ? -1.0 : 1.0;
+            double zj = (s >> (q + 1)) & 1 ? -1.0 : 1.0;
+            hmat[s][s] -= zi * zj;
+        }
+        for (std::size_t q = 0; q < n; ++q)
+            hmat[s ^ (1u << q)][s] -= 1.0;
+    }
+    std::vector<double> v(dim, 1.0);
+    for (int it = 0; it < 5000; ++it) {
+        std::vector<double> w(dim, 0.0);
+        for (std::size_t r = 0; r < dim; ++r)
+            for (std::size_t c = 0; c < dim; ++c)
+                w[r] += (r == c ? 10.0 : 0.0) * v[c] - hmat[r][c] * v[c];
+        double norm = 0.0;
+        for (double x : w)
+            norm += x * x;
+        norm = std::sqrt(norm);
+        for (std::size_t r = 0; r < dim; ++r)
+            v[r] = w[r] / norm;
+    }
+    double e0 = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) {
+        double hv = 0.0;
+        for (std::size_t c = 0; c < dim; ++c)
+            hv += hmat[r][c] * v[c];
+        e0 += v[r] * hv;
+    }
+
+    double lanczos = tfimGroundEnergyLanczos(3, 1.0, 1.0, Boundary::Open);
+    EXPECT_NEAR(lanczos, e0, 1e-8);
+}
+
+TEST(Lanczos, OpenBelowPeriodicPlusBondEnergy)
+{
+    // removing a bond can only raise the ground energy by at most 2J
+    double open = tfimGroundEnergyLanczos(8, 1.0, 1.0, Boundary::Open);
+    double periodic = tfimGroundEnergyExact(8, 1.0, 1.0);
+    EXPECT_GT(open, periodic - 1e-9);
+    EXPECT_LT(open, periodic + 2.0);
+}
+
+TEST(Lanczos, VqeIdealEnergyRespectsExactBound)
+{
+    for (std::size_t n : {3, 4, 5}) {
+        VqeBenchmark bench(n, 2);
+        double exact =
+            tfimGroundEnergyLanczos(n, 1.0, 1.0, Boundary::Open);
+        EXPECT_GE(bench.idealEnergy(), exact - 1e-9) << n;
+        // a 2-layer HWEA should get within 20% of the ground energy
+        EXPECT_LT(bench.idealEnergy(), 0.8 * exact) << n;
+    }
+}
+
+} // namespace
+} // namespace smq::core

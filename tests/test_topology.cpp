@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for hardware topologies and device models (Table II data).
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/device.hpp"
+
+namespace smq::device {
+namespace {
+
+TEST(Topology, LineDistancesAndPaths)
+{
+    Topology t = Topology::line(5);
+    EXPECT_EQ(t.numQubits(), 5u);
+    EXPECT_EQ(t.numEdges(), 4u);
+    EXPECT_TRUE(t.coupled(1, 2));
+    EXPECT_FALSE(t.coupled(0, 2));
+    EXPECT_EQ(t.distance(0, 4), 4u);
+    auto path = t.shortestPath(0, 3);
+    EXPECT_EQ(path, (std::vector<std::size_t>{0, 1, 2, 3}));
+    EXPECT_TRUE(t.connectedGraph());
+}
+
+TEST(Topology, RingWrapsAround)
+{
+    Topology t = Topology::ring(6);
+    EXPECT_EQ(t.numEdges(), 6u);
+    EXPECT_EQ(t.distance(0, 5), 1u);
+    EXPECT_EQ(t.distance(0, 3), 3u);
+}
+
+TEST(Topology, GridNeighborhoods)
+{
+    Topology t = Topology::grid(3, 4);
+    EXPECT_EQ(t.numQubits(), 12u);
+    // corner has 2, edge has 3, interior has 4 neighbours
+    EXPECT_EQ(t.neighbors(0).size(), 2u);
+    EXPECT_EQ(t.neighbors(1).size(), 3u);
+    EXPECT_EQ(t.neighbors(5).size(), 4u);
+    EXPECT_EQ(t.distance(0, 11), 5u);
+}
+
+TEST(Topology, AllToAllIsDiameterOne)
+{
+    Topology t = Topology::allToAll(7);
+    EXPECT_EQ(t.numEdges(), 21u);
+    for (std::size_t i = 0; i < 7; ++i) {
+        for (std::size_t j = 0; j < 7; ++j) {
+            if (i != j) {
+                EXPECT_EQ(t.distance(i, j), 1u);
+            }
+        }
+    }
+}
+
+TEST(Topology, IbmLayoutsAreConnectedAndSized)
+{
+    EXPECT_EQ(Topology::ibmFalcon7().numQubits(), 7u);
+    EXPECT_TRUE(Topology::ibmFalcon7().connectedGraph());
+    EXPECT_EQ(Topology::ibmFalcon16().numQubits(), 16u);
+    EXPECT_TRUE(Topology::ibmFalcon16().connectedGraph());
+    EXPECT_EQ(Topology::ibmFalcon27().numQubits(), 27u);
+    EXPECT_TRUE(Topology::ibmFalcon27().connectedGraph());
+    // heavy-hex style: no qubit exceeds degree 3
+    for (std::size_t q = 0; q < 27; ++q)
+        EXPECT_LE(Topology::ibmFalcon27().neighbors(q).size(), 3u);
+}
+
+TEST(Topology, RejectsBadEdges)
+{
+    EXPECT_THROW(Topology(3, {{0, 3}}), std::invalid_argument);
+    EXPECT_THROW(Topology(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Devices, NineQpusWithPaperCalibration)
+{
+    auto devices = allDevices();
+    ASSERT_EQ(devices.size(), 9u);
+
+    // Table II rows spot-checked verbatim
+    const Device &casablanca = devices[0];
+    EXPECT_EQ(casablanca.name, "IBM-Casablanca");
+    EXPECT_EQ(casablanca.numQubits(), 7u);
+    EXPECT_NEAR(casablanca.noise.t1, 91.21, 1e-9);
+    EXPECT_NEAR(casablanca.noise.t2, 125.23, 1e-9);
+    EXPECT_NEAR(casablanca.noise.p2, 0.0083, 1e-12);
+    EXPECT_NEAR(casablanca.noise.pMeas, 0.0209, 1e-12);
+    EXPECT_NEAR(casablanca.noise.time2q, 0.443, 1e-12);
+
+    const Device &ionq = devices[7];
+    EXPECT_EQ(ionq.name, "IonQ");
+    EXPECT_EQ(ionq.numQubits(), 11u);
+    EXPECT_TRUE(ionq.allToAll());
+    EXPECT_EQ(ionq.kind, ArchitectureKind::TrappedIon);
+    EXPECT_EQ(ionq.family, NativeFamily::ION);
+    EXPECT_NEAR(ionq.noise.p2, 0.0304, 1e-12);
+    EXPECT_NEAR(ionq.noise.time2q, 210.0, 1e-9);
+
+    const Device &aqt = devices[8];
+    EXPECT_EQ(aqt.name, "AQT");
+    EXPECT_EQ(aqt.numQubits(), 4u);
+    EXPECT_EQ(aqt.family, NativeFamily::AQT);
+
+    for (const Device &d : devices) {
+        EXPECT_TRUE(d.noise.enabled);
+        EXPECT_TRUE(d.topology.connectedGraph()) << d.name;
+        EXPECT_GT(d.noise.p2, d.noise.p1) << d.name;
+    }
+}
+
+TEST(Devices, PerfectDeviceIsNoiselessAllToAll)
+{
+    Device d = perfectDevice(5);
+    EXPECT_FALSE(d.noise.enabled);
+    EXPECT_TRUE(d.allToAll());
+}
+
+} // namespace
+} // namespace smq::device
