@@ -8,6 +8,9 @@
  * Flags: --paper  use the paper's shot counts (IBM 2000 / AQT 1024 /
  *                 IonQ 35); default uses 500 shots everywhere.
  *        --quick  reduced shots/repetitions for smoke runs.
+ *        --faults seeded fault injection through the job layer, so the
+ *                 matrix shows the mixed Ok/Partial/Skipped/Failed
+ *                 statuses of a real collection campaign.
  */
 
 #include <iostream>
@@ -27,7 +30,11 @@ main(int argc, char **argv)
                                    : std::to_string(scale.defaultShots) +
                                          " shots/device")
               << ", " << scale.repetitions << " repetitions; X = does "
-              << "not fit)\n\n";
+              << "not fit, skip(cause) = capability-gated"
+              << (scale.faults ? ", fault injection seed " +
+                                     std::to_string(scale.faultSeed)
+                               : "")
+              << ")\n\n";
 
     bench::Fig2Grid grid = bench::computeFig2Grid(scale);
 
@@ -38,15 +45,8 @@ main(int argc, char **argv)
 
     for (const bench::GridRow &row : grid.rows) {
         std::vector<std::string> cells = {row.benchmark};
-        for (const core::BenchmarkRun &run : row.runs) {
-            if (run.tooLarge) {
-                cells.push_back("X");
-            } else {
-                cells.push_back(
-                    stats::formatFixed(run.summary.mean, 3) + "+-" +
-                    stats::formatFixed(run.summary.stddev, 3));
-            }
-        }
+        for (const core::BenchmarkRun &run : row.runs)
+            cells.push_back(jobs::cellText(run));
         table.addRow(std::move(cells));
     }
     std::cout << table.render() << "\n";

@@ -17,6 +17,8 @@ scaleFromArgs(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             scale.defaultShots = 150;
             scale.repetitions = 2;
+        } else if (std::strcmp(argv[i], "--faults") == 0) {
+            scale.faults = true;
         }
     }
     return scale;
@@ -55,7 +57,7 @@ cachePath(const Scale &scale)
     return name.str();
 }
 
-constexpr const char *kCacheVersion = "smq-fig2-cache-v1";
+constexpr const char *kCacheVersion = "smq-fig2-cache-v2";
 
 void
 saveGrid(const Fig2Grid &grid, const Scale &scale)
@@ -78,7 +80,10 @@ saveGrid(const Fig2Grid &grid, const Scale &scale)
             << " " << row.stats.measurements << " " << row.stats.resets
             << "\n";
         for (const core::BenchmarkRun &run : row.runs) {
-            out << run.tooLarge << " " << run.swapsInserted << " "
+            out << static_cast<int>(run.status) << " "
+                << static_cast<int>(run.cause) << " "
+                << run.plannedRepetitions << " " << run.attempts << " "
+                << run.errorBarScale << " " << run.swapsInserted << " "
                 << run.physicalTwoQubitGates << " " << run.scores.size();
             for (double s : run.scores)
                 out << " " << s;
@@ -121,18 +126,37 @@ loadGrid(Fig2Grid &grid, const Scale &scale)
             core::BenchmarkRun &run = row.runs[d];
             run.benchmark = row.benchmark;
             run.device = grid.deviceNames[d];
+            int status = 0, cause = 0;
             std::size_t n_scores = 0;
-            in >> run.tooLarge >> run.swapsInserted >>
+            in >> status >> cause >> run.plannedRepetitions >>
+                run.attempts >> run.errorBarScale >> run.swapsInserted >>
                 run.physicalTwoQubitGates >> n_scores;
+            run.status = static_cast<core::RunStatus>(status);
+            run.cause = static_cast<core::FailureCause>(cause);
+            run.tooLarge = run.status == core::RunStatus::TooLarge;
             run.scores.resize(n_scores);
             for (double &s : run.scores)
                 in >> s;
-            if (!run.tooLarge && !run.scores.empty())
+            if (!run.scores.empty())
                 run.summary = stats::summarize(run.scores);
         }
         in.ignore();
     }
     return static_cast<bool>(in);
+}
+
+/** Representative fault schedule for the --faults demonstration. */
+jobs::FaultInjector
+demoInjector(const Scale &scale)
+{
+    jobs::FaultInjector injector(scale.faultSeed);
+    jobs::FaultProfile profile;
+    profile.pTransient = 0.10;
+    profile.pQueueTimeout = 0.05;
+    profile.pShotTruncation = 0.08;
+    profile.calibrationDrift = 0.05;
+    injector.setDefaultProfile(profile);
+    return injector;
 }
 
 } // namespace
@@ -141,7 +165,8 @@ Fig2Grid
 computeFig2Grid(const Scale &scale)
 {
     Fig2Grid grid;
-    if (loadGrid(grid, scale)) {
+    // Fault-injected runs are demonstrations; never cache them.
+    if (!scale.faults && loadGrid(grid, scale)) {
         std::cerr << "(reusing cached grid " << cachePath(scale) << ")\n";
         return grid;
     }
@@ -149,6 +174,12 @@ computeFig2Grid(const Scale &scale)
     std::vector<device::Device> devices = device::allDevices();
     for (const device::Device &dev : devices)
         grid.deviceNames.push_back(dev.name);
+
+    jobs::JobOptions job_options;
+    job_options.harness.repetitions = scale.repetitions;
+    jobs::SweepContext ctx(job_options,
+                           scale.faults ? demoInjector(scale)
+                                        : jobs::FaultInjector());
 
     std::vector<core::BenchmarkPtr> suite = core::figure2Benchmarks();
     for (const core::BenchmarkPtr &bench : suite) {
@@ -160,21 +191,19 @@ computeFig2Grid(const Scale &scale)
         row.stats = core::computeStats(primary);
 
         for (const device::Device &dev : devices) {
-            core::HarnessOptions options;
-            options.shots = shotsForDevice(dev, scale);
-            options.repetitions = scale.repetitions;
-            options.seed = 1000 + grid.rows.size();
-            row.runs.push_back(core::runBenchmark(*bench, dev, options));
+            jobs::JobOptions options = job_options;
+            options.harness.shots = shotsForDevice(dev, scale);
+            options.harness.seed = 1000 + grid.rows.size();
+            row.runs.push_back(
+                jobs::runJob(*bench, dev, options, ctx));
             std::cerr << "  " << row.benchmark << " @ " << dev.name
-                      << (row.runs.back().tooLarge
-                              ? " = X (too large)"
-                              : " = " + std::to_string(
-                                            row.runs.back().summary.mean))
+                      << " = " << jobs::cellText(row.runs.back())
                       << "\n";
         }
         grid.rows.push_back(std::move(row));
     }
-    saveGrid(grid, scale);
+    if (!scale.faults)
+        saveGrid(grid, scale);
     return grid;
 }
 
@@ -185,7 +214,11 @@ scoredInstancesPerDevice(const Fig2Grid &grid)
         grid.deviceNames.size());
     for (const GridRow &row : grid.rows) {
         for (std::size_t d = 0; d < row.runs.size(); ++d) {
-            if (row.runs[d].tooLarge)
+            // Only cells with salvageable scores enter the Fig. 3/4
+            // correlation analysis; skipped and failed cells drop out
+            // exactly as missing hardware data did in the paper.
+            if (!core::scoreable(row.runs[d].status) ||
+                row.runs[d].scores.empty())
                 continue;
             core::ScoredInstance inst;
             inst.benchmark = row.benchmark;

@@ -14,6 +14,7 @@
 #include "core/correlation.hpp"
 #include "core/harness.hpp"
 #include "core/suites.hpp"
+#include "jobs/report.hpp"
 
 namespace smq::bench {
 
@@ -24,9 +25,17 @@ struct Scale
     bool paperShots = false;
     std::uint64_t defaultShots = 500; ///< used when !paperShots
     std::size_t repetitions = 3;
+    /**
+     * Demonstrate the fault-tolerant job layer: inject a
+     * representative fault schedule (seeded, reproducible) so the
+     * score matrix shows mixed Ok/Partial/Failed cells. Disables the
+     * on-disk cache.
+     */
+    bool faults = false;
+    std::uint64_t faultSeed = 2022;
 };
 
-/** Parse --paper / --quick command-line flags. */
+/** Parse --paper / --quick / --faults command-line flags. */
 Scale scaleFromArgs(int argc, char **argv);
 
 /** One benchmark instance evaluated across all devices. */

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The fault-tolerant job layer in action: run the quick suite across
+ * three device classes under a seeded fault schedule and a suite
+ * deadline, and print the structured report.
+ *
+ * Expected output mixes every degradation mode:
+ *   - Ok cells with scores and error bars,
+ *   - Partial cells (deadline/attempt-cap salvage, shot truncation)
+ *     with widened error bars and their cause,
+ *   - skip(no-mcm) for the error-correction proxies on the trapped-ion
+ *     device (no mid-circuit measurement, as on the real service),
+ *   - X for benchmarks that do not fit the 4-qubit AQT device.
+ *
+ * Re-running reproduces the report byte-for-byte; change --seed to see
+ * a different (equally reproducible) fault schedule.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/suites.hpp"
+#include "jobs/report.hpp"
+
+using namespace smq;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 7;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0)
+            seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+
+    // A fault schedule in the regime of a bad day on the cloud queue.
+    jobs::FaultInjector injector(seed);
+    jobs::FaultProfile profile;
+    profile.pTransient = 0.20;      // transient execution errors
+    profile.pQueueTimeout = 0.10;   // jobs expiring in the queue
+    profile.pShotTruncation = 0.15; // jobs returning partial shots
+    profile.calibrationDrift = 0.08;
+    injector.setDefaultProfile(profile);
+
+    jobs::JobOptions options;
+    options.harness.shots = 300;
+    options.harness.repetitions = 3;
+    options.retry.maxAttempts = 3;
+    options.suiteBudgetUs = 3600.0e6; // one simulated hour
+
+    std::vector<device::Device> devices = {
+        device::ibmLagos(), device::ionqDevice(), device::aqtDevice()};
+
+    jobs::SuiteReport report =
+        jobs::runSweep(core::quickSuite(), devices, options, injector);
+
+    std::cout << "Fault-tolerant sweep (seed " << seed
+              << ", 1 simulated hour budget):\n\n"
+              << jobs::renderReport(report);
+
+    std::cout << "\nper-cell event trails:\n";
+    for (const jobs::ReportRow &row : report.rows) {
+        for (const core::BenchmarkRun &run : row.runs) {
+            if (run.detail.empty())
+                continue;
+            std::cout << "  " << run.benchmark << " @ " << run.device
+                      << " [" << core::toString(run.status) << "/"
+                      << core::causeToken(run.cause)
+                      << "]: " << run.detail << "\n";
+        }
+    }
+    return 0;
+}

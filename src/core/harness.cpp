@@ -2,9 +2,51 @@
 
 #include <stdexcept>
 
-#include "sim/runner.hpp"
-
 namespace smq::core {
+
+PreparedCircuits
+prepareCircuits(const Benchmark &benchmark, const device::Device &device,
+                const HarnessOptions &options)
+{
+    // Transpile each circuit once (the Closed-Division pipeline is
+    // deterministic); repetitions then differ by trajectory sampling,
+    // which captures shot-to-shot and run-to-run noise variation.
+    PreparedCircuits prepared;
+    for (const qc::Circuit &logical : benchmark.circuits()) {
+        transpile::TranspileResult result =
+            transpile::transpile(logical, device, options.transpile);
+        prepared.physicalTwoQubitGates += result.twoQubitGateCount;
+        prepared.swapsInserted += result.swapsInserted;
+        auto [compact, mapping] =
+            transpile::compactCircuit(result.circuit);
+        if (compact.numQubits() > options.maxSimQubits) {
+            // Bail out consistently: a half-summed gate count over a
+            // prefix of the circuit list would be misleading.
+            prepared = PreparedCircuits{};
+            prepared.tooLarge = true;
+            return prepared;
+        }
+        prepared.circuits.push_back(std::move(compact));
+    }
+    return prepared;
+}
+
+double
+runRepetition(const Benchmark &benchmark, const PreparedCircuits &prepared,
+              const sim::NoiseModel &noise, std::uint64_t shots,
+              stats::Rng &rng, const sim::FaultHook &faultHook)
+{
+    std::vector<stats::Counts> counts;
+    counts.reserve(prepared.circuits.size());
+    for (const qc::Circuit &circuit : prepared.circuits) {
+        sim::RunOptions ro;
+        ro.shots = shots;
+        ro.noise = noise;
+        ro.faultHook = faultHook;
+        counts.push_back(sim::run(circuit, ro, rng));
+    }
+    return benchmark.score(counts);
+}
 
 BenchmarkRun
 runBenchmark(const Benchmark &benchmark, const device::Device &device,
@@ -13,41 +55,32 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
     BenchmarkRun run;
     run.benchmark = benchmark.name();
     run.device = device.name;
+    run.plannedRepetitions = options.repetitions;
 
     if (benchmark.numQubits() > device.numQubits()) {
+        run.status = RunStatus::TooLarge;
+        run.cause = FailureCause::RegisterTooWide;
         run.tooLarge = true;
         return run;
     }
 
-    // Transpile each circuit once (the Closed-Division pipeline is
-    // deterministic); repetitions then differ by trajectory sampling,
-    // which captures shot-to-shot and run-to-run noise variation.
-    std::vector<qc::Circuit> compact_circuits;
-    for (const qc::Circuit &logical : benchmark.circuits()) {
-        transpile::TranspileResult result =
-            transpile::transpile(logical, device, options.transpile);
-        run.physicalTwoQubitGates += result.twoQubitGateCount;
-        run.swapsInserted += result.swapsInserted;
-        auto [compact, mapping] =
-            transpile::compactCircuit(result.circuit);
-        if (compact.numQubits() > options.maxSimQubits) {
-            run.tooLarge = true;
-            return run;
-        }
-        compact_circuits.push_back(std::move(compact));
+    PreparedCircuits prepared =
+        prepareCircuits(benchmark, device, options);
+    if (prepared.tooLarge) {
+        run.status = RunStatus::TooLarge;
+        run.cause = FailureCause::SimulatorLimit;
+        run.tooLarge = true;
+        return run;
     }
+    run.physicalTwoQubitGates = prepared.physicalTwoQubitGates;
+    run.swapsInserted = prepared.swapsInserted;
 
     stats::Rng rng(options.seed);
     for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
-        std::vector<stats::Counts> counts;
-        counts.reserve(compact_circuits.size());
-        for (const qc::Circuit &circuit : compact_circuits) {
-            sim::RunOptions ro;
-            ro.shots = options.shots;
-            ro.noise = device.noise;
-            counts.push_back(sim::run(circuit, ro, rng));
-        }
-        run.scores.push_back(benchmark.score(counts));
+        run.scores.push_back(runRepetition(benchmark, prepared,
+                                           device.noise, options.shots,
+                                           rng));
+        ++run.attempts;
     }
     run.summary = stats::summarize(run.scores);
     return run;
@@ -55,8 +88,17 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
 
 double
 noiselessScore(const Benchmark &benchmark, std::uint64_t shots,
-               std::uint64_t seed)
+               std::uint64_t seed, std::size_t maxSimQubits)
 {
+    if (shots == 0)
+        throw std::invalid_argument("noiselessScore: shots == 0");
+    if (benchmark.numQubits() > maxSimQubits) {
+        throw std::invalid_argument(
+            "noiselessScore: " + benchmark.name() + " needs " +
+            std::to_string(benchmark.numQubits()) +
+            " qubits, over the statevector budget of " +
+            std::to_string(maxSimQubits));
+    }
     stats::Rng rng(seed);
     std::vector<stats::Counts> counts;
     for (const qc::Circuit &circuit : benchmark.circuits()) {

@@ -3,6 +3,11 @@
  * The benchmark execution harness: generate -> transpile -> execute ->
  * score, standing in for the paper's SuperstaQ-based collection flow
  * (Sec. V). Devices are the calibrated noise models of device.hpp.
+ *
+ * runBenchmark() is the direct synchronous path; the fault-tolerant
+ * job layer (jobs/scheduler.hpp) builds on the same prepareCircuits()
+ * / runRepetition() primitives and adds retries, deadlines, capability
+ * gating and partial-result salvage.
  */
 
 #ifndef SMQ_CORE_HARNESS_HPP
@@ -13,7 +18,9 @@
 #include <vector>
 
 #include "core/benchmark.hpp"
+#include "core/status.hpp"
 #include "device/device.hpp"
+#include "sim/runner.hpp"
 #include "stats/descriptive.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -39,14 +46,55 @@ struct BenchmarkRun
 {
     std::string benchmark;
     std::string device;
-    bool tooLarge = false;            ///< did not fit (Fig. 2's X)
-    std::vector<double> scores;       ///< one per repetition
-    stats::Summary summary;           ///< over scores (valid unless X)
+    RunStatus status = RunStatus::Ok;
+    FailureCause cause = FailureCause::None;
+    std::string detail;               ///< human-readable event trail
+    bool tooLarge = false;            ///< status == TooLarge (Fig. 2's X)
+    std::vector<double> scores;       ///< one per completed repetition
+    stats::Summary summary;           ///< over scores (valid if scoreable)
+    std::size_t plannedRepetitions = 0;
+    std::size_t attempts = 0;         ///< submissions incl. retries
+    /**
+     * Error-bar widening for salvaged results: sqrt(planned/completed)
+     * repetitions (1 for complete runs). Reports display
+     * stddev * errorBarScale.
+     */
+    double errorBarScale = 1.0;
     std::size_t physicalTwoQubitGates = 0; ///< post-transpile
     std::size_t swapsInserted = 0;
 };
 
-/** Run one benchmark on one device. */
+/**
+ * A benchmark's circuits transpiled to a device and compacted for
+ * simulation, with the routing cost totals. When the routed register
+ * exceeds maxSimQubits, tooLarge is set and circuits/counters are
+ * empty (no partially-accumulated totals are ever reported).
+ */
+struct PreparedCircuits
+{
+    std::vector<qc::Circuit> circuits;
+    bool tooLarge = false;
+    std::size_t physicalTwoQubitGates = 0;
+    std::size_t swapsInserted = 0;
+};
+
+/** Transpile + compact every circuit of @p benchmark for @p device. */
+PreparedCircuits prepareCircuits(const Benchmark &benchmark,
+                                 const device::Device &device,
+                                 const HarnessOptions &options);
+
+/**
+ * Execute one scoring repetition over prepared circuits: run each for
+ * @p shots under @p noise and score the histograms.
+ * @pre prepared.tooLarge is false.
+ */
+double runRepetition(const Benchmark &benchmark,
+                     const PreparedCircuits &prepared,
+                     const sim::NoiseModel &noise, std::uint64_t shots,
+                     stats::Rng &rng,
+                     const sim::FaultHook &faultHook = {});
+
+/** Run one benchmark on one device (no retries; throws on bad input). */
 BenchmarkRun runBenchmark(const Benchmark &benchmark,
                           const device::Device &device,
                           const HarnessOptions &options = {});
@@ -54,9 +102,14 @@ BenchmarkRun runBenchmark(const Benchmark &benchmark,
 /**
  * Execute a benchmark's circuits noiselessly (sanity baseline: every
  * SupermarQ benchmark must score ~1 on a perfect machine).
+ *
+ * @throws std::invalid_argument when shots == 0 or the benchmark
+ *   needs more than @p maxSimQubits qubits (a 30-qubit statevector
+ *   would exhaust memory long before producing a score).
  */
 double noiselessScore(const Benchmark &benchmark, std::uint64_t shots,
-                      std::uint64_t seed = 7);
+                      std::uint64_t seed = 7,
+                      std::size_t maxSimQubits = 22);
 
 } // namespace smq::core
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error taxonomy for benchmark execution.
+ *
+ * Cloud collection (paper Sec. V) is lossy: jobs time out, devices
+ * reject circuits they cannot run (the reference SuperstaQ script
+ * skips bit-code on targets without mid-circuit measurement), and
+ * some (benchmark, device) pairs simply fail. Every BenchmarkRun
+ * therefore carries a RunStatus + FailureCause so each cell of the
+ * Fig. 2 score matrix explains itself instead of silently vanishing.
+ */
+
+#ifndef SMQ_CORE_STATUS_HPP
+#define SMQ_CORE_STATUS_HPP
+
+namespace smq::core {
+
+/** Terminal state of one (benchmark, device) execution. */
+enum class RunStatus {
+    Ok,       ///< all planned repetitions completed at full shots
+    Partial,  ///< some results salvaged (deadline/attempt cap/truncation)
+    Skipped,  ///< not attempted: a declared capability is missing
+    TooLarge, ///< does not fit the device or simulator (Fig. 2's X)
+    Failed,   ///< attempted, nothing salvageable
+};
+
+/** Why a run is not Ok (None for Ok runs). */
+enum class FailureCause {
+    None,
+    TransientFault,    ///< injected/submission-time execution fault
+    QueueTimeout,      ///< job expired in the device queue
+    DeadlineExceeded,  ///< suite-level time budget ran out
+    AttemptsExhausted, ///< per-job retry cap hit
+    ShotTruncation,    ///< service returned fewer shots than requested
+    MissingMidCircuitMeasurement, ///< device lacks mid-circuit MEASURE/RESET
+    RegisterTooWide,   ///< more qubits than the device/service accepts
+    SimulatorLimit,    ///< routed circuit exceeds the simulator budget
+    Internal,          ///< unexpected exception, preserved in detail
+};
+
+/** True when the run produced scores usable for analysis. */
+constexpr bool
+scoreable(RunStatus status)
+{
+    return status == RunStatus::Ok || status == RunStatus::Partial;
+}
+
+constexpr const char *
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Partial: return "partial";
+      case RunStatus::Skipped: return "skipped";
+      case RunStatus::TooLarge: return "too_large";
+      case RunStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+constexpr const char *
+toString(FailureCause cause)
+{
+    switch (cause) {
+      case FailureCause::None: return "none";
+      case FailureCause::TransientFault: return "transient_fault";
+      case FailureCause::QueueTimeout: return "queue_timeout";
+      case FailureCause::DeadlineExceeded: return "deadline_exceeded";
+      case FailureCause::AttemptsExhausted: return "attempts_exhausted";
+      case FailureCause::ShotTruncation: return "shot_truncation";
+      case FailureCause::MissingMidCircuitMeasurement:
+          return "missing_mid_circuit_measurement";
+      case FailureCause::RegisterTooWide: return "register_too_wide";
+      case FailureCause::SimulatorLimit: return "simulator_limit";
+      case FailureCause::Internal: return "internal";
+    }
+    return "?";
+}
+
+/** Compact cause tag for table cells ("-" for None). */
+constexpr const char *
+causeToken(FailureCause cause)
+{
+    switch (cause) {
+      case FailureCause::None: return "-";
+      case FailureCause::TransientFault: return "transient";
+      case FailureCause::QueueTimeout: return "queue";
+      case FailureCause::DeadlineExceeded: return "deadline";
+      case FailureCause::AttemptsExhausted: return "attempts";
+      case FailureCause::ShotTruncation: return "shots";
+      case FailureCause::MissingMidCircuitMeasurement: return "no-mcm";
+      case FailureCause::RegisterTooWide: return "register";
+      case FailureCause::SimulatorLimit: return "simulator";
+      case FailureCause::Internal: return "internal";
+    }
+    return "?";
+}
+
+} // namespace smq::core
+
+#endif // SMQ_CORE_STATUS_HPP

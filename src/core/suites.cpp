@@ -74,6 +74,24 @@ figure2Benchmarks()
     return suite;
 }
 
+std::vector<BenchmarkPtr>
+quickSuite()
+{
+    std::vector<BenchmarkPtr> suite;
+    suite.push_back(std::make_unique<GhzBenchmark>(4));
+    suite.push_back(std::make_unique<MerminBellBenchmark>(3));
+    suite.push_back(std::make_unique<BitCodeBenchmark>(
+        BitCodeBenchmark::alternating(3, 1)));
+    suite.push_back(std::make_unique<PhaseCodeBenchmark>(
+        PhaseCodeBenchmark::alternating(3, 1)));
+    suite.push_back(std::make_unique<QaoaVanillaBenchmark>(4, 3));
+    suite.push_back(std::make_unique<QaoaSwapBenchmark>(4, 3));
+    suite.push_back(std::make_unique<VqeBenchmark>(4, 1));
+    suite.push_back(
+        std::make_unique<HamiltonianSimulationBenchmark>(4, 2));
+    return suite;
+}
+
 std::vector<FeatureVector>
 supermarqFeaturePoints()
 {

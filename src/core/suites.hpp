@@ -26,6 +26,14 @@ namespace smq::core {
 std::vector<BenchmarkPtr> figure2Benchmarks();
 
 /**
+ * The smallest instance of each of the eight applications: a fast,
+ * representative sweep for smoke runs, job-layer demos and tests. It
+ * deliberately includes the mid-circuit-measurement benchmarks (bit
+ * and phase code) so capability gating has something to gate.
+ */
+std::vector<BenchmarkPtr> quickSuite();
+
+/**
  * Feature vectors of the SupermarQ suite for the Table I coverage
  * computation: the eight applications swept from 3 to 1000 qubits
  * (52 instances; variational parameters fixed, as features do not

@@ -34,6 +34,22 @@ make(std::string name, ArchitectureKind kind, NativeFamily family,
     d.family = family;
     d.topology = std::move(topology);
     d.noise = noise;
+    // Service limits typical of the 2021-era endpoints the paper used:
+    // IBM jobs capped at 8192 shots; the IonQ service of that
+    // generation had no mid-circuit measurement (the reference
+    // collection script skips bit-code there); AQT capped at 4096.
+    switch (family) {
+      case NativeFamily::IBM:
+        d.caps.maxShots = 8192;
+        break;
+      case NativeFamily::ION:
+        d.caps.midCircuitMeasurement = false;
+        d.caps.maxShots = 10000;
+        break;
+      case NativeFamily::AQT:
+        d.caps.maxShots = 4096;
+        break;
+    }
     return d;
 }
 
@@ -136,9 +152,12 @@ allDevices()
 Device
 perfectDevice(std::size_t num_qubits)
 {
-    return make("Perfect-" + std::to_string(num_qubits),
-                ArchitectureKind::Superconducting, NativeFamily::IBM,
-                Topology::allToAll(num_qubits), sim::NoiseModel::ideal());
+    Device d = make("Perfect-" + std::to_string(num_qubits),
+                    ArchitectureKind::Superconducting, NativeFamily::IBM,
+                    Topology::allToAll(num_qubits),
+                    sim::NoiseModel::ideal());
+    d.caps = Capabilities{}; // an idealised endpoint has no limits
+    return d;
 }
 
 } // namespace smq::device

@@ -31,6 +31,23 @@ enum class NativeFamily {
 /** Hardware architecture class (for reporting). */
 enum class ArchitectureKind { Superconducting, TrappedIon };
 
+/**
+ * Service-level execution capabilities: what the cloud endpoint in
+ * front of the QPU accepts. The paper's collection flow had to honour
+ * exactly these limits — e.g. the error-correction benchmarks were
+ * skipped on targets without mid-circuit measurement — and the job
+ * scheduler gates submissions on them instead of throwing.
+ */
+struct Capabilities
+{
+    /** MEASURE/RESET before the end of the circuit is supported. */
+    bool midCircuitMeasurement = true;
+    /** Largest shot count one job may request (0 = unlimited). */
+    std::uint64_t maxShots = 0;
+    /** Widest register a job may use (0 = the full topology). */
+    std::size_t maxRegisterSize = 0;
+};
+
 /** A benchmarkable device model. */
 struct Device
 {
@@ -39,6 +56,7 @@ struct Device
     NativeFamily family = NativeFamily::IBM;
     Topology topology;
     sim::NoiseModel noise; ///< Table II calibration as a noise model
+    Capabilities caps;     ///< submission limits of the cloud service
 
     std::size_t numQubits() const { return topology.numQubits(); }
 

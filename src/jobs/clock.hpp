@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulated time for the job layer.
+ *
+ * Queue waits, backoff delays and suite deadlines are all measured on
+ * a VirtualClock that only moves when the scheduler advances it, so a
+ * "six-hour" collection sweep with minute-scale backoffs replays in
+ * microseconds of wall time and every deadline decision is exactly
+ * reproducible.
+ */
+
+#ifndef SMQ_JOBS_CLOCK_HPP
+#define SMQ_JOBS_CLOCK_HPP
+
+#include <limits>
+
+namespace smq::jobs {
+
+/** Monotonic simulated clock (microseconds since sweep start). */
+class VirtualClock
+{
+  public:
+    double now() const { return now_; }
+
+    /** Move time forward; negative advances are ignored. */
+    void advance(double us)
+    {
+        if (us > 0.0)
+            now_ += us;
+    }
+
+  private:
+    double now_ = 0.0;
+};
+
+/** An absolute point on a VirtualClock after which work must stop. */
+class Deadline
+{
+  public:
+    /** Never expires. */
+    static Deadline unlimited() { return Deadline{}; }
+
+    /** Expires @p budget_us after the clock's current time. */
+    static Deadline after(const VirtualClock &clock, double budget_us)
+    {
+        Deadline d;
+        d.at_ = clock.now() + budget_us;
+        return d;
+    }
+
+    bool expired(const VirtualClock &clock) const
+    {
+        return clock.now() >= at_;
+    }
+
+    /** Simulated microseconds left (never negative). */
+    double remaining(const VirtualClock &clock) const
+    {
+        double left = at_ - clock.now();
+        return left > 0.0 ? left : 0.0;
+    }
+
+  private:
+    double at_ = std::numeric_limits<double>::infinity();
+};
+
+} // namespace smq::jobs
+
+#endif // SMQ_JOBS_CLOCK_HPP

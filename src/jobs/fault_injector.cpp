@@ -1,0 +1,116 @@
+#include "jobs/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace smq::jobs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::string_view s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    h ^= 0xffu; // separator so ("ab","c") != ("a","bc")
+    h *= kFnvPrime;
+    return h;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** splitmix64 finaliser: spreads FNV output over the full range. */
+std::uint64_t
+mix(std::uint64_t h)
+{
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+streamSeed(std::uint64_t seed, std::string_view device,
+           std::string_view benchmark, std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t h = fnv1a(kFnvOffset, seed);
+    h = fnv1a(h, device);
+    h = fnv1a(h, benchmark);
+    h = fnv1a(h, a);
+    h = fnv1a(h, b);
+    return mix(h);
+}
+
+const FaultProfile &
+FaultInjector::profile(const std::string &device) const
+{
+    auto it = perDevice_.find(device);
+    return it == perDevice_.end() ? default_ : it->second;
+}
+
+FaultDecision
+FaultInjector::decide(const std::string &device,
+                      const std::string &benchmark, std::size_t rep,
+                      std::size_t attempt) const
+{
+    FaultDecision decision;
+    const FaultProfile &prof = profile(device);
+    if (!prof.any())
+        return decision;
+
+    stats::Rng rng(streamSeed(seed_, device, benchmark, rep, attempt));
+    // Draw in a fixed order so each probability gets an independent
+    // variate regardless of which faults are enabled.
+    double u = rng.uniform();
+    double fraction = rng.uniform(prof.minShotFraction, 1.0);
+    double drift = prof.calibrationDrift > 0.0
+                       ? std::exp(prof.calibrationDrift * rng.gaussian())
+                       : 1.0;
+    decision.driftFactor = drift;
+
+    if (u < prof.pTransient) {
+        decision.kind = FaultKind::TransientFault;
+    } else if (u < prof.pTransient + prof.pQueueTimeout) {
+        decision.kind = FaultKind::QueueTimeout;
+    } else if (u < prof.pTransient + prof.pQueueTimeout +
+                       prof.pShotTruncation) {
+        decision.kind = FaultKind::ShotTruncation;
+        decision.shotFraction = fraction;
+    }
+    return decision;
+}
+
+sim::NoiseModel
+FaultInjector::perturbed(const sim::NoiseModel &noise, double driftFactor)
+{
+    if (driftFactor == 1.0 || !noise.enabled)
+        return noise;
+    sim::NoiseModel drifted = noise;
+    auto scale = [driftFactor](double p) {
+        return std::clamp(p * driftFactor, 0.0, 0.5);
+    };
+    drifted.p1 = scale(noise.p1);
+    drifted.p2 = scale(noise.p2);
+    drifted.pMeas = scale(noise.pMeas);
+    drifted.pReset = scale(noise.pReset);
+    return drifted;
+}
+
+} // namespace smq::jobs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic fault injection for the job layer.
+ *
+ * Cloud QPU collection fails in recurring ways (paper Sec. V): jobs
+ * hit transient execution errors, expire in the queue, come back with
+ * fewer shots than requested, and run against calibrations that have
+ * drifted since Table II was snapshotted. The FaultInjector replays
+ * those failure modes from a seed: the decision for attempt k of
+ * repetition r of (benchmark, device) depends only on the seed and
+ * those labels — never on call order — so a failing sweep can be
+ * re-run and re-observed bit-for-bit, and tests can assert exact
+ * schedules.
+ */
+
+#ifndef SMQ_JOBS_FAULT_INJECTOR_HPP
+#define SMQ_JOBS_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/noise.hpp"
+
+namespace smq::jobs {
+
+/** What the injector decides happens to one submission attempt. */
+enum class FaultKind {
+    None,           ///< the attempt executes normally
+    TransientFault, ///< execution error; retryable
+    QueueTimeout,   ///< expired in the device queue; retryable
+    ShotTruncation, ///< executes but returns a fraction of the shots
+};
+
+/** One attempt's fate, fully determined by (seed, labels). */
+struct FaultDecision
+{
+    FaultKind kind = FaultKind::None;
+    /** Fraction of requested shots delivered (< 1 on truncation). */
+    double shotFraction = 1.0;
+    /** Multiplicative calibration drift on the error rates. */
+    double driftFactor = 1.0;
+};
+
+/** Per-device fault rates; all zero (the default) injects nothing. */
+struct FaultProfile
+{
+    double pTransient = 0.0;      ///< transient execution fault
+    double pQueueTimeout = 0.0;   ///< queue expiry
+    double pShotTruncation = 0.0; ///< early job termination
+    /** Truncated jobs keep a uniform fraction in [min, 1). */
+    double minShotFraction = 0.25;
+    /** Log-scale sigma of calibration drift (0 = calibration holds). */
+    double calibrationDrift = 0.0;
+
+    bool any() const
+    {
+        return pTransient > 0.0 || pQueueTimeout > 0.0 ||
+               pShotTruncation > 0.0 || calibrationDrift > 0.0;
+    }
+};
+
+/**
+ * Stable 64-bit stream seed derived from a base seed and job labels
+ * (FNV-1a over the strings, splitmix64 finalised). The scheduler also
+ * uses it to give every job an order-independent simulation stream.
+ */
+std::uint64_t streamSeed(std::uint64_t seed, std::string_view device,
+                         std::string_view benchmark, std::uint64_t a = 0,
+                         std::uint64_t b = 0);
+
+/** Seeded, per-device-configurable fault source. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 0) : seed_(seed) {}
+
+    std::uint64_t seed() const { return seed_; }
+
+    /** Profile used for devices without a specific entry. */
+    void setDefaultProfile(const FaultProfile &profile)
+    {
+        default_ = profile;
+    }
+
+    void setProfile(const std::string &device,
+                    const FaultProfile &profile)
+    {
+        perDevice_[device] = profile;
+    }
+
+    const FaultProfile &profile(const std::string &device) const;
+
+    /**
+     * The fate of attempt @p attempt of repetition @p rep of
+     * (@p benchmark, @p device). Pure function of the seed and the
+     * arguments.
+     */
+    FaultDecision decide(const std::string &device,
+                         const std::string &benchmark, std::size_t rep,
+                         std::size_t attempt) const;
+
+    /**
+     * @p noise with its error probabilities scaled by @p driftFactor
+     * (clamped into [0, 0.5] so the model stays a probability).
+     */
+    static sim::NoiseModel perturbed(const sim::NoiseModel &noise,
+                                     double driftFactor);
+
+  private:
+    std::uint64_t seed_;
+    FaultProfile default_;
+    std::map<std::string, FaultProfile> perDevice_;
+};
+
+} // namespace smq::jobs
+
+#endif // SMQ_JOBS_FAULT_INJECTOR_HPP

@@ -1,0 +1,104 @@
+#include "jobs/report.hpp"
+
+#include <exception>
+
+#include "stats/table.hpp"
+
+namespace smq::jobs {
+
+SuiteReport
+runSweep(const std::vector<core::BenchmarkPtr> &suite,
+         const std::vector<device::Device> &devices,
+         const JobOptions &options, FaultInjector injector)
+{
+    SuiteReport report;
+    report.faultSeed = injector.seed();
+    for (const device::Device &dev : devices)
+        report.deviceNames.push_back(dev.name);
+
+    SweepContext ctx(options, std::move(injector));
+    for (const core::BenchmarkPtr &bench : suite) {
+        ReportRow row;
+        row.benchmark = bench->name();
+        for (const device::Device &dev : devices) {
+            try {
+                row.runs.push_back(runJob(*bench, dev, options, ctx));
+            } catch (const std::exception &e) {
+                core::BenchmarkRun failed;
+                failed.benchmark = row.benchmark;
+                failed.device = dev.name;
+                failed.plannedRepetitions = options.harness.repetitions;
+                failed.status = core::RunStatus::Failed;
+                failed.cause = core::FailureCause::Internal;
+                failed.detail = e.what();
+                row.runs.push_back(std::move(failed));
+            }
+        }
+        report.rows.push_back(std::move(row));
+    }
+    report.simulatedElapsedUs = ctx.clock().now();
+    return report;
+}
+
+std::array<std::size_t, 5>
+statusTally(const SuiteReport &report)
+{
+    std::array<std::size_t, 5> tally{};
+    for (const ReportRow &row : report.rows) {
+        for (const core::BenchmarkRun &run : row.runs)
+            ++tally[static_cast<std::size_t>(run.status)];
+    }
+    return tally;
+}
+
+std::string
+cellText(const core::BenchmarkRun &run)
+{
+    using core::RunStatus;
+    switch (run.status) {
+      case RunStatus::Ok:
+        return stats::formatFixed(run.summary.mean, 3) + "+-" +
+               stats::formatFixed(run.summary.stddev, 3);
+      case RunStatus::Partial:
+        return stats::formatFixed(run.summary.mean, 3) + "+-" +
+               stats::formatFixed(
+                   run.summary.stddev * run.errorBarScale, 3) +
+               " P(" + core::causeToken(run.cause) + ")";
+      case RunStatus::Skipped:
+        return std::string("skip(") + core::causeToken(run.cause) + ")";
+      case RunStatus::TooLarge:
+        return "X";
+      case RunStatus::Failed:
+        return std::string("fail(") + core::causeToken(run.cause) + ")";
+    }
+    return "?";
+}
+
+std::string
+renderReport(const SuiteReport &report)
+{
+    std::vector<std::string> headers = {"benchmark"};
+    for (const std::string &name : report.deviceNames)
+        headers.push_back(name);
+    stats::TextTable table(headers);
+    for (const ReportRow &row : report.rows) {
+        std::vector<std::string> cells = {row.benchmark};
+        for (const core::BenchmarkRun &run : row.runs)
+            cells.push_back(cellText(run));
+        table.addRow(std::move(cells));
+    }
+
+    std::array<std::size_t, 5> tally = statusTally(report);
+    std::string out = table.render();
+    out += "\nstatus: ok=" + std::to_string(tally[0]) +
+           " partial=" + std::to_string(tally[1]) +
+           " skipped=" + std::to_string(tally[2]) +
+           " too_large=" + std::to_string(tally[3]) +
+           " failed=" + std::to_string(tally[4]) + "  (seed " +
+           std::to_string(report.faultSeed) + ", simulated " +
+           stats::formatFixed(report.simulatedElapsedUs / 1e6, 1) +
+           " s)\n";
+    return out;
+}
+
+} // namespace smq::jobs

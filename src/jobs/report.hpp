@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Structured sweep reports: the full benchmark x device matrix with a
+ * status in every cell.
+ *
+ * Where Fig. 2 of the paper prints an X for benchmarks that do not
+ * fit, a fault-tolerant sweep has more ways to lose a cell — skipped
+ * capabilities, exhausted retries, expired deadlines, truncated shots
+ * — and the report keeps all of them visible. Rendering is strictly
+ * deterministic (no timestamps, fixed float formatting): re-running a
+ * sweep with the same seed must reproduce the report byte-for-byte.
+ */
+
+#ifndef SMQ_JOBS_REPORT_HPP
+#define SMQ_JOBS_REPORT_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "jobs/scheduler.hpp"
+
+namespace smq::jobs {
+
+/** One benchmark instance evaluated across all devices of a sweep. */
+struct ReportRow
+{
+    std::string benchmark;
+    std::vector<core::BenchmarkRun> runs; ///< one per device
+};
+
+/** Outcome of a full suite x devices sweep. */
+struct SuiteReport
+{
+    std::uint64_t faultSeed = 0;
+    std::vector<std::string> deviceNames;
+    std::vector<ReportRow> rows;
+    double simulatedElapsedUs = 0.0;
+};
+
+/**
+ * Execute every benchmark on every device under the fault-tolerant
+ * job layer. Never throws: even an unexpected exception inside one
+ * job becomes a Failed{Internal} cell carrying the message.
+ */
+SuiteReport runSweep(const std::vector<core::BenchmarkPtr> &suite,
+                     const std::vector<device::Device> &devices,
+                     const JobOptions &options,
+                     FaultInjector injector = FaultInjector());
+
+/** Runs per status, indexed by static_cast<size_t>(RunStatus). */
+std::array<std::size_t, 5> statusTally(const SuiteReport &report);
+
+/**
+ * One-cell summary: "0.873+-0.021" (Ok), the same with a
+ * " P(cause)" suffix and widened bar (Partial), "skip(cause)",
+ * "X" (too large) or "fail(cause)".
+ */
+std::string cellText(const core::BenchmarkRun &run);
+
+/** Deterministic text rendering of the whole report. */
+std::string renderReport(const SuiteReport &report);
+
+} // namespace smq::jobs
+
+#endif // SMQ_JOBS_REPORT_HPP

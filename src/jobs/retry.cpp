@@ -1,0 +1,16 @@
+#include "jobs/retry.hpp"
+
+#include <algorithm>
+
+namespace smq::jobs {
+
+double
+RetryPolicy::nextDelay(double prev_delay_us, stats::Rng &rng) const
+{
+    double lo = baseDelayUs;
+    double hi = std::max(lo, 3.0 * prev_delay_us);
+    double drawn = lo < hi ? rng.uniform(lo, hi) : lo;
+    return std::min(maxDelayUs, drawn);
+}
+
+} // namespace smq::jobs

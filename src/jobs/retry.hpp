@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Retry policy for transient job failures.
+ *
+ * Retryable faults (transient execution errors, queue timeouts) are
+ * resubmitted with exponential backoff and decorrelated jitter — the
+ * AWS-architecture-blog variant where each delay is drawn uniformly
+ * from [base, 3 * previous], capped — which avoids the synchronised
+ * retry storms plain exponential backoff produces when many jobs fail
+ * together. Delays are simulated (clock.hpp), so tests run instantly.
+ */
+
+#ifndef SMQ_JOBS_RETRY_HPP
+#define SMQ_JOBS_RETRY_HPP
+
+#include <cstddef>
+
+#include "stats/rng.hpp"
+
+namespace smq::jobs {
+
+/** Backoff configuration (delays in simulated microseconds). */
+struct RetryPolicy
+{
+    /** Submission attempts per repetition before giving up. */
+    std::size_t maxAttempts = 4;
+    double baseDelayUs = 1.0e6;  ///< first-retry delay (1 s)
+    double maxDelayUs = 32.0e6;  ///< backoff cap (32 s)
+
+    /**
+     * Delay before the next retry, given the previous delay (pass
+     * baseDelayUs for the first retry): decorrelated jitter
+     * min(maxDelayUs, uniform(baseDelayUs, 3 * prev)).
+     */
+    double nextDelay(double prev_delay_us, stats::Rng &rng) const;
+};
+
+} // namespace smq::jobs
+
+#endif // SMQ_JOBS_RETRY_HPP

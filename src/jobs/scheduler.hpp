@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fault-tolerant job scheduling: cloud-QPU submission semantics on
+ * top of the synchronous harness.
+ *
+ * runJob() is runBenchmark() as the paper's collection scripts had to
+ * write it: capability gating instead of crashes (devices without
+ * mid-circuit measurement skip the error-correction proxies, exactly
+ * as the reference SuperstaQ script does), retries with decorrelated-
+ * jitter backoff for transient faults, a suite-level deadline budget
+ * on a simulated clock, and partial-result salvage — when the deadline
+ * or the attempt cap cuts a job short, the completed repetitions are
+ * scored with Partial status and widened error bars rather than
+ * discarded. Nothing in this layer throws on an unlucky schedule; the
+ * outcome is always a structured BenchmarkRun.
+ */
+
+#ifndef SMQ_JOBS_SCHEDULER_HPP
+#define SMQ_JOBS_SCHEDULER_HPP
+
+#include <limits>
+
+#include "core/harness.hpp"
+#include "jobs/clock.hpp"
+#include "jobs/fault_injector.hpp"
+#include "jobs/retry.hpp"
+
+namespace smq::jobs {
+
+/**
+ * Simulated duration of submission stages, used to advance the
+ * VirtualClock (the deadline currency). Defaults are round numbers in
+ * the regime of the paper's collection runs.
+ */
+struct CostModel
+{
+    double submitOverheadUs = 0.1e6; ///< per attempt: build + upload
+    double queueWaitUs = 0.5e6;      ///< per attempt: device queue
+    double perShotUs = 250.0;        ///< execution, per shot per circuit
+};
+
+/** Knobs for one fault-tolerant job or sweep. */
+struct JobOptions
+{
+    core::HarnessOptions harness;
+    RetryPolicy retry;
+    CostModel cost;
+    /** Simulated budget for the whole sweep (infinity = no deadline). */
+    double suiteBudgetUs = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Shared state across one sweep: the simulated clock, the suite
+ * deadline derived from it, and the fault source. Jobs executed
+ * against the same context consume the same time budget.
+ */
+class SweepContext
+{
+  public:
+    explicit SweepContext(const JobOptions &options,
+                          FaultInjector injector = FaultInjector())
+        : injector_(std::move(injector)),
+          deadline_(Deadline::after(clock_, options.suiteBudgetUs))
+    {
+    }
+
+    VirtualClock &clock() { return clock_; }
+    const Deadline &deadline() const { return deadline_; }
+    const FaultInjector &injector() const { return injector_; }
+
+  private:
+    FaultInjector injector_;
+    VirtualClock clock_;
+    Deadline deadline_;
+};
+
+/**
+ * Run one benchmark on one device under the fault-tolerant execution
+ * model. Never throws on schedule outcomes (faults, deadlines,
+ * missing capabilities); the BenchmarkRun's status/cause/detail
+ * explain what happened. Deterministic: the result is a pure function
+ * of (benchmark, device, options, injector seed, clock state).
+ */
+core::BenchmarkRun runJob(const core::Benchmark &benchmark,
+                          const device::Device &device,
+                          const JobOptions &options, SweepContext &ctx);
+
+} // namespace smq::jobs
+
+#endif // SMQ_JOBS_SCHEDULER_HPP

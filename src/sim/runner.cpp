@@ -145,22 +145,43 @@ stats::Counts
 run(const qc::Circuit &circuit, const RunOptions &options, stats::Rng &rng)
 {
     if (circuit.measureCount() == 0)
-        throw std::invalid_argument("run: circuit measures nothing");
+        throw std::invalid_argument(
+            "run: circuit '" + circuit.name() +
+            "' measures no classical bits; scores would be undefined");
+    if (options.shots == 0)
+        throw std::invalid_argument(
+            "run: shots == 0 for circuit '" + circuit.name() + "'");
 
     const bool mid_circuit = hasMidCircuitOperations(circuit);
 
     // Noiseless, terminal measurements: sample the exact distribution.
-    if (!options.noise.enabled && !mid_circuit)
-        return idealDistribution(circuit).sample(options.shots, rng);
+    if (!options.noise.enabled && !mid_circuit) {
+        if (!options.faultHook)
+            return idealDistribution(circuit).sample(options.shots, rng);
+        // Sample in batches so the hook can interrupt mid-run.
+        stats::Distribution ideal = idealDistribution(circuit);
+        stats::Counts counts;
+        std::uint64_t done = 0;
+        while (done < options.shots && !options.faultHook(done)) {
+            std::uint64_t batch =
+                std::min<std::uint64_t>(256, options.shots - done);
+            counts.merge(ideal.sample(batch, rng));
+            done += batch;
+        }
+        return counts;
+    }
 
     qc::Schedule sched = qc::schedule(circuit);
     StateVector state(circuit.numQubits());
     stats::Counts counts;
 
     if (mid_circuit) {
-        for (std::uint64_t s = 0; s < options.shots; ++s)
+        for (std::uint64_t s = 0; s < options.shots; ++s) {
+            if (options.faultHook && options.faultHook(s))
+                break;
             counts.add(runTrajectory(circuit, sched, options.noise, rng,
                                      state));
+        }
         return counts;
     }
 
@@ -186,6 +207,8 @@ run(const qc::Circuit &circuit, const RunOptions &options, stats::Rng &rng)
 
     std::uint64_t remaining = options.shots;
     while (remaining > 0) {
+        if (options.faultHook && options.faultHook(counts.shots()))
+            break;
         std::uint64_t batch = std::min(per_traj, remaining);
         remaining -= batch;
         // Note: measurement-time idle noise for the terminal moment is

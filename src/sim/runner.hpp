@@ -20,6 +20,7 @@
 #define SMQ_SIM_RUNNER_HPP
 
 #include <cstdint>
+#include <functional>
 
 #include "qc/circuit.hpp"
 #include "sim/noise.hpp"
@@ -27,6 +28,15 @@
 #include "stats/rng.hpp"
 
 namespace smq::sim {
+
+/**
+ * Service-fault hook standing in for execution-side interruptions
+ * (a cloud job killed mid-run). Consulted between shot batches with
+ * the number of shots already recorded; returning true stops the run,
+ * which then reports the partial histogram accumulated so far. The
+ * jobs layer uses this to model shot truncation deterministically.
+ */
+using FaultHook = std::function<bool(std::uint64_t shotsDone)>;
 
 /** Execution options for the shot runner. */
 struct RunOptions
@@ -38,6 +48,8 @@ struct RunOptions
      * each stochastic trajectory (1 = fully independent shots).
      */
     std::uint64_t shotsPerTrajectory = 20;
+    /** Optional mid-execution interruption (empty = never fires). */
+    FaultHook faultHook;
 };
 
 /** True if the circuit contains RESET or a non-terminal MEASURE. */
@@ -45,7 +57,11 @@ bool hasMidCircuitOperations(const qc::Circuit &circuit);
 
 /**
  * Execute @p circuit for options.shots shots and return the histogram
- * over its classical bits. @pre the circuit measures at least one bit.
+ * over its classical bits.
+ *
+ * @throws std::invalid_argument when the circuit measures zero
+ *   classical bits or options.shots == 0 (an empty histogram would
+ *   poison every downstream score with silent NaNs).
  */
 stats::Counts run(const qc::Circuit &circuit, const RunOptions &options,
                   stats::Rng &rng);

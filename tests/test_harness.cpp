@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/benchmarks/error_correction.hpp"
 #include "core/benchmarks/ghz.hpp"
 #include "core/benchmarks/hamiltonian_simulation.hpp"
@@ -59,6 +61,8 @@ TEST(Harness, TooLargeBenchmarksAreFlagged)
     GhzBenchmark bench(7);
     BenchmarkRun run = runBenchmark(bench, device::aqtDevice());
     EXPECT_TRUE(run.tooLarge);
+    EXPECT_EQ(run.status, RunStatus::TooLarge);
+    EXPECT_EQ(run.cause, FailureCause::RegisterTooWide);
     EXPECT_TRUE(run.scores.empty());
 }
 
@@ -70,6 +74,63 @@ TEST(Harness, SimulatorBudgetAlsoFlagsTooLarge)
     options.maxSimQubits = 4;
     BenchmarkRun run = runBenchmark(bench, dev, options);
     EXPECT_TRUE(run.tooLarge);
+    EXPECT_EQ(run.status, RunStatus::TooLarge);
+    EXPECT_EQ(run.cause, FailureCause::SimulatorLimit);
+}
+
+TEST(Harness, TooLargeBailoutReportsNoPartialRoutingCosts)
+{
+    // VQE has two circuits; a simulator budget below the register size
+    // aborts mid-circuit-list. The routing counters must not report a
+    // partial sum over the prefix that happened to be transpiled.
+    VqeBenchmark bench(5, 1);
+    HarnessOptions options = quickOptions();
+    options.maxSimQubits = 4;
+    BenchmarkRun run =
+        runBenchmark(bench, device::perfectDevice(8), options);
+    ASSERT_TRUE(run.tooLarge);
+    EXPECT_EQ(run.physicalTwoQubitGates, 0u);
+    EXPECT_EQ(run.swapsInserted, 0u);
+}
+
+TEST(Harness, CompletedRunsCarryOkStatus)
+{
+    GhzBenchmark bench(3);
+    BenchmarkRun run =
+        runBenchmark(bench, device::ibmLagos(), quickOptions());
+    EXPECT_EQ(run.status, RunStatus::Ok);
+    EXPECT_EQ(run.cause, FailureCause::None);
+    EXPECT_EQ(run.plannedRepetitions, run.scores.size());
+    EXPECT_DOUBLE_EQ(run.errorBarScale, 1.0);
+}
+
+TEST(Harness, RunRejectsDegenerateInputs)
+{
+    GhzBenchmark bench(3);
+    qc::Circuit circuit = bench.circuits().front();
+    stats::Rng rng(1);
+
+    sim::RunOptions no_shots;
+    no_shots.shots = 0;
+    EXPECT_THROW(sim::run(circuit, no_shots, rng),
+                 std::invalid_argument);
+
+    qc::Circuit unmeasured(2);
+    unmeasured.h(0).cx(0, 1);
+    EXPECT_THROW(sim::run(unmeasured, sim::RunOptions{}, rng),
+                 std::invalid_argument);
+}
+
+TEST(Harness, NoiselessScoreGuardsItsPreconditions)
+{
+    GhzBenchmark small(3);
+    EXPECT_THROW(noiselessScore(small, 0), std::invalid_argument);
+
+    // A 30-qubit statevector would exhaust memory; refuse up front.
+    GhzBenchmark huge(30);
+    EXPECT_THROW(noiselessScore(huge, 100), std::invalid_argument);
+    EXPECT_THROW(noiselessScore(small, 100, 7, /*maxSimQubits=*/2),
+                 std::invalid_argument);
 }
 
 TEST(Harness, NoisyDeviceScoresBelowPerfect)
