@@ -1,11 +1,30 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the substrates: simulator gate
- * throughput, trajectory execution, transpilation, feature extraction,
- * Clifford synthesis, and coverage-hull computation.
+ * Performance harness for the hot paths.
+ *
+ * Default mode times the pipeline stages (transpilation cold/cached,
+ * dense-simulator kernels, noisy trajectory execution) and the Fig. 2
+ * grid serial vs parallel, verifies the two grids are byte-identical,
+ * and writes the machine-readable BENCH_perf.json so the perf
+ * trajectory is tracked across PRs.
+ *
+ * `bench_perf --micro` instead runs the google-benchmark
+ * micro-benchmarks of the substrates (simulator gate throughput,
+ * transpilation, feature extraction, Clifford synthesis, hulls).
+ *
+ * Flags (default mode): --jobs N (parallel grid width; default = all
+ * hardware threads), --full (default-scale grid instead of the
+ * reduced perf scale), --json PATH (output path).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/benchmarks/ghz.hpp"
 #include "core/benchmarks/mermin_bell.hpp"
@@ -14,16 +33,24 @@
 #include "core/benchmarks/qaoa.hpp"
 #include "core/suites.hpp"
 #include "device/device.hpp"
+#include "fig_data.hpp"
 #include "qc/clifford.hpp"
 #include "qc/library.hpp"
 #include "qc/qasm.hpp"
+#include "sim/density_matrix.hpp"
 #include "sim/runner.hpp"
 #include "sim/statevector.hpp"
+#include "transpile/cache.hpp"
 #include "transpile/transpiler.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace smq;
 
 namespace {
+
+// ---------------------------------------------------------------------
+// google-benchmark micro suite (bench_perf --micro)
+// ---------------------------------------------------------------------
 
 void
 BM_StateVectorHadamardLayer(benchmark::State &state)
@@ -55,6 +82,51 @@ BM_StateVectorCxLadder(benchmark::State &state)
     }
 }
 BENCHMARK(BM_StateVectorCxLadder)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_StateVectorToffoliLayer(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::StateVector sv(n);
+    for (auto _ : state) {
+        for (std::size_t q = 0; q + 2 < n; ++q)
+            sv.applyGate(qc::Gate(qc::GateType::CCX,
+                                  {static_cast<qc::Qubit>(q),
+                                   static_cast<qc::Qubit>(q + 1),
+                                   static_cast<qc::Qubit>(q + 2)}));
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_StateVectorToffoliLayer)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_DensityMatrix1QSweep(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::DensityMatrix rho(n);
+    for (auto _ : state) {
+        for (std::size_t q = 0; q < n; ++q)
+            rho.applyGate(qc::Gate(qc::GateType::H,
+                                   {static_cast<qc::Qubit>(q)}));
+        benchmark::DoNotOptimize(&rho);
+    }
+}
+BENCHMARK(BM_DensityMatrix1QSweep)->Arg(6)->Arg(8)->Arg(10);
+
+void
+BM_DensityMatrixCxLadder(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::DensityMatrix rho(n);
+    for (auto _ : state) {
+        for (std::size_t q = 0; q + 1 < n; ++q)
+            rho.applyGate(qc::Gate(qc::GateType::CX,
+                                   {static_cast<qc::Qubit>(q),
+                                    static_cast<qc::Qubit>(q + 1)}));
+        benchmark::DoNotOptimize(&rho);
+    }
+}
+BENCHMARK(BM_DensityMatrixCxLadder)->Arg(6)->Arg(8)->Arg(10);
 
 void
 BM_NoisyTrajectoryGhz(benchmark::State &state)
@@ -129,6 +201,177 @@ BM_QasmRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_QasmRoundTrip);
 
+// ---------------------------------------------------------------------
+// default mode: staged wall-clock timings + BENCH_perf.json
+// ---------------------------------------------------------------------
+
+struct Stage
+{
+    std::string name;
+    double wallMs = 0.0;
+};
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+template <typename Fn>
+double
+timeIt(Fn &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    return millisSince(start);
+}
+
+void
+writeJson(const std::string &path, const std::vector<Stage> &stages,
+          std::size_t jobs, double serialMs, double parallelMs,
+          bool identical)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out.precision(6);
+    out << std::fixed;
+    out << "{\n  \"threads_available\": " << util::defaultJobs()
+        << ",\n  \"grid_jobs\": " << jobs << ",\n  \"stages\": [\n";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        out << "    {\"name\": \"" << stages[i].name
+            << "\", \"wall_ms\": " << stages[i].wallMs << "}"
+            << (i + 1 < stages.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"fig2_grid\": {\n"
+        << "    \"serial_ms\": " << serialMs << ",\n"
+        << "    \"parallel_ms\": " << parallelMs << ",\n"
+        << "    \"speedup\": "
+        << (parallelMs > 0.0 ? serialMs / parallelMs : 0.0) << ",\n"
+        << "    \"parallel_identical_to_serial\": "
+        << (identical ? "true" : "false") << "\n  }\n}\n";
+}
+
+int
+perfHarness(int argc, char **argv)
+{
+    std::size_t jobs = util::defaultJobs();
+    bool full = false;
+    std::string json_path = "BENCH_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = static_cast<std::size_t>(std::atoi(argv[++i]));
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+        else if (std::strcmp(argv[i], "--full") == 0)
+            full = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+    if (jobs == 0)
+        jobs = util::defaultJobs();
+
+    std::vector<Stage> stages;
+    auto record = [&](const std::string &name, double ms) {
+        stages.push_back({name, ms});
+        std::cout << "  " << name << ": " << ms << " ms\n";
+    };
+
+    std::cout << "bench_perf: staged wall-clock timings ("
+              << util::defaultJobs() << " hardware threads, grid jobs="
+              << jobs << ")\n";
+
+    // Transpilation across the full grid's inputs, cold then memoized.
+    std::vector<device::Device> devices = device::allDevices();
+    std::vector<core::BenchmarkPtr> suite = core::figure2Benchmarks();
+    transpile::clearTranspileCache();
+    auto transpile_all = [&] {
+        for (const core::BenchmarkPtr &bench : suite) {
+            for (const device::Device &dev : devices) {
+                if (bench->numQubits() > dev.numQubits())
+                    continue;
+                for (const qc::Circuit &c : bench->circuits())
+                    transpile::cachedTranspile(c, dev);
+            }
+        }
+    };
+    record("transpile_grid_cold", timeIt(transpile_all));
+    record("transpile_grid_memoized", timeIt(transpile_all));
+
+    // Dense-kernel stages.
+    record("statevector_ghz20_ideal", timeIt([&] {
+               core::GhzBenchmark ghz(20);
+               benchmark::DoNotOptimize(
+                   sim::idealDistribution(ghz.circuits()[0]));
+           }));
+    record("density_matrix_ghz9_exact_noise", timeIt([&] {
+               core::GhzBenchmark ghz(9);
+               benchmark::DoNotOptimize(sim::noisyDistribution(
+                   ghz.circuits()[0], device::ibmMontreal().noise));
+           }));
+    record("trajectories_ghz14_2000shots", timeIt([&] {
+               core::GhzBenchmark ghz(14);
+               sim::RunOptions ro;
+               ro.shots = 2000;
+               ro.noise = device::ibmMontreal().noise;
+               stats::Rng rng(7);
+               benchmark::DoNotOptimize(
+                   sim::run(ghz.circuits()[0], ro, rng));
+           }));
+
+    // The Fig. 2 grid, serial then parallel, compared byte-for-byte.
+    bench::Scale scale;
+    scale.useCache = false;
+    if (!full) {
+        scale.defaultShots = 100;
+        scale.repetitions = 2;
+    }
+    transpile::clearTranspileCache();
+    scale.jobs = 1;
+    bench::Fig2Grid serial_grid;
+    double serial_ms =
+        timeIt([&] { serial_grid = bench::computeFig2Grid(scale); });
+    record("fig2_grid_serial", serial_ms);
+
+    transpile::clearTranspileCache();
+    scale.jobs = jobs;
+    bench::Fig2Grid parallel_grid;
+    double parallel_ms =
+        timeIt([&] { parallel_grid = bench::computeFig2Grid(scale); });
+    record("fig2_grid_parallel", parallel_ms);
+
+    bool identical = bench::serializeGrid(serial_grid) ==
+                     bench::serializeGrid(parallel_grid);
+    std::cout << "  speedup: "
+              << (parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0)
+              << "x over " << jobs << " jobs; grids "
+              << (identical ? "byte-identical" : "DIFFER (BUG)") << "\n";
+
+    writeJson(json_path, stages, jobs, serial_ms, parallel_ms,
+              identical);
+    std::cout << "wrote " << json_path << "\n";
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--micro") == 0) {
+            // hand the remaining flags to google-benchmark
+            std::vector<char *> args;
+            for (int j = 0; j < argc; ++j) {
+                if (j != i)
+                    args.push_back(argv[j]);
+            }
+            int bench_argc = static_cast<int>(args.size());
+            benchmark::Initialize(&bench_argc, args.data());
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+        }
+    }
+    return perfHarness(argc, argv);
+}

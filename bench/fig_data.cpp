@@ -1,9 +1,13 @@
 #include "fig_data.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+
+#include "util/thread_pool.hpp"
 
 namespace smq::bench {
 
@@ -19,6 +23,13 @@ scaleFromArgs(int argc, char **argv)
             scale.repetitions = 2;
         } else if (std::strcmp(argv[i], "--faults") == 0) {
             scale.faults = true;
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            scale.jobs = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            scale.jobs = static_cast<std::size_t>(
+                std::strtoul(argv[i] + 7, nullptr, 10));
         }
     }
     return scale;
@@ -62,34 +73,23 @@ constexpr const char *kCacheVersion = "smq-fig2-cache-v2";
 void
 saveGrid(const Fig2Grid &grid, const Scale &scale)
 {
-    std::ofstream out(cachePath(scale));
-    if (!out)
-        return;
-    out.precision(17);
-    out << kCacheVersion << "\n" << grid.deviceNames.size() << "\n";
-    for (const std::string &name : grid.deviceNames)
-        out << name << "\n";
-    out << grid.rows.size() << "\n";
-    for (const GridRow &row : grid.rows) {
-        out << row.benchmark << "\n" << row.isErrorCorrection << "\n";
-        for (double v : row.features.asArray())
-            out << v << " ";
-        out << "\n"
-            << row.stats.numQubits << " " << row.stats.depth << " "
-            << row.stats.gateCount << " " << row.stats.twoQubitGates
-            << " " << row.stats.measurements << " " << row.stats.resets
-            << "\n";
-        for (const core::BenchmarkRun &run : row.runs) {
-            out << static_cast<int>(run.status) << " "
-                << static_cast<int>(run.cause) << " "
-                << run.plannedRepetitions << " " << run.attempts << " "
-                << run.errorBarScale << " " << run.swapsInserted << " "
-                << run.physicalTwoQubitGates << " " << run.scores.size();
-            for (double s : run.scores)
-                out << " " << s;
-            out << "\n";
+    // Write-to-temp + rename: an interrupted regenerator can never
+    // leave a truncated cache that a later run would parse as garbage.
+    const std::string path = cachePath(scale);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return;
+        out << serializeGrid(grid);
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return;
         }
     }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
 }
 
 bool
@@ -161,12 +161,44 @@ demoInjector(const Scale &scale)
 
 } // namespace
 
+std::string
+serializeGrid(const Fig2Grid &grid)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << kCacheVersion << "\n" << grid.deviceNames.size() << "\n";
+    for (const std::string &name : grid.deviceNames)
+        out << name << "\n";
+    out << grid.rows.size() << "\n";
+    for (const GridRow &row : grid.rows) {
+        out << row.benchmark << "\n" << row.isErrorCorrection << "\n";
+        for (double v : row.features.asArray())
+            out << v << " ";
+        out << "\n"
+            << row.stats.numQubits << " " << row.stats.depth << " "
+            << row.stats.gateCount << " " << row.stats.twoQubitGates
+            << " " << row.stats.measurements << " " << row.stats.resets
+            << "\n";
+        for (const core::BenchmarkRun &run : row.runs) {
+            out << static_cast<int>(run.status) << " "
+                << static_cast<int>(run.cause) << " "
+                << run.plannedRepetitions << " " << run.attempts << " "
+                << run.errorBarScale << " " << run.swapsInserted << " "
+                << run.physicalTwoQubitGates << " " << run.scores.size();
+            for (double s : run.scores)
+                out << " " << s;
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
 Fig2Grid
 computeFig2Grid(const Scale &scale)
 {
     Fig2Grid grid;
     // Fault-injected runs are demonstrations; never cache them.
-    if (!scale.faults && loadGrid(grid, scale)) {
+    if (!scale.faults && scale.useCache && loadGrid(grid, scale)) {
         std::cerr << "(reusing cached grid " << cachePath(scale) << ")\n";
         return grid;
     }
@@ -177,32 +209,53 @@ computeFig2Grid(const Scale &scale)
 
     jobs::JobOptions job_options;
     job_options.harness.repetitions = scale.repetitions;
-    jobs::SweepContext ctx(job_options,
-                           scale.faults ? demoInjector(scale)
-                                        : jobs::FaultInjector());
 
     std::vector<core::BenchmarkPtr> suite = core::figure2Benchmarks();
-    for (const core::BenchmarkPtr &bench : suite) {
-        GridRow row;
-        row.benchmark = bench->name();
-        row.isErrorCorrection = isErrorCorrectionName(bench->name());
-        qc::Circuit primary = bench->circuits().front();
+    const std::size_t n_rows = suite.size();
+    const std::size_t n_devices = devices.size();
+    grid.rows.resize(n_rows);
+
+    // Per-row metadata (features/stats of the primary logical circuit).
+    util::parallelFor(scale.jobs, n_rows, [&](std::size_t r) {
+        GridRow &row = grid.rows[r];
+        row.benchmark = suite[r]->name();
+        row.isErrorCorrection = isErrorCorrectionName(row.benchmark);
+        qc::Circuit primary = suite[r]->circuits().front();
         row.features = core::computeFeatures(primary);
         row.stats = core::computeStats(primary);
+        row.runs.resize(n_devices);
+    });
 
-        for (const device::Device &dev : devices) {
+    // The (benchmark x device) cells fan out over the thread pool.
+    // Each cell gets its own SweepContext over the same injector seed:
+    // fault decisions and simulation streams are pure functions of the
+    // (seed, device, benchmark, rep, attempt) labels, and the suite
+    // deadline is infinite here, so cell results cannot depend on
+    // execution order — the grid is byte-identical for any jobs value.
+    util::parallelFor(
+        scale.jobs, n_rows * n_devices, [&](std::size_t cell) {
+            const std::size_t r = cell / n_devices;
+            const std::size_t d = cell % n_devices;
             jobs::JobOptions options = job_options;
-            options.harness.shots = shotsForDevice(dev, scale);
-            options.harness.seed = 1000 + grid.rows.size();
-            row.runs.push_back(
-                jobs::runJob(*bench, dev, options, ctx));
-            std::cerr << "  " << row.benchmark << " @ " << dev.name
-                      << " = " << jobs::cellText(row.runs.back())
-                      << "\n";
+            options.harness.shots = shotsForDevice(devices[d], scale);
+            options.harness.seed = 1000 + r;
+            jobs::SweepContext cell_ctx(options,
+                                        scale.faults
+                                            ? demoInjector(scale)
+                                            : jobs::FaultInjector());
+            grid.rows[r].runs[d] =
+                jobs::runJob(*suite[r], devices[d], options, cell_ctx);
+        });
+
+    // Progress report after the fact, in deterministic grid order.
+    for (const GridRow &row : grid.rows) {
+        for (std::size_t d = 0; d < n_devices; ++d) {
+            std::cerr << "  " << row.benchmark << " @ "
+                      << grid.deviceNames[d] << " = "
+                      << jobs::cellText(row.runs[d]) << "\n";
         }
-        grid.rows.push_back(std::move(row));
     }
-    if (!scale.faults)
+    if (!scale.faults && scale.useCache)
         saveGrid(grid, scale);
     return grid;
 }

@@ -33,9 +33,18 @@ struct Scale
      */
     bool faults = false;
     std::uint64_t faultSeed = 2022;
+    /**
+     * Worker threads for the (benchmark x device) grid cells
+     * (--jobs N; 0 = one per hardware thread). Every cell derives its
+     * randomness from its labels, so any jobs value produces a grid
+     * byte-identical to the serial one.
+     */
+    std::size_t jobs = 1;
+    /** Read/write the on-disk grid cache (tests disable it). */
+    bool useCache = true;
 };
 
-/** Parse --paper / --quick / --faults command-line flags. */
+/** Parse --paper / --quick / --faults / --jobs N command-line flags. */
 Scale scaleFromArgs(int argc, char **argv);
 
 /** One benchmark instance evaluated across all devices. */
@@ -63,6 +72,13 @@ struct Fig2Grid
  * reuse a Fig. 2 run instead of re-simulating everything.
  */
 Fig2Grid computeFig2Grid(const Scale &scale);
+
+/**
+ * Canonical text serialization of a grid (the on-disk cache format).
+ * The parallel-determinism tests compare serial and threaded grids
+ * through this exact byte stream.
+ */
+std::string serializeGrid(const Fig2Grid &grid);
 
 /** Fold a grid into per-device scored instances for Figs. 3 and 4. */
 std::vector<std::vector<core::ScoredInstance>>

@@ -72,13 +72,13 @@ HamiltonianSimulationBenchmark::magnetizationFromCounts(
 double
 HamiltonianSimulationBenchmark::idealMagnetization() const
 {
-    if (idealMagnetization_ > 1.5) {
+    std::call_once(idealOnce_, [&] {
         sim::StateVector state = sim::finalState(evolutionCircuit());
         double total = 0.0;
         for (std::size_t q = 0; q < numQubits_; ++q)
             total += state.expectationZ({q});
         idealMagnetization_ = total / static_cast<double>(numQubits_);
-    }
+    });
     return idealMagnetization_;
 }
 

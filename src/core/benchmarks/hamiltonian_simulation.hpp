@@ -19,6 +19,8 @@
 #ifndef SMQ_CORE_BENCHMARKS_HAMILTONIAN_SIMULATION_HPP
 #define SMQ_CORE_BENCHMARKS_HAMILTONIAN_SIMULATION_HPP
 
+#include <mutex>
+
 #include "core/benchmark.hpp"
 
 namespace smq::core {
@@ -52,7 +54,8 @@ class HamiltonianSimulationBenchmark : public Benchmark
     /** Average magnetisation estimated from Z-basis counts. */
     double magnetizationFromCounts(const stats::Counts &counts) const;
 
-    /** The noiseless reference magnetisation (lazy, cached). */
+    /** The noiseless reference magnetisation (lazy, cached;
+     *  thread-safe — grid cells score one instance concurrently). */
     double idealMagnetization() const;
 
   private:
@@ -61,7 +64,8 @@ class HamiltonianSimulationBenchmark : public Benchmark
     std::size_t numQubits_;
     std::size_t steps_;
     TfimDriveParams params_;
-    mutable double idealMagnetization_ = 2.0; ///< >1 means "not yet"
+    mutable std::once_flag idealOnce_;
+    mutable double idealMagnetization_ = 2.0;
 };
 
 } // namespace smq::core

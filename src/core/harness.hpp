@@ -32,6 +32,12 @@ struct HarnessOptions
     std::uint64_t shots = 2000;  ///< per circuit per repetition
     std::size_t repetitions = 3; ///< independent runs for error bars
     std::uint64_t seed = 12345;
+    /**
+     * Worker threads for the repetition loop (1 = serial). Each
+     * repetition draws from its own seed-derived stream, so any jobs
+     * value produces byte-identical scores.
+     */
+    std::size_t jobs = 1;
     transpile::TranspileOptions transpile;
     /**
      * Largest compacted register the simulator accepts; benchmarks

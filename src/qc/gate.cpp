@@ -87,11 +87,16 @@ gateName(GateType type)
     static const std::string barrier_name = "barrier";
     if (type == GateType::BARRIER)
         return barrier_name;
-    static std::map<GateType, std::string> cache;
-    auto it = cache.find(type);
-    if (it == cache.end())
-        it = cache.emplace(type, info(type).name).first;
-    return it->second;
+    // Fully populated at first use (thread-safe magic static): gate
+    // names are read concurrently from the parallel grid workers.
+    static const std::map<GateType, std::string> cache = [] {
+        std::map<GateType, std::string> m;
+        for (std::size_t i = 0; i < gateInfoTable.size(); ++i)
+            m.emplace(static_cast<GateType>(i), gateInfoTable[i].name);
+        return m;
+    }();
+    info(type); // validates the enum value (throws on junk)
+    return cache.at(type);
 }
 
 GateType

@@ -9,6 +9,20 @@ namespace smq::sim {
 
 namespace {
 constexpr std::size_t kMaxQubits = 11;
+
+/**
+ * Spread the bits of @p k around two zero slots at bit positions
+ * p0 < p1: enumerates the subspace with both qubits fixed at 0
+ * without scanning (and branching on) every index.
+ */
+std::size_t
+expand2(std::size_t k, std::size_t p0, std::size_t p1)
+{
+    std::size_t x = ((k >> p0) << (p0 + 1)) | (k & ((std::size_t{1} << p0) - 1));
+    x = ((x >> p1) << (p1 + 1)) | (x & ((std::size_t{1} << p1) - 1));
+    return x;
+}
+
 } // namespace
 
 DensityMatrix::DensityMatrix(std::size_t num_qubits)
@@ -41,31 +55,42 @@ DensityMatrix::applyMatrix1(std::size_t q, const Matrix2 &u)
 {
     checkQubit(q);
     const std::size_t stride = std::size_t{1} << q;
-    // left multiply: rows
-    for (std::size_t c = 0; c < dim_; ++c) {
-        for (std::size_t base = 0; base < dim_; base += 2 * stride) {
-            for (std::size_t off = 0; off < stride; ++off) {
-                std::size_t r0 = base + off;
-                std::size_t r1 = r0 + stride;
-                Complex a0 = rho_[r0 * dim_ + c];
-                Complex a1 = rho_[r1 * dim_ + c];
-                rho_[r0 * dim_ + c] = u[0] * a0 + u[1] * a1;
-                rho_[r1 * dim_ + c] = u[2] * a0 + u[3] * a1;
+    // Left multiply rho <- U rho. Row-major storage makes the column
+    // index the contiguous one, so each paired row walks memory
+    // linearly instead of striding dim_ elements per step (the old
+    // cache-hostile layout).
+    for (std::size_t base = 0; base < dim_; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            Complex *row0 = rho_.data() + (base + off) * dim_;
+            Complex *row1 = row0 + stride * dim_;
+            for (std::size_t c = 0; c < dim_; ++c) {
+                Complex a0 = row0[c];
+                Complex a1 = row1[c];
+                row0[c] = u[0] * a0 + u[1] * a1;
+                row1[c] = u[2] * a0 + u[3] * a1;
             }
         }
     }
-    // right multiply by U^dagger: columns with conjugated entries
-    for (std::size_t r = 0; r < dim_; ++r) {
-        for (std::size_t base = 0; base < dim_; base += 2 * stride) {
-            for (std::size_t off = 0; off < stride; ++off) {
-                std::size_t c0 = base + off;
-                std::size_t c1 = c0 + stride;
-                Complex a0 = rho_[r * dim_ + c0];
-                Complex a1 = rho_[r * dim_ + c1];
-                rho_[r * dim_ + c0] =
-                    std::conj(u[0]) * a0 + std::conj(u[1]) * a1;
-                rho_[r * dim_ + c1] =
-                    std::conj(u[2]) * a0 + std::conj(u[3]) * a1;
+    // Right multiply rho <- rho U^dagger. Conjugates are hoisted out
+    // of the loops, and each row's column pairs are walked through two
+    // streaming pointers (both halves advance contiguously), one
+    // L1-sized block of rows at a time.
+    const Complex d0 = std::conj(u[0]), d1 = std::conj(u[1]);
+    const Complex d2 = std::conj(u[2]), d3 = std::conj(u[3]);
+    constexpr std::size_t kRowBlock = 16;
+    for (std::size_t rb = 0; rb < dim_; rb += kRowBlock) {
+        const std::size_t rEnd = std::min(dim_, rb + kRowBlock);
+        for (std::size_t r = rb; r < rEnd; ++r) {
+            Complex *row = rho_.data() + r * dim_;
+            for (std::size_t base = 0; base < dim_; base += 2 * stride) {
+                Complex *lo = row + base;
+                Complex *hi = lo + stride;
+                for (std::size_t off = 0; off < stride; ++off) {
+                    Complex a0 = lo[off];
+                    Complex a1 = hi[off];
+                    lo[off] = d0 * a0 + d1 * a1;
+                    hi[off] = d2 * a0 + d3 * a1;
+                }
             }
         }
     }
@@ -80,36 +105,54 @@ DensityMatrix::applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &u)
         throw std::invalid_argument("DensityMatrix: duplicate qubit");
     const std::size_t s0 = std::size_t{1} << q0;
     const std::size_t s1 = std::size_t{1} << q1;
+    std::size_t p0 = q0, p1 = q1;
+    if (p0 > p1)
+        std::swap(p0, p1);
+    const std::size_t sub = dim_ >> 2;
 
-    for (std::size_t c = 0; c < dim_; ++c) {
-        for (std::size_t idx = 0; idx < dim_; ++idx) {
-            if ((idx & s0) || (idx & s1))
-                continue;
-            std::size_t r[4] = {idx, idx + s1, idx + s0, idx + s0 + s1};
-            Complex a[4];
-            for (int k = 0; k < 4; ++k)
-                a[k] = rho_[r[k] * dim_ + c];
-            for (int k = 0; k < 4; ++k) {
-                rho_[r[k] * dim_ + c] = u[k * 4 + 0] * a[0] +
-                                        u[k * 4 + 1] * a[1] +
-                                        u[k * 4 + 2] * a[2] +
-                                        u[k * 4 + 3] * a[3];
-            }
+    // Left multiply rho <- U rho: enumerate the 4-row groups through
+    // the subspace expansion (no per-index branch) and make the
+    // column index, which is contiguous in memory, the inner loop.
+    for (std::size_t k = 0; k < sub; ++k) {
+        const std::size_t idx = expand2(k, p0, p1);
+        Complex *r0 = rho_.data() + idx * dim_;
+        Complex *r1 = rho_.data() + (idx + s1) * dim_;
+        Complex *r2 = rho_.data() + (idx + s0) * dim_;
+        Complex *r3 = rho_.data() + (idx + s0 + s1) * dim_;
+        for (std::size_t c = 0; c < dim_; ++c) {
+            const Complex a0 = r0[c], a1 = r1[c], a2 = r2[c], a3 = r3[c];
+            r0[c] = u[0] * a0 + u[1] * a1 + u[2] * a2 + u[3] * a3;
+            r1[c] = u[4] * a0 + u[5] * a1 + u[6] * a2 + u[7] * a3;
+            r2[c] = u[8] * a0 + u[9] * a1 + u[10] * a2 + u[11] * a3;
+            r3[c] = u[12] * a0 + u[13] * a1 + u[14] * a2 + u[15] * a3;
         }
     }
-    for (std::size_t r = 0; r < dim_; ++r) {
-        for (std::size_t idx = 0; idx < dim_; ++idx) {
-            if ((idx & s0) || (idx & s1))
-                continue;
-            std::size_t c[4] = {idx, idx + s1, idx + s0, idx + s0 + s1};
-            Complex a[4];
-            for (int k = 0; k < 4; ++k)
-                a[k] = rho_[r * dim_ + c[k]];
-            for (int k = 0; k < 4; ++k) {
-                rho_[r * dim_ + c[k]] = std::conj(u[k * 4 + 0]) * a[0] +
-                                        std::conj(u[k * 4 + 1]) * a[1] +
-                                        std::conj(u[k * 4 + 2]) * a[2] +
-                                        std::conj(u[k * 4 + 3]) * a[3];
+
+    // Right multiply rho <- rho U^dagger with hoisted conjugates; each
+    // row is processed in one pass, blocked so consecutive rows reuse
+    // the cached U^dagger and loop state.
+    Matrix4 ud;
+    for (int k = 0; k < 16; ++k)
+        ud[k] = std::conj(u[k]);
+    constexpr std::size_t kRowBlock = 16;
+    for (std::size_t rb = 0; rb < dim_; rb += kRowBlock) {
+        const std::size_t rEnd = std::min(dim_, rb + kRowBlock);
+        for (std::size_t r = rb; r < rEnd; ++r) {
+            Complex *row = rho_.data() + r * dim_;
+            for (std::size_t k = 0; k < sub; ++k) {
+                const std::size_t idx = expand2(k, p0, p1);
+                const Complex a0 = row[idx];
+                const Complex a1 = row[idx + s1];
+                const Complex a2 = row[idx + s0];
+                const Complex a3 = row[idx + s0 + s1];
+                row[idx] = ud[0] * a0 + ud[1] * a1 + ud[2] * a2 +
+                           ud[3] * a3;
+                row[idx + s1] = ud[4] * a0 + ud[5] * a1 + ud[6] * a2 +
+                                ud[7] * a3;
+                row[idx + s0] = ud[8] * a0 + ud[9] * a1 + ud[10] * a2 +
+                                ud[11] * a3;
+                row[idx + s0 + s1] = ud[12] * a0 + ud[13] * a1 +
+                                     ud[14] * a2 + ud[15] * a3;
             }
         }
     }
@@ -152,6 +195,24 @@ DensityMatrix::applyGate(const qc::Gate &gate)
         applyMatrix2(gate.qubits[0], gate.qubits[1], gateMatrix2(gate));
     } else {
         throw std::invalid_argument("DensityMatrix::applyGate: bad arity");
+    }
+}
+
+void
+DensityMatrix::applyFused(const std::vector<FusedOp> &ops)
+{
+    for (const FusedOp &op : ops) {
+        switch (op.kind) {
+          case FusedOp::Kind::Unitary1:
+            applyMatrix1(op.q0, op.m2);
+            break;
+          case FusedOp::Kind::Unitary2:
+            applyMatrix2(op.q0, op.q1, op.m4);
+            break;
+          case FusedOp::Kind::Passthrough:
+            applyGate(op.gate);
+            break;
+        }
     }
 }
 
@@ -295,6 +356,26 @@ noisyDistribution(const qc::Circuit &circuit, const NoiseModel &noise)
     }
 
     DensityMatrix rho(circuit.numQubits());
+    if (!noise.enabled) {
+        // No per-gate channels to interleave: fuse single-qubit runs
+        // and apply the compact sequence in one go.
+        rho.applyFused(fuseUnitaryCircuit(body));
+        std::vector<double> probs = rho.probabilities();
+        stats::Distribution dist;
+        for (std::size_t s = 0; s < probs.size(); ++s) {
+            if (probs[s] < 1e-15)
+                continue;
+            std::string key(circuit.numClbits(), '0');
+            for (std::size_t c = 0; c < circuit.numClbits(); ++c) {
+                if (clbit_source[c] >= 0 &&
+                    (s >> static_cast<std::size_t>(clbit_source[c])) & 1) {
+                    key[c] = '1';
+                }
+            }
+            dist.add(key, probs[s]);
+        }
+        return dist;
+    }
     qc::Schedule sched = qc::schedule(body);
     const auto &gates = body.gates();
     for (const auto &moment : sched.moments) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "qc/circuit.hpp"
+#include "sim/fusion.hpp"
 #include "sim/gate_matrices.hpp"
 #include "sim/noise.hpp"
 #include "stats/counts.hpp"
@@ -47,6 +48,9 @@ class DensityMatrix
 
     /** Apply one unitary gate. */
     void applyGate(const qc::Gate &gate);
+
+    /** Apply a pre-fused instruction sequence (see sim/fusion.hpp). */
+    void applyFused(const std::vector<FusedOp> &ops);
 
     /** Apply a one-qubit Kraus channel {K_i}: rho <- sum K rho K^dg. */
     void applyKraus1(std::size_t q, const std::vector<Matrix2> &kraus);

@@ -1,0 +1,75 @@
+#include "sim/fusion.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace smq::sim {
+
+namespace {
+
+struct PendingRun
+{
+    Matrix2 m;
+    std::size_t gates = 0;
+};
+
+} // namespace
+
+std::vector<FusedOp>
+fuseUnitaryCircuit(const qc::Circuit &circuit)
+{
+    std::vector<FusedOp> ops;
+    std::vector<std::optional<PendingRun>> pending(circuit.numQubits());
+
+    auto flush = [&](std::size_t q) {
+        if (!pending[q])
+            return;
+        FusedOp op;
+        op.kind = FusedOp::Kind::Unitary1;
+        op.q0 = q;
+        op.m2 = pending[q]->m;
+        op.sourceGates = pending[q]->gates;
+        ops.push_back(std::move(op));
+        pending[q].reset();
+    };
+
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER)
+            continue;
+        if (g.type == qc::GateType::MEASURE ||
+            g.type == qc::GateType::RESET) {
+            throw std::invalid_argument(
+                "fuseUnitaryCircuit: non-unitary instruction");
+        }
+        if (g.qubits.size() == 1) {
+            std::size_t q = g.qubits[0];
+            Matrix2 u = gateMatrix1(g);
+            if (pending[q]) {
+                // later gate multiplies from the left
+                pending[q]->m = multiply(u, pending[q]->m);
+                ++pending[q]->gates;
+            } else {
+                pending[q] = PendingRun{u, 1};
+            }
+            continue;
+        }
+        for (qc::Qubit q : g.qubits)
+            flush(q);
+        FusedOp op;
+        if (g.qubits.size() == 2) {
+            op.kind = FusedOp::Kind::Unitary2;
+            op.q0 = g.qubits[0];
+            op.q1 = g.qubits[1];
+            op.m4 = gateMatrix2(g);
+        } else {
+            op.kind = FusedOp::Kind::Passthrough;
+            op.gate = g;
+        }
+        ops.push_back(std::move(op));
+    }
+    for (std::size_t q = 0; q < pending.size(); ++q)
+        flush(q);
+    return ops;
+}
+
+} // namespace smq::sim

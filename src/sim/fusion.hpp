@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Single-qubit gate fusion for the dense simulators.
+ *
+ * Benchmark circuits (especially after Euler decomposition in the
+ * transpiler) contain long runs of single-qubit gates on the same
+ * qubit. Applying each one separately sweeps the full 2^n state (or
+ * 4^n density matrix) per gate; fusing a run into one 2x2 product
+ * first means the state is touched once per run. Fusion is only used
+ * on noiseless/unitary paths — per-gate noise channels pin the
+ * trajectory engines to the unfused gate sequence.
+ */
+
+#ifndef SMQ_SIM_FUSION_HPP
+#define SMQ_SIM_FUSION_HPP
+
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "sim/gate_matrices.hpp"
+
+namespace smq::sim {
+
+/** One fused instruction: a dense unitary or an opaque pass-through. */
+struct FusedOp
+{
+    enum class Kind {
+        Unitary1,   ///< m2 on qubit q0
+        Unitary2,   ///< m4 on (q0, q1), basis as gate_matrices.hpp
+        Passthrough ///< gate applied verbatim (CCX, CSWAP)
+    };
+
+    Kind kind = Kind::Unitary1;
+    std::size_t q0 = 0;
+    std::size_t q1 = 0;
+    Matrix2 m2{};
+    Matrix4 m4{};
+    qc::Gate gate;
+    /** How many IR gates this op absorbs (diagnostics / tests). */
+    std::size_t sourceGates = 1;
+};
+
+/**
+ * Fuse maximal runs of single-qubit gates per qubit: a run ends when
+ * a multi-qubit gate touches the qubit or the circuit ends. Gate
+ * order across qubits is preserved up to commuting single-qubit
+ * reorderings (which cannot change the unitary). BARRIERs are
+ * dropped; MEASURE/RESET throw (callers strip terminal measurements
+ * first, as the dense engines already require).
+ */
+std::vector<FusedOp> fuseUnitaryCircuit(const qc::Circuit &circuit);
+
+} // namespace smq::sim
+
+#endif // SMQ_SIM_FUSION_HPP

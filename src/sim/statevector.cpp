@@ -7,6 +7,32 @@ namespace smq::sim {
 
 namespace {
 constexpr std::size_t kMaxQubits = 26;
+
+/**
+ * Spread the n-3 bits of @p k around three zero slots at bit positions
+ * p0 < p1 < p2: enumerates the subspace with those three qubits fixed
+ * at 0 without scanning (and branching on) all 2^n indices.
+ */
+std::size_t
+expand3(std::size_t k, std::size_t p0, std::size_t p1, std::size_t p2)
+{
+    std::size_t x = ((k >> p0) << (p0 + 1)) | (k & ((std::size_t{1} << p0) - 1));
+    x = ((x >> p1) << (p1 + 1)) | (x & ((std::size_t{1} << p1) - 1));
+    x = ((x >> p2) << (p2 + 1)) | (x & ((std::size_t{1} << p2) - 1));
+    return x;
+}
+
+void
+sort3(std::size_t &a, std::size_t &b, std::size_t &c)
+{
+    if (a > b)
+        std::swap(a, b);
+    if (b > c)
+        std::swap(b, c);
+    if (a > b)
+        std::swap(a, b);
+}
+
 } // namespace
 
 StateVector::StateVector(std::size_t num_qubits) : numQubits_(num_qubits)
@@ -82,22 +108,33 @@ StateVector::applyGate(const qc::Gate &gate)
     using qc::GateType;
     switch (gate.type) {
       case GateType::CCX: {
+        // Only the c0=1, c1=1, t=0 subspace moves: enumerate its
+        // 2^(n-3) members directly instead of branching over all 2^n.
         const std::size_t c0 = std::size_t{1} << gate.qubits[0];
         const std::size_t c1 = std::size_t{1} << gate.qubits[1];
         const std::size_t t = std::size_t{1} << gate.qubits[2];
-        for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-            if ((idx & c0) && (idx & c1) && !(idx & t))
-                std::swap(amps_[idx], amps_[idx | t]);
+        std::size_t p0 = gate.qubits[0], p1 = gate.qubits[1],
+                    p2 = gate.qubits[2];
+        sort3(p0, p1, p2);
+        const std::size_t sub = amps_.size() >> 3;
+        for (std::size_t k = 0; k < sub; ++k) {
+            std::size_t base = expand3(k, p0, p1, p2) | c0 | c1;
+            std::swap(amps_[base], amps_[base | t]);
         }
         return;
       }
       case GateType::CSWAP: {
+        // The moving subspace is c=1, a=1, b=0 <-> c=1, a=0, b=1.
         const std::size_t c = std::size_t{1} << gate.qubits[0];
         const std::size_t a = std::size_t{1} << gate.qubits[1];
         const std::size_t b = std::size_t{1} << gate.qubits[2];
-        for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-            if ((idx & c) && (idx & a) && !(idx & b))
-                std::swap(amps_[idx], amps_[(idx & ~a) | b]);
+        std::size_t p0 = gate.qubits[0], p1 = gate.qubits[1],
+                    p2 = gate.qubits[2];
+        sort3(p0, p1, p2);
+        const std::size_t sub = amps_.size() >> 3;
+        for (std::size_t k = 0; k < sub; ++k) {
+            std::size_t base = expand3(k, p0, p1, p2) | c | a;
+            std::swap(amps_[base], amps_[base ^ a ^ b]);
         }
         return;
       }
@@ -119,15 +156,29 @@ StateVector::applyGate(const qc::Gate &gate)
 }
 
 void
+StateVector::applyFused(const std::vector<FusedOp> &ops)
+{
+    for (const FusedOp &op : ops) {
+        switch (op.kind) {
+          case FusedOp::Kind::Unitary1:
+            applyMatrix1(op.q0, op.m2);
+            break;
+          case FusedOp::Kind::Unitary2:
+            applyMatrix2(op.q0, op.q1, op.m4);
+            break;
+          case FusedOp::Kind::Passthrough:
+            applyGate(op.gate);
+            break;
+        }
+    }
+}
+
+void
 StateVector::applyUnitaryCircuit(const qc::Circuit &circuit)
 {
     if (circuit.numQubits() != numQubits_)
         throw std::invalid_argument("StateVector: circuit size mismatch");
-    for (const qc::Gate &g : circuit.gates()) {
-        if (g.type == qc::GateType::BARRIER)
-            continue;
-        applyGate(g);
-    }
+    applyFused(fuseUnitaryCircuit(circuit));
 }
 
 double
@@ -349,15 +400,13 @@ idealDistribution(const qc::Circuit &circuit)
 StateVector
 finalState(const qc::Circuit &circuit)
 {
-    StateVector state(circuit.numQubits());
     for (const qc::Gate &g : circuit.gates()) {
-        if (g.type == qc::GateType::BARRIER)
-            continue;
         if (g.type == qc::GateType::MEASURE || g.type == qc::GateType::RESET)
             throw std::invalid_argument(
                 "finalState: circuit must be purely unitary");
-        state.applyGate(g);
     }
+    StateVector state(circuit.numQubits());
+    state.applyUnitaryCircuit(circuit);
     return state;
 }
 

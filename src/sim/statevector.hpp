@@ -20,6 +20,7 @@
 
 #include "qc/circuit.hpp"
 #include "qc/pauli.hpp"
+#include "sim/fusion.hpp"
 #include "sim/gate_matrices.hpp"
 #include "stats/counts.hpp"
 #include "stats/rng.hpp"
@@ -54,9 +55,13 @@ class StateVector
      */
     void applyGate(const qc::Gate &gate);
 
-    /** Apply every unitary gate of a circuit (barriers skipped).
+    /** Apply every unitary gate of a circuit (barriers skipped),
+     *  fusing runs of single-qubit gates first (see sim/fusion.hpp).
      *  @throws if the circuit contains MEASURE or RESET. */
     void applyUnitaryCircuit(const qc::Circuit &circuit);
+
+    /** Apply a pre-fused instruction sequence. */
+    void applyFused(const std::vector<FusedOp> &ops);
 
     /** Probability that qubit q reads 1. */
     double probabilityOfOne(std::size_t q) const;

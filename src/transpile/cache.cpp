@@ -1,0 +1,101 @@
+#include "transpile/cache.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+namespace smq::transpile {
+
+namespace {
+
+std::mutex g_mutex;
+std::unordered_map<std::string, TranspileResult> g_cache;
+CacheStats g_stats;
+
+void
+appendGate(std::string &key, const qc::Gate &g)
+{
+    char buf[40];
+    key += std::to_string(static_cast<int>(g.type));
+    for (qc::Qubit q : g.qubits) {
+        key += ',';
+        key += std::to_string(q);
+    }
+    for (double p : g.params) {
+        // hex float: exact round trip, no precision-collision risk
+        std::snprintf(buf, sizeof buf, ";%a", p);
+        key += buf;
+    }
+    if (g.cbit >= 0) {
+        key += '>';
+        key += std::to_string(g.cbit);
+    }
+    key += '|';
+}
+
+std::string
+makeKey(const qc::Circuit &circuit, const device::Device &device,
+        const TranspileOptions &options)
+{
+    std::string key;
+    key.reserve(64 + circuit.gates().size() * 12);
+    key += device.name;
+    key += '\x1f';
+    key += std::to_string(device.numQubits());
+    key += ':';
+    key += std::to_string(device.topology.numEdges());
+    key += '\x1f';
+    key += std::to_string(static_cast<int>(options.layout));
+    key += options.optimize ? 'o' : '-';
+    key += options.toNativeGates ? 'n' : '-';
+    key += std::to_string(static_cast<int>(options.division));
+    key += '\x1f';
+    key += std::to_string(circuit.numQubits());
+    key += ':';
+    key += std::to_string(circuit.numClbits());
+    key += '\x1f';
+    for (const qc::Gate &g : circuit.gates())
+        appendGate(key, g);
+    return key;
+}
+
+} // namespace
+
+TranspileResult
+cachedTranspile(const qc::Circuit &circuit, const device::Device &device,
+                const TranspileOptions &options)
+{
+    std::string key = makeKey(circuit, device, options);
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        auto it = g_cache.find(key);
+        if (it != g_cache.end()) {
+            ++g_stats.hits;
+            return it->second;
+        }
+        ++g_stats.misses;
+    }
+    TranspileResult result = transpile(circuit, device, options);
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        g_cache.emplace(std::move(key), result);
+    }
+    return result;
+}
+
+CacheStats
+transpileCacheStats()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_stats;
+}
+
+void
+clearTranspileCache()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_cache.clear();
+    g_stats = CacheStats{};
+}
+
+} // namespace smq::transpile

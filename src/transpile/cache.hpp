@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Process-wide transpilation memoization.
+ *
+ * The pipeline is deterministic: the same (circuit, device, options)
+ * triple always produces the same TranspileResult. The Fig. 2 / 3 / 4
+ * regenerators and the perf harness nonetheless re-run it for
+ * identical inputs (serial-vs-parallel comparisons, repeated sweeps,
+ * shared benchmark instances), so results are memoized behind a
+ * content key. The cache is thread-safe; concurrent misses for the
+ * same key both compute and arrive at identical results, so whichever
+ * insert wins is correct.
+ */
+
+#ifndef SMQ_TRANSPILE_CACHE_HPP
+#define SMQ_TRANSPILE_CACHE_HPP
+
+#include <cstddef>
+
+#include "transpile/transpiler.hpp"
+
+namespace smq::transpile {
+
+/** Hit/miss counters for tests and perf reporting. */
+struct CacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+};
+
+/**
+ * transpile() with memoization. The key covers the device identity
+ * (name, size, coupling-edge count), every TranspileOptions knob, and
+ * the exact gate content of the circuit (full-precision parameters).
+ */
+TranspileResult cachedTranspile(const qc::Circuit &circuit,
+                                const device::Device &device,
+                                const TranspileOptions &options = {});
+
+/** Counters since process start (or the last clear). */
+CacheStats transpileCacheStats();
+
+/** Drop all memoized results and reset the counters. */
+void clearTranspileCache();
+
+} // namespace smq::transpile
+
+#endif // SMQ_TRANSPILE_CACHE_HPP

@@ -1,0 +1,127 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace smq::util {
+
+std::uint64_t
+deriveTaskSeed(std::uint64_t base, std::uint64_t task)
+{
+    // splitmix64 over the combined word: cheap, well-mixed, and stable
+    // across platforms (no std:: distribution involvement).
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (task + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::size_t
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    workers_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runIndices()
+{
+    for (;;) {
+        std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batchSize_)
+            return;
+        try {
+            (*body_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock,
+                   [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        lock.unlock();
+        runIndices();
+        lock.lock();
+        if (--activeWorkers_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    body_ = &body;
+    batchSize_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    activeWorkers_ = workers_.size();
+    error_ = nullptr;
+    ++generation_;
+    lock.unlock();
+    wake_.notify_all();
+
+    runIndices(); // the caller is a worker too
+
+    lock.lock();
+    done_.wait(lock, [&] { return activeWorkers_ == 0; });
+    body_ = nullptr;
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+parallelFor(std::size_t jobs, std::size_t n,
+            const std::function<void(std::size_t)> &body)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(std::min(jobs, n) - 1);
+    pool.parallelFor(n, body);
+}
+
+} // namespace smq::util

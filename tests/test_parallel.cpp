@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Determinism and correctness tests for the parallel execution engine
+ * and the overhauled dense-simulator kernels (`ctest -L perf`).
+ *
+ * The load-bearing property of the whole perf layer is that
+ * parallelism is an implementation detail: a threaded Fig. 2 grid (or
+ * repetition loop) must be BYTE-identical to the serial one, with and
+ * without fault injection. The kernel tests pin the reordered
+ * density-matrix multiplies, the stride-based CCX/CSWAP enumeration
+ * and single-qubit gate fusion against naive reference
+ * implementations of the old loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/benchmarks/ghz.hpp"
+#include "core/harness.hpp"
+#include "device/device.hpp"
+#include "fig_data.hpp"
+#include "qc/circuit.hpp"
+#include "qc/qasm.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/fusion.hpp"
+#include "sim/statevector.hpp"
+#include "stats/rng.hpp"
+#include "transpile/cache.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace smq;
+
+// ---------------------------------------------------------------------
+// ThreadPool / parallelFor
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kN = 997; // prime, not a multiple of jobs
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto &h : hits)
+        h.store(0);
+    util::parallelFor(4, kN, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SerialFallbackCoversEveryIndex)
+{
+    std::vector<int> hits(257, 0);
+    util::parallelFor(1, hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPool, ReusablePoolRunsMultipleBatches)
+{
+    util::ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    for (int batch = 0; batch < 5; ++batch) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    EXPECT_THROW(util::parallelFor(4, 64,
+                                   [&](std::size_t i) {
+                                       if (i == 17)
+                                           throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // The pool must stay usable after a throwing batch.
+    std::atomic<int> count{0};
+    util::parallelFor(4, 32, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, DeriveTaskSeedIsStableAndCollisionFree)
+{
+    EXPECT_EQ(util::deriveTaskSeed(12345, 7),
+              util::deriveTaskSeed(12345, 7));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base : {0ull, 1ull, 12345ull})
+        for (std::uint64_t task = 0; task < 1000; ++task)
+            seen.insert(util::deriveTaskSeed(base, task));
+    EXPECT_EQ(seen.size(), 3000u);
+}
+
+// ---------------------------------------------------------------------
+// Single-qubit gate fusion
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A circuit with long single-qubit runs interleaved with entanglers. */
+qc::Circuit
+fusionTestCircuit()
+{
+    qc::Circuit c(4);
+    c.h(0).t(0).s(0).rz(0.3, 0).h(1).x(1).rx(1.1, 1);
+    c.cx(0, 1);
+    c.t(1).h(2).rz(-0.7, 2).h(3);
+    c.ccx(1, 2, 3);
+    c.rx(0.25, 3).t(3).h(0);
+    c.cswap(0, 1, 2);
+    c.rz(2.1, 1).s(2).h(3).t(3);
+    return c;
+}
+
+} // namespace
+
+TEST(Fusion, FusedStateMatchesGateByGateApplication)
+{
+    qc::Circuit circuit = fusionTestCircuit();
+
+    sim::StateVector fused(circuit.numQubits());
+    fused.applyUnitaryCircuit(circuit); // fuses internally
+
+    sim::StateVector reference(circuit.numQubits());
+    for (const qc::Gate &gate : circuit.gates())
+        reference.applyGate(gate);
+
+    ASSERT_EQ(fused.dimension(), reference.dimension());
+    for (std::size_t k = 0; k < fused.dimension(); ++k) {
+        EXPECT_NEAR(fused.amplitude(k).real(),
+                    reference.amplitude(k).real(), 1e-12);
+        EXPECT_NEAR(fused.amplitude(k).imag(),
+                    reference.amplitude(k).imag(), 1e-12);
+    }
+}
+
+TEST(Fusion, AbsorbsSingleQubitRuns)
+{
+    qc::Circuit circuit = fusionTestCircuit();
+    auto ops = sim::fuseUnitaryCircuit(circuit);
+    ASSERT_LT(ops.size(), circuit.gates().size());
+    std::size_t absorbed = 0;
+    for (const auto &op : ops)
+        absorbed += op.sourceGates;
+    EXPECT_EQ(absorbed, circuit.gates().size());
+}
+
+TEST(Fusion, RejectsNonUnitaryCircuits)
+{
+    qc::Circuit c(2);
+    c.h(0);
+    c.measureAll();
+    EXPECT_THROW(sim::fuseUnitaryCircuit(c), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Density-matrix kernels vs naive full-matrix reference
+// ---------------------------------------------------------------------
+
+namespace {
+
+using DenseMatrix = std::vector<std::vector<sim::Complex>>;
+
+/** Snapshot rho through the public element() accessor. */
+DenseMatrix
+snapshot(const sim::DensityMatrix &rho)
+{
+    DenseMatrix m(rho.dimension(),
+                  std::vector<sim::Complex>(rho.dimension()));
+    for (std::size_t r = 0; r < rho.dimension(); ++r)
+        for (std::size_t c = 0; c < rho.dimension(); ++c)
+            m[r][c] = rho.element(r, c);
+    return m;
+}
+
+/** Embed a 1-qubit unitary on qubit q into the full 2^n matrix. */
+DenseMatrix
+embed1(const sim::Matrix2 &u, std::size_t q, std::size_t n)
+{
+    const std::size_t dim = std::size_t{1} << n;
+    DenseMatrix full(dim, std::vector<sim::Complex>(dim, 0.0));
+    const std::size_t mask = std::size_t{1} << q;
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            if ((r & ~mask) == (c & ~mask)) {
+                std::size_t rb = (r >> q) & 1, cb = (c >> q) & 1;
+                full[r][c] = u[rb * 2 + cb];
+            }
+    return full;
+}
+
+/** Embed a 2-qubit unitary (basis k = 2 b0 + b1, gate_matrices.hpp). */
+DenseMatrix
+embed2(const sim::Matrix4 &u, std::size_t q0, std::size_t q1,
+       std::size_t n)
+{
+    const std::size_t dim = std::size_t{1} << n;
+    DenseMatrix full(dim, std::vector<sim::Complex>(dim, 0.0));
+    const std::size_t mask =
+        (std::size_t{1} << q0) | (std::size_t{1} << q1);
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            if ((r & ~mask) == (c & ~mask)) {
+                std::size_t kr = 2 * ((r >> q0) & 1) + ((r >> q1) & 1);
+                std::size_t kc = 2 * ((c >> q0) & 1) + ((c >> q1) & 1);
+                full[r][c] = u[kr * 4 + kc];
+            }
+    return full;
+}
+
+/** Naive U rho U^dagger with full matrices (the oracle). */
+DenseMatrix
+conjugate(const DenseMatrix &u, const DenseMatrix &rho)
+{
+    const std::size_t dim = rho.size();
+    DenseMatrix out(dim, std::vector<sim::Complex>(dim, 0.0));
+    for (std::size_t i = 0; i < dim; ++i)
+        for (std::size_t j = 0; j < dim; ++j) {
+            sim::Complex acc = 0.0;
+            for (std::size_t a = 0; a < dim; ++a)
+                for (std::size_t b = 0; b < dim; ++b)
+                    acc += u[i][a] * rho[a][b] * std::conj(u[j][b]);
+            out[i][j] = acc;
+        }
+    return out;
+}
+
+/** A non-trivial mixed-ish starting state over 3 qubits. */
+sim::DensityMatrix
+preparedRho()
+{
+    sim::DensityMatrix rho(3);
+    rho.applyGate(qc::Gate(qc::GateType::H, {0}));
+    rho.applyGate(qc::Gate(qc::GateType::CX, {0, 1}));
+    rho.applyGate(qc::Gate(qc::GateType::T, {1}));
+    rho.applyGate(qc::Gate(qc::GateType::RX, {2}, {0.9}));
+    rho.depolarize1(1, 0.05); // genuinely mixed
+    return rho;
+}
+
+void
+expectMatrixNear(const DenseMatrix &a, const DenseMatrix &b, double tol)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r)
+        for (std::size_t c = 0; c < a.size(); ++c) {
+            EXPECT_NEAR(a[r][c].real(), b[r][c].real(), tol)
+                << "(" << r << "," << c << ")";
+            EXPECT_NEAR(a[r][c].imag(), b[r][c].imag(), tol)
+                << "(" << r << "," << c << ")";
+        }
+}
+
+} // namespace
+
+TEST(DensityKernels, ApplyMatrix1MatchesFullMatrixReference)
+{
+    for (std::size_t q = 0; q < 3; ++q) {
+        for (auto type : {qc::GateType::H, qc::GateType::T,
+                          qc::GateType::SX}) {
+            sim::DensityMatrix rho = preparedRho();
+            DenseMatrix before = snapshot(rho);
+            sim::Matrix2 u = sim::gateMatrix1(qc::Gate(type, {0}));
+            rho.applyMatrix1(q, u);
+            expectMatrixNear(snapshot(rho),
+                             conjugate(embed1(u, q, 3), before), 1e-12);
+        }
+    }
+}
+
+TEST(DensityKernels, ApplyMatrix2MatchesFullMatrixReference)
+{
+    for (std::size_t q0 = 0; q0 < 3; ++q0) {
+        for (std::size_t q1 = 0; q1 < 3; ++q1) {
+            if (q0 == q1)
+                continue;
+            sim::DensityMatrix rho = preparedRho();
+            DenseMatrix before = snapshot(rho);
+            sim::Matrix4 u = sim::gateMatrix2(
+                qc::Gate(qc::GateType::RZZ, {0, 1}, {0.6}));
+            rho.applyMatrix2(q0, q1, u);
+            expectMatrixNear(snapshot(rho),
+                             conjugate(embed2(u, q0, q1, 3), before),
+                             1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CCX / CSWAP stride-based enumeration vs reference permutation
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Random unitary prefix producing a dense, structureless state. */
+qc::Circuit
+randomPrefix(std::size_t n, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    qc::Circuit c(n);
+    for (int layer = 0; layer < 3; ++layer) {
+        for (std::size_t q = 0; q < n; ++q) {
+            c.rx(rng.uniform(0.0, 3.0), static_cast<qc::Qubit>(q));
+            c.rz(rng.uniform(0.0, 3.0), static_cast<qc::Qubit>(q));
+        }
+        for (std::size_t q = layer % 2; q + 1 < n; q += 2)
+            c.cx(static_cast<qc::Qubit>(q),
+                 static_cast<qc::Qubit>(q + 1));
+    }
+    return c;
+}
+
+} // namespace
+
+TEST(StateVectorStrides, CcxMatchesReferencePermutation)
+{
+    constexpr std::size_t kN = 5;
+    std::uint64_t seed = 11;
+    for (qc::Qubit c0 = 0; c0 < kN; ++c0) {
+        for (qc::Qubit c1 = 0; c1 < kN; ++c1) {
+            for (qc::Qubit t = 0; t < kN; ++t) {
+                if (c0 == c1 || c0 == t || c1 == t)
+                    continue;
+                sim::StateVector sv(kN);
+                sv.applyUnitaryCircuit(randomPrefix(kN, seed));
+                std::vector<sim::Complex> before = sv.amplitudes();
+                sv.applyGate(qc::Gate(qc::GateType::CCX, {c0, c1, t}));
+
+                const std::size_t b0 = std::size_t{1} << c0;
+                const std::size_t b1 = std::size_t{1} << c1;
+                const std::size_t bt = std::size_t{1} << t;
+                for (std::size_t k = 0; k < before.size(); ++k) {
+                    sim::Complex expected =
+                        ((k & b0) && (k & b1)) ? before[k ^ bt]
+                                               : before[k];
+                    // pure permutation: exact, not approximate
+                    EXPECT_EQ(sv.amplitude(k), expected)
+                        << "c0=" << c0 << " c1=" << c1 << " t=" << t
+                        << " k=" << k;
+                }
+                ++seed;
+            }
+        }
+    }
+}
+
+TEST(StateVectorStrides, CswapMatchesReferencePermutation)
+{
+    constexpr std::size_t kN = 5;
+    std::uint64_t seed = 31;
+    for (qc::Qubit c = 0; c < kN; ++c) {
+        for (qc::Qubit a = 0; a < kN; ++a) {
+            for (qc::Qubit b = 0; b < kN; ++b) {
+                if (c == a || c == b || a == b)
+                    continue;
+                sim::StateVector sv(kN);
+                sv.applyUnitaryCircuit(randomPrefix(kN, seed));
+                std::vector<sim::Complex> before = sv.amplitudes();
+                sv.applyGate(qc::Gate(qc::GateType::CSWAP, {c, a, b}));
+
+                const std::size_t bc = std::size_t{1} << c;
+                const std::size_t ba = std::size_t{1} << a;
+                const std::size_t bb = std::size_t{1} << b;
+                for (std::size_t k = 0; k < before.size(); ++k) {
+                    std::size_t src = k;
+                    if (k & bc) {
+                        std::size_t bit_a = (k >> a) & 1;
+                        std::size_t bit_b = (k >> b) & 1;
+                        src = (k & ~(ba | bb)) | (bit_a ? bb : 0) |
+                              (bit_b ? ba : 0);
+                    }
+                    EXPECT_EQ(sv.amplitude(k), before[src])
+                        << "c=" << c << " a=" << a << " b=" << b
+                        << " k=" << k;
+                }
+                ++seed;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transpile memoization
+// ---------------------------------------------------------------------
+
+TEST(TranspileCache, HitMissAccountingAndIdenticalResults)
+{
+    transpile::clearTranspileCache();
+    core::GhzBenchmark ghz(5);
+    qc::Circuit circuit = ghz.circuits()[0];
+    device::Device dev = device::ibmLagos();
+
+    transpile::TranspileResult direct = transpile::transpile(circuit, dev);
+    transpile::TranspileResult first =
+        transpile::cachedTranspile(circuit, dev);
+    transpile::TranspileResult second =
+        transpile::cachedTranspile(circuit, dev);
+
+    transpile::CacheStats stats = transpile::transpileCacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+
+    EXPECT_EQ(qc::toQasm(first.circuit), qc::toQasm(direct.circuit));
+    EXPECT_EQ(qc::toQasm(second.circuit), qc::toQasm(direct.circuit));
+    EXPECT_EQ(first.initialLayout, direct.initialLayout);
+    EXPECT_EQ(second.finalLayout, direct.finalLayout);
+    EXPECT_EQ(second.swapsInserted, direct.swapsInserted);
+    EXPECT_EQ(second.twoQubitGateCount, direct.twoQubitGateCount);
+}
+
+TEST(TranspileCache, DistinguishesDevicesAndOptions)
+{
+    transpile::clearTranspileCache();
+    core::GhzBenchmark ghz(5);
+    qc::Circuit circuit = ghz.circuits()[0];
+
+    transpile::cachedTranspile(circuit, device::ibmLagos());
+    transpile::cachedTranspile(circuit, device::ibmCasablanca());
+    transpile::TranspileOptions no_opt;
+    no_opt.optimize = false;
+    transpile::cachedTranspile(circuit, device::ibmLagos(), no_opt);
+
+    transpile::CacheStats stats = transpile::transpileCacheStats();
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.hits, 0u);
+    transpile::clearTranspileCache();
+}
+
+// ---------------------------------------------------------------------
+// Parallel repetitions and the threaded Fig. 2 grid
+// ---------------------------------------------------------------------
+
+TEST(ParallelHarness, RepetitionScoresIdenticalAcrossJobCounts)
+{
+    core::GhzBenchmark ghz(4);
+    device::Device dev = device::ibmCasablanca();
+    core::HarnessOptions options;
+    options.shots = 200;
+    options.repetitions = 4;
+    options.seed = 777;
+
+    options.jobs = 1;
+    core::BenchmarkRun serial = core::runBenchmark(ghz, dev, options);
+    options.jobs = 3;
+    core::BenchmarkRun threaded = core::runBenchmark(ghz, dev, options);
+
+    ASSERT_EQ(serial.scores.size(), threaded.scores.size());
+    for (std::size_t i = 0; i < serial.scores.size(); ++i)
+        EXPECT_EQ(serial.scores[i], threaded.scores[i]) << "rep " << i;
+}
+
+namespace {
+
+bench::Scale
+miniScale()
+{
+    bench::Scale scale;
+    scale.defaultShots = 30;
+    scale.repetitions = 2;
+    scale.useCache = false;
+    return scale;
+}
+
+} // namespace
+
+TEST(ParallelGrid, ByteIdenticalToSerial)
+{
+    bench::Scale scale = miniScale();
+    scale.jobs = 1;
+    std::string serial = bench::serializeGrid(bench::computeFig2Grid(scale));
+    scale.jobs = 4;
+    std::string threaded =
+        bench::serializeGrid(bench::computeFig2Grid(scale));
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(ParallelGrid, ByteIdenticalToSerialUnderFaultInjection)
+{
+    bench::Scale scale = miniScale();
+    scale.faults = true;
+    scale.jobs = 1;
+    std::string serial = bench::serializeGrid(bench::computeFig2Grid(scale));
+    scale.jobs = 4;
+    std::string threaded =
+        bench::serializeGrid(bench::computeFig2Grid(scale));
+    EXPECT_EQ(serial, threaded);
+}
