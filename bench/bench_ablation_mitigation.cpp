@@ -16,6 +16,8 @@
 #include "stats/hellinger.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 namespace {
@@ -33,8 +35,9 @@ ghzScore(std::size_t n, const stats::Distribution &dist)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_ablation_mitigation", argc, argv);
     std::cout << "Ablation: readout mitigation (Open-Division style "
                  "post-processing)\nGHZ-5 on each device: raw Closed-"
                  "Division score vs the same counts after tensored "

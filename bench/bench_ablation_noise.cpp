@@ -17,11 +17,14 @@
 #include "stats/hellinger.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_ablation_noise", argc, argv);
     sim::NoiseModel noise;
     noise.enabled = true;
     noise.p1 = 0.01;

@@ -15,6 +15,8 @@
 #include "qc/schedule.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 namespace {
@@ -75,8 +77,9 @@ report(const core::Benchmark &bench, const device::Device &dev,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_ablation_transpile", argc, argv);
     std::cout << "Ablation: transpiler passes vs routing cost and score\n"
               << "(Vanilla QAOA needs all-to-all connectivity; ZZ-SWAP\n"
               << " QAOA is nearest-neighbour by construction)\n\n";

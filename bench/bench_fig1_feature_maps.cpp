@@ -16,6 +16,8 @@
 #include "core/features.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 namespace {
@@ -39,8 +41,9 @@ addRow(stats::TextTable &table, const core::Benchmark &bench)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_fig1_feature_maps", argc, argv);
     std::cout << "Figure 1: SupermarQ application feature maps\n"
               << "(PC = program communication, CD = critical-depth,\n"
               << " Ent = entanglement-ratio, Par = parallelism,\n"

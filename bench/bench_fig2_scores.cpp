@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     bench::Scale scale = bench::scaleFromArgs(argc, argv);
+    bench::ObsSession obs_session("bench_fig2_scores", scale);
     std::cout << "Figure 2: benchmark scores across devices ("
               << (scale.paperShots ? "paper shot counts"
                                    : std::to_string(scale.defaultShots) +

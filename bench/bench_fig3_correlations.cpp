@@ -44,6 +44,7 @@ int
 main(int argc, char **argv)
 {
     bench::Scale scale = bench::scaleFromArgs(argc, argv);
+    bench::ObsSession obs_session("bench_fig3_correlations", scale);
     std::cout << "Figure 3: R^2 correlation between application features "
                  "and system performance\n\n";
 

@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     bench::Scale scale = bench::scaleFromArgs(argc, argv);
+    bench::ObsSession obs_session("bench_fig4_regression", scale);
     const std::size_t device_index = 4; // IBM-Montreal
     constexpr std::size_t kEntanglementAxis = 2;
 

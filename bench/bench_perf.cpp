@@ -19,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -34,6 +35,8 @@
 #include "core/suites.hpp"
 #include "device/device.hpp"
 #include "fig_data.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qc/clifford.hpp"
 #include "qc/library.hpp"
 #include "qc/qasm.hpp"
@@ -201,6 +204,69 @@ BM_QasmRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_QasmRoundTrip);
 
+// Observability substrate: the cost of one record at an instrumented
+// site, with the layer on and (the common case) off. The `perf.micro.*`
+// names are scratch registrations, not part of the documented registry.
+
+void
+BM_ObsCounterAddEnabled(benchmark::State &state)
+{
+    obs::setMetricsEnabled(true);
+    obs::Counter &counter = obs::counter("perf.micro.counter");
+    for (auto _ : state)
+        counter.add();
+    obs::setMetricsEnabled(false);
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterAddEnabled)->ThreadRange(1, 8);
+
+void
+BM_ObsCounterAddDisabled(benchmark::State &state)
+{
+    obs::setMetricsEnabled(false);
+    obs::Counter &counter = obs::counter("perf.micro.counter");
+    for (auto _ : state)
+        counter.add();
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterAddDisabled);
+
+void
+BM_ObsHistogramRecord(benchmark::State &state)
+{
+    obs::setMetricsEnabled(true);
+    obs::Histogram &hist = obs::histogram("perf.micro.histogram");
+    std::uint64_t v = 0;
+    for (auto _ : state)
+        hist.record(++v);
+    obs::setMetricsEnabled(false);
+    benchmark::DoNotOptimize(hist.snapshot().count);
+}
+BENCHMARK(BM_ObsHistogramRecord)->ThreadRange(1, 8);
+
+void
+BM_ObsSpanScopeEnabled(benchmark::State &state)
+{
+    obs::setMetricsEnabled(true); // span-end records stage.*.ns
+    for (auto _ : state) {
+        SMQ_TRACE_SPAN("perf.micro.span");
+        benchmark::ClobberMemory();
+    }
+    obs::setMetricsEnabled(false);
+}
+BENCHMARK(BM_ObsSpanScopeEnabled);
+
+void
+BM_ObsSpanScopeDisabled(benchmark::State &state)
+{
+    obs::setMetricsEnabled(false);
+    for (auto _ : state) {
+        SMQ_TRACE_SPAN("perf.micro.span");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_ObsSpanScopeDisabled);
+
 // ---------------------------------------------------------------------
 // default mode: staged wall-clock timings + BENCH_perf.json
 // ---------------------------------------------------------------------
@@ -228,10 +294,19 @@ timeIt(Fn &&fn)
     return millisSince(start);
 }
 
+/** metrics-on vs metrics-off timing of a fixed simulation workload. */
+struct ObsOverhead
+{
+    double offMs = 0.0;
+    double onMs = 0.0;
+    double frac = 0.0; ///< (on - off) / off, clamped at 0
+    bool within2pct = true;
+};
+
 void
 writeJson(const std::string &path, const std::vector<Stage> &stages,
           std::size_t jobs, double serialMs, double parallelMs,
-          bool identical)
+          bool identical, const ObsOverhead &obs_overhead)
 {
     std::ofstream out(path, std::ios::trunc);
     out.precision(6);
@@ -243,7 +318,13 @@ writeJson(const std::string &path, const std::vector<Stage> &stages,
             << "\", \"wall_ms\": " << stages[i].wallMs << "}"
             << (i + 1 < stages.size() ? "," : "") << "\n";
     }
-    out << "  ],\n  \"fig2_grid\": {\n"
+    out << "  ],\n  \"obs_overhead\": {\n"
+        << "    \"metrics_off_ms\": " << obs_overhead.offMs << ",\n"
+        << "    \"metrics_on_ms\": " << obs_overhead.onMs << ",\n"
+        << "    \"overhead_frac\": " << obs_overhead.frac << ",\n"
+        << "    \"within_2pct\": "
+        << (obs_overhead.within2pct ? "true" : "false") << "\n  },\n"
+        << "  \"fig2_grid\": {\n"
         << "    \"serial_ms\": " << serialMs << ",\n"
         << "    \"parallel_ms\": " << parallelMs << ",\n"
         << "    \"speedup\": "
@@ -270,6 +351,8 @@ perfHarness(int argc, char **argv)
     }
     if (jobs == 0)
         jobs = util::defaultJobs();
+
+    bench::ObsSession obs_session("bench_perf", argc, argv);
 
     std::vector<Stage> stages;
     auto record = [&](const std::string &name, double ms) {
@@ -319,6 +402,48 @@ perfHarness(int argc, char **argv)
                    sim::run(ghz.circuits()[0], ro, rng));
            }));
 
+    // Observability overhead: the same trajectory workload with the
+    // metric registry off, then on. The instrumented sites in the
+    // simulator and pool are the real ones, so this measures what a
+    // production run pays for leaving --metrics enabled.
+    ObsOverhead obs_overhead;
+    {
+        core::GhzBenchmark ghz(12);
+        qc::Circuit circuit = ghz.circuits()[0];
+        sim::RunOptions ro;
+        ro.shots = 400;
+        ro.noise = device::ibmMontreal().noise;
+        auto workload = [&] {
+            stats::Rng rng(11);
+            benchmark::DoNotOptimize(sim::run(circuit, ro, rng));
+        };
+        workload(); // warm caches before timing
+        auto best_of = [&](bool enabled) {
+            obs::setMetricsEnabled(enabled);
+            double best = timeIt(workload);
+            for (int r = 1; r < 3; ++r)
+                best = std::min(best, timeIt(workload));
+            return best;
+        };
+        obs_overhead.offMs = best_of(false);
+        obs_overhead.onMs = best_of(true);
+        obs::setMetricsEnabled(true); // back on for the manifest
+        obs_overhead.frac =
+            obs_overhead.offMs > 0.0
+                ? std::max(0.0, (obs_overhead.onMs -
+                                 obs_overhead.offMs) /
+                                    obs_overhead.offMs)
+                : 0.0;
+        obs_overhead.within2pct = obs_overhead.frac <= 0.02;
+        std::cout << "  obs_overhead: off=" << obs_overhead.offMs
+                  << " ms, on=" << obs_overhead.onMs << " ms, frac="
+                  << obs_overhead.frac
+                  << (obs_overhead.within2pct
+                          ? ""
+                          : "  WARN: exceeds 2% budget")
+                  << "\n";
+    }
+
     // The Fig. 2 grid, serial then parallel, compared byte-for-byte.
     bench::Scale scale;
     scale.useCache = false;
@@ -348,8 +473,11 @@ perfHarness(int argc, char **argv)
               << (identical ? "byte-identical" : "DIFFER (BUG)") << "\n";
 
     writeJson(json_path, stages, jobs, serial_ms, parallel_ms,
-              identical);
+              identical, obs_overhead);
     std::cout << "wrote " << json_path << "\n";
+    obs_session.note("grid_identical", identical ? "true" : "false");
+    obs_session.note("obs_overhead_within_2pct",
+                     obs_overhead.within2pct ? "true" : "false");
     return identical ? 0 : 1;
 }
 

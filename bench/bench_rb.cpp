@@ -14,11 +14,14 @@
 #include "device/device.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_rb", argc, argv);
     std::cout << "Randomized benchmarking vs Table II calibration\n"
               << "(1q RB, sequence lengths 1..1024, 20 sequences x 400 "
                  "shots)\n\n";

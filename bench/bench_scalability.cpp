@@ -20,6 +20,8 @@
 #include "sim/stabilizer.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 namespace {
@@ -52,8 +54,9 @@ scoreAt(const core::Benchmark &bench, double p2, std::uint64_t shots,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_scalability", argc, argv);
     std::cout << "Scalability: Clifford benchmarks at 50-500 qubits via "
                  "the stabilizer engine\n(256 shots; 2q error rates "
                  "spanning today's hardware to early fault tolerance)\n\n";

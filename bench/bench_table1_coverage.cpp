@@ -12,11 +12,14 @@
 #include "geom/hull.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_table1_coverage", argc, argv);
     std::cout << "Table I: coverage comparison of benchmark suites\n"
               << "(volume of the convex hull of each suite's feature\n"
               << " vectors in the 6-D feature space; Sec. IV-G)\n\n";

@@ -10,6 +10,8 @@
 #include "device/device.hpp"
 #include "stats/table.hpp"
 
+#include "fig_data.hpp"
+
 using namespace smq;
 
 namespace {
@@ -34,8 +36,9 @@ topologyLabel(const device::Device &dev)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session("bench_table2_devices", argc, argv);
     std::cout << "Table II: characteristics of the evaluated QC systems\n"
               << "(times in microseconds, errors in percent; rows for\n"
               << " Casablanca/Guadalupe/Montreal/IonQ/AQT are Table II\n"

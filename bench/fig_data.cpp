@@ -7,6 +7,11 @@
 #include <iostream>
 #include <sstream>
 
+#include "device/device.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smq::bench {
@@ -30,9 +35,67 @@ scaleFromArgs(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
             scale.jobs = static_cast<std::size_t>(
                 std::strtoul(argv[i] + 7, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            scale.traceDir = argv[++i];
+        } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            scale.traceDir = argv[i] + 8;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            scale.metrics = true;
+        } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
+            scale.metrics = false;
         }
     }
     return scale;
+}
+
+ObsSession::ObsSession(std::string tool, const Scale &scale)
+    : tool_(std::move(tool)), scale_(scale)
+{
+    // One process = one manifest: counts from static initialisation or
+    // an earlier session must not leak into this run's rollups.
+    obs::resetMetrics();
+    obs::setMetricsEnabled(scale_.metrics);
+    if (!scale_.traceDir.empty())
+        obs::startTracing(scale_.traceDir);
+}
+
+ObsSession::ObsSession(std::string tool, int argc, char **argv)
+    : ObsSession(std::move(tool), scaleFromArgs(argc, argv))
+{
+}
+
+ObsSession::~ObsSession()
+{
+    if (!scale_.traceDir.empty())
+        obs::stopTracing();
+    obs::RunManifest manifest = obs::RunManifest::capture(tool_);
+    manifest.deviceTableVersion = device::kDeviceTableVersion;
+    manifest.shots = scale_.paperShots ? 0 : scale_.defaultShots;
+    manifest.repetitions = scale_.repetitions;
+    manifest.jobs = scale_.jobs;
+    manifest.faultsEnabled = scale_.faults;
+    manifest.faultSeed = scale_.faultSeed;
+    manifest.traceDir = scale_.traceDir;
+    manifest.extra = extra_;
+    if (scale_.paperShots)
+        manifest.extra.emplace("shots_mode", "paper");
+    if (!manifest.writeFile(manifestPath())) {
+        std::cerr << "warning: could not write " << manifestPath()
+                  << "\n";
+    }
+}
+
+void
+ObsSession::note(const std::string &key, const std::string &value)
+{
+    extra_[key] = value;
+}
+
+std::string
+ObsSession::manifestPath() const
+{
+    return tool_ + "_manifest.json";
 }
 
 namespace {
@@ -203,6 +266,9 @@ computeFig2Grid(const Scale &scale)
         return grid;
     }
     grid = Fig2Grid{};
+    SMQ_TRACE_SPAN(obs::names::kSpanGrid,
+                   obs::jsonField("jobs", static_cast<std::uint64_t>(
+                                              scale.jobs)));
     std::vector<device::Device> devices = device::allDevices();
     for (const device::Device &dev : devices)
         grid.deviceNames.push_back(dev.name);

@@ -8,6 +8,7 @@
 #ifndef SMQ_BENCH_FIG_DATA_HPP
 #define SMQ_BENCH_FIG_DATA_HPP
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,10 +43,62 @@ struct Scale
     std::size_t jobs = 1;
     /** Read/write the on-disk grid cache (tests disable it). */
     bool useCache = true;
+    /**
+     * Trace output directory (--trace DIR). When non-empty the
+     * regenerator records scoped spans and writes DIR/trace.json
+     * (Chrome about://tracing format) plus DIR/events.jsonl on exit.
+     * Empty = tracing off (the default; record sites cost one relaxed
+     * atomic load).
+     */
+    std::string traceDir;
+    /**
+     * Metric counters/histograms (--metrics / --no-metrics). The
+     * regenerators leave this on so their run manifests carry counter
+     * rollups; instrumentation never perturbs simulation results at
+     * any jobs value.
+     */
+    bool metrics = true;
 };
 
-/** Parse --paper / --quick / --faults / --jobs N command-line flags. */
+/**
+ * Parse --paper / --quick / --faults / --jobs N / --trace DIR /
+ * --metrics / --no-metrics command-line flags.
+ */
 Scale scaleFromArgs(int argc, char **argv);
+
+/**
+ * Per-binary observability session: one of these at the top of a
+ * regenerator's main() turns the Scale's observability knobs into
+ * registry + tracer state, and on destruction flushes the trace files
+ * and writes `<tool>_manifest.json` (schema smq-run-manifest-v1) next
+ * to the tool's output.
+ *
+ * The constructor resets the metric registry, so one process = one
+ * manifest's worth of counts.
+ */
+class ObsSession
+{
+public:
+    /** Session for a regenerator driven by a parsed Scale. */
+    ObsSession(std::string tool, const Scale &scale);
+    /** Convenience: parse the Scale from the command line. */
+    ObsSession(std::string tool, int argc, char **argv);
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+    /** Flushes traces and writes the manifest; never throws. */
+    ~ObsSession();
+
+    /** Attach a tool-specific fact to the manifest's `extra` map. */
+    void note(const std::string &key, const std::string &value);
+
+    /** Path the manifest will be written to: `<tool>_manifest.json`. */
+    std::string manifestPath() const;
+
+private:
+    std::string tool_;
+    Scale scale_;
+    std::map<std::string, std::string> extra_;
+};
 
 /** One benchmark instance evaluated across all devices. */
 struct GridRow

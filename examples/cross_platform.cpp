@@ -12,12 +12,15 @@
 #include "core/benchmarks/qaoa.hpp"
 #include "core/harness.hpp"
 #include "stats/table.hpp"
+#include "obs/metrics.hpp"
 
 using namespace smq;
 
 int
 main()
 {
+    obs::setMetricsEnabled(true);
+
     core::MerminBellBenchmark mermin(4);
     core::QaoaSwapBenchmark qaoa(4, 11);
 
@@ -48,5 +51,8 @@ main()
                  "superconducting devices pay in SWAPs; the nearest-\n"
                  "neighbour ZZ-SWAP ansatz levels the field (paper\n"
                  "Sec. VI-VII).\n";
+
+    core::makeRunManifest("cross_platform", options)
+        .writeFile("cross_platform_manifest.json");
     return 0;
 }

@@ -16,6 +16,7 @@
 #include "qc/library.hpp"
 #include "stats/hellinger.hpp"
 #include "stats/table.hpp"
+#include "obs/metrics.hpp"
 
 using namespace smq;
 
@@ -66,6 +67,8 @@ class WStateBenchmark : public core::Benchmark
 int
 main()
 {
+    obs::setMetricsEnabled(true);
+
     WStateBenchmark bench(5);
 
     // run through the standard harness, like any built-in benchmark
@@ -95,5 +98,8 @@ main()
     std::cout << "coverage volume with    W-state: " << after << "\n";
     std::cout << "(a useful new benchmark should expand — or at least "
                  "not shrink — the hull)\n";
+
+    core::makeRunManifest("custom_benchmark", options)
+        .writeFile("custom_benchmark_manifest.json");
     return 0;
 }

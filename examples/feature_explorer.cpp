@@ -18,6 +18,9 @@
 #include "geom/hull.hpp"
 #include "qc/qasm.hpp"
 #include "stats/table.hpp"
+#include "device/device.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 using namespace smq;
 
@@ -47,6 +50,8 @@ measure q[2] -> c[3];
 int
 main(int argc, char **argv)
 {
+    obs::setMetricsEnabled(true);
+
     std::string text;
     if (argc > 1) {
         std::ifstream in(argv[1]);
@@ -108,5 +113,9 @@ main(int argc, char **argv)
               << (inside ? "" : " — it stresses hardware in a way the "
                                 "suite does not yet cover")
               << "\n";
+
+    obs::RunManifest manifest = obs::RunManifest::capture("feature_explorer");
+    manifest.deviceTableVersion = device::kDeviceTableVersion;
+    manifest.writeFile("feature_explorer_manifest.json");
     return 0;
 }

@@ -19,15 +19,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 
+#include "core/harness.hpp"
 #include "core/suites.hpp"
 #include "jobs/report.hpp"
+#include "obs/metrics.hpp"
 
 using namespace smq;
 
 int
 main(int argc, char **argv)
 {
+    obs::setMetricsEnabled(true);
+
     std::uint64_t seed = 7;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0)
@@ -59,10 +64,14 @@ main(int argc, char **argv)
               << ", 1 simulated hour budget):\n\n"
               << jobs::renderReport(report);
 
-    std::cout << "\nper-cell event trails:\n";
+    // Event trails. Only scoreable cells carry a salvage trail worth
+    // reading shot counts from; for the rest the detail narrates why
+    // nothing was salvaged, so report it under the failure cause
+    // instead of presenting it as partial data.
+    std::cout << "\nper-cell event trails (salvaged cells):\n";
     for (const jobs::ReportRow &row : report.rows) {
         for (const core::BenchmarkRun &run : row.runs) {
-            if (run.detail.empty())
+            if (run.detail.empty() || !core::scoreable(run.status))
                 continue;
             std::cout << "  " << run.benchmark << " @ " << run.device
                       << " [" << core::toString(run.status) << "/"
@@ -70,5 +79,43 @@ main(int argc, char **argv)
                       << "]: " << run.detail << "\n";
         }
     }
+    std::cout << "\nunsalvageable cells:\n";
+    for (const jobs::ReportRow &row : report.rows) {
+        for (const core::BenchmarkRun &run : row.runs) {
+            if (run.detail.empty() || core::scoreable(run.status))
+                continue;
+            std::cout << "  " << run.benchmark << " @ " << run.device
+                      << " [" << core::toString(run.status) << "/"
+                      << core::causeToken(run.cause)
+                      << "]: " << run.detail << "\n";
+        }
+    }
+
+    // Provenance: write the manifest with a per-status tally, then read
+    // it back through the parser — the footer below comes from the
+    // file, proving the round trip the tooling relies on.
+    obs::RunManifest manifest =
+        core::makeRunManifest("job_report", options.harness);
+    manifest.seed = seed;
+    manifest.faultsEnabled = true;
+    manifest.faultSeed = seed;
+    std::map<std::string, std::size_t> tally;
+    for (const jobs::ReportRow &row : report.rows) {
+        for (const core::BenchmarkRun &run : row.runs)
+            ++tally[core::toString(run.status)];
+    }
+    for (const auto &[status, count] : tally)
+        manifest.extra["cells_" + status] = std::to_string(count);
+    const std::string manifest_path = "job_report_manifest.json";
+    if (!manifest.writeFile(manifest_path)) {
+        std::cerr << "error: could not write " << manifest_path << "\n";
+        return 1;
+    }
+    obs::RunManifest readback = obs::RunManifest::readFile(manifest_path);
+    std::cout << "\nprovenance (read back from " << manifest_path
+              << "): tool=" << readback.tool << ", git=" << readback.gitRev
+              << ", devices=" << readback.deviceTableVersion
+              << ", fault seed=" << readback.faultSeed << ", attempts="
+              << readback.counters["jobs.retry.attempts"] << "\n";
     return 0;
 }

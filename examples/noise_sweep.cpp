@@ -13,12 +13,17 @@
 #include "core/benchmarks/mermin_bell.hpp"
 #include "sim/runner.hpp"
 #include "stats/table.hpp"
+#include "device/device.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 using namespace smq;
 
 int
 main()
 {
+    obs::setMetricsEnabled(true);
+
     // a generic NISQ-flavoured base model
     sim::NoiseModel base;
     base.enabled = true;
@@ -66,5 +71,9 @@ main()
                  "the noise scale — the expected behaviour the artifact\n"
                  "notebook demonstrates before trusting any cross-\n"
                  "platform comparison.\n";
+
+    obs::RunManifest manifest = obs::RunManifest::capture("noise_sweep");
+    manifest.deviceTableVersion = device::kDeviceTableVersion;
+    manifest.writeFile("noise_sweep_manifest.json");
     return 0;
 }

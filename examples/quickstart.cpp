@@ -14,12 +14,15 @@
 #include "core/features.hpp"
 #include "core/harness.hpp"
 #include "qc/qasm.hpp"
+#include "obs/metrics.hpp"
 
 using namespace smq;
 
 int
 main()
 {
+    obs::setMetricsEnabled(true);
+
     // 1. pick a benchmark: GHZ state preparation on 5 qubits
     core::GhzBenchmark bench(5);
     qc::Circuit circuit = bench.circuits()[0];
@@ -54,5 +57,8 @@ main()
               << noisy.summary.stddev << "  (" << noisy.swapsInserted
               << " swaps, " << noisy.physicalTwoQubitGates
               << " native 2q gates)\n";
+
+    core::makeRunManifest("quickstart", options)
+        .writeFile("quickstart_manifest.json");
     return 0;
 }

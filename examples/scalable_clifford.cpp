@@ -14,12 +14,17 @@
 #include "core/benchmarks/ghz.hpp"
 #include "sim/stabilizer.hpp"
 #include "stats/table.hpp"
+#include "device/device.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 using namespace smq;
 
 int
 main()
 {
+    obs::setMetricsEnabled(true);
+
     const std::size_t n = 200;
     core::GhzBenchmark bench(n);
     qc::Circuit circuit = bench.circuits()[0];
@@ -56,5 +61,9 @@ main()
     std::cout << "A dense state-vector simulation of " << n
               << " qubits would need 2^" << n
               << " amplitudes; the tableau engine needs O(n^2) bits.\n";
+
+    obs::RunManifest manifest = obs::RunManifest::capture("scalable_clifford");
+    manifest.deviceTableVersion = device::kDeviceTableVersion;
+    manifest.writeFile("scalable_clifford_manifest.json");
     return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
 #include "transpile/cache.hpp"
 #include "util/thread_pool.hpp"
 
@@ -11,6 +14,9 @@ PreparedCircuits
 prepareCircuits(const Benchmark &benchmark, const device::Device &device,
                 const HarnessOptions &options)
 {
+    SMQ_TRACE_SPAN(obs::names::kSpanPrepare,
+                   obs::jsonField("benchmark", benchmark.name()) + "," +
+                       obs::jsonField("device", device.name));
     // Transpile each circuit once (the Closed-Division pipeline is
     // deterministic); repetitions then differ by trajectory sampling,
     // which captures shot-to-shot and run-to-run noise variation.
@@ -57,12 +63,19 @@ BenchmarkRun
 runBenchmark(const Benchmark &benchmark, const device::Device &device,
              const HarnessOptions &options)
 {
+    static obs::Counter &runs_counter =
+        obs::counter(obs::names::kHarnessRuns);
+    static obs::Counter &too_large_counter =
+        obs::counter(obs::names::kHarnessTooLarge);
+    runs_counter.add();
+
     BenchmarkRun run;
     run.benchmark = benchmark.name();
     run.device = device.name;
     run.plannedRepetitions = options.repetitions;
 
     if (benchmark.numQubits() > device.numQubits()) {
+        too_large_counter.add();
         run.status = RunStatus::TooLarge;
         run.cause = FailureCause::RegisterTooWide;
         run.tooLarge = true;
@@ -72,6 +85,7 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
     PreparedCircuits prepared =
         prepareCircuits(benchmark, device, options);
     if (prepared.tooLarge) {
+        too_large_counter.add();
         run.status = RunStatus::TooLarge;
         run.cause = FailureCause::SimulatorLimit;
         run.tooLarge = true;
@@ -83,9 +97,18 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
     // Every repetition owns a seed-derived stream, so the loop can fan
     // out across worker threads and still produce the scores a serial
     // run would: each slot is written by exactly one task.
+    static obs::Counter &reps_counter =
+        obs::counter(obs::names::kHarnessRepetitions);
     run.scores.assign(options.repetitions, 0.0);
     util::parallelFor(
         options.jobs, options.repetitions, [&](std::size_t rep) {
+            SMQ_TRACE_SPAN(
+                obs::names::kSpanRepetition,
+                obs::jsonField("benchmark", run.benchmark) + "," +
+                    obs::jsonField("device", run.device) + "," +
+                    obs::jsonField("rep",
+                                   static_cast<std::uint64_t>(rep)));
+            reps_counter.add();
             stats::Rng rng(util::deriveTaskSeed(options.seed, rep));
             run.scores[rep] = runRepetition(benchmark, prepared,
                                             device.noise, options.shots,
@@ -117,6 +140,18 @@ noiselessScore(const Benchmark &benchmark, std::uint64_t shots,
         counts.push_back(sim::run(circuit, ro, rng));
     }
     return benchmark.score(counts);
+}
+
+obs::RunManifest
+makeRunManifest(const std::string &tool, const HarnessOptions &options)
+{
+    obs::RunManifest manifest = obs::RunManifest::capture(tool);
+    manifest.deviceTableVersion = device::kDeviceTableVersion;
+    manifest.seed = options.seed;
+    manifest.shots = options.shots;
+    manifest.repetitions = options.repetitions;
+    manifest.jobs = options.jobs;
+    return manifest;
 }
 
 } // namespace smq::core

@@ -20,6 +20,7 @@
 #include "core/benchmark.hpp"
 #include "core/status.hpp"
 #include "device/device.hpp"
+#include "obs/manifest.hpp"
 #include "sim/runner.hpp"
 #include "stats/descriptive.hpp"
 #include "transpile/transpiler.hpp"
@@ -116,6 +117,16 @@ BenchmarkRun runBenchmark(const Benchmark &benchmark,
 double noiselessScore(const Benchmark &benchmark, std::uint64_t shots,
                       std::uint64_t seed = 7,
                       std::size_t maxSimQubits = 22);
+
+/**
+ * Capture the current metric-registry state into a run manifest whose
+ * configuration block reflects @p options, stamped with the built-in
+ * device table version. The standard provenance record for programs
+ * driven by HarnessOptions (the examples); the regenerators use
+ * bench::ObsSession, which does the same from a bench::Scale.
+ */
+obs::RunManifest makeRunManifest(const std::string &tool,
+                                 const HarnessOptions &options);
 
 } // namespace smq::core
 

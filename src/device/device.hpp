@@ -21,6 +21,15 @@
 
 namespace smq::device {
 
+/**
+ * Version tag of the built-in device table (the nine QPU models and
+ * their Table II calibration values). Bump whenever a topology,
+ * calibration number, or capability entry changes; run manifests
+ * record it so archived results can be matched to the device data
+ * they were produced with.
+ */
+inline constexpr const char *kDeviceTableVersion = "smq-devices-v1";
+
 /** Native-gate family determining the transpiler's final basis. */
 enum class NativeFamily {
     IBM,  ///< {rz, sx, x} + CX

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
+
 namespace smq::jobs {
 
 namespace {
@@ -36,11 +40,36 @@ appendEvent(std::string &detail, const std::string &event)
     detail += event;
 }
 
-} // namespace
+/** Bump the per-status cell counter for a finished job. */
+void
+countCellStatus(core::RunStatus status)
+{
+    const char *name = nullptr;
+    switch (status) {
+      case core::RunStatus::Ok:
+        name = obs::names::kJobsCellsOk;
+        break;
+      case core::RunStatus::Partial:
+        name = obs::names::kJobsCellsPartial;
+        break;
+      case core::RunStatus::Skipped:
+        name = obs::names::kJobsCellsSkipped;
+        break;
+      case core::RunStatus::TooLarge:
+        name = obs::names::kJobsCellsTooLarge;
+        break;
+      case core::RunStatus::Failed:
+        name = obs::names::kJobsCellsFailed;
+        break;
+    }
+    if (name != nullptr)
+        obs::counter(name).add();
+}
 
+/** runJob body; the public wrapper adds the span and cell counters. */
 core::BenchmarkRun
-runJob(const core::Benchmark &benchmark, const device::Device &device,
-       const JobOptions &options, SweepContext &ctx)
+runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
+           const JobOptions &options, SweepContext &ctx)
 {
     using core::FailureCause;
     using core::RunStatus;
@@ -136,9 +165,16 @@ runJob(const core::Benchmark &benchmark, const device::Device &device,
             ctx.clock().advance(options.cost.submitOverheadUs +
                                 options.cost.queueWaitUs);
             ++run.attempts;
+            static obs::Counter &attempt_counter =
+                obs::counter(obs::names::kJobsRetryAttempts);
+            attempt_counter.add();
 
             if (decision.kind == FaultKind::TransientFault ||
                 decision.kind == FaultKind::QueueTimeout) {
+                obs::counter(decision.kind == FaultKind::TransientFault
+                                 ? obs::names::kJobsFaultsTransient
+                                 : obs::names::kJobsFaultsQueueTimeout)
+                    .add();
                 appendEvent(run.detail,
                             attemptTag(rep, attempt) + ": " +
                                 core::causeToken(
@@ -157,6 +193,7 @@ runJob(const core::Benchmark &benchmark, const device::Device &device,
 
             std::uint64_t eff_shots = shots;
             if (decision.kind == FaultKind::ShotTruncation) {
+                obs::counter(obs::names::kJobsFaultsShotTruncation).add();
                 eff_shots = std::max<std::uint64_t>(
                     1, static_cast<std::uint64_t>(
                            static_cast<double>(shots) *
@@ -214,6 +251,28 @@ runJob(const core::Benchmark &benchmark, const device::Device &device,
         run.cause = FailureCause::ShotTruncation;
     } else {
         run.status = RunStatus::Ok;
+    }
+    return run;
+}
+
+} // namespace
+
+core::BenchmarkRun
+runJob(const core::Benchmark &benchmark, const device::Device &device,
+       const JobOptions &options, SweepContext &ctx)
+{
+    core::BenchmarkRun run;
+    {
+        SMQ_TRACE_SPAN(obs::names::kSpanJob,
+                       obs::jsonField("benchmark", benchmark.name()) +
+                           "," + obs::jsonField("device", device.name));
+        run = runJobImpl(benchmark, device, options, ctx);
+    }
+    countCellStatus(run.status);
+    if (run.status == core::RunStatus::Partial &&
+        !run.scores.empty()) {
+        obs::counter(obs::names::kJobsSalvagedRepetitions)
+            .add(run.scores.size());
     }
     return run;
 }

@@ -1,0 +1,176 @@
+#include "obs/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/names.hpp"
+
+namespace smq::obs {
+
+namespace {
+
+/** "stage.<name>.ns" -> "<name>", or empty when not a stage metric. */
+std::string
+stageNameOf(const std::string &histogram_name)
+{
+    const std::string prefix = names::kStageHistogramPrefix;
+    const std::string suffix = names::kStageHistogramSuffix;
+    if (histogram_name.size() <= prefix.size() + suffix.size())
+        return {};
+    if (histogram_name.compare(0, prefix.size(), prefix) != 0)
+        return {};
+    if (histogram_name.compare(histogram_name.size() - suffix.size(),
+                               suffix.size(), suffix) != 0)
+        return {};
+    return histogram_name.substr(
+        prefix.size(),
+        histogram_name.size() - prefix.size() - suffix.size());
+}
+
+} // namespace
+
+RunManifest
+RunManifest::capture(std::string tool)
+{
+    RunManifest m;
+    m.tool = std::move(tool);
+#ifdef SMQ_GIT_REV
+    m.gitRev = SMQ_GIT_REV;
+#endif
+    MetricsSnapshot snap = snapshotMetrics();
+    for (const auto &[name, value] : snap.counters) {
+        if (value != 0)
+            m.counters[name] = value;
+    }
+    for (const auto &[name, hist] : snap.histograms) {
+        std::string stage = stageNameOf(name);
+        if (stage.empty() || hist.count == 0)
+            continue;
+        m.stages[stage] =
+            StageRollup{hist.count, hist.sum, hist.min, hist.max};
+    }
+    m.cacheHits = snap.counters.count(names::kTranspileCacheHit)
+                      ? snap.counters.at(names::kTranspileCacheHit)
+                      : 0;
+    m.cacheMisses = snap.counters.count(names::kTranspileCacheMiss)
+                        ? snap.counters.at(names::kTranspileCacheMiss)
+                        : 0;
+    return m;
+}
+
+std::string
+RunManifest::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"" << escapeJson(schema) << "\",\n";
+    out << "  \"tool\": \"" << escapeJson(tool) << "\",\n";
+    out << "  \"git_rev\": \"" << escapeJson(gitRev) << "\",\n";
+    out << "  \"device_table_version\": \""
+        << escapeJson(deviceTableVersion) << "\",\n";
+    out << "  \"config\": {\n";
+    out << "    \"seed\": " << seed << ",\n";
+    out << "    \"shots\": " << shots << ",\n";
+    out << "    \"repetitions\": " << repetitions << ",\n";
+    out << "    \"jobs\": " << jobs << ",\n";
+    out << "    \"faults\": " << (faultsEnabled ? "true" : "false")
+        << ",\n";
+    out << "    \"fault_seed\": " << faultSeed << ",\n";
+    out << "    \"trace_dir\": \"" << escapeJson(traceDir) << "\"\n";
+    out << "  },\n";
+    out << "  \"transpile_cache\": {\"hits\": " << cacheHits
+        << ", \"misses\": " << cacheMisses << "},\n";
+    out << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out << (first ? "\n" : ",\n") << "    \"" << escapeJson(name)
+            << "\": " << value;
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+    out << "  \"stages\": {";
+    first = true;
+    for (const auto &[name, s] : stages) {
+        out << (first ? "\n" : ",\n") << "    \"" << escapeJson(name)
+            << "\": {\"count\": " << s.count
+            << ", \"total_ns\": " << s.totalNs
+            << ", \"min_ns\": " << s.minNs
+            << ", \"max_ns\": " << s.maxNs << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+    out << "  \"extra\": {";
+    first = true;
+    for (const auto &[key, value] : extra) {
+        out << (first ? "\n" : ",\n") << "    \"" << escapeJson(key)
+            << "\": \"" << escapeJson(value) << "\"";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n";
+    out << "}\n";
+    return out.str();
+}
+
+bool
+RunManifest::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+RunManifest
+RunManifest::fromJson(const std::string &json)
+{
+    JsonValue root = parseJson(json);
+    RunManifest m;
+    m.schema = root.at("schema").asString();
+    if (m.schema != kManifestSchema)
+        throw std::runtime_error("manifest: unknown schema '" +
+                                 m.schema + "'");
+    m.tool = root.at("tool").asString();
+    m.gitRev = root.at("git_rev").asString();
+    m.deviceTableVersion = root.at("device_table_version").asString();
+
+    const JsonValue &config = root.at("config");
+    m.seed = config.at("seed").asU64();
+    m.shots = config.at("shots").asU64();
+    m.repetitions = config.at("repetitions").asU64();
+    m.jobs = config.at("jobs").asU64();
+    m.faultsEnabled = config.at("faults").asBool();
+    m.faultSeed = config.at("fault_seed").asU64();
+    m.traceDir = config.at("trace_dir").asString();
+
+    const JsonValue &cache = root.at("transpile_cache");
+    m.cacheHits = cache.at("hits").asU64();
+    m.cacheMisses = cache.at("misses").asU64();
+
+    for (const auto &[name, value] : root.at("counters").object)
+        m.counters[name] = value.asU64();
+    for (const auto &[name, value] : root.at("stages").object) {
+        m.stages[name] = StageRollup{value.at("count").asU64(),
+                                     value.at("total_ns").asU64(),
+                                     value.at("min_ns").asU64(),
+                                     value.at("max_ns").asU64()};
+    }
+    for (const auto &[key, value] : root.at("extra").object)
+        m.extra[key] = value.asString();
+    return m;
+}
+
+RunManifest
+RunManifest::readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("manifest: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromJson(buffer.str());
+}
+
+} // namespace smq::obs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Run manifests: the provenance record written next to every bench
+ * and example output.
+ *
+ * A RunManifest captures what produced a set of numbers — seed, shot
+ * and repetition counts, `--jobs` width, fault-injection config,
+ * device table version, git revision — plus the outcome-side facts
+ * the observability layer accumulated: transpile-cache hit/miss
+ * counts, every registered counter, and per-stage wall-time rollups
+ * from the span histograms. The JSON schema is documented (and
+ * worked through) in docs/OBSERVABILITY.md; fromJson()/readFile()
+ * parse it back, so manifests double as machine-readable inputs for
+ * tooling and the `ctest -L obs` round-trip tests.
+ *
+ * Manifests are observational: writing one never mutates metric
+ * state, and two manifests captured around the same work differ only
+ * in what the run actually did.
+ */
+
+#ifndef SMQ_OBS_MANIFEST_HPP
+#define SMQ_OBS_MANIFEST_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace smq::obs {
+
+/** Wall-time rollup of one span stage (from `stage.<name>.ns`). */
+struct StageRollup
+{
+    std::uint64_t count = 0;   ///< completed spans
+    std::uint64_t totalNs = 0; ///< summed duration
+    std::uint64_t minNs = 0;
+    std::uint64_t maxNs = 0;
+};
+
+/** Schema identifier written into (and required from) every file. */
+inline constexpr const char *kManifestSchema = "smq-run-manifest-v1";
+
+/** The provenance record for one bench/example invocation. */
+struct RunManifest
+{
+    std::string schema = kManifestSchema;
+    std::string tool;               ///< producing binary, e.g. "bench_fig2_scores"
+    std::string gitRev = "unknown"; ///< source revision, if known at build time
+    std::string deviceTableVersion; ///< device::kDeviceTableVersion of the run
+
+    // --- execution configuration ------------------------------------
+    std::uint64_t seed = 0;
+    std::uint64_t shots = 0;
+    std::uint64_t repetitions = 0;
+    std::uint64_t jobs = 0;
+    bool faultsEnabled = false;
+    std::uint64_t faultSeed = 0;
+    std::string traceDir; ///< empty = tracing was off
+
+    // --- observed outcome --------------------------------------------
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, StageRollup> stages;
+    /** Tool-specific free-form facts (status tallies, scale notes). */
+    std::map<std::string, std::string> extra;
+
+    /**
+     * Snapshot the registry into a manifest: counters with non-zero
+     * values, stage rollups from the `stage.*.ns` histograms, and the
+     * build-time git revision. Configuration fields are left for the
+     * caller, which knows them.
+     */
+    static RunManifest capture(std::string tool);
+
+    /** Serialize to the documented JSON schema (stable key order). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path. @return false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /**
+     * Parse a manifest. @throws std::runtime_error on malformed JSON
+     * or a missing/mismatched schema field.
+     */
+    static RunManifest fromJson(const std::string &json);
+
+    /** readFile(path) = fromJson(contents). @throws on I/O failure. */
+    static RunManifest readFile(const std::string &path);
+};
+
+} // namespace smq::obs
+
+#endif // SMQ_OBS_MANIFEST_HPP

@@ -1,0 +1,222 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace smq::obs {
+
+namespace detail {
+
+std::size_t
+threadShard()
+{
+    // Threads take round-robin shard slots on first use; a thread
+    // keeps its slot for its lifetime, so two threads only share a
+    // cell when more than kMetricShards threads exist.
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t shard =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return shard;
+}
+
+} // namespace detail
+
+namespace {
+
+/**
+ * The process-wide registry. Lookup is sharded by name hash: each
+ * shard owns a mutex plus name -> metric maps, and metric objects
+ * live in node-stable deques so handed-out references never move.
+ */
+class Registry
+{
+  public:
+    static Registry &instance()
+    {
+        static Registry r;
+        return r;
+    }
+
+    Counter &counter(std::string_view name)
+    {
+        return lookup(name, counters_,
+                      [](Shard &s) -> auto & { return s.counters; });
+    }
+    Gauge &gauge(std::string_view name)
+    {
+        return lookup(name, gauges_,
+                      [](Shard &s) -> auto & { return s.gauges; });
+    }
+    Histogram &histogram(std::string_view name)
+    {
+        return lookup(name, histograms_,
+                      [](Shard &s) -> auto & { return s.histograms; });
+    }
+
+    MetricsSnapshot snapshot()
+    {
+        MetricsSnapshot snap;
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (auto &[name, c] : shard.counters)
+                snap.counters[name] = c->value();
+            for (auto &[name, g] : shard.gauges)
+                snap.gauges[name] = g->value();
+            for (auto &[name, h] : shard.histograms)
+                snap.histograms[name] = h->snapshot();
+        }
+        return snap;
+    }
+
+    void reset()
+    {
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (auto &[name, c] : shard.counters)
+                c->reset();
+            for (auto &[name, g] : shard.gauges)
+                g->reset();
+            for (auto &[name, h] : shard.histograms)
+                h->reset();
+        }
+    }
+
+  private:
+    static constexpr std::size_t kLockShards = 8;
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<std::string, Counter *> counters;
+        std::unordered_map<std::string, Gauge *> gauges;
+        std::unordered_map<std::string, Histogram *> histograms;
+    };
+
+    Shard &shardFor(std::string_view name)
+    {
+        return shards_[std::hash<std::string_view>{}(name) %
+                       kLockShards];
+    }
+
+    template <typename M, typename MapOf>
+    M &lookup(std::string_view name, std::deque<M> &storage, MapOf mapOf)
+    {
+        Shard &shard = shardFor(name);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto &map = mapOf(shard);
+        auto it = map.find(std::string(name));
+        if (it != map.end())
+            return *it->second;
+        M *fresh = nullptr;
+        {
+            // The deques are shared across lock shards, so emplacing
+            // takes the (cold) storage mutex; deque growth never
+            // moves existing nodes, keeping old references valid.
+            std::lock_guard<std::mutex> storage_lock(storageMutex_);
+            fresh = &storage.emplace_back(std::string(name));
+        }
+        map.emplace(std::string(name), fresh);
+        return *fresh;
+    }
+
+    std::array<Shard, kLockShards> shards_;
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+    std::mutex storageMutex_;
+};
+
+} // namespace
+
+void
+Histogram::record(std::uint64_t value)
+{
+    if (!metricsEnabled())
+        return;
+    Cell &cell = cells_[detail::threadShard()];
+    cell.count.fetch_add(1, std::memory_order_relaxed);
+    cell.sum.fetch_add(value, std::memory_order_relaxed);
+    // CAS loops for min/max: rare retries, still order-independent.
+    std::uint64_t seen = cell.min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !cell.min.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed)) {
+    }
+    seen = cell.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !cell.max.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed)) {
+    }
+    const std::size_t bucket =
+        value == 0 ? 0
+                   : static_cast<std::size_t>(std::bit_width(value));
+    cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.min = UINT64_MAX;
+    for (const Cell &cell : cells_) {
+        snap.count += cell.count.load(std::memory_order_relaxed);
+        snap.sum += cell.sum.load(std::memory_order_relaxed);
+        snap.min = std::min(snap.min,
+                            cell.min.load(std::memory_order_relaxed));
+        snap.max = std::max(snap.max,
+                            cell.max.load(std::memory_order_relaxed));
+        for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+            snap.buckets[b] +=
+                cell.buckets[b].load(std::memory_order_relaxed);
+    }
+    if (snap.count == 0)
+        snap.min = 0;
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (Cell &cell : cells_) {
+        cell.count.store(0, std::memory_order_relaxed);
+        cell.sum.store(0, std::memory_order_relaxed);
+        cell.min.store(UINT64_MAX, std::memory_order_relaxed);
+        cell.max.store(0, std::memory_order_relaxed);
+        for (auto &b : cell.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+Counter &
+counter(std::string_view name)
+{
+    return Registry::instance().counter(name);
+}
+
+Gauge &
+gauge(std::string_view name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Histogram &
+histogram(std::string_view name)
+{
+    return Registry::instance().histogram(name);
+}
+
+MetricsSnapshot
+snapshotMetrics()
+{
+    return Registry::instance().snapshot();
+}
+
+void
+resetMetrics()
+{
+    Registry::instance().reset();
+}
+
+} // namespace smq::obs

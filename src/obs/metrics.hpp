@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Lock-sharded metrics registry: named counters, gauges and
+ * histograms with order-independent aggregation.
+ *
+ * Design constraints (see DESIGN.md section 8):
+ *  - **Zero overhead when disabled.** Every record path first reads
+ *    one relaxed atomic bool; nothing else happens while it is false.
+ *    The whole layer is off by default — benches and examples opt in.
+ *  - **No hot-path locks.** Looking a metric *up* by name takes a
+ *    shard mutex, but emitting sites do that once (static local
+ *    reference) and then record through per-thread-sharded relaxed
+ *    atomics, so concurrent increments never contend on a cache line.
+ *  - **Order-independent aggregation.** All accumulated state is
+ *    integral (counts, integer sums, min/max, log2 bucket counts), so
+ *    a snapshot is a pure function of the multiset of recorded values
+ *    — never of which thread recorded what, or in which order. The
+ *    `ctest -L obs` suite verifies this under concurrency.
+ *
+ * Metric handles returned by counter()/gauge()/histogram() are valid
+ * for the life of the process; resetMetrics() zeroes values but never
+ * invalidates a handle. Construct metrics only through those lookup
+ * functions — the public constructors exist for the registry's
+ * node-stable storage, not for standalone use.
+ */
+
+#ifndef SMQ_OBS_METRICS_HPP
+#define SMQ_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace smq::obs {
+
+namespace detail {
+inline std::atomic<bool> g_metricsEnabled{false};
+/** Stable small shard index for the calling thread. */
+std::size_t threadShard();
+} // namespace detail
+
+/** Number of independent accumulation cells per metric. */
+inline constexpr std::size_t kMetricShards = 16;
+
+/** Turn the metrics registry on or off (off = zero overhead). */
+inline void
+setMetricsEnabled(bool on)
+{
+    detail::g_metricsEnabled.store(on, std::memory_order_relaxed);
+}
+
+/** Whether record paths currently accumulate. */
+inline bool
+metricsEnabled()
+{
+    return detail::g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * A monotonically increasing event count. Increments are relaxed
+ * atomic adds on a per-thread shard; value() sums the shards.
+ */
+class Counter
+{
+  public:
+    /** @internal Registered by the registry; use obs::counter(). */
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p delta events (no-op while metrics are disabled). */
+    void add(std::uint64_t delta = 1)
+    {
+        if (!metricsEnabled())
+            return;
+        cells_[detail::threadShard()].v.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    /** Total across all shards. */
+    std::uint64_t value() const
+    {
+        std::uint64_t total = 0;
+        for (const Cell &c : cells_)
+            total += c.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /** Zero the accumulated count (handles stay valid). */
+    void reset()
+    {
+        for (Cell &c : cells_)
+            c.v.store(0, std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct alignas(64) Cell
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::string name_;
+    std::array<Cell, kMetricShards> cells_;
+};
+
+/**
+ * A last-written point-in-time value. Gauges are for run
+ * configuration facts (pool width, thread count) that are set once
+ * per run, not for concurrent accumulation — last write wins.
+ */
+class Gauge
+{
+  public:
+    /** @internal Registered by the registry; use obs::gauge(). */
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    /** Record the current value (no-op while metrics are disabled). */
+    void set(std::int64_t value)
+    {
+        if (!metricsEnabled())
+            return;
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the stored value (handles stay valid). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Snapshot of one histogram's order-independent accumulators. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0; ///< integral, so the total is exact
+    std::uint64_t min = 0; ///< 0 when count == 0
+    std::uint64_t max = 0;
+    /** bucket[i] counts values v with floor(log2(v)) == i-1 (v>=1);
+     *  bucket[0] counts v == 0. */
+    std::array<std::uint64_t, 65> buckets{};
+
+    double mean() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+};
+
+/**
+ * A distribution over non-negative integer values (durations are
+ * recorded in nanoseconds). Accumulates count/sum/min/max plus log2
+ * buckets; everything integral, so merging shards in any order yields
+ * the same snapshot.
+ */
+class Histogram
+{
+  public:
+    /** @internal Registered by the registry; use obs::histogram(). */
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+    /** Record one observation (no-op while metrics are disabled). */
+    void record(std::uint64_t value);
+
+    /** Merged view across all shards. */
+    HistogramSnapshot snapshot() const;
+
+    /** Zero the accumulated state (handles stay valid). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct alignas(64) Cell
+    {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> min{UINT64_MAX};
+        std::atomic<std::uint64_t> max{0};
+        std::array<std::atomic<std::uint64_t>, 65> buckets{};
+    };
+    std::string name_;
+    std::array<Cell, kMetricShards> cells_;
+};
+
+/**
+ * Look up (registering on first use) the counter named @p name. The
+ * returned reference is stable for the life of the process; emitting
+ * sites should capture it once in a static local.
+ */
+Counter &counter(std::string_view name);
+
+/** Look up (registering on first use) the gauge named @p name. */
+Gauge &gauge(std::string_view name);
+
+/** Look up (registering on first use) the histogram named @p name. */
+Histogram &histogram(std::string_view name);
+
+/** Name-sorted point-in-time view of every registered metric. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/** Snapshot all registered metrics (deterministic name order). */
+MetricsSnapshot snapshotMetrics();
+
+/**
+ * Zero every registered metric's accumulated state. Registrations
+ * (and handles held by emitting sites) stay valid.
+ */
+void resetMetrics();
+
+} // namespace smq::obs
+
+#endif // SMQ_OBS_METRICS_HPP

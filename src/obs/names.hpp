@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The closed registry of metric and span names.
+ *
+ * Every counter, gauge, histogram and trace span emitted anywhere in
+ * the harness takes its name from this header — never from an ad-hoc
+ * string literal at the emitting site. That closure is what makes the
+ * observability layer auditable: docs/OBSERVABILITY.md tables exactly
+ * this set, and the `ctest -L obs` suite diffs the names emitted by a
+ * real Fig. 2 grid run against the doc's registry table, so a metric
+ * cannot be added without documenting it.
+ *
+ * Naming convention: `<subsystem>.<object>.<event>` in lower snake
+ * case, dot-separated. Stage-duration histograms are derived as
+ * `stage.<span-name>.ns` by the tracer (see trace.hpp).
+ */
+
+#ifndef SMQ_OBS_NAMES_HPP
+#define SMQ_OBS_NAMES_HPP
+
+namespace smq::obs::names {
+
+// --- counters: transpilation -----------------------------------------
+inline constexpr const char *kTranspileCacheHit = "transpile.cache.hit";
+inline constexpr const char *kTranspileCacheMiss = "transpile.cache.miss";
+
+// --- counters: synchronous harness -----------------------------------
+inline constexpr const char *kHarnessRuns = "harness.runs";
+inline constexpr const char *kHarnessRepetitions = "harness.repetitions";
+inline constexpr const char *kHarnessTooLarge = "harness.too_large";
+
+// --- counters: fault-tolerant job layer ------------------------------
+inline constexpr const char *kJobsRetryAttempts = "jobs.retry.attempts";
+inline constexpr const char *kJobsFaultsTransient = "jobs.faults.transient";
+inline constexpr const char *kJobsFaultsQueueTimeout =
+    "jobs.faults.queue_timeout";
+inline constexpr const char *kJobsFaultsShotTruncation =
+    "jobs.faults.shot_truncation";
+inline constexpr const char *kJobsCellsOk = "jobs.cells.ok";
+inline constexpr const char *kJobsCellsPartial = "jobs.cells.partial";
+inline constexpr const char *kJobsCellsSkipped = "jobs.cells.skipped";
+inline constexpr const char *kJobsCellsTooLarge = "jobs.cells.too_large";
+inline constexpr const char *kJobsCellsFailed = "jobs.cells.failed";
+inline constexpr const char *kJobsSalvagedRepetitions =
+    "jobs.salvaged.repetitions";
+
+// --- counters: simulators --------------------------------------------
+inline constexpr const char *kSimSvGateApplies = "sim.sv.gate_applies";
+inline constexpr const char *kSimDmGateApplies = "sim.dm.gate_applies";
+inline constexpr const char *kSimShots = "sim.shots";
+inline constexpr const char *kSimTrajectories = "sim.trajectories";
+
+// --- counters: thread pool -------------------------------------------
+inline constexpr const char *kPoolBatches = "pool.batches";
+inline constexpr const char *kPoolTasksRun = "pool.tasks.run";
+
+// --- gauges ----------------------------------------------------------
+inline constexpr const char *kPoolWorkers = "pool.workers";
+
+// --- span (stage) names ----------------------------------------------
+// Each span name S additionally feeds the histogram `stage.S.ns` when
+// metrics are enabled.
+inline constexpr const char *kSpanPrepare = "prepare";
+inline constexpr const char *kSpanRepetition = "repetition";
+inline constexpr const char *kSpanJob = "job";
+inline constexpr const char *kSpanGrid = "grid";
+
+/** Prefix joining a span name to its duration histogram. */
+inline constexpr const char *kStageHistogramPrefix = "stage.";
+/** Suffix joining a span name to its duration histogram. */
+inline constexpr const char *kStageHistogramSuffix = ".ns";
+
+} // namespace smq::obs::names
+
+#endif // SMQ_OBS_NAMES_HPP

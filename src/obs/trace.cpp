@@ -1,0 +1,224 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace smq::obs {
+
+namespace {
+
+/** One completed span, buffered per thread until stopTracing(). */
+struct SpanEvent
+{
+    const char *name;
+    std::string args;      ///< pre-rendered JSON object body
+    std::uint64_t startNs; ///< relative to the trace epoch
+    std::uint64_t durNs;
+    std::uint32_t tid;
+};
+
+struct TraceState
+{
+    std::mutex mutex;
+    std::string dir;
+    std::chrono::steady_clock::time_point epoch;
+    /** Buffers of threads that have exited (moved in by dtors). */
+    std::vector<std::vector<SpanEvent>> retired;
+    /** Live per-thread buffers, registered on first span. */
+    std::vector<std::vector<SpanEvent> *> live;
+    std::uint32_t nextTid = 0;
+};
+
+TraceState &
+state()
+{
+    static TraceState s;
+    return s;
+}
+
+/**
+ * Per-thread event buffer. Registered with the global state on
+ * construction; on thread exit the events migrate to the retired
+ * list so pools torn down before stopTracing() lose nothing.
+ */
+struct ThreadBuffer
+{
+    std::vector<SpanEvent> events;
+    std::uint32_t tid = 0;
+
+    ThreadBuffer()
+    {
+        TraceState &s = state();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        tid = s.nextTid++;
+        s.live.push_back(&events);
+    }
+
+    ~ThreadBuffer()
+    {
+        TraceState &s = state();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.live.erase(
+            std::remove(s.live.begin(), s.live.end(), &events),
+            s.live.end());
+        if (!events.empty())
+            s.retired.push_back(std::move(events));
+    }
+};
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local ThreadBuffer buffer;
+    return buffer;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - state().epoch)
+            .count());
+}
+
+void
+writeEventJson(std::ostream &out, const SpanEvent &e)
+{
+    // Chrome trace "complete" event; ts/dur are microseconds.
+    out << "{\"name\":\"" << escapeJson(e.name)
+        << "\",\"cat\":\"smq\",\"ph\":\"X\",\"ts\":"
+        << static_cast<double>(e.startNs) / 1000.0
+        << ",\"dur\":" << static_cast<double>(e.durNs) / 1000.0
+        << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{" << e.args
+        << "}}";
+}
+
+} // namespace
+
+bool
+spanSinkActive()
+{
+    return tracingEnabled() || metricsEnabled();
+}
+
+void
+startTracing(const std::string &dir)
+{
+    TraceState &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.dir = dir;
+        s.epoch = std::chrono::steady_clock::now();
+    }
+    std::filesystem::create_directories(dir);
+    detail::g_tracingEnabled.store(true, std::memory_order_relaxed);
+}
+
+void
+stopTracing()
+{
+    if (!tracingEnabled())
+        return;
+    detail::g_tracingEnabled.store(false, std::memory_order_relaxed);
+
+    TraceState &s = state();
+    std::vector<SpanEvent> events;
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        dir = s.dir;
+        for (std::vector<SpanEvent> *buf : s.live) {
+            events.insert(events.end(),
+                          std::make_move_iterator(buf->begin()),
+                          std::make_move_iterator(buf->end()));
+            buf->clear();
+        }
+        for (std::vector<SpanEvent> &buf : s.retired)
+            events.insert(events.end(),
+                          std::make_move_iterator(buf.begin()),
+                          std::make_move_iterator(buf.end()));
+        s.retired.clear();
+    }
+
+    // Stable output order regardless of which thread buffered what.
+    std::sort(events.begin(), events.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.durNs > b.durNs; // parents before children
+              });
+
+    std::ofstream trace(dir + "/trace.json", std::ios::trunc);
+    std::ofstream jsonl(dir + "/events.jsonl", std::ios::trunc);
+    trace.precision(3);
+    jsonl.precision(3);
+    trace << std::fixed << "{\"traceEvents\":[\n";
+    jsonl << std::fixed;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        writeEventJson(trace, events[i]);
+        trace << (i + 1 < events.size() ? ",\n" : "\n");
+        writeEventJson(jsonl, events[i]);
+        jsonl << "\n";
+    }
+    trace << "]}\n";
+}
+
+std::string
+jsonField(std::string_view key, std::string_view value)
+{
+    std::string out = "\"";
+    out += escapeJson(key);
+    out += "\":\"";
+    out += escapeJson(value);
+    out += '"';
+    return out;
+}
+
+std::string
+jsonField(std::string_view key, std::uint64_t value)
+{
+    std::string out = "\"";
+    out += escapeJson(key);
+    out += "\":";
+    out += std::to_string(value);
+    return out;
+}
+
+SpanScope::SpanScope(const char *name, std::string args)
+    : name_(name), args_(std::move(args))
+{
+    if (!spanSinkActive())
+        return;
+    active_ = true;
+    startNs_ = nowNs();
+}
+
+SpanScope::~SpanScope()
+{
+    if (!active_)
+        return;
+    const std::uint64_t dur = nowNs() - startNs_;
+    if (metricsEnabled()) {
+        histogram(std::string(names::kStageHistogramPrefix) + name_ +
+                  names::kStageHistogramSuffix)
+            .record(dur);
+    }
+    if (tracingEnabled()) {
+        ThreadBuffer &buf = threadBuffer();
+        buf.events.push_back(
+            {name_, std::move(args_), startNs_, dur, buf.tid});
+    }
+}
+
+} // namespace smq::obs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Scoped-span tracing with Chrome-trace and JSONL output.
+ *
+ * `SMQ_TRACE_SPAN("stage", args...)` opens an RAII span covering the
+ * enclosing scope. While tracing is enabled (startTracing()), every
+ * completed span is appended to a per-thread buffer — no locks, no
+ * cross-thread traffic on the hot path — and stopTracing() merges the
+ * buffers into two files in the trace directory:
+ *
+ *   - `trace.json`   Chrome trace-event format: open about://tracing
+ *                    (or https://ui.perfetto.dev) and load the file.
+ *   - `events.jsonl` one JSON object per line, for scripting/grep.
+ *
+ * Independently of tracing, while *metrics* are enabled every span end
+ * records its duration into the histogram `stage.<name>.ns`, which is
+ * what RunManifest reports as per-stage rollups. With both tracing and
+ * metrics disabled a span costs two relaxed atomic loads.
+ *
+ * Span args are a pre-rendered JSON object body built with
+ * jsonField(); the SMQ_TRACE_SPAN macro evaluates that expression only
+ * when a span sink is active, so label formatting is also free when
+ * the layer is off.
+ *
+ * Determinism contract: spans observe wall time but never touch RNG
+ * streams, task ordering, or any simulated state, so enabling tracing
+ * cannot perturb benchmark results (asserted by `ctest -L obs`).
+ */
+
+#ifndef SMQ_OBS_TRACE_HPP
+#define SMQ_OBS_TRACE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smq::obs {
+
+namespace detail {
+inline std::atomic<bool> g_tracingEnabled{false};
+} // namespace detail
+
+/** Whether startTracing() is active. */
+inline bool
+tracingEnabled()
+{
+    return detail::g_tracingEnabled.load(std::memory_order_relaxed);
+}
+
+/** True when spans have any active sink (trace files or metrics). */
+bool spanSinkActive();
+
+/**
+ * Begin recording spans, to be written under @p dir (created if
+ * missing) by stopTracing(). Not reentrant: a second start before
+ * stop replaces the directory but keeps accumulated spans.
+ */
+void startTracing(const std::string &dir);
+
+/**
+ * Write `trace.json` + `events.jsonl` into the directory given to
+ * startTracing(), clear all buffered spans, and disable tracing.
+ * Must not race with in-flight spans (call from the coordinating
+ * thread once worker pools have drained). No-op if tracing is off.
+ */
+void stopTracing();
+
+/** `"key":"<escaped value>"` fragment for span args. */
+std::string jsonField(std::string_view key, std::string_view value);
+
+/** `"key":<value>` fragment for span args. */
+std::string jsonField(std::string_view key, std::uint64_t value);
+
+/**
+ * RAII span: records [construction, destruction) against the calling
+ * thread. Use through SMQ_TRACE_SPAN rather than directly so the
+ * args expression stays unevaluated when the layer is disabled.
+ */
+class SpanScope
+{
+  public:
+    explicit SpanScope(const char *name, std::string args = {});
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+    ~SpanScope();
+
+  private:
+    const char *name_;
+    std::string args_;
+    std::uint64_t startNs_ = 0;
+    bool active_ = false;
+};
+
+#define SMQ_OBS_CAT2(a, b) a##b
+#define SMQ_OBS_CAT(a, b) SMQ_OBS_CAT2(a, b)
+
+/**
+ * Open a span named @p name for the rest of the enclosing scope.
+ * Optional second argument: a span-args JSON body, e.g.
+ *   SMQ_TRACE_SPAN("repetition",
+ *                  obs::jsonField("benchmark", b) + "," +
+ *                  obs::jsonField("rep", rep));
+ * The args expression is evaluated only while a sink is active.
+ */
+#define SMQ_TRACE_SPAN(...)                                              \
+    ::smq::obs::SpanScope SMQ_OBS_CAT(smq_obs_span_, __LINE__)(          \
+        SMQ_TRACE_SPAN_IMPL(__VA_ARGS__))
+#define SMQ_TRACE_SPAN_IMPL(name, ...)                                   \
+    (name) __VA_OPT__(, ::smq::obs::spanSinkActive()                     \
+                             ? std::string(__VA_ARGS__)                  \
+                             : std::string())
+
+} // namespace smq::obs
+
+#endif // SMQ_OBS_TRACE_HPP

@@ -3,12 +3,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "qc/schedule.hpp"
 
 namespace smq::sim {
 
 namespace {
 constexpr std::size_t kMaxQubits = 11;
+
+/** One kernel application (1q/2q conjugation or 3q permutation). */
+inline void
+countDmKernel()
+{
+    static obs::Counter &applies =
+        obs::counter(obs::names::kSimDmGateApplies);
+    applies.add();
+}
 
 /**
  * Spread the bits of @p k around two zero slots at bit positions
@@ -54,6 +65,7 @@ void
 DensityMatrix::applyMatrix1(std::size_t q, const Matrix2 &u)
 {
     checkQubit(q);
+    countDmKernel();
     const std::size_t stride = std::size_t{1} << q;
     // Left multiply rho <- U rho. Row-major storage makes the column
     // index the contiguous one, so each paired row walks memory
@@ -103,6 +115,7 @@ DensityMatrix::applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &u)
     checkQubit(q1);
     if (q0 == q1)
         throw std::invalid_argument("DensityMatrix: duplicate qubit");
+    countDmKernel();
     const std::size_t s0 = std::size_t{1} << q0;
     const std::size_t s1 = std::size_t{1} << q1;
     std::size_t p0 = q0, p1 = q1;
@@ -163,6 +176,7 @@ DensityMatrix::applyGate(const qc::Gate &gate)
 {
     using qc::GateType;
     if (gate.type == GateType::CCX || gate.type == GateType::CSWAP) {
+        countDmKernel();
         // Decompose the permutation into the 2q basis via a swap on
         // amplitudes is awkward for rho; apply as row/col permutation.
         auto permute = [&](std::size_t idx) {

@@ -4,12 +4,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "qc/schedule.hpp"
 #include "sim/statevector.hpp"
 
 namespace smq::sim {
 
 namespace {
+
+/** One stochastic trajectory through a circuit body. */
+inline void
+countTrajectory()
+{
+    static obs::Counter &trajectories =
+        obs::counter(obs::names::kSimTrajectories);
+    trajectories.add();
+}
 
 /** Random non-identity Pauli on one qubit. */
 void
@@ -152,6 +163,12 @@ run(const qc::Circuit &circuit, const RunOptions &options, stats::Rng &rng)
         throw std::invalid_argument(
             "run: shots == 0 for circuit '" + circuit.name() + "'");
 
+    {
+        static obs::Counter &shots_counter =
+            obs::counter(obs::names::kSimShots);
+        shots_counter.add(options.shots);
+    }
+
     const bool mid_circuit = hasMidCircuitOperations(circuit);
 
     // Noiseless, terminal measurements: sample the exact distribution.
@@ -179,6 +196,7 @@ run(const qc::Circuit &circuit, const RunOptions &options, stats::Rng &rng)
         for (std::uint64_t s = 0; s < options.shots; ++s) {
             if (options.faultHook && options.faultHook(s))
                 break;
+            countTrajectory();
             counts.add(runTrajectory(circuit, sched, options.noise, rng,
                                      state));
         }
@@ -213,6 +231,7 @@ run(const qc::Circuit &circuit, const RunOptions &options, stats::Rng &rng)
         remaining -= batch;
         // Note: measurement-time idle noise for the terminal moment is
         // captured by the readout error probability itself.
+        countTrajectory();
         runTrajectory(body, body_sched, options.noise, rng, state);
         for (std::uint64_t b = 0; b < batch; ++b) {
             std::size_t basis = state.sampleBasisState(rng);

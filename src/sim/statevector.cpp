@@ -3,10 +3,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace smq::sim {
 
 namespace {
 constexpr std::size_t kMaxQubits = 26;
+
+/** One kernel application (1q/2q matrix or 3q permutation). */
+inline void
+countSvKernel()
+{
+    static obs::Counter &applies =
+        obs::counter(obs::names::kSimSvGateApplies);
+    applies.add();
+}
 
 /**
  * Spread the n-3 bits of @p k around three zero slots at bit positions
@@ -68,6 +80,7 @@ void
 StateVector::applyMatrix1(std::size_t q, const Matrix2 &m)
 {
     checkQubit(q);
+    countSvKernel();
     const std::size_t stride = std::size_t{1} << q;
     for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
         for (std::size_t offset = 0; offset < stride; ++offset) {
@@ -88,6 +101,7 @@ StateVector::applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &m)
     checkQubit(q1);
     if (q0 == q1)
         throw std::invalid_argument("StateVector: duplicate qubit");
+    countSvKernel();
     const std::size_t s0 = std::size_t{1} << q0;
     const std::size_t s1 = std::size_t{1} << q1;
     for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
@@ -108,6 +122,7 @@ StateVector::applyGate(const qc::Gate &gate)
     using qc::GateType;
     switch (gate.type) {
       case GateType::CCX: {
+        countSvKernel();
         // Only the c0=1, c1=1, t=0 subspace moves: enumerate its
         // 2^(n-3) members directly instead of branching over all 2^n.
         const std::size_t c0 = std::size_t{1} << gate.qubits[0];
@@ -124,6 +139,7 @@ StateVector::applyGate(const qc::Gate &gate)
         return;
       }
       case GateType::CSWAP: {
+        countSvKernel();
         // The moving subspace is c=1, a=1, b=0 <-> c=1, a=0, b=1.
         const std::size_t c = std::size_t{1} << gate.qubits[0];
         const std::size_t a = std::size_t{1} << gate.qubits[1];

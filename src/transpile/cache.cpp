@@ -4,6 +4,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace smq::transpile {
 
 namespace {
@@ -65,15 +68,22 @@ TranspileResult
 cachedTranspile(const qc::Circuit &circuit, const device::Device &device,
                 const TranspileOptions &options)
 {
+    static obs::Counter &hit_counter =
+        obs::counter(obs::names::kTranspileCacheHit);
+    static obs::Counter &miss_counter =
+        obs::counter(obs::names::kTranspileCacheMiss);
+
     std::string key = makeKey(circuit, device, options);
     {
         std::lock_guard<std::mutex> lock(g_mutex);
         auto it = g_cache.find(key);
         if (it != g_cache.end()) {
             ++g_stats.hits;
+            hit_counter.add();
             return it->second;
         }
         ++g_stats.misses;
+        miss_counter.add();
     }
     TranspileResult result = transpile(circuit, device, options);
     {

@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace smq::util {
+
+namespace {
+
+/**
+ * One batch's worth of pool accounting. Recorded once per
+ * parallelFor call (never per index), so the counters are identical
+ * for serial and pooled execution of the same loop.
+ */
+void
+recordBatch(std::size_t n, std::size_t workers)
+{
+    static obs::Counter &batches =
+        obs::counter(obs::names::kPoolBatches);
+    static obs::Counter &tasks =
+        obs::counter(obs::names::kPoolTasksRun);
+    batches.add();
+    tasks.add(n);
+    obs::gauge(obs::names::kPoolWorkers)
+        .set(static_cast<std::int64_t>(workers));
+}
+
+} // namespace
 
 std::uint64_t
 deriveTaskSeed(std::uint64_t base, std::uint64_t task)
@@ -82,6 +107,7 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    recordBatch(n, workers_.size());
     if (workers_.empty() || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
             body(i);
@@ -116,6 +142,8 @@ parallelFor(std::size_t jobs, std::size_t n,
     if (jobs == 0)
         jobs = defaultJobs();
     if (jobs <= 1 || n <= 1) {
+        if (n > 0)
+            recordBatch(n, 0);
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Observability-layer tests (`ctest -L obs`).
+ *
+ * Four properties carry the layer:
+ *  1. Metric aggregation is exact and order-independent: the snapshot
+ *     is a pure function of the multiset of recorded values, however
+ *     many threads recorded them and in whatever order.
+ *  2. Instrumentation never perturbs results: a Fig. 2 grid computed
+ *     with metrics + tracing enabled at any --jobs value is
+ *     byte-identical to the untraced serial grid.
+ *  3. The emitted artifacts agree with each other: trace.json parses
+ *     as valid Chrome-trace JSON, events.jsonl line-for-line matches
+ *     it, and the manifest's stage rollups match the event log.
+ *  4. The name registry is closed: every metric name a real run emits
+ *     appears in docs/OBSERVABILITY.md's registry table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/benchmarks/ghz.hpp"
+#include "core/harness.hpp"
+#include "device/device.hpp"
+#include "fig_data.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
+#include "sim/density_matrix.hpp"
+
+using namespace smq;
+
+namespace {
+
+/** Fresh, enabled registry per test; off again afterwards. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::resetMetrics();
+        obs::setMetricsEnabled(true);
+    }
+    void TearDown() override
+    {
+        obs::setMetricsEnabled(false);
+        obs::resetMetrics();
+    }
+};
+
+std::filesystem::path
+freshDir(const std::string &name)
+{
+    std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bench::Scale
+miniScale()
+{
+    bench::Scale scale;
+    scale.defaultShots = 30;
+    scale.repetitions = 2;
+    scale.useCache = false;
+    return scale;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Counters / gauges
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterSumsConcurrentAddsExactly)
+{
+    obs::Counter &counter = obs::counter("test.obs.counter");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kAddsPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                counter.add();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(counter.value(), kThreads * kAddsPerThread);
+}
+
+TEST_F(ObsTest, CounterDisabledIsNoOp)
+{
+    obs::Counter &counter = obs::counter("test.obs.disabled");
+    obs::setMetricsEnabled(false);
+    counter.add(1000);
+    EXPECT_EQ(counter.value(), 0u);
+    obs::setMetricsEnabled(true);
+    counter.add(3);
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST_F(ObsTest, LookupReturnsStableHandleAcrossReset)
+{
+    obs::Counter &a = obs::counter("test.obs.stable");
+    a.add(7);
+    obs::resetMetrics();
+    obs::Counter &b = obs::counter("test.obs.stable");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 0u) << "reset must zero, not unregister";
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins)
+{
+    obs::Gauge &gauge = obs::gauge("test.obs.gauge");
+    gauge.set(4);
+    gauge.set(9);
+    EXPECT_EQ(gauge.value(), 9);
+    obs::setMetricsEnabled(false);
+    gauge.set(1);
+    EXPECT_EQ(gauge.value(), 9);
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramSnapshotIsOrderIndependent)
+{
+    // The same multiset of values, recorded (a) serially in order and
+    // (b) shuffled across eight threads, must yield identical
+    // snapshots: count, sum, min, max and every bucket.
+    std::vector<std::uint64_t> values;
+    std::mt19937_64 gen(42);
+    for (int i = 0; i < 50000; ++i)
+        values.push_back(gen() % 1000000);
+    values.push_back(0); // exercise the zero bucket
+
+    obs::Histogram &serial = obs::histogram("test.obs.hist.serial");
+    for (std::uint64_t v : values)
+        serial.record(v);
+
+    std::vector<std::uint64_t> shuffled = values;
+    std::shuffle(shuffled.begin(), shuffled.end(), gen);
+    obs::Histogram &threaded = obs::histogram("test.obs.hist.threaded");
+    constexpr std::size_t kThreads = 8;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t i = t; i < shuffled.size(); i += kThreads)
+                threaded.record(shuffled[i]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    obs::HistogramSnapshot a = serial.snapshot();
+    obs::HistogramSnapshot b = threaded.snapshot();
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    for (std::size_t i = 0; i < a.buckets.size(); ++i)
+        EXPECT_EQ(a.buckets[i], b.buckets[i]) << "bucket " << i;
+}
+
+TEST_F(ObsTest, HistogramBucketsFollowLog2)
+{
+    obs::Histogram &hist = obs::histogram("test.obs.hist.log2");
+    hist.record(0);  // bucket 0
+    hist.record(1);  // bucket 1 (bit_width 1)
+    hist.record(2);  // bucket 2
+    hist.record(3);  // bucket 2
+    hist.record(4);  // bucket 3
+    obs::HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 5u);
+    EXPECT_EQ(snap.sum, 10u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 4u);
+    EXPECT_EQ(snap.buckets[0], 1u);
+    EXPECT_EQ(snap.buckets[1], 1u);
+    EXPECT_EQ(snap.buckets[2], 2u);
+    EXPECT_EQ(snap.buckets[3], 1u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Spans and trace files
+// ---------------------------------------------------------------------
+
+TEST(ObsTrace, NestedSpansProduceValidTraceAndJsonl)
+{
+    // Metrics stay OFF here: tracing alone must be able to drive
+    // spans, and ad-hoc span names must not register histograms.
+    obs::setMetricsEnabled(false);
+    std::filesystem::path dir = freshDir("smq_obs_nesting");
+    obs::startTracing(dir.string());
+    {
+        SMQ_TRACE_SPAN("outer", obs::jsonField("k", "v"));
+        {
+            SMQ_TRACE_SPAN("inner");
+        }
+        {
+            SMQ_TRACE_SPAN("inner");
+        }
+    }
+    obs::stopTracing();
+
+    obs::JsonValue root = obs::parseJson(slurp(dir / "trace.json"));
+    const obs::JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array.size(), 3u);
+
+    double outer_start = 0, outer_dur = 0;
+    int inner_seen = 0;
+    for (const obs::JsonValue &e : events->array) {
+        EXPECT_EQ(e.at("cat").asString(), "smq");
+        EXPECT_EQ(e.at("ph").asString(), "X");
+        std::string name = e.at("name").asString();
+        if (name == "outer") {
+            outer_start = e.at("ts").asDouble();
+            outer_dur = e.at("dur").asDouble();
+            EXPECT_EQ(e.at("args").at("k").asString(), "v");
+        } else {
+            ASSERT_EQ(name, "inner");
+            ++inner_seen;
+        }
+    }
+    EXPECT_EQ(inner_seen, 2);
+    // Nesting: both inner spans fall inside [outer_start, +outer_dur].
+    for (const obs::JsonValue &e : events->array) {
+        if (e.at("name").asString() != "inner")
+            continue;
+        EXPECT_GE(e.at("ts").asDouble(), outer_start);
+        EXPECT_LE(e.at("ts").asDouble() + e.at("dur").asDouble(),
+                  outer_start + outer_dur + 1e-3);
+    }
+
+    // events.jsonl carries the same events, one object per line.
+    std::istringstream jsonl(slurp(dir / "events.jsonl"));
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(jsonl, line)) {
+        if (line.empty())
+            continue;
+        obs::JsonValue event = obs::parseJson(line);
+        EXPECT_TRUE(event.find("name") != nullptr);
+        ++lines;
+    }
+    EXPECT_EQ(lines, events->array.size());
+}
+
+TEST(ObsTrace, DisabledSpanEvaluatesNoArgs)
+{
+    obs::setMetricsEnabled(false);
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return std::string("x");
+    };
+    {
+        SMQ_TRACE_SPAN("noop", obs::jsonField("k", expensive()));
+    }
+    EXPECT_EQ(evaluations, 0)
+        << "span args must not be formatted while the sink is off";
+}
+
+// ---------------------------------------------------------------------
+// Manifests
+// ---------------------------------------------------------------------
+
+TEST(ObsManifest, JsonRoundTripPreservesEveryField)
+{
+    obs::RunManifest m;
+    m.tool = "unit_test";
+    m.gitRev = "abc123";
+    m.deviceTableVersion = device::kDeviceTableVersion;
+    m.seed = 12345;
+    m.shots = 2000;
+    m.repetitions = 3;
+    m.jobs = 8;
+    m.faultsEnabled = true;
+    m.faultSeed = 2022;
+    m.traceDir = "trace/dir with \"quotes\"";
+    m.cacheHits = 17;
+    m.cacheMisses = 5;
+    m.counters["sim.shots"] = 123456789012345ull;
+    m.counters["jobs.retry.attempts"] = 83;
+    m.stages["job"] = {10, 5000000000ull, 1000, 900000000ull};
+    m.extra["note"] = "hello\nworld";
+
+    obs::RunManifest r = obs::RunManifest::fromJson(m.toJson());
+    EXPECT_EQ(r.schema, obs::kManifestSchema);
+    EXPECT_EQ(r.tool, m.tool);
+    EXPECT_EQ(r.gitRev, m.gitRev);
+    EXPECT_EQ(r.deviceTableVersion, m.deviceTableVersion);
+    EXPECT_EQ(r.seed, m.seed);
+    EXPECT_EQ(r.shots, m.shots);
+    EXPECT_EQ(r.repetitions, m.repetitions);
+    EXPECT_EQ(r.jobs, m.jobs);
+    EXPECT_EQ(r.faultsEnabled, m.faultsEnabled);
+    EXPECT_EQ(r.faultSeed, m.faultSeed);
+    EXPECT_EQ(r.traceDir, m.traceDir);
+    EXPECT_EQ(r.cacheHits, m.cacheHits);
+    EXPECT_EQ(r.cacheMisses, m.cacheMisses);
+    EXPECT_EQ(r.counters, m.counters);
+    ASSERT_EQ(r.stages.size(), 1u);
+    EXPECT_EQ(r.stages.at("job").count, 10u);
+    EXPECT_EQ(r.stages.at("job").totalNs, 5000000000ull);
+    EXPECT_EQ(r.stages.at("job").minNs, 1000u);
+    EXPECT_EQ(r.stages.at("job").maxNs, 900000000ull);
+    EXPECT_EQ(r.extra, m.extra);
+}
+
+TEST(ObsManifest, FileRoundTrip)
+{
+    std::filesystem::path dir = freshDir("smq_obs_manifest");
+    std::filesystem::create_directories(dir);
+    std::string path = (dir / "m.json").string();
+    obs::RunManifest m;
+    m.tool = "file_test";
+    m.seed = 9;
+    ASSERT_TRUE(m.writeFile(path));
+    obs::RunManifest r = obs::RunManifest::readFile(path);
+    EXPECT_EQ(r.tool, "file_test");
+    EXPECT_EQ(r.seed, 9u);
+}
+
+TEST(ObsManifest, RejectsWrongSchema)
+{
+    EXPECT_THROW(obs::RunManifest::fromJson("{\"schema\":\"nope\"}"),
+                 std::runtime_error);
+    EXPECT_THROW(obs::RunManifest::fromJson("not json"),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: observability must not perturb results
+// ---------------------------------------------------------------------
+
+TEST(ObsDeterminism, GridByteIdenticalWithTracingOnAtAnyJobs)
+{
+    // Baseline: everything off, serial.
+    obs::setMetricsEnabled(false);
+    bench::Scale scale = miniScale();
+    scale.jobs = 1;
+    std::string baseline =
+        bench::serializeGrid(bench::computeFig2Grid(scale));
+
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        obs::resetMetrics();
+        obs::setMetricsEnabled(true);
+        std::filesystem::path dir =
+            freshDir("smq_obs_grid_j" + std::to_string(jobs));
+        obs::startTracing(dir.string());
+        scale.jobs = jobs;
+        std::string traced =
+            bench::serializeGrid(bench::computeFig2Grid(scale));
+        obs::stopTracing();
+        obs::setMetricsEnabled(false);
+        EXPECT_EQ(traced, baseline)
+            << "observability perturbed the grid at jobs=" << jobs;
+    }
+    obs::resetMetrics();
+}
+
+TEST(ObsDeterminism, ManifestStageRollupsMatchEventLog)
+{
+    obs::resetMetrics();
+    obs::setMetricsEnabled(true);
+    std::filesystem::path dir = freshDir("smq_obs_consistency");
+    obs::startTracing(dir.string());
+    bench::Scale scale = miniScale();
+    scale.jobs = 4;
+    bench::computeFig2Grid(scale);
+    obs::stopTracing();
+
+    obs::RunManifest manifest =
+        obs::RunManifest::capture("consistency_test");
+    obs::setMetricsEnabled(false);
+
+    // Count span events per name in the JSONL log.
+    std::map<std::string, std::uint64_t> event_counts;
+    std::istringstream jsonl(slurp(dir / "events.jsonl"));
+    std::string line;
+    while (std::getline(jsonl, line)) {
+        if (line.empty())
+            continue;
+        obs::JsonValue event = obs::parseJson(line);
+        ++event_counts[event.at("name").asString()];
+    }
+
+    ASSERT_FALSE(manifest.stages.empty());
+    EXPECT_TRUE(manifest.stages.count("grid"));
+    EXPECT_TRUE(manifest.stages.count("job"));
+    for (const auto &[stage, rollup] : manifest.stages) {
+        EXPECT_EQ(rollup.count, event_counts[stage])
+            << "stage '" << stage
+            << "': manifest rollup disagrees with events.jsonl";
+        EXPECT_GE(rollup.maxNs, rollup.minNs);
+        EXPECT_GE(rollup.totalNs, rollup.maxNs);
+    }
+    // And the other direction: no event name missing from the rollups.
+    for (const auto &[name, n] : event_counts)
+        EXPECT_TRUE(manifest.stages.count(name))
+            << "event '" << name << "' has no stage rollup";
+    obs::resetMetrics();
+}
+
+// ---------------------------------------------------------------------
+// Doc closure: every emitted name is documented
+// ---------------------------------------------------------------------
+
+TEST(ObsDocs, EveryEmittedMetricNameIsDocumented)
+{
+    obs::resetMetrics();
+    obs::setMetricsEnabled(true);
+
+    // Exercise every instrumented subsystem: the fault-injected job
+    // grid, the synchronous harness (incl. a too-large rejection), and
+    // the density-matrix kernels the grid path does not touch.
+    bench::Scale scale = miniScale();
+    scale.jobs = 2;
+    scale.faults = true;
+    bench::computeFig2Grid(scale);
+
+    core::GhzBenchmark ghz(3);
+    core::HarnessOptions options;
+    options.shots = 20;
+    options.repetitions = 2;
+    core::runBenchmark(ghz, device::perfectDevice(3), options);
+    core::runBenchmark(ghz, device::perfectDevice(2), options);
+
+    sim::DensityMatrix rho(2);
+    rho.applyGate(qc::Gate(qc::GateType::H, {0}));
+
+    obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    obs::setMetricsEnabled(false);
+
+    std::string doc = slurp(std::filesystem::path(SMQ_SOURCE_DIR) /
+                            "docs" / "OBSERVABILITY.md");
+    std::set<std::string> emitted;
+    for (const auto &[name, value] : snapshot.counters) {
+        if (value > 0)
+            emitted.insert(name);
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        if (value != 0)
+            emitted.insert(name);
+    }
+    for (const auto &[name, hist] : snapshot.histograms) {
+        if (hist.count > 0)
+            emitted.insert(name);
+    }
+    ASSERT_GT(emitted.size(), 10u) << "instrumentation did not fire";
+    for (const std::string &name : emitted) {
+        EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+            << "metric '" << name
+            << "' is emitted but not documented in OBSERVABILITY.md";
+    }
+    obs::resetMetrics();
+}
