@@ -38,6 +38,7 @@ main(int argc, char **argv)
               << ")\n\n";
 
     bench::Fig2Grid grid = bench::computeFig2Grid(scale);
+    bench::noteGridScores(obs_session, grid);
 
     std::vector<std::string> headers = {"benchmark"};
     for (const std::string &name : grid.deviceNames)

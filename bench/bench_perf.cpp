@@ -306,13 +306,17 @@ struct ObsOverhead
 void
 writeJson(const std::string &path, const std::vector<Stage> &stages,
           std::size_t jobs, double serialMs, double parallelMs,
-          bool identical, const ObsOverhead &obs_overhead)
+          bool identical, const ObsOverhead &obs_overhead,
+          std::uint64_t shots, std::uint64_t repetitions, bool full)
 {
     std::ofstream out(path, std::ios::trunc);
     out.precision(6);
     out << std::fixed;
     out << "{\n  \"threads_available\": " << util::defaultJobs()
-        << ",\n  \"grid_jobs\": " << jobs << ",\n  \"stages\": [\n";
+        << ",\n  \"grid_jobs\": " << jobs
+        << ",\n  \"config\": {\"shots\": " << shots
+        << ", \"repetitions\": " << repetitions << ", \"full\": "
+        << (full ? "true" : "false") << "},\n  \"stages\": [\n";
     for (std::size_t i = 0; i < stages.size(); ++i) {
         out << "    {\"name\": \"" << stages[i].name
             << "\", \"wall_ms\": " << stages[i].wallMs << "}"
@@ -473,7 +477,8 @@ perfHarness(int argc, char **argv)
               << (identical ? "byte-identical" : "DIFFER (BUG)") << "\n";
 
     writeJson(json_path, stages, jobs, serial_ms, parallel_ms,
-              identical, obs_overhead);
+              identical, obs_overhead, scale.defaultShots,
+              scale.repetitions, full);
     std::cout << "wrote " << json_path << "\n";
     obs_session.note("grid_identical", identical ? "true" : "false");
     obs_session.note("obs_overhead_within_2pct",

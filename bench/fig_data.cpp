@@ -11,7 +11,9 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "report/history.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smq::bench {
@@ -44,6 +46,18 @@ scaleFromArgs(int argc, char **argv)
             scale.metrics = true;
         } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
             scale.metrics = false;
+        } else if (std::strcmp(argv[i], "--history") == 0 &&
+                   i + 1 < argc) {
+            scale.historyPath = argv[++i];
+        } else if (std::strncmp(argv[i], "--history=", 10) == 0) {
+            scale.historyPath = argv[i] + 10;
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            scale.progress = true;
+        } else if (std::strcmp(argv[i], "--heartbeat") == 0 &&
+                   i + 1 < argc) {
+            scale.heartbeatSecs = std::strtod(argv[++i], nullptr);
+        } else if (std::strncmp(argv[i], "--heartbeat=", 12) == 0) {
+            scale.heartbeatSecs = std::strtod(argv[i] + 12, nullptr);
         }
     }
     return scale;
@@ -58,6 +72,16 @@ ObsSession::ObsSession(std::string tool, const Scale &scale)
     obs::setMetricsEnabled(scale_.metrics);
     if (!scale_.traceDir.empty())
         obs::startTracing(scale_.traceDir);
+    if (scale_.heartbeatSecs > 0.0) {
+        obs::ProgressOptions progress;
+        progress.mode = obs::ProgressOptions::Mode::Jsonl;
+        progress.heartbeatSecs = scale_.heartbeatSecs;
+        obs::startProgress(progress);
+    } else if (scale_.progress) {
+        obs::ProgressOptions progress;
+        progress.mode = obs::ProgressOptions::Mode::Tty;
+        obs::startProgress(progress);
+    }
 }
 
 ObsSession::ObsSession(std::string tool, int argc, char **argv)
@@ -67,6 +91,7 @@ ObsSession::ObsSession(std::string tool, int argc, char **argv)
 
 ObsSession::~ObsSession()
 {
+    obs::stopProgress();
     if (!scale_.traceDir.empty())
         obs::stopTracing();
     obs::RunManifest manifest = obs::RunManifest::capture(tool_);
@@ -84,12 +109,27 @@ ObsSession::~ObsSession()
         std::cerr << "warning: could not write " << manifestPath()
                   << "\n";
     }
+    if (!scale_.historyPath.empty()) {
+        report::HistoryRecord record =
+            report::HistoryRecord::fromManifest(manifest);
+        record.values = values_;
+        if (!report::appendHistory(scale_.historyPath, record)) {
+            std::cerr << "warning: could not append to "
+                      << scale_.historyPath << "\n";
+        }
+    }
 }
 
 void
 ObsSession::note(const std::string &key, const std::string &value)
 {
     extra_[key] = value;
+}
+
+void
+ObsSession::value(const std::string &key, double v)
+{
+    values_[key] = v;
 }
 
 std::string
@@ -298,6 +338,8 @@ computeFig2Grid(const Scale &scale)
     // (seed, device, benchmark, rep, attempt) labels, and the suite
     // deadline is infinite here, so cell results cannot depend on
     // execution order — the grid is byte-identical for any jobs value.
+    obs::progressBegin(obs::names::kSpanGrid, obs::names::kSpanJob,
+                       n_rows * n_devices, scale.jobs);
     util::parallelFor(
         scale.jobs, n_rows * n_devices, [&](std::size_t cell) {
             const std::size_t r = cell / n_devices;
@@ -312,6 +354,7 @@ computeFig2Grid(const Scale &scale)
             grid.rows[r].runs[d] =
                 jobs::runJob(*suite[r], devices[d], options, cell_ctx);
         });
+    obs::progressEnd();
 
     // Progress report after the fact, in deterministic grid order.
     for (const GridRow &row : grid.rows) {
@@ -349,6 +392,21 @@ scoredInstancesPerDevice(const Fig2Grid &grid)
         }
     }
     return per_device;
+}
+
+void
+noteGridScores(ObsSession &session, const Fig2Grid &grid)
+{
+    for (const GridRow &row : grid.rows) {
+        for (std::size_t d = 0; d < row.runs.size(); ++d) {
+            const core::BenchmarkRun &run = row.runs[d];
+            if (!core::scoreable(run.status) || run.scores.empty())
+                continue;
+            session.value("score." + row.benchmark + "@" +
+                              grid.deviceNames[d],
+                          run.summary.mean);
+        }
+    }
 }
 
 } // namespace smq::bench

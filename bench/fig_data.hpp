@@ -58,11 +58,25 @@ struct Scale
      * any jobs value.
      */
     bool metrics = true;
+    /**
+     * Run-history store to append this run's flattened record to on
+     * exit (--history FILE). Empty = no append (the default).
+     */
+    std::string historyPath;
+    /**
+     * Live progress (--progress / --heartbeat SECS). `progress`
+     * enables the single-line TTY reporter; heartbeatSecs > 0 enables
+     * the JSONL heartbeat stream instead (CI logs). Both off by
+     * default; neither perturbs results at any jobs value.
+     */
+    bool progress = false;
+    double heartbeatSecs = 0.0;
 };
 
 /**
  * Parse --paper / --quick / --faults / --jobs N / --trace DIR /
- * --metrics / --no-metrics command-line flags.
+ * --metrics / --no-metrics / --history FILE / --progress /
+ * --heartbeat SECS command-line flags.
  */
 Scale scaleFromArgs(int argc, char **argv);
 
@@ -91,6 +105,12 @@ public:
     /** Attach a tool-specific fact to the manifest's `extra` map. */
     void note(const std::string &key, const std::string &value);
 
+    /**
+     * Attach a numeric fact to this run's history record (no effect on
+     * the manifest): `score.<bench>@<device>`, `wall_ms`, ...
+     */
+    void value(const std::string &key, double v);
+
     /** Path the manifest will be written to: `<tool>_manifest.json`. */
     std::string manifestPath() const;
 
@@ -98,6 +118,7 @@ private:
     std::string tool_;
     Scale scale_;
     std::map<std::string, std::string> extra_;
+    std::map<std::string, double> values_;
 };
 
 /** One benchmark instance evaluated across all devices. */
@@ -136,6 +157,13 @@ std::string serializeGrid(const Fig2Grid &grid);
 /** Fold a grid into per-device scored instances for Figs. 3 and 4. */
 std::vector<std::vector<core::ScoredInstance>>
 scoredInstancesPerDevice(const Fig2Grid &grid);
+
+/**
+ * Record every scoreable cell's mean score on @p session as a
+ * `score.<benchmark>@<device>` history value, so the run-history
+ * store (and the HTML report's Fig. 2 matrix) carries the scores.
+ */
+void noteGridScores(ObsSession &session, const Fig2Grid &grid);
 
 } // namespace smq::bench
 

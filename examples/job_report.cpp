@@ -16,6 +16,7 @@
  * a different (equally reproducible) fault schedule.
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include "core/suites.hpp"
 #include "jobs/report.hpp"
 #include "obs/metrics.hpp"
+#include "report/history.hpp"
 
 using namespace smq;
 
@@ -34,9 +36,12 @@ main(int argc, char **argv)
     obs::setMetricsEnabled(true);
 
     std::uint64_t seed = 7;
+    std::string history_path;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0)
             seed = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--history") == 0)
+            history_path = argv[i + 1];
     }
 
     // A fault schedule in the regime of a bad day on the cloud queue.
@@ -57,8 +62,13 @@ main(int argc, char **argv)
     std::vector<device::Device> devices = {
         device::ibmLagos(), device::ionqDevice(), device::aqtDevice()};
 
+    const auto wall_start = std::chrono::steady_clock::now();
     jobs::SuiteReport report =
         jobs::runSweep(core::quickSuite(), devices, options, injector);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
 
     std::cout << "Fault-tolerant sweep (seed " << seed
               << ", 1 simulated hour budget):\n\n"
@@ -117,5 +127,62 @@ main(int argc, char **argv)
               << ", devices=" << readback.deviceTableVersion
               << ", fault seed=" << readback.faultSeed << ", attempts="
               << readback.counters["jobs.retry.attempts"] << "\n";
+
+    // Optional run-history hookup: one line comparing this run to the
+    // previous run of the same configuration, then append this one.
+    if (!history_path.empty()) {
+        double score_sum = 0.0;
+        std::size_t score_count = 0;
+        for (const jobs::ReportRow &row : report.rows) {
+            for (const core::BenchmarkRun &run : row.runs) {
+                if (!core::scoreable(run.status) || run.scores.empty())
+                    continue;
+                score_sum += run.summary.mean;
+                ++score_count;
+            }
+        }
+        smq::report::HistoryRecord record =
+            smq::report::HistoryRecord::fromManifest(manifest);
+        record.values["score.mean"] =
+            score_count > 0 ? score_sum /
+                                  static_cast<double>(score_count)
+                            : 0.0;
+        record.values["wall_ms"] = wall_ms;
+
+        smq::report::HistoryLoad load =
+            smq::report::loadHistory(history_path);
+        const smq::report::HistoryRecord *previous = nullptr;
+        for (const smq::report::HistoryRecord &old : load.records) {
+            if (old.sameConfig(record))
+                previous = &old;
+        }
+        if (previous == nullptr) {
+            std::cout << "history: first run of this config in "
+                      << history_path << "\n";
+        } else {
+            auto value_of = [](const smq::report::HistoryRecord &r,
+                               const char *key) {
+                auto it = r.values.find(key);
+                return it != r.values.end() ? it->second : 0.0;
+            };
+            const double prev_score = value_of(*previous, "score.mean");
+            const double prev_wall = value_of(*previous, "wall_ms");
+            std::cout << "history: vs previous same-config run (rev "
+                      << previous->gitRev << "): score.mean "
+                      << prev_score << " -> "
+                      << record.values["score.mean"] << " ("
+                      << (record.values["score.mean"] >= prev_score
+                              ? "+"
+                              : "")
+                      << record.values["score.mean"] - prev_score
+                      << "), wall " << prev_wall << " -> " << wall_ms
+                      << " ms\n";
+        }
+        if (!smq::report::appendHistory(history_path, record)) {
+            std::cerr << "error: could not append to " << history_path
+                      << "\n";
+            return 1;
+        }
+    }
     return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "transpile/cache.hpp"
 #include "util/thread_pool.hpp"
@@ -113,6 +114,7 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
             run.scores[rep] = runRepetition(benchmark, prepared,
                                             device.noise, options.shots,
                                             rng);
+            obs::progressTick(obs::names::kSpanRepetition);
         });
     run.attempts = options.repetitions;
     run.summary = stats::summarize(run.scores);

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 
 namespace smq::jobs {
@@ -269,6 +270,7 @@ runJob(const core::Benchmark &benchmark, const device::Device &device,
         run = runJobImpl(benchmark, device, options, ctx);
     }
     countCellStatus(run.status);
+    obs::progressTick(obs::names::kSpanJob);
     if (run.status == core::RunStatus::Partial &&
         !run.scores.empty()) {
         obs::counter(obs::names::kJobsSalvagedRepetitions)

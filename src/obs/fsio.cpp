@@ -1,0 +1,72 @@
+#include "obs/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace smq::obs {
+
+namespace {
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, std::string_view contents)
+{
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    bool ok = writeAll(fd, contents.data(), contents.size());
+    // fsync before rename: without it a crash between rename and the
+    // delayed writeback could leave a truncated *destination*.
+    ok = (::fsync(fd) == 0) && ok;
+    ok = (::close(fd) == 0) && ok;
+    if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+appendLineDurable(const std::string &path, std::string_view line)
+{
+    // One writer at a time in-process; O_APPEND makes the offset+write
+    // atomic against other processes appending to the same file.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+
+    std::string buffer(line);
+    if (buffer.empty() || buffer.back() != '\n')
+        buffer += '\n';
+
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return false;
+    bool ok = writeAll(fd, buffer.data(), buffer.size());
+    ok = (::fsync(fd) == 0) && ok;
+    ok = (::close(fd) == 0) && ok;
+    return ok;
+}
+
+} // namespace smq::obs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Crash-safe file primitives for the observability artifacts.
+ *
+ * Two write disciplines cover every telemetry file in the repo:
+ *
+ *  - atomicWriteFile(): write-to-temp, fsync, rename. A reader never
+ *    sees a half-written manifest/report, and a crash mid-write leaves
+ *    the previous version intact (the temp file is unlinked or
+ *    orphaned, never the destination).
+ *  - appendLineDurable(): one O_APPEND write of a full line followed
+ *    by fsync, serialized by a process-wide mutex. Concurrent
+ *    appenders (e.g. a `--jobs 8` sweep with per-cell records) cannot
+ *    interleave bytes, and a crash can truncate at most the line being
+ *    written — which the history loader tolerates by design.
+ */
+
+#ifndef SMQ_OBS_FSIO_HPP
+#define SMQ_OBS_FSIO_HPP
+
+#include <string>
+#include <string_view>
+
+namespace smq::obs {
+
+/**
+ * Replace @p path with @p contents via temp-file + fsync + rename.
+ * @return false on any I/O failure (the destination is untouched).
+ */
+bool atomicWriteFile(const std::string &path, std::string_view contents);
+
+/**
+ * Append @p line (a trailing newline is added if missing) to @p path
+ * with a single write followed by fsync. Thread-safe within the
+ * process. @return false on I/O failure.
+ */
+bool appendLineDurable(const std::string &path, std::string_view line);
+
+} // namespace smq::obs
+
+#endif // SMQ_OBS_FSIO_HPP

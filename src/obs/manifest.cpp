@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/fsio.hpp"
 #include "obs/json.hpp"
 #include "obs/names.hpp"
 
@@ -116,11 +117,9 @@ RunManifest::toJson() const
 bool
 RunManifest::writeFile(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << toJson();
-    return static_cast<bool>(out);
+    // tmp + fsync + rename: a crash mid-run can leave an orphaned temp
+    // file but never a truncated <tool>_manifest.json.
+    return atomicWriteFile(path, toJson());
 }
 
 RunManifest

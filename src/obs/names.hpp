@@ -54,6 +54,13 @@ inline constexpr const char *kSimTrajectories = "sim.trajectories";
 inline constexpr const char *kPoolBatches = "pool.batches";
 inline constexpr const char *kPoolTasksRun = "pool.tasks.run";
 
+// --- counters: telemetry consumers (src/report/, obs/progress) -------
+inline constexpr const char *kHistoryAppends = "history.records.appended";
+inline constexpr const char *kHistoryLoaded = "history.records.loaded";
+inline constexpr const char *kHistorySkipped = "history.lines.skipped";
+inline constexpr const char *kProgressTicks = "progress.ticks";
+inline constexpr const char *kProgressEmits = "progress.emits";
+
 // --- gauges ----------------------------------------------------------
 inline constexpr const char *kPoolWorkers = "pool.workers";
 

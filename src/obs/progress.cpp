@@ -1,0 +1,224 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace smq::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ProgressState
+{
+    std::mutex mutex;
+    ProgressOptions options;
+    bool phaseActive = false;
+    std::string phase;
+    std::string unit;
+    std::uint64_t total = 0;
+    std::uint64_t done = 0;
+    std::size_t jobs = 1;
+    Clock::time_point phaseStart;
+    Clock::time_point lastEmit;
+    bool everEmitted = false;
+    std::size_t lastLineLength = 0; ///< for clean TTY overwrites
+};
+
+ProgressState &
+state()
+{
+    static ProgressState s;
+    return s;
+}
+
+std::ostream &
+sinkStream(const ProgressState &s)
+{
+    return s.options.out != nullptr ? *s.options.out : std::cerr;
+}
+
+double
+elapsedSecs(const ProgressState &s)
+{
+    return std::chrono::duration<double>(Clock::now() - s.phaseStart)
+        .count();
+}
+
+/**
+ * Seconds to completion: mean unit duration from the `stage.<unit>.ns`
+ * histogram when metrics carry one, else the observed rate; either
+ * way divided by the worker width.
+ */
+double
+etaSecs(const ProgressState &s)
+{
+    if (s.done >= s.total || s.total == 0)
+        return 0.0;
+    const double remaining = static_cast<double>(s.total - s.done);
+    const double width = static_cast<double>(s.jobs > 0 ? s.jobs : 1);
+    if (metricsEnabled()) {
+        HistogramSnapshot snap =
+            histogram(std::string(names::kStageHistogramPrefix) +
+                      s.unit + names::kStageHistogramSuffix)
+                .snapshot();
+        if (snap.count > 0)
+            return remaining * snap.mean() / 1e9 / width;
+    }
+    if (s.done == 0)
+        return -1.0; // unknown
+    return remaining * elapsedSecs(s) / static_cast<double>(s.done);
+}
+
+std::string
+formatSecs(double secs)
+{
+    if (secs < 0.0)
+        return "?";
+    std::ostringstream out;
+    out.precision(1);
+    out << std::fixed;
+    if (secs >= 90.0)
+        out << secs / 60.0 << "m";
+    else
+        out << secs << "s";
+    return out.str();
+}
+
+/** One emission; caller holds the mutex. @p final closes the phase. */
+void
+emitLocked(ProgressState &s, bool final)
+{
+    std::ostream &out = sinkStream(s);
+    if (s.options.mode == ProgressOptions::Mode::Tty) {
+        std::ostringstream line;
+        line << "[" << s.phase << "] " << s.done << "/" << s.total
+             << " " << s.unit << "s";
+        if (s.total > 0) {
+            line.precision(1);
+            line << std::fixed << " ("
+                 << 100.0 * static_cast<double>(s.done) /
+                        static_cast<double>(s.total)
+                 << "%)";
+        }
+        if (!final)
+            line << " eta " << formatSecs(etaSecs(s));
+        std::string text = line.str();
+        std::size_t pad =
+            text.size() < s.lastLineLength
+                ? s.lastLineLength - text.size()
+                : 0;
+        out << "\r" << text << std::string(pad, ' ');
+        if (final)
+            out << "\n";
+        out.flush();
+        s.lastLineLength = text.size();
+    } else {
+        std::ostringstream line;
+        line.precision(1);
+        line << std::fixed << "{\"event\":\""
+             << (final ? "progress_end" : "progress") << "\",\"phase\":\""
+             << escapeJson(s.phase) << "\",\"unit\":\""
+             << escapeJson(s.unit) << "\",\"done\":" << s.done
+             << ",\"total\":" << s.total
+             << ",\"elapsed_s\":" << elapsedSecs(s);
+        if (!final) {
+            double eta = etaSecs(s);
+            if (eta >= 0.0)
+                line << ",\"eta_s\":" << eta;
+        }
+        line << "}";
+        out << line.str() << "\n";
+        out.flush();
+    }
+    s.lastEmit = Clock::now();
+    s.everEmitted = true;
+    counter(names::kProgressEmits).add();
+}
+
+} // namespace
+
+void
+startProgress(const ProgressOptions &options)
+{
+    ProgressState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.options = options;
+    s.phaseActive = false;
+    s.everEmitted = false;
+    s.lastLineLength = 0;
+    detail::g_progressEnabled.store(
+        options.mode != ProgressOptions::Mode::Off,
+        std::memory_order_relaxed);
+}
+
+void
+stopProgress()
+{
+    if (!progressEnabled())
+        return;
+    progressEnd();
+    ProgressState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    detail::g_progressEnabled.store(false, std::memory_order_relaxed);
+    s.options = ProgressOptions{};
+}
+
+void
+progressBegin(const char *phase, const char *unit, std::uint64_t total,
+              std::size_t jobs)
+{
+    if (!progressEnabled())
+        return;
+    ProgressState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.phaseActive = true;
+    s.phase = phase;
+    s.unit = unit;
+    s.total = total;
+    s.done = 0;
+    s.jobs = jobs;
+    s.phaseStart = Clock::now();
+    emitLocked(s, /*final=*/false);
+}
+
+void
+progressEnd()
+{
+    if (!progressEnabled())
+        return;
+    ProgressState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.phaseActive)
+        return;
+    emitLocked(s, /*final=*/true);
+    s.phaseActive = false;
+}
+
+void
+progressTick(const char *unit, std::uint64_t delta)
+{
+    if (!progressEnabled())
+        return;
+    ProgressState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.phaseActive || s.unit != unit)
+        return;
+    s.done += delta;
+    counter(names::kProgressTicks).add(delta);
+    const double since_last =
+        std::chrono::duration<double>(Clock::now() - s.lastEmit)
+            .count();
+    if (s.done >= s.total || since_last >= s.options.heartbeatSecs)
+        emitLocked(s, /*final=*/false);
+}
+
+} // namespace smq::obs

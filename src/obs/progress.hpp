@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Live progress reporting for long sweeps.
+ *
+ * A `--jobs 8` Fig. 2 grid is minutes of silence without this: the
+ * progress sink turns unit-of-work completions (grid cells, scoring
+ * repetitions) into either a single self-overwriting TTY status line
+ * or a machine-readable JSONL heartbeat stream for CI logs.
+ *
+ * The sink is **off by default and zero-cost when off**: every
+ * progressTick() site first reads one relaxed atomic bool and does
+ * nothing else while it is false. When on, emission is rate-limited
+ * (ProgressOptions::heartbeatSecs) and guarded by a mutex, and output
+ * goes to a side channel (stderr by default) — the sink never touches
+ * RNG streams, task ordering, or simulated state, so a progress-
+ * reporting run stays byte-identical to a silent one (asserted by
+ * `ctest -L report`).
+ *
+ * Phases are coarse: the coordinating thread opens one with
+ * progressBegin(phase, unit, total, jobs) and closes it with
+ * progressEnd(). Worker threads call progressTick(unit); ticks whose
+ * unit does not match the active phase's unit are ignored, so nested
+ * instrumentation (repetitions inside a cell-counting grid) cannot
+ * double-count. ETA blends the mean of the `stage.<unit>.ns`
+ * histogram (when metrics are enabled) with the observed completion
+ * rate, divided by the worker width.
+ */
+
+#ifndef SMQ_OBS_PROGRESS_HPP
+#define SMQ_OBS_PROGRESS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+namespace smq::obs {
+
+namespace detail {
+inline std::atomic<bool> g_progressEnabled{false};
+} // namespace detail
+
+/** Whether startProgress() is active (one relaxed load). */
+inline bool
+progressEnabled()
+{
+    return detail::g_progressEnabled.load(std::memory_order_relaxed);
+}
+
+/** Configuration for the process-wide progress sink. */
+struct ProgressOptions
+{
+    enum class Mode {
+        Off,
+        Tty,  ///< single `\r`-overwritten status line
+        Jsonl ///< one JSON object per emission (CI logs)
+    };
+    Mode mode = Mode::Off;
+    /** Minimum seconds between emissions (0 = emit on every tick). */
+    double heartbeatSecs = 1.0;
+    /** Emission stream; nullptr = std::cerr. */
+    std::ostream *out = nullptr;
+};
+
+/** Enable the sink. A second start replaces the configuration. */
+void startProgress(const ProgressOptions &options);
+
+/** Final emission for an open phase, then disable. Safe when off. */
+void stopProgress();
+
+/**
+ * Open a phase of @p total units named @p unit, executed @p jobs wide
+ * (0 = hardware width). No-op while the sink is off. Call from the
+ * coordinating thread, not from workers.
+ */
+void progressBegin(const char *phase, const char *unit,
+                   std::uint64_t total, std::size_t jobs);
+
+/** Close the active phase with a final emission. No-op when off. */
+void progressEnd();
+
+/**
+ * Record @p delta completed units of kind @p unit. Thread-safe; free
+ * while the sink is off; ignored when @p unit differs from the active
+ * phase's unit.
+ */
+void progressTick(const char *unit, std::uint64_t delta = 1);
+
+} // namespace smq::obs
+
+#endif // SMQ_OBS_PROGRESS_HPP

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The run-history store: an append-only `runs.jsonl` of flattened run
+ * records (schema `smq-run-history-v1`), the substrate every other
+ * telemetry consumer (sentinel, HTML report, delta printers) reads.
+ *
+ * One line = one run. Records are flattened RunManifests — git rev,
+ * config (seed/shots/reps/jobs/faults), cache hit rates, per-stage
+ * wall-time rollups, counters — plus a free-form numeric `values` map
+ * for facts manifests don't carry (scores per (benchmark, device),
+ * wall-clock totals, overhead fractions).
+ *
+ * Durability contract:
+ *  - appendHistory() is one fsynced O_APPEND write per record
+ *    (obs::appendLineDurable), safe under `--jobs 8` concurrent
+ *    appenders and leaving at most one truncated tail line after a
+ *    crash;
+ *  - loadHistory() tolerates exactly that: unparseable lines are
+ *    counted and skipped, never fatal, and records from *newer*
+ *    `smq-run-history-v*` schema versions are parsed best-effort so
+ *    an old binary can still read a store a newer one appended to;
+ *  - compactHistory() rewrites the surviving records tmp+fsync+rename,
+ *    dropping corrupt lines (and optionally old records) atomically.
+ */
+
+#ifndef SMQ_REPORT_HISTORY_HPP
+#define SMQ_REPORT_HISTORY_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+
+namespace smq::report {
+
+/** Schema identifier for the current record format. */
+inline constexpr const char *kHistorySchema = "smq-run-history-v1";
+/** Common prefix of every schema version this loader accepts. */
+inline constexpr const char *kHistorySchemaPrefix = "smq-run-history-v";
+
+/** One flattened run: a single line of the history store. */
+struct HistoryRecord
+{
+    std::string schema = kHistorySchema;
+    std::string tool;
+    std::string gitRev = "unknown";
+    std::string deviceTableVersion;
+
+    // --- execution configuration (the record's matching key) ---------
+    std::uint64_t seed = 0;
+    std::uint64_t shots = 0;
+    std::uint64_t repetitions = 0;
+    std::uint64_t jobs = 0;
+    bool faultsEnabled = false;
+    std::uint64_t faultSeed = 0;
+
+    // --- observed outcome --------------------------------------------
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::map<std::string, obs::StageRollup> stages;
+    std::map<std::string, std::uint64_t> counters;
+    /** Numeric facts: `score.<bench>@<device>`, `wall_ms`, ... */
+    std::map<std::string, double> values;
+    std::map<std::string, std::string> extra;
+
+    /** Flatten a run manifest into a record (values left empty). */
+    static HistoryRecord fromManifest(const obs::RunManifest &manifest);
+
+    /** Serialize to one line of JSON (no embedded newlines). */
+    std::string toJsonLine() const;
+
+    /**
+     * Parse one line. Accepts any `smq-run-history-v*` schema,
+     * ignoring fields it does not know. @throws std::runtime_error on
+     * malformed JSON or a foreign/missing schema.
+     */
+    static HistoryRecord fromJsonLine(const std::string &line);
+
+    /**
+     * Whether @p other ran the same workload configuration: same tool,
+     * shots, repetitions and fault setting. `jobs` is deliberately
+     * excluded so serial and parallel runs of one workload share a
+     * trajectory.
+     */
+    bool sameConfig(const HistoryRecord &other) const;
+};
+
+/** Result of reading a history file. */
+struct HistoryLoad
+{
+    std::vector<HistoryRecord> records; ///< file order (oldest first)
+    std::size_t skippedLines = 0;       ///< unparseable lines dropped
+    bool corruptTail = false; ///< the *last* line was unparseable
+};
+
+/**
+ * Read every parseable record from @p path. A missing file yields an
+ * empty load (first-run friendly); corrupt lines are skipped and
+ * counted, with corruptTail flagging the crash-truncation signature.
+ */
+HistoryLoad loadHistory(const std::string &path);
+
+/** Durably append one record. @return false on I/O failure. */
+bool appendHistory(const std::string &path, const HistoryRecord &record);
+
+/**
+ * Rewrite @p path atomically with only its parseable records, keeping
+ * the newest @p keepLast of them (0 = keep all). @return false on I/O
+ * failure; a failed compaction leaves the original file intact.
+ */
+bool compactHistory(const std::string &path, std::size_t keepLast = 0);
+
+} // namespace smq::report
+
+#endif // SMQ_REPORT_HISTORY_HPP

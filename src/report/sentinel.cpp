@@ -1,0 +1,237 @@
+#include "report/sentinel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace smq::report {
+
+namespace {
+
+/** Key under which the overhead fraction rides in history values. */
+constexpr const char *kObsOverheadKey = "obs_overhead_frac";
+/** Display name of the overhead pseudo-stage in the verdict table. */
+constexpr const char *kObsOverheadStage = "obs_overhead_frac";
+/** Absolute overhead budget (fraction), inherited from bench_perf. */
+constexpr double kObsOverheadBudget = 0.02;
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+medianAbsoluteDeviation(const std::vector<double> &values, double center)
+{
+    std::vector<double> deviations;
+    deviations.reserve(values.size());
+    for (double v : values)
+        deviations.push_back(std::fabs(v - center));
+    return median(std::move(deviations));
+}
+
+/** Mean wall ms a record observed for @p stage, or -1 when absent. */
+double
+stageMsOf(const HistoryRecord &record, const std::string &stage)
+{
+    auto it = record.stages.find(stage);
+    if (it == record.stages.end() || it->second.count == 0)
+        return -1.0;
+    return static_cast<double>(it->second.totalNs) /
+           static_cast<double>(it->second.count) / 1e6;
+}
+
+} // namespace
+
+PerfSnapshot
+loadPerfJson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("sentinel: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    obs::JsonValue root = obs::parseJson(buffer.str());
+
+    PerfSnapshot snap;
+    for (const obs::JsonValue &stage : root.at("stages").array) {
+        snap.stageMs[stage.at("name").asString()] =
+            stage.at("wall_ms").asDouble();
+    }
+    if (const obs::JsonValue *obs_block = root.find("obs_overhead")) {
+        if (const obs::JsonValue *frac = obs_block->find("overhead_frac"))
+            snap.obsOverheadFrac = frac->asDouble();
+    }
+    if (const obs::JsonValue *jobs = root.find("grid_jobs"))
+        snap.gridJobs = jobs->asU64();
+    if (const obs::JsonValue *config = root.find("config")) {
+        if (const obs::JsonValue *v = config->find("shots"))
+            snap.shots = v->asU64();
+        if (const obs::JsonValue *v = config->find("repetitions"))
+            snap.repetitions = v->asU64();
+    }
+    return snap;
+}
+
+HistoryRecord
+historyFromPerf(const PerfSnapshot &snapshot, const std::string &tool)
+{
+    HistoryRecord rec;
+    rec.tool = tool;
+    rec.shots = snapshot.shots;
+    rec.repetitions = snapshot.repetitions;
+    rec.jobs = snapshot.gridJobs;
+    for (const auto &[name, ms] : snapshot.stageMs) {
+        const std::uint64_t ns =
+            static_cast<std::uint64_t>(std::max(0.0, ms) * 1e6);
+        rec.stages[name] = obs::StageRollup{1, ns, ns, ns};
+    }
+    rec.values[kObsOverheadKey] = snapshot.obsOverheadFrac;
+    return rec;
+}
+
+bool
+CheckReport::regression() const
+{
+    for (const StageCheck &stage : stages) {
+        if (stage.regressed)
+            return true;
+    }
+    return false;
+}
+
+std::string
+CheckReport::render() const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(2);
+    out << std::left << std::setw(32) << "stage" << std::right
+        << std::setw(12) << "current" << std::setw(22)
+        << "baseline med+/-MAD" << std::setw(8) << "ratio"
+        << std::setw(5) << "n"
+        << "  verdict\n";
+    for (const StageCheck &s : stages) {
+        out << std::left << std::setw(32) << s.stage << std::right
+            << std::setw(10) << s.currentMs << "  ";
+        if (s.samples == 0) {
+            out << std::setw(22) << "(no baseline)" << std::setw(8)
+                << "-";
+        } else {
+            std::ostringstream base;
+            base << std::fixed << std::setprecision(2) << s.medianMs
+                 << " +/- " << s.madMs;
+            out << std::setw(22) << base.str() << std::setw(7)
+                << s.ratio << "x";
+        }
+        out << std::setw(5) << s.samples << "  "
+            << (s.regressed ? "REGRESSED"
+                            : (s.graced ? "grace" : "ok"))
+            << "\n";
+    }
+    if (!note.empty())
+        out << note << "\n";
+    return out.str();
+}
+
+CheckReport
+checkPerf(const PerfSnapshot &current,
+          const std::vector<HistoryRecord> &history,
+          const SentinelOptions &options)
+{
+    CheckReport report;
+
+    // Newest `window` records of the matching configuration.
+    HistoryRecord key;
+    key.tool = options.tool;
+    key.shots = current.shots;
+    key.repetitions = current.repetitions;
+    key.faultsEnabled = false;
+    std::vector<const HistoryRecord *> matching;
+    for (const HistoryRecord &rec : history) {
+        if (rec.sameConfig(key))
+            matching.push_back(&rec);
+    }
+    if (matching.size() > options.window) {
+        matching.erase(matching.begin(),
+                       matching.end() -
+                           static_cast<std::ptrdiff_t>(options.window));
+    }
+    report.baselineRuns = matching.size();
+
+    auto judge = [&](const std::string &stage, double current_value,
+                     const std::vector<double> &samples,
+                     double mad_floor, double abs_gate) {
+        StageCheck check;
+        check.stage = stage;
+        check.currentMs = current_value;
+        check.samples = samples.size();
+        if (samples.size() < options.minSamples) {
+            check.graced = true;
+        } else {
+            check.medianMs = median(samples);
+            check.madMs =
+                medianAbsoluteDeviation(samples, check.medianMs);
+            check.ratio = check.medianMs > 0.0
+                              ? current_value / check.medianMs
+                              : 0.0;
+            const double mad_term =
+                options.madGate * std::max(check.madMs, mad_floor);
+            check.regressed =
+                current_value >
+                    check.medianMs * (1.0 + options.threshold) &&
+                current_value - check.medianMs > mad_term &&
+                current_value > abs_gate;
+        }
+        report.stages.push_back(check);
+    };
+
+    for (const auto &[stage, ms] : current.stageMs) {
+        if (ms < options.minMs)
+            continue; // below timer noise; never judged
+        std::vector<double> samples;
+        for (const HistoryRecord *rec : matching) {
+            double v = stageMsOf(*rec, stage);
+            if (v >= 0.0)
+                samples.push_back(v);
+        }
+        judge(stage, ms, samples, options.madFloorMs, 0.0);
+    }
+
+    // Obs-overhead fraction: same robust gates, plus the absolute 2%
+    // budget — overhead inside budget never fails the build.
+    {
+        std::vector<double> samples;
+        for (const HistoryRecord *rec : matching) {
+            auto it = rec->values.find(kObsOverheadKey);
+            if (it != rec->values.end())
+                samples.push_back(it->second);
+        }
+        judge(kObsOverheadStage, current.obsOverheadFrac, samples,
+              /*mad_floor=*/0.005, /*abs_gate=*/kObsOverheadBudget);
+    }
+
+    if (report.baselineRuns == 0) {
+        report.note = "no matching baseline runs (first run of this "
+                      "config) - all stages pass on grace";
+    } else if (report.baselineRuns < options.minSamples) {
+        report.note =
+            "only " + std::to_string(report.baselineRuns) +
+            " baseline run(s); need " +
+            std::to_string(options.minSamples) +
+            " for a verdict - stages pass on small-sample grace";
+    }
+    return report;
+}
+
+} // namespace smq::report

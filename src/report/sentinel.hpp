@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The perf-regression sentinel: compares a fresh `BENCH_perf.json`
+ * against the run-history store and decides, robustly, whether a
+ * stage got slower.
+ *
+ * Baselines are median/MAD over the last `window` records whose
+ * config matches the current run (HistoryRecord::sameConfig), so one
+ * noisy historical run cannot poison the trajectory the way a mean
+ * would. A stage regresses only when it clears *both* gates:
+ *
+ *     current > median * (1 + threshold)            (relative)
+ *     current - median > madGate * max(MAD, floor)  (noise-scaled)
+ *
+ * Grace rules keep the gate honest on thin data: no baseline file or
+ * no matching records (first run) passes, stages with fewer than
+ * `minSamples` baseline points pass, and stages under `minMs` are
+ * ignored entirely (timer noise). The obs-overhead fraction is checked
+ * the same way, plus an absolute 2% budget inherited from PR 3.
+ */
+
+#ifndef SMQ_REPORT_SENTINEL_HPP
+#define SMQ_REPORT_SENTINEL_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/history.hpp"
+
+namespace smq::report {
+
+/** Parsed view of a `BENCH_perf.json` produced by bench_perf. */
+struct PerfSnapshot
+{
+    std::map<std::string, double> stageMs; ///< stage name -> wall ms
+    double obsOverheadFrac = 0.0;
+    std::uint64_t gridJobs = 0;
+    /** Workload config (absent in pre-PR-4 files: left 0). */
+    std::uint64_t shots = 0;
+    std::uint64_t repetitions = 0;
+};
+
+/**
+ * Parse a BENCH_perf.json. @throws std::runtime_error on I/O failure
+ * or malformed JSON.
+ */
+PerfSnapshot loadPerfJson(const std::string &path);
+
+/** Flatten a perf snapshot into a history record for @p tool. */
+HistoryRecord historyFromPerf(const PerfSnapshot &snapshot,
+                              const std::string &tool = "bench_perf");
+
+/** Sentinel decision knobs (see file comment for the gates). */
+struct SentinelOptions
+{
+    double threshold = 0.35;  ///< relative slowdown gate
+    double madGate = 4.0;     ///< MAD multiples above the median
+    double madFloorMs = 0.5;  ///< MAD lower bound (quantization)
+    std::size_t minSamples = 3;
+    std::size_t window = 20;  ///< newest matching records considered
+    double minMs = 1.0;       ///< ignore faster stages (timer noise)
+    std::string tool = "bench_perf"; ///< trajectory to compare against
+};
+
+/** Verdict for one stage (or the obs-overhead pseudo-stage). */
+struct StageCheck
+{
+    std::string stage;
+    double currentMs = 0.0;
+    double medianMs = 0.0;
+    double madMs = 0.0;
+    double ratio = 0.0; ///< current / median (0 when no baseline)
+    std::size_t samples = 0;
+    bool regressed = false;
+    bool graced = false; ///< insufficient baseline for a verdict
+};
+
+/** Full sentinel verdict over one perf snapshot. */
+struct CheckReport
+{
+    std::vector<StageCheck> stages;
+    std::size_t baselineRuns = 0; ///< matching records consulted
+    std::string note;             ///< grace / context commentary
+
+    bool regression() const;
+
+    /** Human-readable verdict table (regressed stages flagged). */
+    std::string render() const;
+};
+
+/**
+ * Compare @p current against @p history under @p options. Pure: reads
+ * no files, so tests can synthesize both sides.
+ */
+CheckReport checkPerf(const PerfSnapshot &current,
+                      const std::vector<HistoryRecord> &history,
+                      const SentinelOptions &options = {});
+
+} // namespace smq::report
+
+#endif // SMQ_REPORT_SENTINEL_HPP

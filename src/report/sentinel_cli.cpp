@@ -1,0 +1,307 @@
+#include "report/sentinel_cli.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <ostream>
+
+#include "obs/fsio.hpp"
+#include "obs/manifest.hpp"
+#include "report/history.hpp"
+#include "report/html_report.hpp"
+#include "report/sentinel.hpp"
+
+namespace smq::report {
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: smq_sentinel <subcommand> [options]\n"
+    "\n"
+    "  check PERF_JSON --baseline FILE [--threshold F]\n"
+    "        [--min-samples N] [--window N] [--tool NAME]\n"
+    "      exit 1 when a stage regressed vs the store's trajectory\n"
+    "  baseline PERF_JSON [--history FILE]\n"
+    "      append the perf snapshot to the store (default runs.jsonl)\n"
+    "  ingest DIR [--history FILE]\n"
+    "      append every *_manifest.json under DIR to the store\n"
+    "  report [--history FILE] [--trace DIR] [--out FILE] [--title T]\n"
+    "      write a self-contained HTML run report (default report.html)\n"
+    "  compact [--history FILE] [--keep N]\n"
+    "      atomically rewrite the store, dropping corrupt lines\n";
+
+/** Tiny flag cursor over the args vector. */
+class Args
+{
+  public:
+    explicit Args(std::vector<std::string> args)
+        : args_(std::move(args))
+    {
+    }
+
+    /** Consume the next positional argument, if any. */
+    std::optional<std::string> positional()
+    {
+        for (std::size_t i = 0; i < args_.size(); ++i) {
+            if (args_[i].rfind("--", 0) != 0) {
+                std::string value = args_[i];
+                args_.erase(args_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                return value;
+            }
+            ++i; // skip the flag's value
+        }
+        return std::nullopt;
+    }
+
+    /** Consume `--name VALUE`, if present. */
+    std::optional<std::string> flag(const std::string &name)
+    {
+        for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+            if (args_[i] == name) {
+                std::string value = args_[i + 1];
+                args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                            args_.begin() +
+                                static_cast<std::ptrdiff_t>(i + 2));
+                return value;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Whatever was not consumed (unknown flags → usage error). */
+    const std::vector<std::string> &rest() const { return args_; }
+
+  private:
+    std::vector<std::string> args_;
+};
+
+int
+usageError(std::ostream &err, const std::string &message)
+{
+    err << "smq_sentinel: " << message << "\n" << kUsage;
+    return kSentinelUsage;
+}
+
+int
+runCheck(Args &args, std::ostream &out, std::ostream &err)
+{
+    auto perf_path = args.positional();
+    auto baseline = args.flag("--baseline");
+    if (!perf_path || !baseline)
+        return usageError(err, "check needs PERF_JSON and --baseline");
+
+    SentinelOptions options;
+    try {
+        if (auto v = args.flag("--threshold"))
+            options.threshold = std::stod(*v);
+        if (auto v = args.flag("--min-samples"))
+            options.minSamples = std::stoul(*v);
+        if (auto v = args.flag("--window"))
+            options.window = std::stoul(*v);
+        if (auto v = args.flag("--tool"))
+            options.tool = *v;
+    } catch (const std::exception &) {
+        return usageError(err, "check: non-numeric flag value");
+    }
+    if (!args.rest().empty())
+        return usageError(err, "check: unknown argument " +
+                                   args.rest().front());
+
+    PerfSnapshot current;
+    try {
+        current = loadPerfJson(*perf_path);
+    } catch (const std::exception &e) {
+        err << "smq_sentinel: " << e.what() << "\n";
+        return kSentinelUsage;
+    }
+
+    HistoryLoad load = loadHistory(*baseline);
+    CheckReport report = checkPerf(current, load.records, options);
+    out << report.render();
+    if (load.skippedLines > 0) {
+        out << "(store: " << load.skippedLines
+            << " unparseable line(s) skipped"
+            << (load.corruptTail ? ", corrupt tail - consider "
+                                   "`smq_sentinel compact`"
+                                 : "")
+            << ")\n";
+    }
+    if (report.regression()) {
+        out << "verdict: REGRESSION\n";
+        return kSentinelRegression;
+    }
+    out << "verdict: ok (" << report.baselineRuns
+        << " baseline run(s))\n";
+    return kSentinelOk;
+}
+
+int
+runBaseline(Args &args, std::ostream &out, std::ostream &err)
+{
+    auto perf_path = args.positional();
+    if (!perf_path)
+        return usageError(err, "baseline needs PERF_JSON");
+    const std::string history =
+        args.flag("--history").value_or("runs.jsonl");
+    if (!args.rest().empty())
+        return usageError(err, "baseline: unknown argument " +
+                                   args.rest().front());
+
+    HistoryRecord record;
+    try {
+        record = historyFromPerf(loadPerfJson(*perf_path));
+    } catch (const std::exception &e) {
+        err << "smq_sentinel: " << e.what() << "\n";
+        return kSentinelUsage;
+    }
+    if (!appendHistory(history, record)) {
+        err << "smq_sentinel: cannot append to " << history << "\n";
+        return kSentinelUsage;
+    }
+    out << "promoted " << *perf_path << " (" << record.stages.size()
+        << " stages) into " << history << "\n";
+    return kSentinelOk;
+}
+
+int
+runIngest(Args &args, std::ostream &out, std::ostream &err)
+{
+    auto dir = args.positional();
+    if (!dir)
+        return usageError(err, "ingest needs DIR");
+    const std::string history =
+        args.flag("--history").value_or("runs.jsonl");
+    if (!args.rest().empty())
+        return usageError(err, "ingest: unknown argument " +
+                                   args.rest().front());
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(*dir, ec)) {
+        err << "smq_sentinel: not a directory: " << *dir << "\n";
+        return kSentinelUsage;
+    }
+    std::vector<std::string> manifests;
+    for (fs::recursive_directory_iterator it(*dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        const fs::path &p = it->path();
+        const std::string name = p.filename().string();
+        if (it->is_regular_file(ec) && name.size() > 14 &&
+            name.rfind("_manifest.json") == name.size() - 14) {
+            manifests.push_back(p.string());
+        }
+    }
+    std::sort(manifests.begin(), manifests.end());
+
+    std::size_t appended = 0, failed = 0;
+    for (const std::string &path : manifests) {
+        try {
+            obs::RunManifest manifest = obs::RunManifest::readFile(path);
+            if (!appendHistory(history,
+                               HistoryRecord::fromManifest(manifest))) {
+                err << "smq_sentinel: cannot append to " << history
+                    << "\n";
+                return kSentinelUsage;
+            }
+            ++appended;
+        } catch (const std::exception &e) {
+            err << "smq_sentinel: skipping " << path << ": " << e.what()
+                << "\n";
+            ++failed;
+        }
+    }
+    out << "ingested " << appended << " manifest(s) into " << history;
+    if (failed > 0)
+        out << " (" << failed << " unreadable, skipped)";
+    out << "\n";
+    return kSentinelOk;
+}
+
+int
+runReport(Args &args, std::ostream &out, std::ostream &err)
+{
+    const std::string history =
+        args.flag("--history").value_or("runs.jsonl");
+    const std::string out_path =
+        args.flag("--out").value_or("report.html");
+    ReportInputs inputs;
+    inputs.traceDir = args.flag("--trace").value_or("");
+    if (auto title = args.flag("--title"))
+        inputs.title = *title;
+    if (auto stray = args.positional())
+        return usageError(err, "report: unknown argument " + *stray);
+    if (!args.rest().empty())
+        return usageError(err, "report: unknown argument " +
+                                   args.rest().front());
+
+    HistoryLoad load = loadHistory(history);
+    inputs.history = std::move(load.records);
+    inputs.skippedLines = load.skippedLines;
+
+    const std::string html = renderHtmlReport(inputs);
+    if (!obs::atomicWriteFile(out_path, html)) {
+        err << "smq_sentinel: cannot write " << out_path << "\n";
+        return kSentinelUsage;
+    }
+    out << "wrote " << out_path << " (" << inputs.history.size()
+        << " record(s), " << html.size() << " bytes)\n";
+    return kSentinelOk;
+}
+
+int
+runCompact(Args &args, std::ostream &out, std::ostream &err)
+{
+    const std::string history =
+        args.flag("--history").value_or("runs.jsonl");
+    std::size_t keep = 0;
+    try {
+        if (auto v = args.flag("--keep"))
+            keep = std::stoul(*v);
+    } catch (const std::exception &) {
+        return usageError(err, "compact: non-numeric --keep");
+    }
+    if (auto stray = args.positional())
+        return usageError(err, "compact: unknown argument " + *stray);
+
+    const HistoryLoad before = loadHistory(history);
+    if (!compactHistory(history, keep)) {
+        err << "smq_sentinel: cannot compact " << history << "\n";
+        return kSentinelUsage;
+    }
+    const HistoryLoad after = loadHistory(history);
+    out << "compacted " << history << ": " << before.records.size()
+        << " -> " << after.records.size() << " record(s), "
+        << before.skippedLines << " corrupt line(s) dropped\n";
+    return kSentinelOk;
+}
+
+} // namespace
+
+int
+sentinelMain(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err)
+{
+    if (args.empty())
+        return usageError(err, "missing subcommand");
+    const std::string &command = args.front();
+    Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
+    if (command == "check")
+        return runCheck(rest, out, err);
+    if (command == "baseline")
+        return runBaseline(rest, out, err);
+    if (command == "ingest")
+        return runIngest(rest, out, err);
+    if (command == "report")
+        return runReport(rest, out, err);
+    if (command == "compact")
+        return runCompact(rest, out, err);
+    if (command == "--help" || command == "help") {
+        out << kUsage;
+        return kSentinelOk;
+    }
+    return usageError(err, "unknown subcommand: " + command);
+}
+
+} // namespace smq::report

@@ -36,7 +36,9 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "report/history.hpp"
 #include "sim/density_matrix.hpp"
 
 using namespace smq;
@@ -455,6 +457,31 @@ TEST(ObsDocs, EveryEmittedMetricNameIsDocumented)
 
     sim::DensityMatrix rho(2);
     rho.applyGate(qc::Gate(qc::GateType::H, {0}));
+
+    // The telemetry consumers (PR 4): a history append/load cycle and
+    // a progress phase, so `history.*` / `progress.*` names are held
+    // to the same closure.
+    {
+        const std::filesystem::path store =
+            freshDir("obs_docs_history") / "runs.jsonl";
+        std::filesystem::create_directories(store.parent_path());
+        report::HistoryRecord record;
+        record.tool = "obs_docs";
+        report::appendHistory(store.string(), record);
+        report::appendHistory(store.string(), record);
+        report::loadHistory(store.string());
+
+        std::ostringstream progress_log;
+        obs::ProgressOptions progress;
+        progress.mode = obs::ProgressOptions::Mode::Jsonl;
+        progress.heartbeatSecs = 0.0;
+        progress.out = &progress_log;
+        obs::startProgress(progress);
+        obs::progressBegin("grid", obs::names::kSpanJob, 2, 1);
+        obs::progressTick(obs::names::kSpanJob, 2);
+        obs::progressEnd();
+        obs::stopProgress();
+    }
 
     obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
     obs::setMetricsEnabled(false);

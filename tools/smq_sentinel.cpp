@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Thin entry point for the perf sentinel; all logic (and its tests)
+ * live in src/report/sentinel_cli.cpp.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/sentinel_cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return smq::report::sentinelMain(args, std::cout, std::cerr);
+}
