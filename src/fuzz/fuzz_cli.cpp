@@ -1,0 +1,178 @@
+#include "fuzz/fuzz_cli.hpp"
+
+#include <cctype>
+#include <exception>
+#include <optional>
+
+#include "fuzz/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "report/history.hpp"
+
+namespace smq::fuzz {
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: smq_fuzz [options]\n"
+    "\n"
+    "  --seed N        corpus seed (default 1); identical seeds give\n"
+    "                  byte-identical reports at any --jobs\n"
+    "  --cases N       number of random circuits (default 100)\n"
+    "  --jobs N        worker threads (default 2; 0 = hardware); the\n"
+    "                  corpus is re-run serially and compared when > 1\n"
+    "  --clifford      Clifford-only gate alphabet\n"
+    "  --min-qubits N  smallest register (default 2)\n"
+    "  --max-qubits N  largest register (default 5)\n"
+    "  --max-gates N   largest body length (default 30)\n"
+    "  --no-mcm        no mid-circuit measurements or resets\n"
+    "  --no-shrink     keep failing circuits unminimised\n"
+    "  --out DIR       write repro .qasm + regression-test artifacts\n"
+    "  --history FILE  append the run to a run-history store\n"
+    "  --metrics       enable the fuzz.* metrics registry counters\n";
+
+/** Strict full-token unsigned parse (see report::sentinel_cli). */
+std::optional<std::uint64_t>
+parseU64(const std::string &text)
+{
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])))
+        return std::nullopt;
+    try {
+        std::size_t consumed = 0;
+        unsigned long long value = std::stoull(text, &consumed);
+        if (consumed != text.size())
+            return std::nullopt;
+        return static_cast<std::uint64_t>(value);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+int
+usageError(std::ostream &err, const std::string &message)
+{
+    err << "smq_fuzz: " << message << "\n" << kUsage;
+    return kFuzzUsage;
+}
+
+} // namespace
+
+int
+fuzzMain(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    FuzzOptions options;
+    options.jobs = 2;
+    std::string history;
+    bool metrics = false;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help" || arg == "-h") {
+            out << kUsage;
+            return kFuzzOk;
+        }
+        if (arg == "--clifford") {
+            options.gen.cliffordOnly = true;
+            continue;
+        }
+        if (arg == "--no-mcm") {
+            options.gen.midCircuitMeasure = false;
+            options.gen.resets = false;
+            continue;
+        }
+        if (arg == "--no-shrink") {
+            options.shrinkFailures = false;
+            continue;
+        }
+        if (arg == "--metrics") {
+            metrics = true;
+            continue;
+        }
+        // every remaining flag takes a value
+        const bool takes_string = arg == "--out" || arg == "--history";
+        const bool takes_number = arg == "--seed" || arg == "--cases" ||
+                                  arg == "--jobs" ||
+                                  arg == "--min-qubits" ||
+                                  arg == "--max-qubits" ||
+                                  arg == "--max-gates";
+        if (!takes_string && !takes_number)
+            return usageError(err, "unknown flag " + arg);
+        if (i + 1 >= args.size())
+            return usageError(err, arg + " needs a value");
+        const std::string &value = args[++i];
+        if (arg == "--out") {
+            options.artifactDir = value;
+            continue;
+        }
+        if (arg == "--history") {
+            history = value;
+            continue;
+        }
+        auto parsed = parseU64(value);
+        if (!parsed)
+            return usageError(err, "bad value for " + arg + ": '" + value +
+                                       "'");
+        if (arg == "--seed") {
+            options.seed = *parsed;
+        } else if (arg == "--cases") {
+            options.cases = static_cast<std::size_t>(*parsed);
+        } else if (arg == "--jobs") {
+            options.jobs = static_cast<std::size_t>(*parsed);
+        } else if (arg == "--min-qubits") {
+            options.gen.minQubits = static_cast<std::size_t>(*parsed);
+        } else if (arg == "--max-qubits") {
+            options.gen.maxQubits = static_cast<std::size_t>(*parsed);
+        } else if (arg == "--max-gates") {
+            options.gen.maxGates = static_cast<std::size_t>(*parsed);
+        }
+    }
+    if (options.gen.minQubits < 1 ||
+        options.gen.minQubits > options.gen.maxQubits ||
+        options.gen.maxQubits > 12) {
+        return usageError(err, "qubit range must satisfy "
+                               "1 <= min <= max <= 12");
+    }
+    if (options.gen.minGates > options.gen.maxGates)
+        return usageError(err, "gate range must satisfy min <= max");
+
+    if (metrics)
+        obs::setMetricsEnabled(true);
+
+    FuzzReport report = runFuzz(options);
+    out << report.render();
+
+    std::string jobs_verdict;
+    if (options.jobs != 1) {
+        jobs_verdict = verifyJobsIdentity(report);
+        out << "jobs identity: "
+            << (jobs_verdict.empty() ? "ok (serial rerun byte-identical)"
+                                     : jobs_verdict)
+            << "\n";
+    }
+
+    if (!history.empty()) {
+        report::HistoryRecord record;
+        record.tool = "smq_fuzz";
+        record.seed = options.seed;
+        record.jobs = options.jobs;
+        if (metrics) {
+            for (const auto &[name, value] :
+                 obs::snapshotMetrics().counters) {
+                if (value > 0)
+                    record.counters[name] = value;
+            }
+        }
+        record.values["cases"] = static_cast<double>(report.casesRun);
+        record.values["failures"] =
+            static_cast<double>(report.failures.size());
+        if (!report::appendHistory(history, record))
+            err << "smq_fuzz: cannot append to " << history << "\n";
+    }
+
+    if (!report.clean() || !jobs_verdict.empty())
+        return kFuzzDiscrepancy;
+    return kFuzzOk;
+}
+
+} // namespace smq::fuzz

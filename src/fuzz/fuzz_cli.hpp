@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Library entry point of the `smq_fuzz` tool (testable without
+ * spawning a process, like report::sentinelMain).
+ *
+ * Exit-code contract:
+ *  - 0: every oracle agreed on every case (and, when `--jobs` > 1,
+ *       the serial rerun rendered a byte-identical report);
+ *  - 1: at least one surviving discrepancy (shrunk repros emitted);
+ *  - 2: usage error (unknown flag, malformed value).
+ */
+
+#ifndef SMQ_FUZZ_FUZZ_CLI_HPP
+#define SMQ_FUZZ_FUZZ_CLI_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smq::fuzz {
+
+inline constexpr int kFuzzOk = 0;
+inline constexpr int kFuzzDiscrepancy = 1;
+inline constexpr int kFuzzUsage = 2;
+
+/**
+ * Run the fuzz CLI. Flags:
+ *   --seed N --cases N --jobs N --clifford --min-qubits N
+ *   --max-qubits N --max-gates N --no-mcm --no-shrink --out DIR
+ *   --history FILE --metrics
+ */
+int fuzzMain(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err);
+
+} // namespace smq::fuzz
+
+#endif // SMQ_FUZZ_FUZZ_CLI_HPP

@@ -1,0 +1,126 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smq::fuzz {
+
+namespace {
+
+/** Unitary alphabet for mixed-mode fuzzing (everything but MEASURE /
+ *  RESET / BARRIER, which are drawn separately). */
+constexpr qc::GateType kFullAlphabet[] = {
+    qc::GateType::I,     qc::GateType::X,    qc::GateType::Y,
+    qc::GateType::Z,     qc::GateType::H,    qc::GateType::S,
+    qc::GateType::SDG,   qc::GateType::T,    qc::GateType::TDG,
+    qc::GateType::SX,    qc::GateType::SXDG, qc::GateType::RX,
+    qc::GateType::RY,    qc::GateType::RZ,   qc::GateType::P,
+    qc::GateType::U3,    qc::GateType::CX,   qc::GateType::CY,
+    qc::GateType::CZ,    qc::GateType::CH,   qc::GateType::CP,
+    qc::GateType::SWAP,  qc::GateType::ISWAP, qc::GateType::RXX,
+    qc::GateType::RYY,   qc::GateType::RZZ,  qc::GateType::CCX,
+    qc::GateType::CSWAP,
+};
+
+/** Exactly the gate set StabilizerSimulator::applyGate accepts. */
+constexpr qc::GateType kCliffordAlphabet[] = {
+    qc::GateType::I,   qc::GateType::X,    qc::GateType::Y,
+    qc::GateType::Z,   qc::GateType::H,    qc::GateType::S,
+    qc::GateType::SDG, qc::GateType::SX,   qc::GateType::SXDG,
+    qc::GateType::CX,  qc::GateType::CY,   qc::GateType::CZ,
+    qc::GateType::SWAP,
+};
+
+/** Distinct qubit operands, drawn without replacement. */
+std::vector<qc::Qubit>
+drawQubits(std::size_t arity, std::size_t n, stats::Rng &rng)
+{
+    std::vector<qc::Qubit> pool(n);
+    for (std::size_t q = 0; q < n; ++q)
+        pool[q] = static_cast<qc::Qubit>(q);
+    std::vector<qc::Qubit> picked;
+    picked.reserve(arity);
+    for (std::size_t k = 0; k < arity; ++k) {
+        std::size_t i = rng.index(pool.size());
+        picked.push_back(pool[i]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return picked;
+}
+
+double
+drawAngle(stats::Rng &rng)
+{
+    // Snap to a multiple of pi/4 about a third of the time so the
+    // Clifford-angle special cases of the decomposition and fusion
+    // paths get steady coverage.
+    if (rng.bernoulli(1.0 / 3.0)) {
+        return (static_cast<double>(rng.index(16)) - 8.0) * (M_PI / 4.0);
+    }
+    return rng.uniform(-M_PI, M_PI);
+}
+
+} // namespace
+
+qc::Circuit
+randomCircuit(const GeneratorOptions &options, stats::Rng &rng)
+{
+    const std::size_t span = options.maxQubits - options.minQubits + 1;
+    const std::size_t n = options.minQubits + rng.index(span);
+    const std::size_t gate_span = options.maxGates - options.minGates + 1;
+    const std::size_t body = options.minGates + rng.index(gate_span);
+
+    // Per-case mode draws: a mixed corpus must still feed the
+    // preconditioned oracles, so a quarter of the cases go Clifford
+    // (dense-vs-stabilizer) and half stay terminal-measurement only
+    // (statevector-vs-density-matrix).
+    const bool clifford = options.cliffordOnly || rng.bernoulli(0.25);
+    const bool terminal_only = rng.bernoulli(0.5);
+    const bool mcm = options.midCircuitMeasure && !terminal_only;
+    const bool resets = options.resets && !terminal_only;
+
+    qc::Circuit circuit(n, n);
+    for (std::size_t i = 0; i < body; ++i) {
+        const double roll = rng.uniform();
+        if (mcm && roll < 0.05) {
+            std::size_t q = rng.index(n);
+            circuit.measure(static_cast<qc::Qubit>(q), rng.index(n));
+            continue;
+        }
+        if (resets && roll < 0.10) {
+            circuit.reset(static_cast<qc::Qubit>(rng.index(n)));
+            continue;
+        }
+        if (options.barriers && roll < 0.15) {
+            if (rng.bernoulli(0.5) || n < 2) {
+                circuit.barrier();
+            } else {
+                // targeted fence over a random proper subset
+                std::size_t width = 1 + rng.index(n - 1);
+                circuit.barrier(drawQubits(width, n, rng));
+            }
+            continue;
+        }
+        qc::GateType type;
+        if (clifford) {
+            type = kCliffordAlphabet[rng.index(std::size(kCliffordAlphabet))];
+        } else {
+            type = kFullAlphabet[rng.index(std::size(kFullAlphabet))];
+        }
+        const std::size_t arity = qc::gateArity(type);
+        if (arity > n) {
+            --i; // too wide for this register; redraw
+            continue;
+        }
+        std::vector<double> params(qc::gateParamCount(type));
+        for (double &p : params)
+            p = drawAngle(rng);
+        circuit.append(
+            qc::Gate(type, drawQubits(arity, n, rng), std::move(params)));
+    }
+    if (options.terminalMeasure)
+        circuit.measureAll();
+    return circuit;
+}
+
+} // namespace smq::fuzz

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Seeded random-circuit generation for the differential fuzz harness.
+ *
+ * The generator draws small circuits over the full IR alphabet —
+ * parameterised rotations, multi-qubit gates, mid-circuit MEASURE and
+ * RESET, full-width and targeted barriers — or, in Clifford-only mode,
+ * over exactly the gate set the stabilizer simulator accepts, so the
+ * dense-vs-stabilizer oracle applies to every generated case. All
+ * randomness comes from the caller's Rng: the same seed always yields
+ * the same circuit, which is what makes failures replayable from a
+ * (seed, case-index) pair alone.
+ */
+
+#ifndef SMQ_FUZZ_GENERATOR_HPP
+#define SMQ_FUZZ_GENERATOR_HPP
+
+#include <cstddef>
+
+#include "qc/circuit.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::fuzz {
+
+/** Shape of the random circuits the fuzzer draws. */
+struct GeneratorOptions
+{
+    std::size_t minQubits = 2;
+    std::size_t maxQubits = 5;
+    /** Random instructions before the terminal measurement layer. */
+    std::size_t minGates = 1;
+    std::size_t maxGates = 30;
+    /** Restrict to the stabilizer simulator's gate set. */
+    bool cliffordOnly = false;
+    /** Allow mid-circuit MEASURE instructions. */
+    bool midCircuitMeasure = true;
+    /** Allow RESET instructions. */
+    bool resets = true;
+    /** Allow full-width and targeted BARRIER instructions. */
+    bool barriers = true;
+    /** End every circuit with measure-all (classical register = n). */
+    bool terminalMeasure = true;
+};
+
+/**
+ * Draw one random circuit. Parameterised gates get angles uniform in
+ * (-pi, pi), sometimes snapped to multiples of pi/4 so Clifford-angle
+ * edge cases are exercised; ISWAP is excluded in Clifford-only mode
+ * (the tableau simulator does not accept it).
+ */
+qc::Circuit randomCircuit(const GeneratorOptions &options,
+                          stats::Rng &rng);
+
+} // namespace smq::fuzz
+
+#endif // SMQ_FUZZ_GENERATOR_HPP

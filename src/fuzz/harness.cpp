@@ -1,0 +1,223 @@
+#include "fuzz/harness.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "fuzz/shrink.hpp"
+#include "obs/fsio.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "qc/qasm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace smq::fuzz {
+
+namespace {
+
+/** Enumerator spelling for generated regression-test code. */
+const char *
+oracleEnumerator(OracleId id)
+{
+    switch (id) {
+      case OracleId::SvVsDm:         return "SvVsDm";
+      case OracleId::SvVsStabilizer: return "SvVsStabilizer";
+      case OracleId::Transpile:      return "Transpile";
+      case OracleId::QasmRoundTrip:  return "QasmRoundTrip";
+      case OracleId::Fusion:         return "Fusion";
+    }
+    return "SvVsDm";
+}
+
+struct CaseOutcome
+{
+    std::uint64_t caseSeed = 0;
+    std::array<OracleResult, kOracleCount> results;
+};
+
+void
+writeArtifacts(const std::string &dir, const FuzzFailure &failure)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    std::ostringstream stem;
+    stem << dir << "/case" << failure.caseIndex << "_"
+         << oracleName(failure.oracle);
+    obs::atomicWriteFile(stem.str() + ".qasm", failure.reproQasm);
+    obs::atomicWriteFile(stem.str() + "_test.cpp.txt",
+                         failure.regressionTest);
+}
+
+} // namespace
+
+std::string
+regressionTestSnippet(const FuzzFailure &failure)
+{
+    std::ostringstream out;
+    out << "// Shrunk from smq_fuzz case " << failure.caseIndex
+        << " (case seed " << failure.caseSeed << "): "
+        << failure.detail << "\n"
+        << "TEST(FuzzRegression, Case" << failure.caseIndex << "_"
+        << oracleEnumerator(failure.oracle) << ")\n"
+        << "{\n"
+        << "    const char *qasm = R\"qasm(" << failure.reproQasm
+        << ")qasm\";\n"
+        << "    smq::qc::Circuit circuit = smq::qc::fromQasm(qasm);\n"
+        << "    smq::fuzz::OracleResult result = smq::fuzz::runOracle(\n"
+        << "        smq::fuzz::OracleId::" << oracleEnumerator(failure.oracle)
+        << ", circuit);\n"
+        << "    EXPECT_NE(result.status, smq::fuzz::OracleStatus::Fail)\n"
+        << "        << result.detail;\n"
+        << "}\n";
+    return out.str();
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &options)
+{
+    FuzzReport report;
+    report.options = options;
+
+    std::vector<CaseOutcome> outcomes(options.cases);
+    util::parallelFor(options.jobs, options.cases, [&](std::size_t i) {
+        CaseOutcome &slot = outcomes[i];
+        slot.caseSeed = util::deriveTaskSeed(options.seed, i);
+        stats::Rng rng(slot.caseSeed);
+        qc::Circuit circuit = randomCircuit(options.gen, rng);
+        for (std::size_t o = 0; o < kOracleCount; ++o)
+            slot.results[o] = runOracle(static_cast<OracleId>(o), circuit);
+
+        static obs::Counter &c_run = obs::counter(obs::names::kFuzzCasesRun);
+        static obs::Counter &c_checks =
+            obs::counter(obs::names::kFuzzOracleChecks);
+        static obs::Counter &c_skips =
+            obs::counter(obs::names::kFuzzOracleSkips);
+        static obs::Counter &c_fails =
+            obs::counter(obs::names::kFuzzOracleFailures);
+        c_run.add();
+        for (const OracleResult &r : slot.results) {
+            switch (r.status) {
+              case OracleStatus::Pass: c_checks.add(); break;
+              case OracleStatus::Skip: c_skips.add(); break;
+              case OracleStatus::Fail:
+                c_checks.add();
+                c_fails.add();
+                break;
+            }
+        }
+    });
+
+    report.casesRun = options.cases;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        bool failed = false;
+        for (std::size_t o = 0; o < kOracleCount; ++o) {
+            const OracleResult &r = outcomes[i].results[o];
+            OracleTally &tally = report.tallies[o];
+            switch (r.status) {
+              case OracleStatus::Pass: ++tally.passes; break;
+              case OracleStatus::Skip: ++tally.skips; break;
+              case OracleStatus::Fail:
+                ++tally.failures;
+                failed = true;
+                break;
+            }
+        }
+        if (!failed)
+            continue;
+        ++report.casesFailed;
+        static obs::Counter &c_cases_failed =
+            obs::counter(obs::names::kFuzzCasesFailed);
+        c_cases_failed.add();
+
+        // Re-derive the circuit (cheap) rather than hold every
+        // generated circuit across the whole corpus.
+        stats::Rng rng(outcomes[i].caseSeed);
+        qc::Circuit circuit = randomCircuit(options.gen, rng);
+        for (std::size_t o = 0; o < kOracleCount; ++o) {
+            const OracleResult &r = outcomes[i].results[o];
+            if (r.status != OracleStatus::Fail)
+                continue;
+            FuzzFailure failure;
+            failure.caseIndex = i;
+            failure.caseSeed = outcomes[i].caseSeed;
+            failure.oracle = static_cast<OracleId>(o);
+            failure.detail = r.detail;
+            failure.original = circuit;
+            failure.shrunk = circuit;
+            failure.shrunkDetail = r.detail;
+            if (options.shrinkFailures) {
+                OracleId oracle = failure.oracle;
+                ShrinkResult shrunk = shrink(
+                    circuit,
+                    [oracle](const qc::Circuit &candidate) {
+                        return runOracle(oracle, candidate).status ==
+                               OracleStatus::Fail;
+                    },
+                    options.shrinkBudget);
+                failure.shrunk = std::move(shrunk.circuit);
+                failure.shrunkDetail =
+                    runOracle(oracle, failure.shrunk).detail;
+                static obs::Counter &c_rounds =
+                    obs::counter(obs::names::kFuzzShrinkRounds);
+                c_rounds.add(shrunk.rounds);
+            }
+            failure.reproQasm = qc::toQasm(failure.shrunk);
+            failure.regressionTest = regressionTestSnippet(failure);
+            if (!options.artifactDir.empty())
+                writeArtifacts(options.artifactDir, failure);
+            report.failures.push_back(std::move(failure));
+        }
+    }
+    return report;
+}
+
+std::string
+FuzzReport::render() const
+{
+    // Deliberately omits `jobs` and any wall-clock facts: the render
+    // of a parallel run must be byte-identical to the serial one.
+    std::ostringstream out;
+    out << "smq_fuzz report\n"
+        << "  seed " << options.seed << ", " << options.cases
+        << " case(s), qubits [" << options.gen.minQubits << ","
+        << options.gen.maxQubits << "], gates [" << options.gen.minGates
+        << "," << options.gen.maxGates << "]"
+        << (options.gen.cliffordOnly ? ", clifford-only" : "") << "\n";
+    for (std::size_t o = 0; o < kOracleCount; ++o) {
+        out << "  oracle " << oracleName(static_cast<OracleId>(o)) << ": "
+            << tallies[o].passes << " pass, " << tallies[o].skips
+            << " skip, " << tallies[o].failures << " fail\n";
+    }
+    for (const FuzzFailure &f : failures) {
+        out << "  failure: case " << f.caseIndex << " (seed " << f.caseSeed
+            << "), oracle " << oracleName(f.oracle) << "\n"
+            << "    " << f.detail << "\n"
+            << "    shrunk to " << f.shrunk.size() << " instruction(s), "
+            << f.shrunk.numQubits() << " qubit(s): " << f.shrunkDetail
+            << "\n";
+        std::istringstream qasm(f.reproQasm);
+        for (std::string line; std::getline(qasm, line);)
+            out << "    | " << line << "\n";
+    }
+    out << "verdict: "
+        << (failures.empty()
+                ? "CLEAN"
+                : std::to_string(failures.size()) + " DISCREPANCY(IES)")
+        << "\n";
+    return out.str();
+}
+
+std::string
+verifyJobsIdentity(const FuzzReport &parallel_report)
+{
+    FuzzOptions serial = parallel_report.options;
+    serial.jobs = 1;
+    serial.artifactDir.clear(); // do not rewrite artifacts
+    FuzzReport rerun = runFuzz(serial);
+    if (rerun.render() != parallel_report.render())
+        return "serial rerun rendered a different report (determinism "
+               "violation)";
+    return "";
+}
+
+} // namespace smq::fuzz

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The fuzz harness: deterministic corpus execution, failure shrinking,
+ * artifact emission and report rendering.
+ *
+ * Case i draws its circuit from deriveTaskSeed(seed, i), so the corpus
+ * is a pure function of (seed, cases, generator options) — independent
+ * of `--jobs`, scheduling, or which oracles fire. Oracles run inside
+ * the parallel loop; failures are collected in case order and shrunk
+ * serially afterwards so the whole report (and every artifact) is
+ * byte-identical run-to-run. That identity is itself oracle 5's second
+ * half: runFuzz at `--jobs N` must render the same report as at
+ * `--jobs 1`, and verifyJobsIdentity() checks exactly that.
+ */
+
+#ifndef SMQ_FUZZ_HARNESS_HPP
+#define SMQ_FUZZ_HARNESS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace smq::fuzz {
+
+/** Configuration of one fuzz run. */
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;
+    std::size_t cases = 100;
+    /** Worker threads (1 = serial; 0 = hardware default). */
+    std::size_t jobs = 1;
+    GeneratorOptions gen;
+    /** Minimise failures with the delta-debugging shrinker. */
+    bool shrinkFailures = true;
+    std::size_t shrinkBudget = 2000;
+    /** When non-empty, write repro .qasm + regression-test artifacts. */
+    std::string artifactDir;
+};
+
+/** One oracle's tally over the corpus. */
+struct OracleTally
+{
+    std::size_t passes = 0;
+    std::size_t skips = 0;
+    std::size_t failures = 0;
+};
+
+/** A surviving discrepancy, with its minimised reproduction. */
+struct FuzzFailure
+{
+    std::size_t caseIndex = 0;
+    std::uint64_t caseSeed = 0;
+    OracleId oracle = OracleId::SvVsDm;
+    std::string detail;        ///< diagnosis on the original circuit
+    std::string shrunkDetail;  ///< diagnosis on the shrunk circuit
+    qc::Circuit original;
+    qc::Circuit shrunk;        ///< == original when shrinking is off
+    std::string reproQasm;     ///< toQasm(shrunk)
+    std::string regressionTest; ///< ready-to-paste GTest body
+};
+
+/** Outcome of a fuzz run. */
+struct FuzzReport
+{
+    FuzzOptions options;
+    std::size_t casesRun = 0;
+    std::size_t casesFailed = 0;
+    std::array<OracleTally, kOracleCount> tallies{};
+    std::vector<FuzzFailure> failures;
+
+    bool clean() const { return failures.empty(); }
+
+    /** Deterministic multi-line summary (no wall-clock content). */
+    std::string render() const;
+};
+
+/** Execute a fuzz run. Artifacts are written when artifactDir is set. */
+FuzzReport runFuzz(const FuzzOptions &options);
+
+/**
+ * Oracle 5b: re-run the corpus serially and compare rendered reports
+ * byte-for-byte against @p parallel_report. Returns an empty string on
+ * identity, else a diagnostic.
+ */
+std::string verifyJobsIdentity(const FuzzReport &parallel_report);
+
+/** The ready-to-paste GTest snippet embedded in failure artifacts. */
+std::string regressionTestSnippet(const FuzzFailure &failure);
+
+} // namespace smq::fuzz
+
+#endif // SMQ_FUZZ_HARNESS_HPP

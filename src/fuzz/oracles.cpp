@@ -1,0 +1,376 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/features.hpp"
+#include "device/device.hpp"
+#include "qc/qasm.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/fusion.hpp"
+#include "sim/runner.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "stats/hellinger.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace smq::fuzz {
+
+namespace {
+
+/** Distribution mass below which branches/keys are pruned, matching
+ *  idealDistribution's cutoff. */
+constexpr double kMassCutoff = 1e-15;
+
+/** Agreement tolerance on probabilities between exact backends. */
+constexpr double kProbTolerance = 1e-9;
+
+/** Largest |p - q| over the union of both key sets. */
+double
+maxProbabilityGap(const stats::Distribution &a, const stats::Distribution &b,
+                  std::string *worst_key)
+{
+    double gap = 0.0;
+    auto scan = [&](const stats::Distribution &lhs,
+                    const stats::Distribution &rhs) {
+        for (const auto &[key, p] : lhs.map()) {
+            double d = std::abs(p - rhs.probability(key));
+            if (d > gap) {
+                gap = d;
+                if (worst_key)
+                    *worst_key = key;
+            }
+        }
+    };
+    scan(a, b);
+    scan(b, a);
+    return gap;
+}
+
+std::string
+gapDetail(const std::string &what, double gap, const std::string &key)
+{
+    std::ostringstream out;
+    out << what << ": max probability gap " << gap << " at key '" << key
+        << "'";
+    return out.str();
+}
+
+} // namespace
+
+const char *
+oracleName(OracleId id)
+{
+    switch (id) {
+      case OracleId::SvVsDm:        return "sv-vs-dm";
+      case OracleId::SvVsStabilizer: return "sv-vs-stab";
+      case OracleId::Transpile:     return "transpile";
+      case OracleId::QasmRoundTrip: return "qasm-roundtrip";
+      case OracleId::Fusion:        return "fusion";
+    }
+    return "unknown";
+}
+
+stats::Distribution
+exactDenseDistribution(const qc::Circuit &circuit, std::size_t max_branches)
+{
+    struct Branch
+    {
+        sim::StateVector state;
+        double weight;
+        std::string clbits;
+    };
+    std::vector<Branch> branches;
+    branches.push_back({sim::StateVector(circuit.numQubits()), 1.0,
+                        std::string(circuit.numClbits(), '0')});
+
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER)
+            continue;
+        if (g.type == qc::GateType::MEASURE ||
+            g.type == qc::GateType::RESET) {
+            std::vector<Branch> next;
+            next.reserve(branches.size() * 2);
+            const std::size_t q = g.qubits[0];
+            for (Branch &b : branches) {
+                for (int outcome = 0; outcome < 2; ++outcome) {
+                    sim::StateVector state = b.state;
+                    double p = state.project(q, outcome);
+                    if (b.weight * p < kMassCutoff)
+                        continue;
+                    std::string clbits = b.clbits;
+                    if (g.type == qc::GateType::MEASURE) {
+                        clbits[static_cast<std::size_t>(g.cbit)] =
+                            outcome ? '1' : '0';
+                    } else if (outcome == 1) {
+                        // RESET: flip the projected |1> branch to |0>
+                        state.applyGate(qc::Gate(
+                            qc::GateType::X,
+                            {static_cast<qc::Qubit>(q)}));
+                    }
+                    next.push_back({std::move(state), b.weight * p,
+                                    std::move(clbits)});
+                }
+            }
+            branches = std::move(next);
+            if (branches.size() > max_branches)
+                throw std::runtime_error(
+                    "exactDenseDistribution: branch explosion");
+            continue;
+        }
+        for (Branch &b : branches)
+            b.state.applyGate(g);
+    }
+
+    stats::Distribution dist;
+    for (const Branch &b : branches)
+        dist.add(b.clbits, b.weight);
+    return dist;
+}
+
+stats::Distribution
+exactStabilizerDistribution(const qc::Circuit &circuit,
+                            std::size_t max_branches)
+{
+    struct Branch
+    {
+        sim::StabilizerSimulator state;
+        double weight;
+        std::string clbits;
+    };
+    std::vector<Branch> branches;
+    branches.push_back({sim::StabilizerSimulator(circuit.numQubits()), 1.0,
+                        std::string(circuit.numClbits(), '0')});
+
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::BARRIER)
+            continue;
+        if (g.type == qc::GateType::MEASURE ||
+            g.type == qc::GateType::RESET) {
+            std::vector<Branch> next;
+            next.reserve(branches.size() * 2);
+            const std::size_t q = g.qubits[0];
+            for (Branch &b : branches) {
+                for (int outcome = 0; outcome < 2; ++outcome) {
+                    sim::StabilizerSimulator state = b.state;
+                    double p = state.measureForced(q, outcome);
+                    if (b.weight * p < kMassCutoff)
+                        continue;
+                    std::string clbits = b.clbits;
+                    if (g.type == qc::GateType::MEASURE) {
+                        clbits[static_cast<std::size_t>(g.cbit)] =
+                            outcome ? '1' : '0';
+                    } else if (outcome == 1) {
+                        state.applyGate(qc::Gate(
+                            qc::GateType::X,
+                            {static_cast<qc::Qubit>(q)}));
+                    }
+                    next.push_back({std::move(state), b.weight * p,
+                                    std::move(clbits)});
+                }
+            }
+            branches = std::move(next);
+            if (branches.size() > max_branches)
+                throw std::runtime_error(
+                    "exactStabilizerDistribution: branch explosion");
+            continue;
+        }
+        for (Branch &b : branches)
+            b.state.applyGate(g);
+    }
+
+    stats::Distribution dist;
+    for (const Branch &b : branches)
+        dist.add(b.clbits, b.weight);
+    return dist;
+}
+
+OracleResult
+oracleSvVsDm(const qc::Circuit &circuit)
+{
+    if (circuit.measureCount() == 0)
+        return OracleResult::skip("no measurements");
+    if (sim::hasMidCircuitOperations(circuit))
+        return OracleResult::skip("mid-circuit operations (DM is "
+                                  "terminal-measurement only)");
+    stats::Distribution sv = sim::idealDistribution(circuit);
+    stats::Distribution dm =
+        sim::noisyDistribution(circuit, sim::NoiseModel::ideal());
+    std::string key;
+    double gap = maxProbabilityGap(sv, dm, &key);
+    if (gap > kProbTolerance)
+        return OracleResult::fail(gapDetail("sv vs dm", gap, key));
+    return OracleResult::pass();
+}
+
+OracleResult
+oracleSvVsStabilizer(const qc::Circuit &circuit)
+{
+    if (!sim::isCliffordCircuit(circuit))
+        return OracleResult::skip("non-Clifford circuit");
+    if (circuit.measureCount() == 0)
+        return OracleResult::skip("no measurements");
+    stats::Distribution sv, stab;
+    try {
+        sv = exactDenseDistribution(circuit);
+        stab = exactStabilizerDistribution(circuit);
+    } catch (const std::runtime_error &e) {
+        return OracleResult::skip(e.what());
+    }
+    std::string key;
+    double gap = maxProbabilityGap(sv, stab, &key);
+    if (gap > kProbTolerance)
+        return OracleResult::fail(gapDetail("sv vs stabilizer", gap, key));
+    return OracleResult::pass();
+}
+
+OracleResult
+oracleTranspile(const qc::Circuit &circuit)
+{
+    if (circuit.measureCount() == 0)
+        return OracleResult::skip("no measurements");
+    stats::Distribution reference;
+    try {
+        reference = exactDenseDistribution(circuit);
+    } catch (const std::runtime_error &e) {
+        return OracleResult::skip(e.what());
+    }
+    for (const device::Device &dev : device::allDevices()) {
+        if (circuit.numQubits() > dev.numQubits())
+            continue;
+        qc::Circuit compact;
+        try {
+            transpile::TranspileResult t = transpile::transpile(circuit, dev);
+            compact = transpile::compactCircuit(t.circuit).first;
+        } catch (const std::exception &e) {
+            return OracleResult::fail(std::string("transpile threw on ") +
+                                      dev.name + ": " + e.what());
+        }
+        stats::Distribution routed;
+        try {
+            routed = exactDenseDistribution(compact);
+        } catch (const std::runtime_error &e) {
+            return OracleResult::skip(std::string(e.what()) + " on " +
+                                      dev.name);
+        }
+        // Gate decompositions accumulate rounding across many matrix
+        // products, so the transpiled distribution agrees to ~1e-7,
+        // not the exact-backend 1e-9.
+        std::string key;
+        double gap = maxProbabilityGap(reference, routed, &key);
+        if (gap > 1e-7) {
+            return OracleResult::fail(
+                gapDetail("original vs transpiled on " + dev.name, gap,
+                          key));
+        }
+    }
+    return OracleResult::pass();
+}
+
+OracleResult
+oracleQasmRoundTrip(const qc::Circuit &circuit)
+{
+    qc::Circuit parsed;
+    try {
+        parsed = qc::fromQasm(qc::toQasm(circuit));
+    } catch (const std::exception &e) {
+        return OracleResult::fail(std::string("round-trip threw: ") +
+                                  e.what());
+    }
+    if (parsed.numQubits() != circuit.numQubits() ||
+        parsed.numClbits() != circuit.numClbits()) {
+        return OracleResult::fail("register sizes changed");
+    }
+    if (parsed.gates() != circuit.gates()) {
+        std::size_t limit =
+            std::min(parsed.size(), circuit.size());
+        std::size_t at = limit;
+        for (std::size_t i = 0; i < limit; ++i) {
+            if (!(parsed.gates()[i] == circuit.gates()[i])) {
+                at = i;
+                break;
+            }
+        }
+        std::ostringstream out;
+        out << "gate stream diverges at instruction " << at << " ("
+            << circuit.size() << " -> " << parsed.size() << " gates)";
+        if (at < limit) {
+            out << ": '" << circuit.gates()[at].toString() << "' vs '"
+                << parsed.gates()[at].toString() << "'";
+        }
+        return OracleResult::fail(out.str());
+    }
+    core::FeatureVector before = core::computeFeatures(circuit);
+    core::FeatureVector after = core::computeFeatures(parsed);
+    const std::pair<const char *, std::pair<double, double>> axes[] = {
+        {"communication", {before.communication, after.communication}},
+        {"criticalDepth", {before.criticalDepth, after.criticalDepth}},
+        {"entanglement", {before.entanglement, after.entanglement}},
+        {"parallelism", {before.parallelism, after.parallelism}},
+        {"liveness", {before.liveness, after.liveness}},
+        {"measurement", {before.measurement, after.measurement}},
+    };
+    for (const auto &[axis, values] : axes) {
+        if (values.first != values.second) {
+            std::ostringstream out;
+            out << "feature '" << axis << "' changed: " << values.first
+                << " -> " << values.second;
+            return OracleResult::fail(out.str());
+        }
+    }
+    return OracleResult::pass();
+}
+
+OracleResult
+oracleFusion(const qc::Circuit &circuit)
+{
+    // Unitary part only: fusion is defined over runs of unitary gates.
+    qc::Circuit unitary(circuit.numQubits());
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.isUnitary())
+            unitary.append(g);
+    }
+    if (unitary.empty())
+        return OracleResult::skip("no unitary gates");
+    sim::StateVector fused(circuit.numQubits());
+    fused.applyUnitaryCircuit(unitary); // fuses single-qubit runs
+    sim::StateVector plain(circuit.numQubits());
+    for (const qc::Gate &g : unitary.gates())
+        plain.applyGate(g);
+    double gap = 0.0;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < fused.dimension(); ++i) {
+        double d = std::abs(fused.amplitude(i) - plain.amplitude(i));
+        if (d > gap) {
+            gap = d;
+            at = i;
+        }
+    }
+    // Fused products reorder floating-point operations; demand
+    // agreement well below anything a shot-level consumer can see.
+    if (gap > 1e-10) {
+        std::ostringstream out;
+        out << "fusion-on vs fusion-off: amplitude gap " << gap
+            << " at basis state " << at;
+        return OracleResult::fail(out.str());
+    }
+    return OracleResult::pass();
+}
+
+OracleResult
+runOracle(OracleId id, const qc::Circuit &circuit)
+{
+    switch (id) {
+      case OracleId::SvVsDm:         return oracleSvVsDm(circuit);
+      case OracleId::SvVsStabilizer: return oracleSvVsStabilizer(circuit);
+      case OracleId::Transpile:      return oracleTranspile(circuit);
+      case OracleId::QasmRoundTrip:  return oracleQasmRoundTrip(circuit);
+      case OracleId::Fusion:         return oracleFusion(circuit);
+    }
+    return OracleResult::skip("unknown oracle");
+}
+
+} // namespace smq::fuzz

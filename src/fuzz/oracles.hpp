@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Differential and metamorphic oracles for the fuzz harness.
+ *
+ * Each oracle checks one cross-cutting equivalence the suite's
+ * correctness rests on:
+ *
+ *  1. sv-vs-dm        — statevector vs density-matrix agreement at
+ *                       zero noise (terminal-measurement circuits);
+ *  2. sv-vs-stab      — dense vs stabilizer-tableau distributions on
+ *                       Clifford circuits, including mid-circuit
+ *                       measure/reset via exact branch enumeration;
+ *  3. transpile       — transpiled-vs-original output equivalence on
+ *                       every device topology;
+ *  4. qasm-roundtrip  — toQasm/fromQasm reproduces the exact gate
+ *                       stream and the exact feature vector;
+ *  5. fusion          — fusion-on vs fusion-off amplitude agreement
+ *                       on the unitary part of the circuit. (The
+ *                       serial-vs-`--jobs N` byte-identity half of
+ *                       this oracle lives in the harness, which
+ *                       compares whole rendered reports.)
+ *
+ * Oracles return Skip when their precondition does not hold for a
+ * given case (e.g. oracle 2 on a non-Clifford circuit) so a mixed
+ * corpus still drives every oracle without generating per-oracle
+ * corpora.
+ */
+
+#ifndef SMQ_FUZZ_ORACLES_HPP
+#define SMQ_FUZZ_ORACLES_HPP
+
+#include <string>
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "stats/counts.hpp"
+
+namespace smq::fuzz {
+
+/** Outcome of one oracle on one case. */
+enum class OracleStatus { Pass, Skip, Fail };
+
+struct OracleResult
+{
+    OracleStatus status = OracleStatus::Pass;
+    /** Failure diagnosis / skip reason; empty on pass. */
+    std::string detail;
+
+    static OracleResult pass() { return {OracleStatus::Pass, ""}; }
+    static OracleResult skip(std::string why)
+    {
+        return {OracleStatus::Skip, std::move(why)};
+    }
+    static OracleResult fail(std::string why)
+    {
+        return {OracleStatus::Fail, std::move(why)};
+    }
+};
+
+/** Identifiers for the five oracles, in report order. */
+enum class OracleId {
+    SvVsDm = 0,
+    SvVsStabilizer,
+    Transpile,
+    QasmRoundTrip,
+    Fusion,
+};
+
+inline constexpr std::size_t kOracleCount = 5;
+
+/** Short stable name used in reports and regression-test labels. */
+const char *oracleName(OracleId id);
+
+/**
+ * Exact noiseless output distribution over the classical bits by
+ * dense simulation with explicit branch enumeration at every MEASURE
+ * and RESET — the mid-circuit-capable sibling of idealDistribution().
+ * @throws std::runtime_error when the branch count exceeds
+ *   @p max_branches (pathological measurement-heavy circuits).
+ */
+stats::Distribution
+exactDenseDistribution(const qc::Circuit &circuit,
+                       std::size_t max_branches = 4096);
+
+/**
+ * Exact output distribution of a Clifford circuit by stabilizer
+ * simulation, enumerating both branches of every random measurement
+ * with StabilizerSimulator::measureForced.
+ * @throws std::invalid_argument on non-Clifford gates,
+ *   std::runtime_error on branch explosion.
+ */
+stats::Distribution
+exactStabilizerDistribution(const qc::Circuit &circuit,
+                            std::size_t max_branches = 4096);
+
+/// @name The five oracles
+/// @{
+OracleResult oracleSvVsDm(const qc::Circuit &circuit);
+OracleResult oracleSvVsStabilizer(const qc::Circuit &circuit);
+OracleResult oracleTranspile(const qc::Circuit &circuit);
+OracleResult oracleQasmRoundTrip(const qc::Circuit &circuit);
+OracleResult oracleFusion(const qc::Circuit &circuit);
+/// @}
+
+/** Dispatch by id (the harness iterates over all five). */
+OracleResult runOracle(OracleId id, const qc::Circuit &circuit);
+
+} // namespace smq::fuzz
+
+#endif // SMQ_FUZZ_ORACLES_HPP

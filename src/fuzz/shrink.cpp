@@ -1,0 +1,172 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace smq::fuzz {
+
+namespace {
+
+qc::Circuit
+withGates(const qc::Circuit &like, const std::vector<qc::Gate> &gates)
+{
+    qc::Circuit out(like.numQubits(), like.numClbits(), like.name());
+    for (const qc::Gate &g : gates)
+        out.append(g);
+    return out;
+}
+
+/** Run the predicate, treating exceptions as "does not reproduce". */
+bool
+check(const FailurePredicate &still_fails, const qc::Circuit &candidate,
+      std::size_t &calls)
+{
+    ++calls;
+    try {
+        return still_fails(candidate);
+    } catch (...) {
+        return false;
+    }
+}
+
+/** ddmin-style chunk removal over the instruction list. */
+bool
+dropGatesPass(qc::Circuit &best, const FailurePredicate &still_fails,
+              std::size_t &calls, std::size_t budget)
+{
+    bool shrunk = false;
+    std::vector<qc::Gate> gates = best.gates();
+    for (std::size_t chunk = std::max<std::size_t>(gates.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        std::size_t i = 0;
+        while (i < gates.size() && calls < budget) {
+            std::vector<qc::Gate> candidate;
+            candidate.reserve(gates.size());
+            candidate.insert(candidate.end(), gates.begin(),
+                             gates.begin() + static_cast<std::ptrdiff_t>(i));
+            std::size_t end = std::min(gates.size(), i + chunk);
+            candidate.insert(candidate.end(),
+                             gates.begin() + static_cast<std::ptrdiff_t>(end),
+                             gates.end());
+            qc::Circuit trial = withGates(best, candidate);
+            if (check(still_fails, trial, calls)) {
+                gates = std::move(candidate);
+                best = withGates(best, gates);
+                shrunk = true;
+                // stay at i: the next chunk slid into this position
+            } else {
+                i += chunk;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+    return shrunk;
+}
+
+/** Remove one qubit entirely and compact the register. */
+bool
+dropQubitPass(qc::Circuit &best, const FailurePredicate &still_fails,
+              std::size_t &calls, std::size_t budget)
+{
+    bool shrunk = false;
+    bool retry = true;
+    while (retry && best.numQubits() > 1 && calls < budget) {
+        retry = false;
+        for (qc::Qubit victim = 0; victim < best.numQubits(); ++victim) {
+            std::vector<qc::Gate> gates;
+            for (const qc::Gate &g : best.gates()) {
+                qc::Gate mapped = g;
+                if (g.type == qc::GateType::BARRIER) {
+                    mapped.qubits.clear();
+                    for (qc::Qubit q : g.qubits) {
+                        if (q != victim)
+                            mapped.qubits.push_back(q > victim ? q - 1 : q);
+                    }
+                    // a targeted fence reduced to nothing is dropped
+                    if (!g.qubits.empty() && mapped.qubits.empty())
+                        continue;
+                } else {
+                    bool touches = false;
+                    for (qc::Qubit q : g.qubits)
+                        touches = touches || q == victim;
+                    if (touches)
+                        continue;
+                    for (qc::Qubit &q : mapped.qubits)
+                        q = q > victim ? q - 1 : q;
+                }
+                gates.push_back(std::move(mapped));
+            }
+            qc::Circuit trial(best.numQubits() - 1, best.numClbits(),
+                              best.name());
+            for (qc::Gate &g : gates)
+                trial.append(std::move(g));
+            if (check(still_fails, trial, calls)) {
+                best = std::move(trial);
+                shrunk = true;
+                retry = best.numQubits() > 1;
+                break;
+            }
+            if (calls >= budget)
+                break;
+        }
+    }
+    return shrunk;
+}
+
+/** Snap angles to 0 or the nearest multiple of pi/4. */
+bool
+paramSnapPass(qc::Circuit &best, const FailurePredicate &still_fails,
+              std::size_t &calls, std::size_t budget)
+{
+    bool shrunk = false;
+    std::vector<qc::Gate> gates = best.gates();
+    for (std::size_t i = 0; i < gates.size() && calls < budget; ++i) {
+        for (std::size_t p = 0; p < gates[i].params.size(); ++p) {
+            const double original = gates[i].params[p];
+            const double snapped =
+                std::round(original / (M_PI / 4.0)) * (M_PI / 4.0);
+            for (double candidate : {0.0, snapped}) {
+                if (candidate == original || calls >= budget)
+                    continue;
+                gates[i].params[p] = candidate;
+                qc::Circuit trial = withGates(best, gates);
+                if (check(still_fails, trial, calls)) {
+                    best = std::move(trial);
+                    shrunk = true;
+                    break;
+                }
+                gates[i].params[p] = original;
+            }
+        }
+    }
+    return shrunk;
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const qc::Circuit &circuit, const FailurePredicate &still_fails,
+       std::size_t max_predicate_calls)
+{
+    ShrinkResult result;
+    result.circuit = circuit;
+    bool changed = true;
+    while (changed && result.predicateCalls < max_predicate_calls) {
+        ++result.rounds;
+        changed = false;
+        changed |= dropGatesPass(result.circuit, still_fails,
+                                 result.predicateCalls,
+                                 max_predicate_calls);
+        changed |= dropQubitPass(result.circuit, still_fails,
+                                 result.predicateCalls,
+                                 max_predicate_calls);
+        changed |= paramSnapPass(result.circuit, still_fails,
+                                 result.predicateCalls,
+                                 max_predicate_calls);
+    }
+    return result;
+}
+
+} // namespace smq::fuzz

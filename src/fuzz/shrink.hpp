@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Delta-debugging minimiser for failing fuzz cases.
+ *
+ * Given a circuit that makes some predicate fail (an oracle
+ * discrepancy, usually), shrink() searches for a smaller circuit that
+ * still fails, using three passes iterated to a fixpoint:
+ *
+ *  - drop-gate: ddmin-style chunk removal over the instruction list,
+ *    halving chunk sizes down to single instructions;
+ *  - drop-qubit: remove every instruction touching one qubit and
+ *    compact the register;
+ *  - param-snap: replace gate angles by the nearest multiple of pi/4
+ *    (and by 0), which turns noisy real-valued repros into readable
+ *    ones.
+ *
+ * The predicate must be deterministic; the whole search is, too, so a
+ * failing (seed, case) pair always shrinks to the same repro. The
+ * predicate-evaluation budget bounds worst-case work.
+ */
+
+#ifndef SMQ_FUZZ_SHRINK_HPP
+#define SMQ_FUZZ_SHRINK_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "qc/circuit.hpp"
+
+namespace smq::fuzz {
+
+/** True when the candidate still reproduces the failure. Predicates
+ *  must swallow their own exceptions (the shrinker treats a throwing
+ *  predicate as "does not reproduce"). */
+using FailurePredicate = std::function<bool(const qc::Circuit &)>;
+
+struct ShrinkResult
+{
+    qc::Circuit circuit;          ///< smallest failing circuit found
+    std::size_t predicateCalls = 0;
+    std::size_t rounds = 0;       ///< fixpoint iterations
+};
+
+/**
+ * Minimise @p circuit while @p still_fails holds. Returns the input
+ * unchanged when nothing smaller fails (or the budget is exhausted).
+ * @pre still_fails(circuit) is true.
+ */
+ShrinkResult shrink(const qc::Circuit &circuit,
+                    const FailurePredicate &still_fails,
+                    std::size_t max_predicate_calls = 2000);
+
+} // namespace smq::fuzz
+
+#endif // SMQ_FUZZ_SHRINK_HPP

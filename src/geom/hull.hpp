@@ -54,6 +54,10 @@ struct HullResult
  * keep clustered inputs (e.g. a parametric circuit family whose
  * feature vectors nearly coincide) from exploding the facet count.
  *
+ * Degenerate (affinely dependent) inputs that survive the joggle
+ * retries report volume 0 with a warning on stderr rather than
+ * throwing, so coverage over a coplanar suite degrades gracefully.
+ *
  * @param points input set (each of size dim).
  * @param tolerance geometric thickness below which points count as
  *        coplanar.

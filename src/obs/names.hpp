@@ -61,6 +61,14 @@ inline constexpr const char *kHistorySkipped = "history.lines.skipped";
 inline constexpr const char *kProgressTicks = "progress.ticks";
 inline constexpr const char *kProgressEmits = "progress.emits";
 
+// --- counters: differential fuzz harness (src/fuzz/) -----------------
+inline constexpr const char *kFuzzCasesRun = "fuzz.cases.run";
+inline constexpr const char *kFuzzCasesFailed = "fuzz.cases.failed";
+inline constexpr const char *kFuzzOracleChecks = "fuzz.oracle.checks";
+inline constexpr const char *kFuzzOracleSkips = "fuzz.oracle.skips";
+inline constexpr const char *kFuzzOracleFailures = "fuzz.oracle.failures";
+inline constexpr const char *kFuzzShrinkRounds = "fuzz.shrink.rounds";
+
 // --- gauges ----------------------------------------------------------
 inline constexpr const char *kPoolWorkers = "pool.workers";
 

@@ -31,13 +31,17 @@ Circuit::append(Gate gate)
             throw std::invalid_argument(
                 "Circuit::append: wrong parameter count for " +
                 gateName(gate.type));
-        std::set<Qubit> seen;
-        for (Qubit q : gate.qubits) {
-            checkQubit(q);
-            if (!seen.insert(q).second)
-                throw std::invalid_argument(
-                    "Circuit::append: duplicate qubit operand");
-        }
+    }
+    // Barriers take any number of qubit operands (empty = full fence),
+    // but the operands must still name distinct, in-range qubits.
+    std::set<Qubit> seen;
+    for (Qubit q : gate.qubits) {
+        checkQubit(q);
+        if (!seen.insert(q).second)
+            throw std::invalid_argument(
+                "Circuit::append: duplicate qubit operand");
+    }
+    if (gate.type != GateType::BARRIER) {
         if (gate.type == GateType::MEASURE) {
             if (gate.cbit < 0 ||
                 static_cast<std::size_t>(gate.cbit) >= numClbits_) {
@@ -147,6 +151,13 @@ Circuit::barrier()
 }
 
 Circuit &
+Circuit::barrier(std::vector<Qubit> qubits)
+{
+    append(Gate(GateType::BARRIER, std::move(qubits)));
+    return *this;
+}
+
+Circuit &
 Circuit::measureAll()
 {
     if (numClbits_ < numQubits_)
@@ -172,7 +183,7 @@ Circuit::inverse() const
     Circuit inv(numQubits_, numClbits_, name_.empty() ? "" : name_ + "_inv");
     for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
         if (it->type == GateType::BARRIER) {
-            inv.barrier();
+            inv.barrier(it->qubits);
             continue;
         }
         inv.append(inverseGate(*it));

@@ -76,6 +76,12 @@ class Circuit
     Circuit &reset(Qubit q) { return add1(GateType::RESET, q); }
     /** Full-width barrier: a scheduling fence across all qubits. */
     Circuit &barrier();
+    /**
+     * Targeted barrier: a scheduling fence across only the listed
+     * qubits (empty = all qubits, same as barrier()). Matches OpenQASM
+     * `barrier q[i],q[j];` and is preserved by toQasm/fromQasm.
+     */
+    Circuit &barrier(std::vector<Qubit> qubits);
     /** Measure qubit i into classical bit i for all qubits. */
     Circuit &measureAll();
     /// @}

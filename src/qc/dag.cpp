@@ -19,21 +19,28 @@ GateDag::GateDag(const Circuit &circuit) : circuit_(circuit)
     for (std::size_t i = 0; i < gates.size(); ++i) {
         const Gate &g = gates[i];
         if (g.type == GateType::BARRIER) {
-            // A barrier serialises everything: record a synthetic
-            // frontier by pointing every qubit at its latest op; later
-            // ops then depend (transitively) on all earlier ones. We
-            // model it by giving every qubit the globally newest op.
+            // A barrier serialises its qubit set (all qubits when the
+            // operand list is empty): every fenced qubit's frontier
+            // moves to the newest op among them, so later ops on those
+            // qubits depend (transitively) on all earlier ones.
             std::size_t newest = none;
             std::size_t newest_level = 0;
-            for (std::size_t q = 0; q < last.size(); ++q) {
+            auto consider = [&](std::size_t q) {
                 if (last[q] != none && levels_[last[q]] >= newest_level) {
                     newest = last[q];
                     newest_level = levels_[last[q]];
                 }
-            }
-            if (newest != none) {
-                for (std::size_t q = 0; q < last.size(); ++q) {
-                    if (last[q] == none)
+            };
+            if (g.qubits.empty()) {
+                for (std::size_t q = 0; q < last.size(); ++q)
+                    consider(q);
+                if (newest != none)
+                    std::fill(last.begin(), last.end(), newest);
+            } else {
+                for (Qubit q : g.qubits)
+                    consider(q);
+                if (newest != none) {
+                    for (Qubit q : g.qubits)
                         last[q] = newest;
                 }
             }

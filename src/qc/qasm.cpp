@@ -20,7 +20,16 @@ toQasm(const Circuit &circuit)
     out << std::setprecision(17);
     for (const Gate &g : circuit.gates()) {
         if (g.type == GateType::BARRIER) {
-            out << "barrier q;\n";
+            if (g.qubits.empty()) {
+                out << "barrier q;\n";
+            } else {
+                // Targeted barrier: emit the actual operand list so the
+                // fence (and the schedule-derived features) round-trips.
+                out << "barrier";
+                for (std::size_t i = 0; i < g.qubits.size(); ++i)
+                    out << (i ? ",q[" : " q[") << g.qubits[i] << "]";
+                out << ";\n";
+            }
             continue;
         }
         if (g.type == GateType::MEASURE) {
@@ -264,10 +273,19 @@ QasmParser::parseFactor()
     }
     if (pos_ == start)
         fail("expected numeric literal");
+    const std::string token = text_.substr(start, pos_ - start);
     try {
-        return std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception &) {
-        fail("bad numeric literal");
+        // std::stod partial-parses ("1.2.3" -> 1.2, "1e" -> 1); demand
+        // that the entire scanned token is a single valid literal.
+        std::size_t consumed = 0;
+        double value = std::stod(token, &consumed);
+        if (consumed != token.size())
+            fail("bad numeric literal '" + token + "'");
+        return value;
+    } catch (const std::invalid_argument &) {
+        fail("bad numeric literal '" + token + "'");
+    } catch (const std::out_of_range &) {
+        fail("numeric literal out of range '" + token + "'");
     }
 }
 
@@ -331,21 +349,30 @@ QasmParser::parse()
             continue;
         }
         if (consumeWord("barrier")) {
-            // accept "barrier q;" or "barrier q[0],q[1];" — both become
-            // a full fence, which is how the suite uses barriers.
+            // "barrier q;" is a full fence (empty operand list);
+            // "barrier q[0],q[1];" fences exactly the listed qubits.
+            // Any bare-register operand widens the fence to everything.
+            std::vector<Qubit> fenced;
+            bool full_fence = false;
             while (true) {
                 skipWhitespaceAndComments();
-                parseIdentifier();
+                std::string reg = parseIdentifier();
+                if (reg != qreg_name_)
+                    fail("unknown register '" + reg + "'");
                 skipWhitespaceAndComments();
                 if (consume('[')) {
-                    parseInteger();
+                    fenced.push_back(static_cast<Qubit>(parseInteger()));
                     expect(']');
+                } else {
+                    full_fence = true;
                 }
                 if (!consume(','))
                     break;
             }
             expect(';');
-            pending.emplace_back(GateType::BARRIER, std::vector<Qubit>{});
+            if (full_fence)
+                fenced.clear();
+            pending.emplace_back(GateType::BARRIER, std::move(fenced));
             continue;
         }
 

@@ -16,10 +16,20 @@ schedule(const Circuit &circuit)
     for (std::size_t i = 0; i < gates.size(); ++i) {
         const Gate &g = gates[i];
         if (g.type == GateType::BARRIER) {
-            std::size_t fence = 0;
-            for (std::size_t f : frontier)
-                fence = std::max(fence, f);
-            std::fill(frontier.begin(), frontier.end(), fence);
+            if (g.qubits.empty()) {
+                // full-width fence
+                std::size_t fence = 0;
+                for (std::size_t f : frontier)
+                    fence = std::max(fence, f);
+                std::fill(frontier.begin(), frontier.end(), fence);
+            } else {
+                // targeted fence: only the listed qubits synchronise
+                std::size_t fence = 0;
+                for (Qubit q : g.qubits)
+                    fence = std::max(fence, frontier[q]);
+                for (Qubit q : g.qubits)
+                    frontier[q] = fence;
+            }
             continue;
         }
         std::size_t moment = 0;

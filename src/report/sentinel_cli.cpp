@@ -1,6 +1,7 @@
 #include "report/sentinel_cli.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <exception>
 #include <filesystem>
 #include <optional>
@@ -84,6 +85,42 @@ usageError(std::ostream &err, const std::string &message)
     return kSentinelUsage;
 }
 
+/**
+ * Full-token numeric parses. std::stod/std::stoul alone are not
+ * enough: they partial-parse ("0.5abc" -> 0.5) and stoul silently
+ * wraps negatives ("-1" -> huge), so malformed flag values would be
+ * accepted instead of producing the documented usage exit code.
+ */
+std::optional<double>
+parseDoubleFlag(const std::string &text)
+{
+    try {
+        std::size_t consumed = 0;
+        double value = std::stod(text, &consumed);
+        if (consumed != text.size())
+            return std::nullopt;
+        return value;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+std::optional<std::size_t>
+parseSizeFlag(const std::string &text)
+{
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])))
+        return std::nullopt;
+    try {
+        std::size_t consumed = 0;
+        unsigned long value = std::stoul(text, &consumed);
+        if (consumed != text.size())
+            return std::nullopt;
+        return static_cast<std::size_t>(value);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
 int
 runCheck(Args &args, std::ostream &out, std::ostream &err)
 {
@@ -93,18 +130,26 @@ runCheck(Args &args, std::ostream &out, std::ostream &err)
         return usageError(err, "check needs PERF_JSON and --baseline");
 
     SentinelOptions options;
-    try {
-        if (auto v = args.flag("--threshold"))
-            options.threshold = std::stod(*v);
-        if (auto v = args.flag("--min-samples"))
-            options.minSamples = std::stoul(*v);
-        if (auto v = args.flag("--window"))
-            options.window = std::stoul(*v);
-        if (auto v = args.flag("--tool"))
-            options.tool = *v;
-    } catch (const std::exception &) {
-        return usageError(err, "check: non-numeric flag value");
+    if (auto v = args.flag("--threshold")) {
+        auto parsed = parseDoubleFlag(*v);
+        if (!parsed)
+            return usageError(err, "check: bad --threshold '" + *v + "'");
+        options.threshold = *parsed;
     }
+    if (auto v = args.flag("--min-samples")) {
+        auto parsed = parseSizeFlag(*v);
+        if (!parsed)
+            return usageError(err, "check: bad --min-samples '" + *v + "'");
+        options.minSamples = *parsed;
+    }
+    if (auto v = args.flag("--window")) {
+        auto parsed = parseSizeFlag(*v);
+        if (!parsed)
+            return usageError(err, "check: bad --window '" + *v + "'");
+        options.window = *parsed;
+    }
+    if (auto v = args.flag("--tool"))
+        options.tool = *v;
     if (!args.rest().empty())
         return usageError(err, "check: unknown argument " +
                                    args.rest().front());
@@ -256,11 +301,11 @@ runCompact(Args &args, std::ostream &out, std::ostream &err)
     const std::string history =
         args.flag("--history").value_or("runs.jsonl");
     std::size_t keep = 0;
-    try {
-        if (auto v = args.flag("--keep"))
-            keep = std::stoul(*v);
-    } catch (const std::exception &) {
-        return usageError(err, "compact: non-numeric --keep");
+    if (auto v = args.flag("--keep")) {
+        auto parsed = parseSizeFlag(*v);
+        if (!parsed)
+            return usageError(err, "compact: bad --keep '" + *v + "'");
+        keep = *parsed;
     }
     if (auto stray = args.positional())
         return usageError(err, "compact: unknown argument " + *stray);

@@ -259,6 +259,40 @@ StabilizerSimulator::measure(std::size_t q, stats::Rng &rng)
     return r_[scratch];
 }
 
+double
+StabilizerSimulator::measureForced(std::size_t q, int outcome)
+{
+    const std::size_t n = numQubits_;
+    std::size_t p = 2 * n;
+    for (std::size_t row = n; row < 2 * n; ++row) {
+        if (xBit(row, q)) {
+            p = row;
+            break;
+        }
+    }
+    if (p < 2 * n) {
+        // random outcome: either branch has probability 1/2
+        for (std::size_t row = 0; row < 2 * n; ++row) {
+            if (row != p && xBit(row, q))
+                rowsum(row, p);
+        }
+        copyRow(p - n, p);
+        clearRow(p);
+        setZ(p, q, true);
+        r_[p] = static_cast<std::uint8_t>(outcome);
+        return 0.5;
+    }
+    // deterministic outcome: the forced branch either matches (prob 1)
+    // or is impossible (prob 0, tableau untouched either way)
+    const std::size_t scratch = 2 * n;
+    clearRow(scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (xBit(i, q))
+            rowsum(scratch, i + n);
+    }
+    return r_[scratch] == outcome ? 1.0 : 0.0;
+}
+
 void
 StabilizerSimulator::reset(std::size_t q, stats::Rng &rng)
 {

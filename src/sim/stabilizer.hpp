@@ -51,6 +51,15 @@ class StabilizerSimulator
     /** Projectively measure qubit q (collapses the tableau). */
     int measure(std::size_t q, stats::Rng &rng);
 
+    /**
+     * Measure qubit q forcing the given outcome: collapse onto that
+     * branch and return its probability — 0.5 when the outcome is
+     * random, 1 or 0 when deterministic (on 0 the tableau is left
+     * untouched). Lets exact distribution walkers enumerate both
+     * measurement branches of a Clifford circuit.
+     */
+    double measureForced(std::size_t q, int outcome);
+
     /** Measure-and-restore-to-|0> (RESET semantics). */
     void reset(std::size_t q, stats::Rng &rng);
 

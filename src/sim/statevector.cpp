@@ -230,6 +230,25 @@ StateVector::measure(std::size_t q, stats::Rng &rng)
     return outcome;
 }
 
+double
+StateVector::project(std::size_t q, int outcome)
+{
+    double p1 = probabilityOfOne(q);
+    double keep = outcome ? p1 : 1.0 - p1;
+    if (keep <= 0.0)
+        return 0.0;
+    const std::size_t mask = std::size_t{1} << q;
+    double scale = 1.0 / std::sqrt(keep);
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        bool is_one = (idx & mask) != 0;
+        if (is_one == (outcome == 1))
+            amps_[idx] *= scale;
+        else
+            amps_[idx] = 0.0;
+    }
+    return keep;
+}
+
 void
 StateVector::thermalRelaxationTrajectory(std::size_t q, double p_damp,
                                          double p_phase, stats::Rng &rng)

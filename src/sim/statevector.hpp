@@ -72,6 +72,16 @@ class StateVector
      */
     int measure(std::size_t q, stats::Rng &rng);
 
+    /**
+     * Project qubit q onto the given outcome without sampling:
+     * collapse + renormalise as measure() would had it drawn
+     * @p outcome, and return that branch's probability. When the
+     * branch is impossible (probability 0) the state is left
+     * untouched. Used by exact distribution walkers that enumerate
+     * both measurement branches.
+     */
+    double project(std::size_t q, int outcome);
+
     /** Measure-and-restore-to-|0> (RESET semantics). */
     void reset(std::size_t q, stats::Rng &rng);
 

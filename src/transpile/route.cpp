@@ -82,7 +82,17 @@ route(const qc::Circuit &circuit, const device::Topology &topology,
     for (std::size_t i = 0; i < gates.size(); ++i) {
         const qc::Gate &g = gates[i];
         if (g.type == qc::GateType::BARRIER) {
-            result.circuit.barrier();
+            if (g.qubits.empty()) {
+                result.circuit.barrier();
+            } else {
+                // Targeted fence: carry the operands through the
+                // current layout so it fences the same logical qubits.
+                std::vector<qc::Qubit> fenced;
+                fenced.reserve(g.qubits.size());
+                for (qc::Qubit q : g.qubits)
+                    fenced.push_back(static_cast<qc::Qubit>(l2p[q]));
+                result.circuit.barrier(std::move(fenced));
+            }
             continue;
         }
         if (g.qubits.size() > 2)

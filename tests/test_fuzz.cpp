@@ -1,0 +1,579 @@
+/**
+ * @file
+ * The differential-fuzzing suite (`ctest -L fuzz`): QASM round-trip
+ * properties over every benchmark generator, regression tests for the
+ * latent bugs the harness surfaced (numeric-literal parsing, targeted
+ * barriers, sentinel flag validation, degenerate hulls), and unit
+ * coverage of the generator / oracles / shrinker / harness themselves.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "core/suites.hpp"
+#include "fuzz/fuzz_cli.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/shrink.hpp"
+#include "geom/hull.hpp"
+#include "qc/circuit.hpp"
+#include "qc/dag.hpp"
+#include "qc/qasm.hpp"
+#include "qc/schedule.hpp"
+#include "report/sentinel_cli.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "stats/rng.hpp"
+
+namespace smq {
+namespace {
+
+// ---------------------------------------------------------------------
+// Round-trip property: every benchmark generator's circuits survive
+// toQasm/fromQasm with an identical gate stream and feature vector.
+// ---------------------------------------------------------------------
+
+TEST(FuzzQasmRoundTrip, AllBenchmarkGeneratorsRoundTripExactly)
+{
+    auto suite = core::quickSuite();
+    ASSERT_EQ(suite.size(), 8u);
+    for (const auto &benchmark : suite) {
+        for (const qc::Circuit &circuit : benchmark->circuits()) {
+            SCOPED_TRACE(benchmark->name());
+            qc::Circuit back = qc::fromQasm(qc::toQasm(circuit));
+            EXPECT_EQ(back.gates(), circuit.gates());
+            EXPECT_EQ(back.numQubits(), circuit.numQubits());
+            EXPECT_EQ(back.numClbits(), circuit.numClbits());
+            EXPECT_EQ(core::computeFeatures(back).asArray(),
+                      core::computeFeatures(circuit).asArray());
+            fuzz::OracleResult r = fuzz::oracleQasmRoundTrip(circuit);
+            EXPECT_EQ(r.status, fuzz::OracleStatus::Pass) << r.detail;
+        }
+    }
+}
+
+TEST(FuzzQasmRoundTrip, Figure2InstancesRoundTripExactly)
+{
+    for (const auto &benchmark : core::figure2Benchmarks()) {
+        for (const qc::Circuit &circuit : benchmark->circuits()) {
+            SCOPED_TRACE(benchmark->name());
+            fuzz::OracleResult r = fuzz::oracleQasmRoundTrip(circuit);
+            EXPECT_EQ(r.status, fuzz::OracleStatus::Pass) << r.detail;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bugfix regression: parseFactor must reject tokens std::stod would
+// partial-parse ("1.2.3" -> 1.2, "1e" -> 1) instead of accepting a
+// silently wrong angle.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+qasmWithAngle(const std::string &angle)
+{
+    return "OPENQASM 2.0;\nqreg q[1];\nrz(" + angle + ") q[0];\n";
+}
+
+} // namespace
+
+TEST(FuzzQasmRegression, MalformedNumericLiteralsAreRejected)
+{
+    for (const char *bad : {"1.2.3", "1e", "3e+", ".", "1.5e"}) {
+        SCOPED_TRACE(bad);
+        EXPECT_THROW(qc::fromQasm(qasmWithAngle(bad)), std::runtime_error);
+    }
+}
+
+TEST(FuzzQasmRegression, ValidNumericLiteralsStillParse)
+{
+    struct Case
+    {
+        const char *text;
+        double value;
+    };
+    for (const Case &c : {Case{"0.5", 0.5}, Case{"1e3", 1000.0},
+                          Case{"2.5e-2", 0.025}, Case{"7", 7.0},
+                          Case{"pi/2", M_PI / 2.0}}) {
+        SCOPED_TRACE(c.text);
+        qc::Circuit parsed = qc::fromQasm(qasmWithAngle(c.text));
+        ASSERT_EQ(parsed.gates().size(), 1u);
+        EXPECT_DOUBLE_EQ(parsed.gates()[0].params[0], c.value);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bugfix regression: targeted barriers round-trip through QASM with
+// their actual operand list, and fence only the listed qubits.
+// ---------------------------------------------------------------------
+
+TEST(FuzzBarrierRegression, TargetedBarrierEmitsOperandList)
+{
+    qc::Circuit circuit(4);
+    circuit.h(0).h(2);
+    circuit.barrier({0, 2});
+    circuit.x(0).x(1);
+
+    std::string qasm = qc::toQasm(circuit);
+    EXPECT_NE(qasm.find("barrier q[0],q[2];"), std::string::npos) << qasm;
+
+    qc::Circuit back = qc::fromQasm(qasm);
+    EXPECT_EQ(back, circuit);
+    EXPECT_EQ(core::computeFeatures(back).asArray(),
+              core::computeFeatures(circuit).asArray());
+}
+
+TEST(FuzzBarrierRegression, BareRegisterOperandIsFullFence)
+{
+    qc::Circuit parsed = qc::fromQasm(
+        "OPENQASM 2.0;\nqreg q[3];\nh q[0];\nbarrier q;\nx q[1];\n");
+    ASSERT_EQ(parsed.gates().size(), 3u);
+    EXPECT_EQ(parsed.gates()[1].type, qc::GateType::BARRIER);
+    EXPECT_TRUE(parsed.gates()[1].qubits.empty());
+
+    // A bare register anywhere in the operand list widens to a full
+    // fence, matching OpenQASM semantics.
+    qc::Circuit widened = qc::fromQasm(
+        "OPENQASM 2.0;\nqreg q[3];\nbarrier q[0],q;\n");
+    ASSERT_EQ(widened.gates().size(), 1u);
+    EXPECT_TRUE(widened.gates()[0].qubits.empty());
+}
+
+TEST(FuzzBarrierRegression, TargetedFenceDoesNotSerialiseOtherQubits)
+{
+    // Qubit 2 is untouched by the fence: its gate stays in moment 1.
+    qc::Circuit targeted(3);
+    targeted.h(0);
+    targeted.barrier({0, 1});
+    targeted.x(1).x(2);
+
+    qc::Circuit full(3);
+    full.h(0);
+    full.barrier();
+    full.x(1).x(2);
+
+    qc::Schedule st = qc::schedule(targeted);
+    qc::Schedule sf = qc::schedule(full);
+    EXPECT_EQ(st.depth(), sf.depth());
+
+    // Under the full fence every post-barrier gate lands after h(0);
+    // the targeted fence leaves x(2) free to share h(0)'s moment.
+    EXPECT_EQ(st.momentOf[3], 0); // x(2), instruction index 3
+    EXPECT_EQ(sf.momentOf[3], 1);
+}
+
+TEST(FuzzBarrierRegression, DagBarrierFencesQubitsWithHistory)
+{
+    // Latent-bug shape: q1 already had an op before the barrier, so
+    // the old DAG builder (which only seeded *empty* frontiers) let
+    // the post-barrier gate on q1 bypass the q0 chain entirely.
+    qc::Circuit circuit(2);
+    circuit.h(1).h(0).h(0);
+    circuit.barrier();
+    circuit.h(1);
+
+    qc::GateDag dag(circuit);
+    EXPECT_EQ(dag.depth(), 3u);
+    ASSERT_EQ(dag.predecessors(4).size(), 1u);
+    EXPECT_EQ(dag.predecessors(4)[0], 2u); // the deeper h(0), not h(1)
+}
+
+TEST(FuzzBarrierRegression, BarrierOperandsAreValidated)
+{
+    qc::Circuit circuit(3);
+    EXPECT_THROW(circuit.barrier({0, 7}), std::out_of_range);
+    EXPECT_THROW(circuit.barrier({1, 1}), std::invalid_argument);
+    EXPECT_THROW(
+        qc::fromQasm("OPENQASM 2.0;\nqreg q[2];\nbarrier r[0];\n"),
+        std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Bugfix regression: sentinel numeric flags are validated in full, not
+// partial-parsed; a malformed value is a usage error (exit 2).
+// ---------------------------------------------------------------------
+
+namespace {
+
+int
+sentinel(const std::vector<std::string> &args, std::string *err_text = nullptr)
+{
+    std::ostringstream out, err;
+    int rc = report::sentinelMain(args, out, err);
+    if (err_text != nullptr)
+        *err_text = err.str();
+    return rc;
+}
+
+} // namespace
+
+TEST(FuzzSentinelRegression, MalformedNumericFlagsAreUsageErrors)
+{
+    std::string err;
+    EXPECT_EQ(sentinel({"check", "perf.json", "--baseline", "h.jsonl",
+                        "--threshold", "0.5abc"},
+                       &err),
+              report::kSentinelUsage);
+    EXPECT_NE(err.find("bad --threshold"), std::string::npos) << err;
+
+    EXPECT_EQ(sentinel({"check", "perf.json", "--baseline", "h.jsonl",
+                        "--threshold", "abc"}),
+              report::kSentinelUsage);
+    EXPECT_EQ(sentinel({"check", "perf.json", "--baseline", "h.jsonl",
+                        "--min-samples", "-3"}),
+              report::kSentinelUsage);
+    EXPECT_EQ(sentinel({"check", "perf.json", "--baseline", "h.jsonl",
+                        "--window", "2x"}),
+              report::kSentinelUsage);
+    EXPECT_EQ(sentinel({"compact", "--history", "h.jsonl", "--keep", "5x"}),
+              report::kSentinelUsage);
+}
+
+// ---------------------------------------------------------------------
+// Bugfix regression: degenerate inputs that survive every joggle
+// attempt report volume 0 with a warning instead of throwing.
+// ---------------------------------------------------------------------
+
+TEST(FuzzHullRegression, DegenerateInputSurvivingJoggleReportsZero)
+{
+    // A tiny-scale simplex whose facet normals underflow the facet
+    // determinant: every exact and joggled pass hits the degenerate-
+    // facet guard, which used to propagate as std::logic_error.
+    const std::size_t dim = 27;
+    const double s = 2e-12;
+    std::vector<geom::Point> points;
+    points.push_back(geom::Point(dim, 0.0));
+    for (std::size_t i = 0; i < dim; ++i) {
+        geom::Point p(dim, 0.0);
+        p[i] = s;
+        points.push_back(std::move(p));
+    }
+    geom::HullResult hull;
+    EXPECT_NO_THROW(hull = geom::convexHull(points, dim, 1e-300));
+    EXPECT_EQ(hull.volume, 0.0);
+    EXPECT_EQ(hull.affineRank, dim - 1);
+    EXPECT_TRUE(hull.facets.empty());
+}
+
+// ---------------------------------------------------------------------
+// Generator: determinism and mode coverage.
+// ---------------------------------------------------------------------
+
+TEST(FuzzGenerator, SameSeedSameCircuit)
+{
+    fuzz::GeneratorOptions options;
+    stats::Rng a(99), b(99);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(fuzz::randomCircuit(options, a),
+                  fuzz::randomCircuit(options, b));
+    }
+}
+
+TEST(FuzzGenerator, CliffordModeStaysInStabilizerGateSet)
+{
+    fuzz::GeneratorOptions options;
+    options.cliffordOnly = true;
+    stats::Rng rng(7);
+    for (int i = 0; i < 30; ++i) {
+        qc::Circuit circuit = fuzz::randomCircuit(options, rng);
+        EXPECT_TRUE(sim::isCliffordCircuit(circuit));
+    }
+}
+
+TEST(FuzzGenerator, RespectsShapeBounds)
+{
+    fuzz::GeneratorOptions options;
+    options.minQubits = 3;
+    options.maxQubits = 4;
+    options.maxGates = 12;
+    stats::Rng rng(11);
+    for (int i = 0; i < 30; ++i) {
+        qc::Circuit circuit = fuzz::randomCircuit(options, rng);
+        EXPECT_GE(circuit.numQubits(), 3u);
+        EXPECT_LE(circuit.numQubits(), 4u);
+        // body + terminal measure-all layer
+        EXPECT_LE(circuit.gates().size(),
+                  12u + circuit.numQubits());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exact branching walkers: agreement with the terminal-measurement
+// reference and correct mid-circuit branch enumeration.
+// ---------------------------------------------------------------------
+
+TEST(FuzzWalkers, ExactDenseMatchesIdealOnTerminalCircuit)
+{
+    qc::Circuit ghz(3, 3);
+    ghz.h(0).cx(0, 1).cx(1, 2).measureAll();
+    stats::Distribution exact = fuzz::exactDenseDistribution(ghz);
+    stats::Distribution ideal = sim::idealDistribution(ghz);
+    for (const auto &[bits, p] : ideal.map())
+        EXPECT_NEAR(exact.probability(bits), p, 1e-12) << bits;
+    EXPECT_NEAR(exact.totalMass(), 1.0, 1e-12);
+}
+
+TEST(FuzzWalkers, MidCircuitBranchesAreEnumeratedExactly)
+{
+    // h; measure -> c0; reset; measure -> c1: the second readout is
+    // deterministically 0, the first is a fair coin.
+    qc::Circuit circuit(1, 2);
+    circuit.h(0).measure(0, 0).reset(0).measure(0, 1);
+    stats::Distribution dense = fuzz::exactDenseDistribution(circuit);
+    EXPECT_NEAR(dense.probability("00"), 0.5, 1e-12);
+    EXPECT_NEAR(dense.probability("10"), 0.5, 1e-12);
+    stats::Distribution stab = fuzz::exactStabilizerDistribution(circuit);
+    EXPECT_NEAR(stab.probability("00"), 0.5, 1e-12);
+    EXPECT_NEAR(stab.probability("10"), 0.5, 1e-12);
+}
+
+TEST(FuzzWalkers, StabilizerWalkerMatchesDenseOnGhz)
+{
+    qc::Circuit ghz(4, 4);
+    ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measureAll();
+    stats::Distribution stab = fuzz::exactStabilizerDistribution(ghz);
+    EXPECT_NEAR(stab.probability("0000"), 0.5, 1e-12);
+    EXPECT_NEAR(stab.probability("1111"), 0.5, 1e-12);
+}
+
+TEST(FuzzWalkers, StatevectorProjectReturnsBranchProbability)
+{
+    sim::StateVector state(1);
+    // |0>: the 1-branch is impossible and must leave the state alone.
+    EXPECT_EQ(state.project(0, 1), 0.0);
+    EXPECT_NEAR(std::abs(state.amplitude(0)), 1.0, 1e-12);
+
+    state.applyGate(qc::Gate(qc::GateType::H, {0}));
+    EXPECT_NEAR(state.project(0, 1), 0.5, 1e-12);
+    EXPECT_NEAR(std::abs(state.amplitude(1)), 1.0, 1e-12);
+}
+
+TEST(FuzzWalkers, StabilizerMeasureForcedCollapsesTableau)
+{
+    sim::StabilizerSimulator sim(1);
+    EXPECT_EQ(sim.measureForced(0, 1), 0.0); // |0> cannot read 1
+    sim.applyGate(qc::Gate(qc::GateType::H, {0}));
+    EXPECT_NEAR(sim.measureForced(0, 1), 0.5, 1e-12);
+    // Collapsed: the same outcome is now deterministic.
+    EXPECT_EQ(sim.measureForced(0, 1), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Oracles: pass on known-good circuits, dispatch table is total.
+// ---------------------------------------------------------------------
+
+TEST(FuzzOracles, AllOraclesAcceptCliffordTerminalCircuit)
+{
+    qc::Circuit circuit(3, 3);
+    circuit.h(0).cx(0, 1).s(1).cz(1, 2).measureAll();
+    for (std::size_t i = 0; i < fuzz::kOracleCount; ++i) {
+        auto id = static_cast<fuzz::OracleId>(i);
+        fuzz::OracleResult r = fuzz::runOracle(id, circuit);
+        EXPECT_NE(r.status, fuzz::OracleStatus::Fail)
+            << fuzz::oracleName(id) << ": " << r.detail;
+    }
+}
+
+TEST(FuzzOracles, PreconditionedOraclesSkipOutOfScopeCases)
+{
+    qc::Circuit non_clifford(2, 2);
+    non_clifford.t(0).cx(0, 1).measureAll();
+    EXPECT_EQ(fuzz::oracleSvVsStabilizer(non_clifford).status,
+              fuzz::OracleStatus::Skip);
+
+    qc::Circuit mid_circuit(1, 2);
+    mid_circuit.h(0).measure(0, 0).h(0).measure(0, 1);
+    EXPECT_EQ(fuzz::oracleSvVsDm(mid_circuit).status,
+              fuzz::OracleStatus::Skip);
+}
+
+TEST(FuzzOracles, NamesAreStable)
+{
+    EXPECT_STREQ(fuzz::oracleName(fuzz::OracleId::SvVsDm), "sv-vs-dm");
+    EXPECT_STREQ(fuzz::oracleName(fuzz::OracleId::SvVsStabilizer),
+                 "sv-vs-stab");
+    EXPECT_STREQ(fuzz::oracleName(fuzz::OracleId::Transpile), "transpile");
+    EXPECT_STREQ(fuzz::oracleName(fuzz::OracleId::QasmRoundTrip),
+                 "qasm-roundtrip");
+    EXPECT_STREQ(fuzz::oracleName(fuzz::OracleId::Fusion), "fusion");
+}
+
+// ---------------------------------------------------------------------
+// Shrinker: minimises to the essential instruction, deterministically,
+// within budget; a throwing predicate counts as "does not reproduce".
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool
+containsCz(const qc::Circuit &circuit)
+{
+    for (const qc::Gate &g : circuit.gates()) {
+        if (g.type == qc::GateType::CZ)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(FuzzShrink, ReducesToSingleEssentialGate)
+{
+    qc::Circuit circuit(4, 4);
+    circuit.h(0).t(1).rx(0.3, 2).cx(0, 3).s(3);
+    circuit.cz(1, 2);
+    circuit.h(3).rz(1.7, 0).swap(0, 1).measureAll();
+    ASSERT_TRUE(containsCz(circuit));
+
+    fuzz::ShrinkResult r = fuzz::shrink(circuit, containsCz);
+    EXPECT_EQ(r.circuit.gates().size(), 1u);
+    EXPECT_EQ(r.circuit.gates()[0].type, qc::GateType::CZ);
+    EXPECT_EQ(r.circuit.numQubits(), 2u); // drop-qubit compacted
+    EXPECT_LE(r.predicateCalls, 2000u);
+
+    // Determinism: the same failure always shrinks to the same repro.
+    fuzz::ShrinkResult again = fuzz::shrink(circuit, containsCz);
+    EXPECT_EQ(again.circuit, r.circuit);
+}
+
+TEST(FuzzShrink, ThrowingPredicateMeansNoRepro)
+{
+    qc::Circuit circuit(2, 2);
+    circuit.h(0).cz(0, 1).measureAll();
+    auto touchy = [](const qc::Circuit &candidate) {
+        if (candidate.gates().size() < 3)
+            throw std::runtime_error("predicate exploded");
+        return containsCz(candidate);
+    };
+    fuzz::ShrinkResult r = fuzz::shrink(circuit, touchy);
+    // Cannot go below 3 instructions without the predicate throwing.
+    EXPECT_GE(r.circuit.gates().size(), 3u);
+    EXPECT_TRUE(containsCz(r.circuit));
+}
+
+TEST(FuzzShrink, SnapsAnglesToReadableValues)
+{
+    qc::Circuit circuit(1, 1);
+    circuit.rx(1.234567, 0).measure(0, 0);
+    auto has_rx = [](const qc::Circuit &candidate) {
+        for (const qc::Gate &g : candidate.gates()) {
+            if (g.type == qc::GateType::RX)
+                return true;
+        }
+        return false;
+    };
+    fuzz::ShrinkResult r = fuzz::shrink(circuit, has_rx);
+    ASSERT_EQ(r.circuit.gates().size(), 1u);
+    EXPECT_EQ(r.circuit.gates()[0].params[0], 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Harness: clean corpus, tally accounting, jobs byte-identity, and the
+// report surface the CLI exposes.
+// ---------------------------------------------------------------------
+
+TEST(FuzzHarness, SmokeCorpusIsCleanAndAccountedFor)
+{
+    fuzz::FuzzOptions options;
+    options.seed = 3;
+    options.cases = 40;
+    options.jobs = 3;
+    fuzz::FuzzReport report = fuzz::runFuzz(options);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.casesRun, 40u);
+    EXPECT_EQ(report.casesFailed, 0u);
+    for (const fuzz::OracleTally &tally : report.tallies) {
+        EXPECT_EQ(tally.passes + tally.skips + tally.failures,
+                  report.casesRun);
+    }
+    EXPECT_NE(report.render().find("verdict: CLEAN"), std::string::npos);
+}
+
+TEST(FuzzHarness, ParallelReportIsByteIdenticalToSerial)
+{
+    fuzz::FuzzOptions options;
+    options.seed = 17;
+    options.cases = 30;
+    options.jobs = 4;
+    fuzz::FuzzReport report = fuzz::runFuzz(options);
+    EXPECT_EQ(fuzz::verifyJobsIdentity(report), "");
+}
+
+TEST(FuzzHarness, RegressionSnippetEmbedsRepro)
+{
+    qc::Circuit shrunk(2, 2);
+    shrunk.h(0).cx(0, 1).measureAll();
+    fuzz::FuzzFailure failure;
+    failure.caseIndex = 12;
+    failure.caseSeed = 0xabcdu;
+    failure.oracle = fuzz::OracleId::QasmRoundTrip;
+    failure.shrunk = shrunk;
+    failure.reproQasm = qc::toQasm(shrunk);
+    std::string snippet = fuzz::regressionTestSnippet(failure);
+    EXPECT_NE(snippet.find("runOracle"), std::string::npos);
+    EXPECT_NE(snippet.find("QasmRoundTrip"), std::string::npos);
+    EXPECT_NE(snippet.find("h q[0];"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// CLI: exit-code contract and output determinism.
+// ---------------------------------------------------------------------
+
+namespace {
+
+int
+fuzzCli(const std::vector<std::string> &args, std::string *out_text = nullptr,
+        std::string *err_text = nullptr)
+{
+    std::ostringstream out, err;
+    int rc = fuzz::fuzzMain(args, out, err);
+    if (out_text != nullptr)
+        *out_text = out.str();
+    if (err_text != nullptr)
+        *err_text = err.str();
+    return rc;
+}
+
+} // namespace
+
+TEST(FuzzCli, HelpExitsCleanly)
+{
+    std::string out;
+    EXPECT_EQ(fuzzCli({"--help"}, &out), fuzz::kFuzzOk);
+    EXPECT_NE(out.find("--seed"), std::string::npos);
+}
+
+TEST(FuzzCli, UsageErrorsExitTwo)
+{
+    std::string err;
+    EXPECT_EQ(fuzzCli({"--bogus"}, nullptr, &err), fuzz::kFuzzUsage);
+    EXPECT_NE(err.find("unknown flag"), std::string::npos) << err;
+    EXPECT_EQ(fuzzCli({"--seed", "12x"}), fuzz::kFuzzUsage);
+    EXPECT_EQ(fuzzCli({"--cases"}), fuzz::kFuzzUsage);
+    EXPECT_EQ(fuzzCli({"--min-qubits", "6", "--max-qubits", "3"}),
+              fuzz::kFuzzUsage);
+    EXPECT_EQ(fuzzCli({"--max-qubits", "30"}), fuzz::kFuzzUsage);
+}
+
+TEST(FuzzCli, CleanRunIsDeterministic)
+{
+    const std::vector<std::string> args = {"--seed", "5", "--cases", "25",
+                                           "--jobs", "2"};
+    std::string first, second;
+    EXPECT_EQ(fuzzCli(args, &first), fuzz::kFuzzOk);
+    EXPECT_EQ(fuzzCli(args, &second), fuzz::kFuzzOk);
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("jobs identity: ok"), std::string::npos);
+}
+
+} // namespace
+} // namespace smq

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * `smq_fuzz` — differential fuzzing of the simulator and toolflow
+ * substrates. Thin wrapper over fuzz::fuzzMain (see fuzz/fuzz_cli.hpp
+ * for the flag set and exit-code contract).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return smq::fuzz::fuzzMain(args, std::cout, std::cerr);
+}
