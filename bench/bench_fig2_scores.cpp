@@ -11,6 +11,12 @@
  *        --faults seeded fault injection through the job layer, so the
  *                 matrix shows the mixed Ok/Partial/Skipped/Failed
  *                 statuses of a real collection campaign.
+ *        --shard i/N      execute only shard i of a split sweep
+ *        --checkpoint DIR journal every completed cell into DIR
+ *        --resume DIR     continue a killed/interrupted sweep
+ *
+ * Exit codes: 0 complete; 75 interrupted (rerun with --resume);
+ * 74 journal write failure; 2 usage / foreign resume journal.
  */
 
 #include <iostream>
@@ -37,7 +43,13 @@ main(int argc, char **argv)
                                : "")
               << ")\n\n";
 
-    bench::Fig2Grid grid = bench::computeFig2Grid(scale);
+    bench::GridOutcome outcome = bench::computeFig2GridOutcome(scale);
+    if (outcome.configMismatch) {
+        std::cerr << "bench_fig2_scores: " << outcome.mismatchDetail
+                  << "\n";
+        return outcome.exitCode();
+    }
+    bench::Fig2Grid &grid = outcome.grid;
     bench::noteGridScores(obs_session, grid);
 
     std::vector<std::string> headers = {"benchmark"};
@@ -74,5 +86,13 @@ main(int argc, char **argv)
            "2q error rate, while matched-connectivity benchmarks (ZZ-\n"
            "SWAP QAOA, VQE, Hamiltonian simulation) keep the\n"
            "superconducting devices competitive.\n";
-    return 0;
+    if (outcome.storageError) {
+        std::cerr << "bench_fig2_scores: checkpoint journal write "
+                     "failed: "
+                  << outcome.storageDetail << "\n";
+    } else if (outcome.interrupted) {
+        std::cerr << "bench_fig2_scores: interrupted; rerun with "
+                     "--resume to continue\n";
+    }
+    return outcome.exitCode();
 }

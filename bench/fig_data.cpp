@@ -5,7 +5,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "device/device.hpp"
 #include "obs/manifest.hpp"
@@ -13,10 +17,29 @@
 #include "obs/names.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "report/checkpoint.hpp"
 #include "report/history.hpp"
+#include "util/stop.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smq::bench {
+
+namespace {
+
+/** A mistyped --shard must fail loudly, not run the wrong slice. */
+core::ShardSpec
+parseShardOrDie(const char *text)
+{
+    std::optional<core::ShardSpec> spec = core::parseShardSpec(text);
+    if (!spec) {
+        std::cerr << "bad --shard '" << text
+                  << "' (expected i/N with 0 <= i < N)\n";
+        std::exit(report::kExitConfigMismatch);
+    }
+    return *spec;
+}
+
+} // namespace
 
 Scale
 scaleFromArgs(int argc, char **argv)
@@ -58,6 +81,21 @@ scaleFromArgs(int argc, char **argv)
             scale.heartbeatSecs = std::strtod(argv[++i], nullptr);
         } else if (std::strncmp(argv[i], "--heartbeat=", 12) == 0) {
             scale.heartbeatSecs = std::strtod(argv[i] + 12, nullptr);
+        } else if (std::strcmp(argv[i], "--shard") == 0 &&
+                   i + 1 < argc) {
+            scale.shard = parseShardOrDie(argv[++i]);
+        } else if (std::strncmp(argv[i], "--shard=", 8) == 0) {
+            scale.shard = parseShardOrDie(argv[i] + 8);
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0 &&
+                   i + 1 < argc) {
+            scale.checkpointDir = argv[++i];
+        } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+            scale.checkpointDir = argv[i] + 13;
+        } else if (std::strcmp(argv[i], "--resume") == 0 &&
+                   i + 1 < argc) {
+            scale.resumeDir = argv[++i];
+        } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+            scale.resumeDir = argv[i] + 9;
         }
     }
     return scale;
@@ -113,9 +151,14 @@ ObsSession::~ObsSession()
         report::HistoryRecord record =
             report::HistoryRecord::fromManifest(manifest);
         record.values = values_;
-        if (!report::appendHistory(scale_.historyPath, record)) {
+        std::string error;
+        if (!report::appendHistory(scale_.historyPath, record, &error)) {
+            // Name the cause: "write: No space left on device" tells
+            // the operator what to fix, a bare "could not" does not.
             std::cerr << "warning: could not append to "
-                      << scale_.historyPath << "\n";
+                      << scale_.historyPath
+                      << (error.empty() ? "" : " (" + error + ")")
+                      << "\n";
         }
     }
 }
@@ -262,7 +305,117 @@ demoInjector(const Scale &scale)
     return injector;
 }
 
+/** Whether any crash-tolerance machinery is switched on. */
+bool
+resilienceActive(const Scale &scale)
+{
+    return scale.shard.active() || !scale.checkpointDir.empty() ||
+           !scale.resumeDir.empty();
+}
+
+/**
+ * Canonical execution-config text of the checkpoint header: every
+ * knob that changes cell results. Two journals are only mergeable /
+ * resumable when this text matches.
+ */
+std::string
+configKey(const Scale &scale)
+{
+    std::ostringstream key;
+    key << "shots="
+        << (scale.paperShots ? "paper"
+                             : std::to_string(scale.defaultShots))
+        << ";repetitions=" << scale.repetitions
+        << ";faults=" << (scale.faults ? 1 : 0)
+        << ";fault_seed=" << scale.faultSeed;
+    return key.str();
+}
+
+report::CheckpointHeader
+headerForGrid(const Scale &scale, const Fig2Grid &grid)
+{
+    report::CheckpointHeader header;
+    header.tool = "smq-grid";
+    header.config = configKey(scale);
+    header.shardIndex = scale.shard.index;
+    header.shardCount = scale.shard.count;
+    header.devices = grid.deviceNames;
+    for (const GridRow &row : grid.rows)
+        header.benchmarks.push_back(row.benchmark);
+    return header;
+}
+
+report::CheckpointRow
+rowRecord(const GridRow &row)
+{
+    report::CheckpointRow rec;
+    rec.benchmark = row.benchmark;
+    rec.isErrorCorrection = row.isErrorCorrection;
+    for (double v : row.features.asArray())
+        rec.features.push_back(v);
+    rec.stats = {row.stats.numQubits,    row.stats.depth,
+                 row.stats.gateCount,    row.stats.twoQubitGates,
+                 row.stats.measurements, row.stats.resets};
+    return rec;
+}
+
+report::CheckpointCell
+cellFromRun(const core::BenchmarkRun &run)
+{
+    report::CheckpointCell rec;
+    rec.benchmark = run.benchmark;
+    rec.device = run.device;
+    // Interrupted cells carry salvage worth inspecting, but only an
+    // uninterrupted outcome is final: resume re-runs the others so
+    // the finished grid is byte-identical to an uninterrupted sweep.
+    rec.final = run.cause != core::FailureCause::Interrupted;
+    rec.status = static_cast<int>(run.status);
+    rec.cause = static_cast<int>(run.cause);
+    rec.plannedRepetitions = run.plannedRepetitions;
+    rec.attempts = run.attempts;
+    rec.errorBarScale = run.errorBarScale;
+    rec.swapsInserted = run.swapsInserted;
+    rec.physicalTwoQubitGates = run.physicalTwoQubitGates;
+    rec.scores = run.scores;
+    return rec;
+}
+
+core::BenchmarkRun
+runFromCell(const report::CheckpointCell &cell)
+{
+    core::BenchmarkRun run;
+    run.benchmark = cell.benchmark;
+    run.device = cell.device;
+    run.status = static_cast<core::RunStatus>(cell.status);
+    run.cause = static_cast<core::FailureCause>(cell.cause);
+    run.tooLarge = run.status == core::RunStatus::TooLarge;
+    run.detail = "resumed from checkpoint";
+    run.plannedRepetitions =
+        static_cast<std::size_t>(cell.plannedRepetitions);
+    run.attempts = static_cast<std::size_t>(cell.attempts);
+    run.errorBarScale = cell.errorBarScale;
+    run.swapsInserted = static_cast<std::size_t>(cell.swapsInserted);
+    run.physicalTwoQubitGates =
+        static_cast<std::size_t>(cell.physicalTwoQubitGates);
+    run.scores = cell.scores;
+    if (!run.scores.empty())
+        run.summary = stats::summarize(run.scores);
+    return run;
+}
+
 } // namespace
+
+int
+GridOutcome::exitCode() const
+{
+    if (configMismatch)
+        return report::kExitConfigMismatch;
+    if (storageError)
+        return report::kExitStorageError;
+    if (interrupted)
+        return report::kExitInterrupted;
+    return 0;
+}
 
 std::string
 serializeGrid(const Fig2Grid &grid)
@@ -296,29 +449,32 @@ serializeGrid(const Fig2Grid &grid)
     return out.str();
 }
 
-Fig2Grid
-computeFig2Grid(const Scale &scale)
+GridOutcome
+computeGrid(const Scale &scale,
+            const std::vector<core::BenchmarkPtr> &suite,
+            const std::vector<device::Device> &devices)
 {
-    Fig2Grid grid;
-    // Fault-injected runs are demonstrations; never cache them.
-    if (!scale.faults && scale.useCache && loadGrid(grid, scale)) {
-        std::cerr << "(reusing cached grid " << cachePath(scale) << ")\n";
-        return grid;
-    }
-    grid = Fig2Grid{};
+    GridOutcome outcome;
+    Fig2Grid &grid = outcome.grid;
     SMQ_TRACE_SPAN(obs::names::kSpanGrid,
                    obs::jsonField("jobs", static_cast<std::uint64_t>(
                                               scale.jobs)));
-    std::vector<device::Device> devices = device::allDevices();
+    // From here on SIGINT/SIGTERM request a cooperative stop: workers
+    // finish or salvage their current cell, the journal and manifest
+    // flush, and the driver exits kExitInterrupted. A second signal
+    // falls back to the default (immediate) disposition.
+    util::installStopHandlers();
+
     for (const device::Device &dev : devices)
         grid.deviceNames.push_back(dev.name);
 
     jobs::JobOptions job_options;
     job_options.harness.repetitions = scale.repetitions;
+    job_options.stop = util::stopRequested;
 
-    std::vector<core::BenchmarkPtr> suite = core::figure2Benchmarks();
     const std::size_t n_rows = suite.size();
     const std::size_t n_devices = devices.size();
+    const std::size_t n_cells = n_rows * n_devices;
     grid.rows.resize(n_rows);
 
     // Per-row metadata (features/stats of the primary logical circuit).
@@ -332,16 +488,111 @@ computeFig2Grid(const Scale &scale)
         row.runs.resize(n_devices);
     });
 
-    // The (benchmark x device) cells fan out over the thread pool.
-    // Each cell gets its own SweepContext over the same injector seed:
-    // fault decisions and simulation streams are pure functions of the
-    // (seed, device, benchmark, rep, attempt) labels, and the suite
-    // deadline is infinite here, so cell results cannot depend on
-    // execution order — the grid is byte-identical for any jobs value.
+    // Checkpoint setup. Resume loads the existing journal (refusing a
+    // foreign workload/shard); a fresh journal starts with the header
+    // and every row record — rows are label-derived and identical
+    // across shards, which is what lets the merge reassemble the grid
+    // without re-simulating anything.
+    const std::string journal_dir = !scale.resumeDir.empty()
+                                        ? scale.resumeDir
+                                        : scale.checkpointDir;
+    report::CheckpointWriter writer;
+    std::unordered_map<std::string, report::CheckpointCell> resumed;
+    std::unordered_set<std::string> salvaged;
+    if (!journal_dir.empty()) {
+        const report::CheckpointHeader expected =
+            headerForGrid(scale, grid);
+        bool fresh = true;
+        if (!scale.resumeDir.empty()) {
+            report::CheckpointLoad load =
+                report::loadCheckpoint(journal_dir);
+            if (load.exists) {
+                if (!load.headerOk) {
+                    outcome.configMismatch = true;
+                    outcome.mismatchDetail =
+                        journal_dir + " has no readable journal header";
+                    return outcome;
+                }
+                if (!load.header.sameWorkload(expected) ||
+                    load.header.shardIndex != expected.shardIndex) {
+                    outcome.configMismatch = true;
+                    outcome.mismatchDetail =
+                        journal_dir +
+                        " journals a different workload or shard "
+                        "(config '" +
+                        load.header.config + "' vs '" + expected.config +
+                        "')";
+                    return outcome;
+                }
+                fresh = false;
+                for (report::CheckpointCell &cell : load.cells) {
+                    if (cell.final)
+                        resumed[cell.key()] = std::move(cell);
+                    else
+                        salvaged.insert(cell.key());
+                }
+            }
+        }
+        writer = report::CheckpointWriter(journal_dir);
+        if (fresh) {
+            writer.writeHeader(expected);
+            for (const GridRow &row : grid.rows)
+                writer.appendRow(rowRecord(row));
+        }
+    }
+
+    // Pre-pass over the cells, in deterministic grid order: foreign
+    // cells (another shard's) and resumed cells are settled here;
+    // everything else gets an Interrupted placeholder that stands
+    // when cooperative shutdown prevents the cell from being claimed.
+    std::vector<std::uint8_t> todo(n_cells, 0);
+    for (std::size_t cell = 0; cell < n_cells; ++cell) {
+        const std::size_t r = cell / n_devices;
+        const std::size_t d = cell % n_devices;
+        core::BenchmarkRun &run = grid.rows[r].runs[d];
+        run.benchmark = grid.rows[r].benchmark;
+        run.device = grid.deviceNames[d];
+        if (!core::shardOwnsCell(scale.shard, run.benchmark,
+                                 run.device)) {
+            run.status = core::RunStatus::Skipped;
+            run.cause = core::FailureCause::None;
+            run.detail =
+                "cell owned by shard " +
+                std::to_string(core::shardOfCell(
+                    run.benchmark, run.device, scale.shard.count)) +
+                "/" + std::to_string(scale.shard.count);
+            obs::counter(obs::names::kShardCellsForeign).add();
+            continue;
+        }
+        obs::counter(obs::names::kShardCellsOwned).add();
+        auto it = resumed.find(run.benchmark + "@" + run.device);
+        if (it != resumed.end()) {
+            run = runFromCell(it->second);
+            obs::counter(obs::names::kCheckpointCellsResumed).add();
+            continue;
+        }
+        if (salvaged.count(run.benchmark + "@" + run.device) > 0)
+            obs::counter(obs::names::kCheckpointCellsSalvaged).add();
+        run.status = core::RunStatus::Skipped;
+        run.cause = core::FailureCause::Interrupted;
+        run.detail = "shutdown requested before the cell was claimed";
+        todo[cell] = 1;
+    }
+
+    // The remaining (benchmark x device) cells fan out over the thread
+    // pool. Each cell gets its own SweepContext over the same injector
+    // seed: fault decisions and simulation streams are pure functions
+    // of the (seed, device, benchmark, rep, attempt) labels, and the
+    // suite deadline is infinite here, so cell results cannot depend
+    // on execution order — the grid is byte-identical for any jobs
+    // value, any shard split, and across kill/resume cycles.
     obs::progressBegin(obs::names::kSpanGrid, obs::names::kSpanJob,
-                       n_rows * n_devices, scale.jobs);
+                       n_cells, scale.jobs);
     util::parallelFor(
-        scale.jobs, n_rows * n_devices, [&](std::size_t cell) {
+        scale.jobs, n_cells,
+        [&](std::size_t cell) {
+            if (todo[cell] == 0)
+                return;
             const std::size_t r = cell / n_devices;
             const std::size_t d = cell % n_devices;
             jobs::JobOptions options = job_options;
@@ -353,8 +604,16 @@ computeFig2Grid(const Scale &scale)
                                             : jobs::FaultInjector());
             grid.rows[r].runs[d] =
                 jobs::runJob(*suite[r], devices[d], options, cell_ctx);
-        });
+            writer.appendCell(cellFromRun(grid.rows[r].runs[d]));
+        },
+        util::stopRequested);
     obs::progressEnd();
+
+    outcome.interrupted = util::stopRequested();
+    if (writer.active() && !writer.error().empty()) {
+        outcome.storageError = true;
+        outcome.storageDetail = writer.error();
+    }
 
     // Progress report after the fact, in deterministic grid order.
     for (const GridRow &row : grid.rows) {
@@ -364,9 +623,33 @@ computeFig2Grid(const Scale &scale)
                       << jobs::cellText(row.runs[d]) << "\n";
         }
     }
-    if (!scale.faults && scale.useCache)
-        saveGrid(grid, scale);
-    return grid;
+    return outcome;
+}
+
+GridOutcome
+computeFig2GridOutcome(const Scale &scale)
+{
+    // Fault-injected runs are demonstrations, and a shard's or an
+    // interrupted run's grid is deliberately partial: never let
+    // either in or out of the cache.
+    const bool cacheable = !scale.faults && scale.useCache &&
+                           !resilienceActive(scale);
+    GridOutcome outcome;
+    if (cacheable && loadGrid(outcome.grid, scale)) {
+        std::cerr << "(reusing cached grid " << cachePath(scale) << ")\n";
+        return outcome;
+    }
+    outcome = computeGrid(scale, core::figure2Benchmarks(),
+                          device::allDevices());
+    if (cacheable && !outcome.interrupted && !outcome.storageError)
+        saveGrid(outcome.grid, scale);
+    return outcome;
+}
+
+Fig2Grid
+computeFig2Grid(const Scale &scale)
+{
+    return computeFig2GridOutcome(scale).grid;
 }
 
 std::vector<std::vector<core::ScoredInstance>>

@@ -71,12 +71,37 @@ struct Scale
      */
     bool progress = false;
     double heartbeatSecs = 0.0;
+    /**
+     * Grid partition (--shard i/N): this process executes only the
+     * cells core::shardOwnsCell assigns to shard i; the others are
+     * recorded as Skipped with a detail naming the owner. Assignment
+     * is a pure function of the cell's labels, so the union over all
+     * N shard journals is exactly one pass over the grid, regardless
+     * of who ran when. Default 0/1: own everything.
+     */
+    core::ShardSpec shard;
+    /**
+     * Checkpoint journal directory (--checkpoint DIR): start a fresh
+     * `smq-checkpoint-v1` journal in DIR and append every completed
+     * cell durably. Empty = no journal.
+     */
+    std::string checkpointDir;
+    /**
+     * Resume directory (--resume DIR): load DIR's journal, reuse its
+     * final cells verbatim (byte-identical to re-running them), re-run
+     * interrupted ones, and keep appending to the same journal. A
+     * journal from a different config/shard is refused. When DIR has
+     * no journal yet this degrades to --checkpoint DIR.
+     */
+    std::string resumeDir;
 };
 
 /**
  * Parse --paper / --quick / --faults / --jobs N / --trace DIR /
  * --metrics / --no-metrics / --history FILE / --progress /
- * --heartbeat SECS command-line flags.
+ * --heartbeat SECS / --shard i/N / --checkpoint DIR / --resume DIR
+ * command-line flags. A malformed --shard exits with code 2 (usage)
+ * instead of silently running the wrong slice.
  */
 Scale scaleFromArgs(int argc, char **argv);
 
@@ -139,12 +164,56 @@ struct Fig2Grid
 };
 
 /**
+ * How a grid computation ended, beyond the grid itself: the resilience
+ * outcomes a driver must turn into its process exit code.
+ */
+struct GridOutcome
+{
+    Fig2Grid grid;
+    /**
+     * Cooperative shutdown (SIGINT/SIGTERM, or SMQ_STOP_AFTER_CELLS)
+     * cut the sweep short: unclaimed cells are Skipped/Interrupted,
+     * in-flight repetitions were salvaged through the partial-result
+     * path, and the journal holds everything completed so far.
+     */
+    bool interrupted = false;
+    /** A journal write failed (ENOSPC, ...); detail holds the errno. */
+    bool storageError = false;
+    std::string storageDetail;
+    /** --resume pointed at a journal of a different workload/shard. */
+    bool configMismatch = false;
+    std::string mismatchDetail;
+
+    /**
+     * Driver exit code: kExitConfigMismatch (2), kExitStorageError
+     * (74), kExitInterrupted (75) — in that precedence — or 0.
+     */
+    int exitCode() const;
+};
+
+/**
+ * Execute @p suite on @p devices with the full resilience machinery:
+ * shard partitioning, checkpoint journaling, resume, cooperative
+ * shutdown and the memory-budget guard. Installs the stop handlers;
+ * never touches the fig2 cache (that is computeFig2Grid's layer).
+ */
+GridOutcome computeGrid(const Scale &scale,
+                        const std::vector<core::BenchmarkPtr> &suite,
+                        const std::vector<device::Device> &devices);
+
+/**
  * Execute the paper's benchmark suite on the nine device models.
  *
  * The grid is cached on disk (fig2_cache_*.txt in the working
  * directory) keyed by the scale, so the Fig. 3 / Fig. 4 regenerators
- * reuse a Fig. 2 run instead of re-simulating everything.
+ * reuse a Fig. 2 run instead of re-simulating everything. The cache
+ * is bypassed whenever sharding/checkpointing is active (a shard's
+ * grid is deliberately partial) and never written for an interrupted
+ * or storage-degraded run.
  */
+GridOutcome computeFig2GridOutcome(const Scale &scale);
+
+/** computeFig2GridOutcome for callers without resilience flags. */
 Fig2Grid computeFig2Grid(const Scale &scale);
 
 /**

@@ -6,6 +6,7 @@
 #include "obs/names.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "sim/memory.hpp"
 #include "transpile/cache.hpp"
 #include "util/thread_pool.hpp"
 
@@ -101,21 +102,36 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
     static obs::Counter &reps_counter =
         obs::counter(obs::names::kHarnessRepetitions);
     run.scores.assign(options.repetitions, 0.0);
-    util::parallelFor(
-        options.jobs, options.repetitions, [&](std::size_t rep) {
-            SMQ_TRACE_SPAN(
-                obs::names::kSpanRepetition,
-                obs::jsonField("benchmark", run.benchmark) + "," +
-                    obs::jsonField("device", run.device) + "," +
-                    obs::jsonField("rep",
-                                   static_cast<std::uint64_t>(rep)));
-            reps_counter.add();
-            stats::Rng rng(util::deriveTaskSeed(options.seed, rep));
-            run.scores[rep] = runRepetition(benchmark, prepared,
-                                            device.noise, options.shots,
-                                            rng);
-            obs::progressTick(obs::names::kSpanRepetition);
-        });
+    try {
+        util::parallelFor(
+            options.jobs, options.repetitions, [&](std::size_t rep) {
+                SMQ_TRACE_SPAN(
+                    obs::names::kSpanRepetition,
+                    obs::jsonField("benchmark", run.benchmark) + "," +
+                        obs::jsonField("device", run.device) + "," +
+                        obs::jsonField("rep",
+                                       static_cast<std::uint64_t>(rep)));
+                reps_counter.add();
+                stats::Rng rng(util::deriveTaskSeed(options.seed, rep));
+                run.scores[rep] = runRepetition(benchmark, prepared,
+                                                device.noise,
+                                                options.shots, rng);
+                obs::progressTick(obs::names::kSpanRepetition);
+            });
+    } catch (const sim::ResourceExhausted &e) {
+        // A cell that would not fit in memory is a structured outcome
+        // (Fig. 2's X), not a reason to take down the whole sweep.
+        too_large_counter.add();
+        run = BenchmarkRun{};
+        run.benchmark = benchmark.name();
+        run.device = device.name;
+        run.plannedRepetitions = options.repetitions;
+        run.status = RunStatus::TooLarge;
+        run.cause = FailureCause::ResourceExhausted;
+        run.tooLarge = true;
+        run.detail = e.what();
+        return run;
+    }
     run.attempts = options.repetitions;
     run.summary = stats::summarize(run.scores);
     return run;

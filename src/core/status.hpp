@@ -36,6 +36,9 @@ enum class FailureCause {
     RegisterTooWide,   ///< more qubits than the device/service accepts
     SimulatorLimit,    ///< routed circuit exceeds the simulator budget
     Internal,          ///< unexpected exception, preserved in detail
+    Interrupted,       ///< cooperative shutdown cut the run short
+    ResourceExhausted, ///< allocation would exceed the memory budget
+    StorageError,      ///< journal/history write failed (ENOSPC, ...)
 };
 
 /** True when the run produced scores usable for analysis. */
@@ -73,6 +76,9 @@ toString(FailureCause cause)
       case FailureCause::RegisterTooWide: return "register_too_wide";
       case FailureCause::SimulatorLimit: return "simulator_limit";
       case FailureCause::Internal: return "internal";
+      case FailureCause::Interrupted: return "interrupted";
+      case FailureCause::ResourceExhausted: return "resource_exhausted";
+      case FailureCause::StorageError: return "storage_error";
     }
     return "?";
 }
@@ -92,6 +98,9 @@ causeToken(FailureCause cause)
       case FailureCause::RegisterTooWide: return "register";
       case FailureCause::SimulatorLimit: return "simulator";
       case FailureCause::Internal: return "internal";
+      case FailureCause::Interrupted: return "interrupted";
+      case FailureCause::ResourceExhausted: return "memory";
+      case FailureCause::StorageError: return "storage";
     }
     return "?";
 }

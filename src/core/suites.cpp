@@ -1,5 +1,7 @@
 #include "core/suites.hpp"
 
+#include <cctype>
+
 #include "core/coverage.hpp"
 
 #include "core/benchmarks/error_correction.hpp"
@@ -9,8 +11,64 @@
 #include "core/benchmarks/qaoa.hpp"
 #include "core/benchmarks/vqe.hpp"
 #include "qc/library.hpp"
+#include "util/seed.hpp"
 
 namespace smq::core {
+
+namespace {
+
+/** Fixed base seed of the shard derivation (any constant works; it
+ *  only has to be the same in every process of a sharded sweep). */
+constexpr std::uint64_t kShardStream = 0x5351u; // "SQ"
+
+/** Full-token decimal parse; rejects empty/partial/overflowing. */
+std::optional<std::size_t>
+parseShardNumber(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::size_t value = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+        if (value > (SIZE_MAX - 9) / 10)
+            return std::nullopt;
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return value;
+}
+
+} // namespace
+
+std::optional<ShardSpec>
+parseShardSpec(std::string_view text)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string_view::npos)
+        return std::nullopt;
+    auto index = parseShardNumber(text.substr(0, slash));
+    auto count = parseShardNumber(text.substr(slash + 1));
+    if (!index || !count || *count == 0 || *index >= *count)
+        return std::nullopt;
+    return ShardSpec{*index, *count};
+}
+
+std::size_t
+shardOfCell(std::string_view benchmark, std::string_view device,
+            std::size_t shardCount)
+{
+    if (shardCount <= 1)
+        return 0;
+    return static_cast<std::size_t>(
+        util::labelSeed(kShardStream, device, benchmark) % shardCount);
+}
+
+bool
+shardOwnsCell(const ShardSpec &shard, std::string_view benchmark,
+              std::string_view device)
+{
+    return shardOfCell(benchmark, device, shard.count) == shard.index;
+}
 
 namespace {
 

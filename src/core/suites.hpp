@@ -12,12 +12,55 @@
 #ifndef SMQ_CORE_SUITES_HPP
 #define SMQ_CORE_SUITES_HPP
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/benchmark.hpp"
 #include "core/features.hpp"
 
 namespace smq::core {
+
+/**
+ * One shard of a partitioned (benchmark x device) grid: this process
+ * owns shard `index` of `count`. The default 0/1 owns everything.
+ */
+struct ShardSpec
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+
+    /** Whether the grid is actually split (count > 1). */
+    bool active() const { return count > 1; }
+
+    /** "i/N" — the flag syntax, also used in journals/manifests. */
+    std::string text() const
+    {
+        return std::to_string(index) + "/" + std::to_string(count);
+    }
+};
+
+/**
+ * Parse "i/N" (0 <= i < N, N >= 1). Returns nullopt on anything else
+ * — including partial parses like "1/3x" — so a mistyped --shard
+ * fails loudly instead of silently running the wrong slice.
+ */
+std::optional<ShardSpec> parseShardSpec(std::string_view text);
+
+/**
+ * Deterministic shard assignment of one grid cell, derived with the
+ * same label-hash (util::labelSeed) that seeds the cell's simulation
+ * streams. Depends only on the two labels — never on row order, grid
+ * shape or execution order — so any shard reproduces in isolation
+ * and the union over shards covers every cell exactly once.
+ */
+std::size_t shardOfCell(std::string_view benchmark,
+                        std::string_view device,
+                        std::size_t shardCount);
+
+/** Whether @p shard owns the (benchmark, device) cell. */
+bool shardOwnsCell(const ShardSpec &shard, std::string_view benchmark,
+                   std::string_view device);
 
 /**
  * The Fig. 2 benchmark instances: all eight applications at the sizes

@@ -7,6 +7,7 @@
 #include "obs/names.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "sim/memory.hpp"
 
 namespace smq::jobs {
 
@@ -131,6 +132,12 @@ runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
         run.tooLarge = true;
         return run;
     }
+    if (options.stop && options.stop()) {
+        run.status = RunStatus::Skipped;
+        run.cause = FailureCause::Interrupted;
+        run.detail = "shutdown requested before submission";
+        return run;
+    }
     run.physicalTwoQubitGates = prepared.physicalTwoQubitGates;
     run.swapsInserted = prepared.swapsInserted;
 
@@ -150,6 +157,7 @@ runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
 
     bool deadline_hit = false;
     bool attempts_exhausted = false;
+    bool interrupted = false;
     std::size_t truncated_reps = 0;
 
     for (std::size_t rep = 0; rep < options.harness.repetitions; ++rep) {
@@ -157,6 +165,12 @@ runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
         bool completed = false;
         for (std::size_t attempt = 0;
              attempt < options.retry.maxAttempts; ++attempt) {
+            // Cooperative shutdown behaves exactly like an expired
+            // deadline: stop submitting, keep what already finished.
+            if (options.stop && options.stop()) {
+                interrupted = true;
+                break;
+            }
             if (ctx.deadline().expired(ctx.clock())) {
                 deadline_hit = true;
                 break;
@@ -210,12 +224,24 @@ runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
                                 shot_cost_us);
             sim::NoiseModel noise = FaultInjector::perturbed(
                 device.noise, decision.driftFactor);
-            run.scores.push_back(core::runRepetition(
-                benchmark, prepared, noise, eff_shots, sim_rng));
+            try {
+                run.scores.push_back(core::runRepetition(
+                    benchmark, prepared, noise, eff_shots, sim_rng));
+            } catch (const sim::ResourceExhausted &e) {
+                // The simulator refused the allocation up front: the
+                // cell is structurally too large, end it here rather
+                // than retrying into the same wall.
+                run.status = RunStatus::TooLarge;
+                run.cause = FailureCause::ResourceExhausted;
+                run.tooLarge = true;
+                run.scores.clear();
+                appendEvent(run.detail, e.what());
+                return run;
+            }
             completed = true;
             break;
         }
-        if (!completed && deadline_hit)
+        if (!completed && (deadline_hit || interrupted))
             break; // no budget left for the remaining repetitions
     }
 
@@ -229,7 +255,9 @@ runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
     }
 
     FailureCause loss = FailureCause::None;
-    if (deadline_hit)
+    if (interrupted)
+        loss = FailureCause::Interrupted;
+    else if (deadline_hit)
         loss = FailureCause::DeadlineExceeded;
     else if (attempts_exhausted)
         loss = FailureCause::AttemptsExhausted;

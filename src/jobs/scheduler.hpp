@@ -18,6 +18,7 @@
 #ifndef SMQ_JOBS_SCHEDULER_HPP
 #define SMQ_JOBS_SCHEDULER_HPP
 
+#include <functional>
 #include <limits>
 
 #include "core/harness.hpp"
@@ -47,6 +48,15 @@ struct JobOptions
     CostModel cost;
     /** Simulated budget for the whole sweep (infinity = no deadline). */
     double suiteBudgetUs = std::numeric_limits<double>::infinity();
+    /**
+     * Cooperative-shutdown probe (empty = never stop). Checked before
+     * every submission attempt, exactly like the deadline: once it
+     * returns true the job stops submitting, salvages the completed
+     * repetitions through the partial-result path and reports cause
+     * Interrupted. The grid harness wires util::stopRequested here so
+     * SIGINT/SIGTERM drain in-flight cells instead of discarding them.
+     */
+    std::function<bool()> stop;
 };
 
 /**

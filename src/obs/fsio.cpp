@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 
 #include <fcntl.h>
@@ -10,6 +11,15 @@
 namespace smq::obs {
 
 namespace {
+
+/** "stage: strerror(errno)" into @p error (when asked for). */
+void
+setError(std::string *error, const char *stage, int saved_errno)
+{
+    if (error == nullptr)
+        return;
+    *error = std::string(stage) + ": " + std::strerror(saved_errno);
+}
 
 bool
 writeAll(int fd, const char *data, std::size_t size)
@@ -30,26 +40,42 @@ writeAll(int fd, const char *data, std::size_t size)
 } // namespace
 
 bool
-atomicWriteFile(const std::string &path, std::string_view contents)
+atomicWriteFile(const std::string &path, std::string_view contents,
+                std::string *error)
 {
     const std::string tmp = path + ".tmp";
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0)
-        return false;
-    bool ok = writeAll(fd, contents.data(), contents.size());
-    // fsync before rename: without it a crash between rename and the
-    // delayed writeback could leave a truncated *destination*.
-    ok = (::fsync(fd) == 0) && ok;
-    ok = (::close(fd) == 0) && ok;
-    if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
-        ::unlink(tmp.c_str());
+    if (fd < 0) {
+        setError(error, "open", errno);
         return false;
     }
-    return true;
+    bool ok = writeAll(fd, contents.data(), contents.size());
+    if (!ok)
+        setError(error, "write", errno);
+    // fsync before rename: without it a crash between rename and the
+    // delayed writeback could leave a truncated *destination*.
+    if (::fsync(fd) != 0) {
+        if (ok)
+            setError(error, "fsync", errno);
+        ok = false;
+    }
+    if (::close(fd) != 0) {
+        if (ok)
+            setError(error, "close", errno);
+        ok = false;
+    }
+    if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "rename", errno);
+        ok = false;
+    }
+    if (!ok)
+        ::unlink(tmp.c_str());
+    return ok;
 }
 
 bool
-appendLineDurable(const std::string &path, std::string_view line)
+appendLineDurable(const std::string &path, std::string_view line,
+                  std::string *error)
 {
     // One writer at a time in-process; O_APPEND makes the offset+write
     // atomic against other processes appending to the same file.
@@ -61,11 +87,23 @@ appendLineDurable(const std::string &path, std::string_view line)
         buffer += '\n';
 
     int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd < 0)
+    if (fd < 0) {
+        setError(error, "open", errno);
         return false;
+    }
     bool ok = writeAll(fd, buffer.data(), buffer.size());
-    ok = (::fsync(fd) == 0) && ok;
-    ok = (::close(fd) == 0) && ok;
+    if (!ok)
+        setError(error, "write", errno);
+    if (::fsync(fd) != 0) {
+        if (ok)
+            setError(error, "fsync", errno);
+        ok = false;
+    }
+    if (::close(fd) != 0) {
+        if (ok)
+            setError(error, "close", errno);
+        ok = false;
+    }
     return ok;
 }
 

@@ -26,15 +26,21 @@ namespace smq::obs {
 /**
  * Replace @p path with @p contents via temp-file + fsync + rename.
  * @return false on any I/O failure (the destination is untouched).
+ * When @p error is non-null it receives a "stage: strerror" message
+ * (e.g. "write: No space left on device") so callers can surface
+ * ENOSPC/EDQUOT as a structured failure instead of a silent false.
  */
-bool atomicWriteFile(const std::string &path, std::string_view contents);
+bool atomicWriteFile(const std::string &path, std::string_view contents,
+                     std::string *error = nullptr);
 
 /**
  * Append @p line (a trailing newline is added if missing) to @p path
  * with a single write followed by fsync. Thread-safe within the
- * process. @return false on I/O failure.
+ * process. @return false on I/O failure, with the errno text in
+ * @p error when provided.
  */
-bool appendLineDurable(const std::string &path, std::string_view line);
+bool appendLineDurable(const std::string &path, std::string_view line,
+                       std::string *error = nullptr);
 
 } // namespace smq::obs
 

@@ -61,6 +61,18 @@ inline constexpr const char *kHistorySkipped = "history.lines.skipped";
 inline constexpr const char *kProgressTicks = "progress.ticks";
 inline constexpr const char *kProgressEmits = "progress.emits";
 
+// --- counters: crash-tolerant grid execution (checkpoint/shard) ------
+inline constexpr const char *kCheckpointCellsJournaled =
+    "checkpoint.cells.journaled";
+inline constexpr const char *kCheckpointCellsResumed =
+    "checkpoint.cells.resumed";
+inline constexpr const char *kCheckpointCellsSalvaged =
+    "checkpoint.cells.salvaged";
+inline constexpr const char *kCheckpointAppendFailures =
+    "checkpoint.append.failures";
+inline constexpr const char *kShardCellsOwned = "shard.cells.owned";
+inline constexpr const char *kShardCellsForeign = "shard.cells.foreign";
+
 // --- counters: differential fuzz harness (src/fuzz/) -----------------
 inline constexpr const char *kFuzzCasesRun = "fuzz.cases.run";
 inline constexpr const char *kFuzzCasesFailed = "fuzz.cases.failed";

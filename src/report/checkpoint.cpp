@@ -1,0 +1,509 @@
+#include "report/checkpoint.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/fsio.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace smq::report {
+
+namespace {
+
+/** Common prefix of every journal schema version this loader reads. */
+constexpr const char *kSchemaPrefix = "smq-checkpoint-v";
+
+void
+writeNumber(std::ostream &out, double value)
+{
+    std::ostringstream text;
+    text.precision(17);
+    text << value;
+    // Bare "inf"/"nan" would be invalid JSON; same guard as history.
+    std::string s = text.str();
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos)
+        s = "0";
+    out << s;
+}
+
+void
+writeStringArray(std::ostream &out, const std::vector<std::string> &v)
+{
+    out << "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out << (i ? "," : "") << "\"" << obs::escapeJson(v[i]) << "\"";
+    out << "]";
+}
+
+void
+writeDoubleArray(std::ostream &out, const std::vector<double> &v)
+{
+    out << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out << ",";
+        writeNumber(out, v[i]);
+    }
+    out << "]";
+}
+
+void
+writeU64Array(std::ostream &out, const std::vector<std::uint64_t> &v)
+{
+    out << "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out << (i ? "," : "") << v[i];
+    out << "]";
+}
+
+std::vector<std::string>
+readStringArray(const obs::JsonValue &value)
+{
+    std::vector<std::string> out;
+    for (const obs::JsonValue &item : value.array)
+        out.push_back(item.asString());
+    return out;
+}
+
+std::string
+journalPath(const std::string &dir)
+{
+    return dir + "/" + kCheckpointFile;
+}
+
+/** Hook thresholds from the environment; negative = disabled. */
+long
+envCellCount(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return -1;
+    char *end = nullptr;
+    long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < 0)
+        return -1;
+    return value;
+}
+
+CheckpointHeader
+headerFromJson(const obs::JsonValue &root)
+{
+    CheckpointHeader header;
+    if (const obs::JsonValue *v = root.find("tool"))
+        header.tool = v->asString();
+    header.config = root.at("config").asString();
+    header.shardIndex =
+        static_cast<std::size_t>(root.at("shard_index").asU64());
+    header.shardCount =
+        static_cast<std::size_t>(root.at("shard_count").asU64());
+    header.devices = readStringArray(root.at("devices"));
+    header.benchmarks = readStringArray(root.at("benchmarks"));
+    return header;
+}
+
+CheckpointRow
+rowFromJson(const obs::JsonValue &root)
+{
+    CheckpointRow row;
+    row.benchmark = root.at("benchmark").asString();
+    row.isErrorCorrection = root.at("error_correction").asBool();
+    for (const obs::JsonValue &v : root.at("features").array)
+        row.features.push_back(v.asDouble());
+    for (const obs::JsonValue &v : root.at("stats").array)
+        row.stats.push_back(v.asU64());
+    return row;
+}
+
+CheckpointCell
+cellFromJson(const obs::JsonValue &root)
+{
+    CheckpointCell cell;
+    cell.benchmark = root.at("benchmark").asString();
+    cell.device = root.at("device").asString();
+    cell.final = root.at("final").asBool();
+    cell.status = static_cast<int>(root.at("status").asU64());
+    cell.cause = static_cast<int>(root.at("cause").asU64());
+    cell.plannedRepetitions = root.at("planned").asU64();
+    cell.attempts = root.at("attempts").asU64();
+    cell.errorBarScale = root.at("error_bar").asDouble();
+    cell.swapsInserted = root.at("swaps").asU64();
+    cell.physicalTwoQubitGates = root.at("phys_2q").asU64();
+    for (const obs::JsonValue &v : root.at("scores").array)
+        cell.scores.push_back(v.asDouble());
+    return cell;
+}
+
+} // namespace
+
+std::string
+CheckpointHeader::toJsonLine() const
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"" << kCheckpointSchema << "\""
+        << ",\"kind\":\"header\""
+        << ",\"tool\":\"" << obs::escapeJson(tool) << "\""
+        << ",\"config\":\"" << obs::escapeJson(config) << "\""
+        << ",\"shard_index\":" << shardIndex
+        << ",\"shard_count\":" << shardCount << ",\"devices\":";
+    writeStringArray(out, devices);
+    out << ",\"benchmarks\":";
+    writeStringArray(out, benchmarks);
+    out << "}";
+    return out.str();
+}
+
+bool
+CheckpointHeader::sameWorkload(const CheckpointHeader &other) const
+{
+    return config == other.config && shardCount == other.shardCount &&
+           devices == other.devices && benchmarks == other.benchmarks;
+}
+
+std::string
+CheckpointRow::toJsonLine() const
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"" << kCheckpointSchema << "\""
+        << ",\"kind\":\"row\""
+        << ",\"benchmark\":\"" << obs::escapeJson(benchmark) << "\""
+        << ",\"error_correction\":" << (isErrorCorrection ? "true" : "false")
+        << ",\"features\":";
+    writeDoubleArray(out, features);
+    out << ",\"stats\":";
+    writeU64Array(out, stats);
+    out << "}";
+    return out.str();
+}
+
+std::string
+CheckpointCell::toJsonLine() const
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"" << kCheckpointSchema << "\""
+        << ",\"kind\":\"cell\""
+        << ",\"benchmark\":\"" << obs::escapeJson(benchmark) << "\""
+        << ",\"device\":\"" << obs::escapeJson(device) << "\""
+        << ",\"final\":" << (final ? "true" : "false")
+        << ",\"status\":" << status << ",\"cause\":" << cause
+        << ",\"planned\":" << plannedRepetitions
+        << ",\"attempts\":" << attempts << ",\"error_bar\":";
+    writeNumber(out, errorBarScale);
+    out << ",\"swaps\":" << swapsInserted
+        << ",\"phys_2q\":" << physicalTwoQubitGates << ",\"scores\":";
+    writeDoubleArray(out, scores);
+    out << "}";
+    return out.str();
+}
+
+CheckpointLoad
+loadCheckpoint(const std::string &dir)
+{
+    CheckpointLoad load;
+    std::ifstream in(journalPath(dir));
+    if (!in)
+        return load; // fresh start: nothing to resume
+    load.exists = true;
+    std::string line;
+    bool last_was_corrupt = false;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        try {
+            obs::JsonValue root = obs::parseJson(line);
+            const std::string &schema = root.at("schema").asString();
+            if (schema.rfind(kSchemaPrefix, 0) != 0)
+                throw std::runtime_error("foreign schema");
+            const std::string &kind = root.at("kind").asString();
+            if (kind == "header") {
+                if (!load.headerOk) {
+                    load.header = headerFromJson(root);
+                    load.headerOk = true;
+                }
+            } else if (kind == "row") {
+                load.rows.push_back(rowFromJson(root));
+            } else if (kind == "cell") {
+                load.cells.push_back(cellFromJson(root));
+            }
+            // Unknown kinds from newer schema versions: ignored, so an
+            // old binary can still merge a newer shard's journal.
+            last_was_corrupt = false;
+        } catch (const std::exception &) {
+            ++load.skippedLines;
+            last_was_corrupt = true;
+        }
+    }
+    load.corruptTail = last_was_corrupt;
+    return load;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string &dir)
+    : path_(journalPath(dir)),
+      crashAfterCells_(envCellCount("SMQ_CRASH_AFTER_CELLS")),
+      stopAfterCells_(envCellCount("SMQ_STOP_AFTER_CELLS"))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        error_ = "mkdir: " + ec.message();
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointWriter &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+CheckpointWriter &
+CheckpointWriter::operator=(CheckpointWriter &&other) noexcept
+{
+    if (this != &other) {
+        path_ = std::move(other.path_);
+        error_ = std::move(other.error_);
+        cells_.store(other.cells_.load());
+        crashAfterCells_ = other.crashAfterCells_;
+        stopAfterCells_ = other.stopAfterCells_;
+        other.path_.clear();
+    }
+    return *this;
+}
+
+std::string
+CheckpointWriter::error() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_;
+}
+
+std::size_t
+CheckpointWriter::cellsJournaled() const
+{
+    return cells_.load();
+}
+
+bool
+CheckpointWriter::writeHeader(const CheckpointHeader &header)
+{
+    if (!active())
+        return true;
+    std::string err;
+    if (!obs::atomicWriteFile(path_, header.toJsonLine() + "\n", &err)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error_.empty())
+            error_ = err;
+        obs::counter(obs::names::kCheckpointAppendFailures).add();
+        return false;
+    }
+    return true;
+}
+
+bool
+CheckpointWriter::append(const std::string &line)
+{
+    if (!active())
+        return true;
+    std::string err;
+    if (!obs::appendLineDurable(path_, line, &err)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error_.empty())
+            error_ = err;
+        obs::counter(obs::names::kCheckpointAppendFailures).add();
+        return false;
+    }
+    return true;
+}
+
+bool
+CheckpointWriter::appendRow(const CheckpointRow &row)
+{
+    return append(row.toJsonLine());
+}
+
+bool
+CheckpointWriter::appendCell(const CheckpointCell &cell)
+{
+    if (!active())
+        return true;
+    const bool ok = append(cell.toJsonLine());
+    if (!ok)
+        return false;
+    const std::size_t count = ++cells_;
+    obs::counter(obs::names::kCheckpointCellsJournaled).add();
+    // Deterministic fault hooks: the cell is durably journaled, then
+    // the process dies (SIGKILL: unclean, exactly what a crash leaves
+    // behind) or asks itself to stop (SIGTERM: drives the real
+    // cooperative-shutdown handler at a reproducible point).
+    if (crashAfterCells_ >= 0 &&
+        count >= static_cast<std::size_t>(crashAfterCells_))
+        std::raise(SIGKILL);
+    if (stopAfterCells_ >= 0 &&
+        count == static_cast<std::size_t>(stopAfterCells_))
+        std::raise(SIGTERM);
+    return true;
+}
+
+MergedGrid
+mergeCheckpoints(const std::vector<std::string> &dirs)
+{
+    if (dirs.empty())
+        throw std::runtime_error("merge: no checkpoint directories");
+
+    MergedGrid merged;
+    struct Slot
+    {
+        CheckpointCell cell;
+        std::size_t journal = 0;
+    };
+    std::map<std::string, Slot> slots;  // key -> best record so far
+    std::map<std::string, CheckpointRow> rows;
+    std::set<std::size_t> shard_indices;
+    std::set<std::string> overlap_seen;
+
+    for (std::size_t j = 0; j < dirs.size(); ++j) {
+        CheckpointLoad load = loadCheckpoint(dirs[j]);
+        if (!load.exists)
+            throw std::runtime_error("merge: no journal in " + dirs[j]);
+        if (!load.headerOk)
+            throw std::runtime_error("merge: no readable header in " +
+                                     dirs[j]);
+        if (j == 0) {
+            merged.header = load.header;
+        } else if (!merged.header.sameWorkload(load.header)) {
+            throw std::runtime_error(
+                "merge: " + dirs[j] +
+                " journals a different workload than " + dirs[0]);
+        }
+        merged.shardsSeen.push_back(
+            std::to_string(load.header.shardIndex) + "/" +
+            std::to_string(load.header.shardCount));
+        shard_indices.insert(load.header.shardIndex);
+
+        for (CheckpointRow &row : load.rows) {
+            auto it = rows.find(row.benchmark);
+            if (it == rows.end()) {
+                rows.emplace(row.benchmark, std::move(row));
+            } else if (it->second.toJsonLine() != row.toJsonLine()) {
+                throw std::runtime_error(
+                    "merge: conflicting row metadata for " +
+                    row.benchmark);
+            }
+        }
+
+        for (CheckpointCell &cell : load.cells) {
+            const std::string key = cell.key();
+            auto it = slots.find(key);
+            if (it == slots.end()) {
+                slots.emplace(key, Slot{std::move(cell), j});
+                continue;
+            }
+            Slot &slot = it->second;
+            if (!cell.final) {
+                // Salvage never displaces anything; it only fills gaps.
+                ++merged.salvagedDropped;
+                continue;
+            }
+            if (!slot.cell.final) {
+                ++merged.salvagedDropped;
+                slot = Slot{std::move(cell), j};
+                continue;
+            }
+            if (slot.journal == j) {
+                // Same journal, e.g. a resumed run re-finishing a
+                // cell: later record wins, like a log replay.
+                slot.cell = std::move(cell);
+                continue;
+            }
+            // Two journals both claim this cell. Identical content is
+            // an overlap (a shard run twice); divergence is data
+            // corruption and must not be papered over.
+            if (slot.cell.toJsonLine() != cell.toJsonLine())
+                throw std::runtime_error(
+                    "merge: conflicting results for " + key + " (" +
+                    dirs[slot.journal] + " vs " + dirs[j] + ")");
+            if (overlap_seen.insert(key).second)
+                merged.overlapCells.push_back(key);
+        }
+    }
+
+    for (std::size_t i = 0; i < merged.header.shardCount; ++i) {
+        if (shard_indices.find(i) == shard_indices.end())
+            merged.missingShards.push_back(i);
+    }
+
+    const std::size_t n_devices = merged.header.devices.size();
+    merged.rows.reserve(merged.header.benchmarks.size());
+    merged.cells.resize(merged.header.benchmarks.size());
+    for (std::size_t r = 0; r < merged.header.benchmarks.size(); ++r) {
+        const std::string &bench = merged.header.benchmarks[r];
+        auto row_it = rows.find(bench);
+        if (row_it != rows.end()) {
+            merged.rows.push_back(row_it->second);
+        } else {
+            CheckpointRow placeholder;
+            placeholder.benchmark = bench;
+            merged.rows.push_back(std::move(placeholder));
+        }
+        merged.cells[r].resize(n_devices);
+        for (std::size_t d = 0; d < n_devices; ++d) {
+            CheckpointCell &cell = merged.cells[r][d];
+            cell.benchmark = bench;
+            cell.device = merged.header.devices[d];
+            cell.final = false;
+            auto it = slots.find(cell.key());
+            if (it != slots.end() && it->second.cell.final)
+                cell = it->second.cell;
+            else
+                merged.missingCells.push_back(cell.key());
+        }
+    }
+    return merged;
+}
+
+std::string
+renderMergedGrid(const MergedGrid &grid)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << kMergedGridVersion << "\n"
+        << grid.header.devices.size() << "\n";
+    for (const std::string &name : grid.header.devices)
+        out << name << "\n";
+    out << grid.rows.size() << "\n";
+    for (std::size_t r = 0; r < grid.rows.size(); ++r) {
+        const CheckpointRow &row = grid.rows[r];
+        out << row.benchmark << "\n"
+            << (row.isErrorCorrection ? 1 : 0) << "\n";
+        for (double v : row.features)
+            out << v << " ";
+        out << "\n";
+        for (std::size_t i = 0; i < row.stats.size(); ++i)
+            out << (i ? " " : "") << row.stats[i];
+        out << "\n";
+        for (const CheckpointCell &cell : grid.cells[r]) {
+            if (!cell.final) {
+                out << "missing\n";
+                continue;
+            }
+            out << cell.status << " " << cell.cause << " "
+                << cell.plannedRepetitions << " " << cell.attempts
+                << " " << cell.errorBarScale << " "
+                << cell.swapsInserted << " "
+                << cell.physicalTwoQubitGates << " "
+                << cell.scores.size();
+            for (double s : cell.scores)
+                out << " " << s;
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace smq::report

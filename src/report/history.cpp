@@ -197,9 +197,10 @@ loadHistory(const std::string &path)
 }
 
 bool
-appendHistory(const std::string &path, const HistoryRecord &record)
+appendHistory(const std::string &path, const HistoryRecord &record,
+              std::string *error)
 {
-    if (!obs::appendLineDurable(path, record.toJsonLine()))
+    if (!obs::appendLineDurable(path, record.toJsonLine(), error))
         return false;
     obs::counter(obs::names::kHistoryAppends).add();
     return true;

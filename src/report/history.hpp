@@ -102,8 +102,13 @@ struct HistoryLoad
  */
 HistoryLoad loadHistory(const std::string &path);
 
-/** Durably append one record. @return false on I/O failure. */
-bool appendHistory(const std::string &path, const HistoryRecord &record);
+/**
+ * Durably append one record. @return false on I/O failure; when
+ * @p error is non-null it receives the errno text (ENOSPC, EDQUOT and
+ * friends surface as a readable cause instead of a bare false).
+ */
+bool appendHistory(const std::string &path, const HistoryRecord &record,
+                   std::string *error = nullptr);
 
 /**
  * Rewrite @p path atomically with only its parseable records, keeping

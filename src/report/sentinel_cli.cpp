@@ -9,6 +9,7 @@
 
 #include "obs/fsio.hpp"
 #include "obs/manifest.hpp"
+#include "report/checkpoint.hpp"
 #include "report/history.hpp"
 #include "report/html_report.hpp"
 #include "report/sentinel.hpp"
@@ -30,7 +31,10 @@ constexpr const char *kUsage =
     "  report [--history FILE] [--trace DIR] [--out FILE] [--title T]\n"
     "      write a self-contained HTML run report (default report.html)\n"
     "  compact [--history FILE] [--keep N]\n"
-    "      atomically rewrite the store, dropping corrupt lines\n";
+    "      atomically rewrite the store, dropping corrupt lines\n"
+    "  merge DIR... [--out FILE] [--history FILE]\n"
+    "      fold shard checkpoint journals into one merged grid;\n"
+    "      exit 1 when shards or cells are missing\n";
 
 /** Tiny flag cursor over the args vector. */
 class Args
@@ -322,6 +326,98 @@ runCompact(Args &args, std::ostream &out, std::ostream &err)
     return kSentinelOk;
 }
 
+int
+runMerge(Args &args, std::ostream &out, std::ostream &err)
+{
+    const std::string out_path =
+        args.flag("--out").value_or("merged_grid.txt");
+    const std::string history = args.flag("--history").value_or("");
+    std::vector<std::string> dirs;
+    while (auto dir = args.positional())
+        dirs.push_back(*dir);
+    if (dirs.empty())
+        return usageError(err, "merge needs at least one checkpoint DIR");
+    if (!args.rest().empty())
+        return usageError(err, "merge: unknown argument " +
+                                   args.rest().front());
+
+    MergedGrid merged;
+    try {
+        merged = mergeCheckpoints(dirs);
+    } catch (const std::exception &e) {
+        err << "smq_sentinel: " << e.what() << "\n";
+        return kSentinelUsage;
+    }
+
+    std::string write_error;
+    if (!obs::atomicWriteFile(out_path, renderMergedGrid(merged),
+                              &write_error)) {
+        err << "smq_sentinel: cannot write " << out_path
+            << (write_error.empty() ? "" : " (" + write_error + ")")
+            << "\n";
+        return kSentinelUsage;
+    }
+
+    const std::size_t n_cells =
+        merged.header.benchmarks.size() * merged.header.devices.size();
+    out << "merged " << dirs.size() << " journal(s), shard(s)";
+    for (const std::string &shard : merged.shardsSeen)
+        out << " " << shard;
+    out << "\n"
+        << (n_cells - merged.missingCells.size()) << "/" << n_cells
+        << " cell(s) final -> " << out_path << "\n";
+    if (!merged.overlapCells.empty()) {
+        out << "overlap: " << merged.overlapCells.size()
+            << " cell(s) journaled identically by more than one shard\n";
+    }
+    if (merged.salvagedDropped > 0) {
+        out << "dropped " << merged.salvagedDropped
+            << " non-final (salvaged/superseded) record(s)\n";
+    }
+    for (std::size_t shard : merged.missingShards) {
+        out << "missing shard: " << shard << "/"
+            << merged.header.shardCount << "\n";
+    }
+    for (const std::string &cell : merged.missingCells)
+        out << "missing cell: " << cell << "\n";
+
+    if (!history.empty()) {
+        HistoryRecord record;
+        record.tool = "smq_sentinel_merge";
+        record.extra["config"] = merged.header.config;
+        std::string shards;
+        for (const std::string &shard : merged.shardsSeen)
+            shards += (shards.empty() ? "" : ",") + shard;
+        record.extra["shards"] = shards;
+        for (std::size_t r = 0; r < merged.rows.size(); ++r) {
+            for (const CheckpointCell &cell : merged.cells[r]) {
+                if (!cell.final || cell.scores.empty())
+                    continue;
+                double sum = 0.0;
+                for (double s : cell.scores)
+                    sum += s;
+                record.values["score." + cell.key()] =
+                    sum / static_cast<double>(cell.scores.size());
+            }
+        }
+        std::string append_error;
+        if (!appendHistory(history, record, &append_error)) {
+            err << "smq_sentinel: cannot append to " << history
+                << (append_error.empty() ? ""
+                                         : " (" + append_error + ")")
+                << "\n";
+            return kSentinelUsage;
+        }
+        out << "appended merged record to " << history << "\n";
+    }
+    if (!merged.complete()) {
+        out << "verdict: INCOMPLETE\n";
+        return kSentinelRegression;
+    }
+    out << "verdict: complete\n";
+    return kSentinelOk;
+}
+
 } // namespace
 
 int
@@ -342,6 +438,8 @@ sentinelMain(const std::vector<std::string> &args, std::ostream &out,
         return runReport(rest, out, err);
     if (command == "compact")
         return runCompact(rest, out, err);
+    if (command == "merge")
+        return runMerge(rest, out, err);
     if (command == "--help" || command == "help") {
         out << kUsage;
         return kSentinelOk;

@@ -18,9 +18,12 @@
  *         Render the self-contained HTML run report.
  *     compact [--history FILE] [--keep N]
  *         Rewrite the store atomically, dropping corrupt lines.
+ *     merge DIR... [--out FILE] [--history FILE]
+ *         Fold shard checkpoint journals into one merged grid report,
+ *         flagging overlapping and missing shards/cells.
  *
- * Exit codes: 0 success (including grace passes), 1 perf regression,
- * 2 usage or I/O error.
+ * Exit codes: 0 success (including grace passes), 1 perf regression
+ * or incomplete merge, 2 usage or I/O error.
  */
 
 #ifndef SMQ_REPORT_SENTINEL_CLI_HPP

@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "qc/schedule.hpp"
+#include "sim/memory.hpp"
 
 namespace smq::sim {
 
@@ -42,6 +43,11 @@ DensityMatrix::DensityMatrix(std::size_t num_qubits)
     if (num_qubits > kMaxQubits)
         throw std::invalid_argument(
             "DensityMatrix: too many qubits for dense simulation");
+    // Up-front estimate: rho is 4^n amplitudes, the first allocation
+    // to blow past a budget on a mis-sized cell.
+    checkAllocationBudget(
+        "density_matrix(" + std::to_string(num_qubits) + " qubits)",
+        denseBytes(num_qubits, sizeof(Complex), true));
     rho_.assign(dim_ * dim_, Complex{0.0, 0.0});
     rho_[0] = 1.0;
 }

@@ -1,0 +1,74 @@
+#include "sim/memory.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+
+namespace smq::sim {
+
+namespace {
+
+constexpr std::size_t kDefaultBudget = std::size_t{4} << 30; // 4 GiB
+
+std::size_t
+defaultBudget()
+{
+    const char *env = std::getenv("SMQ_SIM_MEM_MB");
+    if (env != nullptr) {
+        char *end = nullptr;
+        unsigned long long mb = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && mb > 0)
+            return static_cast<std::size_t>(mb) << 20;
+    }
+    return kDefaultBudget;
+}
+
+/** 0 = use defaultBudget(); anything else is an explicit override. */
+std::atomic<std::size_t> g_override{0};
+
+} // namespace
+
+std::size_t
+memoryBudgetBytes()
+{
+    std::size_t override = g_override.load(std::memory_order_relaxed);
+    if (override != 0)
+        return override;
+    static const std::size_t from_env = defaultBudget();
+    return from_env;
+}
+
+void
+setMemoryBudgetBytes(std::size_t bytes)
+{
+    g_override.store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t
+denseBytes(std::size_t numQubits, std::size_t bytesPerAmp, bool squared)
+{
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    const std::size_t bits = squared ? 2 * numQubits : numQubits;
+    if (bits >= 8 * sizeof(std::size_t))
+        return kMax;
+    const std::size_t states = std::size_t{1} << bits;
+    if (states > kMax / bytesPerAmp)
+        return kMax;
+    return states * bytesPerAmp;
+}
+
+void
+checkAllocationBudget(const std::string &what, std::size_t bytes)
+{
+    const std::size_t budget = memoryBudgetBytes();
+    if (bytes <= budget)
+        return;
+    throw ResourceExhausted(
+        what + " needs " + std::to_string(bytes >> 20) +
+            " MiB, over the simulator memory budget of " +
+            std::to_string(budget >> 20) +
+            " MiB (SMQ_SIM_MEM_MB raises it)",
+        bytes, budget);
+}
+
+} // namespace smq::sim

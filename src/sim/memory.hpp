@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory budgeting for the dense simulators.
+ *
+ * A statevector costs 16 * 2^n bytes and a density matrix 16 * 4^n:
+ * one mis-sized grid cell used to die on std::bad_alloc (or the OOM
+ * killer) and take the whole sweep with it. The budget guard turns
+ * that into a *structured* failure: the dense simulators estimate
+ * their allocation up front and throw sim::ResourceExhausted when it
+ * would exceed the process budget, which the harness and job layer
+ * catch and report as a TooLarge cell with cause ResourceExhausted —
+ * one lost cell, not a lost run.
+ *
+ * The default budget is 4 GiB, overridable with the environment
+ * variable SMQ_SIM_MEM_MB (mebibytes) or setMemoryBudgetBytes().
+ */
+
+#ifndef SMQ_SIM_MEMORY_HPP
+#define SMQ_SIM_MEMORY_HPP
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace smq::sim {
+
+/** Thrown when a simulator allocation would exceed the budget. */
+class ResourceExhausted : public std::runtime_error
+{
+  public:
+    ResourceExhausted(const std::string &message,
+                      std::size_t requestedBytes,
+                      std::size_t budgetBytes)
+        : std::runtime_error(message), requested(requestedBytes),
+          budget(budgetBytes)
+    {
+    }
+
+    std::size_t requested; ///< bytes the allocation would have needed
+    std::size_t budget;    ///< budget in force when it was rejected
+};
+
+/** Current budget in bytes (default 4 GiB, env SMQ_SIM_MEM_MB). */
+std::size_t memoryBudgetBytes();
+
+/**
+ * Override the budget (bytes). 0 restores the default/environment
+ * value. Tests use a tiny budget to exercise the rejection path
+ * without allocating anything large.
+ */
+void setMemoryBudgetBytes(std::size_t bytes);
+
+/**
+ * Bytes needed for a dense representation of @p numQubits qubits with
+ * @p bytesPerAmplitude per basis state, squared for density matrices.
+ * Saturates at SIZE_MAX instead of overflowing.
+ */
+std::size_t denseBytes(std::size_t numQubits, std::size_t bytesPerAmp,
+                       bool squared);
+
+/**
+ * @throws ResourceExhausted when @p bytes exceeds the budget; the
+ * message names @p what (e.g. "statevector(28 qubits)") and both
+ * sizes so a grid cell's detail string explains itself.
+ */
+void checkAllocationBudget(const std::string &what, std::size_t bytes);
+
+} // namespace smq::sim
+
+#endif // SMQ_SIM_MEMORY_HPP

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "sim/memory.hpp"
 
 namespace smq::sim {
 
@@ -52,6 +53,12 @@ StateVector::StateVector(std::size_t num_qubits) : numQubits_(num_qubits)
     if (num_qubits > kMaxQubits)
         throw std::invalid_argument(
             "StateVector: too many qubits for dense simulation");
+    // Estimate the allocation before attempting it: a too-large cell
+    // must fail as a structured ResourceExhausted, not a bad_alloc
+    // that kills the whole grid.
+    checkAllocationBudget(
+        "statevector(" + std::to_string(num_qubits) + " qubits)",
+        denseBytes(num_qubits, sizeof(Complex), false));
     amps_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
     amps_[0] = 1.0;
 }

@@ -1,0 +1,56 @@
+#include "util/seed.hpp"
+
+namespace smq::util {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::string_view s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    h ^= 0xffu; // separator so ("ab","c") != ("a","bc")
+    h *= kFnvPrime;
+    return h;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** splitmix64 finaliser: spreads FNV output over the full range. */
+std::uint64_t
+mix(std::uint64_t h)
+{
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+labelSeed(std::uint64_t seed, std::string_view labelA,
+          std::string_view labelB, std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t h = fnv1a(kFnvOffset, seed);
+    h = fnv1a(h, labelA);
+    h = fnv1a(h, labelB);
+    h = fnv1a(h, a);
+    h = fnv1a(h, b);
+    return mix(h);
+}
+
+} // namespace smq::util

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Label-derived seeds: the one hashing scheme behind every
+ * order-independent stream in the harness.
+ *
+ * labelSeed() is FNV-1a over the label tuple with a splitmix64
+ * finaliser. The jobs layer derives per-cell simulation and retry
+ * streams from it (jobs::streamSeed), and the shard partitioner
+ * (core::shardOfCell) assigns grid cells to shards with the same
+ * derivation — so a cell's randomness *and* its shard are pure
+ * functions of its labels, and any shard reproduces in isolation.
+ */
+
+#ifndef SMQ_UTIL_SEED_HPP
+#define SMQ_UTIL_SEED_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace smq::util {
+
+/**
+ * Stable 64-bit seed from a base seed and two string labels plus two
+ * numeric discriminators (FNV-1a with separators, splitmix64
+ * finalised). Deterministic across platforms and process runs.
+ */
+std::uint64_t labelSeed(std::uint64_t seed, std::string_view labelA,
+                        std::string_view labelB, std::uint64_t a = 0,
+                        std::uint64_t b = 0);
+
+} // namespace smq::util
+
+#endif // SMQ_UTIL_SEED_HPP

@@ -1,0 +1,47 @@
+#include "util/stop.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace smq::util {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+stopSignalHandler(int sig)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+    // One chance to drain gracefully; the next signal kills for real.
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, stopSignalHandler);
+    std::signal(SIGTERM, stopSignalHandler);
+}
+
+void
+requestStop() noexcept
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+bool
+stopRequested() noexcept
+{
+    return g_stop.load(std::memory_order_relaxed);
+}
+
+void
+resetStopForTests() noexcept
+{
+    g_stop.store(false, std::memory_order_relaxed);
+}
+
+} // namespace smq::util

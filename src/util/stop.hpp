@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Cooperative shutdown: a process-wide stop flag settable from signal
+ * handlers.
+ *
+ * A long grid sweep cannot afford to die mid-cell on Ctrl-C: the
+ * checkpoint journal would lose the in-flight repetitions and the run
+ * manifest would never be written. installStopHandlers() routes
+ * SIGINT/SIGTERM into a lock-free flag; execution loops poll
+ * stopRequested() at safe boundaries (before claiming a new grid
+ * cell, before starting a repetition) and drain instead of aborting.
+ * The second signal falls back to the default disposition, so a hung
+ * drain can still be killed the ordinary way.
+ */
+
+#ifndef SMQ_UTIL_STOP_HPP
+#define SMQ_UTIL_STOP_HPP
+
+namespace smq::util {
+
+/**
+ * Install SIGINT/SIGTERM handlers that call requestStop(). Safe to
+ * call more than once. After the first signal the handler resets the
+ * disposition to SIG_DFL, so a repeated signal terminates immediately.
+ */
+void installStopHandlers();
+
+/** Raise the stop flag (what the signal handlers do). Async-safe. */
+void requestStop() noexcept;
+
+/** Whether a stop has been requested. Cheap (one relaxed load). */
+bool stopRequested() noexcept;
+
+/** Clear the flag — for tests that simulate interruption in-process. */
+void resetStopForTests() noexcept;
+
+} // namespace smq::util
+
+#endif // SMQ_UTIL_STOP_HPP

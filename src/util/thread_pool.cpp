@@ -69,6 +69,8 @@ void
 ThreadPool::runIndices()
 {
     for (;;) {
+        if (stopCheck_ != nullptr && *stopCheck_ && (*stopCheck_)())
+            return;
         std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= batchSize_)
             return;
@@ -103,18 +105,23 @@ ThreadPool::workerLoop()
 
 void
 ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &body)
+                        const std::function<void(std::size_t)> &body,
+                        const std::function<bool()> &stop)
 {
     if (n == 0)
         return;
     recordBatch(n, workers_.size());
     if (workers_.empty() || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (stop && stop())
+                return;
             body(i);
+        }
         return;
     }
     std::unique_lock<std::mutex> lock(mutex_);
     body_ = &body;
+    stopCheck_ = stop ? &stop : nullptr;
     batchSize_ = n;
     next_.store(0, std::memory_order_relaxed);
     activeWorkers_ = workers_.size();
@@ -128,6 +135,7 @@ ThreadPool::parallelFor(std::size_t n,
     lock.lock();
     done_.wait(lock, [&] { return activeWorkers_ == 0; });
     body_ = nullptr;
+    stopCheck_ = nullptr;
     std::exception_ptr error = error_;
     error_ = nullptr;
     lock.unlock();
@@ -137,19 +145,23 @@ ThreadPool::parallelFor(std::size_t n,
 
 void
 parallelFor(std::size_t jobs, std::size_t n,
-            const std::function<void(std::size_t)> &body)
+            const std::function<void(std::size_t)> &body,
+            const std::function<bool()> &stop)
 {
     if (jobs == 0)
         jobs = defaultJobs();
     if (jobs <= 1 || n <= 1) {
         if (n > 0)
             recordBatch(n, 0);
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (stop && stop())
+                return;
             body(i);
+        }
         return;
     }
     ThreadPool pool(std::min(jobs, n) - 1);
-    pool.parallelFor(n, body);
+    pool.parallelFor(n, body, stop);
 }
 
 } // namespace smq::util

@@ -65,9 +65,17 @@ class ThreadPool
      * first exception thrown by any task is rethrown here after the
      * batch drains. Not reentrant: body must not call parallelFor on
      * the same pool.
+     *
+     * When @p stop is non-empty it is consulted before each index is
+     * claimed: once it returns true, no further indices are handed
+     * out and the batch drains after the in-flight tasks finish. The
+     * cooperative-shutdown path of the grid harness uses this to stop
+     * claiming cells after SIGINT/SIGTERM without abandoning work
+     * already running.
      */
     void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &body);
+                     const std::function<void(std::size_t)> &body,
+                     const std::function<bool()> &stop = {});
 
   private:
     void workerLoop();
@@ -78,6 +86,7 @@ class ThreadPool
     std::condition_variable wake_;
     std::condition_variable done_;
     const std::function<void(std::size_t)> *body_ = nullptr;
+    const std::function<bool()> *stopCheck_ = nullptr;
     std::size_t batchSize_ = 0;
     std::atomic<std::size_t> next_{0};
     std::size_t activeWorkers_ = 0;
@@ -90,9 +99,12 @@ class ThreadPool
  * One-shot convenience: run body(i) for i in [0, n) with @p jobs-way
  * concurrency (jobs <= 1 or n <= 1 runs serially on the caller, with
  * exceptions propagating directly). jobs == 0 means defaultJobs().
+ * A non-empty @p stop stops further indices from being claimed once
+ * it returns true (see ThreadPool::parallelFor).
  */
 void parallelFor(std::size_t jobs, std::size_t n,
-                 const std::function<void(std::size_t)> &body);
+                 const std::function<void(std::size_t)> &body,
+                 const std::function<bool()> &stop = {});
 
 } // namespace smq::util
 

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal resilient-grid driver for the kill/resume and shard-union
+ * tests: a configurable slice of the quick suite executed across a
+ * configurable prefix of the device table, through exactly the same
+ * computeGrid() machinery (sharding, checkpoint journal, cooperative
+ * shutdown, crash hooks) the Fig. 2 regenerator uses — but small
+ * enough that the tests can kill it at every journal boundary and
+ * re-run the sweep dozens of times.
+ *
+ * Flags: the standard scale flags (--jobs, --shard i/N,
+ * --checkpoint DIR, --resume DIR, ...) plus
+ *     --out FILE       write the canonical grid text (fig2 cache
+ *                      format) for byte-identity comparisons
+ *     --benchmarks K   first K benchmarks of the quick suite
+ *     --devices K      first K devices of the device table
+ *     --shots N        shots per circuit per repetition
+ *
+ * Exit codes: 0 complete; 75 interrupted (resume me); 74 journal or
+ * output write failure; 2 usage / foreign resume journal.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "device/device.hpp"
+#include "fig_data.hpp"
+#include "obs/fsio.hpp"
+#include "report/checkpoint.hpp"
+
+using namespace smq;
+
+namespace {
+
+std::size_t
+sizeFlag(int argc, char **argv, const char *name, std::size_t fallback)
+{
+    const std::size_t name_len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+            return static_cast<std::size_t>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        if (std::strncmp(argv[i], name, name_len) == 0 &&
+            argv[i][name_len] == '=')
+            return static_cast<std::size_t>(
+                std::strtoul(argv[i] + name_len + 1, nullptr, 10));
+    }
+    return fallback;
+}
+
+std::string
+stringFlag(int argc, char **argv, const char *name)
+{
+    const std::size_t name_len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+            return argv[i + 1];
+        if (std::strncmp(argv[i], name, name_len) == 0 &&
+            argv[i][name_len] == '=')
+            return argv[i] + name_len + 1;
+    }
+    return "";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::scaleFromArgs(argc, argv);
+    scale.useCache = false;
+    scale.defaultShots = sizeFlag(argc, argv, "--shots", 60);
+    scale.repetitions = 2;
+
+    std::vector<core::BenchmarkPtr> suite = core::quickSuite();
+    const std::size_t n_bench =
+        sizeFlag(argc, argv, "--benchmarks", suite.size());
+    if (n_bench < suite.size())
+        suite.resize(n_bench);
+
+    std::vector<device::Device> devices = device::allDevices();
+    const std::size_t n_dev =
+        sizeFlag(argc, argv, "--devices", devices.size());
+    if (n_dev < devices.size())
+        devices.resize(n_dev);
+
+    bench::GridOutcome outcome =
+        bench::computeGrid(scale, suite, devices);
+    if (outcome.configMismatch) {
+        std::cerr << "smq_grid_tool: " << outcome.mismatchDetail << "\n";
+        return outcome.exitCode();
+    }
+
+    const std::string out_path = stringFlag(argc, argv, "--out");
+    if (!out_path.empty()) {
+        std::string error;
+        if (!obs::atomicWriteFile(out_path,
+                                  bench::serializeGrid(outcome.grid),
+                                  &error)) {
+            std::cerr << "smq_grid_tool: cannot write " << out_path
+                      << (error.empty() ? "" : " (" + error + ")")
+                      << "\n";
+            return report::kExitStorageError;
+        }
+    }
+    if (outcome.storageError) {
+        std::cerr << "smq_grid_tool: journal write failed: "
+                  << outcome.storageDetail << "\n";
+    } else if (outcome.interrupted) {
+        std::cerr << "smq_grid_tool: interrupted; rerun with --resume\n";
+    }
+    return outcome.exitCode();
+}
