@@ -25,6 +25,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/benchmarks/ghz.hpp"
@@ -41,6 +42,7 @@
 #include "qc/library.hpp"
 #include "qc/qasm.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/kernels.hpp"
 #include "sim/runner.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/cache.hpp"
@@ -309,12 +311,19 @@ writeJson(const std::string &path, const std::vector<Stage> &stages,
           bool identical, const ObsOverhead &obs_overhead,
           std::uint64_t shots, std::uint64_t repetitions, bool full)
 {
+    const sim::kernels::KernelConfig kc = sim::kernels::kernelConfig();
     std::ofstream out(path, std::ios::trunc);
     out.precision(6);
     out << std::fixed;
-    out << "{\n  \"threads_available\": " << util::defaultJobs()
+    // Hardware concurrency straight from the runtime, not the (possibly
+    // flag-overridden) job count the grid actually used.
+    out << "{\n  \"threads_available\": "
+        << std::thread::hardware_concurrency()
         << ",\n  \"grid_jobs\": " << jobs
-        << ",\n  \"config\": {\"shots\": " << shots
+        << ",\n  \"kernel\": {\"jobs\": " << kc.jobs
+        << ", \"threshold\": " << kc.threshold << ", \"simd\": \""
+        << (sim::kernels::usingAvx2() ? "avx2" : "scalar")
+        << "\"},\n  \"config\": {\"shots\": " << shots
         << ", \"repetitions\": " << repetitions << ", \"full\": "
         << (full ? "true" : "false") << "},\n  \"stages\": [\n";
     for (std::size_t i = 0; i < stages.size(); ++i) {
@@ -355,6 +364,11 @@ perfHarness(int argc, char **argv)
     }
     if (jobs == 0)
         jobs = util::defaultJobs();
+
+    // Intra-op kernels get the full hardware budget; inside the
+    // parallel grid the nested-pool guard degrades them to serial, so
+    // the two layers never oversubscribe each other.
+    sim::kernels::setKernelJobs(util::defaultJobs());
 
     bench::ObsSession obs_session("bench_perf", argc, argv);
 

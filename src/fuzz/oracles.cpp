@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "qc/qasm.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/fusion.hpp"
+#include "sim/kernels.hpp"
 #include "sim/runner.hpp"
 #include "sim/stabilizer.hpp"
 #include "sim/statevector.hpp"
@@ -57,6 +59,13 @@ gapDetail(const std::string &what, double gap, const std::string &key)
     out << what << ": max probability gap " << gap << " at key '" << key
         << "'";
     return out.str();
+}
+
+/** Bit-pattern equality (distinguishes -0.0 / 0.0, unlike ==). */
+bool
+bitEqual(const std::complex<double> &a, const std::complex<double> &b)
+{
+    return std::memcmp(&a, &b, sizeof(a)) == 0;
 }
 
 } // namespace
@@ -356,6 +365,72 @@ oracleFusion(const qc::Circuit &circuit)
         out << "fusion-on vs fusion-off: amplitude gap " << gap
             << " at basis state " << at;
         return OracleResult::fail(out.str());
+    }
+
+    // Intra-op kernel threading sweep: force the size threshold to 1 so
+    // every gate application takes the parallel code path, and demand
+    // the result stays byte-identical to a strictly serial run.
+    {
+        sim::kernels::KernelConfigGuard guard;
+        sim::kernels::setKernelThreshold(1);
+
+        sim::kernels::setKernelJobs(1);
+        sim::StateVector serial_sv(circuit.numQubits());
+        serial_sv.applyUnitaryCircuit(unitary);
+        sim::DensityMatrix serial_dm(circuit.numQubits());
+        for (const qc::Gate &g : unitary.gates())
+            serial_dm.applyGate(g);
+        const bool clifford = sim::isCliffordCircuit(unitary);
+        sim::StabilizerSimulator serial_stab(circuit.numQubits());
+        if (clifford) {
+            for (const qc::Gate &g : unitary.gates())
+                serial_stab.applyGate(g);
+        }
+
+        sim::kernels::setForceParallel(true);
+        for (std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+            sim::kernels::setKernelJobs(jobs);
+
+            sim::StateVector par_sv(circuit.numQubits());
+            par_sv.applyUnitaryCircuit(unitary);
+            for (std::size_t i = 0; i < par_sv.dimension(); ++i) {
+                if (!bitEqual(par_sv.amplitude(i), serial_sv.amplitude(i))) {
+                    std::ostringstream out;
+                    out << "intra-op threading (jobs=" << jobs
+                        << "): statevector amplitude " << i
+                        << " differs bitwise from serial";
+                    return OracleResult::fail(out.str());
+                }
+            }
+
+            sim::DensityMatrix par_dm(circuit.numQubits());
+            for (const qc::Gate &g : unitary.gates())
+                par_dm.applyGate(g);
+            for (std::size_t r = 0; r < par_dm.dimension(); ++r) {
+                for (std::size_t c = 0; c < par_dm.dimension(); ++c) {
+                    if (!bitEqual(par_dm.element(r, c),
+                                  serial_dm.element(r, c))) {
+                        std::ostringstream out;
+                        out << "intra-op threading (jobs=" << jobs
+                            << "): density-matrix element (" << r << ", "
+                            << c << ") differs bitwise from serial";
+                        return OracleResult::fail(out.str());
+                    }
+                }
+            }
+
+            if (clifford) {
+                sim::StabilizerSimulator par_stab(circuit.numQubits());
+                for (const qc::Gate &g : unitary.gates())
+                    par_stab.applyGate(g);
+                if (!par_stab.identicalTo(serial_stab)) {
+                    std::ostringstream out;
+                    out << "intra-op threading (jobs=" << jobs
+                        << "): stabilizer tableau differs from serial";
+                    return OracleResult::fail(out.str());
+                }
+            }
+        }
     }
     return OracleResult::pass();
 }

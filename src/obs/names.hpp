@@ -50,6 +50,16 @@ inline constexpr const char *kSimDmGateApplies = "sim.dm.gate_applies";
 inline constexpr const char *kSimShots = "sim.shots";
 inline constexpr const char *kSimTrajectories = "sim.trajectories";
 
+// --- counters: intra-op kernel engine (sim/kernels.*) ----------------
+inline constexpr const char *kSimKernelParallelOps =
+    "sim.kernel.parallel_ops";
+inline constexpr const char *kSimKernelSerialOps = "sim.kernel.serial_ops";
+inline constexpr const char *kSimKernelTasksSplit =
+    "sim.kernel.tasks_split";
+inline constexpr const char *kSimKernelSimdAvx2 = "sim.kernel.simd_avx2";
+inline constexpr const char *kSimKernelSimdScalar =
+    "sim.kernel.simd_scalar";
+
 // --- counters: thread pool -------------------------------------------
 inline constexpr const char *kPoolBatches = "pool.batches";
 inline constexpr const char *kPoolTasksRun = "pool.tasks.run";

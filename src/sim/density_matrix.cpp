@@ -6,7 +6,9 @@
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "qc/schedule.hpp"
+#include "sim/kernels.hpp"
 #include "sim/memory.hpp"
+#include "sim/simd.hpp"
 
 namespace smq::sim {
 
@@ -23,16 +25,40 @@ countDmKernel()
 }
 
 /**
- * Spread the bits of @p k around two zero slots at bit positions
- * p0 < p1: enumerates the subspace with both qubits fixed at 0
- * without scanning (and branching on) every index.
+ * Spread the bits of @p k around one zero slot at bit position p:
+ * index k of the reduced space -> full index with bit p clear.
  */
-std::size_t
+inline std::size_t
+expand1(std::size_t k, std::size_t p)
+{
+    return ((k >> p) << (p + 1)) | (k & ((std::size_t{1} << p) - 1));
+}
+
+/** Two zero slots at bit positions p0 < p1. */
+inline std::size_t
 expand2(std::size_t k, std::size_t p0, std::size_t p1)
 {
-    std::size_t x = ((k >> p0) << (p0 + 1)) | (k & ((std::size_t{1} << p0) - 1));
-    x = ((x >> p1) << (p1 + 1)) | (x & ((std::size_t{1} << p1) - 1));
-    return x;
+    std::size_t x = expand1(k, p0);
+    return ((x >> p1) << (p1 + 1)) | (x & ((std::size_t{1} << p1) - 1));
+}
+
+/** Three zero slots at bit positions p0 < p1 < p2. */
+inline std::size_t
+expand3(std::size_t k, std::size_t p0, std::size_t p1, std::size_t p2)
+{
+    std::size_t x = expand2(k, p0, p1);
+    return ((x >> p2) << (p2 + 1)) | (x & ((std::size_t{1} << p2) - 1));
+}
+
+void
+sort3(std::size_t &a, std::size_t &b, std::size_t &c)
+{
+    if (a > b)
+        std::swap(a, b);
+    if (b > c)
+        std::swap(b, c);
+    if (a > b)
+        std::swap(a, b);
 }
 
 } // namespace
@@ -72,46 +98,49 @@ DensityMatrix::applyMatrix1(std::size_t q, const Matrix2 &u)
 {
     checkQubit(q);
     countDmKernel();
+    kernels::recordSimdPath();
     const std::size_t stride = std::size_t{1} << q;
-    // Left multiply rho <- U rho. Row-major storage makes the column
-    // index the contiguous one, so each paired row walks memory
-    // linearly instead of striding dim_ elements per step (the old
-    // cache-hostile layout).
-    for (std::size_t base = 0; base < dim_; base += 2 * stride) {
-        for (std::size_t off = 0; off < stride; ++off) {
-            Complex *row0 = rho_.data() + (base + off) * dim_;
-            Complex *row1 = row0 + stride * dim_;
-            for (std::size_t c = 0; c < dim_; ++c) {
-                Complex a0 = row0[c];
-                Complex a1 = row1[c];
-                row0[c] = u[0] * a0 + u[1] * a1;
-                row1[c] = u[2] * a0 + u[3] * a1;
+    Complex *rho = rho_.data();
+    // Left multiply rho <- U rho: each row pair is two full contiguous
+    // rows, the ideal shape for the SIMD pair primitive; the pair
+    // index space splits across the pool.
+    kernels::forEachRange(
+        dim_ / 2, dim_ * dim_, [&](std::size_t pb, std::size_t pe) {
+            for (std::size_t p = pb; p < pe; ++p) {
+                Complex *row0 = rho + expand1(p, q) * dim_;
+                kernels::pairTransform(row0, row0 + stride * dim_, dim_,
+                                       u);
             }
-        }
-    }
-    // Right multiply rho <- rho U^dagger. Conjugates are hoisted out
-    // of the loops, and each row's column pairs are walked through two
-    // streaming pointers (both halves advance contiguously), one
-    // L1-sized block of rows at a time.
-    const Complex d0 = std::conj(u[0]), d1 = std::conj(u[1]);
-    const Complex d2 = std::conj(u[2]), d3 = std::conj(u[3]);
-    constexpr std::size_t kRowBlock = 16;
-    for (std::size_t rb = 0; rb < dim_; rb += kRowBlock) {
-        const std::size_t rEnd = std::min(dim_, rb + kRowBlock);
-        for (std::size_t r = rb; r < rEnd; ++r) {
-            Complex *row = rho_.data() + r * dim_;
-            for (std::size_t base = 0; base < dim_; base += 2 * stride) {
-                Complex *lo = row + base;
-                Complex *hi = lo + stride;
-                for (std::size_t off = 0; off < stride; ++off) {
-                    Complex a0 = lo[off];
-                    Complex a1 = hi[off];
-                    lo[off] = d0 * a0 + d1 * a1;
-                    hi[off] = d2 * a0 + d3 * a1;
+        });
+    // Right multiply rho <- rho U^dagger: within each row the column
+    // pairs form contiguous runs of `stride`; rows split across the
+    // pool. new[c0] = a0 conj(u00) + a1 conj(u01) etc., i.e. a plain
+    // pair transform by the entrywise conjugate of u.
+    const Matrix2 d = {std::conj(u[0]), std::conj(u[1]), std::conj(u[2]),
+                       std::conj(u[3])};
+    kernels::forEachRange(
+        dim_, dim_ * dim_, [&](std::size_t rb, std::size_t re) {
+            for (std::size_t r = rb; r < re; ++r) {
+                Complex *row = rho + r * dim_;
+                if (stride < 4) {
+                    for (std::size_t p = 0; p < dim_ / 2; ++p) {
+                        const std::size_t c0 = expand1(p, q);
+                        const Complex a0 = row[c0];
+                        const Complex a1 = row[c0 + stride];
+                        row[c0] = kernels::coeffMul(d[0], a0) +
+                                  kernels::coeffMul(d[1], a1);
+                        row[c0 + stride] = kernels::coeffMul(d[2], a0) +
+                                           kernels::coeffMul(d[3], a1);
+                    }
+                    continue;
+                }
+                for (std::size_t base = 0; base < dim_;
+                     base += 2 * stride) {
+                    kernels::pairTransform(row + base, row + base + stride,
+                                           stride, d);
                 }
             }
-        }
-    }
+        });
 }
 
 void
@@ -122,59 +151,72 @@ DensityMatrix::applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &u)
     if (q0 == q1)
         throw std::invalid_argument("DensityMatrix: duplicate qubit");
     countDmKernel();
+    kernels::recordSimdPath();
     const std::size_t s0 = std::size_t{1} << q0;
     const std::size_t s1 = std::size_t{1} << q1;
     std::size_t p0 = q0, p1 = q1;
     if (p0 > p1)
         std::swap(p0, p1);
-    const std::size_t sub = dim_ >> 2;
+    const std::size_t sLow = std::size_t{1} << p0;
+    Complex *rho = rho_.data();
 
-    // Left multiply rho <- U rho: enumerate the 4-row groups through
-    // the subspace expansion (no per-index branch) and make the
-    // column index, which is contiguous in memory, the inner loop.
-    for (std::size_t k = 0; k < sub; ++k) {
-        const std::size_t idx = expand2(k, p0, p1);
-        Complex *r0 = rho_.data() + idx * dim_;
-        Complex *r1 = rho_.data() + (idx + s1) * dim_;
-        Complex *r2 = rho_.data() + (idx + s0) * dim_;
-        Complex *r3 = rho_.data() + (idx + s0 + s1) * dim_;
-        for (std::size_t c = 0; c < dim_; ++c) {
-            const Complex a0 = r0[c], a1 = r1[c], a2 = r2[c], a3 = r3[c];
-            r0[c] = u[0] * a0 + u[1] * a1 + u[2] * a2 + u[3] * a3;
-            r1[c] = u[4] * a0 + u[5] * a1 + u[6] * a2 + u[7] * a3;
-            r2[c] = u[8] * a0 + u[9] * a1 + u[10] * a2 + u[11] * a3;
-            r3[c] = u[12] * a0 + u[13] * a1 + u[14] * a2 + u[15] * a3;
-        }
-    }
-
-    // Right multiply rho <- rho U^dagger with hoisted conjugates; each
-    // row is processed in one pass, blocked so consecutive rows reuse
-    // the cached U^dagger and loop state.
-    Matrix4 ud;
-    for (int k = 0; k < 16; ++k)
-        ud[k] = std::conj(u[k]);
-    constexpr std::size_t kRowBlock = 16;
-    for (std::size_t rb = 0; rb < dim_; rb += kRowBlock) {
-        const std::size_t rEnd = std::min(dim_, rb + kRowBlock);
-        for (std::size_t r = rb; r < rEnd; ++r) {
-            Complex *row = rho_.data() + r * dim_;
-            for (std::size_t k = 0; k < sub; ++k) {
+    // Left multiply rho <- U rho: 4-row groups of full contiguous rows.
+    kernels::forEachRange(
+        dim_ / 4, dim_ * dim_, [&](std::size_t kb, std::size_t ke) {
+            for (std::size_t k = kb; k < ke; ++k) {
                 const std::size_t idx = expand2(k, p0, p1);
-                const Complex a0 = row[idx];
-                const Complex a1 = row[idx + s1];
-                const Complex a2 = row[idx + s0];
-                const Complex a3 = row[idx + s0 + s1];
-                row[idx] = ud[0] * a0 + ud[1] * a1 + ud[2] * a2 +
-                           ud[3] * a3;
-                row[idx + s1] = ud[4] * a0 + ud[5] * a1 + ud[6] * a2 +
-                                ud[7] * a3;
-                row[idx + s0] = ud[8] * a0 + ud[9] * a1 + ud[10] * a2 +
-                                ud[11] * a3;
-                row[idx + s0 + s1] = ud[12] * a0 + ud[13] * a1 +
-                                     ud[14] * a2 + ud[15] * a3;
+                kernels::quadTransform(rho + idx * dim_,
+                                       rho + (idx + s1) * dim_,
+                                       rho + (idx + s0) * dim_,
+                                       rho + (idx + s0 + s1) * dim_,
+                                       dim_, u);
             }
-        }
-    }
+        });
+
+    // Right multiply rho <- rho U^dagger: entrywise-conjugated matrix,
+    // column quads in contiguous runs of sLow, rows split across the
+    // pool.
+    Matrix4 d;
+    for (std::size_t k = 0; k < 16; ++k)
+        d[k] = std::conj(u[k]);
+    kernels::forEachRange(
+        dim_, dim_ * dim_, [&](std::size_t rb, std::size_t re) {
+            for (std::size_t r = rb; r < re; ++r) {
+                Complex *row = rho + r * dim_;
+                if (sLow < 4) {
+                    for (std::size_t k = 0; k < dim_ / 4; ++k) {
+                        const std::size_t idx = expand2(k, p0, p1);
+                        const Complex a0 = row[idx];
+                        const Complex a1 = row[idx + s1];
+                        const Complex a2 = row[idx + s0];
+                        const Complex a3 = row[idx + s0 + s1];
+                        for (std::size_t rr = 0; rr < 4; ++rr) {
+                            Complex acc =
+                                kernels::coeffMul(d[rr * 4 + 0], a0);
+                            acc = acc +
+                                  kernels::coeffMul(d[rr * 4 + 1], a1);
+                            acc = acc +
+                                  kernels::coeffMul(d[rr * 4 + 2], a2);
+                            acc = acc +
+                                  kernels::coeffMul(d[rr * 4 + 3], a3);
+                            row[idx + (rr & 2 ? s0 : 0) +
+                                (rr & 1 ? s1 : 0)] = acc;
+                        }
+                    }
+                    continue;
+                }
+                std::size_t k = 0;
+                while (k < dim_ / 4) {
+                    const std::size_t run =
+                        std::min(sLow - (k & (sLow - 1)), dim_ / 4 - k);
+                    const std::size_t idx = expand2(k, p0, p1);
+                    kernels::quadTransform(row + idx, row + idx + s1,
+                                           row + idx + s0,
+                                           row + idx + s0 + s1, run, d);
+                    k += run;
+                }
+            }
+        });
 }
 
 void
@@ -183,30 +225,48 @@ DensityMatrix::applyGate(const qc::Gate &gate)
     using qc::GateType;
     if (gate.type == GateType::CCX || gate.type == GateType::CSWAP) {
         countDmKernel();
-        // Decompose the permutation into the 2q basis via a swap on
-        // amplitudes is awkward for rho; apply as row/col permutation.
-        auto permute = [&](std::size_t idx) {
-            if (gate.type == GateType::CCX) {
-                std::size_t c0 = std::size_t{1} << gate.qubits[0];
-                std::size_t c1 = std::size_t{1} << gate.qubits[1];
-                std::size_t t = std::size_t{1} << gate.qubits[2];
-                if ((idx & c0) && (idx & c1))
-                    return idx ^ t;
-                return idx;
-            }
-            std::size_t c = std::size_t{1} << gate.qubits[0];
-            std::size_t a = std::size_t{1} << gate.qubits[1];
-            std::size_t b = std::size_t{1} << gate.qubits[2];
-            if ((idx & c) && (((idx & a) != 0) != ((idx & b) != 0)))
-                return idx ^ a ^ b;
-            return idx;
-        };
-        std::vector<Complex> next(dim_ * dim_);
-        for (std::size_t r = 0; r < dim_; ++r) {
-            for (std::size_t c = 0; c < dim_; ++c)
-                next[permute(r) * dim_ + permute(c)] = rho_[r * dim_ + c];
+        // Both permutations are involutions pairing index m with
+        // m ^ flip inside a selected subspace, so rho <- P rho P^T is
+        // two in-place swap sweeps (rows, then columns per row) — no
+        // 4^n scratch copy.
+        std::size_t sel0, sel1, flip;
+        if (gate.type == GateType::CCX) {
+            sel0 = std::size_t{1} << gate.qubits[0];
+            sel1 = std::size_t{1} << gate.qubits[1];
+            flip = std::size_t{1} << gate.qubits[2];
+        } else {
+            sel0 = std::size_t{1} << gate.qubits[0];
+            sel1 = std::size_t{1} << gate.qubits[1]; // a=1, b=0 side
+            flip = (std::size_t{1} << gate.qubits[1]) |
+                   (std::size_t{1} << gate.qubits[2]);
         }
-        rho_ = std::move(next);
+        std::size_t p0 = gate.qubits[0], p1 = gate.qubits[1],
+                    p2 = gate.qubits[2];
+        sort3(p0, p1, p2);
+        const std::size_t sub = dim_ >> 3;
+        Complex *rho = rho_.data();
+        kernels::forEachRange(
+            sub, dim_ * dim_ / 4, [&](std::size_t kb, std::size_t ke) {
+                for (std::size_t k = kb; k < ke; ++k) {
+                    const std::size_t r =
+                        expand3(k, p0, p1, p2) | sel0 | sel1;
+                    Complex *rowA = rho + r * dim_;
+                    Complex *rowB = rho + (r ^ flip) * dim_;
+                    for (std::size_t c = 0; c < dim_; ++c)
+                        std::swap(rowA[c], rowB[c]);
+                }
+            });
+        kernels::forEachRange(
+            dim_, dim_ * dim_ / 4, [&](std::size_t rb, std::size_t re) {
+                for (std::size_t r = rb; r < re; ++r) {
+                    Complex *row = rho + r * dim_;
+                    for (std::size_t k = 0; k < sub; ++k) {
+                        const std::size_t c =
+                            expand3(k, p0, p1, p2) | sel0 | sel1;
+                        std::swap(row[c], row[c ^ flip]);
+                    }
+                }
+            });
         return;
     }
     if (gate.qubits.size() == 1) {
@@ -240,15 +300,47 @@ void
 DensityMatrix::applyKraus1(std::size_t q, const std::vector<Matrix2> &kraus)
 {
     checkQubit(q);
-    std::vector<Complex> acc(dim_ * dim_, Complex{0.0, 0.0});
-    std::vector<Complex> saved = rho_;
-    for (const Matrix2 &k : kraus) {
-        rho_ = saved;
-        applyMatrix1(q, k);
-        for (std::size_t i = 0; i < acc.size(); ++i)
-            acc[i] += rho_[i];
-    }
-    rho_ = std::move(acc);
+    countDmKernel();
+    // Single fused pass: each (row-pair, column-pair) block B of the
+    // q subsystem maps to sum_k K B K^dagger independently of every
+    // other block, so no saved/accumulator copies of rho are needed
+    // (the old implementation re-copied rho once per Kraus operator).
+    const std::size_t stride = std::size_t{1} << q;
+    Complex *rho = rho_.data();
+    kernels::forEachRange(
+        dim_ / 2, dim_ * dim_, [&](std::size_t pb, std::size_t pe) {
+            for (std::size_t p = pb; p < pe; ++p) {
+                const std::size_t r0 = expand1(p, q);
+                Complex *row0 = rho + r0 * dim_;
+                Complex *row1 = row0 + stride * dim_;
+                for (std::size_t cp = 0; cp < dim_ / 2; ++cp) {
+                    const std::size_t c0 = expand1(cp, q);
+                    const std::size_t c1 = c0 + stride;
+                    const Complex b00 = row0[c0], b01 = row0[c1];
+                    const Complex b10 = row1[c0], b11 = row1[c1];
+                    Complex n00{}, n01{}, n10{}, n11{};
+                    for (const Matrix2 &k : kraus) {
+                        // t = K B, then accumulate t K^dagger
+                        const Complex t00 = k[0] * b00 + k[1] * b10;
+                        const Complex t01 = k[0] * b01 + k[1] * b11;
+                        const Complex t10 = k[2] * b00 + k[3] * b10;
+                        const Complex t11 = k[2] * b01 + k[3] * b11;
+                        n00 += t00 * std::conj(k[0]) +
+                               t01 * std::conj(k[1]);
+                        n01 += t00 * std::conj(k[2]) +
+                               t01 * std::conj(k[3]);
+                        n10 += t10 * std::conj(k[0]) +
+                               t11 * std::conj(k[1]);
+                        n11 += t10 * std::conj(k[2]) +
+                               t11 * std::conj(k[3]);
+                    }
+                    row0[c0] = n00;
+                    row0[c1] = n01;
+                    row1[c0] = n10;
+                    row1[c1] = n11;
+                }
+            }
+        });
 }
 
 void
@@ -256,14 +348,32 @@ DensityMatrix::depolarize1(std::size_t q, double p)
 {
     if (p <= 0.0)
         return;
-    double sp = std::sqrt(p / 3.0);
-    std::vector<Matrix2> kraus = {
-        {std::sqrt(1.0 - p), 0.0, 0.0, std::sqrt(1.0 - p)},
-        {0.0, sp, sp, 0.0},
-        {0.0, Complex{0.0, -sp}, Complex{0.0, sp}, 0.0},
-        {sp, 0.0, 0.0, -sp},
-    };
-    applyKraus1(q, kraus);
+    checkQubit(q);
+    countDmKernel();
+    // Closed form of (1-p) rho + (p/3)(X rho X + Y rho Y + Z rho Z)
+    // per q-subsystem block: populations mix pairwise, coherences
+    // scale — one pass instead of four Kraus conjugations.
+    const double a = 1.0 - 2.0 * p / 3.0; // population keep
+    const double b = 2.0 * p / 3.0;       // population swap-in
+    const double c = 1.0 - 4.0 * p / 3.0; // coherence scale
+    const std::size_t stride = std::size_t{1} << q;
+    Complex *rho = rho_.data();
+    kernels::forEachRange(
+        dim_ / 2, dim_ * dim_, [&](std::size_t pb, std::size_t pe) {
+            for (std::size_t pr = pb; pr < pe; ++pr) {
+                Complex *row0 = rho + expand1(pr, q) * dim_;
+                Complex *row1 = row0 + stride * dim_;
+                for (std::size_t cp = 0; cp < dim_ / 2; ++cp) {
+                    const std::size_t c0 = expand1(cp, q);
+                    const std::size_t c1 = c0 + stride;
+                    const Complex b00 = row0[c0], b11 = row1[c1];
+                    row0[c0] = a * b00 + b * b11;
+                    row1[c1] = b * b00 + a * b11;
+                    row0[c1] *= c;
+                    row1[c0] *= c;
+                }
+            }
+        });
 }
 
 void
@@ -273,28 +383,47 @@ DensityMatrix::depolarize2(std::size_t qa, std::size_t qb, double p)
         return;
     checkQubit(qa);
     checkQubit(qb);
-    std::vector<Complex> saved = rho_;
-    std::vector<Complex> acc(dim_ * dim_, Complex{0.0, 0.0});
-    static const qc::GateType paulis[4] = {qc::GateType::I, qc::GateType::X,
-                                           qc::GateType::Y, qc::GateType::Z};
-    for (std::size_t pa = 0; pa < 4; ++pa) {
-        for (std::size_t pb = 0; pb < 4; ++pb) {
-            double weight =
-                (pa == 0 && pb == 0) ? (1.0 - p) : (p / 15.0);
-            rho_ = saved;
-            if (pa != 0)
-                applyMatrix1(qa, gateMatrix1(qc::Gate(
-                                     paulis[pa],
-                                     {static_cast<qc::Qubit>(qa)})));
-            if (pb != 0)
-                applyMatrix1(qb, gateMatrix1(qc::Gate(
-                                     paulis[pb],
-                                     {static_cast<qc::Qubit>(qb)})));
-            for (std::size_t i = 0; i < acc.size(); ++i)
-                acc[i] += weight * rho_[i];
-        }
-    }
-    rho_ = std::move(acc);
+    countDmKernel();
+    // Two-qubit Pauli twirl identity: sum over all 16 Paulis of
+    // P B P = 4 Tr(B) I per (qa, qb) subsystem block, so
+    //   rho' = (1-p) B + (p/15)(4 Tr(B) I - B)
+    //        = (1 - 16p/15) B + (4p/15) Tr(B) I.
+    // One pass over rho instead of 16 whole-matrix Kraus branches.
+    const double alpha = 1.0 - 16.0 * p / 15.0;
+    const double beta = 4.0 * p / 15.0;
+    const std::size_t sa = std::size_t{1} << qa;
+    const std::size_t sb = std::size_t{1} << qb;
+    std::size_t p0 = qa, p1 = qb;
+    if (p0 > p1)
+        std::swap(p0, p1);
+    Complex *rho = rho_.data();
+    kernels::forEachRange(
+        dim_ / 4, dim_ * dim_, [&](std::size_t kb, std::size_t ke) {
+            for (std::size_t kr = kb; kr < ke; ++kr) {
+                const std::size_t base = expand2(kr, p0, p1);
+                Complex *rows[4] = {
+                    rho + base * dim_, rho + (base + sb) * dim_,
+                    rho + (base + sa) * dim_,
+                    rho + (base + sa + sb) * dim_};
+                for (std::size_t kc = 0; kc < dim_ / 4; ++kc) {
+                    const std::size_t cbase = expand2(kc, p0, p1);
+                    const std::size_t cols[4] = {cbase, cbase + sb,
+                                                 cbase + sa,
+                                                 cbase + sa + sb};
+                    const Complex tr =
+                        rows[0][cols[0]] + rows[1][cols[1]] +
+                        rows[2][cols[2]] + rows[3][cols[3]];
+                    for (int i = 0; i < 4; ++i) {
+                        for (int j = 0; j < 4; ++j) {
+                            Complex v = alpha * rows[i][cols[j]];
+                            if (i == j)
+                                v += beta * tr;
+                            rows[i][cols[j]] = v;
+                        }
+                    }
+                }
+            }
+        });
 }
 
 void
@@ -302,11 +431,7 @@ DensityMatrix::amplitudeDamp(std::size_t q, double gamma)
 {
     if (gamma <= 0.0)
         return;
-    std::vector<Matrix2> kraus = {
-        {1.0, 0.0, 0.0, std::sqrt(1.0 - gamma)},
-        {0.0, std::sqrt(gamma), 0.0, 0.0},
-    };
-    applyKraus1(q, kraus);
+    thermalRelax(q, gamma, 0.0);
 }
 
 void
@@ -314,11 +439,43 @@ DensityMatrix::dephase(std::size_t q, double p)
 {
     if (p <= 0.0)
         return;
-    std::vector<Matrix2> kraus = {
-        {std::sqrt(1.0 - p), 0.0, 0.0, std::sqrt(1.0 - p)},
-        {std::sqrt(p), 0.0, 0.0, -std::sqrt(p)},
-    };
-    applyKraus1(q, kraus);
+    thermalRelax(q, 0.0, p);
+}
+
+void
+DensityMatrix::thermalRelax(std::size_t q, double gamma, double pz)
+{
+    if (gamma <= 0.0 && pz <= 0.0)
+        return;
+    checkQubit(q);
+    countDmKernel();
+    // Amplitude damping then Pauli-twirled dephasing, composed in
+    // closed form per q-subsystem block:
+    //   b00' = b00 + gamma b11        b01' = s z b01
+    //   b10' = s z b10                b11' = (1 - gamma) b11
+    // with s = sqrt(1 - gamma), z = 1 - 2 pz. One pass replaces the
+    // two applyKraus1 channels of the idle-noise hot loop.
+    const double s = std::sqrt(1.0 - gamma);
+    const double coh = s * (1.0 - 2.0 * pz);
+    const double keep = 1.0 - gamma;
+    const std::size_t stride = std::size_t{1} << q;
+    Complex *rho = rho_.data();
+    kernels::forEachRange(
+        dim_ / 2, dim_ * dim_, [&](std::size_t pb, std::size_t pe) {
+            for (std::size_t pr = pb; pr < pe; ++pr) {
+                Complex *row0 = rho + expand1(pr, q) * dim_;
+                Complex *row1 = row0 + stride * dim_;
+                for (std::size_t cp = 0; cp < dim_ / 2; ++cp) {
+                    const std::size_t c0 = expand1(cp, q);
+                    const std::size_t c1 = c0 + stride;
+                    const Complex b11 = row1[c1];
+                    row0[c0] += gamma * b11;
+                    row1[c1] = keep * b11;
+                    row0[c1] *= coh;
+                    row1[c0] *= coh;
+                }
+            }
+        });
 }
 
 double
@@ -335,10 +492,14 @@ DensityMatrix::purity() const
 {
     // Tr(rho^2) = sum_{r,c} rho[r][c] rho[c][r] = sum |rho[r][c]|^2
     // for Hermitian rho.
-    double p = 0.0;
-    for (const Complex &v : rho_)
-        p += std::norm(v);
-    return p;
+    const Complex *rho = rho_.data();
+    return kernels::reduceChunked<double>(
+        rho_.size(), [&](std::size_t b, std::size_t e) {
+            double acc = 0.0;
+            for (std::size_t i = b; i < e; ++i)
+                acc += std::norm(rho[i]);
+            return acc;
+        });
 }
 
 std::vector<double>
@@ -398,9 +559,10 @@ noisyDistribution(const qc::Circuit &circuit, const NoiseModel &noise)
     }
     qc::Schedule sched = qc::schedule(body);
     const auto &gates = body.gates();
+    std::vector<bool> active(circuit.numQubits(), false);
     for (const auto &moment : sched.moments) {
         double duration = 0.0;
-        std::vector<bool> active(circuit.numQubits(), false);
+        active.assign(circuit.numQubits(), false);
         for (std::size_t idx : moment) {
             const qc::Gate &g = gates[idx];
             duration = std::max(duration, g.qubits.size() >= 2
@@ -417,13 +579,10 @@ noisyDistribution(const qc::Circuit &circuit, const NoiseModel &noise)
             }
         }
         if (noise.enabled && duration > 0.0) {
+            const IdleChannel idle = noise.idleChannel(duration);
             for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
-                if (!active[q]) {
-                    rho.amplitudeDamp(q,
-                                      noise.idleDampingProbability(duration));
-                    rho.dephase(q,
-                                noise.idleDephasingProbability(duration));
-                }
+                if (!active[q])
+                    rho.thermalRelax(q, idle.damp, idle.dephase);
             }
         }
     }

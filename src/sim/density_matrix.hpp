@@ -67,6 +67,14 @@ class DensityMatrix
     /** Phase damping: Z flip with probability p (Pauli-twirled). */
     void dephase(std::size_t q, double p);
 
+    /**
+     * Combined idle-qubit channel: amplitude damping (gamma) followed
+     * by Pauli-twirled dephasing (pz), composed in closed form so the
+     * per-moment idle loop touches rho once instead of running two
+     * Kraus channels back to back.
+     */
+    void thermalRelax(std::size_t q, double gamma, double pz);
+
     /** Trace (should remain 1). */
     double trace() const;
 

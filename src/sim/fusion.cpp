@@ -13,6 +13,9 @@ struct PendingRun
     std::size_t gates = 0;
 };
 
+constexpr Matrix2 kIdentity2 = {Complex{1.0, 0.0}, Complex{0.0, 0.0},
+                                Complex{0.0, 0.0}, Complex{1.0, 0.0}};
+
 } // namespace
 
 std::vector<FusedOp>
@@ -53,15 +56,43 @@ fuseUnitaryCircuit(const qc::Circuit &circuit)
             }
             continue;
         }
-        for (qc::Qubit q : g.qubits)
-            flush(q);
         FusedOp op;
         if (g.qubits.size() == 2) {
+            // Absorb any pending single-qubit runs on the operands into
+            // the 4x4 matrix instead of emitting them as separate ops:
+            // the runs act first, so M4' = M4 * (Ua (x) Ub).
+            std::size_t qa = g.qubits[0];
+            std::size_t qb = g.qubits[1];
             op.kind = FusedOp::Kind::Unitary2;
-            op.q0 = g.qubits[0];
-            op.q1 = g.qubits[1];
+            op.q0 = qa;
+            op.q1 = qb;
             op.m4 = gateMatrix2(g);
+            op.sourceGates = 1;
+            Matrix2 ua = kIdentity2;
+            Matrix2 ub = kIdentity2;
+            if (pending[qa]) {
+                ua = pending[qa]->m;
+                op.sourceGates += pending[qa]->gates;
+                pending[qa].reset();
+            }
+            if (pending[qb]) {
+                ub = pending[qb]->m;
+                op.sourceGates += pending[qb]->gates;
+                pending[qb].reset();
+            }
+            op.m4 = multiply4(op.m4, kron(ua, ub));
+            // Merge with an immediately preceding 2q op on the same
+            // ordered pair (intervening 1q gates on other qubits sit in
+            // `pending` and commute; any on qa/qb were just absorbed).
+            if (!ops.empty() && ops.back().kind == FusedOp::Kind::Unitary2 &&
+                ops.back().q0 == qa && ops.back().q1 == qb) {
+                ops.back().m4 = multiply4(op.m4, ops.back().m4);
+                ops.back().sourceGates += op.sourceGates;
+                continue;
+            }
         } else {
+            for (qc::Qubit q : g.qubits)
+                flush(q);
             op.kind = FusedOp::Kind::Passthrough;
             op.gate = g;
         }

@@ -176,6 +176,38 @@ multiply(const Matrix2 &a, const Matrix2 &b)
             a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
 }
 
+Matrix4
+multiply4(const Matrix4 &a, const Matrix4 &b)
+{
+    Matrix4 out{};
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            Complex sum{0.0, 0.0};
+            for (std::size_t k = 0; k < 4; ++k)
+                sum += a[i * 4 + k] * b[k * 4 + j];
+            out[i * 4 + j] = sum;
+        }
+    }
+    return out;
+}
+
+Matrix4
+kron(const Matrix2 &a, const Matrix2 &b)
+{
+    Matrix4 out{};
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            for (std::size_t k = 0; k < 2; ++k) {
+                for (std::size_t l = 0; l < 2; ++l) {
+                    out[(2 * i + j) * 4 + (2 * k + l)] =
+                        a[i * 2 + k] * b[j * 2 + l];
+                }
+            }
+        }
+    }
+    return out;
+}
+
 Matrix2
 dagger(const Matrix2 &m)
 {

@@ -31,6 +31,15 @@ Matrix4 gateMatrix2(const qc::Gate &gate);
 /** Matrix product a * b for 2x2 matrices. */
 Matrix2 multiply(const Matrix2 &a, const Matrix2 &b);
 
+/** Matrix product a * b for 4x4 matrices. */
+Matrix4 multiply4(const Matrix4 &a, const Matrix4 &b);
+
+/**
+ * Kronecker product a (x) b in the two-qubit basis k = 2 b0 + b1,
+ * where a acts on b0 (the gate's first operand) and b on b1.
+ */
+Matrix4 kron(const Matrix2 &a, const Matrix2 &b);
+
 /** Conjugate transpose of a 2x2 matrix. */
 Matrix2 dagger(const Matrix2 &m);
 

@@ -52,4 +52,11 @@ NoiseModel::idleDephasingProbability(double dt) const
     return 0.5 * (1.0 - std::exp(-dt * rate));
 }
 
+IdleChannel
+NoiseModel::idleChannel(double dt) const
+{
+    return IdleChannel{idleDampingProbability(dt),
+                       idleDephasingProbability(dt)};
+}
+
 } // namespace smq::sim

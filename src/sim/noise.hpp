@@ -24,6 +24,13 @@
 
 namespace smq::sim {
 
+/** One idle window's worth of decoherence, as channel probabilities. */
+struct IdleChannel
+{
+    double damp = 0.0;    ///< amplitude-damping probability
+    double dephase = 0.0; ///< Pauli-twirled phase-flip probability
+};
+
 /** Device-level noise parameters (times in microseconds). */
 struct NoiseModel
 {
@@ -58,6 +65,13 @@ struct NoiseModel
 
     /** Pure-dephasing phase-flip probability for an idle window. */
     double idleDephasingProbability(double dt) const;
+
+    /**
+     * Both idle-decoherence probabilities for a window of @p dt us in
+     * one call — every engine (trajectory SV, exact DM, stabilizer
+     * twirl) derives its idle channel from this single definition.
+     */
+    IdleChannel idleChannel(double dt) const;
 };
 
 } // namespace smq::sim

@@ -65,9 +65,8 @@ void
 applyIdleNoise(StateVector &state, std::size_t q, double dt,
                const NoiseModel &noise, stats::Rng &rng)
 {
-    state.thermalRelaxationTrajectory(q, noise.idleDampingProbability(dt),
-                                      noise.idleDephasingProbability(dt),
-                                      rng);
+    const IdleChannel idle = noise.idleChannel(dt);
+    state.thermalRelaxationTrajectory(q, idle.damp, idle.dephase, rng);
 }
 
 /** One trajectory through the full circuit, writing classical bits. */
@@ -79,9 +78,12 @@ runTrajectory(const qc::Circuit &circuit, const qc::Schedule &sched,
     std::string clbits(circuit.numClbits(), '0');
     const auto &gates = circuit.gates();
 
+    // Hoisted out of the moment loop: one allocation per trajectory,
+    // not one per moment.
+    std::vector<bool> active(circuit.numQubits(), false);
     for (const auto &moment : sched.moments) {
         double duration = 0.0;
-        std::vector<bool> active(circuit.numQubits(), false);
+        active.assign(circuit.numQubits(), false);
         for (std::size_t idx : moment) {
             const qc::Gate &g = gates[idx];
             if (noise.enabled)

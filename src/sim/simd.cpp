@@ -1,0 +1,112 @@
+#include "sim/simd.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "sim/kernels.hpp"
+
+namespace smq::sim::kernels {
+
+#ifdef SMQ_HAVE_AVX2
+// Implemented in simd_avx2.cpp (the only TU built with -mavx2).
+void pairTransformAvx2(Complex *lo, Complex *hi, std::size_t n,
+                       const Matrix2 &m);
+void quadTransformAvx2(Complex *a0, Complex *a1, Complex *a2, Complex *a3,
+                       std::size_t n, const Matrix4 &m);
+#endif
+
+void
+pairTransformScalar(Complex *lo, Complex *hi, std::size_t n,
+                    const Matrix2 &m)
+{
+    // Fused real/imag form: no std::complex operator* (which may call
+    // the __muldc3 NaN fix-up) in the inner loop, and the exact
+    // operation order of the AVX2 mul/addsub path.
+    const double m0r = m[0].real(), m0i = m[0].imag();
+    const double m1r = m[1].real(), m1i = m[1].imag();
+    const double m2r = m[2].real(), m2i = m[2].imag();
+    const double m3r = m[3].real(), m3i = m[3].imag();
+    double *plo = reinterpret_cast<double *>(lo);
+    double *phi = reinterpret_cast<double *>(hi);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double a0r = plo[2 * k], a0i = plo[2 * k + 1];
+        const double a1r = phi[2 * k], a1i = phi[2 * k + 1];
+        plo[2 * k] = (a0r * m0r - a0i * m0i) + (a1r * m1r - a1i * m1i);
+        plo[2 * k + 1] = (a0i * m0r + a0r * m0i) + (a1i * m1r + a1r * m1i);
+        phi[2 * k] = (a0r * m2r - a0i * m2i) + (a1r * m3r - a1i * m3i);
+        phi[2 * k + 1] = (a0i * m2r + a0r * m2i) + (a1i * m3r + a1r * m3i);
+    }
+}
+
+void
+quadTransformScalar(Complex *a0, Complex *a1, Complex *a2, Complex *a3,
+                    std::size_t n, const Matrix4 &m)
+{
+    Complex *rows[4] = {a0, a1, a2, a3};
+    double mr[16], mi[16];
+    for (int k = 0; k < 16; ++k) {
+        mr[k] = m[static_cast<std::size_t>(k)].real();
+        mi[k] = m[static_cast<std::size_t>(k)].imag();
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        double ar[4], ai[4];
+        for (int j = 0; j < 4; ++j) {
+            ar[j] = rows[j][k].real();
+            ai[j] = rows[j][k].imag();
+        }
+        for (int r = 0; r < 4; ++r) {
+            // Left-to-right partial sums ((p0 + p1) + p2) + p3 seeded
+            // from the first product (not 0.0, which would flush a
+            // -0.0 product and break bitwise agreement), the same
+            // fold order as the AVX2 kernel.
+            int c = r * 4;
+            double re = ar[0] * mr[c] - ai[0] * mi[c];
+            double im = ai[0] * mr[c] + ar[0] * mi[c];
+            for (int j = 1; j < 4; ++j) {
+                c = r * 4 + j;
+                re += ar[j] * mr[c] - ai[j] * mi[c];
+                im += ai[j] * mr[c] + ar[j] * mi[c];
+            }
+            rows[r][k] = Complex(re, im);
+        }
+    }
+}
+
+void
+pairTransform(Complex *lo, Complex *hi, std::size_t n, const Matrix2 &m)
+{
+#ifdef SMQ_HAVE_AVX2
+    if (usingAvx2()) {
+        pairTransformAvx2(lo, hi, n, m);
+        return;
+    }
+#endif
+    pairTransformScalar(lo, hi, n, m);
+}
+
+void
+quadTransform(Complex *a0, Complex *a1, Complex *a2, Complex *a3,
+              std::size_t n, const Matrix4 &m)
+{
+#ifdef SMQ_HAVE_AVX2
+    if (usingAvx2()) {
+        quadTransformAvx2(a0, a1, a2, a3, n, m);
+        return;
+    }
+#endif
+    quadTransformScalar(a0, a1, a2, a3, n, m);
+}
+
+void
+recordSimdPath()
+{
+    static obs::Counter &avx2 =
+        obs::counter(obs::names::kSimKernelSimdAvx2);
+    static obs::Counter &scalar =
+        obs::counter(obs::names::kSimKernelSimdScalar);
+    if (usingAvx2())
+        avx2.add();
+    else
+        scalar.add();
+}
+
+} // namespace smq::sim::kernels

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Vectorised complex inner loops for the dense simulators.
+ *
+ * Both dense engines reduce every matrix application to two
+ * primitives over contiguous runs of amplitudes:
+ *
+ *   pairTransform: (lo, hi) <- M2 (lo, hi)  elementwise over a run,
+ *   quadTransform: (a0..a3) <- M4 (a0..a3)  elementwise over a run,
+ *
+ * where each run is a maximal block of indices sharing the same high
+ * bits (the subspace expansion makes the low `stride` indices
+ * contiguous). The scalar bodies are written in fused real/imag form
+ * — one multiply pattern, re = ar*cr - ai*ci / im = ai*cr + ar*ci,
+ * matching the AVX2 mul/addsub sequence exactly — so the explicit
+ * AVX2 path (built behind the SMQ_SIMD CMake option, selected at
+ * runtime via kernels::usingAvx2()) produces bit-identical results
+ * and either path can satisfy the byte-identity contract.
+ */
+
+#ifndef SMQ_SIM_SIMD_HPP
+#define SMQ_SIM_SIMD_HPP
+
+#include <cstddef>
+
+#include "sim/gate_matrices.hpp"
+
+namespace smq::sim::kernels {
+
+/**
+ * Complex multiply of coefficient @p c with amplitude @p a in the
+ * exact operation order of the AVX2 mul/addsub kernel (so scalar and
+ * vector paths agree bitwise). Inline for the short-stride fallbacks
+ * in the simulators themselves.
+ */
+inline Complex
+coeffMul(const Complex &c, const Complex &a)
+{
+    return Complex(a.real() * c.real() - a.imag() * c.imag(),
+                   a.imag() * c.real() + a.real() * c.imag());
+}
+
+/** lo/hi <- m * (lo, hi)^T elementwise over @p n contiguous entries. */
+void pairTransform(Complex *lo, Complex *hi, std::size_t n,
+                   const Matrix2 &m);
+
+/** a0..a3 <- m * (a0..a3)^T elementwise over @p n contiguous entries. */
+void quadTransform(Complex *a0, Complex *a1, Complex *a2, Complex *a3,
+                   std::size_t n, const Matrix4 &m);
+
+/** Scalar reference bodies (exported for the SIMD-equality tests). */
+void pairTransformScalar(Complex *lo, Complex *hi, std::size_t n,
+                         const Matrix2 &m);
+void quadTransformScalar(Complex *a0, Complex *a1, Complex *a2,
+                         Complex *a3, std::size_t n, const Matrix4 &m);
+
+/** Bump the sim.kernel.simd_* counter for one dense gate kernel. */
+void recordSimdPath();
+
+} // namespace smq::sim::kernels
+
+#endif // SMQ_SIM_SIMD_HPP

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * AVX2 bodies for the pair/quad transforms — the only TU built with
+ * -mavx2 (and deliberately *not* -mfma: the scalar reference path has
+ * no fused multiply-adds, and bitwise agreement between the two is a
+ * tested invariant, so the vector path must round every product the
+ * same way).
+ *
+ * Layout: a __m256d holds two std::complex<double> as
+ * [re0, im0, re1, im1]. For a coefficient c, the product c*a is
+ * computed as addsub(a * c.re, swap(a) * c.im) =
+ * [ar*cr - ai*ci, ai*cr + ar*ci] — the operation order mirrored by
+ * kernels::coeffMul and the scalar loops in simd.cpp.
+ */
+
+#include <immintrin.h>
+
+#include "sim/simd.hpp"
+
+namespace smq::sim::kernels {
+
+namespace {
+
+struct CoeffVec
+{
+    __m256d re, im;
+};
+
+inline CoeffVec
+broadcast(const Complex &c)
+{
+    return {_mm256_set1_pd(c.real()), _mm256_set1_pd(c.imag())};
+}
+
+/** c * a for two packed complex values. */
+inline __m256d
+mulCoeff(const CoeffVec &c, __m256d a)
+{
+    const __m256d swapped = _mm256_permute_pd(a, 0x5);
+    return _mm256_addsub_pd(_mm256_mul_pd(a, c.re),
+                            _mm256_mul_pd(swapped, c.im));
+}
+
+} // namespace
+
+void
+pairTransformAvx2(Complex *lo, Complex *hi, std::size_t n,
+                  const Matrix2 &m)
+{
+    const CoeffVec m0 = broadcast(m[0]), m1 = broadcast(m[1]);
+    const CoeffVec m2 = broadcast(m[2]), m3 = broadcast(m[3]);
+    double *plo = reinterpret_cast<double *>(lo);
+    double *phi = reinterpret_cast<double *>(hi);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        const __m256d a0 = _mm256_loadu_pd(plo + 2 * k);
+        const __m256d a1 = _mm256_loadu_pd(phi + 2 * k);
+        const __m256d outLo =
+            _mm256_add_pd(mulCoeff(m0, a0), mulCoeff(m1, a1));
+        const __m256d outHi =
+            _mm256_add_pd(mulCoeff(m2, a0), mulCoeff(m3, a1));
+        _mm256_storeu_pd(plo + 2 * k, outLo);
+        _mm256_storeu_pd(phi + 2 * k, outHi);
+    }
+    if (k < n)
+        pairTransformScalar(lo + k, hi + k, n - k, m);
+}
+
+void
+quadTransformAvx2(Complex *a0, Complex *a1, Complex *a2, Complex *a3,
+                  std::size_t n, const Matrix4 &m)
+{
+    CoeffVec c[16];
+    for (std::size_t i = 0; i < 16; ++i)
+        c[i] = broadcast(m[i]);
+    double *rows[4] = {
+        reinterpret_cast<double *>(a0), reinterpret_cast<double *>(a1),
+        reinterpret_cast<double *>(a2), reinterpret_cast<double *>(a3)};
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m256d in[4];
+        for (int j = 0; j < 4; ++j)
+            in[j] = _mm256_loadu_pd(rows[j] + 2 * k);
+        __m256d out[4];
+        for (int r = 0; r < 4; ++r) {
+            __m256d acc = mulCoeff(c[r * 4], in[0]);
+            for (int j = 1; j < 4; ++j)
+                acc = _mm256_add_pd(acc, mulCoeff(c[r * 4 + j], in[j]));
+            out[r] = acc;
+        }
+        for (int r = 0; r < 4; ++r)
+            _mm256_storeu_pd(rows[r] + 2 * k, out[r]);
+    }
+    if (k < n)
+        quadTransformScalar(a0 + k, a1 + k, a2 + k, a3 + k, n - k, m);
+}
+
+} // namespace smq::sim::kernels

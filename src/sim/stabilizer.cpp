@@ -1,10 +1,12 @@
 #include "sim/stabilizer.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 #include "qc/schedule.hpp"
+#include "sim/kernels.hpp"
 
 namespace smq::sim {
 
@@ -90,31 +92,34 @@ void
 StabilizerSimulator::rowsum(std::size_t h, std::size_t i)
 {
     // phase exponent of i accumulated while multiplying row i into h
-    // (Aaronson-Gottesman g function), tracked mod 4
-    int phase = 2 * (r_[h] + r_[i]);
-    for (std::size_t q = 0; q < numQubits_; ++q) {
-        int x1 = xBit(h, q), z1 = zBit(h, q);
-        int x2 = xBit(i, q), z2 = zBit(i, q);
-        // g(x2, z2 | x1, z1): contribution of multiplying the q-th
-        // factors (note: row h <- row h * row i with row i's factor on
-        // the right; AG define g(x1,z1,x2,z2) for row_h = row_i * row_h
-        // — we follow AG exactly: h <- i + h)
-        if (x2 == 0 && z2 == 0) {
-            // identity contributes nothing
-        } else if (x2 == 1 && z2 == 1) {
-            phase += z1 - x1;
-        } else if (x2 == 1 && z2 == 0) {
-            phase += z1 * (2 * x1 - 1);
-        } else {
-            phase += x1 * (1 - 2 * z1);
-        }
+    // (Aaronson-Gottesman g function), tracked mod 4. The per-qubit g
+    // cases are evaluated for 64 qubits at a time: bitmasks select the
+    // qubits whose factor product contributes +1 (plus) or -1 (minus)
+    // and a popcount difference replaces the per-bit branch ladder.
+    // Bits past numQubits_ are zero in both rows, so they fall in the
+    // identity case and contribute nothing.
+    long long phase = 2LL * (r_[h] + r_[i]);
+    std::uint64_t *xh = x_.data() + h * words_;
+    std::uint64_t *zh = z_.data() + h * words_;
+    const std::uint64_t *xi = x_.data() + i * words_;
+    const std::uint64_t *zi = z_.data() + i * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+        const std::uint64_t x1 = xh[w], z1 = zh[w];
+        const std::uint64_t x2 = xi[w], z2 = zi[w];
+        // g = +1: Y*Z(-> z1 & ~x1), X*Y(-> x1 & z1), Z*X(-> x1 & ~z1)
+        const std::uint64_t plus = (x2 & z2 & z1 & ~x1) |
+                                   (x2 & ~z2 & x1 & z1) |
+                                   (~x2 & z2 & x1 & ~z1);
+        // g = -1: Y*X, X*Z, Z*Y
+        const std::uint64_t minus = (x2 & z2 & x1 & ~z1) |
+                                    (x2 & ~z2 & z1 & ~x1) |
+                                    (~x2 & z2 & x1 & z1);
+        phase += std::popcount(plus) - std::popcount(minus);
+        xh[w] = x1 ^ x2;
+        zh[w] = z1 ^ z2;
     }
     phase = ((phase % 4) + 4) % 4;
     r_[h] = static_cast<std::uint8_t>(phase == 2);
-    for (std::size_t w = 0; w < words_; ++w) {
-        x_[h * words_ + w] ^= x_[i * words_ + w];
-        z_[h * words_ + w] ^= z_[i * words_ + w];
-    }
 }
 
 void
@@ -124,45 +129,54 @@ StabilizerSimulator::applyGate(const qc::Gate &gate)
     const std::size_t rows = 2 * numQubits_;
     auto q0 = [&]() { return static_cast<std::size_t>(gate.qubits.at(0)); };
     auto q1 = [&]() { return static_cast<std::size_t>(gate.qubits.at(1)); };
+    // Every per-row update below touches only its own row, so the row
+    // space splits across the pool; rows * words_ is the cost measure
+    // the size threshold compares against (small tableaus stay serial).
+    auto forRows = [&](const std::function<void(std::size_t)> &rowBody) {
+        kernels::forEachRange(rows, rows * words_,
+                              [&](std::size_t b, std::size_t e) {
+                                  for (std::size_t row = b; row < e; ++row)
+                                      rowBody(row);
+                              });
+    };
 
     switch (gate.type) {
       case GateType::I:
         return;
       case GateType::X: {
         std::size_t q = q0();
-        for (std::size_t row = 0; row < rows; ++row)
-            r_[row] ^= zBit(row, q);
+        forRows([&](std::size_t row) { r_[row] ^= zBit(row, q); });
         return;
       }
       case GateType::Z: {
         std::size_t q = q0();
-        for (std::size_t row = 0; row < rows; ++row)
-            r_[row] ^= xBit(row, q);
+        forRows([&](std::size_t row) { r_[row] ^= xBit(row, q); });
         return;
       }
       case GateType::Y: {
         std::size_t q = q0();
-        for (std::size_t row = 0; row < rows; ++row)
+        forRows([&](std::size_t row) {
             r_[row] ^= xBit(row, q) ^ zBit(row, q);
+        });
         return;
       }
       case GateType::H: {
         std::size_t q = q0();
-        for (std::size_t row = 0; row < rows; ++row) {
+        forRows([&](std::size_t row) {
             bool x = xBit(row, q), z = zBit(row, q);
             r_[row] ^= static_cast<std::uint8_t>(x && z);
             setX(row, q, z);
             setZ(row, q, x);
-        }
+        });
         return;
       }
       case GateType::S: {
         std::size_t q = q0();
-        for (std::size_t row = 0; row < rows; ++row) {
+        forRows([&](std::size_t row) {
             bool x = xBit(row, q), z = zBit(row, q);
             r_[row] ^= static_cast<std::uint8_t>(x && z);
             setZ(row, q, x ^ z);
-        }
+        });
         return;
       }
       case GateType::SDG:
@@ -182,14 +196,14 @@ StabilizerSimulator::applyGate(const qc::Gate &gate)
         return;
       case GateType::CX: {
         std::size_t c = q0(), t = q1();
-        for (std::size_t row = 0; row < rows; ++row) {
+        forRows([&](std::size_t row) {
             bool xc = xBit(row, c), zc = zBit(row, c);
             bool xt = xBit(row, t), zt = zBit(row, t);
             r_[row] ^= static_cast<std::uint8_t>(xc && zt &&
                                                  (xt == zc));
             setX(row, t, xt ^ xc);
             setZ(row, c, zc ^ zt);
-        }
+        });
         return;
       }
       case GateType::CZ:
@@ -237,11 +251,15 @@ StabilizerSimulator::measure(std::size_t q, stats::Rng &rng)
         }
     }
     if (p < 2 * n) {
-        // random outcome
-        for (std::size_t row = 0; row < 2 * n; ++row) {
-            if (row != p && xBit(row, q))
-                rowsum(row, p);
-        }
+        // random outcome: each rowsum(row, p) writes only row `row`
+        // and reads only row p, so all 2n candidates run in parallel
+        kernels::forEachRange(
+            2 * n, 2 * n * words_, [&](std::size_t b, std::size_t e) {
+                for (std::size_t row = b; row < e; ++row) {
+                    if (row != p && xBit(row, q))
+                        rowsum(row, p);
+                }
+            });
         copyRow(p - n, p);
         clearRow(p);
         setZ(p, q, true);
@@ -271,11 +289,15 @@ StabilizerSimulator::measureForced(std::size_t q, int outcome)
         }
     }
     if (p < 2 * n) {
-        // random outcome: either branch has probability 1/2
-        for (std::size_t row = 0; row < 2 * n; ++row) {
-            if (row != p && xBit(row, q))
-                rowsum(row, p);
-        }
+        // random outcome: either branch has probability 1/2; parallel
+        // over rows exactly as in measure()
+        kernels::forEachRange(
+            2 * n, 2 * n * words_, [&](std::size_t b, std::size_t e) {
+                for (std::size_t row = b; row < e; ++row) {
+                    if (row != p && xBit(row, q))
+                        rowsum(row, p);
+                }
+            });
         copyRow(p - n, p);
         clearRow(p);
         setZ(p, q, true);
@@ -299,6 +321,13 @@ StabilizerSimulator::reset(std::size_t q, stats::Rng &rng)
     if (measure(q, rng) == 1)
         applyGate(qc::Gate(qc::GateType::X,
                            {static_cast<qc::Qubit>(q)}));
+}
+
+bool
+StabilizerSimulator::identicalTo(const StabilizerSimulator &other) const
+{
+    return numQubits_ == other.numQubits_ && x_ == other.x_ &&
+           z_ == other.z_ && r_ == other.r_;
 }
 
 bool
@@ -333,13 +362,13 @@ TwirledIdle
 twirlIdle(const NoiseModel &noise, double dt)
 {
     TwirledIdle t;
-    double gamma = noise.idleDampingProbability(dt);
+    const IdleChannel idle = noise.idleChannel(dt);
     // standard Pauli twirl of amplitude damping
-    t.px = gamma / 4.0;
-    t.py = gamma / 4.0;
-    t.pz = std::max(0.0, (1.0 - std::sqrt(1.0 - gamma)) / 2.0 -
-                             gamma / 4.0);
-    t.pz += noise.idleDephasingProbability(dt);
+    t.px = idle.damp / 4.0;
+    t.py = idle.damp / 4.0;
+    t.pz = std::max(0.0, (1.0 - std::sqrt(1.0 - idle.damp)) / 2.0 -
+                             idle.damp / 4.0);
+    t.pz += idle.dephase;
     return t;
 }
 
@@ -380,12 +409,15 @@ runStabilizer(const qc::Circuit &circuit, const RunOptions &options,
                                            qc::GateType::Y,
                                            qc::GateType::Z};
 
+    // Hoisted shot-loop buffers: reused across shots and moments.
+    std::string clbits(circuit.numClbits(), '0');
+    std::vector<bool> active(circuit.numQubits(), false);
     for (std::uint64_t shot = 0; shot < options.shots; ++shot) {
         sim.resetAll();
-        std::string clbits(circuit.numClbits(), '0');
+        clbits.assign(circuit.numClbits(), '0');
         for (const auto &moment : sched.moments) {
             double duration = 0.0;
-            std::vector<bool> active(circuit.numQubits(), false);
+            active.assign(circuit.numQubits(), false);
             for (std::size_t idx : moment) {
                 const qc::Gate &g = gates[idx];
                 for (qc::Qubit q : g.qubits)

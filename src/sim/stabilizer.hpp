@@ -63,6 +63,13 @@ class StabilizerSimulator
     /** Measure-and-restore-to-|0> (RESET semantics). */
     void reset(std::size_t q, stats::Rng &rng);
 
+    /**
+     * Exact tableau equality (bit matrices and signs, scratch row
+     * included). The differential tests use this to assert that the
+     * pool-parallel row updates leave states bit-identical to serial.
+     */
+    bool identicalTo(const StabilizerSimulator &other) const;
+
   private:
     // row-major bit matrices over 2n rows (destabilizers then
     // stabilizers); row index 2n is the CHP scratch row

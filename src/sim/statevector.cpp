@@ -5,7 +5,9 @@
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "sim/kernels.hpp"
 #include "sim/memory.hpp"
+#include "sim/simd.hpp"
 
 namespace smq::sim {
 
@@ -22,17 +24,33 @@ countSvKernel()
 }
 
 /**
+ * Spread the bits of @p k around one zero slot at bit position p:
+ * index k of the pair subspace -> amplitude index with qubit p clear.
+ */
+inline std::size_t
+expand1(std::size_t k, std::size_t p)
+{
+    return ((k >> p) << (p + 1)) | (k & ((std::size_t{1} << p) - 1));
+}
+
+/** Two zero slots at bit positions p0 < p1. */
+inline std::size_t
+expand2(std::size_t k, std::size_t p0, std::size_t p1)
+{
+    std::size_t x = expand1(k, p0);
+    return ((x >> p1) << (p1 + 1)) | (x & ((std::size_t{1} << p1) - 1));
+}
+
+/**
  * Spread the n-3 bits of @p k around three zero slots at bit positions
  * p0 < p1 < p2: enumerates the subspace with those three qubits fixed
  * at 0 without scanning (and branching on) all 2^n indices.
  */
-std::size_t
+inline std::size_t
 expand3(std::size_t k, std::size_t p0, std::size_t p1, std::size_t p2)
 {
-    std::size_t x = ((k >> p0) << (p0 + 1)) | (k & ((std::size_t{1} << p0) - 1));
-    x = ((x >> p1) << (p1 + 1)) | (x & ((std::size_t{1} << p1) - 1));
-    x = ((x >> p2) << (p2 + 1)) | (x & ((std::size_t{1} << p2) - 1));
-    return x;
+    std::size_t x = expand2(k, p0, p1);
+    return ((x >> p2) << (p2 + 1)) | (x & ((std::size_t{1} << p2) - 1));
 }
 
 void
@@ -88,17 +106,37 @@ StateVector::applyMatrix1(std::size_t q, const Matrix2 &m)
 {
     checkQubit(q);
     countSvKernel();
+    kernels::recordSimdPath();
     const std::size_t stride = std::size_t{1} << q;
-    for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
-        for (std::size_t offset = 0; offset < stride; ++offset) {
-            std::size_t i0 = base + offset;
-            std::size_t i1 = i0 + stride;
-            Complex a0 = amps_[i0];
-            Complex a1 = amps_[i1];
-            amps_[i0] = m[0] * a0 + m[1] * a1;
-            amps_[i1] = m[2] * a0 + m[3] * a1;
-        }
-    }
+    Complex *amps = amps_.data();
+    // Pair index p enumerates the qubit-q=0 subspace; consecutive p
+    // with the same high bits form contiguous amplitude runs of
+    // length `stride`, which the SIMD primitive consumes whole.
+    kernels::forEachRange(
+        amps_.size() / 2, amps_.size(),
+        [&](std::size_t pb, std::size_t pe) {
+            if (stride < 4) {
+                for (std::size_t p = pb; p < pe; ++p) {
+                    const std::size_t i0 = expand1(p, q);
+                    const Complex a0 = amps[i0];
+                    const Complex a1 = amps[i0 + stride];
+                    amps[i0] = kernels::coeffMul(m[0], a0) +
+                               kernels::coeffMul(m[1], a1);
+                    amps[i0 + stride] = kernels::coeffMul(m[2], a0) +
+                                        kernels::coeffMul(m[3], a1);
+                }
+                return;
+            }
+            std::size_t p = pb;
+            while (p < pe) {
+                const std::size_t off = p & (stride - 1);
+                const std::size_t run = std::min(stride - off, pe - p);
+                const std::size_t i0 = expand1(p, q);
+                kernels::pairTransform(amps + i0, amps + i0 + stride,
+                                       run, m);
+                p += run;
+            }
+        });
 }
 
 void
@@ -109,18 +147,50 @@ StateVector::applyMatrix2(std::size_t q0, std::size_t q1, const Matrix4 &m)
     if (q0 == q1)
         throw std::invalid_argument("StateVector: duplicate qubit");
     countSvKernel();
+    kernels::recordSimdPath();
     const std::size_t s0 = std::size_t{1} << q0;
     const std::size_t s1 = std::size_t{1} << q1;
-    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-        if ((idx & s0) || (idx & s1))
-            continue;
-        std::size_t i[4] = {idx, idx + s1, idx + s0, idx + s0 + s1};
-        Complex a[4] = {amps_[i[0]], amps_[i[1]], amps_[i[2]], amps_[i[3]]};
-        for (std::size_t r = 0; r < 4; ++r) {
-            amps_[i[r]] = m[r * 4 + 0] * a[0] + m[r * 4 + 1] * a[1] +
-                          m[r * 4 + 2] * a[2] + m[r * 4 + 3] * a[3];
-        }
-    }
+    std::size_t p0 = q0, p1 = q1;
+    if (p0 > p1)
+        std::swap(p0, p1);
+    const std::size_t sLow = std::size_t{1} << p0;
+    Complex *amps = amps_.data();
+    // Quad index k enumerates the both-qubits-0 subspace (no
+    // branch-per-index scan); the four basis offsets follow the
+    // |b0 b1> convention with s0 the FIRST operand's bit.
+    kernels::forEachRange(
+        amps_.size() / 4, amps_.size(),
+        [&](std::size_t kb, std::size_t ke) {
+            if (sLow < 4) {
+                for (std::size_t k = kb; k < ke; ++k) {
+                    const std::size_t idx = expand2(k, p0, p1);
+                    const Complex a0 = amps[idx];
+                    const Complex a1 = amps[idx + s1];
+                    const Complex a2 = amps[idx + s0];
+                    const Complex a3 = amps[idx + s0 + s1];
+                    for (std::size_t r = 0; r < 4; ++r) {
+                        Complex acc = kernels::coeffMul(m[r * 4 + 0], a0);
+                        acc = acc + kernels::coeffMul(m[r * 4 + 1], a1);
+                        acc = acc + kernels::coeffMul(m[r * 4 + 2], a2);
+                        acc = acc + kernels::coeffMul(m[r * 4 + 3], a3);
+                        const std::size_t out =
+                            idx + (r & 2 ? s0 : 0) + (r & 1 ? s1 : 0);
+                        amps[out] = acc;
+                    }
+                }
+                return;
+            }
+            std::size_t k = kb;
+            while (k < ke) {
+                const std::size_t off = k & (sLow - 1);
+                const std::size_t run = std::min(sLow - off, ke - k);
+                const std::size_t idx = expand2(k, p0, p1);
+                kernels::quadTransform(amps + idx, amps + idx + s1,
+                                       amps + idx + s0,
+                                       amps + idx + s0 + s1, run, m);
+                k += run;
+            }
+        });
 }
 
 void
@@ -138,11 +208,15 @@ StateVector::applyGate(const qc::Gate &gate)
         std::size_t p0 = gate.qubits[0], p1 = gate.qubits[1],
                     p2 = gate.qubits[2];
         sort3(p0, p1, p2);
-        const std::size_t sub = amps_.size() >> 3;
-        for (std::size_t k = 0; k < sub; ++k) {
-            std::size_t base = expand3(k, p0, p1, p2) | c0 | c1;
-            std::swap(amps_[base], amps_[base | t]);
-        }
+        Complex *amps = amps_.data();
+        kernels::forEachRange(
+            amps_.size() >> 3, amps_.size() >> 2,
+            [&](std::size_t kb, std::size_t ke) {
+                for (std::size_t k = kb; k < ke; ++k) {
+                    std::size_t base = expand3(k, p0, p1, p2) | c0 | c1;
+                    std::swap(amps[base], amps[base | t]);
+                }
+            });
         return;
       }
       case GateType::CSWAP: {
@@ -154,11 +228,15 @@ StateVector::applyGate(const qc::Gate &gate)
         std::size_t p0 = gate.qubits[0], p1 = gate.qubits[1],
                     p2 = gate.qubits[2];
         sort3(p0, p1, p2);
-        const std::size_t sub = amps_.size() >> 3;
-        for (std::size_t k = 0; k < sub; ++k) {
-            std::size_t base = expand3(k, p0, p1, p2) | c | a;
-            std::swap(amps_[base], amps_[base ^ a ^ b]);
-        }
+        Complex *amps = amps_.data();
+        kernels::forEachRange(
+            amps_.size() >> 3, amps_.size() >> 2,
+            [&](std::size_t kb, std::size_t ke) {
+                for (std::size_t k = kb; k < ke; ++k) {
+                    std::size_t base = expand3(k, p0, p1, p2) | c | a;
+                    std::swap(amps[base], amps[base ^ a ^ b]);
+                }
+            });
         return;
       }
       case GateType::MEASURE:
@@ -209,12 +287,16 @@ StateVector::probabilityOfOne(std::size_t q) const
 {
     checkQubit(q);
     const std::size_t mask = std::size_t{1} << q;
-    double p = 0.0;
-    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-        if (idx & mask)
-            p += std::norm(amps_[idx]);
-    }
-    return p;
+    const Complex *amps = amps_.data();
+    return kernels::reduceChunked<double>(
+        amps_.size(), [&](std::size_t b, std::size_t e) {
+            double p = 0.0;
+            for (std::size_t idx = b; idx < e; ++idx) {
+                if (idx & mask)
+                    p += std::norm(amps[idx]);
+            }
+            return p;
+        });
 }
 
 int
@@ -227,13 +309,17 @@ StateVector::measure(std::size_t q, stats::Rng &rng)
     if (keep <= 0.0)
         keep = 1.0; // numerically impossible branch; avoid div by zero
     double scale = 1.0 / std::sqrt(keep);
-    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-        bool is_one = (idx & mask) != 0;
-        if (is_one == (outcome == 1))
-            amps_[idx] *= scale;
-        else
-            amps_[idx] = 0.0;
-    }
+    Complex *amps = amps_.data();
+    kernels::forEachRange(
+        amps_.size(), amps_.size(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t idx = b; idx < e; ++idx) {
+                bool is_one = (idx & mask) != 0;
+                if (is_one == (outcome == 1))
+                    amps[idx] *= scale;
+                else
+                    amps[idx] = 0.0;
+            }
+        });
     return outcome;
 }
 
@@ -246,13 +332,17 @@ StateVector::project(std::size_t q, int outcome)
         return 0.0;
     const std::size_t mask = std::size_t{1} << q;
     double scale = 1.0 / std::sqrt(keep);
-    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-        bool is_one = (idx & mask) != 0;
-        if (is_one == (outcome == 1))
-            amps_[idx] *= scale;
-        else
-            amps_[idx] = 0.0;
-    }
+    Complex *amps = amps_.data();
+    kernels::forEachRange(
+        amps_.size(), amps_.size(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t idx = b; idx < e; ++idx) {
+                bool is_one = (idx & mask) != 0;
+                if (is_one == (outcome == 1))
+                    amps[idx] *= scale;
+                else
+                    amps[idx] = 0.0;
+            }
+        });
     return keep;
 }
 
@@ -261,33 +351,45 @@ StateVector::thermalRelaxationTrajectory(std::size_t q, double p_damp,
                                          double p_phase, stats::Rng &rng)
 {
     const std::size_t mask = std::size_t{1} << q;
+    Complex *amps = amps_.data();
     if (p_damp > 0.0) {
         double p1 = probabilityOfOne(q);
         if (p1 > 0.0 && rng.bernoulli(p_damp * p1)) {
             // jump |1> -> |0>: move the excited amplitudes down and
             // renormalise by sqrt(p1) in the same pass
             double scale = 1.0 / std::sqrt(p1);
-            for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-                if (idx & mask) {
-                    amps_[idx ^ mask] = amps_[idx] * scale;
-                    amps_[idx] = 0.0;
-                }
-            }
+            kernels::forEachRange(
+                amps_.size(), amps_.size(),
+                [&](std::size_t b, std::size_t e) {
+                    for (std::size_t idx = b; idx < e; ++idx) {
+                        if (idx & mask) {
+                            amps[idx ^ mask] = amps[idx] * scale;
+                            amps[idx] = 0.0;
+                        }
+                    }
+                });
         } else if (p1 > 0.0) {
             // no-jump Kraus diag(1, sqrt(1 - p_damp)), renormalised by
             // the branch probability sqrt(1 - p_damp * p1)
             double renorm = std::sqrt(1.0 - p_damp * p1);
             double keep0 = 1.0 / renorm;
             double keep1 = std::sqrt(1.0 - p_damp) / renorm;
-            for (std::size_t idx = 0; idx < amps_.size(); ++idx)
-                amps_[idx] *= (idx & mask) ? keep1 : keep0;
+            kernels::forEachRange(
+                amps_.size(), amps_.size(),
+                [&](std::size_t b, std::size_t e) {
+                    for (std::size_t idx = b; idx < e; ++idx)
+                        amps[idx] *= (idx & mask) ? keep1 : keep0;
+                });
         }
     }
     if (p_phase > 0.0 && rng.bernoulli(p_phase)) {
-        for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
-            if (idx & mask)
-                amps_[idx] = -amps_[idx];
-        }
+        kernels::forEachRange(
+            amps_.size(), amps_.size(), [&](std::size_t b, std::size_t e) {
+                for (std::size_t idx = b; idx < e; ++idx) {
+                    if (idx & mask)
+                        amps[idx] = -amps[idx];
+                }
+            });
     }
 }
 
@@ -303,6 +405,8 @@ StateVector::reset(std::size_t q, stats::Rng &rng)
 std::size_t
 StateVector::sampleBasisState(stats::Rng &rng) const
 {
+    // Sequential prefix scan: inherently serial, and one pass of
+    // adds is memory-bound anyway.
     double r = rng.uniform();
     double acc = 0.0;
     for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
@@ -317,8 +421,13 @@ std::vector<double>
 StateVector::probabilities() const
 {
     std::vector<double> probs(amps_.size());
-    for (std::size_t idx = 0; idx < amps_.size(); ++idx)
-        probs[idx] = std::norm(amps_[idx]);
+    const Complex *amps = amps_.data();
+    double *out = probs.data();
+    kernels::forEachRange(
+        amps_.size(), amps_.size(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t idx = b; idx < e; ++idx)
+                out[idx] = std::norm(amps[idx]);
+        });
     return probs;
 }
 
@@ -336,12 +445,24 @@ StateVector::expectation(const qc::PauliString &pauli) const
         if (pauli.zBit(q))
             zmask |= std::size_t{1} << q;
     }
-    Complex acc{0.0, 0.0};
-    for (std::size_t s = 0; s < amps_.size(); ++s) {
-        // (P psi)[s ^ x] += (-1)^(z.s) psi[s]
-        double sign = __builtin_parityll(s & zmask) ? -1.0 : 1.0;
-        acc += std::conj(amps_[s ^ xmask]) * (sign * amps_[s]);
-    }
+    const Complex *amps = amps_.data();
+    Complex acc = kernels::reduceChunked<Complex>(
+        amps_.size(), [&](std::size_t b, std::size_t e) {
+            double re = 0.0, im = 0.0;
+            for (std::size_t s = b; s < e; ++s) {
+                // (P psi)[s ^ x] += (-1)^(z.s) psi[s]; accumulate
+                // conj(psi[s ^ x]) * that in split re/im form (no
+                // __muldc3 in the loop)
+                const double sign =
+                    __builtin_parityll(s & zmask) ? -1.0 : 1.0;
+                const Complex &u = amps[s ^ xmask];
+                const double vr = sign * amps[s].real();
+                const double vi = sign * amps[s].imag();
+                re += u.real() * vr + u.imag() * vi;
+                im += u.real() * vi - u.imag() * vr;
+            }
+            return Complex(re, im);
+        });
     static const Complex phases[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
     return phases[pauli.phasePower()] * acc;
 }
@@ -354,12 +475,16 @@ StateVector::expectationZ(const std::vector<std::size_t> &support) const
         checkQubit(q);
         zmask |= std::size_t{1} << q;
     }
-    double acc = 0.0;
-    for (std::size_t s = 0; s < amps_.size(); ++s) {
-        int sign = __builtin_parityll(s & zmask) ? -1 : 1;
-        acc += sign * std::norm(amps_[s]);
-    }
-    return acc;
+    const Complex *amps = amps_.data();
+    return kernels::reduceChunked<double>(
+        amps_.size(), [&](std::size_t b, std::size_t e) {
+            double acc = 0.0;
+            for (std::size_t s = b; s < e; ++s) {
+                int sign = __builtin_parityll(s & zmask) ? -1 : 1;
+                acc += sign * std::norm(amps[s]);
+            }
+            return acc;
+        });
 }
 
 double
@@ -367,18 +492,33 @@ StateVector::fidelityWith(const StateVector &other) const
 {
     if (other.numQubits() != numQubits_)
         throw std::invalid_argument("StateVector: size mismatch");
-    Complex overlap{0.0, 0.0};
-    for (std::size_t idx = 0; idx < amps_.size(); ++idx)
-        overlap += std::conj(other.amps_[idx]) * amps_[idx];
+    const Complex *mine = amps_.data();
+    const Complex *theirs = other.amps_.data();
+    Complex overlap = kernels::reduceChunked<Complex>(
+        amps_.size(), [&](std::size_t b, std::size_t e) {
+            double re = 0.0, im = 0.0;
+            for (std::size_t idx = b; idx < e; ++idx) {
+                const Complex &u = theirs[idx];
+                const Complex &v = mine[idx];
+                re += u.real() * v.real() + u.imag() * v.imag();
+                im += u.real() * v.imag() - u.imag() * v.real();
+            }
+            return Complex(re, im);
+        });
     return std::norm(overlap);
 }
 
 double
 StateVector::norm() const
 {
-    double n2 = 0.0;
-    for (const Complex &a : amps_)
-        n2 += std::norm(a);
+    const Complex *amps = amps_.data();
+    double n2 = kernels::reduceChunked<double>(
+        amps_.size(), [&](std::size_t b, std::size_t e) {
+            double acc = 0.0;
+            for (std::size_t idx = b; idx < e; ++idx)
+                acc += std::norm(amps[idx]);
+            return acc;
+        });
     return std::sqrt(n2);
 }
 
@@ -388,8 +528,12 @@ StateVector::normalize()
     double n = norm();
     if (n < 1e-300)
         throw std::logic_error("StateVector::normalize: zero state");
-    for (Complex &a : amps_)
-        a /= n;
+    Complex *amps = amps_.data();
+    kernels::forEachRange(
+        amps_.size(), amps_.size(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t idx = b; idx < e; ++idx)
+                amps[idx] /= n;
+        });
 }
 
 stats::Distribution

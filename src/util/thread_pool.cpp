@@ -27,7 +27,28 @@ recordBatch(std::size_t n, std::size_t workers)
         .set(static_cast<std::int64_t>(workers));
 }
 
+/**
+ * Set while a thread drains indices from a batch; the RAII form keeps
+ * the flag correct even when a task throws, and restores rather than
+ * clears so a worker of an outer pool stays marked after an inner
+ * serial fallback returns.
+ */
+thread_local bool tInPoolTask = false;
+
+struct PoolTaskScope
+{
+    bool saved;
+    PoolTaskScope() : saved(tInPoolTask) { tInPoolTask = true; }
+    ~PoolTaskScope() { tInPoolTask = saved; }
+};
+
 } // namespace
+
+bool
+inPoolTask()
+{
+    return tInPoolTask;
+}
 
 std::uint64_t
 deriveTaskSeed(std::uint64_t base, std::uint64_t task)
@@ -68,6 +89,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::runIndices()
 {
+    PoolTaskScope inPool;
     for (;;) {
         if (stopCheck_ != nullptr && *stopCheck_ && (*stopCheck_)())
             return;

@@ -38,6 +38,16 @@ std::uint64_t deriveTaskSeed(std::uint64_t base, std::uint64_t task);
 std::size_t defaultJobs();
 
 /**
+ * True while the calling thread is executing a task handed out by any
+ * ThreadPool::parallelFor (including the caller thread, which
+ * participates in its own batches). Nested parallel layers consult
+ * this to stay serial instead of oversubscribing: a grid cell already
+ * running on a pool worker must not fan its gate kernels out to a
+ * second pool.
+ */
+bool inPoolTask();
+
+/**
  * A fixed-size worker pool executing index-space loops.
  *
  * The pool owns `threads` workers; the caller of parallelFor()
