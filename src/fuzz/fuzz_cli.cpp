@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "fuzz/harness.hpp"
+#include "fuzz/protocol_fuzz.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "report/history.hpp"
@@ -29,7 +30,9 @@ constexpr const char *kUsage =
     "  --no-shrink     keep failing circuits unminimised\n"
     "  --out DIR       write repro .qasm + regression-test artifacts\n"
     "  --history FILE  append the run to a run-history store\n"
-    "  --metrics       enable the fuzz.* metrics registry counters\n";
+    "  --metrics       enable the fuzz.* metrics registry counters\n"
+    "  --protocol      fuzz the smq-serve-v1 wire protocol instead of\n"
+    "                  circuits (uses --seed / --cases only)\n";
 
 /** Strict full-token unsigned parse (see report::sentinel_cli). */
 std::optional<std::uint64_t>
@@ -65,6 +68,7 @@ fuzzMain(const std::vector<std::string> &args, std::ostream &out,
     options.jobs = 2;
     std::string history;
     bool metrics = false;
+    bool protocol = false;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -87,6 +91,10 @@ fuzzMain(const std::vector<std::string> &args, std::ostream &out,
         }
         if (arg == "--metrics") {
             metrics = true;
+            continue;
+        }
+        if (arg == "--protocol") {
+            protocol = true;
             continue;
         }
         // every remaining flag takes a value
@@ -138,6 +146,15 @@ fuzzMain(const std::vector<std::string> &args, std::ostream &out,
 
     if (metrics)
         obs::setMetricsEnabled(true);
+
+    if (protocol) {
+        ProtocolFuzzOptions protocol_options;
+        protocol_options.seed = options.seed;
+        protocol_options.cases = options.cases;
+        ProtocolFuzzReport report = runProtocolFuzz(protocol_options);
+        out << report.render();
+        return report.clean() ? kFuzzOk : kFuzzDiscrepancy;
+    }
 
     FuzzReport report = runFuzz(options);
     out << report.render();

@@ -27,7 +27,7 @@ inline constexpr int kFuzzUsage = 2;
  * Run the fuzz CLI. Flags:
  *   --seed N --cases N --jobs N --clifford --min-qubits N
  *   --max-qubits N --max-gates N --no-mcm --no-shrink --out DIR
- *   --history FILE --metrics
+ *   --history FILE --metrics --protocol
  */
 int fuzzMain(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);

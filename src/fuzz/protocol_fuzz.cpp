@@ -1,0 +1,229 @@
+#include "fuzz/protocol_fuzz.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "stats/rng.hpp"
+
+namespace smq::fuzz {
+
+namespace {
+
+/** Benchmarks the generator draws from: valid, tiny, and bogus. */
+const char *const kBenchmarkPool[] = {
+    "ghz_2",          "ghz_3",        "mermin_bell_2", "bit_code_3d1r",
+    "hamiltonian_sim_2q1s", "ghz_0",  "ghz_999999",    "qaoa_vanilla_99",
+    "not_a_benchmark", "",
+};
+
+/** Devices: mostly bogus so most valid-shaped submits stay cheap. */
+const char *const kDevicePool[] = {
+    "AQT", "no_such_device", "ibmq_belem", "",
+};
+
+const char *const kTypePool[] = {
+    "submit", "status", "result", "cancel", "stats",
+    "bogus",  "SUBMIT", "",
+};
+
+/** A structurally valid request with randomised (often bad) fields. */
+std::string
+generateStructured(stats::Rng &rng)
+{
+    std::ostringstream out;
+    const char *type = kTypePool[rng.index(std::size(kTypePool))];
+    out << "{\"type\":\"" << type << "\"";
+    if (rng.bernoulli(0.7)) {
+        out << ",\"benchmark\":\""
+            << kBenchmarkPool[rng.index(std::size(kBenchmarkPool))]
+            << "\"";
+    }
+    if (rng.bernoulli(0.7)) {
+        out << ",\"device\":\""
+            << kDevicePool[rng.index(std::size(kDevicePool))] << "\"";
+    }
+    if (rng.bernoulli(0.5))
+        out << ",\"id\":\"job-" << rng.index(20) << "\"";
+    if (rng.bernoulli(0.4)) {
+        // Shots from benign through out-of-range to wrongly typed.
+        switch (rng.index(4)) {
+          case 0: out << ",\"shots\":" << (1 + rng.index(50)); break;
+          case 1: out << ",\"shots\":0"; break;
+          case 2: out << ",\"shots\":-7"; break;
+          default: out << ",\"shots\":\"many\""; break;
+        }
+    }
+    if (rng.bernoulli(0.3))
+        out << ",\"repetitions\":" << rng.index(5);
+    if (rng.bernoulli(0.3))
+        out << ",\"seed\":99999999999999999999999999"; // overflows u64
+    if (rng.bernoulli(0.2))
+        out << ",\"faults\":" << (rng.bernoulli(0.5) ? "true" : "17");
+    out << "}";
+    return out.str();
+}
+
+/** Pure byte noise (printable-ish, embedded quotes and braces). */
+std::string
+generateNoise(stats::Rng &rng)
+{
+    static const char alphabet[] =
+        "{}[]\",:truefalsenull0123456789.-+eE \\/x";
+    std::string out;
+    const std::size_t length = 1 + rng.index(60);
+    for (std::size_t i = 0; i < length; ++i)
+        out += alphabet[rng.index(sizeof(alphabet) - 1)];
+    return out;
+}
+
+/** One corpus line: structured, mutated-structured, or noise. */
+std::string
+generateLine(stats::Rng &rng, std::string &previous)
+{
+    std::string line;
+    switch (rng.index(6)) {
+      case 0:
+      case 1:
+      case 2:
+          line = generateStructured(rng);
+          break;
+      case 3: // truncation: valid shape cut mid-token
+          line = generateStructured(rng);
+          line.resize(rng.index(line.size()) + 1);
+          break;
+      case 4: // duplication: replay the previous line verbatim
+          line = previous.empty() ? generateStructured(rng) : previous;
+          break;
+      default:
+          line = generateNoise(rng);
+          break;
+    }
+    previous = line;
+    return line;
+}
+
+/**
+ * Check one reply against the wire invariants; empty string = pass,
+ * otherwise the reason it violates the protocol.
+ */
+std::string
+checkReply(const std::string &reply, bool *ok_out)
+{
+    obs::JsonValue root;
+    try {
+        root = obs::parseJson(reply);
+    } catch (const std::exception &e) {
+        return std::string("reply is not valid JSON: ") + e.what();
+    }
+    if (root.kind != obs::JsonValue::Kind::Object)
+        return "reply is not a JSON object";
+    const obs::JsonValue *ok = root.find("ok");
+    if (ok == nullptr || ok->kind != obs::JsonValue::Kind::Bool)
+        return "reply lacks a boolean ok field";
+    *ok_out = ok->boolean;
+    if (ok->boolean)
+        return "";
+    const obs::JsonValue *code = root.find("error");
+    if (code == nullptr || code->kind != obs::JsonValue::Kind::String)
+        return "ok:false reply lacks a string error field";
+    for (serve::ErrorCode known : serve::kAllErrorCodes) {
+        if (code->text == serve::toString(known)) {
+            const obs::JsonValue *message = root.find("message");
+            if (message == nullptr ||
+                message->kind != obs::JsonValue::Kind::String)
+                return "ok:false reply lacks a string message field";
+            return "";
+        }
+    }
+    return "error code outside the documented vocabulary: " +
+           code->text;
+}
+
+} // namespace
+
+std::string
+ProtocolFuzzReport::render() const
+{
+    std::ostringstream out;
+    out << "protocol fuzz: " << casesRun << " case(s), " << okReplies
+        << " ok, " << errorReplies << " well-formed error(s), "
+        << failures.size() << " violation(s)\n";
+    for (const std::string &failure : failures)
+        out << "  " << failure << "\n";
+    return out.str();
+}
+
+ProtocolFuzzReport
+runProtocolFuzz(const ProtocolFuzzOptions &options)
+{
+    // Manual mode: no worker threads, tiny queue (exercises
+    // queue_full), tiny cache. Queued work is drained with step() so
+    // the corpus also covers the cached/running/done states.
+    serve::ServerOptions server_options;
+    server_options.autoStart = false;
+    server_options.queueLimit = 4;
+    server_options.cacheBytes = std::size_t(1) << 16;
+    serve::Server server(server_options);
+
+    stats::Rng rng(options.seed);
+    ProtocolFuzzReport report;
+    std::string previous;
+
+    auto record = [&report](std::size_t case_index,
+                            const std::string &line,
+                            const std::string &reply,
+                            const std::string &why) {
+        std::ostringstream failure;
+        failure << "case " << case_index << ": " << line << " -> "
+                << reply << ": " << why;
+        report.failures.push_back(failure.str());
+    };
+
+    for (std::size_t i = 0; i < options.cases; ++i) {
+        const std::string line = generateLine(rng, previous);
+        const std::string reply = server.handle(line);
+        ++report.casesRun;
+
+        bool ok = false;
+        const std::string why = checkReply(reply, &ok);
+        if (!why.empty())
+            record(i, line, reply, why);
+        else if (ok)
+            ++report.okReplies;
+        else
+            ++report.errorReplies;
+
+        // Keep the queue moving and the daemon honest: execute one
+        // queued job now and then, and probe stats for liveness.
+        if (rng.bernoulli(0.3))
+            server.step();
+        if (i % 16 == 15) {
+            const std::string stats_reply =
+                server.handle("{\"type\":\"stats\"}");
+            bool stats_ok = false;
+            const std::string stats_why =
+                checkReply(stats_reply, &stats_ok);
+            if (!stats_why.empty() || !stats_ok)
+                record(i, "{\"type\":\"stats\"}", stats_reply,
+                       stats_why.empty() ? "stats probe replied ok:false"
+                                         : stats_why);
+        }
+    }
+
+    // The closing handshake must also be well-formed.
+    const std::string shutdown_reply =
+        server.handle("{\"type\":\"shutdown\"}");
+    bool shutdown_ok = false;
+    const std::string shutdown_why =
+        checkReply(shutdown_reply, &shutdown_ok);
+    if (!shutdown_why.empty() || !shutdown_ok)
+        record(options.cases, "{\"type\":\"shutdown\"}", shutdown_reply,
+               shutdown_why.empty() ? "shutdown replied ok:false"
+                                    : shutdown_why);
+    return report;
+}
+
+} // namespace smq::fuzz

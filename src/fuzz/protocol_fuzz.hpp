@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Wire-protocol fuzz oracle for the serve daemon (`smq_fuzz
+ * --protocol`).
+ *
+ * The circuit oracles answer "do the simulators agree"; this one
+ * answers "does the daemon survive hostile input". A seeded corpus of
+ * request lines — valid submits, near-valid submits with out-of-range
+ * or wrongly-typed fields, truncated JSON, duplicated lines, byte
+ * noise — is pushed through Server::handle(), and every reply must
+ * uphold the smq-serve-v1 invariants:
+ *
+ *   1. exactly one reply line per request line, parseable as JSON;
+ *   2. the reply is an object with a boolean `ok` field;
+ *   3. `ok:false` replies carry an `error` from the closed error-code
+ *      vocabulary (docs/PROTOCOL.md) and a string `message`;
+ *   4. the daemon stays serviceable: a `stats` probe interleaved
+ *      through the corpus always answers `ok:true`.
+ *
+ * Deterministic: the corpus and the report depend only on the seed,
+ * so a failing seed is a complete repro.
+ */
+
+#ifndef SMQ_FUZZ_PROTOCOL_FUZZ_HPP
+#define SMQ_FUZZ_PROTOCOL_FUZZ_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smq::fuzz {
+
+struct ProtocolFuzzOptions
+{
+    std::uint64_t seed = 1;
+    std::size_t cases = 200; ///< request lines pushed at the server
+};
+
+struct ProtocolFuzzReport
+{
+    std::size_t casesRun = 0;
+    std::size_t okReplies = 0;    ///< replies with ok:true
+    std::size_t errorReplies = 0; ///< well-formed ok:false replies
+    /** Invariant violations: "case N: <line> -> <reply>: <why>". */
+    std::vector<std::string> failures;
+
+    bool clean() const { return failures.empty(); }
+
+    /** Deterministic human-readable summary. */
+    std::string render() const;
+};
+
+/** Run the protocol oracle against a fresh in-process Server. */
+ProtocolFuzzReport runProtocolFuzz(const ProtocolFuzzOptions &options);
+
+} // namespace smq::fuzz
+
+#endif // SMQ_FUZZ_PROTOCOL_FUZZ_HPP

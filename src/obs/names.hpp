@@ -91,8 +91,22 @@ inline constexpr const char *kFuzzOracleSkips = "fuzz.oracle.skips";
 inline constexpr const char *kFuzzOracleFailures = "fuzz.oracle.failures";
 inline constexpr const char *kFuzzShrinkRounds = "fuzz.shrink.rounds";
 
+// --- counters: benchmark-as-a-service daemon (src/serve/) ------------
+inline constexpr const char *kServeRequests = "serve.requests";
+inline constexpr const char *kServeRequestsMalformed =
+    "serve.requests.malformed";
+inline constexpr const char *kServeJobsSubmitted = "serve.jobs.submitted";
+inline constexpr const char *kServeJobsCompleted = "serve.jobs.completed";
+inline constexpr const char *kServeJobsCancelled = "serve.jobs.cancelled";
+inline constexpr const char *kServeQueueRejected = "serve.queue.rejected";
+inline constexpr const char *kServeCacheHit = "serve.cache.hit";
+inline constexpr const char *kServeCacheMiss = "serve.cache.miss";
+inline constexpr const char *kServeCacheEvict = "serve.cache.evictions";
+
 // --- gauges ----------------------------------------------------------
 inline constexpr const char *kPoolWorkers = "pool.workers";
+inline constexpr const char *kServeWorkers = "serve.workers";
+inline constexpr const char *kServeQueueLimit = "serve.queue.limit";
 
 // --- span (stage) names ----------------------------------------------
 // Each span name S additionally feeds the histogram `stage.S.ns` when
@@ -101,6 +115,7 @@ inline constexpr const char *kSpanPrepare = "prepare";
 inline constexpr const char *kSpanRepetition = "repetition";
 inline constexpr const char *kSpanJob = "job";
 inline constexpr const char *kSpanGrid = "grid";
+inline constexpr const char *kSpanServeJob = "serve.job";
 
 /** Prefix joining a span name to its duration histogram. */
 inline constexpr const char *kStageHistogramPrefix = "stage.";

@@ -1,0 +1,131 @@
+#include "serve/cache.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "qc/qasm.hpp"
+#include "util/seed.hpp"
+
+namespace smq::serve {
+
+namespace {
+
+/** Per-entry bookkeeping overhead charged against the byte budget. */
+constexpr std::size_t kEntryOverheadBytes = 64;
+
+std::string
+hex16(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+CacheKey
+deriveCacheKey(const SubmitSpec &spec, const core::Benchmark &benchmark,
+               const device::Device &device)
+{
+    // Hash the circuit *content*, not the benchmark name: the QASM
+    // text pins gate streams and parameter values, so a factory change
+    // that altered circuits would miss instead of serving stale data.
+    std::uint64_t circuits_hash = 0x736d712d73657276; // "smq-serv"
+    for (const qc::Circuit &circuit : benchmark.circuits()) {
+        circuits_hash =
+            util::labelSeed(circuits_hash, qc::toQasm(circuit), "");
+    }
+
+    CacheKey key;
+    std::ostringstream text;
+    text << "circuits=" << hex16(circuits_hash)
+         << ";device=" << device.name
+         << ";devtable=" << device::kDeviceTableVersion
+         << ";shots=" << spec.shots
+         << ";repetitions=" << spec.repetitions << ";seed=" << spec.seed
+         << ";faults=" << (spec.faults ? 1 : 0)
+         << ";fault_seed=" << spec.faultSeed;
+    key.text = text.str();
+    key.hex = hex16(util::labelSeed(0, key.text, ""));
+    return key;
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string &key)
+{
+    static obs::Counter &hit_counter =
+        obs::counter(obs::names::kServeCacheHit);
+    static obs::Counter &miss_counter =
+        obs::counter(obs::names::kServeCacheMiss);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        miss_counter.add();
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lruPosition);
+    ++hits_;
+    hit_counter.add();
+    return it->second.payload;
+}
+
+void
+ResultCache::insert(const std::string &key, std::string payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t incoming =
+        payload.size() + key.size() + kEntryOverheadBytes;
+    if (incoming > budget_)
+        return; // larger than the whole cache: not storable
+
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        bytes_ -= it->second.payload.size() + key.size() +
+                  kEntryOverheadBytes;
+        lru_.erase(it->second.lruPosition);
+        entries_.erase(it);
+    }
+    evictToFitLocked(incoming);
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(payload), lru_.begin()});
+    bytes_ += incoming;
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats stats;
+    stats.entries = entries_.size();
+    stats.bytes = bytes_;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    return stats;
+}
+
+void
+ResultCache::evictToFitLocked(std::size_t incoming_bytes)
+{
+    static obs::Counter &evict_counter =
+        obs::counter(obs::names::kServeCacheEvict);
+    while (!lru_.empty() && bytes_ + incoming_bytes > budget_) {
+        const std::string &victim = lru_.back();
+        auto it = entries_.find(victim);
+        bytes_ -= it->second.payload.size() + victim.size() +
+                  kEntryOverheadBytes;
+        entries_.erase(it);
+        lru_.pop_back();
+        ++evictions_;
+        evict_counter.add();
+    }
+}
+
+} // namespace smq::serve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The content-addressed result cache of the serve daemon.
+ *
+ * A benchmark result is a pure function of (circuits, device noise
+ * model, shots, seed, repetitions, fault schedule) — the determinism
+ * the whole harness is built on. The cache exploits that: the key is
+ * derived from exactly those inputs (docs/PROTOCOL.md documents the
+ * derivation normatively), so a repeated `submit` from any client is
+ * served byte-identically without touching the simulator, and two
+ * requests that differ in any result-relevant field can never alias.
+ *
+ * Eviction is LRU under a byte budget (`--cache-mb`): each entry
+ * costs its payload size plus key overhead, and inserting past the
+ * budget evicts least-recently-used entries first. A payload larger
+ * than the whole budget is simply not cached. Thread-safe: daemon
+ * workers insert concurrently with transport-thread lookups.
+ */
+
+#ifndef SMQ_SERVE_CACHE_HPP
+#define SMQ_SERVE_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/benchmark.hpp"
+#include "device/device.hpp"
+#include "serve/protocol.hpp"
+
+namespace smq::serve {
+
+/** A derived cache identity: the canonical key text and its address. */
+struct CacheKey
+{
+    /**
+     * Canonical key text, e.g.
+     * "circuits=<16-hex>;device=AQT;devtable=smq-devices-v1;
+     *  shots=2000;repetitions=3;seed=12345;faults=0;fault_seed=0".
+     * Human-auditable; returned to clients for cache debugging.
+     */
+    std::string text;
+    /** 16-hex-digit address: labelSeed over the key text. */
+    std::string hex;
+};
+
+/**
+ * Derive the cache key of one submit spec. @p benchmark must be the
+ * instance the spec names; its circuits' OpenQASM text is hashed, so
+ * the key survives daemon restarts and identifies the circuit content
+ * (not the name — two names producing identical circuits share an
+ * entry; a regenerated instance with different parameters cannot).
+ */
+CacheKey deriveCacheKey(const SubmitSpec &spec,
+                        const core::Benchmark &benchmark,
+                        const device::Device &device);
+
+/** Point-in-time cache statistics (for `stats` replies and tests). */
+struct CacheStats
+{
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** LRU byte-budget result cache, keyed by CacheKey::hex. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(std::size_t budget_bytes)
+        : budget_(budget_bytes)
+    {
+    }
+
+    /**
+     * Fetch the payload cached under @p key, refreshing its LRU
+     * position. Counts a hit or miss (both locally and on the
+     * `serve.cache.*` counters).
+     */
+    std::optional<std::string> lookup(const std::string &key);
+
+    /**
+     * Insert @p payload under @p key, evicting LRU entries until the
+     * budget holds. Re-inserting an existing key refreshes the
+     * payload. A payload that alone exceeds the budget is ignored.
+     */
+    void insert(const std::string &key, std::string payload);
+
+    CacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string payload;
+        std::list<std::string>::iterator lruPosition;
+    };
+
+    void evictToFitLocked(std::size_t incoming_bytes);
+
+    mutable std::mutex mutex_;
+    std::size_t budget_;
+    std::size_t bytes_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::list<std::string> lru_; ///< front = most recently used
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace smq::serve
+
+#endif // SMQ_SERVE_CACHE_HPP

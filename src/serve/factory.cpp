@@ -1,0 +1,214 @@
+#include "serve/factory.hpp"
+
+#include <cctype>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "core/benchmarks/error_correction.hpp"
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/hamiltonian_simulation.hpp"
+#include "core/benchmarks/mermin_bell.hpp"
+#include "core/benchmarks/qaoa.hpp"
+#include "core/benchmarks/vqe.hpp"
+
+namespace smq::serve {
+
+namespace {
+
+// Size ceilings keep a *request* from becoming a resource attack at
+// construction time. Non-variational circuits are cheap to build at
+// any size (the harness itself reports oversized registers as
+// TooLarge), but the variational benchmarks run their classical
+// optimiser against a noiseless statevector when constructed, so
+// their width must stay in the exactly-simulable regime.
+constexpr std::size_t kMaxStructuralQubits = 1000;
+constexpr std::size_t kMaxVariationalQubits = 12;
+constexpr std::size_t kMaxRounds = 100;
+constexpr std::size_t kMaxLevels = 8;
+
+/** Cursor over the size suffix of a benchmark name. */
+class NameCursor
+{
+  public:
+    explicit NameCursor(std::string_view text) : text_(text) {}
+
+    /** Consume a decimal run (no sign, no leading-zero tolerance). */
+    std::optional<std::size_t> number()
+    {
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return std::nullopt;
+        std::size_t value = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            if (value > 1000000)
+                return std::nullopt; // absurd sizes fail fast
+            value = value * 10 +
+                    static_cast<std::size_t>(text_[pos_] - '0');
+            ++pos_;
+        }
+        return value;
+    }
+
+    /** Consume @p literal exactly. */
+    bool literal(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal)
+            return false;
+        pos_ += literal.size();
+        return true;
+    }
+
+    bool done() const { return pos_ == text_.size(); }
+
+  private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+core::BenchmarkPtr
+parseSized(std::string_view suffix, std::size_t max_qubits,
+           core::BenchmarkPtr (*build)(std::size_t))
+{
+    NameCursor cursor(suffix);
+    std::optional<std::size_t> n = cursor.number();
+    if (!n || !cursor.done() || *n < 2 || *n > max_qubits)
+        return nullptr;
+    return build(*n);
+}
+
+core::BenchmarkPtr
+parseCode(std::string_view suffix, bool phase)
+{
+    NameCursor cursor(suffix);
+    std::optional<std::size_t> data = cursor.number();
+    if (!data || !cursor.literal("d"))
+        return nullptr;
+    std::optional<std::size_t> rounds = cursor.number();
+    if (!rounds || !cursor.literal("r") || !cursor.done())
+        return nullptr;
+    if (*data < 2 || *data > kMaxStructuralQubits || *rounds < 1 ||
+        *rounds > kMaxRounds)
+        return nullptr;
+    if (phase)
+        return std::make_unique<core::PhaseCodeBenchmark>(
+            core::PhaseCodeBenchmark::alternating(*data, *rounds));
+    return std::make_unique<core::BitCodeBenchmark>(
+        core::BitCodeBenchmark::alternating(*data, *rounds));
+}
+
+core::BenchmarkPtr
+parseQaoa(std::string_view suffix, bool zzswap)
+{
+    NameCursor cursor(suffix);
+    std::optional<std::size_t> n = cursor.number();
+    if (!n || *n < 3 || *n > kMaxVariationalQubits)
+        return nullptr;
+    std::size_t levels = 1;
+    if (!cursor.done()) {
+        if (!cursor.literal("_p"))
+            return nullptr;
+        std::optional<std::size_t> p = cursor.number();
+        if (!p || !cursor.done() || *p < 2 || *p > kMaxLevels)
+            return nullptr;
+        levels = *p;
+    }
+    if (zzswap)
+        return std::make_unique<core::QaoaSwapBenchmark>(*n, 1, true,
+                                                         levels);
+    return std::make_unique<core::QaoaVanillaBenchmark>(*n, 1, true,
+                                                        levels);
+}
+
+core::BenchmarkPtr
+parseHamiltonian(std::string_view suffix)
+{
+    NameCursor cursor(suffix);
+    std::optional<std::size_t> n = cursor.number();
+    if (!n || !cursor.literal("q"))
+        return nullptr;
+    std::optional<std::size_t> steps = cursor.number();
+    if (!steps || !cursor.literal("s") || !cursor.done())
+        return nullptr;
+    if (*n < 2 || *n > kMaxStructuralQubits || *steps < 1 ||
+        *steps > kMaxRounds)
+        return nullptr;
+    return std::make_unique<core::HamiltonianSimulationBenchmark>(*n,
+                                                                  *steps);
+}
+
+core::BenchmarkPtr
+dispatch(std::string_view name)
+{
+    constexpr std::string_view kGhz = "ghz_";
+    constexpr std::string_view kMermin = "mermin_bell_";
+    constexpr std::string_view kBitCode = "bit_code_";
+    constexpr std::string_view kPhaseCode = "phase_code_";
+    constexpr std::string_view kQaoaVanilla = "qaoa_vanilla_";
+    constexpr std::string_view kQaoaSwap = "qaoa_zzswap_";
+    constexpr std::string_view kVqe = "vqe_";
+    constexpr std::string_view kHamiltonian = "hamiltonian_sim_";
+
+    if (name.rfind(kGhz, 0) == 0)
+        return parseSized(name.substr(kGhz.size()), kMaxStructuralQubits,
+                          [](std::size_t n) -> core::BenchmarkPtr {
+                              return std::make_unique<core::GhzBenchmark>(
+                                  n);
+                          });
+    if (name.rfind(kMermin, 0) == 0)
+        return parseSized(
+            name.substr(kMermin.size()), kMaxVariationalQubits,
+            [](std::size_t n) -> core::BenchmarkPtr {
+                if (n < 3)
+                    return nullptr;
+                return std::make_unique<core::MerminBellBenchmark>(n);
+            });
+    if (name.rfind(kBitCode, 0) == 0)
+        return parseCode(name.substr(kBitCode.size()), false);
+    if (name.rfind(kPhaseCode, 0) == 0)
+        return parseCode(name.substr(kPhaseCode.size()), true);
+    if (name.rfind(kQaoaVanilla, 0) == 0)
+        return parseQaoa(name.substr(kQaoaVanilla.size()), false);
+    if (name.rfind(kQaoaSwap, 0) == 0)
+        return parseQaoa(name.substr(kQaoaSwap.size()), true);
+    if (name.rfind(kVqe, 0) == 0)
+        return parseSized(name.substr(kVqe.size()), kMaxVariationalQubits,
+                          [](std::size_t n) -> core::BenchmarkPtr {
+                              return std::make_unique<core::VqeBenchmark>(
+                                  n, 1);
+                          });
+    if (name.rfind(kHamiltonian, 0) == 0)
+        return parseHamiltonian(name.substr(kHamiltonian.size()));
+    return nullptr;
+}
+
+} // namespace
+
+core::BenchmarkPtr
+makeBenchmark(std::string_view name)
+{
+    try {
+        core::BenchmarkPtr benchmark = dispatch(name);
+        // The grammar must invert name() exactly; a mismatch means the
+        // request named an instance this build cannot reproduce.
+        if (benchmark && benchmark->name() != name)
+            return nullptr;
+        return benchmark;
+    } catch (const std::exception &) {
+        return nullptr; // constructor rejected the size
+    }
+}
+
+const device::Device *
+findDevice(std::string_view name,
+           const std::vector<device::Device> &devices)
+{
+    for (const device::Device &device : devices) {
+        if (device.name == name)
+            return &device;
+    }
+    return nullptr;
+}
+
+} // namespace smq::serve

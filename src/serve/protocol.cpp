@@ -1,0 +1,193 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace smq::serve {
+
+namespace {
+
+/**
+ * Strict u64 field read: the JSON number must be a plain non-negative
+ * integer literal in range. obs::JsonValue::asU64 alone would let
+ * "-5" wrap and "1.5" partial-parse, so out-of-domain values would
+ * silently become huge shot counts instead of bad_field replies.
+ */
+std::optional<std::uint64_t>
+readU64(const obs::JsonValue &value)
+{
+    if (value.kind != obs::JsonValue::Kind::Number)
+        return std::nullopt;
+    const std::string &text = value.text;
+    if (text.empty())
+        return std::nullopt;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return std::nullopt;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+ParsedRequest
+fail(ErrorCode code, std::string message)
+{
+    ParsedRequest outcome;
+    outcome.error = code;
+    outcome.message = std::move(message);
+    return outcome;
+}
+
+/** Read an optional bounded u64 field into @p target. */
+bool
+takeU64(const obs::JsonValue &object, const char *name,
+        std::uint64_t minimum, std::uint64_t maximum,
+        std::uint64_t &target, ParsedRequest &error)
+{
+    const obs::JsonValue *field = object.find(name);
+    if (field == nullptr)
+        return true;
+    std::optional<std::uint64_t> value = readU64(*field);
+    if (!value || *value < minimum || *value > maximum) {
+        std::ostringstream message;
+        message << name << " must be an integer in [" << minimum << ", "
+                << maximum << "]";
+        error = fail(ErrorCode::BadField, message.str());
+        return false;
+    }
+    target = *value;
+    return true;
+}
+
+/** Read an optional bool field into @p target. */
+bool
+takeBool(const obs::JsonValue &object, const char *name, bool &target,
+         ParsedRequest &error)
+{
+    const obs::JsonValue *field = object.find(name);
+    if (field == nullptr)
+        return true;
+    if (field->kind != obs::JsonValue::Kind::Bool) {
+        error = fail(ErrorCode::BadField,
+                     std::string(name) + " must be a boolean");
+        return false;
+    }
+    target = field->boolean;
+    return true;
+}
+
+} // namespace
+
+std::optional<RequestType>
+requestTypeFromString(std::string_view text)
+{
+    for (RequestType type : kAllRequestTypes) {
+        if (text == toString(type))
+            return type;
+    }
+    return std::nullopt;
+}
+
+ParsedRequest
+parseRequest(const std::string &line)
+{
+    obs::JsonValue root;
+    try {
+        root = obs::parseJson(line);
+    } catch (const std::exception &e) {
+        return fail(ErrorCode::BadRequest,
+                    std::string("malformed JSON: ") + e.what());
+    }
+    if (root.kind != obs::JsonValue::Kind::Object)
+        return fail(ErrorCode::BadRequest, "request must be a JSON object");
+
+    const obs::JsonValue *type_field = root.find("type");
+    if (type_field == nullptr)
+        return fail(ErrorCode::BadRequest, "missing required field: type");
+    if (type_field->kind != obs::JsonValue::Kind::String)
+        return fail(ErrorCode::BadRequest, "type must be a string");
+    std::optional<RequestType> type =
+        requestTypeFromString(type_field->text);
+    if (!type)
+        return fail(ErrorCode::UnknownType,
+                    "unknown request type: " + type_field->text);
+
+    Request request;
+    request.type = *type;
+
+    switch (*type) {
+      case RequestType::Status:
+      case RequestType::Result:
+      case RequestType::Cancel: {
+          const obs::JsonValue *id = root.find("id");
+          if (id == nullptr)
+              return fail(ErrorCode::BadRequest,
+                          "missing required field: id");
+          if (id->kind != obs::JsonValue::Kind::String || id->text.empty())
+              return fail(ErrorCode::BadField,
+                          "id must be a non-empty string");
+          request.id = id->text;
+          break;
+      }
+      case RequestType::Submit: {
+          const obs::JsonValue *benchmark = root.find("benchmark");
+          if (benchmark == nullptr)
+              return fail(ErrorCode::BadRequest,
+                          "missing required field: benchmark");
+          if (benchmark->kind != obs::JsonValue::Kind::String ||
+              benchmark->text.empty())
+              return fail(ErrorCode::BadField,
+                          "benchmark must be a non-empty string");
+          const obs::JsonValue *device = root.find("device");
+          if (device == nullptr)
+              return fail(ErrorCode::BadRequest,
+                          "missing required field: device");
+          if (device->kind != obs::JsonValue::Kind::String ||
+              device->text.empty())
+              return fail(ErrorCode::BadField,
+                          "device must be a non-empty string");
+          SubmitSpec &spec = request.submit;
+          spec.benchmark = benchmark->text;
+          spec.device = device->text;
+          ParsedRequest error;
+          if (!takeU64(root, "shots", 1, kMaxShots, spec.shots, error) ||
+              !takeU64(root, "repetitions", 1, kMaxRepetitions,
+                       spec.repetitions, error) ||
+              !takeU64(root, "seed", 0, UINT64_MAX, spec.seed, error) ||
+              !takeU64(root, "fault_seed", 0, UINT64_MAX, spec.faultSeed,
+                       error) ||
+              !takeBool(root, "faults", spec.faults, error) ||
+              !takeBool(root, "wait", spec.wait, error))
+              return error;
+          break;
+      }
+      case RequestType::Stats:
+      case RequestType::Shutdown:
+          break;
+    }
+
+    ParsedRequest outcome;
+    outcome.request = std::move(request);
+    outcome.error = ErrorCode::BadRequest;
+    return outcome;
+}
+
+std::string
+errorLine(ErrorCode code, const std::string &message)
+{
+    std::ostringstream out;
+    out << "{\"ok\":false,\"error\":\"" << toString(code)
+        << "\",\"message\":\"" << obs::escapeJson(message) << "\"}";
+    return out.str();
+}
+
+} // namespace smq::serve

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The `smq-serve-v1` wire protocol: line-delimited JSON requests and
+ * responses between benchmark clients and the smq_serve daemon.
+ *
+ * Every request is one JSON object on one line carrying a `type`
+ * field; every reply is exactly one JSON object on one line carrying
+ * an `ok` field. The full normative specification — field tables,
+ * error-code taxonomy, cache-key derivation, backpressure semantics —
+ * lives in docs/PROTOCOL.md, and the `ctest -L serve` doc-closure
+ * test diffs that document against the enums below, so a message
+ * type or error code cannot be added without documenting it (the
+ * same discipline obs/names.hpp applies to metric names).
+ *
+ * Parsing never throws and never brings the daemon down: malformed
+ * input becomes a structured error reply and the connection stays
+ * usable (the smq_fuzz protocol oracle feeds seeded garbage at this
+ * layer and asserts exactly that).
+ */
+
+#ifndef SMQ_SERVE_PROTOCOL_HPP
+#define SMQ_SERVE_PROTOCOL_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace smq::serve {
+
+/** Protocol identifier, echoed by `stats` replies. */
+inline constexpr const char *kProtocolVersion = "smq-serve-v1";
+
+/** Schema tag of the result payload object inside `result` replies. */
+inline constexpr const char *kResultSchema = "smq-serve-result-v1";
+
+/** Largest accepted `shots` value (rejected as bad_field above). */
+inline constexpr std::uint64_t kMaxShots = 100000000;
+
+/** Largest accepted `repetitions` value. */
+inline constexpr std::uint64_t kMaxRepetitions = 10000;
+
+/** The request vocabulary of smq-serve-v1. */
+enum class RequestType {
+    Submit,   ///< enqueue (or serve from cache) one benchmark job
+    Status,   ///< query a job's lifecycle state
+    Result,   ///< fetch a finished job's result payload
+    Cancel,   ///< cancel a queued or in-flight job
+    Stats,    ///< daemon-level queue/cache/counter snapshot
+    Shutdown, ///< initiate graceful drain and exit
+};
+
+/** Every request type, for doc-closure iteration. */
+inline constexpr std::array<RequestType, 6> kAllRequestTypes = {
+    RequestType::Submit, RequestType::Status, RequestType::Result,
+    RequestType::Cancel, RequestType::Stats,  RequestType::Shutdown,
+};
+
+constexpr const char *
+toString(RequestType type)
+{
+    switch (type) {
+      case RequestType::Submit: return "submit";
+      case RequestType::Status: return "status";
+      case RequestType::Result: return "result";
+      case RequestType::Cancel: return "cancel";
+      case RequestType::Stats: return "stats";
+      case RequestType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::optional<RequestType> requestTypeFromString(std::string_view text);
+
+/**
+ * The error-code taxonomy of `ok:false` replies. Codes classify the
+ * *request's* fate; a job that ran and failed is not an error at this
+ * layer — its result payload carries the RunStatus/FailureCause
+ * taxonomy of core/status.hpp instead (docs/PROTOCOL.md maps the two).
+ */
+enum class ErrorCode {
+    BadRequest,       ///< not a JSON object / missing required field
+    UnknownType,      ///< `type` is not in the smq-serve-v1 vocabulary
+    UnknownBenchmark, ///< benchmark name outside the factory grammar
+    UnknownDevice,    ///< device name not in the built-in table
+    BadField,         ///< field present but out of range / wrong kind
+    QueueFull,        ///< bounded queue at capacity (429-style; retry)
+    NotFound,         ///< no job with the given id
+    NotReady,         ///< result requested before the job finished
+    Cancelled,        ///< result requested of a cancelled job
+    ShuttingDown,     ///< submit refused: daemon is draining
+};
+
+/** Every error code, for doc-closure iteration. */
+inline constexpr std::array<ErrorCode, 10> kAllErrorCodes = {
+    ErrorCode::BadRequest, ErrorCode::UnknownType,
+    ErrorCode::UnknownBenchmark, ErrorCode::UnknownDevice,
+    ErrorCode::BadField, ErrorCode::QueueFull,
+    ErrorCode::NotFound, ErrorCode::NotReady,
+    ErrorCode::Cancelled, ErrorCode::ShuttingDown,
+};
+
+constexpr const char *
+toString(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::BadRequest: return "bad_request";
+      case ErrorCode::UnknownType: return "unknown_type";
+      case ErrorCode::UnknownBenchmark: return "unknown_benchmark";
+      case ErrorCode::UnknownDevice: return "unknown_device";
+      case ErrorCode::BadField: return "bad_field";
+      case ErrorCode::QueueFull: return "queue_full";
+      case ErrorCode::NotFound: return "not_found";
+      case ErrorCode::NotReady: return "not_ready";
+      case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::ShuttingDown: return "shutting_down";
+    }
+    return "?";
+}
+
+/** Lifecycle of one submitted job. */
+enum class JobState {
+    Queued,    ///< accepted, waiting for a worker
+    Running,   ///< a worker is executing it
+    Done,      ///< terminal: a result payload exists
+    Cancelled, ///< terminal: cancelled before a worker picked it up
+};
+
+/** Every job state, for doc-closure iteration. */
+inline constexpr std::array<JobState, 4> kAllJobStates = {
+    JobState::Queued, JobState::Running, JobState::Done,
+    JobState::Cancelled,
+};
+
+constexpr const char *
+toString(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+/** Validated payload of one `submit` request. */
+struct SubmitSpec
+{
+    std::string benchmark;          ///< canonical name, e.g. "ghz_4"
+    std::string device;             ///< device-table name, e.g. "AQT"
+    std::uint64_t shots = 2000;     ///< per circuit per repetition
+    std::uint64_t repetitions = 3;  ///< independent scoring runs
+    std::uint64_t seed = 12345;     ///< simulation stream seed
+    bool faults = false;            ///< inject the documented profile
+    std::uint64_t faultSeed = 0;    ///< fault-schedule seed
+    bool wait = false;              ///< block until terminal, inline result
+};
+
+/** One validated request. `id` is set for status/result/cancel. */
+struct Request
+{
+    RequestType type = RequestType::Stats;
+    std::string id;
+    SubmitSpec submit;
+};
+
+/** Outcome of parsing one request line. */
+struct ParsedRequest
+{
+    std::optional<Request> request; ///< set iff the line validated
+    ErrorCode error = ErrorCode::BadRequest;
+    std::string message;
+
+    bool ok() const { return request.has_value(); }
+};
+
+/**
+ * Parse + validate one request line. Never throws: malformed JSON,
+ * missing fields and out-of-range values all come back as a
+ * (code, message) pair ready for errorLine().
+ */
+ParsedRequest parseRequest(const std::string &line);
+
+/** Render the standard `ok:false` reply line (no trailing newline). */
+std::string errorLine(ErrorCode code, const std::string &message);
+
+} // namespace smq::serve
+
+#endif // SMQ_SERVE_PROTOCOL_HPP

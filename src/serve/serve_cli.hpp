@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The `smq_serve` command-line surface, packaged as a library
+ * function so tests can drive the daemon in-process (pipe mode over
+ * stringstreams) and assert exit codes without spawning binaries.
+ *
+ * Usage:
+ *
+ *     smq_serve --socket PATH [options]   serve a Unix-domain socket
+ *     smq_serve --pipe [options]          serve stdin/stdout (tests,
+ *                                         one-shot scripting)
+ *
+ * Options:
+ *     --workers N         concurrent job executors (default 2)
+ *     --queue-limit N     max queued jobs before queue_full (64)
+ *     --cache-mb N        result-cache byte budget in MiB (32)
+ *     --max-sim-qubits N  simulator width gate (22)
+ *     --manifest-dir DIR  write per-job and final run manifests here
+ *     --trace DIR         record spans; written on shutdown
+ *     --no-metrics        leave the metric registry disabled
+ *
+ * Exit codes (stable contract, documented in docs/OPERATIONS.md):
+ *     0   clean drain after a shutdown request or SIGINT/SIGTERM
+ *     75  EX_TEMPFAIL: another daemon is live on the socket
+ *     74  EX_IOERR: socket bind failure or manifest write failure
+ *     2   usage error
+ */
+
+#ifndef SMQ_SERVE_SERVE_CLI_HPP
+#define SMQ_SERVE_SERVE_CLI_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smq::serve {
+
+/** Exit codes of serveMain (matches the grid driver's contract). */
+enum ServeExit : int
+{
+    kServeOk = 0,
+    kServeUsage = 2,
+    kServeStorageError = 74, ///< EX_IOERR
+    kServeBusy = 75,         ///< EX_TEMPFAIL: socket already served
+};
+
+/**
+ * Run one daemon invocation. @p args excludes the program name; pipe
+ * mode reads requests from @p in and writes replies to @p out, one
+ * line each; diagnostics go to @p err.
+ */
+int serveMain(const std::vector<std::string> &args, std::istream &in,
+              std::ostream &out, std::ostream &err);
+
+/** Exit codes of submitMain. */
+enum SubmitExit : int
+{
+    kSubmitOk = 0,       ///< daemon replied ok:true; result printed
+    kSubmitRejected = 1, ///< daemon replied ok:false (error printed)
+    kSubmitUsage = 2,    ///< bad flags or daemon unreachable
+};
+
+/**
+ * The `smq_sentinel submit` client: build a `wait:true` submit
+ * request, send it over the daemon's Unix socket, and print the reply
+ * line to @p out.
+ *
+ *     submit --socket PATH --benchmark NAME --device NAME
+ *            [--shots N] [--repetitions N] [--seed N]
+ *            [--faults] [--fault-seed N] [--no-wait]
+ *
+ * @p args excludes the program name and the `submit` word itself.
+ */
+int submitMain(const std::vector<std::string> &args, std::ostream &out,
+               std::ostream &err);
+
+} // namespace smq::serve
+
+#endif // SMQ_SERVE_SERVE_CLI_HPP

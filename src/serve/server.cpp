@@ -1,0 +1,547 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <sstream>
+
+#include "core/harness.hpp"
+#include "jobs/scheduler.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "serve/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace.hpp"
+#include "util/stop.hpp"
+
+namespace smq::serve {
+
+namespace {
+
+/**
+ * The documented fault schedule applied when a submit sets
+ * `"faults":true` — the "bad day on the cloud queue" regime of
+ * examples/job_report (docs/PROTOCOL.md normatively lists these
+ * numbers; changing them changes cache keys only through the
+ * fault_seed field, so they must stay stable within a protocol
+ * version).
+ */
+jobs::FaultProfile
+serveFaultProfile()
+{
+    jobs::FaultProfile profile;
+    profile.pTransient = 0.20;
+    profile.pQueueTimeout = 0.10;
+    profile.pShotTruncation = 0.15;
+    profile.calibrationDrift = 0.08;
+    return profile;
+}
+
+/** Same inf/nan-guarded 17-digit float text as the journal/cache. */
+void
+writeNumber(std::ostream &out, double value)
+{
+    std::ostringstream text;
+    text.precision(17);
+    text << value;
+    std::string s = text.str();
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos)
+        s = "0";
+    out << s;
+}
+
+/** Render the smq-serve-result-v1 payload of one finished run. */
+std::string
+renderResult(const core::BenchmarkRun &run, const SubmitSpec &spec,
+             const CacheKey &key)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"" << kResultSchema << "\""
+        << ",\"benchmark\":\"" << obs::escapeJson(run.benchmark) << "\""
+        << ",\"device\":\"" << obs::escapeJson(run.device) << "\""
+        << ",\"cache_key\":\"" << key.hex << "\""
+        << ",\"shots\":" << spec.shots
+        << ",\"repetitions\":" << spec.repetitions
+        << ",\"seed\":" << spec.seed
+        << ",\"status\":\"" << core::toString(run.status) << "\""
+        << ",\"cause\":\"" << core::toString(run.cause) << "\""
+        << ",\"scores\":[";
+    for (std::size_t i = 0; i < run.scores.size(); ++i) {
+        if (i)
+            out << ",";
+        writeNumber(out, run.scores[i]);
+    }
+    out << "],\"mean\":";
+    writeNumber(out, run.summary.mean);
+    out << ",\"stddev\":";
+    writeNumber(out, run.summary.stddev);
+    out << ",\"error_bar_scale\":";
+    writeNumber(out, run.errorBarScale);
+    out << ",\"planned_repetitions\":" << run.plannedRepetitions
+        << ",\"attempts\":" << run.attempts
+        << ",\"physical_two_qubit_gates\":" << run.physicalTwoQubitGates
+        << ",\"swaps_inserted\":" << run.swapsInserted
+        << ",\"detail\":\"" << obs::escapeJson(run.detail) << "\"}";
+    return out.str();
+}
+
+} // namespace
+
+Server::Server(ServerOptions options, std::vector<device::Device> devices)
+    : options_(options), devices_(std::move(devices)),
+      cache_(options.cacheBytes)
+{
+    obs::gauge(obs::names::kServeWorkers)
+        .set(static_cast<std::int64_t>(options_.workers));
+    obs::gauge(obs::names::kServeQueueLimit)
+        .set(static_cast<std::int64_t>(options_.queueLimit));
+    if (options_.autoStart && options_.workers > 0)
+        startWorkers();
+}
+
+Server::~Server()
+{
+    requestShutdown();
+    drain();
+}
+
+void
+Server::startWorkers()
+{
+    // The caller of parallelFor participates, so a pool with
+    // workers-1 threads plus the scheduler thread yields exactly
+    // `workers` concurrent consumer loops.
+    pool_ = std::make_unique<util::ThreadPool>(options_.workers - 1);
+    workersRunning_ = true;
+    scheduler_ = std::thread([this] {
+        pool_->parallelFor(options_.workers,
+                           [this](std::size_t) { workerLoop(); });
+    });
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_.load(std::memory_order_relaxed) ||
+                       !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown and nothing left to claim
+            job = queue_.front();
+            queue_.pop_front();
+            if (job->cancelRequested.load()) {
+                job->state = JobState::Cancelled;
+                finishJobLocked(*job);
+                continue;
+            }
+            job->state = JobState::Running;
+        }
+        executeJob(*job);
+    }
+}
+
+bool
+Server::step()
+{
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        job = queue_.front();
+        queue_.pop_front();
+        if (job->cancelRequested.load()) {
+            job->state = JobState::Cancelled;
+            finishJobLocked(*job);
+            return true;
+        }
+        job->state = JobState::Running;
+    }
+    executeJob(*job);
+    return true;
+}
+
+void
+Server::executeJob(Job &job)
+{
+    static obs::Counter &completed =
+        obs::counter(obs::names::kServeJobsCompleted);
+
+    jobs::JobOptions options;
+    options.harness.shots = job.spec.shots;
+    options.harness.repetitions =
+        static_cast<std::size_t>(job.spec.repetitions);
+    options.harness.seed = job.spec.seed;
+    options.harness.jobs = 1; // concurrency comes from the worker pool
+    options.harness.maxSimQubits = options_.maxSimQubits;
+    options.stop = [this, &job] {
+        return job.cancelRequested.load(std::memory_order_relaxed) ||
+               stopping_.load(std::memory_order_relaxed) ||
+               util::stopRequested();
+    };
+
+    jobs::FaultInjector injector(job.spec.faultSeed);
+    if (job.spec.faults)
+        injector.setDefaultProfile(serveFaultProfile());
+
+    core::BenchmarkRun run;
+    try {
+        jobs::SweepContext ctx(options, injector);
+        SMQ_TRACE_SPAN(obs::names::kSpanServeJob);
+        run = jobs::runJob(*job.benchmark, *job.device, options, ctx);
+    } catch (const std::exception &e) {
+        run.benchmark = job.spec.benchmark;
+        run.device = job.spec.device;
+        run.status = core::RunStatus::Failed;
+        run.cause = core::FailureCause::Internal;
+        run.detail = e.what();
+    }
+
+    std::string payload = renderResult(run, job.spec, job.key);
+    const bool interrupted =
+        run.cause == core::FailureCause::Interrupted;
+    // Interrupted salvage depends on *when* the stop arrived — the one
+    // nondeterministic outcome — so it must never be served to a later
+    // identical request.
+    if (!interrupted)
+        cache_.insert(job.key.hex, payload);
+
+    if (!options_.manifestDir.empty()) {
+        obs::RunManifest manifest = core::makeRunManifest(
+            "smq_serve", options.harness);
+        manifest.extra["serve.job_id"] = job.id;
+        manifest.extra["serve.benchmark"] = job.spec.benchmark;
+        manifest.extra["serve.device"] = job.spec.device;
+        manifest.extra["serve.cache_key"] = job.key.hex;
+        manifest.extra["serve.status"] = core::toString(run.status);
+        const std::string path = options_.manifestDir + "/" + job.id +
+                                 "_manifest.json";
+        if (!manifest.writeFile(path)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (storageError_.empty())
+                storageError_ = "manifest write failed: " + path;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.payload = std::move(payload);
+        job.interrupted = interrupted;
+        job.state = JobState::Done;
+        finishJobLocked(job);
+    }
+    completed.add();
+}
+
+void
+Server::finishJobLocked(Job &job)
+{
+    static obs::Counter &cancelled =
+        obs::counter(obs::names::kServeJobsCancelled);
+    if (job.state == JobState::Cancelled)
+        cancelled.add();
+    terminalOrder_.push_back(job.id);
+    // Bound the daemon's memory: drop the oldest terminal records
+    // past the retention window (queued/running jobs are never here).
+    while (terminalOrder_.size() > options_.retainedJobs) {
+        jobs_.erase(terminalOrder_.front());
+        terminalOrder_.pop_front();
+    }
+    jobDone_.notify_all();
+}
+
+void
+Server::requestShutdown()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_.store(true, std::memory_order_relaxed);
+    // Queued jobs are cancelled, not run: drain means "finish what is
+    // in flight", exactly the grid driver's SIGTERM discipline.
+    while (!queue_.empty()) {
+        std::shared_ptr<Job> job = queue_.front();
+        queue_.pop_front();
+        job->state = JobState::Cancelled;
+        finishJobLocked(*job);
+    }
+    workAvailable_.notify_all();
+}
+
+void
+Server::drain()
+{
+    if (scheduler_.joinable())
+        scheduler_.join(); // workers exit after their in-flight job
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        workersRunning_ = false;
+    }
+}
+
+std::string
+Server::storageError() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storageError_;
+}
+
+JobCounts
+Server::jobCounts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobCounts counts;
+    for (const auto &[id, job] : jobs_) {
+        switch (job->state) {
+          case JobState::Queued: ++counts.queued; break;
+          case JobState::Running: ++counts.running; break;
+          case JobState::Done: ++counts.done; break;
+          case JobState::Cancelled: ++counts.cancelled; break;
+        }
+    }
+    return counts;
+}
+
+std::size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::string
+Server::handle(const std::string &line)
+{
+    static obs::Counter &requests =
+        obs::counter(obs::names::kServeRequests);
+    static obs::Counter &malformed =
+        obs::counter(obs::names::kServeRequestsMalformed);
+
+    requests.add();
+    ParsedRequest parsed = parseRequest(line);
+    if (!parsed.ok()) {
+        malformed.add();
+        return errorLine(parsed.error, parsed.message);
+    }
+    const Request &request = *parsed.request;
+    switch (request.type) {
+      case RequestType::Submit: return handleSubmit(request.submit);
+      case RequestType::Status: return handleStatus(request.id);
+      case RequestType::Result: return handleResult(request.id);
+      case RequestType::Cancel: return handleCancel(request.id);
+      case RequestType::Stats: return handleStats();
+      case RequestType::Shutdown: return handleShutdown();
+    }
+    return errorLine(ErrorCode::BadRequest, "unreachable");
+}
+
+std::string
+Server::submitReply(const Job &job, bool include_result) const
+{
+    std::ostringstream out;
+    out << "{\"ok\":true,\"type\":\"submit\",\"id\":\"" << job.id
+        << "\",\"state\":\"" << toString(job.state) << "\",\"cached\":"
+        << (job.cached ? "true" : "false") << ",\"cache_key\":\""
+        << job.key.hex << "\"";
+    if (include_result && job.state == JobState::Done)
+        out << ",\"result\":" << job.payload;
+    out << "}";
+    return out.str();
+}
+
+std::string
+Server::handleSubmit(const SubmitSpec &spec)
+{
+    static obs::Counter &submitted =
+        obs::counter(obs::names::kServeJobsSubmitted);
+    static obs::Counter &rejected =
+        obs::counter(obs::names::kServeQueueRejected);
+
+    if (shuttingDown() || util::stopRequested())
+        return errorLine(ErrorCode::ShuttingDown,
+                         "daemon is draining; resubmit later");
+
+    core::BenchmarkPtr benchmark = makeBenchmark(spec.benchmark);
+    if (!benchmark)
+        return errorLine(ErrorCode::UnknownBenchmark,
+                         "no benchmark named " + spec.benchmark);
+    const device::Device *device = findDevice(spec.device, devices_);
+    if (device == nullptr)
+        return errorLine(ErrorCode::UnknownDevice,
+                         "no device named " + spec.device);
+
+    CacheKey key = deriveCacheKey(spec, *benchmark, *device);
+    std::optional<std::string> cached = cache_.lookup(key.hex);
+
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!cached && queue_.size() >= options_.queueLimit) {
+            rejected.add();
+            return errorLine(ErrorCode::QueueFull,
+                             "queue at capacity (" +
+                                 std::to_string(options_.queueLimit) +
+                                 "); retry later");
+        }
+        job = std::make_shared<Job>();
+        job->id = "job-" + std::to_string(nextId_++);
+        job->spec = spec;
+        job->benchmark = std::move(benchmark);
+        job->device = device;
+        job->key = std::move(key);
+        jobs_.emplace(job->id, job);
+        if (cached) {
+            job->state = JobState::Done;
+            job->cached = true;
+            job->payload = std::move(*cached);
+            finishJobLocked(*job);
+        } else {
+            submitted.add();
+            queue_.push_back(job);
+            workAvailable_.notify_one();
+        }
+    }
+
+    if (spec.wait)
+        waitForJob(*job); // no-op when already terminal (cache hit)
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitReply(*job, spec.wait);
+}
+
+void
+Server::waitForJob(Job &job)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (workersRunning_) {
+        jobDone_.wait(lock, [&job] {
+            return job.state == JobState::Done ||
+                   job.state == JobState::Cancelled;
+        });
+        return;
+    }
+    // Manual mode: execute queued jobs on this thread, FIFO, until
+    // the awaited one is terminal.
+    while (job.state != JobState::Done &&
+           job.state != JobState::Cancelled) {
+        lock.unlock();
+        if (!step())
+            break; // queue empty yet job not terminal: cancelled race
+        lock.lock();
+    }
+}
+
+std::shared_ptr<Server::Job>
+Server::findJobLocked(const std::string &id)
+{
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::string
+Server::handleStatus(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Job> job = findJobLocked(id);
+    if (!job)
+        return errorLine(ErrorCode::NotFound, "no job with id " + id);
+    std::ostringstream out;
+    out << "{\"ok\":true,\"type\":\"status\",\"id\":\"" << job->id
+        << "\",\"state\":\"" << toString(job->state)
+        << "\",\"cached\":" << (job->cached ? "true" : "false")
+        << ",\"cache_key\":\"" << job->key.hex << "\"}";
+    return out.str();
+}
+
+std::string
+Server::handleResult(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Job> job = findJobLocked(id);
+    if (!job)
+        return errorLine(ErrorCode::NotFound, "no job with id " + id);
+    if (job->state == JobState::Cancelled)
+        return errorLine(ErrorCode::Cancelled,
+                         "job " + id + " was cancelled before running");
+    if (job->state != JobState::Done)
+        return errorLine(ErrorCode::NotReady,
+                         "job " + id + " is " + toString(job->state));
+    std::ostringstream out;
+    out << "{\"ok\":true,\"type\":\"result\",\"id\":\"" << job->id
+        << "\",\"cached\":" << (job->cached ? "true" : "false")
+        << ",\"result\":" << job->payload << "}";
+    return out.str();
+}
+
+std::string
+Server::handleCancel(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Job> job = findJobLocked(id);
+    if (!job)
+        return errorLine(ErrorCode::NotFound, "no job with id " + id);
+    if (job->state == JobState::Queued) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (*it == job) {
+                queue_.erase(it);
+                break;
+            }
+        }
+        job->state = JobState::Cancelled;
+        job->cancelRequested.store(true);
+        finishJobLocked(*job);
+    } else if (job->state == JobState::Running) {
+        // The jobs-layer stop probe salvages completed repetitions;
+        // the job still terminates as Done (cause Interrupted).
+        job->cancelRequested.store(true);
+    }
+    // Terminal states: cancel is idempotent; report where things are.
+    std::ostringstream out;
+    out << "{\"ok\":true,\"type\":\"cancel\",\"id\":\"" << job->id
+        << "\",\"state\":\"" << toString(job->state) << "\"}";
+    return out.str();
+}
+
+std::string
+Server::handleStats()
+{
+    // Cache stats first: cache_ has its own lock, and taking it while
+    // holding mutex_ would order against workers inserting results.
+    const CacheStats cache = cache_.stats();
+    const JobCounts counts = jobCounts();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\"ok\":true,\"type\":\"stats\",\"protocol\":\""
+        << kProtocolVersion << "\""
+        << ",\"workers\":" << options_.workers
+        << ",\"queue_depth\":" << queue_.size()
+        << ",\"queue_limit\":" << options_.queueLimit
+        << ",\"draining\":" << (shuttingDown() ? "true" : "false")
+        << ",\"jobs\":{\"queued\":" << counts.queued
+        << ",\"running\":" << counts.running
+        << ",\"done\":" << counts.done
+        << ",\"cancelled\":" << counts.cancelled << "}"
+        << ",\"cache\":{\"entries\":" << cache.entries
+        << ",\"bytes\":" << cache.bytes
+        << ",\"budget_bytes\":" << options_.cacheBytes
+        << ",\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+        << ",\"evictions\":" << cache.evictions << "}}";
+    return out.str();
+}
+
+std::string
+Server::handleShutdown()
+{
+    const std::size_t queued_before = queueDepth();
+    requestShutdown();
+    std::ostringstream out;
+    out << "{\"ok\":true,\"type\":\"shutdown\",\"state\":\"draining\""
+        << ",\"cancelled_queued\":" << queued_before << "}";
+    return out.str();
+}
+
+} // namespace smq::serve

@@ -1,0 +1,243 @@
+#include "serve/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/server.hpp"
+#include "util/stop.hpp"
+
+namespace smq::serve {
+
+namespace {
+
+/** Poll timeout: the latency bound on noticing a shutdown signal. */
+constexpr int kPollTimeoutMs = 100;
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message + " (" + std::strerror(errno) + ")";
+}
+
+/** Fill a sockaddr_un; fails when @p path overflows sun_path. */
+bool
+makeAddress(const std::string &path, sockaddr_un *address)
+{
+    if (path.size() >= sizeof(address->sun_path))
+        return false;
+    std::memset(address, 0, sizeof(*address));
+    address->sun_family = AF_UNIX;
+    std::memcpy(address->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** Write all of @p data, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + sent, data.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Probe whether a daemon is still answering on @p path. Used to tell
+ * a live socket (refuse to start) from a stale file (reclaim it).
+ */
+bool
+socketIsLive(const std::string &path)
+{
+    sockaddr_un address;
+    if (!makeAddress(path, &address))
+        return false;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    const bool live =
+        ::connect(fd, reinterpret_cast<const sockaddr *>(&address),
+                  sizeof(address)) == 0;
+    ::close(fd);
+    return live;
+}
+
+} // namespace
+
+SocketLoopResult
+serveOverSocket(Server &server, const std::string &path,
+                std::string *error)
+{
+    sockaddr_un address;
+    if (!makeAddress(path, &address)) {
+        if (error != nullptr)
+            *error = "socket path too long: " + path;
+        return SocketLoopResult::BindError;
+    }
+
+    if (::access(path.c_str(), F_OK) == 0) {
+        if (socketIsLive(path)) {
+            if (error != nullptr)
+                *error = "another daemon is serving " + path;
+            return SocketLoopResult::Busy;
+        }
+        ::unlink(path.c_str()); // stale leftover from a crash: reclaim
+    }
+
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        setError(error, "socket() failed");
+        return SocketLoopResult::BindError;
+    }
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr *>(&address),
+               sizeof(address)) != 0) {
+        setError(error, "cannot bind " + path);
+        ::close(listen_fd);
+        return SocketLoopResult::BindError;
+    }
+    if (::listen(listen_fd, 16) != 0) {
+        setError(error, "cannot listen on " + path);
+        ::close(listen_fd);
+        ::unlink(path.c_str());
+        return SocketLoopResult::BindError;
+    }
+
+    // fd -> partial input not yet terminated by a newline.
+    std::map<int, std::string> clients;
+
+    while (!server.shuttingDown() && !util::stopRequested()) {
+        std::vector<pollfd> fds;
+        fds.push_back({listen_fd, POLLIN, 0});
+        for (const auto &[fd, buffer] : clients)
+            fds.push_back({fd, POLLIN, 0});
+
+        const int ready =
+            ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue; // signal: loop condition re-checks stop
+            setError(error, "poll() failed");
+            break;
+        }
+        if (ready == 0)
+            continue; // timeout tick: re-check shutdown
+
+        if (fds[0].revents & POLLIN) {
+            const int client = ::accept(listen_fd, nullptr, nullptr);
+            if (client >= 0)
+                clients.emplace(client, std::string());
+        }
+
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            const int fd = fds[i].fd;
+            char chunk[4096];
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                ::close(fd); // disconnect (or error): drop the client
+                clients.erase(fd);
+                continue;
+            }
+            std::string &buffer = clients[fd];
+            buffer.append(chunk, static_cast<std::size_t>(n));
+
+            bool drop = false;
+            std::size_t newline;
+            while (!drop &&
+                   (newline = buffer.find('\n')) != std::string::npos) {
+                const std::string line = buffer.substr(0, newline);
+                buffer.erase(0, newline + 1);
+                if (line.empty())
+                    continue; // blank keep-alive lines are ignored
+                const std::string reply = server.handle(line) + "\n";
+                if (!writeAll(fd, reply))
+                    drop = true;
+            }
+            if (drop) {
+                ::close(fd);
+                clients.erase(fd);
+            }
+        }
+    }
+
+    for (const auto &[fd, buffer] : clients)
+        ::close(fd);
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    return SocketLoopResult::Drained;
+}
+
+bool
+requestOverSocket(const std::string &path, const std::string &line,
+                  std::string *reply, std::string *error)
+{
+    sockaddr_un address;
+    if (!makeAddress(path, &address)) {
+        if (error != nullptr)
+            *error = "socket path too long: " + path;
+        return false;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, "socket() failed");
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        setError(error, "cannot connect to " + path);
+        ::close(fd);
+        return false;
+    }
+    if (!writeAll(fd, line + "\n")) {
+        setError(error, "write failed");
+        ::close(fd);
+        return false;
+    }
+
+    std::string received;
+    for (;;) {
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "read failed");
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break; // daemon closed before a full line arrived
+        received.append(chunk, static_cast<std::size_t>(n));
+        const std::size_t newline = received.find('\n');
+        if (newline != std::string::npos) {
+            ::close(fd);
+            if (reply != nullptr)
+                *reply = received.substr(0, newline);
+            return true;
+        }
+    }
+    ::close(fd);
+    if (error != nullptr)
+        *error = "connection closed before a reply line arrived";
+    return false;
+}
+
+} // namespace smq::serve

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unix-domain socket transport for the serve daemon, and the matching
+ * one-shot client used by `smq_sentinel submit`.
+ *
+ * The transport is deliberately thin: it owns the listening socket
+ * and per-connection line buffers, and maps every received line
+ * through Server::handle() to exactly one reply line. All protocol
+ * logic (including error replies for malformed input) lives in the
+ * Server, so the pipe mode, the tests and the fuzz oracle exercise
+ * the identical code path.
+ *
+ * Liveness rules (docs/OPERATIONS.md):
+ *  - A pre-existing socket file that still accepts connections means
+ *    another daemon is live: refuse to start (exit 75, EX_TEMPFAIL).
+ *  - A pre-existing socket file that refuses connections is a stale
+ *    leftover from a crash: silently unlink and take over.
+ *  - bind/listen failures are environmental (exit 74, EX_IOERR).
+ *
+ * The accept loop polls with a short timeout so SIGINT/SIGTERM
+ * (util/stop) and protocol `shutdown` requests are noticed promptly;
+ * the loop returns once shutdown is initiated, leaving the drain to
+ * the caller.
+ */
+
+#ifndef SMQ_SERVE_SOCKET_HPP
+#define SMQ_SERVE_SOCKET_HPP
+
+#include <string>
+
+namespace smq::serve {
+
+class Server;
+
+/** Result of running the socket accept loop. */
+enum class SocketLoopResult {
+    Drained,   ///< shutdown initiated (signal or protocol); exit 0 path
+    Busy,      ///< another daemon owns the socket; exit 75
+    BindError, ///< could not create/bind/listen; exit 74
+};
+
+/**
+ * Serve @p server over a Unix-domain stream socket at @p path until
+ * shutdown is initiated. Owns the socket file: stale files are
+ * reclaimed, and the file is unlinked on return. Failure details go
+ * to @p error when non-null.
+ */
+SocketLoopResult serveOverSocket(Server &server, const std::string &path,
+                                 std::string *error = nullptr);
+
+/**
+ * One-shot client: connect to @p path, send @p line (newline
+ * appended), and return the single reply line via @p reply.
+ * @return false (with @p error set) when the daemon is unreachable
+ * or the connection drops before a full reply arrives.
+ */
+bool requestOverSocket(const std::string &path, const std::string &line,
+                       std::string *reply, std::string *error = nullptr);
+
+} // namespace smq::serve
+
+#endif // SMQ_SERVE_SOCKET_HPP

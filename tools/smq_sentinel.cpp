@@ -1,7 +1,9 @@
 /**
  * @file
  * Thin entry point for the perf sentinel; all logic (and its tests)
- * live in src/report/sentinel_cli.cpp.
+ * live in src/report/sentinel_cli.cpp. The `submit` subcommand is the
+ * serve-daemon client (src/serve/serve_cli.cpp) and is dispatched
+ * here so the report library keeps its obs-only dependency set.
  */
 
 #include <iostream>
@@ -9,10 +11,16 @@
 #include <vector>
 
 #include "report/sentinel_cli.hpp"
+#include "serve/serve_cli.hpp"
 
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args.front() == "submit") {
+        return smq::serve::submitMain(
+            std::vector<std::string>(args.begin() + 1, args.end()),
+            std::cout, std::cerr);
+    }
     return smq::report::sentinelMain(args, std::cout, std::cerr);
 }

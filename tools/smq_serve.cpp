@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Thin entry point for the benchmark-as-a-service daemon; all logic
+ * (and its tests) live in src/serve/serve_cli.cpp. Installs the
+ * cooperative SIGINT/SIGTERM handlers first so a signal at any point
+ * drains in-flight jobs instead of dropping them.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/serve_cli.hpp"
+#include "util/stop.hpp"
+
+int
+main(int argc, char **argv)
+{
+    smq::util::installStopHandlers();
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return smq::serve::serveMain(args, std::cin, std::cout, std::cerr);
+}
