@@ -1,0 +1,163 @@
+#include "obs/exposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace smq::obs {
+
+namespace {
+
+/** Lower edge of log2 bucket @p i (bucket 0 holds only zeros). */
+double
+bucketLower(std::size_t i)
+{
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+/** Upper edge (inclusive) of log2 bucket @p i. */
+double
+bucketUpper(std::size_t i)
+{
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+}
+
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = "smq_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+writeDouble(std::ostringstream &out, double v)
+{
+    if (v == static_cast<double>(static_cast<std::uint64_t>(v)) &&
+        v >= 0 && v < 1e18) {
+        out << static_cast<std::uint64_t>(v);
+        return;
+    }
+    out << v;
+}
+
+} // namespace
+
+double
+histogramQuantile(const HistogramSnapshot &snapshot, double q)
+{
+    if (snapshot.count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // 1-based target rank into the sorted multiset of observations.
+    const double rank =
+        q * static_cast<double>(snapshot.count - 1) + 1.0;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snapshot.buckets.size(); ++i) {
+        const std::uint64_t n = snapshot.buckets[i];
+        if (n == 0)
+            continue;
+        if (rank <= static_cast<double>(cumulative + n)) {
+            const double lower = bucketLower(i);
+            const double upper = bucketUpper(i);
+            const double frac =
+                (rank - static_cast<double>(cumulative)) /
+                static_cast<double>(n);
+            const double value = lower + frac * (upper - lower);
+            return std::clamp(value,
+                              static_cast<double>(snapshot.min),
+                              static_cast<double>(snapshot.max));
+        }
+        cumulative += n;
+    }
+    return static_cast<double>(snapshot.max);
+}
+
+std::string
+renderPrometheus(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::string prom = sanitizeName(name);
+        out << "# TYPE " << prom << " counter\n";
+        out << prom << " " << value << "\n";
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::string prom = sanitizeName(name);
+        out << "# TYPE " << prom << " gauge\n";
+        out << prom << " " << value << "\n";
+    }
+    for (const auto &[name, hist] : snapshot.histograms) {
+        const std::string prom = sanitizeName(name);
+        out << "# TYPE " << prom << " summary\n";
+        for (const double q : {0.5, 0.9, 0.99}) {
+            out << prom << "{quantile=\"" << q << "\"} ";
+            writeDouble(out, histogramQuantile(hist, q));
+            out << "\n";
+        }
+        out << prom << "_sum " << hist.sum << "\n";
+        out << prom << "_count " << hist.count << "\n";
+    }
+    return out.str();
+}
+
+std::string
+renderPrometheusSnapshot()
+{
+    return renderPrometheus(snapshotMetrics());
+}
+
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__linux__)
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        std::istringstream fields(line.substr(6));
+        std::uint64_t kib = 0;
+        fields >> kib;
+        return kib * 1024;
+    }
+#endif
+    return 0;
+}
+
+std::uint64_t
+processCpuNs()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+    return 0;
+}
+
+std::uint64_t
+threadCpuNs()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+    return 0;
+}
+
+} // namespace smq::obs

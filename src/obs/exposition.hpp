@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Metrics exposition and resource accounting.
+ *
+ * Three small consumers of the registry that every surface shares:
+ *
+ *  1. histogramQuantile() — the ONE place quantiles are derived from
+ *     the log2-bucketed HistogramSnapshot. The serve `stats` reply,
+ *     the Prometheus rendering and the HTML report all call it, so
+ *     p50/p90/p99 can never disagree between surfaces.
+ *  2. renderPrometheus() — the full registry as Prometheus text
+ *     exposition format (counters, gauges, histograms as summaries
+ *     with quantile lines), deterministic byte-for-byte for a given
+ *     snapshot. `smq_serve --metrics-file PATH` writes it; any
+ *     node-exporter-style textfile collector can scrape it.
+ *  3. peakRssBytes() / processCpuNs() / threadCpuNs() — per-process
+ *     resource probes (Linux `/proc/self/status` VmHWM and the POSIX
+ *     CPU-time clocks) recorded into RunManifests as the `rss.*` /
+ *     `cpu.*` accounting documented in OBSERVABILITY.md. Probes
+ *     return 0 where the platform cannot answer; they never throw.
+ */
+
+#ifndef SMQ_OBS_EXPOSITION_HPP
+#define SMQ_OBS_EXPOSITION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace smq::obs {
+
+/**
+ * Approximate the @p q quantile (0 ≤ q ≤ 1) of @p snapshot from its
+ * log2 buckets: walk the cumulative bucket counts to the target rank,
+ * interpolate linearly inside the covering bucket, and clamp to the
+ * exact [min, max] the snapshot recorded. Deterministic — a pure
+ * function of the snapshot. Returns 0 for an empty histogram.
+ */
+double histogramQuantile(const HistogramSnapshot &snapshot, double q);
+
+/**
+ * Render @p snapshot in Prometheus text exposition format. Metric
+ * names are prefixed `smq_` and sanitized to the Prometheus charset
+ * (every character outside [a-zA-Z0-9_:] becomes `_`). Counters
+ * render as `counter`, gauges as `gauge`, histograms as `summary`
+ * with p50/p90/p99 quantile lines plus `_sum`/`_count`. Output is
+ * sorted by name — byte-identical for a given snapshot.
+ */
+std::string renderPrometheus(const MetricsSnapshot &snapshot);
+
+/** Registry-wide convenience: renderPrometheus(snapshotMetrics()). */
+std::string renderPrometheusSnapshot();
+
+/**
+ * Peak resident set size of this process in bytes (`VmHWM` from
+ * /proc/self/status). 0 when the platform has no such probe.
+ */
+std::uint64_t peakRssBytes();
+
+/** Process-wide CPU time (user+sys, all threads) in ns; 0 if unavailable. */
+std::uint64_t processCpuNs();
+
+/** Calling thread's CPU time in ns; 0 if unavailable. */
+std::uint64_t threadCpuNs();
+
+} // namespace smq::obs
+
+#endif // SMQ_OBS_EXPOSITION_HPP

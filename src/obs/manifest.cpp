@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/exposition.hpp"
 #include "obs/fsio.hpp"
 #include "obs/json.hpp"
 #include "obs/names.hpp"
@@ -58,6 +59,14 @@ RunManifest::capture(std::string tool)
     m.cacheMisses = snap.counters.count(names::kTranspileCacheMiss)
                         ? snap.counters.at(names::kTranspileCacheMiss)
                         : 0;
+    // Per-run resource accounting: peak RSS and total process CPU
+    // time ride in the counters map so they flatten into the history
+    // store with everything else. Platforms without the probes (both
+    // return 0 there) simply omit the keys.
+    if (const std::uint64_t rss = peakRssBytes())
+        m.counters[names::kRssPeakBytes] = rss;
+    if (const std::uint64_t cpu = processCpuNs())
+        m.counters[names::kCpuProcessNs] = cpu;
     return m;
 }
 

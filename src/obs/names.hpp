@@ -103,24 +103,41 @@ inline constexpr const char *kServeCacheHit = "serve.cache.hit";
 inline constexpr const char *kServeCacheMiss = "serve.cache.miss";
 inline constexpr const char *kServeCacheEvict = "serve.cache.evictions";
 
+// --- counters: distributed tracing (obs/trace_context) ---------------
+inline constexpr const char *kTracePropagated = "trace.propagated";
+inline constexpr const char *kTraceDerived = "trace.derived";
+
+// --- counters: resource accounting -----------------------------------
+inline constexpr const char *kSimAllocBytes = "sim.alloc.bytes";
+/** Manifest-only accounting keys (not registry metrics): peak RSS and
+ *  process CPU time sampled by RunManifest::capture(). */
+inline constexpr const char *kRssPeakBytes = "rss.peak_bytes";
+inline constexpr const char *kCpuProcessNs = "cpu.process_ns";
+
 // --- gauges ----------------------------------------------------------
 inline constexpr const char *kPoolWorkers = "pool.workers";
 inline constexpr const char *kServeWorkers = "serve.workers";
 inline constexpr const char *kServeQueueLimit = "serve.queue.limit";
 
 // --- span (stage) names ----------------------------------------------
-// Each span name S additionally feeds the histogram `stage.S.ns` when
-// metrics are enabled.
+// Each span name S additionally feeds the histogram `stage.S.ns` and
+// the thread-CPU counter `cpu.S.ns` when metrics are enabled.
 inline constexpr const char *kSpanPrepare = "prepare";
 inline constexpr const char *kSpanRepetition = "repetition";
 inline constexpr const char *kSpanJob = "job";
 inline constexpr const char *kSpanGrid = "grid";
 inline constexpr const char *kSpanServeJob = "serve.job";
+inline constexpr const char *kSpanServeQueueWait = "serve.queue_wait";
+inline constexpr const char *kSpanSubmit = "submit";
 
 /** Prefix joining a span name to its duration histogram. */
 inline constexpr const char *kStageHistogramPrefix = "stage.";
 /** Suffix joining a span name to its duration histogram. */
 inline constexpr const char *kStageHistogramSuffix = ".ns";
+/** Prefix joining a span name to its thread-CPU-time counter. */
+inline constexpr const char *kCpuCounterPrefix = "cpu.";
+/** Suffix joining a span name to its thread-CPU-time counter. */
+inline constexpr const char *kCpuCounterSuffix = ".ns";
 
 } // namespace smq::obs::names
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
@@ -88,6 +89,24 @@ nowNs()
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - state().epoch)
             .count());
+}
+
+/**
+ * Stamp @p context into a pre-rendered args body so cross-process
+ * consumers can stitch the event into its trace. No-op without a
+ * valid context, which keeps single-process traces byte-identical to
+ * what they were before propagation existed.
+ */
+void
+appendContextFields(std::string &args, const TraceContext &context)
+{
+    if (!context.valid())
+        return;
+    if (!args.empty())
+        args += ',';
+    args += jsonField("trace.id", context.traceIdHex());
+    args += ',';
+    args += jsonField("trace.parent", context.parentSpanHex());
 }
 
 void
@@ -195,12 +214,38 @@ jsonField(std::string_view key, std::uint64_t value)
     return out;
 }
 
+std::uint64_t
+traceNowNs()
+{
+    return tracingEnabled() ? nowNs() : 0;
+}
+
+void
+recordSpan(const char *name, std::uint64_t start_ns,
+           std::uint64_t dur_ns, std::string args)
+{
+    if (metricsEnabled()) {
+        histogram(std::string(names::kStageHistogramPrefix) + name +
+                  names::kStageHistogramSuffix)
+            .record(dur_ns);
+    }
+    if (tracingEnabled()) {
+        appendContextFields(args, currentTraceContext());
+        ThreadBuffer &buf = threadBuffer();
+        buf.events.push_back(
+            {name, std::move(args), start_ns, dur_ns, buf.tid});
+    }
+}
+
 SpanScope::SpanScope(const char *name, std::string args)
     : name_(name), args_(std::move(args))
 {
     if (!spanSinkActive())
         return;
     active_ = true;
+    context_ = currentTraceContext();
+    if (metricsEnabled())
+        cpuStartNs_ = threadCpuNs();
     startNs_ = nowNs();
 }
 
@@ -213,8 +258,12 @@ SpanScope::~SpanScope()
         histogram(std::string(names::kStageHistogramPrefix) + name_ +
                   names::kStageHistogramSuffix)
             .record(dur);
+        counter(std::string(names::kCpuCounterPrefix) + name_ +
+                names::kCpuCounterSuffix)
+            .add(threadCpuNs() - cpuStartNs_);
     }
     if (tracingEnabled()) {
+        appendContextFields(args_, context_);
         ThreadBuffer &buf = threadBuffer();
         buf.events.push_back(
             {name_, std::move(args_), startNs_, dur, buf.tid});

@@ -35,6 +35,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace_context.hpp"
+
 namespace smq::obs {
 
 namespace detail {
@@ -73,6 +75,24 @@ std::string jsonField(std::string_view key, std::string_view value);
 std::string jsonField(std::string_view key, std::uint64_t value);
 
 /**
+ * Nanoseconds since the trace epoch, or 0 while tracing is off. For
+ * call sites that need to timestamp the *start* of a non-RAII span
+ * (e.g. the serve queue records [enqueue, dequeue)) long before they
+ * can record it.
+ */
+std::uint64_t traceNowNs();
+
+/**
+ * Record one completed span outside RAII scoping: feeds the
+ * `stage.<name>.ns` histogram while metrics are enabled and buffers a
+ * trace event (stamped with the calling thread's TraceContext) while
+ * tracing is enabled — exactly the sinks a SpanScope feeds. @p name
+ * must outlive the trace session (pass a `names.hpp` constant).
+ */
+void recordSpan(const char *name, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::string args = {});
+
+/**
  * RAII span: records [construction, destruction) against the calling
  * thread. Use through SMQ_TRACE_SPAN rather than directly so the
  * args expression stays unevaluated when the layer is disabled.
@@ -88,7 +108,9 @@ class SpanScope
   private:
     const char *name_;
     std::string args_;
+    TraceContext context_; ///< captured at open; stamped into args
     std::uint64_t startNs_ = 0;
+    std::uint64_t cpuStartNs_ = 0;
     bool active_ = false;
 };
 

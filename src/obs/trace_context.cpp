@@ -1,0 +1,162 @@
+#include "obs/trace_context.hpp"
+
+namespace smq::obs {
+
+namespace {
+
+thread_local TraceContext tCurrentContext;
+
+// FNV-1a + splitmix64, the same derivation family as util::labelSeed.
+// Re-implemented locally because smq_obs sits below smq_util in the
+// link graph (the pool emits obs metrics) and may not depend on it.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::string_view s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    h ^= 0xffu; // separator so ("ab","c") != ("a","bc")
+    h *= kFnvPrime;
+    return h;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+mix(std::uint64_t h)
+{
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+}
+
+std::uint64_t
+deriveWord(std::uint64_t seed, std::string_view benchmark,
+           std::string_view device, std::uint64_t discriminator)
+{
+    std::uint64_t h = fnv1a(kFnvOffset, seed);
+    h = fnv1a(h, benchmark);
+    h = fnv1a(h, device);
+    h = fnv1a(h, discriminator);
+    return mix(h);
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    static const char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+/** Strict lowercase-hex parse; nullopt on any other character. */
+std::optional<std::uint64_t>
+parseHex64(std::string_view text)
+{
+    if (text.size() != 16)
+        return std::nullopt;
+    std::uint64_t v = 0;
+    for (char c : text) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace
+
+std::string
+TraceContext::traceIdHex() const
+{
+    return hex64(traceHi) + hex64(traceLo);
+}
+
+std::string
+TraceContext::parentSpanHex() const
+{
+    return hex64(parentSpan);
+}
+
+TraceContext
+TraceContext::derive(std::uint64_t seed, std::string_view benchmark,
+                     std::string_view device)
+{
+    TraceContext ctx;
+    ctx.traceHi = deriveWord(seed, benchmark, device, 1);
+    ctx.traceLo = deriveWord(seed, benchmark, device, 2);
+    ctx.parentSpan = deriveWord(seed, benchmark, device, 3);
+    // labelSeed can in principle return 0 for both halves; nudge so
+    // valid() holds for every derived context.
+    if (ctx.traceHi == 0 && ctx.traceLo == 0)
+        ctx.traceLo = 1;
+    return ctx;
+}
+
+std::optional<TraceContext>
+TraceContext::fromHex(std::string_view trace_id,
+                      std::string_view parent_span)
+{
+    if (trace_id.size() != 32)
+        return std::nullopt;
+    const std::optional<std::uint64_t> hi =
+        parseHex64(trace_id.substr(0, 16));
+    const std::optional<std::uint64_t> lo =
+        parseHex64(trace_id.substr(16, 16));
+    if (!hi || !lo)
+        return std::nullopt;
+    TraceContext ctx;
+    ctx.traceHi = *hi;
+    ctx.traceLo = *lo;
+    if (!ctx.valid())
+        return std::nullopt;
+    if (!parent_span.empty()) {
+        const std::optional<std::uint64_t> parent =
+            parseHex64(parent_span);
+        if (!parent)
+            return std::nullopt;
+        ctx.parentSpan = *parent;
+    }
+    return ctx;
+}
+
+TraceContext
+currentTraceContext()
+{
+    return tCurrentContext;
+}
+
+TraceContextScope::TraceContextScope(const TraceContext &context)
+    : saved_(tCurrentContext)
+{
+    if (context.valid())
+        tCurrentContext = context;
+}
+
+TraceContextScope::~TraceContextScope()
+{
+    tCurrentContext = saved_;
+}
+
+} // namespace smq::obs

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cross-process trace identity (Dapper-style context propagation).
+ *
+ * A TraceContext is a 128-bit trace id plus the 64-bit id of the span
+ * that caused the current work. It is derived *deterministically* from
+ * the run seed and the workload labels (`util::labelSeed`), never from
+ * wall clocks or entropy, so enabling propagation cannot perturb
+ * results: the traced run is byte-identical to the untraced one, and
+ * two runs of the same submit carry the same trace id.
+ *
+ * The current context is thread-local. Scoped code installs it with
+ * TraceContextScope; the span tracer (`obs/trace.hpp`) reads it when
+ * recording events and stamps `trace.id` / `trace.parent` into the
+ * event args, which is what lets `smq_sentinel report` stitch the
+ * trace files of a client process and a daemon process into one
+ * waterfall. The thread pool forwards the submitting thread's context
+ * to its workers for the duration of a batch, so spans recorded inside
+ * `parallelFor` bodies inherit the batch's identity at any --jobs.
+ *
+ * On the wire (smq-serve-v1) the context travels as the optional
+ * `trace` field of `submit` — 32 lowercase hex chars of trace id and
+ * 16 of parent span id (docs/PROTOCOL.md §3).
+ */
+
+#ifndef SMQ_OBS_TRACE_CONTEXT_HPP
+#define SMQ_OBS_TRACE_CONTEXT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace smq::obs {
+
+/** A propagated trace identity; all-zero means "no context". */
+struct TraceContext
+{
+    std::uint64_t traceHi = 0;    ///< high 64 bits of the trace id
+    std::uint64_t traceLo = 0;    ///< low 64 bits of the trace id
+    std::uint64_t parentSpan = 0; ///< span id of the causing span
+
+    /** True when a trace id is present (either half non-zero). */
+    bool valid() const { return traceHi != 0 || traceLo != 0; }
+
+    /** 32 lowercase hex chars: high half then low half. */
+    std::string traceIdHex() const;
+    /** 16 lowercase hex chars. */
+    std::string parentSpanHex() const;
+
+    /**
+     * Deterministic derivation from the run identity. Two processes
+     * given the same (seed, benchmark, device) derive the same
+     * context, which is what makes replayed submits land in the same
+     * trace. The parent span id doubles as the id of the client-side
+     * `submit` span.
+     */
+    static TraceContext derive(std::uint64_t seed,
+                               std::string_view benchmark,
+                               std::string_view device);
+
+    /**
+     * Parse a wire context: @p trace_id must be exactly 32 lowercase
+     * hex chars, @p parent_span empty or exactly 16. Returns
+     * std::nullopt (never throws) on any violation, including an
+     * all-zero trace id.
+     */
+    static std::optional<TraceContext>
+    fromHex(std::string_view trace_id, std::string_view parent_span);
+
+    bool operator==(const TraceContext &other) const
+    {
+        return traceHi == other.traceHi && traceLo == other.traceLo &&
+               parentSpan == other.parentSpan;
+    }
+};
+
+/** The calling thread's current context (invalid when none is set). */
+TraceContext currentTraceContext();
+
+/**
+ * Install @p context as the calling thread's current context for the
+ * scope's lifetime; restores the previous context on destruction, so
+ * scopes nest. Installing an invalid context is a no-op scope.
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(const TraceContext &context);
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+    ~TraceContextScope();
+
+  private:
+    TraceContext saved_;
+};
+
+} // namespace smq::obs
+
+#endif // SMQ_OBS_TRACE_CONTEXT_HPP

@@ -37,6 +37,8 @@ struct TraceSpan
     double tsUs = 0.0;
     double durUs = 0.0;
     std::uint64_t tid = 0;
+    std::size_t process = 0; ///< index of the owning trace directory
+    std::string traceId;     ///< args["trace.id"], empty when untagged
 };
 
 std::string
@@ -96,6 +98,10 @@ loadTraceSpans(const std::string &traceDir, std::string &note)
             span.tsUs = e.at("ts").asDouble();
             span.durUs = e.at("dur").asDouble();
             span.tid = e.at("tid").asU64();
+            if (const obs::JsonValue *args = e.find("args")) {
+                if (const obs::JsonValue *id = args->find("trace.id"))
+                    span.traceId = id->asString();
+            }
             spans.push_back(std::move(span));
         }
         if (spans.empty())
@@ -106,6 +112,42 @@ loadTraceSpans(const std::string &traceDir, std::string &note)
         spans.clear();
     }
     return spans;
+}
+
+/**
+ * Load every directory as one process, normalizing each directory's
+ * timestamps to its own earliest span. Steady-clock epochs differ
+ * between processes, so cross-process offsets are meaningless noise —
+ * zeroing them per process is what makes the stitched view (and the
+ * merged Chrome trace) reproducible across runs.
+ */
+std::vector<TraceSpan>
+loadMultiProcessSpans(const std::vector<std::string> &traceDirs,
+                      std::string &note)
+{
+    std::vector<TraceSpan> all;
+    std::string notes;
+    for (std::size_t p = 0; p < traceDirs.size(); ++p) {
+        std::string dir_note;
+        std::vector<TraceSpan> spans =
+            loadTraceSpans(traceDirs[p], dir_note);
+        if (!dir_note.empty())
+            notes += (notes.empty() ? "" : "; ") + dir_note;
+        if (spans.empty())
+            continue;
+        double min_ts = spans.front().tsUs;
+        for (const TraceSpan &s : spans)
+            min_ts = std::min(min_ts, s.tsUs);
+        for (TraceSpan &s : spans) {
+            s.tsUs -= min_ts;
+            s.process = p;
+            all.push_back(std::move(s));
+        }
+    }
+    if (all.empty() && notes.empty())
+        notes = "no spans in any trace directory";
+    note = notes;
+    return all;
 }
 
 void
@@ -132,20 +174,28 @@ renderWaterfall(std::ostream &out, std::vector<TraceSpan> spans,
               [](const TraceSpan &a, const TraceSpan &b) {
                   if (a.tsUs != b.tsUs)
                       return a.tsUs < b.tsUs;
+                  if (a.process != b.process)
+                      return a.process < b.process;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
                   return a.durUs > b.durUs;
               });
 
     double min_ts = spans.front().tsUs, max_end = 0.0;
-    std::set<std::uint64_t> tid_set;
+    bool multi_process = false;
+    std::set<std::pair<std::size_t, std::uint64_t>> tid_set;
     for (const TraceSpan &s : spans) {
         min_ts = std::min(min_ts, s.tsUs);
         max_end = std::max(max_end, s.tsUs + s.durUs);
-        tid_set.insert(s.tid);
+        tid_set.insert({s.process, s.tid});
+        multi_process = multi_process || s.process != 0;
     }
     const double span_us = std::max(max_end - min_ts, 1.0);
-    std::map<std::uint64_t, std::size_t> lane;
-    for (std::uint64_t tid : tid_set)
-        lane.emplace(tid, lane.size());
+    // One lane per (process, thread): a stitched multi-process trace
+    // keeps each process's threads in their own rows.
+    std::map<std::pair<std::size_t, std::uint64_t>, std::size_t> lane;
+    for (const auto &key : tid_set)
+        lane.emplace(key, lane.size());
 
     const double plot_x = 64.0, plot_w = 880.0;
     const double lane_h = 18.0, lane_gap = 4.0;
@@ -156,25 +206,35 @@ renderWaterfall(std::ostream &out, std::vector<TraceSpan> spans,
     SeriesColors colors;
     out << "<svg width=\"960\" height=\"" << fmt(height, 0)
         << "\" role=\"img\" aria-label=\"span waterfall\">\n";
-    for (const auto &[tid, row] : lane) {
+    for (const auto &[key, row] : lane) {
         const double y =
             static_cast<double>(row) * (lane_h + lane_gap);
         out << "<text x=\"4\" y=\"" << fmt(y + lane_h - 5.0, 1)
-            << "\" class=\"axis\">t" << tid << "</text>\n";
+            << "\" class=\"axis\">";
+        if (multi_process)
+            out << "p" << key.first << "/";
+        out << "t" << key.second << "</text>\n";
     }
     for (const TraceSpan &s : spans) {
         const double x =
             plot_x + (s.tsUs - min_ts) / span_us * plot_w;
         const double w =
             std::max(s.durUs / span_us * plot_w, 0.75);
-        const double y = static_cast<double>(lane.at(s.tid)) *
-                         (lane_h + lane_gap);
+        const double y =
+            static_cast<double>(lane.at({s.process, s.tid})) *
+            (lane_h + lane_gap);
         out << "<rect x=\"" << fmt(x, 2) << "\" y=\"" << fmt(y, 1)
             << "\" width=\"" << fmt(w, 2) << "\" height=\""
             << fmt(lane_h, 0) << "\" rx=\"2\" fill=\""
             << colors.colorOf(s.name) << "\"><title>"
             << htmlEscape(s.name) << ": " << fmt(s.durUs / 1000.0, 3)
-            << " ms (thread " << s.tid << ")</title></rect>\n";
+            << " ms (";
+        if (multi_process)
+            out << "process " << s.process << ", ";
+        out << "thread " << s.tid;
+        if (!s.traceId.empty())
+            out << ", trace " << htmlEscape(s.traceId);
+        out << ")</title></rect>\n";
     }
     // Recessive time axis: baseline plus end labels only.
     out << "<line x1=\"" << fmt(plot_x, 0) << "\" y1=\""
@@ -403,10 +463,13 @@ renderHtmlReport(const ReportInputs &inputs)
             << "; transpile cache " << latest.cacheHits << " hits / "
             << latest.cacheMisses << " misses</p>\n";
 
+        std::vector<std::string> trace_dirs = inputs.traceDirs;
+        if (trace_dirs.empty() && !inputs.traceDir.empty())
+            trace_dirs.push_back(inputs.traceDir);
         std::string trace_note = "no trace directory given";
         std::vector<TraceSpan> spans;
-        if (!inputs.traceDir.empty())
-            spans = loadTraceSpans(inputs.traceDir, trace_note);
+        if (!trace_dirs.empty())
+            spans = loadMultiProcessSpans(trace_dirs, trace_note);
         renderWaterfall(out, std::move(spans), trace_note);
 
         std::vector<const HistoryRecord *> series;
@@ -450,6 +513,50 @@ renderHtmlReport(const ReportInputs &inputs)
         out << "; " << inputs.skippedLines
             << " unparseable line(s) skipped on load";
     out << ".</p>\n</body>\n</html>\n";
+    return out.str();
+}
+
+std::string
+renderMergedChromeTrace(const std::vector<std::string> &traceDirs,
+                        std::string &note)
+{
+    std::vector<TraceSpan> spans =
+        loadMultiProcessSpans(traceDirs, note);
+    // Group by trace id first, so every request's spans — whichever
+    // process emitted them — sit contiguously; within a trace the
+    // order is the per-process waterfall order. Everything here is
+    // derived from span data, never from load order or clocks, which
+    // is what makes the merged file reproducible.
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceSpan &a, const TraceSpan &b) {
+                  if (a.traceId != b.traceId)
+                      return a.traceId < b.traceId;
+                  if (a.process != b.process)
+                      return a.process < b.process;
+                  if (a.tsUs != b.tsUs)
+                      return a.tsUs < b.tsUs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.durUs > b.durUs;
+              });
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const TraceSpan &s = spans[i];
+        if (i)
+            out << ",";
+        out << "\n{\"name\":\"" << obs::escapeJson(s.name)
+            << "\",\"cat\":\"smq\",\"ph\":\"X\",\"ts\":" << s.tsUs
+            << ",\"dur\":" << s.durUs << ",\"pid\":" << (s.process + 1)
+            << ",\"tid\":" << s.tid;
+        if (!s.traceId.empty())
+            out << ",\"args\":{\"trace.id\":\""
+                << obs::escapeJson(s.traceId) << "\"}";
+        out << "}";
+    }
+    out << "\n]}\n";
     return out.str();
 }
 

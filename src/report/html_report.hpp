@@ -35,6 +35,15 @@ struct ReportInputs
     std::vector<HistoryRecord> history;
     /** Directory holding trace.json, or empty for no waterfall. */
     std::string traceDir;
+    /**
+     * Multi-process stitching: one trace.json directory per process
+     * (e.g. a submit client plus a daemon). When non-empty this list
+     * supersedes traceDir; each directory becomes one process in the
+     * waterfall, its spans time-normalized to its own first span so
+     * per-process clock epochs (steady-clock zero differs between
+     * processes) cannot make the merged view nondeterministic.
+     */
+    std::vector<std::string> traceDirs;
     std::string title = "SupermarQ run report";
     /** Store health, forwarded into the footer. */
     std::size_t skippedLines = 0;
@@ -49,6 +58,21 @@ std::string htmlEscape(std::string_view raw);
  * report generator must not fail the pipeline it reports on.
  */
 std::string renderHtmlReport(const ReportInputs &inputs);
+
+/**
+ * Stitch the trace.json files under @p traceDirs into one Chrome
+ * trace-event document (`{"traceEvents":[...]}`): directory i becomes
+ * pid i+1, every directory's timestamps are normalized to its own
+ * first span, and events are ordered by (trace id, pid, ts, tid,
+ * -dur) so spans sharing a trace id — one submit's client, queue-wait,
+ * job and kernel spans across processes — form one contiguous tree.
+ * The output is a pure function of the input span data (never of
+ * process start times), so re-running identical work reproduces it
+ * byte-for-byte. Unreadable directories are skipped with a line in
+ * @p note; never throws.
+ */
+std::string renderMergedChromeTrace(
+    const std::vector<std::string> &traceDirs, std::string &note);
 
 } // namespace smq::report
 

@@ -17,7 +17,11 @@ namespace {
 constexpr const char *kObsOverheadKey = "obs_overhead_frac";
 /** Display name of the overhead pseudo-stage in the verdict table. */
 constexpr const char *kObsOverheadStage = "obs_overhead_frac";
-/** Absolute overhead budget (fraction), inherited from bench_perf. */
+/** History key / pseudo-stage of the tracing-propagation overhead. */
+constexpr const char *kObsPropagationKey = "obs_propagation_frac";
+/** Absolute overhead budget (fraction), inherited from bench_perf.
+ *  The propagation path is held to the same 2%: carrying a trace
+ *  context must cost no more than metrics collection itself. */
 constexpr double kObsOverheadBudget = 0.02;
 
 double
@@ -72,6 +76,11 @@ loadPerfJson(const std::string &path)
     if (const obs::JsonValue *obs_block = root.find("obs_overhead")) {
         if (const obs::JsonValue *frac = obs_block->find("overhead_frac"))
             snap.obsOverheadFrac = frac->asDouble();
+        // Optional: pre-PR-9 perf files carry no propagation section,
+        // and the sentinel must keep accepting them.
+        if (const obs::JsonValue *frac =
+                obs_block->find("propagation_frac"))
+            snap.obsPropagationFrac = frac->asDouble();
     }
     if (const obs::JsonValue *jobs = root.find("grid_jobs"))
         snap.gridJobs = jobs->asU64();
@@ -98,6 +107,8 @@ historyFromPerf(const PerfSnapshot &snapshot, const std::string &tool)
         rec.stages[name] = obs::StageRollup{1, ns, ns, ns};
     }
     rec.values[kObsOverheadKey] = snapshot.obsOverheadFrac;
+    if (snapshot.obsPropagationFrac >= 0.0)
+        rec.values[kObsPropagationKey] = snapshot.obsPropagationFrac;
     return rec;
 }
 
@@ -218,6 +229,21 @@ checkPerf(const PerfSnapshot &current,
                 samples.push_back(it->second);
         }
         judge(kObsOverheadStage, current.obsOverheadFrac, samples,
+              /*mad_floor=*/0.005, /*abs_gate=*/kObsOverheadBudget);
+    }
+
+    // Propagation overhead: the distributed-tracing hot path (context
+    // install + span tagging) under the same robust gates and the
+    // same absolute 2% budget. Skipped entirely for perf files that
+    // predate the measurement.
+    if (current.obsPropagationFrac >= 0.0) {
+        std::vector<double> samples;
+        for (const HistoryRecord *rec : matching) {
+            auto it = rec->values.find(kObsPropagationKey);
+            if (it != rec->values.end())
+                samples.push_back(it->second);
+        }
+        judge(kObsPropagationKey, current.obsPropagationFrac, samples,
               /*mad_floor=*/0.005, /*abs_gate=*/kObsOverheadBudget);
     }
 

@@ -36,6 +36,13 @@ struct PerfSnapshot
 {
     std::map<std::string, double> stageMs; ///< stage name -> wall ms
     double obsOverheadFrac = 0.0;
+    /**
+     * Tracing + context-propagation overhead fraction (spans on, a
+     * trace context installed — the distributed-tracing hot path).
+     * -1 when the perf file predates the measurement; the sentinel
+     * then skips the gate instead of judging a phantom 0.
+     */
+    double obsPropagationFrac = -1.0;
     std::uint64_t gridJobs = 0;
     /** Workload config (absent in pre-PR-4 files: left 0). */
     std::uint64_t shots = 0;

@@ -28,8 +28,12 @@ constexpr const char *kUsage =
     "      append the perf snapshot to the store (default runs.jsonl)\n"
     "  ingest DIR [--history FILE]\n"
     "      append every *_manifest.json under DIR to the store\n"
-    "  report [--history FILE] [--trace DIR] [--out FILE] [--title T]\n"
-    "      write a self-contained HTML run report (default report.html)\n"
+    "  report [--history FILE] [--trace DIR]... [--out FILE]\n"
+    "        [--title T] [--merged-trace FILE]\n"
+    "      write a self-contained HTML run report (default report.html);\n"
+    "      repeat --trace to stitch multi-process traces into one\n"
+    "      waterfall, --merged-trace also writes the stitched\n"
+    "      Chrome-trace JSON\n"
     "  compact [--history FILE] [--keep N]\n"
     "      atomically rewrite the store, dropping corrupt lines\n"
     "  merge DIR... [--out FILE] [--history FILE]\n"
@@ -275,8 +279,13 @@ runReport(Args &args, std::ostream &out, std::ostream &err)
         args.flag("--history").value_or("runs.jsonl");
     const std::string out_path =
         args.flag("--out").value_or("report.html");
+    const std::string merged_path =
+        args.flag("--merged-trace").value_or("");
     ReportInputs inputs;
-    inputs.traceDir = args.flag("--trace").value_or("");
+    // --trace repeats: each occurrence is one process's trace dir
+    // (Args::flag consumes the first occurrence per call).
+    while (auto dir = args.flag("--trace"))
+        inputs.traceDirs.push_back(*dir);
     if (auto title = args.flag("--title"))
         inputs.title = *title;
     if (auto stray = args.positional())
@@ -296,6 +305,19 @@ runReport(Args &args, std::ostream &out, std::ostream &err)
     }
     out << "wrote " << out_path << " (" << inputs.history.size()
         << " record(s), " << html.size() << " bytes)\n";
+
+    if (!merged_path.empty()) {
+        std::string note;
+        const std::string merged =
+            renderMergedChromeTrace(inputs.traceDirs, note);
+        if (!obs::atomicWriteFile(merged_path, merged)) {
+            err << "smq_sentinel: cannot write " << merged_path << "\n";
+            return kSentinelUsage;
+        }
+        out << "wrote " << merged_path << " ("
+            << inputs.traceDirs.size() << " trace dir(s)"
+            << (note.empty() ? "" : "; " + note) << ")\n";
+    }
     return kSentinelOk;
 }
 

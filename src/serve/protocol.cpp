@@ -85,6 +85,51 @@ takeBool(const obs::JsonValue &object, const char *name, bool &target,
     return true;
 }
 
+/**
+ * Read the optional `trace` object: `id` required (32 lowercase hex
+ * chars), `parent` optional (16). Absence is fine — the daemon
+ * derives a context — but a present-and-malformed context is a
+ * bad_field, not something to silently drop: a client that *meant*
+ * to correlate spans should learn its ids never matched.
+ */
+bool
+takeTrace(const obs::JsonValue &object, obs::TraceContext &target,
+          ParsedRequest &error)
+{
+    const obs::JsonValue *trace = object.find("trace");
+    if (trace == nullptr)
+        return true;
+    if (trace->kind != obs::JsonValue::Kind::Object) {
+        error = fail(ErrorCode::BadField, "trace must be an object");
+        return false;
+    }
+    const obs::JsonValue *id = trace->find("id");
+    if (id == nullptr || id->kind != obs::JsonValue::Kind::String) {
+        error = fail(ErrorCode::BadField,
+                     "trace.id must be a string of 32 hex chars");
+        return false;
+    }
+    std::string parent;
+    const obs::JsonValue *parent_field = trace->find("parent");
+    if (parent_field != nullptr) {
+        if (parent_field->kind != obs::JsonValue::Kind::String) {
+            error = fail(ErrorCode::BadField,
+                         "trace.parent must be a string of 16 hex chars");
+            return false;
+        }
+        parent = parent_field->text;
+    }
+    std::optional<obs::TraceContext> context =
+        obs::TraceContext::fromHex(id->text, parent);
+    if (!context) {
+        error = fail(ErrorCode::BadField,
+                     "trace.id/parent must be 32/16 lowercase hex chars");
+        return false;
+    }
+    target = *context;
+    return true;
+}
+
 } // namespace
 
 std::optional<RequestType>
@@ -167,6 +212,8 @@ parseRequest(const std::string &line)
                        error) ||
               !takeBool(root, "faults", spec.faults, error) ||
               !takeBool(root, "wait", spec.wait, error))
+              return error;
+          if (!takeTrace(root, spec.trace, error))
               return error;
           break;
       }

@@ -27,6 +27,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace_context.hpp"
+
 namespace smq::serve {
 
 /** Protocol identifier, echoed by `stats` replies. */
@@ -156,6 +158,15 @@ struct SubmitSpec
     bool faults = false;            ///< inject the documented profile
     std::uint64_t faultSeed = 0;    ///< fault-schedule seed
     bool wait = false;              ///< block until terminal, inline result
+    /**
+     * Optional client trace context from the wire `trace` object
+     * (`{"id":"<32 hex>","parent":"<16 hex>"}`). Invalid (all-zero)
+     * when the client sent none; the daemon then derives one from
+     * (seed, benchmark, device), so either way the job's spans carry
+     * a trace id. Deliberately excluded from the cache key: tracing
+     * never changes what a submit computes.
+     */
+    obs::TraceContext trace;
 };
 
 /** One validated request. `id` is set for status/result/cancel. */

@@ -11,7 +11,9 @@
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
 #include "util/stop.hpp"
@@ -31,6 +33,8 @@ constexpr const char *kUsage =
     "  --max-sim-qubits N  simulator width gate (default 22)\n"
     "  --manifest-dir DIR  write per-job + final run manifests to DIR\n"
     "  --trace DIR         record spans, written to DIR on shutdown\n"
+    "  --metrics-file PATH rewrite PATH with a Prometheus text snapshot\n"
+    "                      after every stats request and at shutdown\n"
     "  --no-metrics        leave the metric registry disabled\n"
     "\n"
     "exit codes: 0 clean drain, 75 socket already served,\n"
@@ -134,6 +138,11 @@ serveMain(const std::vector<std::string> &args, std::istream &in,
             if (!v)
                 return usageError(err, "--trace needs DIR");
             trace_dir = *v;
+        } else if (arg == "--metrics-file") {
+            auto v = value();
+            if (!v)
+                return usageError(err, "--metrics-file needs PATH");
+            options.metricsFile = *v;
         } else if (arg == "--no-metrics") {
             metrics = false;
         } else if (arg == "--help") {
@@ -177,6 +186,9 @@ serveMain(const std::vector<std::string> &args, std::istream &in,
         // (salvaged through the jobs-layer stop probe) and exit 0.
         server.requestShutdown();
         server.drain();
+        // Final scrape covers the whole daemon lifetime, including
+        // jobs finished after the last stats request.
+        server.writeMetricsFile();
         if (!server.storageError().empty()) {
             err << "smq_serve: " << server.storageError() << "\n";
             exit_code = kServeStorageError;
@@ -211,7 +223,11 @@ namespace {
 constexpr const char *kSubmitUsageText =
     "usage: smq_sentinel submit --socket PATH --benchmark NAME\n"
     "           --device NAME [--shots N] [--repetitions N] [--seed N]\n"
-    "           [--faults] [--fault-seed N] [--no-wait]\n"
+    "           [--faults] [--fault-seed N] [--no-wait] [--trace DIR]\n"
+    "\n"
+    "  --trace DIR   record a client-side `submit` span to DIR; its\n"
+    "                trace id rides the wire, so the daemon's spans\n"
+    "                stitch under the same waterfall\n"
     "\n"
     "exit codes: 0 accepted (reply printed), 1 daemon rejected the\n"
     "            request, 2 usage error or daemon unreachable\n";
@@ -229,7 +245,7 @@ int
 submitMain(const std::vector<std::string> &args, std::ostream &out,
            std::ostream &err)
 {
-    std::string socket_path, benchmark, device;
+    std::string socket_path, benchmark, device, trace_dir;
     std::uint64_t shots = 2000, repetitions = 3, seed = 12345;
     std::uint64_t fault_seed = 0;
     bool faults = false, wait = true;
@@ -282,6 +298,11 @@ submitMain(const std::vector<std::string> &args, std::ostream &out,
             faults = true;
         } else if (arg == "--no-wait") {
             wait = false;
+        } else if (arg == "--trace") {
+            auto v = value();
+            if (!v)
+                return submitUsageError(err, "--trace needs DIR");
+            trace_dir = *v;
         } else if (arg == "--help") {
             out << kSubmitUsageText;
             return kSubmitOk;
@@ -293,6 +314,14 @@ submitMain(const std::vector<std::string> &args, std::ostream &out,
         return submitUsageError(
             err, "--socket, --benchmark and --device are required");
 
+    // The client originates the trace: the context is derived from the
+    // same (seed, benchmark, device) identity the daemon would use, so
+    // --trace on either side (or both) lands on the same trace id.
+    const obs::TraceContext trace =
+        obs::TraceContext::derive(seed, benchmark, device);
+    if (!trace_dir.empty())
+        obs::startTracing(trace_dir);
+
     std::ostringstream request;
     request << "{\"type\":\"submit\",\"benchmark\":\""
             << obs::escapeJson(benchmark) << "\",\"device\":\""
@@ -300,10 +329,22 @@ submitMain(const std::vector<std::string> &args, std::ostream &out,
             << ",\"repetitions\":" << repetitions << ",\"seed\":" << seed
             << ",\"faults\":" << (faults ? "true" : "false")
             << ",\"fault_seed\":" << fault_seed
-            << ",\"wait\":" << (wait ? "true" : "false") << "}";
+            << ",\"wait\":" << (wait ? "true" : "false")
+            << ",\"trace\":{\"id\":\"" << trace.traceIdHex()
+            << "\",\"parent\":\"" << trace.parentSpanHex() << "\"}}";
 
     std::string reply, error;
-    if (!requestOverSocket(socket_path, request.str(), &reply, &error)) {
+    bool sent = false;
+    {
+        obs::TraceContextScope trace_scope(trace);
+        SMQ_TRACE_SPAN(obs::names::kSpanSubmit,
+                       obs::jsonField("benchmark", benchmark));
+        sent = requestOverSocket(socket_path, request.str(), &reply,
+                                 &error);
+    }
+    if (!trace_dir.empty())
+        obs::stopTracing();
+    if (!sent) {
         err << "smq_sentinel: " << error << "\n";
         return kSubmitUsage;
     }

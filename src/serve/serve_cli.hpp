@@ -17,6 +17,8 @@
  *     --max-sim-qubits N  simulator width gate (22)
  *     --manifest-dir DIR  write per-job and final run manifests here
  *     --trace DIR         record spans; written on shutdown
+ *     --metrics-file PATH Prometheus text snapshot, rewritten
+ *                         atomically after every stats request
  *     --no-metrics        leave the metric registry disabled
  *
  * Exit codes (stable contract, documented in docs/OPERATIONS.md):
@@ -67,7 +69,12 @@ enum SubmitExit : int
  *
  *     submit --socket PATH --benchmark NAME --device NAME
  *            [--shots N] [--repetitions N] [--seed N]
- *            [--faults] [--fault-seed N] [--no-wait]
+ *            [--faults] [--fault-seed N] [--no-wait] [--trace DIR]
+ *
+ * The submit always carries the deterministic trace context derived
+ * from (seed, benchmark, device); `--trace DIR` additionally records
+ * the client-side `submit` span to DIR so `smq_sentinel report
+ * --trace` can stitch it with the daemon's spans.
  *
  * @p args excludes the program name and the `submit` word itself.
  */

@@ -6,12 +6,15 @@
 
 #include "core/harness.hpp"
 #include "jobs/scheduler.hpp"
+#include "obs/exposition.hpp"
+#include "obs/fsio.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "serve/factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "util/stop.hpp"
 
 namespace smq::serve {
@@ -173,6 +176,21 @@ Server::executeJob(Job &job)
     static obs::Counter &completed =
         obs::counter(obs::names::kServeJobsCompleted);
 
+    // All spans below — queue-wait, serve.job, and everything
+    // jobs::runJob opens down to the kernels — inherit this job's
+    // trace identity, so a cross-process waterfall stitches on it.
+    obs::TraceContextScope trace_scope(job.trace);
+    if (obs::spanSinkActive() &&
+        job.enqueuedAt.time_since_epoch().count() != 0) {
+        const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - job.enqueuedAt)
+                .count());
+        obs::recordSpan(obs::names::kSpanServeQueueWait,
+                        job.enqueueTraceNs, wait_ns,
+                        obs::jsonField("job", job.id));
+    }
+
     jobs::JobOptions options;
     options.harness.shots = job.spec.shots;
     options.harness.repetitions =
@@ -193,7 +211,8 @@ Server::executeJob(Job &job)
     core::BenchmarkRun run;
     try {
         jobs::SweepContext ctx(options, injector);
-        SMQ_TRACE_SPAN(obs::names::kSpanServeJob);
+        SMQ_TRACE_SPAN(obs::names::kSpanServeJob,
+                       obs::jsonField("job", job.id));
         run = jobs::runJob(*job.benchmark, *job.device, options, ctx);
     } catch (const std::exception &e) {
         run.benchmark = job.spec.benchmark;
@@ -220,6 +239,7 @@ Server::executeJob(Job &job)
         manifest.extra["serve.device"] = job.spec.device;
         manifest.extra["serve.cache_key"] = job.key.hex;
         manifest.extra["serve.status"] = core::toString(run.status);
+        manifest.extra["serve.trace_id"] = job.trace.traceIdHex();
         const std::string path = options_.manifestDir + "/" + job.id +
                                  "_manifest.json";
         if (!manifest.writeFile(path)) {
@@ -346,7 +366,8 @@ Server::submitReply(const Job &job, bool include_result) const
     out << "{\"ok\":true,\"type\":\"submit\",\"id\":\"" << job.id
         << "\",\"state\":\"" << toString(job.state) << "\",\"cached\":"
         << (job.cached ? "true" : "false") << ",\"cache_key\":\""
-        << job.key.hex << "\"";
+        << job.key.hex << "\",\"trace_id\":\"" << job.trace.traceIdHex()
+        << "\"";
     if (include_result && job.state == JobState::Done)
         out << ",\"result\":" << job.payload;
     out << "}";
@@ -377,6 +398,23 @@ Server::handleSubmit(const SubmitSpec &spec)
     CacheKey key = deriveCacheKey(spec, *benchmark, *device);
     std::optional<std::string> cached = cache_.lookup(key.hex);
 
+    // Adopt the client's trace context, or derive one from the run
+    // identity so a daemon-side trace always has an id to stitch on.
+    // Either way the id is a pure function of the submit, never of
+    // timing — the byte-identity contract.
+    static obs::Counter &trace_propagated =
+        obs::counter(obs::names::kTracePropagated);
+    static obs::Counter &trace_derived =
+        obs::counter(obs::names::kTraceDerived);
+    obs::TraceContext trace = spec.trace;
+    if (trace.valid()) {
+        trace_propagated.add();
+    } else {
+        trace = obs::TraceContext::derive(spec.seed, spec.benchmark,
+                                          spec.device);
+        trace_derived.add();
+    }
+
     std::shared_ptr<Job> job;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -393,6 +431,7 @@ Server::handleSubmit(const SubmitSpec &spec)
         job->benchmark = std::move(benchmark);
         job->device = device;
         job->key = std::move(key);
+        job->trace = trace;
         jobs_.emplace(job->id, job);
         if (cached) {
             job->state = JobState::Done;
@@ -401,7 +440,10 @@ Server::handleSubmit(const SubmitSpec &spec)
             finishJobLocked(*job);
         } else {
             submitted.add();
+            job->enqueuedAt = std::chrono::steady_clock::now();
+            job->enqueueTraceNs = obs::traceNowNs();
             queue_.push_back(job);
+            queueHighWater_ = std::max(queueHighWater_, queue_.size());
             workAvailable_.notify_one();
         }
     }
@@ -513,24 +555,83 @@ Server::handleStats()
     // holding mutex_ would order against workers inserting results.
     const CacheStats cache = cache_.stats();
     const JobCounts counts = jobCounts();
+    // Quantiles come from the same shared registry histogram the spans
+    // feed and the same obs::histogramQuantile the Prometheus snapshot
+    // and the HTML report use — one derivation, three surfaces.
+    const obs::HistogramSnapshot job_ns =
+        obs::histogram(std::string(obs::names::kStageHistogramPrefix) +
+                       obs::names::kSpanServeJob +
+                       obs::names::kStageHistogramSuffix)
+            .snapshot();
+    const std::uint64_t uptime = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+    const double ratio =
+        cache.hits + cache.misses == 0
+            ? 0.0
+            : static_cast<double>(cache.hits) /
+                  static_cast<double>(cache.hits + cache.misses);
+    std::string reply;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::ostringstream out;
+        out << "{\"ok\":true,\"type\":\"stats\",\"protocol\":\""
+            << kProtocolVersion << "\""
+            << ",\"workers\":" << options_.workers
+            << ",\"uptime_seconds\":" << uptime
+            << ",\"queue_depth\":" << queue_.size()
+            << ",\"queue_limit\":" << options_.queueLimit
+            << ",\"queue_high_water\":" << queueHighWater_
+            << ",\"draining\":" << (shuttingDown() ? "true" : "false")
+            << ",\"jobs\":{\"queued\":" << counts.queued
+            << ",\"running\":" << counts.running
+            << ",\"done\":" << counts.done
+            << ",\"cancelled\":" << counts.cancelled << "}"
+            << ",\"job_ns\":{\"count\":" << job_ns.count << ",\"p50\":";
+        writeNumber(out, obs::histogramQuantile(job_ns, 0.5));
+        out << ",\"p90\":";
+        writeNumber(out, obs::histogramQuantile(job_ns, 0.9));
+        out << ",\"p99\":";
+        writeNumber(out, obs::histogramQuantile(job_ns, 0.99));
+        out << "}"
+            << ",\"cache\":{\"entries\":" << cache.entries
+            << ",\"bytes\":" << cache.bytes
+            << ",\"budget_bytes\":" << options_.cacheBytes
+            << ",\"hits\":" << cache.hits
+            << ",\"misses\":" << cache.misses
+            << ",\"evictions\":" << cache.evictions
+            << ",\"hit_ratio\":";
+        writeNumber(out, ratio);
+        out << "}}";
+        reply = out.str();
+    }
+    // Refresh the textfile-collector snapshot outside the lock: a
+    // slow disk must not stall submit/worker progress.
+    writeMetricsFile();
+    return reply;
+}
+
+void
+Server::writeMetricsFile()
+{
+    if (options_.metricsFile.empty())
+        return;
+    std::string error;
+    if (!obs::atomicWriteFile(options_.metricsFile,
+                              obs::renderPrometheusSnapshot(), &error)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (storageError_.empty())
+            storageError_ = "metrics write failed (" +
+                            options_.metricsFile + "): " + error;
+    }
+}
+
+std::size_t
+Server::queueHighWater() const
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    std::ostringstream out;
-    out << "{\"ok\":true,\"type\":\"stats\",\"protocol\":\""
-        << kProtocolVersion << "\""
-        << ",\"workers\":" << options_.workers
-        << ",\"queue_depth\":" << queue_.size()
-        << ",\"queue_limit\":" << options_.queueLimit
-        << ",\"draining\":" << (shuttingDown() ? "true" : "false")
-        << ",\"jobs\":{\"queued\":" << counts.queued
-        << ",\"running\":" << counts.running
-        << ",\"done\":" << counts.done
-        << ",\"cancelled\":" << counts.cancelled << "}"
-        << ",\"cache\":{\"entries\":" << cache.entries
-        << ",\"bytes\":" << cache.bytes
-        << ",\"budget_bytes\":" << options_.cacheBytes
-        << ",\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
-        << ",\"evictions\":" << cache.evictions << "}}";
-    return out.str();
+    return queueHighWater_;
 }
 
 std::string

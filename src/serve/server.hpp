@@ -33,6 +33,7 @@
 #define SMQ_SERVE_SERVER_HPP
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -72,6 +73,13 @@ struct ServerOptions
     bool autoStart = true;
     /** Terminal job records retained for status/result queries. */
     std::size_t retainedJobs = 10000;
+    /**
+     * When non-empty: rewrite this file (atomically) with a Prometheus
+     * text snapshot of the metric registry after every `stats` request
+     * (`smq_serve --metrics-file`). A textfile collector pointed here
+     * scrapes the daemon without speaking the protocol.
+     */
+    std::string metricsFile;
 };
 
 /** Point-in-time job-state tallies (for `stats` replies and tests). */
@@ -135,9 +143,19 @@ class Server
     /** First manifest-write failure ("write: No space left..."). */
     std::string storageError() const;
 
+    /**
+     * Write the Prometheus snapshot to options().metricsFile now
+     * (no-op without one). The stats path calls this after every
+     * reply; the CLI calls it once more after drain so the final
+     * scrape reflects the whole daemon lifetime.
+     */
+    void writeMetricsFile();
+
     CacheStats cacheStats() const { return cache_.stats(); }
     JobCounts jobCounts() const;
     std::size_t queueDepth() const;
+    /** Largest queue depth observed since construction. */
+    std::size_t queueHighWater() const;
     const ServerOptions &options() const { return options_; }
 
   private:
@@ -153,6 +171,14 @@ class Server
         bool interrupted = false; ///< salvaged under cancel/shutdown
         std::atomic<bool> cancelRequested{false};
         std::string payload; ///< result JSON once state == Done
+        /** Trace identity: adopted from the wire or derived from the
+         *  spec; every span the job emits carries it. */
+        obs::TraceContext trace;
+        /** Enqueue instant, for the `serve.queue_wait` span. Epoch
+         *  (zero) for cache hits, which never queue. */
+        std::chrono::steady_clock::time_point enqueuedAt{};
+        /** Trace-epoch timestamp of the enqueue (0 when tracing off). */
+        std::uint64_t enqueueTraceNs = 0;
     };
 
     std::string handleSubmit(const SubmitSpec &spec);
@@ -188,6 +214,9 @@ class Server
     std::atomic<bool> stopping_{false};
     bool workersRunning_ = false;
     std::string storageError_;
+    const std::chrono::steady_clock::time_point startTime_ =
+        std::chrono::steady_clock::now();
+    std::size_t queueHighWater_ = 0; ///< guarded by mutex_
 
     std::unique_ptr<util::ThreadPool> pool_;
     std::thread scheduler_;

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace smq::sim {
 
 namespace {
@@ -61,8 +64,14 @@ void
 checkAllocationBudget(const std::string &what, std::size_t bytes)
 {
     const std::size_t budget = memoryBudgetBytes();
-    if (bytes <= budget)
+    if (bytes <= budget) {
+        // Every budget-checked simulator allocation is accounted here,
+        // so per-job manifests can report how much state a run sized.
+        static obs::Counter &alloc_bytes =
+            obs::counter(obs::names::kSimAllocBytes);
+        alloc_bytes.add(bytes);
         return;
+    }
     throw ResourceExhausted(
         what + " needs " + std::to_string(bytes >> 20) +
             " MiB, over the simulator memory budget of " +

@@ -90,6 +90,11 @@ void
 ThreadPool::runIndices()
 {
     PoolTaskScope inPool;
+    // Propagate the submitting thread's trace context: on the caller
+    // this re-installs its own context (no-op); on workers it makes
+    // task-level spans carry the batch's trace identity. Never
+    // consulted by task bodies for randomness, so determinism holds.
+    obs::TraceContextScope traceScope(batchContext_);
     for (;;) {
         if (stopCheck_ != nullptr && *stopCheck_ && (*stopCheck_)())
             return;
@@ -144,6 +149,7 @@ ThreadPool::parallelFor(std::size_t n,
     std::unique_lock<std::mutex> lock(mutex_);
     body_ = &body;
     stopCheck_ = stop ? &stop : nullptr;
+    batchContext_ = obs::currentTraceContext();
     batchSize_ = n;
     next_.store(0, std::memory_order_relaxed);
     activeWorkers_ = workers_.size();

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace_context.hpp"
+
 namespace smq::util {
 
 /**
@@ -97,6 +99,10 @@ class ThreadPool
     std::condition_variable done_;
     const std::function<void(std::size_t)> *body_ = nullptr;
     const std::function<bool()> *stopCheck_ = nullptr;
+    /** Submitting thread's trace context, re-installed on every
+     *  worker for the batch so spans recorded inside tasks carry the
+     *  batch's trace identity at any --jobs. */
+    obs::TraceContext batchContext_;
     std::size_t batchSize_ = 0;
     std::atomic<std::size_t> next_{0};
     std::size_t activeWorkers_ = 0;

@@ -32,12 +32,14 @@
 #include "core/harness.hpp"
 #include "device/device.hpp"
 #include "fig_data.hpp"
+#include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "report/history.hpp"
 #include "sim/density_matrix.hpp"
 
@@ -206,6 +208,204 @@ TEST_F(ObsTest, HistogramBucketsFollowLog2)
     EXPECT_EQ(snap.buckets[2], 2u);
     EXPECT_EQ(snap.buckets[3], 1u);
     EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Quantiles and Prometheus exposition
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramQuantileInterpolatesWithinBucketsAndClamps)
+{
+    obs::Histogram &empty = obs::histogram("test.obs.quantile.empty");
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(empty.snapshot(), 0.5), 0.0);
+
+    // A single observation is every quantile.
+    obs::Histogram &one = obs::histogram("test.obs.quantile.one");
+    one.record(1000);
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(obs::histogramQuantile(one.snapshot(), q),
+                         1000.0);
+
+    // 1..1000 uniformly: exact at the clamped ends, inside the
+    // covering log2 bucket elsewhere, monotone in q.
+    obs::Histogram &wide = obs::histogram("test.obs.quantile.wide");
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        wide.record(v);
+    obs::HistogramSnapshot snap = wide.snapshot();
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 1.0), 1000.0);
+    const double p50 = obs::histogramQuantile(snap, 0.5);
+    const double p90 = obs::histogramQuantile(snap, 0.9);
+    const double p99 = obs::histogramQuantile(snap, 0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    // True p50 = 500.5 lands in the [256, 511] bucket; p99 = 990 in
+    // [512, 1023], clamped to the recorded max of 1000.
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 512.0);
+    EXPECT_GE(p99, 512.0);
+    EXPECT_LE(p99, 1000.0);
+    // Pure function of the snapshot.
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap, 0.9), p90);
+}
+
+TEST_F(ObsTest, PrometheusRenderIsSanitizedTypedAndDeterministic)
+{
+    obs::counter("test.prom.counter").add(5);
+    obs::gauge("test.prom.gauge").set(-3);
+    obs::Histogram &hist = obs::histogram("test.prom.lat.ns");
+    for (std::uint64_t v : {10u, 20u, 30u, 40u})
+        hist.record(v);
+
+    const std::string text = obs::renderPrometheusSnapshot();
+    const auto has = [&text](const char *needle) {
+        return text.find(needle) != std::string::npos;
+    };
+    // Names carry the smq_ prefix, dots sanitized to underscores.
+    EXPECT_TRUE(has("# TYPE smq_test_prom_counter counter")) << text;
+    EXPECT_TRUE(has("smq_test_prom_counter 5"));
+    EXPECT_TRUE(has("# TYPE smq_test_prom_gauge gauge"));
+    EXPECT_TRUE(has("smq_test_prom_gauge -3"));
+    // Histograms render as summaries: three quantiles + sum/count,
+    // quantiles from the same obs::histogramQuantile stats replies use.
+    EXPECT_TRUE(has("# TYPE smq_test_prom_lat_ns summary"));
+    EXPECT_TRUE(has("smq_test_prom_lat_ns{quantile=\"0.5\"}"));
+    EXPECT_TRUE(has("smq_test_prom_lat_ns{quantile=\"0.9\"}"));
+    EXPECT_TRUE(has("smq_test_prom_lat_ns{quantile=\"0.99\"}"));
+    EXPECT_TRUE(has("smq_test_prom_lat_ns_sum 100"));
+    EXPECT_TRUE(has("smq_test_prom_lat_ns_count 4"));
+    // No raw dotted name escapes sanitization...
+    EXPECT_FALSE(has("test.prom"));
+    // ...and rendering is a pure function of the registry state.
+    EXPECT_EQ(text, obs::renderPrometheusSnapshot());
+}
+
+TEST_F(ObsTest, ResourceProbesAnswerAndLandInManifests)
+{
+    EXPECT_GT(obs::peakRssBytes(), 0u);
+    const std::uint64_t process_cpu = obs::processCpuNs();
+    EXPECT_GT(process_cpu, 0u);
+    // A thread's CPU time is bounded by the whole process's — but only
+    // when the thread clock is sampled first: both clocks keep ticking
+    // between the two reads, so the later (process) sample dominates.
+    const std::uint64_t thread_cpu = obs::threadCpuNs();
+    EXPECT_LE(thread_cpu, obs::processCpuNs());
+
+    obs::RunManifest manifest = obs::RunManifest::capture("probe_test");
+    EXPECT_GT(manifest.counters[obs::names::kRssPeakBytes], 0u);
+    EXPECT_GE(manifest.counters[obs::names::kCpuProcessNs], process_cpu);
+}
+
+// ---------------------------------------------------------------------
+// Trace-context propagation
+// ---------------------------------------------------------------------
+
+TEST(ObsTraceContext, DerivationIsDeterministicAndSensitive)
+{
+    const obs::TraceContext a =
+        obs::TraceContext::derive(7, "ghz_3", "AQT");
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a, obs::TraceContext::derive(7, "ghz_3", "AQT"));
+    EXPECT_FALSE(a == obs::TraceContext::derive(8, "ghz_3", "AQT"));
+    EXPECT_FALSE(a == obs::TraceContext::derive(7, "ghz_4", "AQT"));
+    EXPECT_FALSE(a == obs::TraceContext::derive(7, "ghz_3", "IonQ"));
+    EXPECT_EQ(a.traceIdHex().size(), 32u);
+    EXPECT_EQ(a.parentSpanHex().size(), 16u);
+}
+
+TEST(ObsTraceContext, HexRoundTripsAndParsingIsStrict)
+{
+    const obs::TraceContext a =
+        obs::TraceContext::derive(7, "ghz_3", "AQT");
+    const std::string id = a.traceIdHex();
+    std::optional<obs::TraceContext> back =
+        obs::TraceContext::fromHex(id, a.parentSpanHex());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+
+    // The parent half is optional on the wire.
+    std::optional<obs::TraceContext> headless =
+        obs::TraceContext::fromHex(id, "");
+    ASSERT_TRUE(headless.has_value());
+    EXPECT_EQ(headless->parentSpan, 0u);
+
+    EXPECT_FALSE(obs::TraceContext::fromHex("", "").has_value());
+    EXPECT_FALSE(
+        obs::TraceContext::fromHex(id.substr(1), "").has_value());
+    EXPECT_FALSE(obs::TraceContext::fromHex(id + "0", "").has_value());
+    std::string upper = id;
+    upper[0] = 'A';
+    EXPECT_FALSE(obs::TraceContext::fromHex(upper, "").has_value());
+    std::string nonhex = id;
+    nonhex[5] = 'g';
+    EXPECT_FALSE(obs::TraceContext::fromHex(nonhex, "").has_value());
+    // All-zero means "no context" and is not a parseable id.
+    EXPECT_FALSE(
+        obs::TraceContext::fromHex(std::string(32, '0'), "").has_value());
+    EXPECT_FALSE(obs::TraceContext::fromHex(id, "xyz").has_value());
+    EXPECT_FALSE(obs::TraceContext::fromHex(id, id).has_value());
+}
+
+TEST(ObsTraceContext, ScopesInstallNestAndRestore)
+{
+    EXPECT_FALSE(obs::currentTraceContext().valid());
+    const obs::TraceContext outer = obs::TraceContext::derive(1, "a", "b");
+    const obs::TraceContext inner = obs::TraceContext::derive(2, "c", "d");
+    {
+        obs::TraceContextScope outer_scope(outer);
+        EXPECT_EQ(obs::currentTraceContext(), outer);
+        {
+            obs::TraceContextScope inner_scope(inner);
+            EXPECT_EQ(obs::currentTraceContext(), inner);
+            {
+                // An invalid context is a no-op scope, not a clear.
+                obs::TraceContextScope noop{obs::TraceContext{}};
+                EXPECT_EQ(obs::currentTraceContext(), inner);
+            }
+        }
+        EXPECT_EQ(obs::currentTraceContext(), outer);
+    }
+    EXPECT_FALSE(obs::currentTraceContext().valid());
+}
+
+TEST(ObsTraceContext, SpanEventsCarryTheInstalledContext)
+{
+    obs::setMetricsEnabled(false);
+    std::filesystem::path dir = freshDir("smq_obs_ctx_spans");
+    const obs::TraceContext ctx =
+        obs::TraceContext::derive(9, "ghz_3", "AQT");
+    obs::startTracing(dir.string());
+    {
+        SMQ_TRACE_SPAN("untagged");
+    }
+    {
+        obs::TraceContextScope scope(ctx);
+        SMQ_TRACE_SPAN("tagged", obs::jsonField("k", "v"));
+    }
+    obs::stopTracing();
+
+    obs::JsonValue root = obs::parseJson(slurp(dir / "trace.json"));
+    const obs::JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array.size(), 2u);
+    for (const obs::JsonValue &e : events->array) {
+        const std::string name = e.at("name").asString();
+        const obs::JsonValue *args = e.find("args");
+        if (name == "tagged") {
+            ASSERT_NE(args, nullptr);
+            EXPECT_EQ(args->at("trace.id").asString(), ctx.traceIdHex());
+            EXPECT_EQ(args->at("trace.parent").asString(),
+                      ctx.parentSpanHex());
+            EXPECT_EQ(args->at("k").asString(), "v");
+        } else {
+            ASSERT_EQ(name, "untagged");
+            // Without a context the event format is untouched, so
+            // pre-propagation traces stay byte-identical.
+            if (args != nullptr) {
+                EXPECT_EQ(args->find("trace.id"), nullptr);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -384,6 +584,44 @@ TEST(ObsDeterminism, GridByteIdenticalWithTracingOnAtAnyJobs)
         obs::setMetricsEnabled(false);
         EXPECT_EQ(traced, baseline)
             << "observability perturbed the grid at jobs=" << jobs;
+    }
+    obs::resetMetrics();
+}
+
+TEST(ObsDeterminism, GridByteIdenticalWithTraceContextInstalled)
+{
+    // Propagation on top of tracing: installing a trace context (which
+    // the pool forwards to its workers) must not perturb the grid
+    // either, at any --jobs — and the spans workers record must carry
+    // the installed identity.
+    obs::setMetricsEnabled(false);
+    bench::Scale scale = miniScale();
+    scale.jobs = 1;
+    const std::string baseline =
+        bench::serializeGrid(bench::computeFig2Grid(scale));
+
+    const obs::TraceContext ctx =
+        obs::TraceContext::derive(12345, "fig2", "grid");
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        obs::resetMetrics();
+        obs::setMetricsEnabled(true);
+        std::filesystem::path dir =
+            freshDir("smq_obs_ctx_grid_j" + std::to_string(jobs));
+        obs::startTracing(dir.string());
+        std::string traced;
+        {
+            obs::TraceContextScope scope(ctx);
+            scale.jobs = jobs;
+            traced = bench::serializeGrid(bench::computeFig2Grid(scale));
+        }
+        obs::stopTracing();
+        obs::setMetricsEnabled(false);
+        EXPECT_EQ(traced, baseline)
+            << "trace propagation perturbed the grid at jobs=" << jobs;
+        // Spans recorded on pool workers inherit the batch's context.
+        EXPECT_NE(slurp(dir / "events.jsonl").find(ctx.traceIdHex()),
+                  std::string::npos)
+            << "no worker span carried the trace id at jobs=" << jobs;
     }
     obs::resetMetrics();
 }

@@ -21,6 +21,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -28,6 +29,7 @@
 
 #include "fig_data.hpp"
 #include "obs/fsio.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/progress.hpp"
@@ -87,9 +89,14 @@ sampleRecord(double grid_ms = 120.0)
     return rec;
 }
 
-/** Minimal BENCH_perf.json with one grid stage at @p grid_ms. */
+/**
+ * Minimal BENCH_perf.json with one grid stage at @p grid_ms. A
+ * negative @p propagation_frac writes a pre-PR-9 file without the
+ * propagation measurement.
+ */
 void
-writePerfJson(const std::filesystem::path &path, double grid_ms)
+writePerfJson(const std::filesystem::path &path, double grid_ms,
+              double propagation_frac = -1.0)
 {
     std::ostringstream out;
     out << "{\n  \"threads_available\": 4,\n  \"grid_jobs\": 4,\n"
@@ -98,9 +105,75 @@ writePerfJson(const std::filesystem::path &path, double grid_ms)
         << "    {\"name\": \"fig2_grid_serial\", \"wall_ms\": "
         << grid_ms << "}\n  ],\n"
         << "  \"obs_overhead\": {\"metrics_off_ms\": 10.0, "
-        << "\"metrics_on_ms\": 10.04, \"overhead_frac\": 0.004, "
-        << "\"within_2pct\": true}\n}\n";
+        << "\"metrics_on_ms\": 10.04, \"overhead_frac\": 0.004, ";
+    if (propagation_frac >= 0.0)
+        out << "\"propagation_frac\": " << propagation_frac << ", ";
+    out << "\"within_2pct\": true}\n}\n";
     ASSERT_TRUE(obs::atomicWriteFile(path.string(), out.str()));
+}
+
+/** One Chrome trace-event line for a hand-built trace.json. */
+std::string
+traceEvent(const char *name, double ts_us, double dur_us, int tid,
+           const std::string &trace_id)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "{\"name\":\"" << name
+        << "\",\"cat\":\"smq\",\"ph\":\"X\",\"ts\":" << ts_us
+        << ",\"dur\":" << dur_us << ",\"tid\":" << tid
+        << ",\"args\":{\"trace.id\":\"" << trace_id << "\"}}";
+    return out.str();
+}
+
+void
+writeTraceJson(const std::filesystem::path &dir,
+               const std::string &events)
+{
+    std::filesystem::create_directories(dir);
+    ASSERT_TRUE(obs::atomicWriteFile(
+        (dir / "trace.json").string(),
+        "{\"traceEvents\":[" + events + "]}\n"));
+}
+
+const std::string kTraceA(32, 'a');
+const std::string kTraceB(32, 'b');
+
+/**
+ * A synthetic two-process trace pair: a client dir with one `submit`
+ * span and a daemon dir whose clock epoch sits 44 s later, holding
+ * the server-side spans of the same trace plus one span of an
+ * unrelated trace. @p ts_shift_us moves a dir's epoch without moving
+ * any span relative to its siblings — stitching must erase it.
+ */
+void
+writeStitchDirs(const std::filesystem::path &client,
+                const std::filesystem::path &daemon,
+                double client_shift_us = 0.0,
+                double daemon_shift_us = 0.0)
+{
+    writeTraceJson(client, traceEvent("submit", 7000.0 + client_shift_us,
+                                      900.0, 1, kTraceB));
+    writeTraceJson(
+        daemon,
+        traceEvent("serve.job", 52000.0 + daemon_shift_us, 400.0, 4,
+                   kTraceB) +
+            "," +
+            traceEvent("serve.queue_wait", 51000.0 + daemon_shift_us,
+                       800.0, 4, kTraceB) +
+            "," +
+            traceEvent("job", 52050.0 + daemon_shift_us, 300.0, 4,
+                       kTraceA));
+}
+
+std::string
+slurpFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    return contents.str();
 }
 
 bench::Scale
@@ -348,6 +421,177 @@ TEST_F(ReportTest, SentinelIngestFlattensManifestDirectories)
     ASSERT_EQ(load.records.size(), 1u);
     EXPECT_EQ(load.records[0].tool, "ingest_tool");
     EXPECT_EQ(load.records[0].extra["origin"], "test");
+}
+
+TEST_F(ReportTest, PropagationGateSkipsLegacyFilesAndJudgesNewOnes)
+{
+    const std::filesystem::path dir = freshDir("report_propagation");
+
+    // Pre-PR-9 perf files carry no propagation measurement: the
+    // snapshot says so explicitly (-1), and flattening to history
+    // omits the key rather than recording a phantom 0.
+    const std::string legacy = (dir / "legacy.json").string();
+    writePerfJson(legacy, 100.0);
+    report::PerfSnapshot old_snap = report::loadPerfJson(legacy);
+    EXPECT_DOUBLE_EQ(old_snap.obsPropagationFrac, -1.0);
+    EXPECT_EQ(report::historyFromPerf(old_snap)
+                  .values.count("obs_propagation_frac"),
+              0u);
+
+    // A current file round-trips the fraction into history values.
+    const std::string fresh = (dir / "fresh.json").string();
+    writePerfJson(fresh, 100.0, 0.004);
+    report::PerfSnapshot snap = report::loadPerfJson(fresh);
+    EXPECT_DOUBLE_EQ(snap.obsPropagationFrac, 0.004);
+    EXPECT_DOUBLE_EQ(report::historyFromPerf(snap).values.at(
+                         "obs_propagation_frac"),
+                     0.004);
+
+    std::vector<report::HistoryRecord> history;
+    for (double frac : {0.004, 0.005, 0.006}) {
+        report::HistoryRecord rec = sampleRecord(100.0);
+        rec.values["obs_propagation_frac"] = frac;
+        history.push_back(rec);
+    }
+    report::PerfSnapshot current;
+    current.shots = 100;
+    current.repetitions = 2;
+    current.stageMs["fig2_grid_serial"] = 100.0;
+
+    // Inside the absolute 2% budget nothing fails, even at ~4x the
+    // baseline median — overhead within budget is not a regression.
+    current.obsPropagationFrac = 0.019;
+    EXPECT_FALSE(report::checkPerf(current, history).regression());
+
+    // Blowing the budget AND the robust gates regresses, attributed
+    // to the propagation pseudo-stage in the verdict table.
+    current.obsPropagationFrac = 0.05;
+    report::CheckReport busted = report::checkPerf(current, history);
+    EXPECT_TRUE(busted.regression());
+    bool propagation_regressed = false;
+    for (const report::StageCheck &stage : busted.stages) {
+        if (stage.stage == "obs_propagation_frac")
+            propagation_regressed = stage.regressed;
+    }
+    EXPECT_TRUE(propagation_regressed);
+    EXPECT_NE(busted.render().find("obs_propagation_frac"),
+              std::string::npos);
+
+    // A legacy *current* run: the gate is absent, not a zero verdict.
+    current.obsPropagationFrac = -1.0;
+    report::CheckReport skipped = report::checkPerf(current, history);
+    EXPECT_FALSE(skipped.regression());
+    for (const report::StageCheck &stage : skipped.stages)
+        EXPECT_NE(stage.stage, "obs_propagation_frac");
+}
+
+// ---------------------------------------------------------------------
+// Multi-process trace stitching
+// ---------------------------------------------------------------------
+
+TEST_F(ReportTest, MergedChromeTraceNormalizesEpochsDeterministically)
+{
+    const std::filesystem::path dir = freshDir("report_merged_trace");
+    const std::filesystem::path client = dir / "client";
+    const std::filesystem::path daemon = dir / "daemon";
+    writeStitchDirs(client, daemon);
+
+    std::string note;
+    const std::string merged = report::renderMergedChromeTrace(
+        {client.string(), daemon.string()}, note);
+    EXPECT_TRUE(note.empty()) << note;
+
+    obs::JsonValue root = obs::parseJson(merged);
+    const std::vector<obs::JsonValue> &events =
+        root.at("traceEvents").array;
+    ASSERT_EQ(events.size(), 4u);
+
+    // Ordered by (trace id, process, ts): trace A's lone daemon span
+    // first, then trace B's client submit followed by the daemon side.
+    EXPECT_EQ(events[0].at("name").asString(), "job");
+    EXPECT_EQ(events[0].at("pid").asU64(), 2u);
+    EXPECT_EQ(events[0].at("args").at("trace.id").asString(), kTraceA);
+    EXPECT_EQ(events[1].at("name").asString(), "submit");
+    EXPECT_EQ(events[1].at("pid").asU64(), 1u);
+    EXPECT_EQ(events[2].at("name").asString(), "serve.queue_wait");
+    EXPECT_EQ(events[2].at("pid").asU64(), 2u);
+    EXPECT_EQ(events[3].at("name").asString(), "serve.job");
+    EXPECT_EQ(events[3].at("args").at("trace.id").asString(), kTraceB);
+
+    // Each directory's timestamps are normalized to its own earliest
+    // span: both processes start at 0 despite 44 s of epoch skew.
+    EXPECT_DOUBLE_EQ(events[1].at("ts").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(events[2].at("ts").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(events[3].at("ts").asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(events[0].at("ts").asDouble(), 1050.0);
+
+    // Shifting either process's clock epoch is invisible: the merged
+    // document is byte-identical, which is the determinism contract.
+    writeStitchDirs(client, daemon, /*client_shift_us=*/123456.25,
+                    /*daemon_shift_us=*/987654.5);
+    std::string shifted_note;
+    EXPECT_EQ(report::renderMergedChromeTrace(
+                  {client.string(), daemon.string()}, shifted_note),
+              merged);
+
+    // An unreadable directory degrades to a note, not a failure.
+    std::string missing_note;
+    EXPECT_EQ(report::renderMergedChromeTrace(
+                  {client.string(), daemon.string(),
+                   (dir / "nope").string()},
+                  missing_note),
+              merged);
+    EXPECT_NE(missing_note.find("no trace.json"), std::string::npos);
+}
+
+TEST_F(ReportTest, HtmlReportDrawsStitchedPerProcessLanes)
+{
+    const std::filesystem::path dir = freshDir("report_stitch_html");
+    const std::filesystem::path client = dir / "client";
+    const std::filesystem::path daemon = dir / "daemon";
+    writeStitchDirs(client, daemon);
+
+    report::ReportInputs inputs;
+    inputs.history = {sampleRecord()};
+    inputs.traceDirs = {client.string(), daemon.string()};
+    const std::string html = report::renderHtmlReport(inputs);
+
+    // Lanes are keyed (process, thread) and labelled p<P>/t<T> once
+    // more than one process contributes spans.
+    EXPECT_NE(html.find("p0/t1"), std::string::npos);
+    EXPECT_NE(html.find("p1/t4"), std::string::npos);
+    EXPECT_NE(html.find("process 1, thread 4"), std::string::npos);
+    EXPECT_NE(html.find("serve.queue_wait"), std::string::npos);
+    EXPECT_NE(html.find("trace " + kTraceB), std::string::npos);
+}
+
+TEST_F(ReportTest, SentinelReportCliWritesTheMergedTraceDocument)
+{
+    const std::filesystem::path dir = freshDir("report_merged_cli");
+    const std::filesystem::path client = dir / "client";
+    const std::filesystem::path daemon = dir / "daemon";
+    writeStitchDirs(client, daemon);
+    const std::string store = (dir / "runs.jsonl").string();
+    ASSERT_TRUE(report::appendHistory(store, sampleRecord()));
+
+    const std::string merged_path = (dir / "merged.json").string();
+    const std::string out_path = (dir / "report.html").string();
+    std::ostringstream out, err;
+    EXPECT_EQ(report::sentinelMain(
+                  {"report", "--history", store, "--trace",
+                   client.string(), "--trace", daemon.string(), "--out",
+                   out_path, "--merged-trace", merged_path},
+                  out, err),
+              report::kSentinelOk);
+
+    obs::JsonValue root = obs::parseJson(slurpFile(merged_path));
+    std::set<std::uint64_t> pids;
+    for (const obs::JsonValue &e : root.at("traceEvents").array)
+        pids.insert(e.at("pid").asU64());
+    EXPECT_EQ(pids, (std::set<std::uint64_t>{1, 2}));
+
+    const std::string html = slurpFile(out_path);
+    EXPECT_NE(html.find("p1/t4"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -19,9 +19,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <unistd.h>
 #include <vector>
 
@@ -31,6 +33,8 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/cache.hpp"
 #include "serve/factory.hpp"
 #include "serve/protocol.hpp"
@@ -296,6 +300,52 @@ TEST(ServeProtocol, AcceptsFullyPopulatedSubmit)
     EXPECT_TRUE(spec.wait);
 }
 
+TEST(ServeProtocol, ParsesAndValidatesTheOptionalTraceField)
+{
+    const obs::TraceContext ctx =
+        obs::TraceContext::derive(12345, "ghz_3", "AQT");
+    const std::string prefix =
+        "{\"type\":\"submit\",\"benchmark\":\"ghz_3\",\"device\":"
+        "\"AQT\"";
+
+    serve::ParsedRequest full = serve::parseRequest(
+        prefix + ",\"trace\":{\"id\":\"" + ctx.traceIdHex() +
+        "\",\"parent\":\"" + ctx.parentSpanHex() + "\"}}");
+    ASSERT_TRUE(full.ok()) << full.message;
+    EXPECT_EQ(full.request->submit.trace, ctx);
+
+    // The parent half is optional; an absent trace is "no context".
+    serve::ParsedRequest headless = serve::parseRequest(
+        prefix + ",\"trace\":{\"id\":\"" + ctx.traceIdHex() + "\"}}");
+    ASSERT_TRUE(headless.ok()) << headless.message;
+    EXPECT_EQ(headless.request->submit.trace.traceIdHex(),
+              ctx.traceIdHex());
+    EXPECT_EQ(headless.request->submit.trace.parentSpan, 0u);
+    serve::ParsedRequest absent = serve::parseRequest(prefix + "}");
+    ASSERT_TRUE(absent.ok()) << absent.message;
+    EXPECT_FALSE(absent.request->submit.trace.valid());
+
+    // Present-but-malformed is a typed bad_field, never a silent drop:
+    // a client that meant to correlate spans should learn its ids
+    // never matched.
+    const std::string traces[] = {
+        "\"zzz\"",                                // not an object
+        "{}",                                     // id missing
+        "{\"id\":7}",                             // id not a string
+        "{\"id\":\"abc\"}",                       // wrong length
+        "{\"id\":\"" + std::string(32, '0') + "\"}", // all-zero
+        "{\"id\":\"" + ctx.traceIdHex().substr(0, 31) + "G\"}",
+        "{\"id\":\"" + ctx.traceIdHex() + "\",\"parent\":\"xy\"}",
+        "{\"id\":\"" + ctx.traceIdHex() + "\",\"parent\":4}",
+    };
+    for (const std::string &trace : traces) {
+        serve::ParsedRequest parsed =
+            serve::parseRequest(prefix + ",\"trace\":" + trace + "}");
+        EXPECT_FALSE(parsed.ok()) << trace;
+        EXPECT_EQ(parsed.error, serve::ErrorCode::BadField) << trace;
+    }
+}
+
 TEST(ServeProtocol, ErrorLinesAreValidJson)
 {
     const std::string line = serve::errorLine(
@@ -329,6 +379,21 @@ submitLine(const std::string &benchmark, const std::string &device,
         << ",\"repetitions\":" << repetitions
         << ",\"wait\":" << (wait ? "true" : "false") << "}";
     return out.str();
+}
+
+/** A submit line carrying @p trace as its wire context. */
+std::string
+tracedSubmitLine(const std::string &benchmark, const std::string &device,
+                 bool wait, const obs::TraceContext &trace,
+                 std::uint64_t shots = 50, std::uint64_t repetitions = 2)
+{
+    std::string line =
+        submitLine(benchmark, device, wait, shots, repetitions);
+    line.insert(line.size() - 1, ",\"trace\":{\"id\":\"" +
+                                     trace.traceIdHex() +
+                                     "\",\"parent\":\"" +
+                                     trace.parentSpanHex() + "\"}");
+    return line;
 }
 
 TEST(ServeServer, SubmitWaitExecutesInlineAndSecondHitIsByteIdentical)
@@ -536,6 +601,120 @@ TEST(ServeServer, StatsReportsQueueCacheAndJobTallies)
     EXPECT_EQ(stats.at("cache").at("entries").asU64(), 1u);
 }
 
+TEST(ServeServer, StatsCarriesUptimeHighWaterHitRatioAndJobQuantiles)
+{
+    obs::resetMetrics();
+    obs::setMetricsEnabled(true);
+    serve::Server server(manualOptions());
+    server.handle(submitLine("ghz_3", "AQT", true));
+    server.handle(submitLine("ghz_3", "AQT", true)); // cache hit
+    server.handle(submitLine("ghz_4", "AQT", false)); // queued
+
+    const obs::JsonValue stats =
+        parseReply(server.handle("{\"type\":\"stats\"}"));
+    ASSERT_NE(stats.find("uptime_seconds"), nullptr);
+    // The wait submit and the queued one both passed through the
+    // queue, one at a time; the cache hit never enqueued.
+    EXPECT_EQ(stats.at("queue_high_water").asU64(), 1u);
+    // Lookups: miss (ghz_3), hit (ghz_3), miss (ghz_4).
+    EXPECT_DOUBLE_EQ(stats.at("cache").at("hit_ratio").asDouble(),
+                     1.0 / 3.0);
+    // job_ns tallies *executed* jobs only — the cache hit ran nothing —
+    // with quantiles from the shared stage.serve.job.ns histogram.
+    const obs::JsonValue &job_ns = stats.at("job_ns");
+    EXPECT_EQ(job_ns.at("count").asU64(), 1u);
+    const double p50 = job_ns.at("p50").asDouble();
+    const double p90 = job_ns.at("p90").asDouble();
+    const double p99 = job_ns.at("p99").asDouble();
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    obs::setMetricsEnabled(false);
+    obs::resetMetrics();
+}
+
+TEST(ServeServer, SubmitReplyEchoesTheJobsTraceId)
+{
+    serve::Server server(manualOptions());
+
+    // A propagated client context is adopted verbatim.
+    const obs::TraceContext ctx =
+        obs::TraceContext::derive(777, "client", "side");
+    const std::string propagated = server.handle(
+        tracedSubmitLine("ghz_3", "AQT", true, ctx, 40, 2));
+    ASSERT_TRUE(replyOk(propagated)) << propagated;
+    EXPECT_EQ(replyField(propagated, "trace_id"), ctx.traceIdHex());
+
+    // Without one, the daemon derives the context from the submit's
+    // identity (default seed 12345), deterministically.
+    const std::string derived =
+        server.handle(submitLine("ghz_4", "AQT", true, 40, 2));
+    ASSERT_TRUE(replyOk(derived)) << derived;
+    EXPECT_EQ(replyField(derived, "trace_id"),
+              obs::TraceContext::derive(12345, "ghz_4", "AQT")
+                  .traceIdHex());
+
+    // A cache-served repeat still lands in the *caller's* trace: the
+    // result bytes are shared, the trace identity is per-request.
+    const obs::TraceContext other =
+        obs::TraceContext::derive(778, "client", "side");
+    const std::string repeat = server.handle(
+        tracedSubmitLine("ghz_3", "AQT", true, other, 40, 2));
+    ASSERT_TRUE(replyOk(repeat)) << repeat;
+    EXPECT_NE(repeat.find("\"cached\":true"), std::string::npos);
+    EXPECT_EQ(replyField(repeat, "trace_id"), other.traceIdHex());
+}
+
+TEST(ServeServer, TracedSubmitIsByteIdenticalToUntracedAtAnyWorkers)
+{
+    // Baseline: no metrics, no tracing, no context, manual server.
+    std::string untraced;
+    {
+        serve::Server server(manualOptions());
+        const std::string reply =
+            server.handle(submitLine("ghz_3", "AQT", true, 60, 2));
+        ASSERT_TRUE(replyOk(reply)) << reply;
+        untraced = resultObjectText(reply);
+    }
+    ASSERT_FALSE(untraced.empty());
+
+    // Tracing + propagation on, 1 and 8 workers: same payload bytes.
+    const obs::TraceContext ctx =
+        obs::TraceContext::derive(12345, "ghz_3", "AQT");
+    for (std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+        obs::resetMetrics();
+        obs::setMetricsEnabled(true);
+        const fs::path dir =
+            freshDir("smq_serve_traced_w" + std::to_string(workers));
+        obs::startTracing(dir.string());
+        std::string payload;
+        {
+            serve::ServerOptions options;
+            options.workers = workers;
+            options.queueLimit = 16;
+            serve::Server server(options);
+            const std::string reply = server.handle(
+                tracedSubmitLine("ghz_3", "AQT", true, ctx, 60, 2));
+            EXPECT_TRUE(replyOk(reply)) << reply;
+            EXPECT_EQ(replyField(reply, "trace_id"), ctx.traceIdHex());
+            payload = resultObjectText(reply);
+            server.requestShutdown();
+            server.drain();
+        }
+        obs::stopTracing();
+        obs::setMetricsEnabled(false);
+        EXPECT_EQ(payload, untraced)
+            << "propagation perturbed the result at workers="
+            << workers;
+        // The daemon-side spans carry the client's trace id.
+        EXPECT_NE(slurp(dir / "events.jsonl").find(ctx.traceIdHex()),
+                  std::string::npos)
+            << "no daemon span carried the trace id at workers="
+            << workers;
+    }
+    obs::resetMetrics();
+}
+
 TEST(ServeServer, SignalStopRefusesSubmitsLikeShutdown)
 {
     util::resetStopForTests();
@@ -684,6 +863,55 @@ TEST(ServeCli, PipeModeEndToEnd)
     EXPECT_TRUE(replyOk(replies[4]));
 }
 
+TEST(ServeCli, PipeModePropagatesClientTraceContexts)
+{
+    const obs::TraceContext ctx =
+        obs::TraceContext::derive(5, "pipe", "client");
+    std::istringstream in(
+        tracedSubmitLine("ghz_3", "AQT", true, ctx, 40, 2) + "\n" +
+        "{\"type\":\"shutdown\"}\n");
+    std::ostringstream out, err;
+    const int exit_code = serve::serveMain(
+        {"--pipe", "--workers", "1", "--no-metrics"}, in, out, err);
+    EXPECT_EQ(exit_code, serve::kServeOk) << err.str();
+
+    std::istringstream lines(out.str());
+    std::string reply;
+    ASSERT_TRUE(std::getline(lines, reply)) << out.str();
+    ASSERT_TRUE(replyOk(reply)) << reply;
+    // The trace id sent over the pipe comes back on the reply line.
+    EXPECT_EQ(replyField(reply, "trace_id"), ctx.traceIdHex());
+}
+
+TEST(ServeCli, MetricsFileCarriesAPrometheusSnapshot)
+{
+    obs::resetMetrics();
+    const fs::path dir = freshDir("smq_serve_metrics_file");
+    const std::string path = (dir / "metrics.prom").string();
+    std::istringstream in(submitLine("ghz_3", "AQT", true, 40, 2) +
+                          "\n{\"type\":\"stats\"}\n"
+                          "{\"type\":\"shutdown\"}\n");
+    std::ostringstream out, err;
+    const int exit_code = serve::serveMain(
+        {"--pipe", "--workers", "1", "--metrics-file", path}, in, out,
+        err);
+    EXPECT_EQ(exit_code, serve::kServeOk) << err.str();
+
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty()) << "metrics file not written";
+    const auto has = [&text](const std::string &needle) {
+        return text.find(needle) != std::string::npos;
+    };
+    EXPECT_TRUE(has("# TYPE smq_serve_requests counter")) << text;
+    EXPECT_TRUE(has("smq_serve_jobs_completed 1"));
+    // Stage histograms render as summaries with the shared quantiles.
+    EXPECT_TRUE(has("# TYPE smq_stage_serve_job_ns summary"));
+    EXPECT_TRUE(has("smq_stage_serve_job_ns{quantile=\"0.99\"}"));
+    EXPECT_TRUE(has("smq_stage_serve_job_ns_count 1"));
+    obs::setMetricsEnabled(false);
+    obs::resetMetrics();
+}
+
 TEST(ServeCli, UsageErrors)
 {
     std::istringstream in;
@@ -766,6 +994,15 @@ TEST(ServeDocs, ProtocolDocCoversTheWholeWireVocabulary)
           "detail"})
         EXPECT_TRUE(documented(field))
             << "result field '" << field
+            << "' not documented in PROTOCOL.md";
+
+    // The observability extensions: the optional submit trace context,
+    // the trace_id reply field, and the stats-reply additions.
+    for (const char *field :
+         {"trace", "trace_id", "uptime_seconds", "queue_high_water",
+          "hit_ratio", "job_ns"})
+        EXPECT_TRUE(documented(field))
+            << "wire field '" << field
             << "' not documented in PROTOCOL.md";
 }
 
@@ -860,6 +1097,125 @@ TEST(ServeSmoke, SocketDaemonSentinelSubmitAndSigtermDrain)
     EXPECT_TRUE(WIFEXITED(status));
     EXPECT_EQ(WEXITSTATUS(status), 0);
     EXPECT_FALSE(fs::exists(socket_path)); // socket file cleaned up
+}
+
+/** One traced client+daemon round trip; returns the stitched events. */
+struct StitchRun
+{
+    std::string traceId; ///< trace_id echoed on the submit reply
+    /** (pid, name, args trace.id) per merged event, in file order. */
+    std::vector<std::tuple<int, std::string, std::string>> events;
+};
+
+StitchRun
+runTracedSubmitOnce(const fs::path &dir)
+{
+    StitchRun run;
+    const std::string socket_path = (dir / "smq.sock").string();
+    const fs::path client_trace = dir / "client_trace";
+    const fs::path daemon_trace = dir / "daemon_trace";
+
+    const pid_t daemon = ::fork();
+    if (daemon == 0) {
+        ::execl(SMQ_SERVE_TOOL, SMQ_SERVE_TOOL, "--socket",
+                socket_path.c_str(), "--workers", "1", "--no-metrics",
+                "--trace", daemon_trace.string().c_str(),
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    EXPECT_GT(daemon, 0);
+    for (int i = 0; i < 400; ++i) {
+        std::string reply;
+        if (serve::requestOverSocket(socket_path, "{\"type\":\"stats\"}",
+                                     &reply, nullptr))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    const fs::path reply_path = dir / "reply.json";
+    EXPECT_EQ(runCommand(std::string("\"") + SMQ_SENTINEL_TOOL +
+                         "\" submit --socket \"" + socket_path +
+                         "\" --benchmark ghz_3 --device AQT --shots 40 "
+                         "--repetitions 2 --trace \"" +
+                         client_trace.string() + "\" > \"" +
+                         reply_path.string() + "\""),
+              0);
+    const std::string reply = slurp(reply_path);
+    EXPECT_TRUE(replyOk(reply)) << reply;
+    run.traceId = replyField(reply, "trace_id");
+    EXPECT_EQ(run.traceId.size(), 32u) << reply;
+
+    // Graceful shutdown flushes the daemon's trace directory.
+    std::string shutdown_reply;
+    EXPECT_TRUE(serve::requestOverSocket(socket_path,
+                                         "{\"type\":\"shutdown\"}",
+                                         &shutdown_reply, nullptr));
+    int status = 0;
+    EXPECT_EQ(::waitpid(daemon, &status, 0), daemon);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+    // Stitch both processes' traces with the real report command.
+    const fs::path merged = dir / "merged_trace.json";
+    EXPECT_EQ(runCommand(std::string("\"") + SMQ_SENTINEL_TOOL +
+                         "\" report --history \"" +
+                         (dir / "runs.jsonl").string() + "\" --trace \"" +
+                         client_trace.string() + "\" --trace \"" +
+                         daemon_trace.string() + "\" --out \"" +
+                         (dir / "report.html").string() +
+                         "\" --merged-trace \"" + merged.string() +
+                         "\" > /dev/null"),
+              0);
+
+    obs::JsonValue root = obs::parseJson(slurp(merged));
+    const obs::JsonValue *events = root.find("traceEvents");
+    EXPECT_NE(events, nullptr);
+    if (events != nullptr) {
+        for (const obs::JsonValue &e : events->array) {
+            std::string trace_id;
+            if (const obs::JsonValue *args = e.find("args")) {
+                if (const obs::JsonValue *id = args->find("trace.id"))
+                    trace_id = id->asString();
+            }
+            run.events.emplace_back(
+                static_cast<int>(e.at("pid").asU64()),
+                e.at("name").asString(), trace_id);
+        }
+    }
+    return run;
+}
+
+TEST(ServeSmoke, MergedWaterfallStitchesProcessesAndIsDeterministic)
+{
+    // The same submit against two independent daemon processes: both
+    // runs must land on the same derived trace id, and the merged
+    // Chrome trace must stitch client + daemon spans under it with an
+    // identical event structure (clock epochs are normalized away).
+    const StitchRun first =
+        runTracedSubmitOnce(freshDir("smq_serve_stitch_a"));
+    const StitchRun second =
+        runTracedSubmitOnce(freshDir("smq_serve_stitch_b"));
+
+    EXPECT_EQ(first.traceId, second.traceId)
+        << "the derived trace id must be a pure function of the submit";
+    ASSERT_FALSE(first.events.empty());
+
+    // One trace, two processes: every span is tagged with the reply's
+    // trace id, and both pid 1 (client) and pid 2 (daemon) show up.
+    std::set<int> pids;
+    std::set<std::string> names;
+    for (const auto &[pid, name, trace_id] : first.events) {
+        EXPECT_EQ(trace_id, first.traceId) << name;
+        pids.insert(pid);
+        names.insert(name);
+    }
+    EXPECT_EQ(pids, (std::set<int>{1, 2}));
+    EXPECT_TRUE(names.count(obs::names::kSpanSubmit));
+    EXPECT_TRUE(names.count(obs::names::kSpanServeQueueWait));
+    EXPECT_TRUE(names.count(obs::names::kSpanServeJob));
+
+    // Determinism: the stitched (pid, name, trace id) sequence — the
+    // waterfall's structure — is identical across the two daemons.
+    EXPECT_EQ(first.events, second.events);
 }
 
 TEST(ServeSmoke, StaleSocketFileIsReclaimed)
