@@ -39,6 +39,20 @@ parseShardOrDie(const char *text)
     return *spec;
 }
 
+/** A mistyped --backend must fail loudly, not fall back to Auto. */
+sim::BackendKind
+parseBackendOrDie(const char *text)
+{
+    std::optional<sim::BackendKind> kind = sim::backendFromString(text);
+    if (!kind) {
+        std::cerr << "bad --backend '" << text
+                  << "' (expected auto, statevector, density-matrix, "
+                     "stabilizer or trajectory)\n";
+        std::exit(report::kExitConfigMismatch);
+    }
+    return *kind;
+}
+
 } // namespace
 
 Scale
@@ -96,6 +110,11 @@ scaleFromArgs(int argc, char **argv)
             scale.resumeDir = argv[++i];
         } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
             scale.resumeDir = argv[i] + 9;
+        } else if (std::strcmp(argv[i], "--backend") == 0 &&
+                   i + 1 < argc) {
+            scale.backend = parseBackendOrDie(argv[++i]);
+        } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+            scale.backend = parseBackendOrDie(argv[i] + 10);
         }
     }
     return scale;
@@ -143,6 +162,7 @@ ObsSession::~ObsSession()
     manifest.extra = extra_;
     if (scale_.paperShots)
         manifest.extra.emplace("shots_mode", "paper");
+    manifest.extra.emplace("sim.backend", sim::toString(scale_.backend));
     if (!manifest.writeFile(manifestPath())) {
         std::cerr << "warning: could not write " << manifestPath()
                   << "\n";
@@ -210,11 +230,17 @@ cachePath(const Scale &scale)
     name << "fig2_cache_"
          << (scale.paperShots ? "paper"
                               : std::to_string(scale.defaultShots))
-         << "_r" << scale.repetitions << ".txt";
+         << "_r" << scale.repetitions;
+    // A forced engine produces different histograms than the planner's
+    // choices: its grid gets its own cache file.
+    if (scale.backend != sim::BackendKind::Auto)
+        name << "_" << sim::toString(scale.backend);
+    name << ".txt";
     return name.str();
 }
 
-constexpr const char *kCacheVersion = "smq-fig2-cache-v2";
+// v3: per-run backend plan token appended to each cell record.
+constexpr const char *kCacheVersion = "smq-fig2-cache-v3";
 
 void
 saveGrid(const Fig2Grid &grid, const Scale &scale)
@@ -274,9 +300,11 @@ loadGrid(Fig2Grid &grid, const Scale &scale)
             run.device = grid.deviceNames[d];
             int status = 0, cause = 0;
             std::size_t n_scores = 0;
+            std::string plan;
             in >> status >> cause >> run.plannedRepetitions >>
                 run.attempts >> run.errorBarScale >> run.swapsInserted >>
-                run.physicalTwoQubitGates >> n_scores;
+                run.physicalTwoQubitGates >> plan >> n_scores;
+            run.plan = plan == "-" ? "" : plan;
             run.status = static_cast<core::RunStatus>(status);
             run.cause = static_cast<core::FailureCause>(cause);
             run.tooLarge = run.status == core::RunStatus::TooLarge;
@@ -327,7 +355,8 @@ configKey(const Scale &scale)
                              : std::to_string(scale.defaultShots))
         << ";repetitions=" << scale.repetitions
         << ";faults=" << (scale.faults ? 1 : 0)
-        << ";fault_seed=" << scale.faultSeed;
+        << ";fault_seed=" << scale.faultSeed
+        << ";backend=" << sim::toString(scale.backend);
     return key.str();
 }
 
@@ -376,6 +405,7 @@ cellFromRun(const core::BenchmarkRun &run)
     rec.errorBarScale = run.errorBarScale;
     rec.swapsInserted = run.swapsInserted;
     rec.physicalTwoQubitGates = run.physicalTwoQubitGates;
+    rec.plan = run.plan;
     rec.scores = run.scores;
     return rec;
 }
@@ -397,6 +427,7 @@ runFromCell(const report::CheckpointCell &cell)
     run.swapsInserted = static_cast<std::size_t>(cell.swapsInserted);
     run.physicalTwoQubitGates =
         static_cast<std::size_t>(cell.physicalTwoQubitGates);
+    run.plan = cell.plan;
     run.scores = cell.scores;
     if (!run.scores.empty())
         run.summary = stats::summarize(run.scores);
@@ -436,11 +467,15 @@ serializeGrid(const Fig2Grid &grid)
             << " " << row.stats.measurements << " " << row.stats.resets
             << "\n";
         for (const core::BenchmarkRun &run : row.runs) {
+            // Plan tokens are space-free by construction ('-' stands
+            // for "never planned"), so the record stays >>-parseable.
             out << static_cast<int>(run.status) << " "
                 << static_cast<int>(run.cause) << " "
                 << run.plannedRepetitions << " " << run.attempts << " "
                 << run.errorBarScale << " " << run.swapsInserted << " "
-                << run.physicalTwoQubitGates << " " << run.scores.size();
+                << run.physicalTwoQubitGates << " "
+                << (run.plan.empty() ? "-" : run.plan) << " "
+                << run.scores.size();
             for (double s : run.scores)
                 out << " " << s;
             out << "\n";
@@ -470,6 +505,7 @@ computeGrid(const Scale &scale,
 
     jobs::JobOptions job_options;
     job_options.harness.repetitions = scale.repetitions;
+    job_options.harness.backend = scale.backend;
     job_options.stop = util::stopRequested;
 
     const std::size_t n_rows = suite.size();

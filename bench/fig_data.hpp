@@ -16,6 +16,7 @@
 #include "core/harness.hpp"
 #include "core/suites.hpp"
 #include "jobs/report.hpp"
+#include "sim/backend.hpp"
 
 namespace smq::bench {
 
@@ -94,14 +95,24 @@ struct Scale
      * no journal yet this degrades to --checkpoint DIR.
      */
     std::string resumeDir;
+    /**
+     * Simulation engine (--backend NAME): Auto (the default) lets the
+     * per-circuit planner pick the cheapest faithful backend; naming
+     * statevector / density-matrix / stabilizer / trajectory forces
+     * every cell through that engine. A forced backend keys its own
+     * cache file and checkpoint config, so grids from different
+     * engines never mix.
+     */
+    sim::BackendKind backend = sim::BackendKind::Auto;
 };
 
 /**
  * Parse --paper / --quick / --faults / --jobs N / --trace DIR /
  * --metrics / --no-metrics / --history FILE / --progress /
- * --heartbeat SECS / --shard i/N / --checkpoint DIR / --resume DIR
- * command-line flags. A malformed --shard exits with code 2 (usage)
- * instead of silently running the wrong slice.
+ * --heartbeat SECS / --shard i/N / --checkpoint DIR / --resume DIR /
+ * --backend NAME command-line flags. A malformed --shard or --backend
+ * exits with code 2 (usage) instead of silently running the wrong
+ * configuration.
  */
 Scale scaleFromArgs(int argc, char **argv);
 

@@ -7,10 +7,29 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "sim/memory.hpp"
+#include "sim/planner.hpp"
 #include "transpile/cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smq::core {
+
+std::string
+PreparedCircuits::planSummary() const
+{
+    std::string summary;
+    for (const sim::Plan &plan : plans) {
+        const std::string token = plan.token();
+        // Deduplicate while preserving first-seen order (most
+        // benchmarks plan all their circuits identically).
+        if (("+" + summary + "+").find("+" + token + "+") !=
+            std::string::npos)
+            continue;
+        if (!summary.empty())
+            summary += "+";
+        summary += token;
+    }
+    return summary;
+}
 
 PreparedCircuits
 prepareCircuits(const Benchmark &benchmark, const device::Device &device,
@@ -39,6 +58,14 @@ prepareCircuits(const Benchmark &benchmark, const device::Device &device,
             prepared.tooLarge = true;
             return prepared;
         }
+        // Record the backend decision next to the circuit it covers:
+        // planCircuit is pure, so the plan journaled here is exactly
+        // the one the runner re-derives at execution time.
+        sim::PlannerConfig config = options.planner;
+        if (options.backend != sim::BackendKind::Auto)
+            config.force = options.backend;
+        prepared.plans.push_back(
+            sim::planCircuit(compact, device.noise, config));
         prepared.circuits.push_back(std::move(compact));
     }
     return prepared;
@@ -47,7 +74,8 @@ prepareCircuits(const Benchmark &benchmark, const device::Device &device,
 double
 runRepetition(const Benchmark &benchmark, const PreparedCircuits &prepared,
               const sim::NoiseModel &noise, std::uint64_t shots,
-              stats::Rng &rng, const sim::FaultHook &faultHook)
+              stats::Rng &rng, const sim::FaultHook &faultHook,
+              sim::BackendKind backend, const sim::PlannerConfig &planner)
 {
     std::vector<stats::Counts> counts;
     counts.reserve(prepared.circuits.size());
@@ -56,6 +84,8 @@ runRepetition(const Benchmark &benchmark, const PreparedCircuits &prepared,
         ro.shots = shots;
         ro.noise = noise;
         ro.faultHook = faultHook;
+        ro.backend = backend;
+        ro.planner = planner;
         counts.push_back(sim::run(circuit, ro, rng));
     }
     return benchmark.score(counts);
@@ -95,6 +125,7 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
     }
     run.physicalTwoQubitGates = prepared.physicalTwoQubitGates;
     run.swapsInserted = prepared.swapsInserted;
+    run.plan = prepared.planSummary();
 
     // Every repetition owns a seed-derived stream, so the loop can fan
     // out across worker threads and still produce the scores a serial
@@ -113,9 +144,9 @@ runBenchmark(const Benchmark &benchmark, const device::Device &device,
                                        static_cast<std::uint64_t>(rep)));
                 reps_counter.add();
                 stats::Rng rng(util::deriveTaskSeed(options.seed, rep));
-                run.scores[rep] = runRepetition(benchmark, prepared,
-                                                device.noise,
-                                                options.shots, rng);
+                run.scores[rep] = runRepetition(
+                    benchmark, prepared, device.noise, options.shots,
+                    rng, {}, options.backend, options.planner);
                 obs::progressTick(obs::names::kSpanRepetition);
             });
     } catch (const sim::ResourceExhausted &e) {
@@ -169,6 +200,9 @@ makeRunManifest(const std::string &tool, const HarnessOptions &options)
     manifest.shots = options.shots;
     manifest.repetitions = options.repetitions;
     manifest.jobs = options.jobs;
+    // The requested engine; per-job manifests additionally carry the
+    // resolved per-cell plan (chosen backend + reason).
+    manifest.extra["sim.backend"] = sim::toString(options.backend);
     return manifest;
 }
 

@@ -46,6 +46,13 @@ struct HarnessOptions
      * like the X markers of Fig. 2.
      */
     std::size_t maxSimQubits = 22;
+    /**
+     * Simulation engine (--backend): Auto lets the planner pick the
+     * cheapest faithful backend per circuit; anything else forces it.
+     */
+    sim::BackendKind backend = sim::BackendKind::Auto;
+    /** Planner knobs consulted when backend == Auto. */
+    sim::PlannerConfig planner;
 };
 
 /** Outcome of running one benchmark on one device. */
@@ -69,6 +76,13 @@ struct BenchmarkRun
     double errorBarScale = 1.0;
     std::size_t physicalTwoQubitGates = 0; ///< post-transpile
     std::size_t swapsInserted = 0;
+    /**
+     * Compact plan record: the unique backend-plan tokens of the
+     * prepared circuits joined with '+', e.g. "stabilizer:clifford"
+     * or "trajectory:width>dm-cutoff". Empty when the cell never
+     * reached planning (capability skips, register too wide).
+     */
+    std::string plan;
 };
 
 /**
@@ -80,9 +94,14 @@ struct BenchmarkRun
 struct PreparedCircuits
 {
     std::vector<qc::Circuit> circuits;
+    /** One backend plan per circuit (same order), from planCircuit. */
+    std::vector<sim::Plan> plans;
     bool tooLarge = false;
     std::size_t physicalTwoQubitGates = 0;
     std::size_t swapsInserted = 0;
+
+    /** Unique plan tokens joined with '+' (the BenchmarkRun record). */
+    std::string planSummary() const;
 };
 
 /** Transpile + compact every circuit of @p benchmark for @p device. */
@@ -99,7 +118,9 @@ double runRepetition(const Benchmark &benchmark,
                      const PreparedCircuits &prepared,
                      const sim::NoiseModel &noise, std::uint64_t shots,
                      stats::Rng &rng,
-                     const sim::FaultHook &faultHook = {});
+                     const sim::FaultHook &faultHook = {},
+                     sim::BackendKind backend = sim::BackendKind::Auto,
+                     const sim::PlannerConfig &planner = {});
 
 /** Run one benchmark on one device (no retries; throws on bad input). */
 BenchmarkRun runBenchmark(const Benchmark &benchmark,

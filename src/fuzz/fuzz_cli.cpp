@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "fuzz/harness.hpp"
+#include "fuzz/planner_fuzz.hpp"
 #include "fuzz/protocol_fuzz.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
@@ -32,7 +33,10 @@ constexpr const char *kUsage =
     "  --history FILE  append the run to a run-history store\n"
     "  --metrics       enable the fuzz.* metrics registry counters\n"
     "  --protocol      fuzz the smq-serve-v1 wire protocol instead of\n"
-    "                  circuits (uses --seed / --cases only)\n";
+    "                  circuits (uses --seed / --cases only)\n"
+    "  --planner       differential oracle for the backend planner:\n"
+    "                  auto-vs-forced byte-identity and TVD against\n"
+    "                  exact references (uses --seed / --cases only)\n";
 
 /** Strict full-token unsigned parse (see report::sentinel_cli). */
 std::optional<std::uint64_t>
@@ -69,6 +73,7 @@ fuzzMain(const std::vector<std::string> &args, std::ostream &out,
     std::string history;
     bool metrics = false;
     bool protocol = false;
+    bool planner = false;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -95,6 +100,10 @@ fuzzMain(const std::vector<std::string> &args, std::ostream &out,
         }
         if (arg == "--protocol") {
             protocol = true;
+            continue;
+        }
+        if (arg == "--planner") {
+            planner = true;
             continue;
         }
         // every remaining flag takes a value
@@ -152,6 +161,15 @@ fuzzMain(const std::vector<std::string> &args, std::ostream &out,
         protocol_options.seed = options.seed;
         protocol_options.cases = options.cases;
         ProtocolFuzzReport report = runProtocolFuzz(protocol_options);
+        out << report.render();
+        return report.clean() ? kFuzzOk : kFuzzDiscrepancy;
+    }
+
+    if (planner) {
+        PlannerFuzzOptions planner_options;
+        planner_options.seed = options.seed;
+        planner_options.cases = options.cases;
+        PlannerFuzzReport report = runPlannerFuzz(planner_options);
         out << report.render();
         return report.clean() ? kFuzzOk : kFuzzDiscrepancy;
     }

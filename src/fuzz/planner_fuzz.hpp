@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Planner-vs-forced-backend differential oracle (`smq_fuzz
+ * --planner`).
+ *
+ * The circuit oracles answer "do the simulators agree"; this one
+ * answers "is the backend planner's choice faithful and pure". A
+ * seeded corpus of random circuits (mixed Clifford/universal, with
+ * and without mid-circuit operations, under noiseless and noisy
+ * models) is pushed through sim::run() twice per case:
+ *
+ *   1. identity — running with backend Auto and re-running with the
+ *      planner's own choice forced via --backend must produce
+ *      byte-identical histograms from the same seed (the plan record
+ *      is a faithful account of what actually executed);
+ *   2. fidelity — on cases where an exact reference distribution is
+ *      computable (branch-enumerated dense for noiseless circuits,
+ *      the density-matrix closed form for small terminal noisy ones),
+ *      the Auto histogram's total-variation distance from the
+ *      reference must stay under a sampling-noise bound.
+ *
+ * Deterministic: corpus and report depend only on the seed, so a
+ * failing (seed, case-index) pair is a complete repro.
+ */
+
+#ifndef SMQ_FUZZ_PLANNER_FUZZ_HPP
+#define SMQ_FUZZ_PLANNER_FUZZ_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smq::fuzz {
+
+struct PlannerFuzzOptions
+{
+    std::uint64_t seed = 1;
+    std::size_t cases = 100; ///< random circuits drawn
+    std::uint64_t shots = 4096;
+    /**
+     * TVD ceiling for the fidelity oracle. The default leaves ~3x
+     * headroom over the expected multinomial fluctuation at the
+     * default shots for the widest generated register.
+     */
+    double tvdBound = 0.12;
+};
+
+struct PlannerFuzzReport
+{
+    std::size_t casesRun = 0;
+    std::size_t identityChecks = 0;
+    std::size_t fidelityChecks = 0;
+    std::size_t fidelitySkips = 0; ///< no computable exact reference
+    /** Executions per chosen engine, keyed by plan token. */
+    std::vector<std::string> planTokensSeen;
+    /** Violations: "case N [plan]: <why>". */
+    std::vector<std::string> failures;
+
+    bool clean() const { return failures.empty(); }
+
+    /** Deterministic human-readable summary. */
+    std::string render() const;
+};
+
+/** Run the planner oracle over a fresh seeded corpus. */
+PlannerFuzzReport runPlannerFuzz(const PlannerFuzzOptions &options);
+
+} // namespace smq::fuzz
+
+#endif // SMQ_FUZZ_PLANNER_FUZZ_HPP

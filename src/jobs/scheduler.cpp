@@ -140,6 +140,10 @@ runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
     }
     run.physicalTwoQubitGates = prepared.physicalTwoQubitGates;
     run.swapsInserted = prepared.swapsInserted;
+    // The plan rides along even for Partial/Failed outcomes: a
+    // salvaged cell's record still names the engine that produced its
+    // scores.
+    run.plan = prepared.planSummary();
 
     // Per-job streams derived from (injector seed, labels): results do
     // not depend on where in the sweep this job runs.
@@ -226,7 +230,8 @@ runJobImpl(const core::Benchmark &benchmark, const device::Device &device,
                 device.noise, decision.driftFactor);
             try {
                 run.scores.push_back(core::runRepetition(
-                    benchmark, prepared, noise, eff_shots, sim_rng));
+                    benchmark, prepared, noise, eff_shots, sim_rng, {},
+                    options.harness.backend, options.harness.planner));
             } catch (const sim::ResourceExhausted &e) {
                 // The simulator refused the allocation up front: the
                 // cell is structurally too large, end it here rather

@@ -50,6 +50,17 @@ inline constexpr const char *kSimDmGateApplies = "sim.dm.gate_applies";
 inline constexpr const char *kSimShots = "sim.shots";
 inline constexpr const char *kSimTrajectories = "sim.trajectories";
 
+// --- counters: backend planner (sim/planner.*, sim/runner.cpp) -------
+// One bump per dispatched circuit execution, keyed by the engine the
+// planner chose; `overridden` additionally counts executions where an
+// explicit --backend forced the choice instead of the planner.
+inline constexpr const char *kSimPlanStatevector = "sim.plan.statevector";
+inline constexpr const char *kSimPlanDensityMatrix =
+    "sim.plan.density_matrix";
+inline constexpr const char *kSimPlanStabilizer = "sim.plan.stabilizer";
+inline constexpr const char *kSimPlanTrajectory = "sim.plan.trajectory";
+inline constexpr const char *kSimPlanOverridden = "sim.plan.overridden";
+
 // --- counters: intra-op kernel engine (sim/kernels.*) ----------------
 inline constexpr const char *kSimKernelParallelOps =
     "sim.kernel.parallel_ops";

@@ -138,6 +138,9 @@ cellFromJson(const obs::JsonValue &root)
     cell.errorBarScale = root.at("error_bar").asDouble();
     cell.swapsInserted = root.at("swaps").asU64();
     cell.physicalTwoQubitGates = root.at("phys_2q").asU64();
+    // Optional: journals predating the backend planner carry no plan.
+    if (const obs::JsonValue *v = root.find("plan"))
+        cell.plan = v->asString();
     for (const obs::JsonValue &v : root.at("scores").array)
         cell.scores.push_back(v.asDouble());
     return cell;
@@ -199,7 +202,9 @@ CheckpointCell::toJsonLine() const
         << ",\"attempts\":" << attempts << ",\"error_bar\":";
     writeNumber(out, errorBarScale);
     out << ",\"swaps\":" << swapsInserted
-        << ",\"phys_2q\":" << physicalTwoQubitGates << ",\"scores\":";
+        << ",\"phys_2q\":" << physicalTwoQubitGates
+        << ",\"plan\":\"" << obs::escapeJson(plan) << "\""
+        << ",\"scores\":";
     writeDoubleArray(out, scores);
     out << "}";
     return out.str();

@@ -107,6 +107,12 @@ struct CheckpointCell
     double errorBarScale = 1.0;
     std::uint64_t swapsInserted = 0;
     std::uint64_t physicalTwoQubitGates = 0;
+    /**
+     * Backend plan record ('+'-joined tokens, see BenchmarkRun::plan).
+     * Optional on load: journals written before the planner existed
+     * parse with an empty plan.
+     */
+    std::string plan;
     std::vector<double> scores;
 
     std::string toJsonLine() const;

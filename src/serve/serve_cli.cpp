@@ -31,6 +31,9 @@ constexpr const char *kUsage =
     "  --queue-limit N     queued jobs before queue_full (default 64)\n"
     "  --cache-mb N        result-cache budget in MiB (default 32)\n"
     "  --max-sim-qubits N  simulator width gate (default 22)\n"
+    "  --backend NAME      force the simulation engine for every job:\n"
+    "                      statevector, density-matrix, stabilizer or\n"
+    "                      trajectory (default auto = planner's choice)\n"
     "  --manifest-dir DIR  write per-job + final run manifests to DIR\n"
     "  --trace DIR         record spans, written to DIR on shutdown\n"
     "  --metrics-file PATH rewrite PATH with a Prometheus text snapshot\n"
@@ -128,6 +131,13 @@ serveMain(const std::vector<std::string> &args, std::istream &in,
             if (!n || *n == 0)
                 return usageError(err, "bad --max-sim-qubits value");
             options.maxSimQubits = *n;
+        } else if (arg == "--backend") {
+            auto v = value();
+            auto kind =
+                v ? sim::backendFromString(*v) : std::nullopt;
+            if (!kind)
+                return usageError(err, "bad --backend value");
+            options.backend = *kind;
         } else if (arg == "--manifest-dir") {
             auto v = value();
             if (!v)
@@ -197,6 +207,7 @@ serveMain(const std::vector<std::string> &args, std::istream &in,
         if (!options.manifestDir.empty()) {
             core::HarnessOptions harness;
             harness.maxSimQubits = options.maxSimQubits;
+            harness.backend = options.backend;
             obs::RunManifest manifest =
                 core::makeRunManifest("smq_serve", harness);
             const JobCounts counts = server.jobCounts();

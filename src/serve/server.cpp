@@ -85,6 +85,7 @@ renderResult(const core::BenchmarkRun &run, const SubmitSpec &spec,
         << ",\"attempts\":" << run.attempts
         << ",\"physical_two_qubit_gates\":" << run.physicalTwoQubitGates
         << ",\"swaps_inserted\":" << run.swapsInserted
+        << ",\"plan\":\"" << obs::escapeJson(run.plan) << "\""
         << ",\"detail\":\"" << obs::escapeJson(run.detail) << "\"}";
     return out.str();
 }
@@ -198,6 +199,7 @@ Server::executeJob(Job &job)
     options.harness.seed = job.spec.seed;
     options.harness.jobs = 1; // concurrency comes from the worker pool
     options.harness.maxSimQubits = options_.maxSimQubits;
+    options.harness.backend = options_.backend;
     options.stop = [this, &job] {
         return job.cancelRequested.load(std::memory_order_relaxed) ||
                stopping_.load(std::memory_order_relaxed) ||
@@ -239,6 +241,7 @@ Server::executeJob(Job &job)
         manifest.extra["serve.device"] = job.spec.device;
         manifest.extra["serve.cache_key"] = job.key.hex;
         manifest.extra["serve.status"] = core::toString(run.status);
+        manifest.extra["serve.plan"] = run.plan;
         manifest.extra["serve.trace_id"] = job.trace.traceIdHex();
         const std::string path = options_.manifestDir + "/" + job.id +
                                  "_manifest.json";

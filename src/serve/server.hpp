@@ -48,6 +48,7 @@
 #include "device/device.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
+#include "sim/backend.hpp"
 #include "util/thread_pool.hpp"
 
 namespace smq::jobs {
@@ -67,6 +68,15 @@ struct ServerOptions
     std::size_t cacheBytes = std::size_t(32) << 20;
     /** Simulator width gate, as in the batch harness. */
     std::size_t maxSimQubits = 22;
+    /**
+     * Simulation engine for every job (`--backend`): Auto lets the
+     * planner pick per circuit, anything else forces the engine.
+     * Deliberately NOT part of the result cache key — the key hashes
+     * the request (SubmitSpec) only, so changing the daemon's backend
+     * serves possibly-different payloads under the same key; operators
+     * who switch engines should start with a cold cache.
+     */
+    sim::BackendKind backend = sim::BackendKind::Auto;
     /** When non-empty: write `<job-id>_manifest.json` per job here. */
     std::string manifestDir;
     /** Spawn the worker pool in the constructor (tests may disable). */

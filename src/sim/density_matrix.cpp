@@ -64,11 +64,14 @@ sort3(std::size_t &a, std::size_t &b, std::size_t &c)
 } // namespace
 
 DensityMatrix::DensityMatrix(std::size_t num_qubits)
-    : numQubits_(num_qubits), dim_(std::size_t{1} << num_qubits)
+    : numQubits_(num_qubits), dim_(0)
 {
+    // Validate before sizing: the 1 << n the old initialiser ran was
+    // undefined behaviour for n >= 64 (and meaningless past the cap).
     if (num_qubits > kMaxQubits)
         throw std::invalid_argument(
             "DensityMatrix: too many qubits for dense simulation");
+    dim_ = std::size_t{1} << num_qubits;
     // Up-front estimate: rho is 4^n amplitudes, the first allocation
     // to blow past a budget on a mis-sized cell.
     checkAllocationBudget(

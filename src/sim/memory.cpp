@@ -51,13 +51,32 @@ std::size_t
 denseBytes(std::size_t numQubits, std::size_t bytesPerAmp, bool squared)
 {
     constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    // Saturate before the bit count itself can wrap: 2 * numQubits
+    // overflows for numQubits > SIZE_MAX / 2, long past any register
+    // the planner will ever ask about but exactly the kind of width a
+    // fuzzer feeds a budget check.
+    if (numQubits >= 8 * sizeof(std::size_t))
+        return kMax;
     const std::size_t bits = squared ? 2 * numQubits : numQubits;
     if (bits >= 8 * sizeof(std::size_t))
         return kMax;
+#if defined(__SIZEOF_INT128__)
+    // Checked 128-bit arithmetic: the product is computed exactly and
+    // compared against SIZE_MAX, so a 40-qubit density matrix reports
+    // its true (astronomical) cost as saturation, never as a silent
+    // wrap to a small number that would pass the budget.
+    const unsigned __int128 total =
+        (static_cast<unsigned __int128>(1) << bits) *
+        static_cast<unsigned __int128>(bytesPerAmp);
+    if (total > static_cast<unsigned __int128>(kMax))
+        return kMax;
+    return static_cast<std::size_t>(total);
+#else
     const std::size_t states = std::size_t{1} << bits;
-    if (states > kMax / bytesPerAmp)
+    if (bytesPerAmp != 0 && states > kMax / bytesPerAmp)
         return kMax;
     return states * bytesPerAmp;
+#endif
 }
 
 void

@@ -7,7 +7,12 @@
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "qc/schedule.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/memory.hpp"
+#include "sim/planner.hpp"
+#include "sim/stabilizer.hpp"
 #include "sim/statevector.hpp"
+#include "util/thread_pool.hpp"
 
 namespace smq::sim {
 
@@ -20,6 +25,33 @@ countTrajectory()
     static obs::Counter &trajectories =
         obs::counter(obs::names::kSimTrajectories);
     trajectories.add();
+}
+
+/** Bump the sim.plan.* counter for one dispatched circuit. */
+void
+countPlan(const Plan &plan, bool forced)
+{
+    const char *name = nullptr;
+    switch (plan.backend) {
+      case BackendKind::Statevector:
+        name = obs::names::kSimPlanStatevector;
+        break;
+      case BackendKind::DensityMatrix:
+        name = obs::names::kSimPlanDensityMatrix;
+        break;
+      case BackendKind::Stabilizer:
+        name = obs::names::kSimPlanStabilizer;
+        break;
+      case BackendKind::Trajectory:
+        name = obs::names::kSimPlanTrajectory;
+        break;
+      case BackendKind::Auto:
+        break; // planCircuit never returns Auto
+    }
+    if (name != nullptr)
+        obs::counter(name).add();
+    if (forced)
+        obs::counter(obs::names::kSimPlanOverridden).add();
 }
 
 /** Random non-identity Pauli on one qubit. */
@@ -131,13 +163,199 @@ runTrajectory(const qc::Circuit &circuit, const qc::Schedule &sched,
     return clbits;
 }
 
+/** Index of the last MEASURE instruction. @pre measureCount() > 0. */
+std::size_t
+lastMeasureIndex(const qc::Circuit &circuit)
+{
+    const auto &gates = circuit.gates();
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (gates[i].type == qc::GateType::MEASURE)
+            last = i;
+    }
+    return last;
+}
+
+/**
+ * The circuit with its non-operational tail removed: everything after
+ * the last MEASURE (cleanup RESETs, barriers, uncomputation gates)
+ * cannot influence a recorded bit, and would trip the exact engines'
+ * terminal-measurement validation if left in place.
+ */
+qc::Circuit
+terminalCore(const qc::Circuit &circuit)
+{
+    const auto &gates = circuit.gates();
+    const std::size_t last = lastMeasureIndex(circuit);
+    if (last + 1 == gates.size())
+        return circuit;
+    qc::Circuit core(circuit.numQubits(), circuit.numClbits(),
+                     circuit.name());
+    for (std::size_t i = 0; i <= last; ++i)
+        core.append(gates[i]);
+    return core;
+}
+
+/**
+ * Sample @p shots outcomes from an exact distribution, honouring the
+ * fault hook between 256-shot batches. Shot-exact: never overshoots.
+ */
+stats::Counts
+sampleDistribution(stats::Distribution &dist, const RunOptions &options,
+                   stats::Rng &rng)
+{
+    if (!options.faultHook)
+        return dist.sample(options.shots, rng);
+    stats::Counts counts;
+    std::uint64_t done = 0;
+    while (done < options.shots && !options.faultHook(done)) {
+        std::uint64_t batch =
+            std::min<std::uint64_t>(256, options.shots - done);
+        counts.merge(dist.sample(batch, rng));
+        done += batch;
+    }
+    return counts;
+}
+
+/** Noiseless terminal circuits: sample the exact distribution. */
+stats::Counts
+runIdealSampling(const qc::Circuit &core, const RunOptions &options,
+                 stats::Rng &rng)
+{
+    stats::Distribution ideal = idealDistribution(core);
+    return sampleDistribution(ideal, options, rng);
+}
+
+/** Exact Kraus channels on the density matrix, then sampling. */
+stats::Counts
+runDensityMatrixSampling(const qc::Circuit &core,
+                         const RunOptions &options, stats::Rng &rng)
+{
+    const std::size_t width = core.numQubits();
+    if (width > kDensityMatrixHardCap) {
+        // A structured TooLarge outcome, not a usage error: the jobs
+        // layer turns ResourceExhausted into Fig. 2's X marker.
+        throw ResourceExhausted(
+            "density_matrix(" + std::to_string(width) +
+                " qubits) exceeds the exact engine's hard cap of " +
+                std::to_string(kDensityMatrixHardCap) +
+                " qubits (trajectory sampling covers wider registers)",
+            denseBytes(width, 2 * sizeof(double), true),
+            memoryBudgetBytes());
+    }
+    stats::Distribution dist = noisyDistribution(core, options.noise);
+    return sampleDistribution(dist, options, rng);
+}
+
+/**
+ * Stochastic statevector trajectories. Mid-circuit collapse runs one
+ * trajectory per shot over the full circuit; terminal circuits
+ * amortise shotsPerTrajectory shots per trajectory by splitting at
+ * the measurement boundary. Every trajectory draws from its own
+ * stream derived with deriveTaskSeed from one base draw on the
+ * caller's rng, so a hook-truncated histogram is an exact prefix of
+ * the full run's and batching cannot smear randomness across
+ * trajectory boundaries.
+ */
+stats::Counts
+runTrajectories(const qc::Circuit &circuit, const RunOptions &options,
+                stats::Rng &rng, bool mid_circuit)
+{
+    const std::uint64_t base = rng.engine()();
+    stats::Counts counts;
+
+    if (mid_circuit) {
+        qc::Schedule sched = qc::schedule(circuit);
+        StateVector state(circuit.numQubits());
+        for (std::uint64_t s = 0; s < options.shots; ++s) {
+            if (options.faultHook && options.faultHook(s))
+                break;
+            countTrajectory();
+            stats::Rng shot_rng(util::deriveTaskSeed(base, s));
+            counts.add(runTrajectory(circuit, sched, options.noise,
+                                     shot_rng, state));
+        }
+        return counts;
+    }
+
+    // Terminal measurements: amortise several shots per stochastic
+    // trajectory. Measurement collapse order does not matter, so we
+    // split the circuit at the measurement boundary and sample the
+    // pre-measurement state repeatedly. The core excludes the
+    // non-operational tail — a trailing gate on a measured qubit must
+    // not perturb the sampled distribution.
+    const qc::Circuit core = terminalCore(circuit);
+    std::uint64_t per_traj = std::max<std::uint64_t>(
+        1, std::min(options.shotsPerTrajectory, options.shots));
+
+    std::vector<std::ptrdiff_t> clbit_source(circuit.numClbits(), -1);
+    qc::Circuit body(circuit.numQubits());
+    for (const qc::Gate &g : core.gates()) {
+        if (g.type == qc::GateType::MEASURE) {
+            clbit_source[static_cast<std::size_t>(g.cbit)] =
+                static_cast<std::ptrdiff_t>(g.qubits[0]);
+        } else {
+            body.append(g);
+        }
+    }
+    qc::Schedule body_sched = qc::schedule(body);
+    StateVector state(circuit.numQubits());
+
+    std::uint64_t remaining = options.shots;
+    std::uint64_t trajectory = 0;
+    while (remaining > 0) {
+        if (options.faultHook && options.faultHook(counts.shots()))
+            break;
+        // Clamp the final batch: the histogram must hold exactly
+        // options.shots entries, never a shotsPerTrajectory overshoot.
+        const std::uint64_t batch = std::min(per_traj, remaining);
+        remaining -= batch;
+        // Note: measurement-time idle noise for the terminal moment is
+        // captured by the readout error probability itself.
+        countTrajectory();
+        stats::Rng traj_rng(util::deriveTaskSeed(base, trajectory++));
+        runTrajectory(body, body_sched, options.noise, traj_rng, state);
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            std::size_t basis = state.sampleBasisState(traj_rng);
+            std::string clbits(circuit.numClbits(), '0');
+            for (std::size_t c = 0; c < clbits.size(); ++c) {
+                if (clbit_source[c] < 0)
+                    continue;
+                int bit = static_cast<int>(
+                    (basis >> static_cast<std::size_t>(clbit_source[c])) & 1);
+                if (options.noise.enabled &&
+                    traj_rng.bernoulli(options.noise.pMeas)) {
+                    bit ^= 1;
+                }
+                clbits[c] = bit ? '1' : '0';
+            }
+            counts.add(clbits);
+        }
+    }
+    return counts;
+}
+
 } // namespace
 
 bool
 hasMidCircuitOperations(const qc::Circuit &circuit)
 {
+    const auto &gates = circuit.gates();
+    // Only operations up to the last MEASURE can influence a recorded
+    // bit: scan that prefix and ignore the non-operational tail.
+    std::size_t last_measure = gates.size();
+    for (std::size_t i = gates.size(); i-- > 0;) {
+        if (gates[i].type == qc::GateType::MEASURE) {
+            last_measure = i;
+            break;
+        }
+    }
+    if (last_measure == gates.size())
+        return false; // no measurement at all: nothing to collapse into
+
     std::vector<bool> finalized(circuit.numQubits(), false);
-    for (const qc::Gate &g : circuit.gates()) {
+    for (std::size_t i = 0; i <= last_measure; ++i) {
+        const qc::Gate &g = gates[i];
         if (g.type == qc::GateType::BARRIER)
             continue;
         if (g.type == qc::GateType::RESET)
@@ -171,88 +389,38 @@ run(const qc::Circuit &circuit, const RunOptions &options, stats::Rng &rng)
         shots_counter.add(options.shots);
     }
 
-    const bool mid_circuit = hasMidCircuitOperations(circuit);
+    PlannerConfig config = options.planner;
+    if (options.backend != BackendKind::Auto)
+        config.force = options.backend;
+    const Plan plan = planCircuit(circuit, options.noise, config);
+    countPlan(plan, config.force != BackendKind::Auto);
 
-    // Noiseless, terminal measurements: sample the exact distribution.
-    if (!options.noise.enabled && !mid_circuit) {
-        if (!options.faultHook)
-            return idealDistribution(circuit).sample(options.shots, rng);
-        // Sample in batches so the hook can interrupt mid-run.
-        stats::Distribution ideal = idealDistribution(circuit);
-        stats::Counts counts;
-        std::uint64_t done = 0;
-        while (done < options.shots && !options.faultHook(done)) {
-            std::uint64_t batch =
-                std::min<std::uint64_t>(256, options.shots - done);
-            counts.merge(ideal.sample(batch, rng));
-            done += batch;
-        }
-        return counts;
+    switch (plan.backend) {
+      case BackendKind::Stabilizer:
+        // The tableau engine handles mid-circuit collapse natively
+        // and validates Clifford-ness itself (a forced stabilizer on
+        // a non-Clifford circuit is a usage error).
+        return runStabilizer(circuit, options, rng);
+
+      case BackendKind::DensityMatrix:
+        return runDensityMatrixSampling(terminalCore(circuit), options,
+                                        rng);
+
+      case BackendKind::Statevector:
+        if (!options.noise.enabled && !plan.midCircuit)
+            return runIdealSampling(terminalCore(circuit), options, rng);
+        // A forced statevector under noise (or collapse) falls through
+        // to its trajectory unravelling — same substrate, stochastic
+        // channels.
+        return runTrajectories(circuit, options, rng, plan.midCircuit);
+
+      case BackendKind::Trajectory:
+        return runTrajectories(circuit, options, rng, plan.midCircuit);
+
+      case BackendKind::Auto:
+        break; // planCircuit never returns Auto
     }
-
-    qc::Schedule sched = qc::schedule(circuit);
-    StateVector state(circuit.numQubits());
-    stats::Counts counts;
-
-    if (mid_circuit) {
-        for (std::uint64_t s = 0; s < options.shots; ++s) {
-            if (options.faultHook && options.faultHook(s))
-                break;
-            countTrajectory();
-            counts.add(runTrajectory(circuit, sched, options.noise, rng,
-                                     state));
-        }
-        return counts;
-    }
-
-    // Terminal measurements with gate noise: amortise several shots
-    // per stochastic trajectory. Measurement collapse order does not
-    // matter, so we split the circuit at the measurement boundary and
-    // sample the pre-measurement state repeatedly.
-    std::uint64_t per_traj = std::max<std::uint64_t>(
-        1, std::min(options.shotsPerTrajectory, options.shots));
-
-    // Identify classical mapping; all measurements are terminal.
-    std::vector<std::ptrdiff_t> clbit_source(circuit.numClbits(), -1);
-    qc::Circuit body(circuit.numQubits());
-    for (const qc::Gate &g : circuit.gates()) {
-        if (g.type == qc::GateType::MEASURE) {
-            clbit_source[static_cast<std::size_t>(g.cbit)] =
-                static_cast<std::ptrdiff_t>(g.qubits[0]);
-        } else {
-            body.append(g);
-        }
-    }
-    qc::Schedule body_sched = qc::schedule(body);
-
-    std::uint64_t remaining = options.shots;
-    while (remaining > 0) {
-        if (options.faultHook && options.faultHook(counts.shots()))
-            break;
-        std::uint64_t batch = std::min(per_traj, remaining);
-        remaining -= batch;
-        // Note: measurement-time idle noise for the terminal moment is
-        // captured by the readout error probability itself.
-        countTrajectory();
-        runTrajectory(body, body_sched, options.noise, rng, state);
-        for (std::uint64_t b = 0; b < batch; ++b) {
-            std::size_t basis = state.sampleBasisState(rng);
-            std::string clbits(circuit.numClbits(), '0');
-            for (std::size_t c = 0; c < clbits.size(); ++c) {
-                if (clbit_source[c] < 0)
-                    continue;
-                int bit = static_cast<int>(
-                    (basis >> static_cast<std::size_t>(clbit_source[c])) & 1);
-                if (options.noise.enabled &&
-                    rng.bernoulli(options.noise.pMeas)) {
-                    bit ^= 1;
-                }
-                clbits[c] = bit ? '1' : '0';
-            }
-            counts.add(clbits);
-        }
-    }
-    return counts;
+    throw std::logic_error("run: planner returned no backend");
 }
 
 } // namespace smq::sim

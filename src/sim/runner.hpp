@@ -7,13 +7,22 @@
  * NoiseModel, and returns a histogram over the classical bits, just
  * as the paper's benchmark harness receives counts from hardware.
  *
- * Noise is simulated with quantum trajectories over the state vector:
- * stochastic Pauli insertions for gate error, per-moment thermal
- * relaxation of idle qubits (moment durations from gate times), and
- * classical readout flips. Circuits whose measurements are all
- * terminal amortise several shots per trajectory; mid-circuit
- * measurement / RESET (the error-correction benchmarks) force one
- * trajectory per shot because the collapse is outcome-dependent.
+ * run() is a dispatcher over pluggable backends (sim/backend.hpp):
+ * exact ideal sampling and noise trajectories on the statevector,
+ * exact Kraus channels on the density matrix, and the CHP tableau for
+ * Clifford circuits. With options.backend == Auto the planner
+ * (sim/planner.hpp) picks the cheapest faithful engine per circuit;
+ * an explicit backend skips planning and is executed as forced.
+ *
+ * Noise trajectories use stochastic Pauli insertions for gate error,
+ * per-moment thermal relaxation of idle qubits (moment durations from
+ * gate times), and classical readout flips. Circuits whose
+ * measurements are all terminal amortise several shots per trajectory;
+ * mid-circuit measurement / RESET (the error-correction benchmarks)
+ * force one trajectory per shot because the collapse is
+ * outcome-dependent. Each terminal-mode trajectory draws from its own
+ * deriveTaskSeed-derived stream, so a truncated run's histogram is an
+ * exact prefix of the full run's.
  */
 
 #ifndef SMQ_SIM_RUNNER_HPP
@@ -23,6 +32,7 @@
 #include <functional>
 
 #include "qc/circuit.hpp"
+#include "sim/backend.hpp"
 #include "sim/noise.hpp"
 #include "stats/counts.hpp"
 #include "stats/rng.hpp"
@@ -50,18 +60,36 @@ struct RunOptions
     std::uint64_t shotsPerTrajectory = 20;
     /** Optional mid-execution interruption (empty = never fires). */
     FaultHook faultHook;
+    /** Engine selection: Auto = planner-chosen, else forced. */
+    BackendKind backend = BackendKind::Auto;
+    /** Planner knobs consulted when backend == Auto. */
+    PlannerConfig planner;
 };
 
-/** True if the circuit contains RESET or a non-terminal MEASURE. */
+/**
+ * True if the circuit contains an operation that forces
+ * outcome-dependent collapse: a RESET, or a gate acting on an
+ * already-measured qubit, *before the last MEASURE*. Trailing
+ * non-operational ops — barriers, resets, or unitaries after the
+ * final measurement — cannot influence any recorded bit and do not
+ * count, so a trailing MEASURE-then-BARRIER (or cleanup RESET) keeps
+ * the terminal fast path.
+ */
 bool hasMidCircuitOperations(const qc::Circuit &circuit);
 
 /**
  * Execute @p circuit for options.shots shots and return the histogram
- * over its classical bits.
+ * over its classical bits. Exact shot accounting: the histogram holds
+ * exactly options.shots entries, or fewer only when options.faultHook
+ * fired (never more, regardless of shotsPerTrajectory batching).
  *
  * @throws std::invalid_argument when the circuit measures zero
  *   classical bits or options.shots == 0 (an empty histogram would
- *   poison every downstream score with silent NaNs).
+ *   poison every downstream score with silent NaNs), or when a forced
+ *   backend cannot represent the circuit (stabilizer on non-Clifford,
+ *   density matrix / ideal sampling on mid-circuit collapse).
+ * @throws ResourceExhausted when the chosen dense engine exceeds the
+ *   memory budget (jobs layer reports the cell TooLarge).
  */
 stats::Counts run(const qc::Circuit &circuit, const RunOptions &options,
                   stats::Rng &rng);

@@ -413,6 +413,12 @@ runStabilizer(const qc::Circuit &circuit, const RunOptions &options,
     std::string clbits(circuit.numClbits(), '0');
     std::vector<bool> active(circuit.numQubits(), false);
     for (std::uint64_t shot = 0; shot < options.shots; ++shot) {
+        // Same truncation contract as the dense runner: the jobs
+        // layer's fault hook must be able to cut any backend short,
+        // or planner-routed Clifford cells would silently ignore
+        // shot-truncation faults.
+        if (options.faultHook && options.faultHook(counts.shots()))
+            break;
         sim.resetAll();
         clbits.assign(circuit.numClbits(), '0');
         for (const auto &moment : sched.moments) {

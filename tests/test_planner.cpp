@@ -1,0 +1,700 @@
+/**
+ * @file
+ * Tests for the backend planner and the Backend dispatch refactor of
+ * sim::run (`ctest -L planner`): planner policy over the whole
+ * decision surface, planner-vs-forced-backend histogram equivalence
+ * (byte-identity when the engine matches, TVD bounds against exact
+ * references for trajectories), exact shot accounting with FaultHook
+ * truncation on every backend, trailing-operation semantics of
+ * hasMidCircuitOperations, overflow-checked denseBytes at widths the
+ * old arithmetic silently wrapped on, TooLarge-vs-trajectory routing
+ * through the jobs layer at widths beyond the density-matrix cap, the
+ * plan record's journey into grid caches / checkpoint journals /
+ * manifests, and serve cache-key stability across daemon --backend
+ * changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/benchmarks/ghz.hpp"
+#include "core/benchmarks/hamiltonian_simulation.hpp"
+#include "core/harness.hpp"
+#include "device/device.hpp"
+#include "fig_data.hpp"
+#include "jobs/scheduler.hpp"
+#include "obs/json.hpp"
+#include "report/checkpoint.hpp"
+#include "serve/server.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/memory.hpp"
+#include "sim/planner.hpp"
+#include "sim/runner.hpp"
+
+namespace smq {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- circuit fixtures ------------------------------------------------
+
+/** GHZ ladder with terminal measure-all: Clifford, terminal. */
+qc::Circuit
+cliffordTerminal(std::size_t n)
+{
+    qc::Circuit c(n, n, "ghz");
+    c.h(0);
+    for (std::size_t q = 1; q < n; ++q)
+        c.cx(q - 1, q);
+    for (std::size_t q = 0; q < n; ++q)
+        c.measure(q, q);
+    return c;
+}
+
+/** Non-Clifford (rotation angles off the Clifford grid), terminal. */
+qc::Circuit
+rotationTerminal(std::size_t n)
+{
+    qc::Circuit c(n, n, "rot");
+    for (std::size_t q = 0; q < n; ++q)
+        c.rx(0.3 + 0.2 * static_cast<double>(q), q);
+    for (std::size_t q = 1; q < n; ++q)
+        c.cx(q - 1, q);
+    c.ry(0.7, 0);
+    for (std::size_t q = 0; q < n; ++q)
+        c.measure(q, q);
+    return c;
+}
+
+/** Mid-circuit collapse: measured qubit is reused before the end. */
+qc::Circuit
+midCircuit(std::size_t n)
+{
+    qc::Circuit c(n, n, "mid");
+    c.rx(0.4, 0);
+    c.measure(0, 0);
+    c.rx(0.9, 0); // gate on a finalized qubit: outcome-dependent
+    for (std::size_t q = 1; q < n; ++q)
+        c.cx(q - 1, q);
+    for (std::size_t q = 0; q < n; ++q)
+        c.measure(q, q);
+    return c;
+}
+
+sim::NoiseModel
+mildNoise()
+{
+    sim::NoiseModel noise;
+    noise.enabled = true;
+    noise.p1 = 0.002;
+    noise.p2 = 0.01;
+    noise.pMeas = 0.01;
+    return noise;
+}
+
+/** TVD of an empirical histogram from an exact distribution. */
+double
+tvdFrom(const stats::Counts &counts, const stats::Distribution &ref)
+{
+    const double n = static_cast<double>(counts.shots());
+    double sum = 0.0;
+    for (const auto &[bits, c] : counts.map())
+        sum += std::abs(static_cast<double>(c) / n -
+                        ref.probability(bits));
+    for (const auto &[bits, p] : ref.map()) {
+        if (counts.at(bits) == 0)
+            sum += p;
+    }
+    return sum / 2.0;
+}
+
+// --- planner policy --------------------------------------------------
+
+TEST(Planner, NoiselessTerminalCliffordSamplesTheStatevector)
+{
+    sim::Plan plan =
+        sim::planCircuit(cliffordTerminal(4), sim::NoiseModel::ideal());
+    EXPECT_EQ(plan.backend, sim::BackendKind::Statevector);
+    EXPECT_EQ(plan.reason, "ideal");
+    EXPECT_TRUE(plan.clifford);
+    EXPECT_FALSE(plan.midCircuit);
+    EXPECT_EQ(plan.token(), "statevector:ideal");
+}
+
+TEST(Planner, NoisyCliffordScalesOnTheTableau)
+{
+    sim::Plan plan = sim::planCircuit(cliffordTerminal(4), mildNoise());
+    EXPECT_EQ(plan.backend, sim::BackendKind::Stabilizer);
+    EXPECT_EQ(plan.token(), "stabilizer:clifford");
+}
+
+TEST(Planner, MidCircuitCliffordStaysOnTheTableau)
+{
+    // The tableau collapses measurements natively, so Clifford
+    // mid-circuit circuits avoid the shot-per-trajectory path.
+    qc::Circuit c(2, 2, "mc");
+    c.h(0);
+    c.measure(0, 0);
+    c.x(0);
+    c.cx(0, 1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    sim::Plan plan = sim::planCircuit(c, sim::NoiseModel::ideal());
+    EXPECT_TRUE(plan.midCircuit);
+    EXPECT_EQ(plan.backend, sim::BackendKind::Stabilizer);
+}
+
+TEST(Planner, NonCliffordMidCircuitForcesTrajectories)
+{
+    sim::Plan plan =
+        sim::planCircuit(midCircuit(3), sim::NoiseModel::ideal());
+    EXPECT_EQ(plan.backend, sim::BackendKind::Trajectory);
+    EXPECT_EQ(plan.reason, "mid-circuit");
+    EXPECT_TRUE(plan.midCircuit);
+    EXPECT_FALSE(plan.clifford);
+}
+
+TEST(Planner, NoiselessTerminalNonCliffordSamplesTheStatevector)
+{
+    sim::Plan plan =
+        sim::planCircuit(rotationTerminal(3), sim::NoiseModel::ideal());
+    EXPECT_EQ(plan.backend, sim::BackendKind::Statevector);
+    EXPECT_EQ(plan.reason, "ideal");
+}
+
+TEST(Planner, SmallNoisyTerminalGetsExactKrausChannels)
+{
+    sim::Plan plan = sim::planCircuit(rotationTerminal(3), mildNoise());
+    EXPECT_EQ(plan.backend, sim::BackendKind::DensityMatrix);
+    EXPECT_EQ(plan.token(), "density-matrix:exact-noise");
+}
+
+TEST(Planner, WideNoisyTerminalFallsToTrajectorySampling)
+{
+    // 7 qubits is just past the default density-matrix cost cutoff.
+    sim::Plan plan = sim::planCircuit(rotationTerminal(7), mildNoise());
+    EXPECT_EQ(plan.backend, sim::BackendKind::Trajectory);
+    EXPECT_EQ(plan.reason, "width>dm-cutoff");
+}
+
+TEST(Planner, DensityMatrixCutoffIsClampedToTheEngineHardCap)
+{
+    sim::PlannerConfig config;
+    config.maxDensityMatrixQubits = 20; // above the engine's 11
+    sim::Plan wide =
+        sim::planCircuit(rotationTerminal(12), mildNoise(), config);
+    EXPECT_EQ(wide.backend, sim::BackendKind::Trajectory);
+    sim::Plan at_cap =
+        sim::planCircuit(rotationTerminal(11), mildNoise(), config);
+    EXPECT_EQ(at_cap.backend, sim::BackendKind::DensityMatrix);
+}
+
+TEST(Planner, ForcedBackendWinsAndIsRecordedAsForced)
+{
+    sim::PlannerConfig config;
+    config.force = sim::BackendKind::Trajectory;
+    sim::Plan plan =
+        sim::planCircuit(cliffordTerminal(3), sim::NoiseModel::ideal(),
+                         config);
+    EXPECT_EQ(plan.backend, sim::BackendKind::Trajectory);
+    EXPECT_EQ(plan.token(), "trajectory:forced");
+    // The facts are still recorded even when they did not decide.
+    EXPECT_TRUE(plan.clifford);
+}
+
+TEST(Planner, BackendTokensRoundTripAndRejectUnknowns)
+{
+    for (sim::BackendKind kind : sim::kAllBackendKinds) {
+        auto parsed = sim::backendFromString(sim::toString(kind));
+        ASSERT_TRUE(parsed.has_value()) << sim::toString(kind);
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(sim::backendFromString("densitymatrix").has_value());
+    EXPECT_FALSE(sim::backendFromString("").has_value());
+    EXPECT_FALSE(sim::backendFromString("Stabilizer").has_value());
+}
+
+// --- planner-vs-forced equivalence -----------------------------------
+
+stats::Counts
+runWith(const qc::Circuit &circuit, const sim::NoiseModel &noise,
+        sim::BackendKind backend, std::uint64_t shots,
+        std::uint64_t seed)
+{
+    sim::RunOptions ro;
+    ro.shots = shots;
+    ro.noise = noise;
+    ro.backend = backend;
+    stats::Rng rng(seed);
+    return sim::run(circuit, ro, rng);
+}
+
+TEST(PlannerEquivalence, ForcingThePlannersChoiceIsByteIdentical)
+{
+    struct Case
+    {
+        qc::Circuit circuit;
+        sim::NoiseModel noise;
+    };
+    const Case cases[] = {
+        {cliffordTerminal(4), sim::NoiseModel::ideal()},
+        {cliffordTerminal(4), mildNoise()},
+        {rotationTerminal(3), sim::NoiseModel::ideal()},
+        {rotationTerminal(3), mildNoise()},
+        {rotationTerminal(7), mildNoise()},
+        {midCircuit(3), mildNoise()},
+    };
+    for (const Case &c : cases) {
+        const sim::Plan plan = sim::planCircuit(c.circuit, c.noise);
+        stats::Counts via_auto = runWith(c.circuit, c.noise,
+                                         sim::BackendKind::Auto, 400, 11);
+        stats::Counts via_forced =
+            runWith(c.circuit, c.noise, plan.backend, 400, 11);
+        EXPECT_EQ(via_auto.map(), via_forced.map())
+            << "plan " << plan.token();
+    }
+}
+
+TEST(PlannerEquivalence, TrajectoriesTrackTheExactNoisyDistribution)
+{
+    // The same small noisy circuit the planner sends to the exact
+    // density-matrix engine, forced through trajectory sampling: the
+    // stochastic unravelling must reproduce the closed-form
+    // distribution to within multinomial sampling noise.
+    const qc::Circuit circuit = rotationTerminal(3);
+    const sim::NoiseModel noise = mildNoise();
+    const stats::Distribution exact =
+        sim::noisyDistribution(circuit, noise);
+    stats::Counts sampled = runWith(circuit, noise,
+                                    sim::BackendKind::Trajectory,
+                                    6000, 23);
+    EXPECT_EQ(sampled.shots(), 6000u);
+    EXPECT_LT(tvdFrom(sampled, exact), 0.08);
+}
+
+TEST(PlannerEquivalence, StabilizerTracksTheExactNoisyDistribution)
+{
+    // Pauli-twirled tableau noise vs the exact Kraus channels on a
+    // depolarising-only model (twirling is exact in distribution).
+    const qc::Circuit circuit = cliffordTerminal(3);
+    const sim::NoiseModel noise = mildNoise();
+    const stats::Distribution exact =
+        sim::noisyDistribution(circuit, noise);
+    stats::Counts sampled = runWith(circuit, noise,
+                                    sim::BackendKind::Stabilizer,
+                                    6000, 29);
+    EXPECT_LT(tvdFrom(sampled, exact), 0.08);
+}
+
+TEST(PlannerEquivalence, ForcedStabilizerRejectsNonClifford)
+{
+    EXPECT_THROW(runWith(rotationTerminal(3), sim::NoiseModel::ideal(),
+                         sim::BackendKind::Stabilizer, 50, 5),
+                 std::invalid_argument);
+}
+
+// --- exact shot accounting & FaultHook truncation --------------------
+
+TEST(ShotAccounting, TrajectoryBatchingNeverOvershootsTheRequest)
+{
+    // 103 is deliberately not a multiple of shotsPerTrajectory: the
+    // final batch must clamp instead of rounding up to 120.
+    sim::RunOptions ro;
+    ro.shots = 103;
+    ro.noise = mildNoise();
+    ro.shotsPerTrajectory = 20;
+    ro.backend = sim::BackendKind::Trajectory;
+    stats::Rng rng(3);
+    stats::Counts counts = sim::run(rotationTerminal(4), ro, rng);
+    EXPECT_EQ(counts.shots(), 103u);
+}
+
+TEST(ShotAccounting, FaultHookTruncatesAtTheBatchBoundary)
+{
+    sim::RunOptions ro;
+    ro.shots = 200;
+    ro.noise = mildNoise();
+    ro.shotsPerTrajectory = 20;
+    ro.backend = sim::BackendKind::Trajectory;
+    ro.faultHook = [](std::uint64_t done) { return done >= 40; };
+    stats::Rng rng(3);
+    stats::Counts counts = sim::run(rotationTerminal(4), ro, rng);
+    EXPECT_EQ(counts.shots(), 40u);
+}
+
+TEST(ShotAccounting, TruncatedTrajectoryRunIsAPrefixOfTheFullRun)
+{
+    // Per-trajectory deriveTaskSeed streams: the 60-shot histogram
+    // must be exactly the first 60 shots of the 200-shot run.
+    const qc::Circuit circuit = rotationTerminal(4);
+    sim::RunOptions ro;
+    ro.noise = mildNoise();
+    ro.backend = sim::BackendKind::Trajectory;
+    ro.shots = 200;
+    stats::Rng rng_full(17);
+    stats::Counts full = sim::run(circuit, ro, rng_full);
+    ro.shots = 60;
+    stats::Rng rng_cut(17);
+    stats::Counts cut = sim::run(circuit, ro, rng_cut);
+    EXPECT_EQ(cut.shots(), 60u);
+    for (const auto &[bits, n] : cut.map())
+        EXPECT_LE(n, full.at(bits)) << bits;
+}
+
+TEST(ShotAccounting, StabilizerBackendHonoursTheFaultHook)
+{
+    sim::RunOptions ro;
+    ro.shots = 500;
+    ro.noise = mildNoise();
+    ro.faultHook = [](std::uint64_t done) { return done >= 25; };
+    stats::Rng rng(7);
+    stats::Counts counts = sim::run(cliffordTerminal(4), ro, rng);
+    EXPECT_EQ(counts.shots(), 25u);
+}
+
+TEST(ShotAccounting, MidCircuitPathCountsShotsExactly)
+{
+    sim::RunOptions ro;
+    ro.shots = 57;
+    ro.noise = mildNoise();
+    stats::Rng rng(9);
+    stats::Counts counts = sim::run(midCircuit(3), ro, rng);
+    EXPECT_EQ(counts.shots(), 57u);
+}
+
+// --- hasMidCircuitOperations trailing-op semantics -------------------
+
+TEST(MidCircuitDetection, TrailingBarrierAfterMeasureIsNotMidCircuit)
+{
+    qc::Circuit c(2, 2);
+    c.h(0);
+    c.cx(0, 1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    c.barrier();
+    EXPECT_FALSE(sim::hasMidCircuitOperations(c));
+}
+
+TEST(MidCircuitDetection, TrailingCleanupResetIsNotMidCircuit)
+{
+    qc::Circuit c(2, 2);
+    c.h(0);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    c.reset(0);
+    c.reset(1);
+    EXPECT_FALSE(sim::hasMidCircuitOperations(c));
+}
+
+TEST(MidCircuitDetection, TrailingUnitaryAfterMeasureIsNotMidCircuit)
+{
+    qc::Circuit c(2, 2);
+    c.h(0);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    c.x(0); // cannot influence any recorded bit
+    EXPECT_FALSE(sim::hasMidCircuitOperations(c));
+}
+
+TEST(MidCircuitDetection, ResetBeforeTheLastMeasureIsMidCircuit)
+{
+    qc::Circuit c(2, 2);
+    c.h(0);
+    c.reset(1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    EXPECT_TRUE(sim::hasMidCircuitOperations(c));
+}
+
+TEST(MidCircuitDetection, GateOnMeasuredQubitBeforeLastMeasureIsMid)
+{
+    qc::Circuit c(2, 2);
+    c.h(0);
+    c.measure(0, 0);
+    c.x(0);
+    c.measure(1, 1);
+    EXPECT_TRUE(sim::hasMidCircuitOperations(c));
+}
+
+TEST(MidCircuitDetection, NoMeasurementMeansNoCollapse)
+{
+    qc::Circuit c(2);
+    c.h(0);
+    c.reset(0);
+    c.x(0);
+    EXPECT_FALSE(sim::hasMidCircuitOperations(c));
+}
+
+TEST(MidCircuitDetection, TrailingOpsKeepTheTerminalFastPath)
+{
+    // A trailing barrier must not change the plan: the terminal fast
+    // path (ideal sampling) stays selected.
+    qc::Circuit c = cliffordTerminal(3);
+    c.barrier();
+    sim::Plan plan = sim::planCircuit(c, sim::NoiseModel::ideal());
+    EXPECT_EQ(plan.backend, sim::BackendKind::Statevector);
+    EXPECT_EQ(plan.reason, "ideal");
+    // And the runner executes it (idealDistribution alone would throw
+    // on the trailing op; the runner strips to the terminal core).
+    stats::Counts counts = runWith(c, sim::NoiseModel::ideal(),
+                                   sim::BackendKind::Auto, 100, 1);
+    EXPECT_EQ(counts.shots(), 100u);
+}
+
+// --- denseBytes overflow hardening -----------------------------------
+
+TEST(DenseBytes, FortyQubitStatevectorSizeIsExact)
+{
+    // 2^40 amplitudes * 16 bytes = 2^44: representable, must be exact
+    // (the old 1u<<bits arithmetic wrapped to 0 for widths >= 32 on
+    // 32-bit size_t and overflowed the multiply well before 64).
+    EXPECT_EQ(sim::denseBytes(40, 16, false),
+              std::uint64_t(1) << 44);
+}
+
+TEST(DenseBytes, FortyQubitDensityMatrixSaturates)
+{
+    // 4^40 * 16 bytes cannot be represented: saturate, never wrap.
+    EXPECT_EQ(sim::denseBytes(40, 16, true),
+              std::numeric_limits<std::size_t>::max());
+}
+
+TEST(DenseBytes, ShiftWidthAtWordSizeSaturates)
+{
+    EXPECT_EQ(sim::denseBytes(64, 1, false),
+              std::numeric_limits<std::size_t>::max());
+    EXPECT_EQ(sim::denseBytes(200, 16, false),
+              std::numeric_limits<std::size_t>::max());
+}
+
+TEST(DenseBytes, SaturatedSizeIsRejectedByTheBudget)
+{
+    EXPECT_THROW(sim::checkAllocationBudget(
+                     "statevector(40 qubits)",
+                     sim::denseBytes(40, 16, true)),
+                 sim::ResourceExhausted);
+}
+
+// --- jobs-layer routing at widths beyond the DM cap ------------------
+
+device::Device
+noisy14QubitDevice()
+{
+    device::Device dev = device::perfectDevice(14);
+    dev.name = "Noisy-14";
+    dev.noise = mildNoise();
+    return dev;
+}
+
+TEST(PlannerJobs, ForcedDensityMatrixBeyondTheCapIsTooLarge)
+{
+    core::HamiltonianSimulationBenchmark bench(14, 1);
+    jobs::JobOptions options;
+    options.harness.shots = 60;
+    options.harness.repetitions = 1;
+    options.harness.backend = sim::BackendKind::DensityMatrix;
+    jobs::SweepContext ctx(options, jobs::FaultInjector());
+    core::BenchmarkRun run =
+        jobs::runJob(bench, noisy14QubitDevice(), options, ctx);
+    EXPECT_EQ(run.status, core::RunStatus::TooLarge);
+    EXPECT_EQ(run.cause, core::FailureCause::ResourceExhausted);
+    EXPECT_TRUE(run.tooLarge);
+    // The plan record survives the failure: it names the engine that
+    // refused the cell.
+    EXPECT_EQ(run.plan, "density-matrix:forced");
+}
+
+TEST(PlannerJobs, AutoCompletesTheSameCellThroughTrajectories)
+{
+    core::HamiltonianSimulationBenchmark bench(14, 1);
+    jobs::JobOptions options;
+    options.harness.shots = 60;
+    options.harness.repetitions = 1;
+    jobs::SweepContext ctx(options, jobs::FaultInjector());
+    core::BenchmarkRun run =
+        jobs::runJob(bench, noisy14QubitDevice(), options, ctx);
+    EXPECT_EQ(run.status, core::RunStatus::Ok);
+    EXPECT_EQ(run.plan, "trajectory:width>dm-cutoff");
+    ASSERT_EQ(run.scores.size(), 1u);
+    EXPECT_GE(run.scores[0], 0.0);
+    EXPECT_LE(run.scores[0], 1.0);
+}
+
+// --- byte-identity across --jobs -------------------------------------
+
+TEST(PlannerJobs, TrajectoryScoresAreByteIdenticalAtAnyJobs)
+{
+    core::HamiltonianSimulationBenchmark bench(4, 1);
+    device::Device dev = device::ibmLagos();
+
+    core::HarnessOptions serial;
+    serial.shots = 120;
+    serial.repetitions = 6;
+    serial.jobs = 1;
+    serial.backend = sim::BackendKind::Trajectory;
+    core::BenchmarkRun a = core::runBenchmark(bench, dev, serial);
+
+    core::HarnessOptions threaded = serial;
+    threaded.jobs = 8;
+    core::BenchmarkRun b = core::runBenchmark(bench, dev, threaded);
+
+    ASSERT_EQ(a.status, core::RunStatus::Ok);
+    ASSERT_EQ(a.scores.size(), b.scores.size());
+    for (std::size_t i = 0; i < a.scores.size(); ++i)
+        EXPECT_EQ(a.scores[i], b.scores[i]) << "repetition " << i;
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_EQ(a.plan, "trajectory:forced");
+}
+
+// --- the plan record in caches, journals and manifests ---------------
+
+TEST(PlanRecord, GridSerializationCarriesThePlanToken)
+{
+    bench::Fig2Grid grid;
+    grid.deviceNames = {"devA"};
+    bench::GridRow row;
+    row.benchmark = "b1";
+    row.runs.resize(1);
+    row.runs[0].benchmark = "b1";
+    row.runs[0].device = "devA";
+    row.runs[0].plan = "stabilizer:clifford";
+    grid.rows.push_back(row);
+    const std::string text = bench::serializeGrid(grid);
+    EXPECT_NE(text.find("smq-fig2-cache-v3"), std::string::npos);
+    EXPECT_NE(text.find(" stabilizer:clifford "), std::string::npos);
+
+    // An unplanned cell serializes the '-' placeholder so the record
+    // stays a fixed-arity token stream.
+    grid.rows[0].runs[0].plan.clear();
+    EXPECT_NE(bench::serializeGrid(grid).find(" - "),
+              std::string::npos);
+}
+
+TEST(PlanRecord, CheckpointCellRoundTripsThePlan)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "smq_planner_ckpt_test";
+    fs::remove_all(dir);
+
+    report::CheckpointHeader header;
+    header.tool = "test";
+    header.config = "c";
+    header.devices = {"devA"};
+    header.benchmarks = {"b1"};
+
+    report::CheckpointCell cell;
+    cell.benchmark = "b1";
+    cell.device = "devA";
+    cell.plan = "trajectory:width>dm-cutoff";
+    cell.scores = {0.5};
+
+    report::CheckpointWriter writer(dir.string());
+    ASSERT_TRUE(writer.writeHeader(header));
+    ASSERT_TRUE(writer.appendCell(cell));
+
+    report::CheckpointLoad load = report::loadCheckpoint(dir.string());
+    ASSERT_TRUE(load.headerOk);
+    ASSERT_EQ(load.cells.size(), 1u);
+    EXPECT_EQ(load.cells[0].plan, "trajectory:width>dm-cutoff");
+    fs::remove_all(dir);
+}
+
+TEST(PlanRecord, PrePlannerJournalCellsParseWithAnEmptyPlan)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "smq_planner_ckpt_compat";
+    fs::remove_all(dir);
+
+    report::CheckpointHeader header;
+    header.tool = "test";
+    header.config = "c";
+    header.devices = {"devA"};
+    header.benchmarks = {"b1"};
+    report::CheckpointWriter writer(dir.string());
+    ASSERT_TRUE(writer.writeHeader(header));
+    {
+        // A cell record as written before the plan field existed.
+        std::ofstream out(dir / report::kCheckpointFile, std::ios::app);
+        out << "{\"schema\":\"smq-checkpoint-v1\",\"kind\":\"cell\","
+               "\"benchmark\":\"b1\",\"device\":\"devA\","
+               "\"final\":true,\"status\":0,\"cause\":0,"
+               "\"planned\":1,\"attempts\":1,\"error_bar\":1,"
+               "\"swaps\":0,\"phys_2q\":0,\"scores\":[0.5]}\n";
+    }
+    report::CheckpointLoad load = report::loadCheckpoint(dir.string());
+    ASSERT_EQ(load.cells.size(), 1u);
+    EXPECT_TRUE(load.cells[0].plan.empty());
+    EXPECT_EQ(load.skippedLines, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(PlanRecord, RunManifestNamesTheRequestedBackend)
+{
+    core::HarnessOptions options;
+    options.backend = sim::BackendKind::Trajectory;
+    obs::RunManifest manifest =
+        core::makeRunManifest("test", options);
+    EXPECT_EQ(manifest.extra.at("sim.backend"), "trajectory");
+}
+
+TEST(PlanRecord, BenchmarkRunJoinsUniquePlanTokens)
+{
+    // ghz on a noisy device: every circuit plans identically, so the
+    // summary is one token, not one per circuit. The plan describes
+    // the *routed* circuit — AQT's native RXX/RY family puts the
+    // logical GHZ Clifford off the tableau, so the small noisy cell
+    // gets exact Kraus channels.
+    core::GhzBenchmark bench(3);
+    core::HarnessOptions options;
+    options.shots = 50;
+    options.repetitions = 1;
+    core::BenchmarkRun run =
+        core::runBenchmark(bench, device::aqtDevice(), options);
+    ASSERT_EQ(run.status, core::RunStatus::Ok);
+    EXPECT_EQ(run.plan, "density-matrix:exact-noise");
+}
+
+// --- serve: cache-key stability & plan provenance --------------------
+
+TEST(PlannerServe, CacheKeyIsStableAcrossBackendAndPlanIsReported)
+{
+    serve::ServerOptions base;
+    base.autoStart = false;
+    serve::ServerOptions forced = base;
+    forced.backend = sim::BackendKind::Trajectory;
+
+    serve::Server auto_server(base);
+    serve::Server forced_server(forced);
+
+    const std::string submit =
+        "{\"type\":\"submit\",\"benchmark\":\"ghz_3\","
+        "\"device\":\"AQT\",\"shots\":50,\"repetitions\":2,"
+        "\"wait\":true}";
+    const obs::JsonValue a =
+        obs::parseJson(auto_server.handle(submit));
+    const obs::JsonValue b =
+        obs::parseJson(forced_server.handle(submit));
+
+    // The key hashes the request, not the engine: a daemon restarted
+    // with another --backend addresses the same cache slot.
+    EXPECT_EQ(a.at("cache_key").asString(),
+              b.at("cache_key").asString());
+
+    // But each reply names the engine that actually ran the job
+    // (routed to AQT's non-Clifford native family, the small noisy
+    // cell plans exact Kraus channels under Auto).
+    EXPECT_EQ(a.at("result").at("plan").asString(),
+              "density-matrix:exact-noise");
+    EXPECT_EQ(b.at("result").at("plan").asString(),
+              "trajectory:forced");
+}
+
+} // namespace
+} // namespace smq

@@ -991,7 +991,7 @@ TEST(ServeDocs, ProtocolDocCoversTheWholeWireVocabulary)
           "repetitions", "seed", "status", "cause", "scores", "mean",
           "stddev", "error_bar_scale", "planned_repetitions",
           "attempts", "physical_two_qubit_gates", "swaps_inserted",
-          "detail"})
+          "plan", "detail"})
         EXPECT_TRUE(documented(field))
             << "result field '" << field
             << "' not documented in PROTOCOL.md";
